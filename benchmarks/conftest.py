@@ -1,0 +1,14 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one table/figure of the paper (quick-scale
+config), printing the series and asserting its *shape* — who wins,
+monotonicity, crossovers — rather than absolute numbers, which depend
+on the synthetic data and host.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+def pytest_configure(config):
+    # Benchmarks live outside the default testpaths; make sure running
+    # `pytest benchmarks/` without --benchmark-only still works.
+    pass

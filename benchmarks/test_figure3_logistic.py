@@ -1,0 +1,27 @@
+"""Bench: Figure 3 — logistic-regression accuracy vs privacy budget.
+
+Paper shape: a non-private baseline in the low-to-mid 90s, GUPT-tight
+below it across epsilon in [2, 10], improving (or flat) as epsilon grows.
+"""
+
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark):
+    result = benchmark.pedantic(figure3.run, rounds=1, iterations=1)
+    print("\n" + result.format_table())
+
+    accuracies = [acc for _, acc in result.points]
+    # Non-private baseline in the high-80s/low-90s on the synthetic data.
+    assert result.baseline_accuracy > 0.85
+    # GUPT never beats the non-private run.
+    assert all(acc <= result.baseline_accuracy + 0.02 for acc in accuracies)
+    # GUPT is useful (well above chance) even at the smallest epsilon...
+    assert min(accuracies) > 0.55
+    # ...and approaches the baseline at the largest.
+    assert accuracies[-1] > result.baseline_accuracy - 0.15
+    # Larger budgets help: the top half of the sweep beats the bottom half.
+    half = len(accuracies) // 2
+    assert sum(accuracies[half:]) / (len(accuracies) - half) > (
+        sum(accuracies[:half]) / half
+    )

@@ -1,0 +1,23 @@
+"""Bench: Figure 4 — k-means intra-cluster variance vs privacy budget.
+
+Paper shape: normalized ICV decreases as epsilon grows; GUPT-tight needs
+less budget than GUPT-loose for the same quality.
+"""
+
+from repro.experiments import figure4
+
+
+def test_figure4(benchmark):
+    result = benchmark.pedantic(figure4.run, rounds=1, iterations=1)
+    print("\n" + result.format_table())
+
+    tight = [t for _, t, _ in result.points]
+    loose = [l for _, _, l in result.points]
+    # More budget -> better clustering, for both range regimes.
+    assert tight[-1] < tight[0]
+    assert loose[-1] < loose[0]
+    # Tight ranges dominate loose ones at every epsilon.
+    assert all(t <= l * 1.1 for t, l in zip(tight, loose))
+    # Private ICV approaches (stays within an order of magnitude of) the
+    # baseline at the largest epsilon.
+    assert tight[-1] < 10.0

@@ -1,0 +1,24 @@
+"""Bench: Figure 5 — GUPT's perturbation is iteration-independent, PINQ's isn't.
+
+Paper shape: PINQ's ICV degrades sharply as the pre-declared iteration
+count grows (its per-iteration budget shrinks); GUPT's ICV is flat in
+the iteration count, and at the largest count GUPT (at a *stricter*
+epsilon) beats PINQ.
+"""
+
+from repro.experiments import figure5
+
+
+def test_figure5(benchmark):
+    result = benchmark.pedantic(figure5.run, rounds=1, iterations=1)
+    print("\n" + result.format_table())
+
+    pinq2 = result.series["PINQ-tight eps=2"]
+    gupt2 = result.series["GUPT-tight eps=2"]
+    # PINQ degrades with iteration count, substantially.
+    assert pinq2[-1] > 2.0 * pinq2[0]
+    # GUPT is flat: its worst point is within a small factor of its best
+    # (the residual wiggle is repeat noise, not an iteration trend).
+    assert max(gupt2) < 6.0 * min(gupt2)
+    # At the largest iteration count GUPT (eps=2) beats PINQ (eps=2).
+    assert gupt2[-1] < pinq2[-1]

@@ -1,0 +1,29 @@
+"""Bench: Figure 6 — completion time vs k-means iteration (restart) count.
+
+Paper shape: everyone's time grows with the restart count; GUPT's
+per-restart cost is not much above the non-private run's (its blocks
+converge in fewer Lloyd rounds, offsetting the runtime overhead), so the
+private curves track the non-private one rather than diverging.
+"""
+
+from repro.experiments import figure6
+
+
+def test_figure6(benchmark):
+    result = benchmark.pedantic(figure6.run, rounds=1, iterations=1)
+    print("\n" + result.format_table())
+
+    nonprivate = result.series["non-private"]
+    helper = result.series["GUPT-helper"]
+    loose = result.series["GUPT-loose"]
+    # Time grows with the restart count for every series.
+    assert nonprivate[-1] > nonprivate[0]
+    assert helper[-1] > helper[0]
+    # The private slope stays comparable to the non-private slope (the
+    # paper's "overhead diminishes as computation grows"): GUPT's cost
+    # per additional restart is at most ~2x the non-private cost.
+    span = result.iteration_counts[-1] - result.iteration_counts[0]
+    nonprivate_slope = (nonprivate[-1] - nonprivate[0]) / span
+    for series in (helper, loose):
+        slope = (series[-1] - series[0]) / span
+        assert slope < 2.0 * nonprivate_slope

@@ -1,0 +1,29 @@
+"""Bench: Figure 7 — result-accuracy CDF under three budget policies.
+
+Paper shape: accuracies order with epsilon (eps=1 best, eps=0.3 worst,
+the goal-derived variable epsilon in between), and the variable policy
+meets the stated goal: >= 90% of queries reach >= 90% accuracy.
+"""
+
+import numpy as np
+
+from repro.experiments import figure7
+
+
+def test_figure7(benchmark):
+    result = benchmark.pedantic(figure7.run, rounds=1, iterations=1)
+    print("\n" + result.format_table())
+
+    # The derived epsilon is below the manual eps=1 choice (Figure 8's
+    # lifetime gain) and above the too-cheap eps=0.3.
+    assert 0.3 < result.variable_epsilon < 1.0
+
+    # The goal is met by the variable policy.
+    assert result.fraction_meeting_goal("variable eps") >= 1.0 - result.goal_delta
+
+    # Accuracy distributions order with epsilon.
+    def median_accuracy(label):
+        return float(np.median(result.accuracies[label]))
+
+    assert median_accuracy("constant eps=1") >= median_accuracy("variable eps")
+    assert median_accuracy("variable eps") >= median_accuracy("constant eps=0.3")

@@ -1,0 +1,20 @@
+"""Bench: Figure 8 — normalized privacy-budget lifetime.
+
+Paper shape: the goal-derived variable epsilon sustains ~2.3x more
+queries than a constant epsilon=1 (we accept the 1.5x-3.5x band; the
+exact factor depends on the estimation variance of the aged slice).
+"""
+
+from repro.experiments import figure8
+
+
+def test_figure8(benchmark):
+    result = benchmark.pedantic(figure8.run, rounds=1, iterations=1)
+    print("\n" + result.format_table())
+
+    variable = result.lifetimes["variable eps"]
+    # The headline claim: variable epsilon outlives constant eps=1 by ~2.3x.
+    assert 1.5 <= variable <= 3.5
+    # Constant eps=0.3 runs more queries still — but Figure 7 shows it
+    # misses the accuracy goal, which is the point of the pair of figures.
+    assert result.lifetimes["constant eps=0.3"] > variable

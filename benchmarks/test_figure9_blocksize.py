@@ -1,0 +1,30 @@
+"""Bench: Figure 9 — normalized RMSE vs block size for mean and median.
+
+Paper shape: the mean's optimum is block size 1 (no estimation error,
+noise only grows with beta); the median at eps=2 has an interior optimum
+(~10 in the paper); at eps=6 cheaper noise pushes the optimum to larger
+blocks.
+"""
+
+from repro.experiments import figure9
+
+
+def test_figure9(benchmark):
+    result = benchmark.pedantic(figure9.run, rounds=1, iterations=1)
+    print("\n" + result.format_table())
+
+    # Mean: smallest block size wins at both budgets.
+    assert result.best_block_size("Mean eps=2") == 1
+    assert result.best_block_size("Mean eps=6") == 1
+
+    # Median at eps=2: interior optimum (neither 1 nor the largest).
+    best_median_2 = result.best_block_size("Median eps=2")
+    assert 2 < best_median_2 < result.block_sizes[-1]
+
+    # Median optimum moves to larger blocks as epsilon grows.
+    assert result.best_block_size("Median eps=6") >= best_median_2
+
+    # Tiny blocks are disastrous for the median (estimation bias toward
+    # the mean of the skewed distribution).
+    median_2 = dict(zip(result.block_sizes, result.series["Median eps=2"]))
+    assert median_2[1] > 3 * median_2[best_median_2]

@@ -1,0 +1,18 @@
+"""Bench: §6.1 — isolation-chamber overhead on repeated k-means runs.
+
+The paper measured a 1.26% AppArmor slowdown over 6,000 runs.  Our
+in-process chamber (fresh program copy + policy shim) should likewise
+cost only a few percent relative to direct invocation.
+"""
+
+from repro.experiments import sandbox_overhead
+
+
+def test_sandbox_overhead(benchmark):
+    result = benchmark.pedantic(sandbox_overhead.run, rounds=1, iterations=1)
+    print("\n" + result.format_table())
+
+    # Small, like the paper's 1.26% — we allow up to 25% on a noisy
+    # single-core host before calling it a regression.
+    assert result.overhead_fraction < 0.25
+    assert result.direct_seconds > 0

@@ -1,0 +1,91 @@
+"""The hosted three-party deployment (Figure 2 of the paper).
+
+A hospital (data owner) registers a patients table with the service
+provider; an external researcher (analyst) enrolls, browses the public
+metadata, and runs private queries until the budget refuses — every
+interaction crossing the trust boundary as structured requests and
+responses.
+
+Run:  python examples/hosted_service.py
+"""
+
+import numpy as np
+
+from repro import DataTable, TightRange
+from repro.estimators import Count, Histogram, Mean
+from repro.runtime.service import ANALYST, OWNER, GuptService, QueryRequest
+
+
+def main() -> None:
+    rng = np.random.default_rng(33)
+    service = GuptService(rng=5)
+
+    # --- the hospital registers its data ---------------------------------
+    hospital = service.enroll(OWNER, name="st-mary")
+    stays = rng.gamma(shape=2.0, scale=3.0, size=20_000).clip(0, 60)  # days
+    table = DataTable(stays, column_names=["stay_days"], input_ranges=[(0.0, 60.0)])
+    description = service.register_dataset(
+        hospital.token, "inpatient-stays", table, total_budget=3.0
+    )
+    print(f"owner registered {description.num_records} records, "
+          f"budget {description.remaining_budget}")
+
+    # --- the researcher explores and queries -----------------------------
+    researcher = service.enroll(ANALYST, name="uni-lab")
+    print("analyst sees datasets:", service.list_datasets(researcher.token))
+
+    mean_response = service.submit(
+        researcher.token,
+        QueryRequest(
+            dataset="inpatient-stays", program=Mean(),
+            range_strategy=TightRange((0.0, 60.0)), epsilon=0.5,
+            block_size=100, query_name="mean-stay",
+        ),
+    )
+    print(f"private mean stay : {mean_response.value[0]:.2f} days "
+          f"(true {stays.mean():.2f}, eps {mean_response.epsilon_charged})")
+
+    long_stay = service.submit(
+        researcher.token,
+        QueryRequest(
+            dataset="inpatient-stays",
+            program=Count(threshold=14.0),
+            range_strategy=TightRange((0.0, 1.0)), epsilon=0.5,
+            block_size=100, query_name="long-stay-rate",
+        ),
+    )
+    print(f"private >14d rate : {long_stay.value[0]:.4f} "
+          f"(true {(stays > 14.0).mean():.4f})")
+
+    histogram = Histogram(edges=(0.0, 3.0, 7.0, 14.0, 60.0))
+    hist_response = service.submit(
+        researcher.token,
+        QueryRequest(
+            dataset="inpatient-stays", program=histogram,
+            range_strategy=TightRange([(0.0, 1.0)] * histogram.num_buckets),
+            epsilon=1.5, block_size=100, query_name="stay-histogram",
+        ),
+    )
+    buckets = ["0-3d", "3-7d", "7-14d", "14d+"]
+    private = ", ".join(
+        f"{label}: {value:.3f}" for label, value in zip(buckets, hist_response.value)
+    )
+    print(f"private histogram : {private}")
+
+    # --- the budget is finite; the refusal is structured ------------------
+    refused = service.submit(
+        researcher.token,
+        QueryRequest(
+            dataset="inpatient-stays", program=Mean(),
+            range_strategy=TightRange((0.0, 60.0)), epsilon=1.0,
+            query_name="one-too-many",
+        ),
+    )
+    print(f"next query ok={refused.ok}: {refused.error}")
+
+    # --- the owner audits the ledger --------------------------------------
+    print("owner's ledger    :", service.ledger_entries(hospital.token, "inpatient-stays"))
+
+
+if __name__ == "__main__":
+    main()

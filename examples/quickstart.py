@@ -1,0 +1,53 @@
+"""Quickstart: a private average-age query in a dozen lines.
+
+A data owner registers the census table with a total privacy budget;
+an analyst submits an ordinary numpy program (no privacy code anywhere)
+and gets a differentially private answer back, with the spend recorded
+in the dataset's ledger.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import DatasetManager, GuptRuntime, TightRange, census_adult
+
+
+def average_age(block: np.ndarray) -> float:
+    """The analyst's program: plain numpy, knows nothing about privacy."""
+    return float(np.mean(block))
+
+
+def main() -> None:
+    # --- data owner: register the dataset with a total budget -----------
+    manager = DatasetManager()
+    table = census_adult()
+    manager.register("census", table, total_budget=5.0, rng=0)
+    print(f"registered {table.num_records} census records, budget epsilon=5.0")
+
+    # --- analyst: one private query --------------------------------------
+    runtime = GuptRuntime(manager, rng=42)
+    result = runtime.run(
+        "census",
+        average_age,
+        # Ages fall in a public, non-sensitive range.
+        range_strategy=TightRange((0.0, 150.0)),
+        epsilon=1.0,
+        query_name="average-age",
+    )
+
+    true_mean = float(table.values.mean())
+    print(f"private average age : {result.scalar():.3f}")
+    print(f"true average age    : {true_mean:.3f}")
+    print(f"blocks              : {result.num_blocks} x {result.block_size} records")
+    print(f"noise scale         : {result.noise_scales[0]:.4f}")
+    print(f"budget spent        : {result.epsilon_total:.2f}")
+    print(f"budget remaining    : {manager.remaining_budget('census'):.2f}")
+
+    # --- the ledger shows every charge -----------------------------------
+    for entry in manager.get("census").ledger:
+        print(f"ledger[{entry.sequence}]: {entry.query} cost eps={entry.epsilon:g}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Reproduction of "GUPT: Privacy Preserving Data Analysis Made Easy".
+
+GUPT (Mohan, Thakurta, Shi, Song, Culler — SIGMOD 2012) is a black-box
+differentially private data-analysis platform built on the
+sample-and-aggregate framework.  Quickstart::
+
+    import numpy as np
+    from repro import (
+        AccuracyGoal, DatasetManager, GuptRuntime, TightRange, census_adult,
+    )
+
+    manager = DatasetManager()
+    manager.register("census", census_adult(), total_budget=10.0,
+                     aged_fraction=0.1, rng=0)
+    runtime = GuptRuntime(manager, rng=0)
+    result = runtime.run(
+        "census",
+        program=lambda block: float(np.mean(block)),
+        range_strategy=TightRange((0.0, 150.0)),
+        epsilon=1.0,
+    )
+    print(result.scalar())          # private average age
+    print(manager.remaining_budget("census"))
+"""
+
+from repro.accounting import DatasetManager, PrivacyBudget, PrivacyLedger
+from repro.core import (
+    AccuracyGoal,
+    AgedData,
+    BlockPlan,
+    BlockSizeSearch,
+    BudgetDistributor,
+    GuptResult,
+    GuptRuntime,
+    GuptSession,
+    HelperRange,
+    LooseOutputRange,
+    OutputRange,
+    QuerySpec,
+    SampleAggregateEngine,
+    TightRange,
+    estimate_epsilon,
+    grouped_plan,
+    split_by_age,
+)
+from repro.datasets import DataTable, census_adult, internet_ads, life_sciences
+from repro.exceptions import (
+    AccuracyGoalInfeasible,
+    ComputationError,
+    GuptError,
+    InvalidPrivacyParameter,
+    InvalidRange,
+    PrivacyBudgetExhausted,
+    SandboxViolation,
+)
+from repro.runtime import (
+    ComputationManager,
+    InProcessChamber,
+    MACPolicy,
+    SubprocessChamber,
+    TimingDefense,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccuracyGoal",
+    "AccuracyGoalInfeasible",
+    "AgedData",
+    "BlockPlan",
+    "BlockSizeSearch",
+    "BudgetDistributor",
+    "ComputationError",
+    "ComputationManager",
+    "DataTable",
+    "DatasetManager",
+    "GuptError",
+    "GuptResult",
+    "GuptRuntime",
+    "GuptSession",
+    "HelperRange",
+    "InProcessChamber",
+    "InvalidPrivacyParameter",
+    "InvalidRange",
+    "LooseOutputRange",
+    "MACPolicy",
+    "OutputRange",
+    "PrivacyBudget",
+    "PrivacyBudgetExhausted",
+    "PrivacyLedger",
+    "QuerySpec",
+    "SampleAggregateEngine",
+    "SandboxViolation",
+    "SubprocessChamber",
+    "TightRange",
+    "TimingDefense",
+    "census_adult",
+    "estimate_epsilon",
+    "grouped_plan",
+    "internet_ads",
+    "life_sciences",
+    "split_by_age",
+]

@@ -1,0 +1,18 @@
+"""Privacy accounting: budgets, ledgers and the dataset manager.
+
+GUPT's dataset manager (Figure 2 of the paper) owns the privacy budget of
+every registered dataset.  Holding the ledger inside the trusted platform
+rather than in analyst code is the defense against privacy-budget attacks.
+"""
+
+from repro.accounting.budget import PrivacyBudget
+from repro.accounting.ledger import LedgerEntry, PrivacyLedger
+from repro.accounting.manager import DatasetManager, RegisteredDataset
+
+__all__ = [
+    "DatasetManager",
+    "LedgerEntry",
+    "PrivacyBudget",
+    "PrivacyLedger",
+    "RegisteredDataset",
+]

@@ -1,0 +1,67 @@
+"""A mutable privacy budget with atomic charge semantics."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.exceptions import InvalidPrivacyParameter, PrivacyBudgetExhausted
+
+
+class PrivacyBudget:
+    """Tracks the remaining epsilon available for a dataset.
+
+    Charges are atomic: a charge either fits entirely within the remaining
+    budget and is applied, or raises :class:`PrivacyBudgetExhausted` and
+    leaves the budget untouched.  A small float tolerance absorbs the
+    rounding that accumulates when a budget is split into many shares
+    (e.g. ``eps / k`` charged ``k`` times).
+    """
+
+    _TOLERANCE = 1e-9
+
+    def __init__(self, total: float, dataset: str = ""):
+        total = float(total)
+        if not np.isfinite(total) or total <= 0.0:
+            raise InvalidPrivacyParameter(f"total budget must be positive, got {total}")
+        self._total = total
+        self._spent = 0.0
+        self._dataset = dataset
+        self._lock = threading.Lock()
+
+    @property
+    def total(self) -> float:
+        """The budget the dataset was registered with."""
+        return self._total
+
+    @property
+    def spent(self) -> float:
+        """Epsilon consumed so far."""
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        """Epsilon still available (never negative)."""
+        return max(0.0, self._total - self._spent)
+
+    def can_afford(self, epsilon: float) -> bool:
+        """Whether a charge of ``epsilon`` would succeed."""
+        return float(epsilon) <= self.remaining + self._TOLERANCE
+
+    def charge(self, epsilon: float) -> float:
+        """Atomically consume ``epsilon``; returns the amount charged."""
+        epsilon = float(epsilon)
+        if not np.isfinite(epsilon) or epsilon <= 0.0:
+            raise InvalidPrivacyParameter(f"charge must be positive, got {epsilon}")
+        with self._lock:
+            if epsilon > self.remaining + self._TOLERANCE:
+                raise PrivacyBudgetExhausted(epsilon, self.remaining, self._dataset)
+            self._spent = min(self._total, self._spent + epsilon)
+        return epsilon
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PrivacyBudget(total={self._total:.6g}, spent={self._spent:.6g}, "
+            f"remaining={self.remaining:.6g})"
+        )

@@ -1,0 +1,64 @@
+"""An append-only ledger of privacy charges.
+
+The ledger is the audit trail behind the dataset manager: every Laplace
+release, percentile estimate or sample-and-aggregate run that touches a
+dataset appends an entry.  Summing the ledger must always equal the
+budget's ``spent`` value — an invariant the test suite checks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One privacy charge: which query, how much epsilon, and why."""
+
+    sequence: int
+    epsilon: float
+    query: str
+    detail: str = ""
+
+
+@dataclass
+class PrivacyLedger:
+    """Thread-safe append-only record of charges against one dataset."""
+
+    dataset: str = ""
+    _entries: list[LedgerEntry] = field(default_factory=list, repr=False)
+    _counter: itertools.count = field(default_factory=itertools.count, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, epsilon: float, query: str, detail: str = "") -> LedgerEntry:
+        """Append a charge and return the created entry."""
+        with self._lock:
+            entry = LedgerEntry(
+                sequence=next(self._counter),
+                epsilon=float(epsilon),
+                query=query,
+                detail=detail,
+            )
+            self._entries.append(entry)
+        return entry
+
+    @property
+    def total_spent(self) -> float:
+        """Sum of all recorded charges."""
+        return sum(entry.epsilon for entry in self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LedgerEntry]:
+        return iter(list(self._entries))
+
+    def by_query(self) -> dict[str, float]:
+        """Total epsilon spent per query name."""
+        totals: dict[str, float] = {}
+        for entry in self._entries:
+            totals[entry.query] = totals.get(entry.query, 0.0) + entry.epsilon
+        return totals

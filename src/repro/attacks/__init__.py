@@ -1,0 +1,30 @@
+"""Side-channel attacks from Haeberlen et al. (USENIX Security 2011).
+
+Three adversarial analyst programs — state, privacy-budget and timing —
+plus a harness that runs each against GUPT and against the PINQ-style
+trust model, recording who leaks.  Table 1 of the paper is generated
+from these outcomes rather than asserted by fiat.
+"""
+
+from repro.attacks.state_attack import (
+    GlobalChannelProgram,
+    InstanceStateProgram,
+    read_global_channel,
+    reset_global_channel,
+)
+from repro.attacks.budget_attack import budget_attack_against_gupt, budget_attack_against_pinq
+from repro.attacks.timing_attack import StallOnTargetProgram, timing_attack_observable
+from repro.attacks.harness import AttackOutcome, run_all_attacks
+
+__all__ = [
+    "AttackOutcome",
+    "GlobalChannelProgram",
+    "InstanceStateProgram",
+    "StallOnTargetProgram",
+    "budget_attack_against_gupt",
+    "budget_attack_against_pinq",
+    "read_global_channel",
+    "reset_global_channel",
+    "run_all_attacks",
+    "timing_attack_observable",
+]

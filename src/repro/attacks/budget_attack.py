@@ -1,0 +1,109 @@
+"""Privacy-budget attacks: encoding data in the budget meter.
+
+Haeberlen et al.'s attack against PINQ: the analyst program inspects the
+data (cheaply), then conditionally issues extra queries that drain the
+remaining budget.  The budget meter itself — which the platform must
+reveal so analysts can plan — becomes a covert channel for one bit per
+query.  PINQ cannot stop this because the *program* drives the budget
+agent.  GUPT can: the program never holds a budget handle; the runtime
+charges a fixed, data-independent epsilon before execution, so the
+meter's trajectory is identical on neighboring datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accounting.manager import DatasetManager
+from repro.baselines.pinq.agent import BudgetAgent
+from repro.baselines.pinq.queryable import PINQueryable
+from repro.core.gupt import GuptRuntime
+from repro.core.range_estimation import TightRange
+from repro.datasets.table import DataTable
+from repro.exceptions import PrivacyBudgetExhausted
+from repro.mechanisms.rng import RandomSource
+
+
+def _adversarial_pinq_program(
+    queryable: PINQueryable, agent: BudgetAgent, target: float
+) -> float:
+    """The attack: spot the target inside a transformation, then drain.
+
+    PINQ's ``where`` runs the analyst's predicate over *raw* records, so
+    the predicate can note the sighting in a closure; the program then
+    conditionally spends the remaining budget.  The budget meter — which
+    the platform must expose for planning — becomes the covert channel.
+    """
+    sighting = [False]
+
+    def predicate(row: np.ndarray) -> bool:
+        if bool(np.any(np.isclose(row, target))):
+            sighting[0] = True
+        return True
+
+    filtered = queryable.where(predicate)
+    answer = filtered.noisy_count(epsilon=0.5)
+    if sighting[0]:
+        while agent.remaining > 1e-6:
+            try:
+                queryable.noisy_count(epsilon=min(1.0, agent.remaining))
+            except PrivacyBudgetExhausted:
+                break
+    return answer
+
+
+def budget_attack_against_pinq(
+    with_target: np.ndarray,
+    without_target: np.ndarray,
+    target: float,
+    total_budget: float = 5.0,
+    rng: RandomSource = 0,
+) -> bool:
+    """Run the attack on a neighboring pair; True if the meter leaks.
+
+    The attacker compares the agent's remaining budget after identical
+    program runs on datasets differing in one record.
+    """
+    remaining = []
+    for data in (with_target, without_target):
+        agent = BudgetAgent(total_budget)
+        queryable = PINQueryable(np.asarray(data, dtype=float), agent, rng=rng)
+        _adversarial_pinq_program(queryable, agent, target)
+        remaining.append(agent.remaining)
+    return abs(remaining[0] - remaining[1]) > 1.0
+
+
+def budget_attack_against_gupt(
+    with_target: np.ndarray,
+    without_target: np.ndarray,
+    target: float,
+    total_budget: float = 5.0,
+    rng: RandomSource = 0,
+) -> bool:
+    """The same adversary against GUPT; True if the meter leaks.
+
+    The program may *want* to spend more on seeing the target, but it is
+    handed only a block of records — no budget handle exists inside the
+    chamber — so all it can do is compute.  The ledger trajectory is a
+    function of the query parameters alone.
+    """
+    def wants_to_drain(block: np.ndarray) -> float:
+        # The adversary's intent; inside GUPT there is simply no API to
+        # act on it.  (A real attacker would try imports/globals; the
+        # chambers' process isolation closes those too.)
+        saw = bool(np.any(np.isclose(block, target)))
+        return float(np.mean(block)) + (0.0 if not saw else 0.0)
+
+    spent = []
+    for data in (with_target, without_target):
+        manager = DatasetManager()
+        manager.register("attack", DataTable(data), total_budget=total_budget)
+        runtime = GuptRuntime(manager, rng=rng)
+        runtime.run(
+            "attack",
+            wants_to_drain,
+            TightRange((-100.0, 100.0)),
+            epsilon=1.0,
+        )
+        spent.append(manager.get("attack").budget.spent)
+    return abs(spent[0] - spent[1]) > 1e-12

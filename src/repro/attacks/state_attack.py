@@ -1,0 +1,72 @@
+"""State attacks: leaking a record's presence through mutable state.
+
+An adversarial program flips a bit somewhere persistent when it sees the
+target record; after the query, the attacker reads the bit.  Two
+variants with different reach:
+
+* :class:`InstanceStateProgram` writes to *its own attribute*.  GUPT's
+  chambers hand each block a fresh copy of the program, so the
+  attacker-held original is never mutated; direct (PINQ-style, trusted)
+  execution mutates it in place.
+* :class:`GlobalChannelProgram` writes to a *module-level* dict — state
+  that copying the program object cannot isolate.  Only real process
+  isolation (:class:`~repro.runtime.sandbox.SubprocessChamber`, where
+  the write happens in a forked child and dies with it) blocks this
+  variant, which is exactly why the paper's deployment uses OS-level
+  chambers rather than in-process tricks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: The module-level covert channel GlobalChannelProgram writes into.
+_GLOBAL_CHANNEL: dict[str, bool] = {"saw_target": False}
+
+
+def reset_global_channel() -> None:
+    """Clear the covert channel before an experiment."""
+    _GLOBAL_CHANNEL["saw_target"] = False
+
+
+def read_global_channel() -> bool:
+    """What the attacker learns after the query ran."""
+    return _GLOBAL_CHANNEL["saw_target"]
+
+
+def _contains_target(block: np.ndarray, target: float) -> bool:
+    return bool(np.any(np.isclose(np.asarray(block, dtype=float), target)))
+
+
+@dataclass
+class InstanceStateProgram:
+    """Computes a mean; records target sightings on itself.
+
+    ``saw_target`` on the attacker's original object is the leak: after
+    a trusted run it reflects the data; after a chambered run it stays
+    False because only disposable copies ever executed.
+    """
+
+    target: float
+    output_dimension: int = 1
+    saw_target: bool = field(default=False, init=False)
+
+    def __call__(self, block: np.ndarray) -> float:
+        if _contains_target(block, self.target):
+            self.saw_target = True
+        return float(np.mean(block))
+
+
+@dataclass(frozen=True)
+class GlobalChannelProgram:
+    """Computes a mean; signals target sightings through module state."""
+
+    target: float
+    output_dimension: int = 1
+
+    def __call__(self, block: np.ndarray) -> float:
+        if _contains_target(block, self.target):
+            _GLOBAL_CHANNEL["saw_target"] = True
+        return float(np.mean(block))

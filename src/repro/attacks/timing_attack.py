@@ -1,0 +1,44 @@
+"""Timing attacks: leaking a record's presence through execution time.
+
+The adversarial program stalls when it sees the target record.  Without
+a defense, total query latency on neighboring datasets differs by the
+stall — one observable bit.  GUPT's timing defense (§6.2) fixes every
+block's observable runtime at the cycle budget: early finishers are
+padded, over-runners are killed and replaced with a constant, so total
+latency is ``num_blocks * budget`` on *any* dataset.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StallOnTargetProgram:
+    """Computes a mean; stalls ``delay`` seconds when the target appears."""
+
+    target: float
+    delay: float = 0.25
+    output_dimension: int = 1
+
+    def __call__(self, block: np.ndarray) -> float:
+        block = np.asarray(block, dtype=float)
+        if bool(np.any(np.isclose(block, self.target))):
+            time.sleep(self.delay)
+        return float(np.mean(block))
+
+
+def timing_attack_observable(
+    elapsed_with_target: float,
+    elapsed_without_target: float,
+    resolution: float = 0.05,
+) -> bool:
+    """Whether the attacker can distinguish the two runs.
+
+    ``resolution`` models the attacker's clock precision; anything
+    below it is indistinguishable noise.
+    """
+    return abs(elapsed_with_target - elapsed_without_target) > resolution

@@ -1,0 +1,20 @@
+"""Auditing tools: utility metrics and an empirical DP verifier."""
+
+from repro.audit.utility import (
+    cdf_points,
+    normalized_rmse,
+    relative_error,
+    rmse,
+    within_accuracy,
+)
+from repro.audit.dp_verifier import empirical_epsilon, neighboring
+
+__all__ = [
+    "cdf_points",
+    "empirical_epsilon",
+    "neighboring",
+    "normalized_rmse",
+    "relative_error",
+    "rmse",
+    "within_accuracy",
+]

@@ -1,0 +1,51 @@
+"""Error and accuracy metrics shared by the experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rmse(estimates, truth: float) -> float:
+    """Root mean squared error of repeated estimates of one true value."""
+    estimates = np.asarray(estimates, dtype=float)
+    if estimates.size == 0:
+        raise ValueError("rmse needs at least one estimate")
+    return float(np.sqrt(np.mean((estimates - truth) ** 2)))
+
+
+def normalized_rmse(estimates, truth: float) -> float:
+    """RMSE divided by |truth| (Figure 9's y-axis)."""
+    if truth == 0:
+        raise ValueError("normalized RMSE undefined for a zero true value")
+    return rmse(estimates, truth) / abs(truth)
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """|estimate - truth| / |truth|."""
+    if truth == 0:
+        raise ValueError("relative error undefined for a zero true value")
+    return abs(estimate - truth) / abs(truth)
+
+
+def within_accuracy(estimate: float, truth: float, rho: float) -> bool:
+    """Whether an estimate is "within a factor rho" of the truth.
+
+    The paper's accuracy goal (§5.1): rho=0.9 means the estimate lies
+    within 10% of the true value.
+    """
+    if not 0.0 < rho < 1.0:
+        raise ValueError("rho must be in (0, 1)")
+    # The epsilon absorbs float artifacts like 1 - 0.9 != 0.1 exactly.
+    return relative_error(estimate, truth) <= (1.0 - rho) + 1e-12
+
+
+def cdf_points(samples) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF as (sorted values, cumulative fractions).
+
+    Used to render Figure 7's "CDF of query accuracy".
+    """
+    samples = np.sort(np.asarray(samples, dtype=float))
+    if samples.size == 0:
+        raise ValueError("cdf needs at least one sample")
+    fractions = np.arange(1, samples.size + 1) / samples.size
+    return samples, fractions

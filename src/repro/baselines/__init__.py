@@ -1,0 +1,12 @@
+"""Comparison systems: PINQ, Airavat and the non-private baseline.
+
+These exist so the evaluation can reproduce the paper's head-to-head
+results (Figure 5, Table 1).  They are faithful *models* of the cited
+systems' privacy architecture — enough to exhibit the behaviors the
+paper compares on (per-operation budget splitting, trusted-reducer
+MapReduce, vulnerability to side channels) — not ports of their code.
+"""
+
+from repro.baselines.nonprivate import run_nonprivate
+
+__all__ = ["run_nonprivate"]

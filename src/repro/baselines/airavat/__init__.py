@@ -1,0 +1,16 @@
+"""A model of Airavat (Roy et al., NSDI 2010).
+
+Airavat runs *untrusted mappers* over individual records inside a
+MapReduce pipeline whose *reducers are trusted* to be differentially
+private.  The analyst declares the mapper's output range up front;
+the trusted reducer clamps each mapper output into that range and adds
+noise calibrated to it.  Two architectural limits drive the Table 1
+comparison: mappers cannot keep global state (which rules out programs
+like iterative clustering without pushing logic into the trusted
+reducer), and only reducer-computable aggregations are expressible.
+"""
+
+from repro.baselines.airavat.mapreduce import MapReduceJob, MiniMapReduce
+from repro.baselines.airavat.runtime import AiravatResult, AiravatRuntime
+
+__all__ = ["AiravatResult", "AiravatRuntime", "MapReduceJob", "MiniMapReduce"]

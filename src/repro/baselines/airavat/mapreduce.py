@@ -1,0 +1,94 @@
+"""A minimal MapReduce substrate (Dean and Ghemawat, OSDI 2004).
+
+Just enough of the programming model for the Airavat baseline: a mapper
+emits ``(key, value)`` pairs per input record, the framework groups by
+key, and a reducer folds each group.  The Airavat-specific restrictions
+are enforced here because they are what the paper's comparison hinges
+on: a mapper is invoked once per record with no channel to other
+invocations, and the number of pairs it may emit per record is capped
+(Airavat's defense against a mapper smuggling information out through
+its output multiplicity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ComputationError
+
+#: A mapper takes one record and yields (key, value) pairs.
+Mapper = Callable[[np.ndarray], Iterable[tuple[Hashable, float]]]
+#: A reducer folds the list of values of one key into one float.
+Reducer = Callable[[Sequence[float]], float]
+
+
+@dataclass(frozen=True)
+class MapReduceJob:
+    """An Airavat job: untrusted mapper + declared output contract.
+
+    Attributes
+    ----------
+    mapper:
+        Untrusted per-record function.
+    keys:
+        The data-independent set of keys the job may emit (Airavat
+        requires the key universe up front so the reducer's output
+        cardinality cannot leak).
+    value_range:
+        Declared ``(lo, hi)`` for mapper values; the trusted reducer
+        clamps every value into it and calibrates noise to its width.
+    max_pairs_per_record:
+        Cap on pairs a single record may produce.
+    """
+
+    mapper: Mapper
+    keys: tuple[Hashable, ...]
+    value_range: tuple[float, float]
+    max_pairs_per_record: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            raise ComputationError("job must declare at least one key")
+        lo, hi = self.value_range
+        if not (np.isfinite(lo) and np.isfinite(hi)) or lo > hi:
+            raise ComputationError(f"invalid declared value range {self.value_range}")
+        if self.max_pairs_per_record < 1:
+            raise ComputationError("max_pairs_per_record must be >= 1")
+
+
+@dataclass
+class MiniMapReduce:
+    """Executes the map and group phases with Airavat's restrictions."""
+
+    records_mapped: int = field(default=0, init=False)
+
+    def map_and_group(
+        self,
+        job: MapReduceJob,
+        records: np.ndarray,
+    ) -> dict[Hashable, list[float]]:
+        """Run the mapper per record and group clamped values by key.
+
+        A record that makes the mapper crash contributes nothing (the
+        absence is absorbed by the reducer's noise); a record emitting
+        more than the declared cap, or an undeclared key, is truncated /
+        dropped rather than erroring, since an error channel would leak.
+        """
+        records = np.asarray(records, dtype=float)
+        if records.ndim == 1:
+            records = records.reshape(-1, 1)
+        lo, hi = job.value_range
+        grouped: dict[Hashable, list[float]] = {key: [] for key in job.keys}
+        for row in records:
+            self.records_mapped += 1
+            try:
+                pairs = list(job.mapper(row))
+            except Exception:  # noqa: BLE001 - mapper is untrusted
+                continue
+            for key, value in pairs[: job.max_pairs_per_record]:
+                if key in grouped:
+                    grouped[key].append(float(np.clip(value, lo, hi)))
+        return grouped

@@ -1,0 +1,17 @@
+"""The trivial non-private baseline every figure plots against."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def run_nonprivate(program: Callable, values: np.ndarray) -> np.ndarray:
+    """Run the analyst program directly on the full dataset.
+
+    No privacy whatsoever — this is the accuracy ceiling the private
+    systems are measured against.
+    """
+    result = program(np.asarray(values, dtype=float))
+    return np.asarray(result, dtype=float).ravel()

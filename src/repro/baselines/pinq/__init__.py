@@ -1,0 +1,20 @@
+"""A model of PINQ (McSherry, SIGMOD 2009).
+
+PINQ exposes LINQ-style operators over a protected dataset; each
+aggregation (NoisyCount, NoisyAvg, ...) spends epsilon from a budget
+agent.  Two architectural properties matter for the comparison with
+GUPT, and both are modeled faithfully:
+
+* the *analyst program drives the budget*: it decides how much epsilon
+  each operation gets and when to stop — which is exactly why PINQ is
+  vulnerable to the privacy-budget side channel (§6.2, Table 1);
+* transformations (Where/Select/Partition) are applied by analyst-
+  supplied callables running *in the analyst's process*, which is why
+  state and timing attacks work against it.
+"""
+
+from repro.baselines.pinq.agent import BudgetAgent
+from repro.baselines.pinq.queryable import PINQueryable
+from repro.baselines.pinq.kmeans import pinq_kmeans
+
+__all__ = ["BudgetAgent", "PINQueryable", "pinq_kmeans"]

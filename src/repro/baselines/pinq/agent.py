@@ -1,0 +1,46 @@
+"""PINQ's budget agent.
+
+Structurally similar to :class:`repro.accounting.budget.PrivacyBudget`,
+but with the PINQ trust model: the *analyst program* holds a reference
+to the agent and decides every charge.  Nothing stops an adversarial
+program from spending the remaining budget conditionally on what it saw
+in the data — the privacy-budget attack the GUPT comparison (Table 1)
+demonstrates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidPrivacyParameter, PrivacyBudgetExhausted
+
+
+class BudgetAgent:
+    """Epsilon accounting driven by untrusted analyst code."""
+
+    def __init__(self, total: float):
+        total = float(total)
+        if not np.isfinite(total) or total <= 0:
+            raise InvalidPrivacyParameter(f"total budget must be positive, got {total}")
+        self._total = total
+        self._spent = 0.0
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def spent(self) -> float:
+        return self._spent
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self._total - self._spent)
+
+    def charge(self, epsilon: float) -> None:
+        epsilon = float(epsilon)
+        if not np.isfinite(epsilon) or epsilon <= 0:
+            raise InvalidPrivacyParameter(f"charge must be positive, got {epsilon}")
+        if epsilon > self.remaining + 1e-9:
+            raise PrivacyBudgetExhausted(epsilon, self.remaining, "pinq")
+        self._spent += epsilon

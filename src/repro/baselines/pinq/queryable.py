@@ -1,0 +1,192 @@
+"""PINQueryable: LINQ-style private query operators.
+
+Transformations (``where``, ``select``, ``partition``) return new
+queryables over derived data without spending budget; aggregations
+(``noisy_count``, ``noisy_sum``, ``noisy_average``) charge the budget
+agent and add calibrated Laplace noise.  ``partition`` implements
+parallel composition: its children share a *joint* charge equal to the
+maximum epsilon any child spends, because the partitions are disjoint.
+
+The stability bookkeeping is the one PINQ actually uses: a record
+entering ``where``/``select`` maps to at most one output record
+(stability 1), so sensitivities do not inflate.  Arbitrary user
+transformations with higher stability are out of scope, as they are in
+the paper's usage of PINQ.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable
+
+import numpy as np
+
+from repro.baselines.pinq.agent import BudgetAgent
+from repro.exceptions import InvalidRange
+from repro.mechanisms.exponential import ExponentialMechanism
+from repro.mechanisms.laplace import laplace_noise
+from repro.mechanisms.percentile import dp_percentile
+from repro.mechanisms.rng import RandomSource, as_generator
+
+
+class _PartitionCharger:
+    """Shares one parallel-composition charge among sibling partitions.
+
+    Children report every epsilon they spend; the parent agent is only
+    ever charged the running *maximum* across children (the increment
+    over what was already charged).
+    """
+
+    def __init__(self, agent: BudgetAgent):
+        self._agent = agent
+        self._children_spent: dict[int, float] = {}
+        self._charged = 0.0
+
+    def charge(self, child_id: int, epsilon: float) -> None:
+        spent = self._children_spent.get(child_id, 0.0) + epsilon
+        self._children_spent[child_id] = spent
+        ceiling = max(self._children_spent.values())
+        if ceiling > self._charged:
+            self._agent.charge(ceiling - self._charged)
+            self._charged = ceiling
+
+
+class PINQueryable:
+    """A protected view over a record array with a budget agent."""
+
+    def __init__(
+        self,
+        records: np.ndarray,
+        agent: BudgetAgent,
+        rng: RandomSource = None,
+        _charger: _PartitionCharger | None = None,
+        _child_id: int = 0,
+    ):
+        self._records = np.asarray(records, dtype=float)
+        if self._records.ndim == 1:
+            self._records = self._records.reshape(-1, 1)
+        self._agent = agent
+        self._rng = as_generator(rng)
+        self._charger = _charger
+        self._child_id = _child_id
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def agent(self) -> BudgetAgent:
+        return self._agent
+
+    def _spend(self, epsilon: float) -> None:
+        if self._charger is not None:
+            self._charger.charge(self._child_id, epsilon)
+        else:
+            self._agent.charge(epsilon)
+
+    def _derive(self, records: np.ndarray) -> "PINQueryable":
+        return PINQueryable(
+            records, self._agent, self._rng, self._charger, self._child_id
+        )
+
+    # -- transformations (free) ----------------------------------------
+    def where(self, predicate: Callable[[np.ndarray], bool]) -> "PINQueryable":
+        """Filter records by an analyst predicate (stability 1)."""
+        if self._records.shape[0] == 0:
+            return self._derive(self._records)
+        mask = np.array([bool(predicate(row)) for row in self._records])
+        return self._derive(self._records[mask])
+
+    def select(self, transform: Callable[[np.ndarray], Iterable[float]]) -> "PINQueryable":
+        """Map each record through an analyst transform (stability 1)."""
+        if self._records.shape[0] == 0:
+            return self._derive(self._records.reshape(0, 1))
+        rows = [np.atleast_1d(np.asarray(transform(row), dtype=float)) for row in self._records]
+        return self._derive(np.vstack(rows))
+
+    def partition(
+        self,
+        keys: Iterable[Hashable],
+        key_fn: Callable[[np.ndarray], Hashable],
+    ) -> dict[Hashable, "PINQueryable"]:
+        """Split into disjoint queryables under parallel composition.
+
+        The candidate ``keys`` must be data-independent (supplied by the
+        analyst), exactly as PINQ requires; records mapping to unknown
+        keys are dropped.
+        """
+        keys = list(keys)
+        charger = _PartitionCharger(self._agent)
+        buckets: dict[Hashable, list[np.ndarray]] = {key: [] for key in keys}
+        for row in self._records:
+            key = key_fn(row)
+            if key in buckets:
+                buckets[key].append(row)
+        partitions = {}
+        for child_id, key in enumerate(keys):
+            rows = buckets[key]
+            records = np.vstack(rows) if rows else np.empty((0, self._records.shape[1]))
+            partitions[key] = PINQueryable(
+                records, self._agent, self._rng, charger, child_id
+            )
+        return partitions
+
+    # -- aggregations (spend budget) -------------------------------------
+    def noisy_count(self, epsilon: float) -> float:
+        """Record count + Lap(1/epsilon); sensitivity 1."""
+        self._spend(epsilon)
+        return float(self._records.shape[0] + laplace_noise(1.0 / epsilon, rng=self._rng))
+
+    def noisy_sum(self, epsilon: float, lo: float, hi: float, column: int = 0) -> float:
+        """Clamped column sum + Lap(max(|lo|,|hi|)/epsilon)."""
+        if lo > hi:
+            raise InvalidRange(f"invalid clamp range ({lo}, {hi})")
+        self._spend(epsilon)
+        clamped = np.clip(self._records[:, column], lo, hi) if self._records.size else np.array([])
+        sensitivity = max(abs(lo), abs(hi))
+        return float(clamped.sum() + laplace_noise(sensitivity / epsilon, rng=self._rng))
+
+    def noisy_median(self, epsilon: float, lo: float, hi: float, column: int = 0) -> float:
+        """Private median of a column via the exponential-mechanism
+        percentile estimator (PINQ exposes order statistics this way)."""
+        if lo > hi:
+            raise InvalidRange(f"invalid clamp range ({lo}, {hi})")
+        self._spend(epsilon)
+        column_values = self._records[:, column] if self._records.size else []
+        return dp_percentile(column_values, 50.0, epsilon, lo, hi, rng=self._rng)
+
+    def exponential_choice(
+        self,
+        epsilon: float,
+        candidates,
+        score: Callable[["PINQueryable", object], float],
+        utility_sensitivity: float = 1.0,
+    ):
+        """PINQ's ExponentialMechanism operator: pick a candidate whose
+        data-dependent ``score`` is (privately) close to maximal.
+
+        ``score(queryable, candidate)`` is an analyst function evaluated
+        on this queryable's *raw* records — faithful to PINQ, where the
+        scoring function runs in the analyst's process (hence no better
+        protected than ``where``'s predicate).
+        """
+        candidates = list(candidates)
+        if not candidates:
+            raise ValueError("need at least one candidate")
+        self._spend(epsilon)
+        utilities = [float(score(self, candidate)) for candidate in candidates]
+        mechanism = ExponentialMechanism(
+            epsilon=epsilon, utility_sensitivity=utility_sensitivity
+        )
+        return mechanism.select(candidates, utilities, rng=self._rng)
+
+    def noisy_average(self, epsilon: float, lo: float, hi: float, column: int = 0) -> float:
+        """Noisy mean via the paired sum/count construction.
+
+        Charges ``epsilon`` total (half to the clamped sum, half to the
+        count) and clamps the ratio back into ``[lo, hi]``.
+        """
+        if lo > hi:
+            raise InvalidRange(f"invalid clamp range ({lo}, {hi})")
+        half = epsilon / 2.0
+        total = self.noisy_sum(half, lo, hi, column)
+        count = self.noisy_count(half)
+        if count < 1.0:
+            count = 1.0
+        return float(np.clip(total / count, lo, hi))

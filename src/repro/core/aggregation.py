@@ -1,0 +1,176 @@
+"""Clamp-average-perturb: the aggregation half of sample-and-aggregate.
+
+Given the per-block outputs ``O_1..O_l`` of the analyst program, GUPT
+clamps each to the output range, averages them, and adds Laplace noise
+whose scale reflects how many block outputs one record can move:
+
+* disjoint blocks (Algorithm 1, line 8): ``Lap(width / (l * eps))``;
+* gamma-resampling (§4.2): one record sits in gamma blocks, so the
+  average has sensitivity ``gamma * width / l = width * beta / n`` and
+  the noise is ``Lap(width * beta / (n * eps))`` — independent of gamma
+  for fixed block size, which is Claim 1.
+
+Multi-dimensional outputs get an even epsilon split across dimensions
+(Theorem 1), each dimension clamped and perturbed with its own range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidPrivacyParameter, InvalidRange
+from repro.mechanisms.laplace import laplace_noise
+from repro.mechanisms.rng import RandomSource, as_generator
+
+
+@dataclass(frozen=True)
+class OutputRange:
+    """A per-dimension clamping range ``[lo, hi]`` for program outputs."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        lo, hi = float(self.lo), float(self.hi)
+        if not (np.isfinite(lo) and np.isfinite(hi)):
+            raise InvalidRange(f"output range must be finite, got [{lo}, {hi}]")
+        if lo > hi:
+            raise InvalidRange(f"output range lower bound {lo} exceeds {hi}")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    @property
+    def width(self) -> float:
+        """Range width ``hi - lo`` (the per-block output sensitivity)."""
+        return self.hi - self.lo
+
+    @property
+    def midpoint(self) -> float:
+        """Center of the range; the timing-defense fallback output."""
+        return 0.5 * (self.lo + self.hi)
+
+    def clamp(self, values: np.ndarray) -> np.ndarray:
+        """Clip values into the range."""
+        return np.clip(values, self.lo, self.hi)
+
+
+def ranges_from_pairs(pairs) -> list[OutputRange]:
+    """Coerce ``[(lo, hi), ...]`` (or a single pair) into OutputRanges."""
+    if isinstance(pairs, OutputRange):
+        return [pairs]
+    if (
+        isinstance(pairs, (tuple, list))
+        and len(pairs) == 2
+        and np.isscalar(pairs[0])
+        and np.isscalar(pairs[1])
+    ):
+        return [OutputRange(float(pairs[0]), float(pairs[1]))]
+    out = []
+    for pair in pairs:
+        if isinstance(pair, OutputRange):
+            out.append(pair)
+        else:
+            lo, hi = pair
+            out.append(OutputRange(float(lo), float(hi)))
+    if not out:
+        raise InvalidRange("at least one output range is required")
+    return out
+
+
+@dataclass(frozen=True)
+class AggregateRelease:
+    """The private aggregate plus the non-sensitive release metadata."""
+
+    value: np.ndarray
+    noise_scales: np.ndarray
+    epsilon: float
+    num_blocks: int
+
+    def scalar(self) -> float:
+        """The released value as a float (1-D outputs only)."""
+        if self.value.size != 1:
+            raise ValueError(f"release has {self.value.size} dimensions, not 1")
+        return float(self.value[0])
+
+
+class NoisyAverageAggregator:
+    """Aggregates block outputs into one differentially private vector.
+
+    Parameters
+    ----------
+    ranges:
+        One :class:`OutputRange` per output dimension.
+    epsilon:
+        Total budget for the release; split evenly across dimensions.
+    """
+
+    def __init__(self, ranges, epsilon: float):
+        self._ranges = ranges_from_pairs(ranges)
+        epsilon = float(epsilon)
+        if not np.isfinite(epsilon) or epsilon <= 0.0:
+            raise InvalidPrivacyParameter(f"epsilon must be positive, got {epsilon}")
+        self._epsilon = epsilon
+
+    @property
+    def output_dimension(self) -> int:
+        return len(self._ranges)
+
+    @property
+    def ranges(self) -> list[OutputRange]:
+        return list(self._ranges)
+
+    @property
+    def epsilon(self) -> float:
+        return self._epsilon
+
+    def noise_scale(self, dim: int, num_blocks: int, blocks_per_record: int) -> float:
+        """Laplace scale for one output dimension.
+
+        ``blocks_per_record`` is gamma (the resampling factor); with
+        gamma=1 this is exactly Algorithm 1's ``width / (l * eps_dim)``.
+        """
+        if num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        if blocks_per_record < 1:
+            raise ValueError("blocks_per_record must be >= 1")
+        eps_dim = self._epsilon / self.output_dimension
+        width = self._ranges[dim].width
+        return blocks_per_record * width / (num_blocks * eps_dim)
+
+    def aggregate(
+        self,
+        block_outputs: np.ndarray,
+        blocks_per_record: int = 1,
+        rng: RandomSource = None,
+    ) -> AggregateRelease:
+        """Clamp, average and perturb the ``(l, p)`` block-output matrix."""
+        outputs = np.asarray(block_outputs, dtype=float)
+        if outputs.ndim == 1:
+            outputs = outputs.reshape(-1, 1)
+        if outputs.ndim != 2:
+            raise ValueError(f"block outputs must be 2-D, got shape {outputs.shape}")
+        num_blocks, dims = outputs.shape
+        if dims != self.output_dimension:
+            raise ValueError(
+                f"expected {self.output_dimension} output dimensions, got {dims}"
+            )
+
+        generator = as_generator(rng)
+        clamped = np.column_stack(
+            [self._ranges[d].clamp(outputs[:, d]) for d in range(dims)]
+        )
+        mean = clamped.mean(axis=0)
+        scales = np.array(
+            [self.noise_scale(d, num_blocks, blocks_per_record) for d in range(dims)]
+        )
+        noise = np.array(
+            [laplace_noise(scale, rng=generator) for scale in scales], dtype=float
+        )
+        return AggregateRelease(
+            value=mean + noise,
+            noise_scales=scales,
+            epsilon=self._epsilon,
+            num_blocks=num_blocks,
+        )

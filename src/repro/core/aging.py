@@ -1,0 +1,178 @@
+"""The aging-of-sensitivity model (§3.3).
+
+GUPT's parameter optimizers (block size, accuracy->epsilon translation,
+budget distribution) all need to evaluate the analyst program on *some*
+data without paying privacy for it.  The paper's model: a constant
+fraction of the dataset has "completely aged out" — its records are no
+longer privacy-sensitive (Example 1: a 70-year-old census).  That aged
+slice is drawn from the same distribution as the live data, so empirical
+error measured on it transfers.
+
+:class:`AgedData` wraps the aged slice and exposes exactly the quantities
+Equations (2) and (3) need: the full-data reference output ``f(T_np)``,
+per-block outputs at a candidate block size, and the estimation error /
+variance they induce.  Results are memoized per block size because the
+hill-climbing search revisits candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.table import DataTable
+from repro.exceptions import GuptError
+from repro.mechanisms.rng import RandomSource, as_generator
+
+
+def split_by_age(
+    table: DataTable,
+    timestamps,
+    cutoff: float,
+) -> tuple[DataTable | None, DataTable | None]:
+    """Split a table into (aged, live) by per-record timestamps.
+
+    Records with ``timestamp < cutoff`` are considered privacy-expired
+    under the aging model (the paper's Example 1: a 70-year-old census
+    no longer threatens its participants).  Either side may be ``None``
+    when empty.  This is the timestamped generalization of the
+    "constant fraction has aged out" simplification.
+    """
+    stamps = np.asarray(timestamps, dtype=float)
+    if stamps.shape != (table.num_records,):
+        raise GuptError(
+            f"need one timestamp per record ({table.num_records}), got "
+            f"shape {stamps.shape}"
+        )
+    aged_mask = stamps < float(cutoff)
+    aged_idx = np.flatnonzero(aged_mask)
+    live_idx = np.flatnonzero(~aged_mask)
+    aged = table.take(aged_idx) if aged_idx.size else None
+    live = table.take(live_idx) if live_idx.size else None
+    return aged, live
+
+
+class AgedData:
+    """Privacy-expired records used for zero-cost parameter estimation.
+
+    Parameters
+    ----------
+    table:
+        The aged records (disjoint from the live dataset).
+    rng:
+        Seeded source for the block shuffles, so optimizer runs are
+        reproducible.
+    """
+
+    def __init__(self, table: DataTable, rng: RandomSource = None):
+        if table.num_records < 2:
+            raise GuptError("aged data needs at least 2 records to be useful")
+        self._table = table
+        self._rng = as_generator(rng)
+        self._block_cache: dict[tuple[int, int], np.ndarray] = {}
+        self._full_cache: dict[int, np.ndarray] = {}
+
+    @property
+    def table(self) -> DataTable:
+        return self._table
+
+    @property
+    def num_records(self) -> int:
+        return self._table.num_records
+
+    def min_alpha(self, live_records: int) -> float:
+        """Smallest usable alpha: block size must fit in the aged data.
+
+        The paper requires ``n_np >= n**(1-alpha)``, i.e.
+        ``alpha >= 1 - log(n_np)/log(n)`` (clamped to [0, 1]).
+        """
+        if live_records < 2:
+            raise GuptError("live dataset must have at least 2 records")
+        alpha = 1.0 - np.log(self.num_records) / np.log(live_records)
+        return float(min(1.0, max(0.0, alpha)))
+
+    # ------------------------------------------------------------------
+    # Program evaluation on aged data
+    # ------------------------------------------------------------------
+    def full_output(self, program: Callable, output_dimension: int = 1) -> np.ndarray:
+        """``f(T_np)``: the program on the entire aged slice."""
+        key = id(program)
+        if key not in self._full_cache:
+            raw = program(self._table.values)
+            vector = np.asarray(raw, dtype=float).ravel()
+            if vector.size != output_dimension:
+                raise GuptError(
+                    f"program returned {vector.size} values, expected {output_dimension}"
+                )
+            self._full_cache[key] = vector
+        return self._full_cache[key]
+
+    def block_outputs(
+        self,
+        program: Callable,
+        block_size: int,
+        output_dimension: int = 1,
+    ) -> np.ndarray:
+        """Per-block outputs of the program at the candidate block size.
+
+        Blocks are disjoint (no resampling during estimation) and any
+        remainder records are dropped, matching the live partitioner.
+        """
+        block_size = int(block_size)
+        if block_size < 1:
+            raise GuptError(f"block size must be positive, got {block_size}")
+        if block_size > self.num_records:
+            raise GuptError(
+                f"block size {block_size} exceeds aged data size {self.num_records}"
+            )
+        key = (id(program), block_size)
+        if key not in self._block_cache:
+            order = self._rng.permutation(self.num_records)
+            num_blocks = self.num_records // block_size
+            rows = []
+            for b in range(num_blocks):
+                idx = order[b * block_size : (b + 1) * block_size]
+                raw = program(self._table.values[idx])
+                vector = np.asarray(raw, dtype=float).ravel()
+                if vector.size != output_dimension:
+                    raise GuptError(
+                        f"program returned {vector.size} values, expected "
+                        f"{output_dimension}"
+                    )
+                rows.append(vector)
+            self._block_cache[key] = np.vstack(rows)
+        return self._block_cache[key]
+
+    # ------------------------------------------------------------------
+    # The A and C terms of Equations (2) and (3)
+    # ------------------------------------------------------------------
+    def estimation_error(
+        self,
+        program: Callable,
+        block_size: int,
+        output_dimension: int = 1,
+    ) -> np.ndarray:
+        """Term A of Eq. (2): |mean of block outputs - f(T_np)| per dim."""
+        blocks = self.block_outputs(program, block_size, output_dimension)
+        reference = self.full_output(program, output_dimension)
+        return np.abs(blocks.mean(axis=0) - reference)
+
+    def estimation_variance(
+        self,
+        program: Callable,
+        block_size: int,
+        output_dimension: int = 1,
+    ) -> np.ndarray:
+        """Term C of Eq. (3): variance of the block-mean estimator per dim.
+
+        ``(1/l) * Var(block outputs)`` — the variance of an average of
+        ``l`` (approximately independent) block outputs.
+        """
+        blocks = self.block_outputs(program, block_size, output_dimension)
+        num_blocks = blocks.shape[0]
+        if num_blocks < 2:
+            # A single block gives no variance information; report zero
+            # so the caller degrades to noise-only calibration.
+            return np.zeros(blocks.shape[1])
+        return blocks.var(axis=0, ddof=1) / num_blocks

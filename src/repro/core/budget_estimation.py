@@ -1,0 +1,138 @@
+"""Translating an accuracy goal into a privacy budget (§5.1).
+
+Analysts think in accuracy ("within 10% of the truth, 90% of the time"),
+not in epsilons.  Given aged data, GUPT solves for the smallest epsilon
+that meets the goal:
+
+1. The goal "output within a factor rho of the truth with probability
+   1 - delta" is converted, via Chebyshev's inequality, into a permissible
+   output standard deviation ``sigma ~= sqrt(delta) * |1 - rho| * f(T_np)``
+   (the aged full-data output stands in for the truth).
+2. The output variance decomposes (Equation 3) into the estimation
+   variance ``C`` (measured on aged data at the chosen block size) plus
+   the Laplace noise variance ``D = 2 s^2 / (eps^2 * n^(2*alpha))``.
+3. Setting ``C + D = sigma^2`` and solving:
+   ``eps = sqrt(2) * s / (n**alpha * sqrt(sigma^2 - C))``.
+
+If ``C >= sigma^2`` the goal is unreachable at any epsilon (the sampling
+error alone already exceeds the allowance) and we raise
+:class:`AccuracyGoalInfeasible` rather than silently over-spending.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.aging import AgedData
+from repro.exceptions import AccuracyGoalInfeasible, GuptError
+
+
+@dataclass(frozen=True)
+class AccuracyGoal:
+    """"Within a factor ``rho`` of the truth with probability ``1 - delta``".
+
+    ``rho=0.9, delta=0.1`` reads: with probability 90%, the released value
+    is within 10% of the true answer — the paper's Figure 7 setting of
+    "90% result accuracy for 90% of the results".
+    """
+
+    rho: float
+    delta: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rho < 1.0:
+            raise GuptError(f"rho must be in (0, 1), got {self.rho}")
+        if not 0.0 < self.delta < 1.0:
+            raise GuptError(f"delta must be in (0, 1), got {self.delta}")
+
+    def permissible_std(self, reference_output: float) -> float:
+        """``sigma = sqrt(delta) * |1 - rho| * f(T_np)`` (paper, §5.1)."""
+        return float(np.sqrt(self.delta) * abs(1.0 - self.rho) * abs(reference_output))
+
+
+@dataclass(frozen=True)
+class EpsilonEstimate:
+    """The solved epsilon plus the quantities that produced it."""
+
+    epsilon: float
+    sigma: float
+    estimation_variance: float
+    noise_variance: float
+    block_size: int
+    alpha: float
+
+
+def estimate_epsilon(
+    goal: AccuracyGoal,
+    aged: AgedData,
+    program: Callable,
+    live_records: int,
+    sensitivity: float,
+    block_size: int,
+    output_dimension: int = 1,
+) -> EpsilonEstimate:
+    """Solve Equation (3) for the smallest epsilon meeting ``goal``.
+
+    Parameters
+    ----------
+    goal:
+        The analyst's accuracy requirement.
+    aged:
+        Privacy-expired data for measuring C and the reference output.
+    program:
+        The analyst program (black box).
+    live_records:
+        Size n of the live dataset.
+    sensitivity:
+        Output-range width s.
+    block_size:
+        The block size beta the live query will use.
+    output_dimension:
+        Scalar queries only make sense for accuracy goals expressed as a
+        relative factor; multi-output programs are scored on their first
+        dimension.
+    """
+    if live_records < 2:
+        raise GuptError("live dataset must have at least 2 records")
+    if block_size < 1 or block_size > aged.num_records:
+        raise GuptError(
+            f"block size {block_size} infeasible for aged size {aged.num_records}"
+        )
+    sensitivity = float(sensitivity)
+    if not np.isfinite(sensitivity) or sensitivity <= 0:
+        raise GuptError(f"sensitivity must be positive, got {sensitivity}")
+
+    reference = float(aged.full_output(program, output_dimension)[0])
+    sigma = goal.permissible_std(reference)
+    if sigma <= 0.0:
+        raise AccuracyGoalInfeasible(
+            "accuracy goal allows zero output deviation; no finite epsilon "
+            "can achieve it"
+        )
+
+    estimation_variance = float(
+        aged.estimation_variance(program, block_size, output_dimension)[0]
+    )
+    allowance = sigma**2 - estimation_variance
+    if allowance <= 0.0:
+        raise AccuracyGoalInfeasible(
+            f"estimation variance {estimation_variance:.6g} already exceeds "
+            f"the permissible output variance {sigma**2:.6g}; enlarge blocks "
+            "or relax the accuracy goal"
+        )
+
+    # alpha = log_n(n / beta), per the paper's constraint alpha = max(0, .)
+    alpha = max(0.0, float(np.log(live_records / block_size) / np.log(live_records)))
+    num_blocks = live_records**alpha
+    epsilon = float(np.sqrt(2.0) * sensitivity / (num_blocks * np.sqrt(allowance)))
+    return EpsilonEstimate(
+        epsilon=epsilon,
+        sigma=sigma,
+        estimation_variance=estimation_variance,
+        noise_variance=allowance,
+        block_size=int(block_size),
+        alpha=alpha,
+    )

@@ -1,0 +1,315 @@
+"""The GUPT runtime: the analyst-facing facade (Figure 2 of the paper).
+
+One call to :meth:`GuptRuntime.run` performs a complete private query:
+
+1. resolve the output dimension and block size (optionally optimized
+   from aged data, §4.3);
+2. resolve the privacy budget — either supplied directly or derived from
+   an accuracy goal (§5.1);
+3. atomically charge the dataset's budget *before* anything executes
+   (so an adversarial program can never spend budget behind the
+   manager's back);
+4. obtain output ranges via the chosen strategy (GUPT-tight / -loose /
+   -helper, §4.1), paying the Theorem-1 split;
+5. run sample-and-aggregate through isolation chambers and release the
+   noisy average.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.accounting.manager import DatasetManager, RegisteredDataset
+from repro.core.aging import AgedData
+from repro.core.block_size import BlockSizeSearch
+from repro.core.blocks import default_block_size
+from repro.core.budget_estimation import AccuracyGoal, estimate_epsilon
+from repro.core.range_estimation import (
+    HelperRange,
+    LooseOutputRange,
+    RangeContext,
+    RangeStrategy,
+    TightRange,
+)
+from repro.core.result import GuptResult
+from repro.core.sample_aggregate import SampleAggregateEngine, SampledBlocks
+from repro.core.user_level import grouped_plan
+from repro.exceptions import GuptError, InvalidPrivacyParameter
+from repro.mechanisms.rng import RandomSource, as_generator
+from repro.runtime.computation_manager import ComputationManager
+
+
+class GuptRuntime:
+    """Hosts private queries against datasets registered with a manager.
+
+    Parameters
+    ----------
+    dataset_manager:
+        The trusted registry holding data, budgets and ledgers.
+    computation_manager:
+        Executes analyst programs behind isolation chambers; defaults to
+        a serial in-process manager (see :mod:`repro.runtime`).
+    rng:
+        Seedable randomness for reproducible experiments.
+    """
+
+    def __init__(
+        self,
+        dataset_manager: DatasetManager,
+        computation_manager: ComputationManager | None = None,
+        rng: RandomSource = None,
+    ):
+        self._datasets = dataset_manager
+        self._computation = computation_manager or ComputationManager()
+        self._rng = as_generator(rng)
+
+    @property
+    def dataset_manager(self) -> DatasetManager:
+        return self._datasets
+
+    # ------------------------------------------------------------------
+    # The analyst entry point
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        dataset: str,
+        program: Callable,
+        range_strategy: RangeStrategy,
+        epsilon: float | None = None,
+        accuracy: AccuracyGoal | None = None,
+        output_dimension: int | None = None,
+        block_size: int | str | None = None,
+        resampling_factor: int = 1,
+        canonical_order: Callable[[np.ndarray], np.ndarray] | None = None,
+        query_name: str = "query",
+        group_by: str | int | None = None,
+    ) -> GuptResult:
+        """Run one private query and return a :class:`GuptResult`.
+
+        Parameters
+        ----------
+        dataset:
+            Name of a registered dataset.
+        program:
+            Black-box analyst program: callable from a block (2-D array)
+            to a scalar or fixed-length vector.  May carry an
+            ``output_dimension`` attribute; otherwise pass it explicitly.
+        range_strategy:
+            A :class:`TightRange`, :class:`LooseOutputRange` or
+            :class:`HelperRange`.
+        epsilon:
+            Privacy budget for this query.  Exactly one of ``epsilon``
+            and ``accuracy`` must be given.
+        accuracy:
+            An :class:`AccuracyGoal`; GUPT derives the minimal epsilon
+            from aged data (§5.1).  Requires the dataset to have aged
+            records.
+        block_size:
+            An int, ``None`` (paper default ``n**0.6``), or ``"auto"``
+            to optimize from aged data (§4.3).
+        resampling_factor:
+            gamma >= 1 (§4.2).
+        canonical_order:
+            Optional per-block output re-ordering hook (§8).
+        query_name:
+            Label recorded in the dataset's privacy ledger.
+        group_by:
+            Optional column (name or index) holding a user/group id.
+            When given, partitioning keeps every group's records in one
+            block, upgrading the guarantee to *user-level* privacy
+            (§8.1): adding or removing a whole user moves at most
+            ``resampling_factor`` block outputs.
+        """
+        registered = self._datasets.get(dataset)
+        values = registered.table.values
+        dimension = self._resolve_output_dimension(program, output_dimension)
+        sensitivity = self._declared_width(range_strategy, dimension)
+        beta = self._resolve_block_size(
+            registered, program, block_size, dimension, sensitivity, epsilon
+        )
+
+        epsilon_total, was_estimated = self._resolve_epsilon(
+            registered, program, range_strategy, epsilon, accuracy, beta,
+            dimension, sensitivity,
+        )
+        epsilon_range = range_strategy.budget_fraction * epsilon_total
+        epsilon_noise = epsilon_total - epsilon_range
+
+        # Charge before execution: if the budget cannot cover the query,
+        # the analyst program never runs (budget-attack defense).
+        registered.charge(epsilon_total, query_name)
+
+        engine = SampleAggregateEngine(self._computation, canonical_order)
+        plan = None
+        if group_by is not None:
+            labels = registered.table.column(group_by)
+            num_blocks = max(1, registered.table.num_records // beta)
+            plan = grouped_plan(
+                labels, num_blocks, resampling_factor=resampling_factor,
+                rng=self._rng,
+            )
+        sampled_holder: dict[str, SampledBlocks] = {}
+
+        def block_outputs_fn(fallback: np.ndarray) -> np.ndarray:
+            sampled = engine.sample(
+                values,
+                program,
+                dimension,
+                fallback,
+                block_size=beta,
+                resampling_factor=resampling_factor,
+                rng=self._rng,
+                plan=plan,
+            )
+            sampled_holder["sampled"] = sampled
+            return sampled.outputs
+
+        context = RangeContext(
+            input_values=values,
+            input_ranges=registered.table.input_ranges,
+            output_dimension=dimension,
+            block_outputs_fn=block_outputs_fn,
+        )
+        estimate = range_strategy.estimate(context, epsilon_range, rng=self._rng)
+
+        sampled = sampled_holder.get("sampled")
+        if sampled is None:
+            fallback = np.array([r.midpoint for r in estimate.ranges])
+            sampled = engine.sample(
+                values,
+                program,
+                dimension,
+                fallback,
+                block_size=beta,
+                resampling_factor=resampling_factor,
+                rng=self._rng,
+                plan=plan,
+            )
+        release = engine.aggregate(sampled, epsilon_noise, estimate.ranges, rng=self._rng)
+
+        return GuptResult(
+            value=release.value,
+            epsilon_total=epsilon_total,
+            epsilon_noise=epsilon_noise,
+            epsilon_range=estimate.epsilon_spent,
+            dataset=dataset,
+            query=query_name,
+            num_blocks=release.num_blocks,
+            block_size=release.block_size,
+            resampling_factor=release.resampling_factor,
+            output_ranges=release.output_ranges,
+            noise_scales=release.noise_scales,
+            failed_blocks=release.failed_blocks,
+            epsilon_was_estimated=was_estimated,
+        )
+
+    # ------------------------------------------------------------------
+    # Parameter resolution
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_output_dimension(program: Callable, explicit: int | None) -> int:
+        if explicit is not None:
+            if explicit < 1:
+                raise GuptError(f"output dimension must be >= 1, got {explicit}")
+            return int(explicit)
+        inferred = getattr(program, "output_dimension", None)
+        if inferred is None:
+            return 1
+        return int(inferred)
+
+    @staticmethod
+    def _declared_width(strategy: RangeStrategy, dimension: int) -> float | None:
+        """Max declared output width, used as the sensitivity proxy.
+
+        Tight and loose strategies declare ranges up front; the helper
+        strategy's ranges only exist after private estimation, so it
+        offers no a-priori width.
+        """
+        declared = getattr(strategy, "_ranges", None) or getattr(strategy, "_loose", None)
+        if declared is None:
+            return None
+        return max(r.width for r in declared)
+
+    def _resolve_block_size(
+        self,
+        registered: RegisteredDataset,
+        program: Callable,
+        block_size: int | str | None,
+        dimension: int,
+        sensitivity: float | None,
+        epsilon: float | None,
+    ) -> int:
+        n = registered.table.num_records
+        if block_size is None:
+            return default_block_size(n)
+        if isinstance(block_size, str):
+            if block_size != "auto":
+                raise GuptError(f"unknown block size mode {block_size!r}")
+            if registered.aged is None:
+                raise GuptError(
+                    "block_size='auto' needs aged data; register the dataset "
+                    "with aged_fraction or aged_table"
+                )
+            if sensitivity is None:
+                raise GuptError(
+                    "block_size='auto' needs a declared output range "
+                    "(GUPT-tight or GUPT-loose strategy)"
+                )
+            search = BlockSizeSearch(
+                AgedData(registered.aged, rng=self._rng),
+                live_records=n,
+                sensitivity=sensitivity,
+            )
+            search_epsilon = epsilon if epsilon is not None else 1.0
+            return search.search(program, search_epsilon, dimension).block_size
+        beta = int(block_size)
+        if beta < 1 or beta > n:
+            raise GuptError(f"block size {beta} infeasible for dataset of {n} records")
+        return beta
+
+    def _resolve_epsilon(
+        self,
+        registered: RegisteredDataset,
+        program: Callable,
+        strategy: RangeStrategy,
+        epsilon: float | None,
+        accuracy: AccuracyGoal | None,
+        block_size: int,
+        dimension: int,
+        sensitivity: float | None,
+    ) -> tuple[float, bool]:
+        if (epsilon is None) == (accuracy is None):
+            raise GuptError("pass exactly one of epsilon or accuracy")
+        if epsilon is not None:
+            epsilon = float(epsilon)
+            if not np.isfinite(epsilon) or epsilon <= 0:
+                raise InvalidPrivacyParameter(f"epsilon must be positive, got {epsilon}")
+            return epsilon, False
+
+        if registered.aged is None:
+            raise GuptError(
+                "accuracy goals need aged data; register the dataset with "
+                "aged_fraction or aged_table"
+            )
+        if sensitivity is None:
+            raise GuptError(
+                "accuracy goals need a declared output range "
+                "(GUPT-tight or GUPT-loose strategy)"
+            )
+        aged = AgedData(registered.aged, rng=self._rng)
+        estimate = estimate_epsilon(
+            goal=accuracy,
+            aged=aged,
+            program=program,
+            live_records=registered.table.num_records,
+            sensitivity=sensitivity,
+            block_size=min(block_size, aged.num_records),
+            output_dimension=dimension,
+        )
+        # The estimate covers the noisy average; gross it up so that the
+        # Theorem-1 range split still leaves enough for the noise.
+        fraction = strategy.budget_fraction
+        total = estimate.epsilon / (1.0 - fraction) if fraction < 1.0 else estimate.epsilon
+        return total, True

@@ -1,0 +1,222 @@
+"""Output-range estimation: GUPT-tight, GUPT-loose and GUPT-helper (§4.1).
+
+Algorithm 1 needs a clamping range for the program's outputs before it
+can calibrate noise.  The paper offers three ways to get one, each with
+its own privacy cost (Theorem 1):
+
+* **GUPT-tight** — the analyst supplies a tight output range.  Free; the
+  whole epsilon goes to the noisy average.
+* **GUPT-loose** — the analyst supplies only a loose output range.  GUPT
+  runs the program on every block and privately estimates the 25th/75th
+  output percentiles (epsilon/2), then runs the noisy average with the
+  other epsilon/2.
+* **GUPT-helper** — the analyst supplies a *range translation* function
+  from input ranges to an output range.  GUPT privately estimates the
+  25th/75th percentile of every input dimension (epsilon/2 across all k
+  dimensions) and translates; the noisy average gets epsilon/2.
+
+Each strategy returns the per-dimension output ranges plus the epsilon it
+consumed, so the runtime can charge the ledger correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.aggregation import OutputRange, ranges_from_pairs
+from repro.exceptions import InvalidRange
+from repro.mechanisms.percentile import dp_percentile_range
+from repro.mechanisms.rng import RandomSource, as_generator
+
+
+@dataclass(frozen=True)
+class RangeEstimate:
+    """Per-dimension output ranges plus the privacy cost of finding them."""
+
+    ranges: tuple[OutputRange, ...]
+    epsilon_spent: float
+
+
+class RangeStrategy(Protocol):
+    """Interface the runtime uses to obtain output ranges."""
+
+    #: Fraction of the query's epsilon reserved for range estimation
+    #: (0 for tight, 1/2 for loose and helper, per Theorem 1).
+    budget_fraction: float
+
+    def estimate(
+        self,
+        context: "RangeContext",
+        epsilon: float,
+        rng: RandomSource = None,
+    ) -> RangeEstimate:
+        """Produce output ranges, spending at most ``epsilon``."""
+        ...  # pragma: no cover - protocol declaration
+
+
+@dataclass(frozen=True)
+class RangeContext:
+    """What a strategy may look at while estimating ranges.
+
+    ``input_values`` are the sensitive records (used only through private
+    mechanisms); ``block_outputs_fn`` lazily computes the sensitive
+    per-block outputs for GUPT-loose; ``input_ranges`` are the data
+    owner's non-sensitive loose bounds.
+    """
+
+    input_values: np.ndarray
+    input_ranges: tuple[tuple[float, float] | None, ...]
+    output_dimension: int
+    block_outputs_fn: Callable[[np.ndarray], np.ndarray]
+
+
+class TightRange:
+    """GUPT-tight: analyst-declared ranges, zero privacy cost."""
+
+    budget_fraction = 0.0
+
+    def __init__(self, ranges):
+        self._ranges = tuple(ranges_from_pairs(ranges))
+
+    def estimate(
+        self,
+        context: RangeContext,
+        epsilon: float,
+        rng: RandomSource = None,
+    ) -> RangeEstimate:
+        if len(self._ranges) != context.output_dimension:
+            raise InvalidRange(
+                f"declared {len(self._ranges)} output ranges but program has "
+                f"{context.output_dimension} output dimensions"
+            )
+        return RangeEstimate(ranges=self._ranges, epsilon_spent=0.0)
+
+
+class LooseOutputRange:
+    """GUPT-loose: private percentiles of the block outputs.
+
+    Parameters
+    ----------
+    loose_ranges:
+        Non-sensitive loose bounds on each output dimension; the private
+        percentile estimator clamps block outputs against them.
+    lower_percentile / upper_percentile:
+        The inter-percentile range used as the clamping range; 25/75 in
+        the paper, widened when more data is available.
+    """
+
+    budget_fraction = 0.5
+
+    def __init__(
+        self,
+        loose_ranges,
+        lower_percentile: float = 25.0,
+        upper_percentile: float = 75.0,
+    ):
+        self._loose = tuple(ranges_from_pairs(loose_ranges))
+        self._lower = float(lower_percentile)
+        self._upper = float(upper_percentile)
+
+    def estimate(
+        self,
+        context: RangeContext,
+        epsilon: float,
+        rng: RandomSource = None,
+    ) -> RangeEstimate:
+        if len(self._loose) != context.output_dimension:
+            raise InvalidRange(
+                f"declared {len(self._loose)} loose ranges but program has "
+                f"{context.output_dimension} output dimensions"
+            )
+        generator = as_generator(rng)
+        fallback = np.array([r.midpoint for r in self._loose])
+        outputs = context.block_outputs_fn(fallback)
+        per_dim = epsilon / context.output_dimension
+        ranges = []
+        for dim, loose in enumerate(self._loose):
+            lo, hi = dp_percentile_range(
+                outputs[:, dim],
+                per_dim,
+                loose.lo,
+                loose.hi,
+                self._lower,
+                self._upper,
+                rng=generator,
+            )
+            ranges.append(OutputRange(lo, hi))
+        return RangeEstimate(ranges=tuple(ranges), epsilon_spent=epsilon)
+
+
+class HelperRange:
+    """GUPT-helper: private input percentiles + analyst range translation.
+
+    Parameters
+    ----------
+    translate:
+        Analyst function mapping a list of per-input-dimension ``(lo, hi)``
+        tight approximations to output ranges (a single pair or a list of
+        pairs, one per output dimension).
+    loose_input_ranges:
+        Optional override of the data owner's loose input bounds.
+    """
+
+    budget_fraction = 0.5
+
+    def __init__(
+        self,
+        translate: Callable[[list[tuple[float, float]]], Sequence],
+        loose_input_ranges=None,
+    ):
+        self._translate = translate
+        self._loose_inputs = (
+            None if loose_input_ranges is None else tuple(ranges_from_pairs(loose_input_ranges))
+        )
+
+    def estimate(
+        self,
+        context: RangeContext,
+        epsilon: float,
+        rng: RandomSource = None,
+    ) -> RangeEstimate:
+        generator = as_generator(rng)
+        values = context.input_values
+        num_inputs = values.shape[1]
+
+        if self._loose_inputs is not None:
+            loose = self._loose_inputs
+            if len(loose) != num_inputs:
+                raise InvalidRange(
+                    f"declared {len(loose)} loose input ranges but data has "
+                    f"{num_inputs} dimensions"
+                )
+        else:
+            missing = [i for i, r in enumerate(context.input_ranges) if r is None]
+            if missing:
+                raise InvalidRange(
+                    "GUPT-helper needs loose input ranges; dataset is missing "
+                    f"bounds for dimensions {missing}"
+                )
+            loose = tuple(OutputRange(lo, hi) for lo, hi in context.input_ranges)
+
+        per_dim = epsilon / num_inputs
+        tight_inputs: list[tuple[float, float]] = []
+        for dim in range(num_inputs):
+            lo, hi = dp_percentile_range(
+                values[:, dim],
+                per_dim,
+                loose[dim].lo,
+                loose[dim].hi,
+                rng=generator,
+            )
+            tight_inputs.append((lo, hi))
+
+        translated = ranges_from_pairs(self._translate(tight_inputs))
+        if len(translated) != context.output_dimension:
+            raise InvalidRange(
+                f"range translation produced {len(translated)} ranges but "
+                f"program has {context.output_dimension} output dimensions"
+            )
+        return RangeEstimate(ranges=tuple(translated), epsilon_spent=epsilon)

@@ -1,0 +1,90 @@
+"""The result object GUPT hands back to the analyst."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.aggregation import OutputRange
+
+
+@dataclass(frozen=True)
+class GuptResult:
+    """A differentially private answer plus its release metadata.
+
+    Everything on this object is safe to show the analyst: the value is
+    the noisy aggregate and the metadata (budgets, block geometry, noise
+    scales) is a function of public parameters, not of the data.
+
+    Attributes
+    ----------
+    value:
+        The private output vector (length = output dimension).
+    epsilon_total:
+        Budget charged against the dataset for this query.
+    epsilon_noise:
+        Portion spent on the noisy average.
+    epsilon_range:
+        Portion spent on private range estimation (0 for GUPT-tight).
+    dataset:
+        Name of the dataset queried.
+    query:
+        Analyst-supplied query label (for the ledger).
+    num_blocks, block_size, resampling_factor:
+        The sample-and-aggregate geometry used.
+    output_ranges:
+        The clamping ranges applied (declared or privately estimated —
+        already private either way).
+    noise_scales:
+        Laplace scale per output dimension.
+    failed_blocks:
+        How many blocks fell back to the constant (crash/timeout); a
+        high count signals the program misbehaves on small blocks.
+    epsilon_was_estimated:
+        True when the budget came from an accuracy goal (§5.1) rather
+        than being supplied directly.
+    """
+
+    value: np.ndarray
+    epsilon_total: float
+    epsilon_noise: float
+    epsilon_range: float
+    dataset: str
+    query: str
+    num_blocks: int
+    block_size: int
+    resampling_factor: int
+    output_ranges: tuple[OutputRange, ...]
+    noise_scales: np.ndarray = field(repr=False)
+    failed_blocks: int = 0
+    epsilon_was_estimated: bool = False
+
+    def scalar(self) -> float:
+        """The private value as a float (1-D outputs only)."""
+        if self.value.size != 1:
+            raise ValueError(f"output has {self.value.size} dimensions, not 1")
+        return float(self.value[0])
+
+    def reshape(self, *shape: int) -> np.ndarray:
+        """The private vector reshaped (e.g. back into k x d centers)."""
+        return self.value.reshape(*shape)
+
+    def noise_interval(
+        self, confidence: float = 0.95
+    ) -> list[tuple[float, float]]:
+        """Per-dimension interval covering the *noise* at the given level.
+
+        The Laplace CDF gives the exact half-width
+        ``-scale * ln(1 - confidence)``.  This quantifies only the
+        perturbation GUPT added — the estimation error of running on
+        blocks is a property of the analyst's program, not of the
+        release, and is not included.
+        """
+        if not 0.0 < confidence < 1.0:
+            raise ValueError("confidence must lie in (0, 1)")
+        half_widths = -self.noise_scales * np.log(1.0 - confidence)
+        return [
+            (float(v - h), float(v + h))
+            for v, h in zip(self.value, half_widths)
+        ]

@@ -1,0 +1,220 @@
+"""The sample-and-aggregate engine (Algorithm 1 + GUPT's extensions).
+
+The engine is two-phase, because GUPT-loose needs the block outputs
+*before* a clamping range exists (it estimates the range privately from
+those very outputs, §4.1):
+
+1. :meth:`SampleAggregateEngine.sample` — draw a block plan (optionally
+   gamma-resampled), run the analyst program on every block inside an
+   isolation chamber, and collect the ``(l, p)`` output matrix.
+2. :meth:`SampleAggregateEngine.aggregate` — clamp the matrix to the
+   output ranges, average, and add Laplace noise.
+
+:meth:`SampleAggregateEngine.run` chains both for callers that already
+know their output range (GUPT-tight / GUPT-helper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.aggregation import NoisyAverageAggregator, OutputRange
+from repro.core.blocks import BlockPlan
+from repro.mechanisms.rng import RandomSource, as_generator
+from repro.runtime.computation_manager import ComputationManager
+from repro.runtime.sandbox import AnalystProgram
+
+
+@dataclass(frozen=True)
+class SampledBlocks:
+    """Phase-1 product: the block plan and the per-block outputs.
+
+    ``outputs`` is **sensitive** (each row is a function of real records)
+    and must not leave the trusted platform; only the phase-2 noisy
+    aggregate is private to release.
+    """
+
+    plan: BlockPlan
+    outputs: np.ndarray
+    failed_blocks: int
+
+    @property
+    def num_blocks(self) -> int:
+        return self.plan.num_blocks
+
+    @property
+    def output_dimension(self) -> int:
+        return int(self.outputs.shape[1])
+
+
+@dataclass(frozen=True)
+class SampleAggregateResult:
+    """Everything one engine run releases, plus safe metadata.
+
+    ``value`` is the only data-derived field that is differentially
+    private to publish; ``block_outputs`` is retained for the trusted
+    platform's internal use (debugging, GUPT-loose percentiles).
+    """
+
+    value: np.ndarray
+    epsilon: float
+    num_blocks: int
+    block_size: int
+    resampling_factor: int
+    noise_scales: np.ndarray
+    output_ranges: tuple[OutputRange, ...]
+    failed_blocks: int
+    block_outputs: np.ndarray  # sensitive; internal use only
+
+    def scalar(self) -> float:
+        """The released value as a float (1-D outputs only)."""
+        if self.value.size != 1:
+            raise ValueError(f"output has {self.value.size} dimensions, not 1")
+        return float(self.value[0])
+
+
+class SampleAggregateEngine:
+    """Runs analyst programs under sample-and-aggregate.
+
+    Parameters
+    ----------
+    computation_manager:
+        Fans blocks out to isolation chambers; defaults to a serial
+        in-process manager.
+    canonical_order:
+        Optional hook applied to each successful block output before
+        aggregation.  Multi-output programs (e.g. k-means centers) may
+        emit the same values in different orders on different blocks;
+        the hook re-sorts each output into a canonical form (§8).
+    """
+
+    def __init__(
+        self,
+        computation_manager: ComputationManager | None = None,
+        canonical_order: Callable[[np.ndarray], np.ndarray] | None = None,
+    ):
+        self._manager = computation_manager or ComputationManager()
+        self._canonical_order = canonical_order
+
+    # ------------------------------------------------------------------
+    # Phase 1: sample
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        values: np.ndarray,
+        program: AnalystProgram,
+        output_dimension: int,
+        fallback: np.ndarray | Sequence[float],
+        block_size: int | None = None,
+        resampling_factor: int = 1,
+        rng: RandomSource = None,
+        plan: BlockPlan | None = None,
+    ) -> SampledBlocks:
+        """Partition the data and run the program on every block.
+
+        ``fallback`` is the constant substituted for a failed or killed
+        block; it must lie in the (loose) output range so the
+        substitution is data-independent and in-range.  A pre-drawn
+        ``plan`` (e.g. the user-level grouped plan of
+        :mod:`repro.core.user_level`) overrides the default record-level
+        partitioning.
+        """
+        values = self._as_matrix(values)
+        if plan is not None:
+            if plan.num_records != values.shape[0]:
+                raise ValueError(
+                    f"plan covers {plan.num_records} records but data has "
+                    f"{values.shape[0]}"
+                )
+        else:
+            plan = BlockPlan.draw(
+                num_records=values.shape[0],
+                block_size=block_size,
+                resampling_factor=resampling_factor,
+                rng=rng,
+            )
+        executions = self._manager.run_blocks(
+            program,
+            plan.materialize(values),
+            output_dimension,
+            np.asarray(fallback, dtype=float),
+        )
+        failed = sum(1 for e in executions if not e.succeeded)
+        rows = []
+        for execution in executions:
+            row = execution.output
+            if self._canonical_order is not None and execution.succeeded:
+                row = np.asarray(self._canonical_order(row), dtype=float).ravel()
+            rows.append(row)
+        return SampledBlocks(plan=plan, outputs=np.vstack(rows), failed_blocks=failed)
+
+    # ------------------------------------------------------------------
+    # Phase 2: aggregate
+    # ------------------------------------------------------------------
+    def aggregate(
+        self,
+        sampled: SampledBlocks,
+        epsilon: float,
+        output_ranges: Sequence[OutputRange] | OutputRange,
+        rng: RandomSource = None,
+    ) -> SampleAggregateResult:
+        """Clamp, average and perturb previously sampled block outputs."""
+        aggregator = NoisyAverageAggregator(output_ranges, epsilon)
+        release = aggregator.aggregate(
+            sampled.outputs,
+            blocks_per_record=sampled.plan.max_blocks_per_record,
+            rng=rng,
+        )
+        return SampleAggregateResult(
+            value=release.value,
+            epsilon=epsilon,
+            num_blocks=sampled.num_blocks,
+            block_size=sampled.plan.block_size,
+            resampling_factor=sampled.plan.resampling_factor,
+            noise_scales=release.noise_scales,
+            output_ranges=tuple(aggregator.ranges),
+            failed_blocks=sampled.failed_blocks,
+            block_outputs=sampled.outputs,
+        )
+
+    # ------------------------------------------------------------------
+    # One-shot convenience
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        values: np.ndarray,
+        program: AnalystProgram,
+        epsilon: float,
+        output_ranges: Sequence[OutputRange] | OutputRange,
+        block_size: int | None = None,
+        resampling_factor: int = 1,
+        rng: RandomSource = None,
+        plan: BlockPlan | None = None,
+    ) -> SampleAggregateResult:
+        """Algorithm 1 end-to-end for callers with a known output range."""
+        generator = as_generator(rng)
+        aggregator = NoisyAverageAggregator(output_ranges, epsilon)
+        fallback = np.array([r.midpoint for r in aggregator.ranges])
+        sampled = self.sample(
+            values,
+            program,
+            aggregator.output_dimension,
+            fallback,
+            block_size=block_size,
+            resampling_factor=resampling_factor,
+            rng=generator,
+            plan=plan,
+        )
+        return self.aggregate(sampled, epsilon, output_ranges, rng=generator)
+
+    @staticmethod
+    def _as_matrix(values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values, dtype=float)
+        if values.ndim == 1:
+            values = values.reshape(-1, 1)
+        if values.ndim != 2:
+            raise ValueError(f"dataset must be 1-D or 2-D, got shape {values.shape}")
+        return values

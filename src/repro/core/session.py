@@ -1,0 +1,131 @@
+"""Multi-query sessions with automatic budget distribution.
+
+§5.2's distributor computes *how much* epsilon each pending query
+should get; :class:`GuptSession` closes the loop: the analyst declares
+a workload of queries against one dataset plus a total budget for the
+batch, and the session allocates, runs and collects — with the
+noise-equalizing split applied automatically.  This is the "GUPT
+relieves the analyst from distributing the privacy budget between
+multiple data analytics programs" workflow of §3.1, as one object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.blocks import default_block_size
+from repro.core.budget_distribution import BudgetDistributor, QuerySpec
+from repro.core.gupt import GuptRuntime
+from repro.core.range_estimation import RangeStrategy
+from repro.core.result import GuptResult
+from repro.exceptions import GuptError
+
+
+@dataclass(frozen=True)
+class PlannedQuery:
+    """One declared query in the session's workload."""
+
+    name: str
+    program: Callable
+    range_strategy: RangeStrategy
+    output_dimension: int | None = None
+    block_size: int | None = None
+    resampling_factor: int = 1
+
+
+@dataclass
+class GuptSession:
+    """Declare-then-run batch of queries sharing one budget.
+
+    Parameters
+    ----------
+    runtime:
+        The runtime to execute against.
+    dataset:
+        Name of the registered dataset every query targets.
+    total_epsilon:
+        The batch's overall privacy budget; it is distributed across
+        the declared queries proportionally to their noise
+        coefficients (§5.2), so every query sees the same noise std.
+    """
+
+    runtime: GuptRuntime
+    dataset: str
+    total_epsilon: float
+    _queries: list[PlannedQuery] = field(default_factory=list, repr=False)
+
+    def add(
+        self,
+        name: str,
+        program: Callable,
+        range_strategy: RangeStrategy,
+        output_dimension: int | None = None,
+        block_size: int | None = None,
+        resampling_factor: int = 1,
+    ) -> "GuptSession":
+        """Declare a query; returns self for chaining."""
+        if any(q.name == name for q in self._queries):
+            raise GuptError(f"query {name!r} already declared in this session")
+        self._queries.append(
+            PlannedQuery(
+                name=name,
+                program=program,
+                range_strategy=range_strategy,
+                output_dimension=output_dimension,
+                block_size=block_size,
+                resampling_factor=resampling_factor,
+            )
+        )
+        return self
+
+    def plan(self) -> list[QuerySpec]:
+        """The noise-relevant shape of each declared query.
+
+        Strategies must declare an a-priori output width (GUPT-tight or
+        GUPT-loose); helper strategies have no width before their
+        private estimation, so they cannot participate in automatic
+        distribution.
+        """
+        if not self._queries:
+            raise GuptError("no queries declared")
+        registered = self.runtime.dataset_manager.get(self.dataset)
+        n = registered.table.num_records
+        specs = []
+        for query in self._queries:
+            declared = getattr(query.range_strategy, "_ranges", None) or getattr(
+                query.range_strategy, "_loose", None
+            )
+            if declared is None:
+                raise GuptError(
+                    f"query {query.name!r}: automatic distribution needs a "
+                    "declared output range (GUPT-tight or GUPT-loose)"
+                )
+            beta = query.block_size or default_block_size(n)
+            specs.append(
+                QuerySpec(
+                    name=query.name,
+                    output_width=max(r.width for r in declared),
+                    num_blocks=max(1, (n // beta) * query.resampling_factor),
+                    resampling_factor=query.resampling_factor,
+                )
+            )
+        return specs
+
+    def run(self) -> dict[str, GuptResult]:
+        """Allocate the budget and execute every declared query."""
+        specs = self.plan()
+        allocations = BudgetDistributor(self.total_epsilon).allocate(specs)
+        results: dict[str, GuptResult] = {}
+        for query, allocation in zip(self._queries, allocations):
+            results[query.name] = self.runtime.run(
+                self.dataset,
+                query.program,
+                query.range_strategy,
+                epsilon=allocation.epsilon,
+                output_dimension=query.output_dimension,
+                block_size=query.block_size,
+                resampling_factor=query.resampling_factor,
+                query_name=query.name,
+            )
+        return results

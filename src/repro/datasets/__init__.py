@@ -1,0 +1,25 @@
+"""Dataset abstractions and the synthetic stand-ins for the paper's data.
+
+The paper evaluates on three real datasets (komarix ds1.10 life sciences,
+UCI Adult census, UCI Internet Ads).  Those files are not available
+offline, so :mod:`repro.datasets.synthetic` generates seeded substitutes
+with the same sizes and the distributional properties each experiment
+depends on; DESIGN.md documents each substitution.
+"""
+
+from repro.datasets.table import DataTable
+from repro.datasets.loaders import load_csv, save_csv
+from repro.datasets.synthetic import (
+    census_adult,
+    internet_ads,
+    life_sciences,
+)
+
+__all__ = [
+    "DataTable",
+    "census_adult",
+    "internet_ads",
+    "life_sciences",
+    "load_csv",
+    "save_csv",
+]

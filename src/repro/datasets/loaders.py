@@ -1,0 +1,64 @@
+"""Loading and saving datasets as CSV.
+
+Real deployments receive owner data as delimited files; these helpers
+round-trip :class:`~repro.datasets.table.DataTable` through CSV with a
+header row, preserving column names.  Input ranges are not serialized
+(they are policy, not data) and must be re-declared on load.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.datasets.table import DataTable
+from repro.exceptions import DatasetError
+
+
+def save_csv(table: DataTable, path: str | Path) -> None:
+    """Write a table to ``path`` with a header row of column names."""
+    path = Path(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        writer.writerows(table.values.tolist())
+
+
+def load_csv(
+    path: str | Path,
+    input_ranges: Sequence[tuple[float, float] | None] | None = None,
+) -> DataTable:
+    """Read a header-row CSV of real values into a DataTable.
+
+    Raises :class:`DatasetError` for missing files, ragged rows or
+    non-numeric cells — data problems should fail loudly at the trust
+    boundary, not surface later as NaNs inside a private computation.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no such dataset file: {path}")
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DatasetError(f"{path} is empty") from None
+        rows = []
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise DatasetError(
+                    f"{path}:{line_number}: expected {len(header)} cells, "
+                    f"got {len(row)}"
+                )
+            try:
+                rows.append([float(cell) for cell in row])
+            except ValueError as exc:
+                raise DatasetError(f"{path}:{line_number}: {exc}") from None
+    if not rows:
+        raise DatasetError(f"{path} contains a header but no records")
+    return DataTable(np.array(rows), column_names=header, input_ranges=input_ranges)

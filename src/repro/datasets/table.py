@@ -1,0 +1,188 @@
+"""The multi-dimensional dataset abstraction GUPT computes over.
+
+The paper models a dataset as "a collection of real valued vectors"
+(§3.1).  :class:`DataTable` wraps a 2-D float array with optional column
+names and optional per-dimension *input ranges* supplied by the data
+owner.  Input ranges must be non-sensitive (e.g. annual income in
+[0, 500000]); they are what GUPT-helper clamps against before private
+percentile estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import DatasetError, InvalidRange
+from repro.mechanisms.rng import RandomSource, as_generator
+
+
+@dataclass(frozen=True)
+class DataTable:
+    """An immutable table of n records by k real-valued dimensions.
+
+    Parameters
+    ----------
+    values:
+        Array-like of shape ``(n, k)`` (a 1-D array is promoted to one
+        column).  Data is copied and made read-only.
+    column_names:
+        Optional names, length ``k``.
+    input_ranges:
+        Optional list of ``(lo, hi)`` per dimension; the data-owner's
+        non-sensitive bounds.  ``None`` entries mean "unknown".
+    """
+
+    values: np.ndarray
+    column_names: tuple[str, ...] = ()
+    input_ranges: tuple[tuple[float, float] | None, ...] = ()
+
+    def __init__(
+        self,
+        values,
+        column_names: Sequence[str] | None = None,
+        input_ranges: Sequence[tuple[float, float] | None] | None = None,
+    ):
+        array = np.asarray(values, dtype=float)
+        if array.ndim == 1:
+            array = array.reshape(-1, 1)
+        if array.ndim != 2:
+            raise DatasetError(f"dataset must be 1-D or 2-D, got shape {array.shape}")
+        if array.shape[0] == 0:
+            raise DatasetError("dataset must contain at least one record")
+        if not np.all(np.isfinite(array)):
+            raise DatasetError("dataset must not contain NaN or infinite values")
+        array = array.copy()
+        array.setflags(write=False)
+
+        k = array.shape[1]
+        if column_names is None:
+            names = tuple(f"dim{i}" for i in range(k))
+        else:
+            names = tuple(str(c) for c in column_names)
+            if len(names) != k:
+                raise DatasetError(
+                    f"expected {k} column names, got {len(names)}"
+                )
+
+        if input_ranges is None:
+            ranges: tuple[tuple[float, float] | None, ...] = (None,) * k
+        else:
+            if len(input_ranges) != k:
+                raise DatasetError(
+                    f"expected {k} input ranges, got {len(input_ranges)}"
+                )
+            checked: list[tuple[float, float] | None] = []
+            for bounds in input_ranges:
+                if bounds is None:
+                    checked.append(None)
+                    continue
+                lo, hi = float(bounds[0]), float(bounds[1])
+                if not (np.isfinite(lo) and np.isfinite(hi)) or lo > hi:
+                    raise InvalidRange(f"invalid input range {bounds}")
+                checked.append((lo, hi))
+            ranges = tuple(checked)
+
+        object.__setattr__(self, "values", array)
+        object.__setattr__(self, "column_names", names)
+        object.__setattr__(self, "input_ranges", ranges)
+
+    # ------------------------------------------------------------------
+    # Shape and access
+    # ------------------------------------------------------------------
+    @property
+    def num_records(self) -> int:
+        """Number of rows n."""
+        return int(self.values.shape[0])
+
+    @property
+    def num_dimensions(self) -> int:
+        """Number of columns k."""
+        return int(self.values.shape[1])
+
+    def __len__(self) -> int:
+        return self.num_records
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self.values)
+
+    def column(self, name_or_index: str | int) -> np.ndarray:
+        """A single dimension as a 1-D array."""
+        index = self._column_index(name_or_index)
+        return self.values[:, index]
+
+    def _column_index(self, name_or_index: str | int) -> int:
+        if isinstance(name_or_index, str):
+            try:
+                return self.column_names.index(name_or_index)
+            except ValueError:
+                raise DatasetError(
+                    f"unknown column {name_or_index!r}; have {self.column_names}"
+                ) from None
+        index = int(name_or_index)
+        if not -self.num_dimensions <= index < self.num_dimensions:
+            raise DatasetError(f"column index {index} out of range")
+        return index % self.num_dimensions
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def take(self, indices) -> "DataTable":
+        """New table containing the given row indices (order preserved)."""
+        rows = self.values[np.asarray(indices, dtype=int)]
+        return DataTable(rows, self.column_names, self.input_ranges)
+
+    def select_columns(self, names_or_indices: Sequence[str | int]) -> "DataTable":
+        """New table with only the named columns."""
+        idx = [self._column_index(c) for c in names_or_indices]
+        return DataTable(
+            self.values[:, idx],
+            [self.column_names[i] for i in idx],
+            [self.input_ranges[i] for i in idx],
+        )
+
+    def shuffled(self, rng: RandomSource = None) -> "DataTable":
+        """New table with rows in uniformly random order."""
+        generator = as_generator(rng)
+        permutation = generator.permutation(self.num_records)
+        return self.take(permutation)
+
+    def split(self, fraction: float, rng: RandomSource = None) -> tuple["DataTable", "DataTable"]:
+        """Randomly split into (first, second) with ``fraction`` in first.
+
+        Used by the aging model to carve out the privacy-expired slice.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        generator = as_generator(rng)
+        permutation = generator.permutation(self.num_records)
+        cut = max(1, min(self.num_records - 1, int(round(fraction * self.num_records))))
+        return self.take(permutation[:cut]), self.take(permutation[cut:])
+
+    def clamp(self, ranges: Sequence[tuple[float, float]]) -> "DataTable":
+        """New table with every dimension clipped to the given ranges."""
+        if len(ranges) != self.num_dimensions:
+            raise DatasetError(
+                f"expected {self.num_dimensions} ranges, got {len(ranges)}"
+            )
+        clipped = self.values.copy()
+        for dim, (lo, hi) in enumerate(ranges):
+            if lo > hi:
+                raise InvalidRange(f"invalid clamp range ({lo}, {hi})")
+            clipped[:, dim] = np.clip(clipped[:, dim], lo, hi)
+        return DataTable(clipped, self.column_names, self.input_ranges)
+
+    def observed_ranges(self) -> list[tuple[float, float]]:
+        """Exact per-dimension (min, max).
+
+        These are *sensitive* values — exposing them verbatim leaks the
+        extremes of individual records.  They exist for GUPT-tight
+        experiments (where the paper also uses exact attribute ranges)
+        and for test assertions, never as a default.
+        """
+        return [
+            (float(self.values[:, d].min()), float(self.values[:, d].max()))
+            for d in range(self.num_dimensions)
+        ]

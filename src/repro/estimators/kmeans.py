@@ -1,0 +1,142 @@
+"""Lloyd's k-means as a black-box analyst program.
+
+The paper's Figures 4-6 run "a standard k-means implementation from the
+scipy python package" under GUPT.  This module provides an equivalent
+self-contained Lloyd's-algorithm implementation (deterministic given its
+seed) whose program output is the flattened matrix of cluster centers,
+sorted by first coordinate so that different blocks emit the centers in
+a canonical order (§8, "Ordering of multiple outputs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def sort_centers(flat: np.ndarray, num_clusters: int, num_features: int) -> np.ndarray:
+    """Sort flattened centers by their first coordinate (canonical form)."""
+    centers = np.asarray(flat, dtype=float).reshape(num_clusters, num_features)
+    order = np.argsort(centers[:, 0], kind="stable")
+    return centers[order].ravel()
+
+
+def intra_cluster_variance(data: np.ndarray, centers: np.ndarray) -> float:
+    """The paper's ICV metric: (1/n) * sum of squared distances to the
+    nearest center (Figure 4's y-axis, before normalization)."""
+    data = np.asarray(data, dtype=float)
+    centers = np.asarray(centers, dtype=float)
+    if centers.ndim == 1:
+        centers = centers.reshape(1, -1)
+    distances = ((data[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+    return float(distances.min(axis=1).mean())
+
+
+@dataclass(frozen=True)
+class KMeans:
+    """Lloyd's algorithm; callable on a block, returns sorted flat centers.
+
+    Parameters
+    ----------
+    num_clusters:
+        k.
+    iterations:
+        Lloyd iteration *limit*.  Figures 5 and 6 sweep this: a
+        non-private or GUPT run is insensitive to overshooting it, while
+        PINQ must split its budget across iterations.
+    num_features:
+        Data dimensionality (needed to declare the output size).
+    seed:
+        Seed for the center initialization, fixed so that every block
+        starts from the same initial centers (blocks must estimate the
+        *same* statistic for averaging to make sense).
+    tol:
+        Early-stopping threshold on the centers' movement, like the
+        scipy implementation the paper ran: iteration stops when centers
+        move less than ``tol``.  Set to 0 to force exactly ``iterations``
+        rounds.
+    restarts:
+        Number of independent runs (differently seeded inits), keeping
+        the centers with the lowest intra-cluster variance.  This is
+        scipy's ``kmeans(obs, k, iter=N)`` semantics — its ``iter`` is a
+        restart count — which is what the paper's Figure 6 sweeps.  Each
+        restart runs to convergence; small blocks converge in far fewer
+        Lloyd rounds than the full dataset, which is why GUPT's
+        completion time grows slower than the non-private run's.
+    """
+
+    num_clusters: int
+    num_features: int
+    iterations: int = 20
+    seed: int = 0
+    tol: float = 1e-6
+    restarts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_clusters < 1:
+            raise ValueError("num_clusters must be >= 1")
+        if self.num_features < 1:
+            raise ValueError("num_features must be >= 1")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if self.restarts < 1:
+            raise ValueError("restarts must be >= 1")
+
+    @property
+    def output_dimension(self) -> int:
+        return self.num_clusters * self.num_features
+
+    def initial_centers(self, data: np.ndarray, seed: int | None = None) -> np.ndarray:
+        """Seeded initial centers: random rows of the block."""
+        generator = np.random.default_rng(self.seed if seed is None else seed)
+        indices = generator.choice(
+            data.shape[0], size=min(self.num_clusters, data.shape[0]), replace=False
+        )
+        centers = data[indices]
+        if centers.shape[0] < self.num_clusters:
+            # Tiny block: replicate rows so k centers always exist.
+            extra = self.num_clusters - centers.shape[0]
+            centers = np.vstack([centers, centers[:extra % centers.shape[0] + 1][:extra]])
+            while centers.shape[0] < self.num_clusters:
+                centers = np.vstack([centers, centers[: self.num_clusters - centers.shape[0]]])
+        return centers.astype(float)
+
+    def fit(self, data: np.ndarray) -> np.ndarray:
+        """Run Lloyd's (with restarts); returns (k, d) centers, unsorted."""
+        data = np.asarray(data, dtype=float)
+        if data.ndim == 1:
+            data = data.reshape(-1, 1)
+        if data.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected {self.num_features} features, got {data.shape[1]}"
+            )
+        best_centers = None
+        best_icv = np.inf
+        for restart in range(self.restarts):
+            centers = self._lloyd(data, seed=self.seed + restart)
+            icv = intra_cluster_variance(data, centers)
+            if icv < best_icv:
+                best_icv = icv
+                best_centers = centers
+        return best_centers
+
+    def _lloyd(self, data: np.ndarray, seed: int) -> np.ndarray:
+        centers = self.initial_centers(data, seed=seed)
+        for _ in range(self.iterations):
+            previous = centers.copy()
+            distances = ((data[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+            assignment = distances.argmin(axis=1)
+            for cluster in range(self.num_clusters):
+                members = data[assignment == cluster]
+                if members.shape[0] > 0:
+                    centers[cluster] = members.mean(axis=0)
+                # An empty cluster keeps its previous center: determinism
+                # matters more here than re-seeding heuristics.
+            if self.tol > 0 and float(np.abs(centers - previous).max()) < self.tol:
+                break
+        return centers
+
+    def __call__(self, block: np.ndarray) -> np.ndarray:
+        centers = self.fit(block)
+        return sort_centers(centers.ravel(), self.num_clusters, self.num_features)

@@ -1,0 +1,57 @@
+"""Ordinary least squares as a black-box analyst program.
+
+The paper's utility theorem covers "estimators for regression problems"
+(§3.2); OLS is the canonical approximately-normal one, so it doubles as
+a test vehicle for the utility guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearRegression:
+    """Ridge-stabilized OLS; callable on a block, returns [coef..., bias].
+
+    The block layout matches :class:`~repro.estimators.logistic_regression.
+    LogisticRegression`: features with the target in the last column.
+    """
+
+    num_features: int
+    ridge: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.num_features < 1:
+            raise ValueError("num_features must be >= 1")
+        if self.ridge < 0:
+            raise ValueError("ridge must be non-negative")
+
+    @property
+    def output_dimension(self) -> int:
+        return self.num_features + 1
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float).ravel()
+        if features.ndim != 2 or features.shape[1] != self.num_features:
+            raise ValueError(f"expected (n, {self.num_features}) features")
+        design = np.column_stack([features, np.ones(features.shape[0])])
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        return np.linalg.solve(gram, design.T @ targets)
+
+    def predict(self, weights: np.ndarray, features: np.ndarray) -> np.ndarray:
+        weights = np.asarray(weights, dtype=float).ravel()
+        features = np.asarray(features, dtype=float)
+        return features @ weights[:-1] + weights[-1]
+
+    def __call__(self, block: np.ndarray) -> np.ndarray:
+        block = np.asarray(block, dtype=float)
+        if block.ndim != 2 or block.shape[1] != self.num_features + 1:
+            raise ValueError(
+                f"expected a block of (n, {self.num_features + 1}) with the "
+                "target in the last column"
+            )
+        return self.fit(block[:, :-1], block[:, -1])

@@ -1,0 +1,126 @@
+"""L2-regularized logistic regression as a black-box analyst program.
+
+Stand-in for the MSR OWLQN package the paper runs under GUPT (Figure 3):
+a Newton-method trainer for the regularized logistic loss.  The program
+contract is the usual GUPT one — a block goes in (features with the
+label as the last column), a fixed-length weight vector comes out — and
+the private weight average is then evaluated on held-out data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mechanisms.rng import RandomSource, as_generator
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Clipping keeps exp() finite; beyond +-35 the sigmoid saturates anyway.
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+def train_test_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    test_fraction: float = 0.2,
+    rng: RandomSource = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into (train_x, train_y, test_x, test_y)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    features = np.asarray(features, dtype=float)
+    labels = np.asarray(labels)
+    if features.shape[0] != labels.shape[0]:
+        raise ValueError("features and labels must have the same length")
+    order = as_generator(rng).permutation(features.shape[0])
+    cut = int(round(features.shape[0] * (1.0 - test_fraction)))
+    train, test = order[:cut], order[cut:]
+    return features[train], labels[train], features[test], labels[test]
+
+
+def classification_accuracy(
+    weights: np.ndarray,
+    features: np.ndarray,
+    labels: np.ndarray,
+) -> float:
+    """Fraction of correct predictions of the linear classifier.
+
+    ``weights`` has length ``d + 1``: coefficients then intercept — the
+    layout :class:`LogisticRegression` emits.
+    """
+    weights = np.asarray(weights, dtype=float).ravel()
+    features = np.asarray(features, dtype=float)
+    coef, intercept = weights[:-1], weights[-1]
+    predictions = (features @ coef + intercept) > 0.0
+    return float(np.mean(predictions == (np.asarray(labels) > 0.5)))
+
+
+@dataclass(frozen=True)
+class LogisticRegression:
+    """Newton-method trainer; callable on a block, returns [coef..., bias].
+
+    Parameters
+    ----------
+    num_features:
+        Data dimensionality d (the block's label is its last column).
+    l2:
+        Ridge penalty; also keeps the Hessian invertible on tiny blocks.
+    iterations:
+        Newton steps (the loss is smooth and strongly convex, a handful
+        suffices).
+    """
+
+    num_features: int
+    l2: float = 1.0
+    iterations: int = 12
+
+    def __post_init__(self) -> None:
+        if self.num_features < 1:
+            raise ValueError("num_features must be >= 1")
+        if self.l2 <= 0:
+            raise ValueError("l2 must be positive (keeps the Hessian invertible)")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+
+    @property
+    def output_dimension(self) -> int:
+        return self.num_features + 1
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Train on explicit (features, labels); returns [coef..., bias]."""
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels, dtype=float).ravel()
+        if features.ndim != 2 or features.shape[1] != self.num_features:
+            raise ValueError(f"expected (n, {self.num_features}) features")
+        design = np.column_stack([features, np.ones(features.shape[0])])
+        dims = design.shape[1]
+        weights = np.zeros(dims)
+        # The intercept is not regularized: only the coefficient block of
+        # the penalty matrix is non-zero.
+        penalty = self.l2 * np.eye(dims)
+        penalty[-1, -1] = 0.0
+        for _ in range(self.iterations):
+            probabilities = _sigmoid(design @ weights)
+            gradient = design.T @ (probabilities - labels) + penalty @ weights
+            curvature = probabilities * (1.0 - probabilities)
+            hessian = (design * curvature[:, None]).T @ design + penalty
+            hessian += 1e-9 * np.eye(dims)
+            try:
+                step = np.linalg.solve(hessian, gradient)
+            except np.linalg.LinAlgError:
+                break
+            weights = weights - step
+            if np.max(np.abs(step)) < 1e-10:
+                break
+        return weights
+
+    def __call__(self, block: np.ndarray) -> np.ndarray:
+        block = np.asarray(block, dtype=float)
+        if block.ndim != 2 or block.shape[1] != self.num_features + 1:
+            raise ValueError(
+                f"expected a block of (n, {self.num_features + 1}) with the "
+                "label in the last column"
+            )
+        return self.fit(block[:, :-1], block[:, -1])

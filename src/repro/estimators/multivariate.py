@@ -1,0 +1,103 @@
+"""Multi-output analyst programs: histograms and covariance.
+
+Both are natural sample-and-aggregate citizens: each block emits a
+fixed-length vector (bucket fractions, or the upper triangle of a
+covariance matrix) and the block average estimates the population
+quantity.  They also exercise the multi-dimensional epsilon split of
+Theorem 1 more heavily than the scalar statistics do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Fraction of a column's records per bucket.
+
+    Parameters
+    ----------
+    edges:
+        Bucket edges (length b+1, increasing); values outside are
+        clipped into the first/last bucket so every record counts once.
+    column:
+        Which column to histogram.
+    """
+
+    edges: tuple[float, ...]
+    column: int = 0
+
+    def __post_init__(self) -> None:
+        edges = tuple(float(e) for e in self.edges)
+        if len(edges) < 2:
+            raise ValueError("need at least two bucket edges")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("bucket edges must be strictly increasing")
+        object.__setattr__(self, "edges", edges)
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self.edges) - 1
+
+    @property
+    def output_dimension(self) -> int:
+        return self.num_buckets
+
+    def __call__(self, block: np.ndarray) -> np.ndarray:
+        block = np.asarray(block, dtype=float)
+        column = block if block.ndim == 1 else block[:, self.column]
+        clipped = np.clip(column, self.edges[0], self.edges[-1])
+        counts, _ = np.histogram(clipped, bins=np.asarray(self.edges))
+        return counts / max(1, column.size)
+
+
+@dataclass(frozen=True)
+class Covariance:
+    """Upper triangle (with diagonal) of the feature covariance matrix.
+
+    Output layout: ``[cov(0,0), cov(0,1), ..., cov(0,d-1), cov(1,1), ...]``
+    — ``d*(d+1)/2`` values.  :meth:`unpack` restores the symmetric matrix.
+    """
+
+    num_features: int
+
+    def __post_init__(self) -> None:
+        if self.num_features < 1:
+            raise ValueError("num_features must be >= 1")
+
+    @property
+    def output_dimension(self) -> int:
+        d = self.num_features
+        return d * (d + 1) // 2
+
+    def __call__(self, block: np.ndarray) -> np.ndarray:
+        block = np.asarray(block, dtype=float)
+        if block.ndim == 1:
+            block = block.reshape(-1, 1)
+        if block.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected {self.num_features} features, got {block.shape[1]}"
+            )
+        if block.shape[0] < 2:
+            matrix = np.zeros((self.num_features, self.num_features))
+        else:
+            matrix = np.cov(block, rowvar=False, ddof=0)
+            matrix = np.atleast_2d(matrix)
+        i, j = np.triu_indices(self.num_features)
+        return matrix[i, j]
+
+    def unpack(self, flat: np.ndarray) -> np.ndarray:
+        """Rebuild the symmetric (d, d) matrix from the flat triangle."""
+        flat = np.asarray(flat, dtype=float).ravel()
+        if flat.size != self.output_dimension:
+            raise ValueError(
+                f"expected {self.output_dimension} values, got {flat.size}"
+            )
+        matrix = np.zeros((self.num_features, self.num_features))
+        i, j = np.triu_indices(self.num_features)
+        matrix[i, j] = flat
+        matrix[j, i] = flat
+        return matrix

@@ -1,0 +1,101 @@
+"""Simple statistical estimators as black-box analyst programs.
+
+These mirror the queries of the paper's §7.2 experiments (mean and
+median of a single column; variance for the Example-4 budget-distribution
+scenario).  Each program operates on whichever column it is configured
+with and ignores the rest of the block, so the same dataset can serve
+many queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _column(block: np.ndarray, index: int) -> np.ndarray:
+    block = np.asarray(block, dtype=float)
+    if block.ndim == 1:
+        return block
+    return block[:, index]
+
+
+@dataclass(frozen=True)
+class Mean:
+    """Arithmetic mean of one column."""
+
+    column: int = 0
+    output_dimension: int = 1
+
+    def __call__(self, block: np.ndarray) -> float:
+        return float(np.mean(_column(block, self.column)))
+
+
+@dataclass(frozen=True)
+class Median:
+    """Median of one column."""
+
+    column: int = 0
+    output_dimension: int = 1
+
+    def __call__(self, block: np.ndarray) -> float:
+        return float(np.median(_column(block, self.column)))
+
+
+@dataclass(frozen=True)
+class Quantile:
+    """q-th quantile (q in [0, 1]) of one column."""
+
+    q: float
+    column: int = 0
+    output_dimension: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {self.q}")
+
+    def __call__(self, block: np.ndarray) -> float:
+        return float(np.quantile(_column(block, self.column), self.q))
+
+
+@dataclass(frozen=True)
+class Variance:
+    """Population variance of one column (Example 4's second query)."""
+
+    column: int = 0
+    output_dimension: int = 1
+
+    def __call__(self, block: np.ndarray) -> float:
+        return float(np.var(_column(block, self.column)))
+
+
+@dataclass(frozen=True)
+class StandardDeviation:
+    """Population standard deviation of one column."""
+
+    column: int = 0
+    output_dimension: int = 1
+
+    def __call__(self, block: np.ndarray) -> float:
+        return float(np.std(_column(block, self.column)))
+
+
+@dataclass(frozen=True)
+class Count:
+    """Fraction of records whose column value satisfies a threshold.
+
+    The *fraction* (not the raw count) is the right shape for
+    sample-and-aggregate: block averages of fractions estimate the
+    population fraction regardless of block size.
+    """
+
+    threshold: float
+    column: int = 0
+    above: bool = True
+    output_dimension: int = 1
+
+    def __call__(self, block: np.ndarray) -> float:
+        column = _column(block, self.column)
+        hits = column > self.threshold if self.above else column <= self.threshold
+        return float(np.mean(hits))

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the GUPT reproduction.
+
+Every error raised by the library derives from :class:`GuptError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class GuptError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PrivacyBudgetExhausted(GuptError):
+    """Raised when a query requests more privacy budget than remains.
+
+    GUPT holds the budget ledger itself (never the untrusted analyst
+    program), which is what defeats the *privacy budget attack* of
+    Haeberlen et al.: an adversarial program cannot spend budget behind
+    the manager's back, it can only be refused.
+    """
+
+    def __init__(self, requested: float, remaining: float, dataset: str = ""):
+        self.requested = float(requested)
+        self.remaining = float(remaining)
+        self.dataset = dataset
+        where = f" on dataset {dataset!r}" if dataset else ""
+        super().__init__(
+            f"privacy budget exhausted{where}: requested epsilon="
+            f"{self.requested:.6g} but only {self.remaining:.6g} remains"
+        )
+
+
+class InvalidPrivacyParameter(GuptError):
+    """Raised for non-positive or non-finite privacy parameters."""
+
+
+class InvalidRange(GuptError):
+    """Raised when an output or input range is malformed (lo > hi, NaN...)."""
+
+
+class DatasetError(GuptError):
+    """Raised for dataset registration/lookup/shape problems."""
+
+
+class ComputationError(GuptError):
+    """Raised when an analyst program fails in a way GUPT cannot hide.
+
+    Note that *per-block* failures are absorbed by the runtime (the block
+    contributes a constant in-range value, exactly as the timing defense
+    prescribes); this exception is reserved for systemic misuse such as a
+    program whose output dimension disagrees with the declared one.
+    """
+
+
+class SandboxViolation(GuptError):
+    """Raised when an analyst program attempts a forbidden operation.
+
+    The isolated execution chamber simulates the AppArmor MAC policy from
+    the paper: no network, no IPC, writes confined to a scratch directory.
+    """
+
+
+class AccuracyGoalInfeasible(GuptError):
+    """Raised when no epsilon can meet a requested accuracy goal.
+
+    This happens when the estimation error measured on aged data already
+    exceeds the permissible output variance, so even an infinite privacy
+    budget (zero noise) could not reach the goal.
+    """

@@ -1,0 +1,12 @@
+"""Experiment drivers: one module per table/figure of the paper's §7.
+
+Every module exposes ``run(config) -> *Result`` where the result carries
+``rows()`` (list of dicts, one per plotted point) and ``format_table()``
+(text rendering of the figure's series).  ``python -m repro.experiments``
+runs them all; each has a fast default config and a ``paper()`` config
+at the paper's full scale.
+"""
+
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,5 @@
+"""``python -m repro.experiments`` — run the reproduction suite."""
+
+from repro.experiments.runner import main
+
+raise SystemExit(main())

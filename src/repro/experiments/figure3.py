@@ -1,0 +1,110 @@
+"""Figure 3: logistic-regression accuracy vs privacy budget.
+
+The paper classifies the life-sciences compounds with an off-the-shelf
+logistic-regression package under GUPT-tight, sweeping epsilon over
+[2, 10].  The non-private baseline reaches ~94%; GUPT lands at 75-80%,
+with most of the gap attributable to *estimation error* (the same
+trainer on a single n**0.6-sized block only reaches ~82%).  We reproduce
+all three series: baseline, GUPT-tight, and the single-block diagnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.nonprivate import run_nonprivate
+from repro.core.blocks import default_block_size
+from repro.core.range_estimation import TightRange
+from repro.core.sample_aggregate import SampleAggregateEngine
+from repro.datasets.synthetic import life_sciences
+from repro.estimators.logistic_regression import (
+    LogisticRegression,
+    classification_accuracy,
+    train_test_split,
+)
+from repro.experiments.config import Figure3Config
+from repro.experiments.reporting import format_table
+from repro.mechanisms.rng import as_generator
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    """Accuracy series for Figure 3."""
+
+    baseline_accuracy: float
+    single_block_accuracy: float
+    points: tuple[tuple[float, float], ...]  # (epsilon, gupt accuracy)
+
+    def rows(self) -> list[dict]:
+        return [
+            {"epsilon": eps, "gupt_accuracy": acc, "baseline": self.baseline_accuracy}
+            for eps, acc in self.points
+        ]
+
+    def format_table(self) -> str:
+        rows = [
+            [eps, acc, self.baseline_accuracy, self.single_block_accuracy]
+            for eps, acc in self.points
+        ]
+        return format_table(
+            "Figure 3: logistic regression accuracy vs privacy budget",
+            ["epsilon", "GUPT-tight", "non-private", "single-block"],
+            rows,
+        )
+
+
+def run(config: Figure3Config | None = None) -> Figure3Result:
+    config = config or Figure3Config()
+    generator = as_generator(config.seed)
+    dataset = life_sciences(
+        num_records=config.num_records,
+        num_features=config.num_features,
+        rng=config.seed,
+    )
+    train_x, train_y, test_x, test_y = train_test_split(
+        dataset.features.values,
+        dataset.labels,
+        test_fraction=config.test_fraction,
+        rng=generator,
+    )
+    packed = np.column_stack([train_x, train_y.astype(float)])
+    trainer = LogisticRegression(num_features=config.num_features)
+
+    baseline_weights = run_nonprivate(trainer, packed)
+    baseline = classification_accuracy(baseline_weights, test_x, test_y)
+
+    # The paper's diagnostic: the same trainer on one block of n**0.6
+    # records, showing where the private accuracy gap comes from.
+    block = packed[: default_block_size(packed.shape[0])]
+    single_block = classification_accuracy(run_nonprivate(trainer, block), test_x, test_y)
+
+    bound = config.weight_bound
+    ranges = [(-bound, bound)] * trainer.output_dimension
+    engine = SampleAggregateEngine()
+    strategy_ranges = TightRange(ranges)._ranges
+
+    points = []
+    for epsilon in config.epsilons:
+        accuracies = []
+        for _ in range(config.repeats):
+            release = engine.run(
+                packed,
+                trainer,
+                epsilon=epsilon,
+                output_ranges=strategy_ranges,
+                rng=generator,
+            )
+            accuracies.append(classification_accuracy(release.value, test_x, test_y))
+        points.append((float(epsilon), float(np.mean(accuracies))))
+
+    return Figure3Result(
+        baseline_accuracy=float(baseline),
+        single_block_accuracy=float(single_block),
+        points=tuple(points),
+    )
+
+
+def paper_config() -> Figure3Config:
+    return Figure3Config.paper()

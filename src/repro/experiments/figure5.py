@@ -1,0 +1,129 @@
+"""Figure 5: GUPT's perturbation is independent of iteration count; PINQ's isn't.
+
+PINQ programs must divide their budget across iterations decided ahead
+of time, so overshooting the iteration count (e.g. 200 when 20 suffice)
+shrinks each iteration's epsilon and degrades the clustering badly.
+GUPT perturbs only the final output, so its ICV stays flat in the
+iteration count.  The paper runs PINQ at epsilon in {2, 4} against GUPT
+at the *stricter* {1, 2}.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.pinq import pinq_kmeans
+from repro.core.sample_aggregate import SampleAggregateEngine
+from repro.datasets.synthetic import life_sciences
+from repro.estimators.kmeans import KMeans, intra_cluster_variance
+from repro.experiments.config import Figure5Config
+from repro.experiments.reporting import format_table
+from repro.mechanisms.rng import as_generator
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    """Normalized ICV per (system, epsilon, iteration count)."""
+
+    baseline_icv: float
+    series: dict[str, tuple[float, ...]]
+    iteration_counts: tuple[int, ...]
+
+    def rows(self) -> list[dict]:
+        out = []
+        for label, values in self.series.items():
+            for iterations, value in zip(self.iteration_counts, values):
+                out.append({"series": label, "iterations": iterations, "icv": value})
+        return out
+
+    def format_table(self) -> str:
+        headers = ["series"] + [f"iters={i}" for i in self.iteration_counts]
+        rows = [[label, *values] for label, values in self.series.items()]
+        return format_table(
+            "Figure 5: normalized ICV vs k-means iteration count"
+            " (1.0 = non-private baseline)",
+            headers,
+            rows,
+        )
+
+
+def run(config: Figure5Config | None = None) -> Figure5Result:
+    config = config or Figure5Config()
+    generator = as_generator(config.seed)
+    data = life_sciences(
+        num_records=config.num_records,
+        num_features=config.num_features,
+        num_clusters=config.num_clusters,
+        rng=config.seed,
+    ).features.values
+
+    reference = KMeans(
+        num_clusters=config.num_clusters,
+        num_features=config.num_features,
+        iterations=max(config.iteration_counts),
+    )
+    baseline_icv = intra_cluster_variance(data, reference.fit(data))
+
+    lo = float(data.min())
+    hi = float(data.max())
+    tight_ranges = [
+        (float(col_lo), float(col_hi))
+        for col_lo, col_hi in zip(data.min(axis=0), data.max(axis=0))
+    ] * config.num_clusters
+    lows = np.array([pair[0] for pair in tight_ranges])
+    highs = np.array([pair[1] for pair in tight_ranges])
+    engine = SampleAggregateEngine()
+
+    series: dict[str, list[float]] = {}
+    for epsilon in config.pinq_epsilons:
+        label = f"PINQ-tight eps={epsilon:g}"
+        series[label] = []
+        for iterations in config.iteration_counts:
+            values = []
+            for repeat in range(config.repeats):
+                result = pinq_kmeans(
+                    data,
+                    num_clusters=config.num_clusters,
+                    iterations=iterations,
+                    epsilon=epsilon,
+                    bounds=(lo, hi),
+                    rng=generator,
+                    init_seed=repeat,
+                )
+                values.append(intra_cluster_variance(data, result.centers))
+            series[label].append(float(np.mean(values) / baseline_icv))
+
+    for epsilon in config.gupt_epsilons:
+        label = f"GUPT-tight eps={epsilon:g}"
+        series[label] = []
+        for iterations in config.iteration_counts:
+            program = KMeans(
+                num_clusters=config.num_clusters,
+                num_features=config.num_features,
+                iterations=iterations,
+            )
+            values = []
+            for _ in range(config.repeats):
+                release = engine.run(
+                    data,
+                    program,
+                    epsilon=epsilon,
+                    output_ranges=tight_ranges,
+                    rng=generator,
+                )
+                private = np.clip(release.value, lows, highs)
+                centers = private.reshape(config.num_clusters, config.num_features)
+                values.append(intra_cluster_variance(data, centers))
+            series[label].append(float(np.mean(values) / baseline_icv))
+
+    return Figure5Result(
+        baseline_icv=float(baseline_icv),
+        series={k: tuple(v) for k, v in series.items()},
+        iteration_counts=config.iteration_counts,
+    )
+
+
+def paper_config() -> Figure5Config:
+    return Figure5Config.paper()

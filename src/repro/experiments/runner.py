@@ -1,0 +1,60 @@
+"""Registry and CLI for the experiment suite.
+
+``python -m repro.experiments`` runs every experiment with its quick
+config and prints the text tables; ``--paper`` uses the paper-scale
+configs; a list of experiment ids restricts the run.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+#: experiment id -> (module path, paper-config factory path or None)
+EXPERIMENTS: dict[str, str] = {
+    "figure3": "repro.experiments.figure3",
+    "figure4": "repro.experiments.figure4",
+    "figure5": "repro.experiments.figure5",
+    "figure6": "repro.experiments.figure6",
+    "figure7": "repro.experiments.figure7",
+    "figure8": "repro.experiments.figure8",
+    "figure9": "repro.experiments.figure9",
+    "table1": "repro.experiments.table1",
+    "sandbox_overhead": "repro.experiments.sandbox_overhead",
+    "ablations": "repro.experiments.ablations",
+}
+
+
+def run_experiment(name: str, paper_scale: bool = False):
+    """Run one experiment by id and return its result object."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; have {sorted(EXPERIMENTS)}")
+    module = importlib.import_module(EXPERIMENTS[name])
+    config = None
+    if paper_scale:
+        config_type = module.run.__annotations__.get("config")
+        paper_factory = getattr(module, "paper_config", None)
+        if paper_factory is not None:
+            config = paper_factory()
+        elif config_type is not None:  # pragma: no cover - fallback path
+            config = None
+    return module.run(config)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Run GUPT reproduction experiments")
+    parser.add_argument("names", nargs="*", default=[], help="experiment ids (default: all)")
+    parser.add_argument("--paper", action="store_true", help="use paper-scale configs")
+    args = parser.parse_args(argv)
+
+    names = args.names or list(EXPERIMENTS)
+    for name in names:
+        result = run_experiment(name, paper_scale=args.paper)
+        print(result.format_table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Differentially private primitive mechanisms.
+
+These are the substrate GUPT's sample-and-aggregate core is built on:
+
+* :mod:`repro.mechanisms.rng` — seeded randomness plumbing.
+* :mod:`repro.mechanisms.laplace` — the Laplace mechanism of Dwork et al.
+* :mod:`repro.mechanisms.exponential` — the exponential mechanism of
+  McSherry and Talwar.
+* :mod:`repro.mechanisms.percentile` — Smith's differentially private
+  percentile estimator used by GUPT-loose and GUPT-helper.
+* :mod:`repro.mechanisms.composition` — sequential/parallel composition
+  accounting helpers.
+"""
+
+from repro.mechanisms.laplace import LaplaceMechanism, laplace_noise
+from repro.mechanisms.exponential import ExponentialMechanism
+from repro.mechanisms.percentile import dp_percentile, dp_percentile_range
+from repro.mechanisms.composition import (
+    parallel_composition,
+    sequential_composition,
+)
+from repro.mechanisms.rng import RandomSource, as_generator
+
+__all__ = [
+    "ExponentialMechanism",
+    "LaplaceMechanism",
+    "RandomSource",
+    "as_generator",
+    "dp_percentile",
+    "dp_percentile_range",
+    "laplace_noise",
+    "parallel_composition",
+    "sequential_composition",
+]

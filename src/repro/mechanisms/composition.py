@@ -1,0 +1,76 @@
+"""Composition accounting for differential privacy.
+
+The composition lemma of Dwork et al. (used in §3.1 of the paper) states
+that running mechanisms A_1..A_k with budgets eps_1..eps_k on the same
+dataset is (sum eps_i)-differentially private; running them on *disjoint*
+partitions of the data costs only max(eps_i).  These helpers keep that
+arithmetic in one audited place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.exceptions import InvalidPrivacyParameter
+
+
+def _validated(epsilons: Iterable[float]) -> list[float]:
+    values = [float(e) for e in epsilons]
+    for eps in values:
+        if not np.isfinite(eps) or eps < 0.0:
+            raise InvalidPrivacyParameter(
+                f"composition requires non-negative finite epsilons, got {eps}"
+            )
+    return values
+
+
+def sequential_composition(epsilons: Iterable[float]) -> float:
+    """Total budget of mechanisms run on the *same* data: sum of epsilons."""
+    return float(sum(_validated(epsilons)))
+
+
+def parallel_composition(epsilons: Iterable[float]) -> float:
+    """Total budget of mechanisms run on *disjoint* partitions: max epsilon.
+
+    PINQ's ``Partition`` operator relies on this; GUPT's block structure is
+    the same idea (one record influences one block, absent resampling).
+    """
+    values = _validated(epsilons)
+    if not values:
+        return 0.0
+    return float(max(values))
+
+
+def split_evenly(epsilon: float, parts: int) -> list[float]:
+    """Split a budget into ``parts`` equal shares (sequential composition)."""
+    if parts <= 0:
+        raise ValueError("parts must be a positive integer")
+    if not np.isfinite(epsilon) or epsilon <= 0.0:
+        raise InvalidPrivacyParameter(f"epsilon must be positive, got {epsilon}")
+    share = epsilon / parts
+    return [share] * parts
+
+
+def split_proportionally(epsilon: float, weights: Iterable[float]) -> list[float]:
+    """Split a budget proportionally to non-negative ``weights``.
+
+    This is the primitive behind GUPT's automatic budget distribution
+    (§5.2): weights are per-query noise-scale coefficients, so equalizing
+    shares-per-weight equalizes the Laplace noise across queries.
+    """
+    if not np.isfinite(epsilon) or epsilon <= 0.0:
+        raise InvalidPrivacyParameter(f"epsilon must be positive, got {epsilon}")
+    w = [float(x) for x in weights]
+    if not w:
+        raise ValueError("weights must be non-empty")
+    if any(not np.isfinite(x) or x < 0.0 for x in w):
+        raise ValueError("weights must be non-negative and finite")
+    total = sum(w)
+    if total == 0.0:
+        # Degenerate all-zero weights: fall back to an even split.
+        return split_evenly(epsilon, len(w))
+    # Normalize before scaling: x/total stays exact even for denormal
+    # weights, where epsilon*x would underflow.
+    return [epsilon * (x / total) for x in w]

@@ -1,0 +1,99 @@
+"""The exponential mechanism (McSherry and Talwar, FOCS 2007).
+
+Selects a candidate ``r`` from a finite set with probability proportional
+to ``exp(epsilon * u(r) / (2 * delta_u))`` where ``u`` is a utility score
+with sensitivity ``delta_u``.  GUPT uses it (via the percentile module)
+to privately pick order statistics; the PINQ baseline also exposes it as
+a query primitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidPrivacyParameter
+from repro.mechanisms.rng import RandomSource, as_generator
+
+
+@dataclass(frozen=True)
+class ExponentialMechanism:
+    """Private selection from scored candidates.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget consumed by one selection.
+    utility_sensitivity:
+        Maximum change of any candidate's utility when one input record
+        changes (``delta_u``).
+    """
+
+    epsilon: float
+    utility_sensitivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.epsilon) or self.epsilon <= 0.0:
+            raise InvalidPrivacyParameter(
+                f"epsilon must be positive and finite, got {self.epsilon}"
+            )
+        if not np.isfinite(self.utility_sensitivity) or self.utility_sensitivity <= 0.0:
+            raise InvalidPrivacyParameter(
+                "utility sensitivity must be positive and finite, got "
+                f"{self.utility_sensitivity}"
+            )
+
+    def probabilities(
+        self,
+        utilities: Sequence[float],
+        weights: Sequence[float] | None = None,
+    ) -> np.ndarray:
+        """Selection distribution over candidates.
+
+        ``weights`` (e.g. interval lengths when candidates are continuous
+        ranges) multiply the exponential scores.  Scores are shifted by the
+        max utility before exponentiation for numerical stability.
+        """
+        scores = np.asarray(utilities, dtype=float)
+        if scores.ndim != 1 or scores.size == 0:
+            raise ValueError("utilities must be a non-empty 1-D sequence")
+        exponent = self.epsilon * (scores - scores.max()) / (2.0 * self.utility_sensitivity)
+        raw = np.exp(exponent)
+        if weights is not None:
+            w = np.asarray(weights, dtype=float)
+            if w.shape != scores.shape:
+                raise ValueError("weights must match utilities in shape")
+            if np.any(w < 0):
+                raise ValueError("weights must be non-negative")
+            raw = raw * w
+        total = raw.sum()
+        if total <= 0.0 or not np.isfinite(total):
+            # All weights zero (or underflow): fall back to uniform over
+            # the maximal-utility candidates, which is the epsilon->inf limit.
+            best = scores == scores.max()
+            return best.astype(float) / best.sum()
+        return raw / total
+
+    def select_index(
+        self,
+        utilities: Sequence[float],
+        weights: Sequence[float] | None = None,
+        rng: RandomSource = None,
+    ) -> int:
+        """Sample a candidate index from the private selection distribution."""
+        probs = self.probabilities(utilities, weights)
+        return int(as_generator(rng).choice(len(probs), p=probs))
+
+    def select(
+        self,
+        candidates: Sequence,
+        utilities: Sequence[float],
+        weights: Sequence[float] | None = None,
+        rng: RandomSource = None,
+    ):
+        """Sample and return the chosen candidate object."""
+        if len(candidates) != len(utilities):
+            raise ValueError("candidates and utilities must have equal length")
+        return candidates[self.select_index(utilities, weights, rng)]

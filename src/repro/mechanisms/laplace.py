@@ -1,0 +1,102 @@
+"""The Laplace mechanism (Dwork, McSherry, Nissim, Smith, TCC 2006).
+
+For a function ``f`` with L1 sensitivity ``s``, releasing
+``f(T) + Lap(s / epsilon)`` is epsilon-differentially private.  GUPT's
+aggregation step (Algorithm 1, line 8) is exactly this mechanism applied
+to the average of per-block outputs, whose sensitivity is
+``(max - min) / num_blocks`` because one record can change only one block
+(or ``gamma`` blocks under resampling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import InvalidPrivacyParameter
+from repro.mechanisms.rng import RandomSource, as_generator
+
+
+def _check_epsilon(epsilon: float) -> float:
+    epsilon = float(epsilon)
+    if not np.isfinite(epsilon) or epsilon <= 0.0:
+        raise InvalidPrivacyParameter(f"epsilon must be positive and finite, got {epsilon}")
+    return epsilon
+
+
+def _check_sensitivity(sensitivity: float) -> float:
+    sensitivity = float(sensitivity)
+    if not np.isfinite(sensitivity) or sensitivity < 0.0:
+        raise InvalidPrivacyParameter(
+            f"sensitivity must be non-negative and finite, got {sensitivity}"
+        )
+    return sensitivity
+
+
+def laplace_noise(
+    scale: float,
+    size: int | tuple[int, ...] | None = None,
+    rng: RandomSource = None,
+) -> np.ndarray | float:
+    """Draw Laplace noise with the given scale ``b`` (std = sqrt(2)*b).
+
+    A zero scale returns exact zeros, which lets callers express the
+    "no noise" limit (epsilon -> infinity) without special cases.
+    """
+    scale = float(scale)
+    if scale < 0.0 or not np.isfinite(scale):
+        raise InvalidPrivacyParameter(f"Laplace scale must be non-negative, got {scale}")
+    if scale == 0.0:
+        return 0.0 if size is None else np.zeros(size)
+    return as_generator(rng).laplace(loc=0.0, scale=scale, size=size)
+
+
+@dataclass(frozen=True)
+class LaplaceMechanism:
+    """Releases a value with Laplace noise calibrated to sensitivity/epsilon.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget consumed by one invocation.
+    sensitivity:
+        L1 sensitivity of the statistic being released.
+    """
+
+    epsilon: float
+    sensitivity: float
+
+    def __post_init__(self) -> None:
+        _check_epsilon(self.epsilon)
+        _check_sensitivity(self.sensitivity)
+
+    @property
+    def scale(self) -> float:
+        """Noise scale ``b = sensitivity / epsilon``."""
+        return self.sensitivity / self.epsilon
+
+    @property
+    def noise_std(self) -> float:
+        """Standard deviation of the added noise, ``sqrt(2) * scale``."""
+        return float(np.sqrt(2.0) * self.scale)
+
+    def release(self, value: float | np.ndarray, rng: RandomSource = None) -> np.ndarray | float:
+        """Return ``value`` perturbed with Lap(scale) noise, elementwise."""
+        value = np.asarray(value, dtype=float)
+        noisy = value + laplace_noise(self.scale, size=value.shape, rng=rng)
+        if noisy.ndim == 0:
+            return float(noisy)
+        return noisy
+
+    def interval(self, value: float, confidence: float = 0.95) -> tuple[float, float]:
+        """Two-sided confidence interval for a released scalar.
+
+        The Laplace CDF gives ``P(|noise| <= t) = 1 - exp(-t / scale)``,
+        so the half-width at the requested confidence is
+        ``-scale * ln(1 - confidence)``.
+        """
+        if not 0.0 < confidence < 1.0:
+            raise ValueError("confidence must lie in (0, 1)")
+        half_width = -self.scale * float(np.log(1.0 - confidence))
+        return (value - half_width, value + half_width)

@@ -1,0 +1,119 @@
+"""Differentially private percentile estimation (Smith, STOC 2011).
+
+GUPT needs private quantiles in two places (§4.1 of the paper):
+
+* **GUPT-loose** runs the analyst program on every block and privately
+  computes the 25th/75th percentiles of the *outputs* to use as the
+  clamping range.
+* **GUPT-helper** privately computes the 25th/75th percentiles of the
+  *inputs* (given only a loose input range) and feeds them through an
+  analyst-supplied range-translation function.
+
+The estimator is the classic exponential-mechanism-over-order-statistics
+construction: clamp the data to a loose range ``[lo, hi]``, sort it, and
+treat each gap between consecutive order statistics as a candidate
+interval scored by how close its rank is to the target rank.  Sampling an
+interval with probability proportional to
+``length * exp(-epsilon * |rank - target| / 2)`` and then a uniform point
+inside it is epsilon-differentially private, because moving one record
+shifts every rank by at most one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidPrivacyParameter, InvalidRange
+from repro.mechanisms.exponential import ExponentialMechanism
+from repro.mechanisms.rng import RandomSource, as_generator
+
+
+def _validate_bounds(lo: float, hi: float) -> tuple[float, float]:
+    lo, hi = float(lo), float(hi)
+    if not (np.isfinite(lo) and np.isfinite(hi)):
+        raise InvalidRange(f"percentile bounds must be finite, got [{lo}, {hi}]")
+    if lo > hi:
+        raise InvalidRange(f"percentile lower bound {lo} exceeds upper bound {hi}")
+    return lo, hi
+
+
+def dp_percentile(
+    values,
+    percentile: float,
+    epsilon: float,
+    lo: float,
+    hi: float,
+    rng: RandomSource = None,
+) -> float:
+    """Return a private estimate of the ``percentile``-th percentile.
+
+    Parameters
+    ----------
+    values:
+        1-D collection of real values.  They are clamped to ``[lo, hi]``
+        before estimation (clamping is what bounds the sensitivity).
+    percentile:
+        Target percentile in [0, 100].
+    epsilon:
+        Privacy budget for this single estimate.
+    lo, hi:
+        A loose, non-sensitive range for the data.
+    """
+    if not 0.0 <= percentile <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {percentile}")
+    if not np.isfinite(epsilon) or epsilon <= 0.0:
+        raise InvalidPrivacyParameter(f"epsilon must be positive, got {epsilon}")
+    lo, hi = _validate_bounds(lo, hi)
+
+    data = np.asarray(values, dtype=float).ravel()
+    if data.size == 0:
+        # No data: the only non-leaking answer is a uniform draw from the
+        # public range.
+        return float(as_generator(rng).uniform(lo, hi))
+    if lo == hi:
+        return lo
+
+    clamped = np.clip(data, lo, hi)
+    order = np.sort(clamped)
+    # Candidate intervals z_0=lo <= z_1 <= ... <= z_n <= z_{n+1}=hi; interval
+    # i spans [edges[i], edges[i+1]) and contains points of rank i.
+    edges = np.concatenate(([lo], order, [hi]))
+    n = order.size
+    target_rank = percentile / 100.0 * n
+    ranks = np.arange(n + 1, dtype=float)
+    utilities = -np.abs(ranks - target_rank)
+    lengths = np.diff(edges)
+
+    mech = ExponentialMechanism(epsilon=epsilon, utility_sensitivity=1.0)
+    generator = as_generator(rng)
+    index = mech.select_index(utilities, weights=lengths, rng=generator)
+    left, right = edges[index], edges[index + 1]
+    if left == right:
+        return float(left)
+    return float(generator.uniform(left, right))
+
+
+def dp_percentile_range(
+    values,
+    epsilon: float,
+    lo: float,
+    hi: float,
+    lower_percentile: float = 25.0,
+    upper_percentile: float = 75.0,
+    rng: RandomSource = None,
+) -> tuple[float, float]:
+    """Private (lower, upper) percentile pair with budget split evenly.
+
+    This is the 25th/75th interquartile estimate GUPT uses as a "tight"
+    range approximation; the total privacy cost is ``epsilon``.  The pair
+    is re-ordered if noise flips it, so the result is always a valid range.
+    """
+    if lower_percentile > upper_percentile:
+        raise ValueError("lower_percentile must not exceed upper_percentile")
+    generator = as_generator(rng)
+    half = epsilon / 2.0
+    low = dp_percentile(values, lower_percentile, half, lo, hi, rng=generator)
+    high = dp_percentile(values, upper_percentile, half, lo, hi, rng=generator)
+    if low > high:
+        low, high = high, low
+    return low, high

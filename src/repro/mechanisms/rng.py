@@ -1,0 +1,47 @@
+"""Seeded randomness plumbing.
+
+Every randomized component in the library accepts an optional ``rng``
+argument.  Accepting ``None`` (fresh entropy), an integer seed, or an
+existing :class:`numpy.random.Generator` keeps experiments reproducible
+without threading a generator through every call site by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RandomSource = Union[None, int, np.random.Generator]
+
+
+def as_generator(rng: RandomSource = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    ``None`` draws a fresh OS-entropy generator, an ``int`` seeds a new
+    PCG64 generator, and an existing generator is passed through so that
+    callers can share one stream across components.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot build a random generator from {type(rng).__name__}")
+
+
+def spawn(rng: RandomSource, count: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``count`` independent child generators.
+
+    Used when fanning computation out across blocks or worker processes so
+    each worker gets a deterministic, non-overlapping stream.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    parent = as_generator(rng)
+    seeds = parent.bit_generator._seed_seq  # type: ignore[attr-defined]
+    if seeds is None:
+        # Generator built without a SeedSequence: derive children by jumping.
+        return [np.random.default_rng(parent.integers(0, 2**63)) for _ in range(count)]
+    return [np.random.default_rng(child) for child in seeds.spawn(count)]

@@ -1,0 +1,40 @@
+"""GUPT's execution substrate: chambers, policy and the computation manager.
+
+The paper runs every analyst program inside an *isolated execution
+chamber* confined by an AppArmor MAC profile, with a server/client split
+of the computation manager (§6).  This package reproduces that substrate
+with two chamber implementations:
+
+* :class:`~repro.runtime.sandbox.SubprocessChamber` — real OS-process
+  isolation (fresh interpreter state, scratch directory, kill-on-timeout).
+* :class:`~repro.runtime.sandbox.InProcessChamber` — the same semantics
+  (fresh program instance, output-only channel, cycle budget, constant
+  fallback) enforced in-process for speed; used by the experiments.
+"""
+
+from repro.runtime.policy import MACPolicy
+from repro.runtime.sandbox import (
+    BlockExecution,
+    ExecutionChamber,
+    InProcessChamber,
+    SubprocessChamber,
+)
+from repro.runtime.timing import TimingDefense
+from repro.runtime.computation_manager import ComputationManager
+from repro.runtime.marshal import ExternalProgram
+
+# The hosted service layer (repro.runtime.service) sits ABOVE the core
+# runtime — it wraps GuptRuntime — so it is imported by its full module
+# path rather than re-exported here, which would create an import cycle
+# (runtime -> service -> core -> runtime).
+
+__all__ = [
+    "BlockExecution",
+    "ComputationManager",
+    "ExecutionChamber",
+    "ExternalProgram",
+    "InProcessChamber",
+    "MACPolicy",
+    "SubprocessChamber",
+    "TimingDefense",
+]

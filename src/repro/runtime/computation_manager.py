@@ -1,0 +1,104 @@
+"""The computation manager: fans block executions out to chambers.
+
+In the paper the computation manager is split into a *server* component
+(receives the analyst's job, talks to the dataset manager) and a *client*
+component on each cluster node (instantiates chambers, pipes data in,
+collects outputs, forbids any other communication).  This module keeps
+that separation: :class:`ComputationManager` is the server-side object
+the GUPT runtime calls; each block execution goes through a
+:class:`~repro.runtime.sandbox.ExecutionChamber` which plays the client
+role.  Parallelism across blocks uses a thread pool — block programs are
+numpy-heavy and release the GIL, and the chamber layer already provides
+the isolation, so threads are the cheap choice on one machine.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ComputationError
+from repro.runtime.sandbox import (
+    AnalystProgram,
+    BlockExecution,
+    ExecutionChamber,
+    InProcessChamber,
+)
+
+
+class ComputationManager:
+    """Executes an analyst program over many blocks through chambers.
+
+    Parameters
+    ----------
+    chamber:
+        The isolation boundary each block runs behind.  Defaults to an
+        unbudgeted :class:`InProcessChamber`.
+    max_workers:
+        Thread-pool width; 1 (default) runs blocks serially, which keeps
+        single-threaded benchmarks honest.
+    """
+
+    def __init__(
+        self,
+        chamber: ExecutionChamber | None = None,
+        max_workers: int = 1,
+    ):
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self._chamber = chamber or InProcessChamber()
+        self._max_workers = max_workers
+
+    @property
+    def chamber(self) -> ExecutionChamber:
+        return self._chamber
+
+    def run_blocks(
+        self,
+        program: AnalystProgram,
+        blocks: Sequence[np.ndarray],
+        output_dimension: int,
+        fallback: np.ndarray,
+    ) -> list[BlockExecution]:
+        """Run ``program`` on every block; one outcome per block, in order.
+
+        Raises :class:`ComputationError` only when *every* block failed,
+        which signals a systemic problem (wrong output dimension, program
+        that always crashes) rather than a data-dependent one.  Partial
+        failures are kept as fallback outputs — turning them into errors
+        would create the exact side channel the chambers exist to close.
+        """
+        if output_dimension < 1:
+            raise ComputationError("output dimension must be >= 1")
+        fallback = np.asarray(fallback, dtype=float).ravel()
+        if fallback.size != output_dimension:
+            raise ComputationError(
+                f"fallback has {fallback.size} dims, expected {output_dimension}"
+            )
+        if not blocks:
+            raise ComputationError("no blocks to execute")
+
+        if self._max_workers == 1:
+            results = [
+                self._chamber.run_block(program, block, output_dimension, fallback)
+                for block in blocks
+            ]
+        else:
+            with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+                results = list(
+                    pool.map(
+                        lambda block: self._chamber.run_block(
+                            program, block, output_dimension, fallback
+                        ),
+                        blocks,
+                    )
+                )
+
+        if not any(r.succeeded for r in results):
+            raise ComputationError(
+                "analyst program failed on every block; check that it returns "
+                f"a finite vector of dimension {output_dimension}"
+            )
+        return results

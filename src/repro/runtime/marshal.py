@@ -1,0 +1,104 @@
+"""Running external binaries as analyst programs (§3.1, §7).
+
+The paper's analyst interface accepts "a binary executable", with "a
+lean wrapper program ... used for marshaling data to/from the format of
+the computation manager".  :class:`ExternalProgram` is that wrapper: it
+speaks a deliberately trivial protocol —
+
+* the block is written to the binary's **stdin** as CSV (one record per
+  line, no header);
+* the binary prints its output vector to **stdout** as whitespace- or
+  comma-separated numbers;
+* a non-zero exit, malformed output, or exceeding the wall-clock budget
+  makes the wrapper raise, which the chamber converts into the usual
+  constant-fallback block (no error channel back to the analyst).
+
+The wrapper is itself an ordinary analyst program (a picklable callable
+with an ``output_dimension``), so it composes with every chamber and
+with the GUPT runtime unchanged.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ComputationError
+
+
+def block_to_csv(block: np.ndarray) -> str:
+    """Serialize a block as headerless CSV, one record per line."""
+    block = np.asarray(block, dtype=float)
+    if block.ndim == 1:
+        block = block.reshape(-1, 1)
+    lines = [",".join(repr(float(cell)) for cell in row) for row in block]
+    return "\n".join(lines) + "\n"
+
+
+def parse_output_vector(text: str, output_dimension: int) -> np.ndarray:
+    """Parse the binary's stdout into a float vector of the right size."""
+    tokens = text.replace(",", " ").split()
+    if len(tokens) != output_dimension:
+        raise ComputationError(
+            f"external program printed {len(tokens)} values, expected "
+            f"{output_dimension}"
+        )
+    try:
+        vector = np.array([float(token) for token in tokens])
+    except ValueError as exc:
+        raise ComputationError(f"external program output not numeric: {exc}") from None
+    if not np.all(np.isfinite(vector)):
+        raise ComputationError("external program produced non-finite output")
+    return vector
+
+
+@dataclass(frozen=True)
+class ExternalProgram:
+    """A black-box executable as a GUPT analyst program.
+
+    Parameters
+    ----------
+    command:
+        argv of the executable (e.g. ``("./estimator", "--flag")``).
+        Never passed through a shell.
+    output_dimension:
+        Length of the vector the binary prints.
+    timeout:
+        Wall-clock seconds before the child is killed.  This backstops
+        the chamber's own cycle budget so a hung binary cannot pin a
+        worker forever.
+    """
+
+    command: tuple[str, ...]
+    output_dimension: int = 1
+    timeout: float | None = 30.0
+
+    def __post_init__(self) -> None:
+        if not self.command:
+            raise ComputationError("external program needs a non-empty command")
+        if self.output_dimension < 1:
+            raise ComputationError("output_dimension must be >= 1")
+        object.__setattr__(self, "command", tuple(str(c) for c in self.command))
+
+    def __call__(self, block: np.ndarray) -> np.ndarray:
+        try:
+            completed = subprocess.run(
+                self.command,
+                input=block_to_csv(block),
+                capture_output=True,
+                text=True,
+                timeout=self.timeout,
+            )
+        except subprocess.TimeoutExpired:
+            raise ComputationError(
+                f"external program exceeded {self.timeout}s"
+            ) from None
+        except OSError as exc:
+            raise ComputationError(f"cannot execute {self.command[0]!r}: {exc}") from None
+        if completed.returncode != 0:
+            raise ComputationError(
+                f"external program exited with status {completed.returncode}"
+            )
+        return parse_output_vector(completed.stdout, self.output_dimension)

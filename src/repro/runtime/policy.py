@@ -1,0 +1,104 @@
+"""A model of the AppArmor mandatory-access-control profile of §6.1.
+
+GUPT's real deployment writes one AppArmor profile per computation
+instance: working directory pinned to a per-run scratch space that is
+emptied on termination, no network, and IPC restricted to the trusted
+forwarding agent.  We model the profile as a data object that chambers
+consult, and provide an in-process enforcement shim (used by
+:class:`~repro.runtime.sandbox.InProcessChamber` when asked) that blocks
+socket creation and out-of-scratch file writes for the duration of an
+analyst-program call.
+"""
+
+from __future__ import annotations
+
+import builtins
+import contextlib
+import os
+import socket
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import SandboxViolation
+
+_WRITE_MODES = set("wax+")
+
+
+@dataclass(frozen=True)
+class MACPolicy:
+    """Declarative description of what a computation instance may do.
+
+    Attributes
+    ----------
+    scratch_dir:
+        The only directory the program may write to.  Created lazily and
+        cleared when the chamber finishes the block.
+    allow_network:
+        Whether outbound sockets are allowed (always False for analyst
+        programs; the trusted forwarding agent is outside the chamber).
+    allow_ipc:
+        Whether the program may talk to processes other than the
+        computation-manager client.
+    """
+
+    scratch_dir: Path = field(default_factory=lambda: Path(tempfile.mkdtemp(prefix="gupt-")))
+    allow_network: bool = False
+    allow_ipc: bool = False
+
+    def permits_write(self, path: str | os.PathLike) -> bool:
+        """Whether writing ``path`` is inside the scratch space."""
+        try:
+            resolved = Path(path).resolve()
+        except OSError:
+            return False
+        scratch = self.scratch_dir.resolve()
+        return resolved == scratch or scratch in resolved.parents
+
+    def wipe_scratch(self) -> None:
+        """Empty the scratch directory (end-of-run cleanup)."""
+        scratch = self.scratch_dir
+        if not scratch.exists():
+            return
+        for child in sorted(scratch.rglob("*"), reverse=True):
+            with contextlib.suppress(OSError):
+                if child.is_dir():
+                    child.rmdir()
+                else:
+                    child.unlink()
+
+    @contextlib.contextmanager
+    def enforced(self):
+        """In-process enforcement shim for the policy.
+
+        Patches ``socket.socket`` (when the policy forbids network) and
+        ``builtins.open`` (write modes confined to the scratch dir) for
+        the duration of the block.  This is a *simulation* of the kernel
+        MAC layer — a determined program could unpatch it — but it makes
+        violations observable, which is what the attack harness and
+        tests need.  Real deployments use :class:`SubprocessChamber`
+        whose isolation does not rely on this shim.
+        """
+        original_socket = socket.socket
+        original_open = builtins.open
+        policy = self
+
+        def guarded_socket(*args, **kwargs):
+            if not policy.allow_network:
+                raise SandboxViolation("network access is forbidden by the MAC policy")
+            return original_socket(*args, **kwargs)
+
+        def guarded_open(file, mode="r", *args, **kwargs):
+            if _WRITE_MODES & set(str(mode)) and not policy.permits_write(file):
+                raise SandboxViolation(
+                    f"write to {file!r} is outside the scratch directory"
+                )
+            return original_open(file, mode, *args, **kwargs)
+
+        socket.socket = guarded_socket  # type: ignore[misc]
+        builtins.open = guarded_open
+        try:
+            yield self
+        finally:
+            socket.socket = original_socket  # type: ignore[misc]
+            builtins.open = original_open

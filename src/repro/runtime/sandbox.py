@@ -1,0 +1,249 @@
+"""Isolated execution chambers for untrusted analyst programs.
+
+A chamber runs one block computation with three guarantees the privacy
+argument needs (§6 of the paper):
+
+1. **No state carryover** — the program instance a block sees is fresh,
+   so a malicious program cannot accumulate information across blocks
+   (state attack defense).
+2. **Output-only channel** — the chamber returns exactly one output
+   vector; the program gets no handle to the budget, the dataset manager
+   or other blocks (budget attack defense).
+3. **Fixed observable runtime** — a cycle budget with kill-and-substitute
+   semantics (timing attack defense); see :mod:`repro.runtime.timing`.
+
+Two implementations are provided.  :class:`SubprocessChamber` forks a
+real OS process per block: writes to interpreter state die with the
+child, and a hung child is killed.  :class:`InProcessChamber` enforces
+the same semantics in-process (deep-copied program instance, worker
+thread with timeout, optional MAC-policy shim) and is what experiments
+use, since forking per block would dominate their runtime.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.runtime.policy import MACPolicy
+from repro.runtime.timing import TimingDefense
+
+#: An analyst program: any callable from a block (2-D array of records)
+#: to a scalar or 1-D output vector.  GUPT never introspects it.
+AnalystProgram = Callable[[np.ndarray], "float | np.ndarray"]
+
+
+@dataclass(frozen=True)
+class BlockExecution:
+    """Outcome of running one analyst program on one block.
+
+    ``output`` is always a well-formed vector of the declared dimension:
+    the program's own output when it succeeded, or the constant fallback
+    when it crashed, hung, or returned the wrong shape.  Substituting a
+    constant (rather than erroring out) is load-bearing for privacy: an
+    error channel keyed on a record's presence would itself be a leak.
+    """
+
+    output: np.ndarray
+    succeeded: bool
+    killed: bool
+    elapsed: float
+
+
+def _coerce_output(raw, output_dimension: int) -> np.ndarray | None:
+    """Validate and flatten a program's return value; None if malformed."""
+    try:
+        vector = np.asarray(raw, dtype=float).ravel()
+    except (TypeError, ValueError):
+        return None
+    if vector.size != output_dimension or not np.all(np.isfinite(vector)):
+        return None
+    return vector
+
+
+@runtime_checkable
+class ExecutionChamber(Protocol):
+    """The interface the sample-and-aggregate engine programs against."""
+
+    def run_block(
+        self,
+        program: AnalystProgram,
+        block: np.ndarray,
+        output_dimension: int,
+        fallback: np.ndarray,
+    ) -> BlockExecution:
+        """Run ``program`` on ``block`` and return a well-formed outcome."""
+        ...  # pragma: no cover - protocol declaration
+
+
+class InProcessChamber:
+    """Fast chamber enforcing isolation semantics inside the process.
+
+    Parameters
+    ----------
+    timing:
+        The cycle-budget policy.  The default (no budget) trusts the
+        program to terminate, which is appropriate for benchmarks.
+    policy:
+        Optional MAC policy; when given, the policy shim is active for
+        the duration of each block (network blocked, writes confined).
+    fresh_instance:
+        Deep-copy the program object per block so instance attributes
+        cannot carry state across blocks.  Plain functions are used
+        as-is (they are copied trivially).
+    """
+
+    def __init__(
+        self,
+        timing: TimingDefense | None = None,
+        policy: MACPolicy | None = None,
+        fresh_instance: bool = True,
+    ):
+        self._timing = timing or TimingDefense(cycle_budget=None)
+        self._policy = policy
+        self._fresh_instance = fresh_instance
+
+    def run_block(
+        self,
+        program: AnalystProgram,
+        block: np.ndarray,
+        output_dimension: int,
+        fallback: np.ndarray,
+    ) -> BlockExecution:
+        instance = copy.deepcopy(program) if self._fresh_instance else program
+        started = time.perf_counter()
+        result = self._call_with_budget(instance, block)
+        elapsed = time.perf_counter() - started
+
+        killed = result is _TIMED_OUT or self._timing.exceeded(elapsed)
+        output = None if killed or result is _FAILED else _coerce_output(result, output_dimension)
+        self._timing.pad_to_budget(elapsed)
+        if output is None:
+            return BlockExecution(
+                output=np.array(fallback, dtype=float),
+                succeeded=False,
+                killed=bool(killed),
+                elapsed=elapsed,
+            )
+        return BlockExecution(output=output, succeeded=True, killed=False, elapsed=elapsed)
+
+    def _call_with_budget(self, instance: AnalystProgram, block: np.ndarray):
+        """Call the program, applying policy shim and cycle budget."""
+        def invoke():
+            if self._policy is not None:
+                with self._policy.enforced():
+                    return instance(block)
+            return instance(block)
+
+        if not self._timing.enabled:
+            try:
+                return invoke()
+            except Exception:
+                return _FAILED
+
+        holder: list = [_TIMED_OUT]
+
+        def worker() -> None:
+            try:
+                holder[0] = invoke()
+            except Exception:
+                holder[0] = _FAILED
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        thread.join(self._timing.cycle_budget)
+        # A still-running thread is abandoned: we cannot kill it, but its
+        # eventual result is never observed, which preserves the defense.
+        return holder[0]
+
+
+class _Sentinel:
+    def __init__(self, name: str):
+        self._name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self._name}>"
+
+
+_TIMED_OUT = _Sentinel("timed-out")
+_FAILED = _Sentinel("failed")
+
+
+def _subprocess_child(conn, program: AnalystProgram, block: np.ndarray) -> None:
+    """Child-process entry: run the program, ship the result back."""
+    try:
+        result = program(block)
+        conn.send(("ok", np.asarray(result, dtype=float)))
+    except Exception as exc:  # noqa: BLE001 - any failure becomes fallback
+        conn.send(("error", repr(exc)))
+    finally:
+        conn.close()
+
+
+class SubprocessChamber:
+    """Real OS-process isolation: fork per block, kill on timeout.
+
+    The fork start method (Linux) gives the child a copy-on-write image
+    of the parent, so any state the program mutates dies with the child;
+    nothing the child does can reach the parent except the single result
+    message on the pipe.  The scratch-dir/MAC policy is wiped after each
+    block.
+    """
+
+    def __init__(
+        self,
+        timing: TimingDefense | None = None,
+        policy: MACPolicy | None = None,
+        start_method: str = "fork",
+    ):
+        self._timing = timing or TimingDefense(cycle_budget=None)
+        self._policy = policy
+        self._context = multiprocessing.get_context(start_method)
+
+    def run_block(
+        self,
+        program: AnalystProgram,
+        block: np.ndarray,
+        output_dimension: int,
+        fallback: np.ndarray,
+    ) -> BlockExecution:
+        parent_conn, child_conn = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_subprocess_child, args=(child_conn, program, block), daemon=True
+        )
+        started = time.perf_counter()
+        process.start()
+        child_conn.close()
+        process.join(self._timing.cycle_budget)
+
+        killed = False
+        payload = None
+        if process.is_alive():
+            process.terminate()
+            process.join()
+            killed = True
+        elif parent_conn.poll():
+            status, body = parent_conn.recv()
+            if status == "ok":
+                payload = body
+        parent_conn.close()
+        elapsed = time.perf_counter() - started
+        self._timing.pad_to_budget(elapsed)
+        if self._policy is not None:
+            self._policy.wipe_scratch()
+
+        output = None if killed else _coerce_output(payload, output_dimension)
+        if output is None:
+            return BlockExecution(
+                output=np.array(fallback, dtype=float),
+                succeeded=False,
+                killed=killed,
+                elapsed=elapsed,
+            )
+        return BlockExecution(output=output, succeeded=True, killed=False, elapsed=elapsed)

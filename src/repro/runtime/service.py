@@ -1,0 +1,207 @@
+"""The hosted GUPT service: the three-party deployment of Figure 2.
+
+The paper separates a *data owner* (registers datasets and budgets), an
+*analyst* (submits untrusted programs) and a *service provider* (hosts
+the platform).  :class:`GuptService` is that boundary as an object: all
+interaction happens through serializable request/response dataclasses,
+principals authenticate with opaque tokens carrying a role, and errors
+cross the boundary as structured responses — never as exceptions that
+could carry internal state to the analyst.
+
+This layer deliberately exposes *only* information that is safe for the
+caller's role: analysts see dataset names, shapes and remaining budgets
+(all public under the paper's model), and the differentially private
+query results; they never see records, raw block outputs or ledger
+details (those belong to the owner).
+"""
+
+from __future__ import annotations
+
+import itertools
+import secrets
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.accounting.manager import DatasetManager
+from repro.core.budget_estimation import AccuracyGoal
+from repro.core.gupt import GuptRuntime
+from repro.core.range_estimation import RangeStrategy
+from repro.datasets.table import DataTable
+from repro.exceptions import GuptError
+from repro.mechanisms.rng import RandomSource
+from repro.runtime.computation_manager import ComputationManager
+
+OWNER = "owner"
+ANALYST = "analyst"
+
+
+@dataclass(frozen=True)
+class Principal:
+    """An authenticated party: opaque token plus role."""
+
+    token: str
+    role: str
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class DatasetDescription:
+    """Public metadata an analyst may see about a dataset."""
+
+    name: str
+    num_records: int
+    num_dimensions: int
+    column_names: tuple[str, ...]
+    remaining_budget: float
+    has_aged_data: bool
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """An analyst's job submission (§3.1's analyst interface)."""
+
+    dataset: str
+    program: Callable
+    range_strategy: RangeStrategy
+    epsilon: float | None = None
+    accuracy: AccuracyGoal | None = None
+    output_dimension: int | None = None
+    block_size: int | str | None = None
+    resampling_factor: int = 1
+    query_name: str = "query"
+    group_by: str | int | None = None
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """The service's answer: either a private result or a refusal.
+
+    ``error`` is a human-readable reason; it is derived only from the
+    request's public parameters (budget arithmetic, validation), never
+    from record values, so refusals do not leak.
+    """
+
+    ok: bool
+    value: tuple[float, ...] = ()
+    epsilon_charged: float = 0.0
+    error: str = ""
+
+
+class GuptService:
+    """The service provider's facade over the trusted platform."""
+
+    def __init__(
+        self,
+        computation_manager: ComputationManager | None = None,
+        rng: RandomSource = None,
+    ):
+        self._datasets = DatasetManager()
+        self._runtime = GuptRuntime(self._datasets, computation_manager, rng=rng)
+        self._principals: dict[str, Principal] = {}
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Enrollment
+    # ------------------------------------------------------------------
+    def enroll(self, role: str, name: str = "") -> Principal:
+        """Issue a token for a data owner or an analyst."""
+        if role not in (OWNER, ANALYST):
+            raise GuptError(f"unknown role {role!r}")
+        token = f"{role}-{next(self._counter)}-{secrets.token_hex(8)}"
+        principal = Principal(token=token, role=role, name=name)
+        self._principals[token] = principal
+        return principal
+
+    def _authenticate(self, token: str, required_role: str) -> Principal:
+        principal = self._principals.get(token)
+        if principal is None:
+            raise GuptError("unknown principal token")
+        if principal.role != required_role:
+            raise GuptError(
+                f"operation requires role {required_role!r}, token has "
+                f"{principal.role!r}"
+            )
+        return principal
+
+    # ------------------------------------------------------------------
+    # Data owner interface
+    # ------------------------------------------------------------------
+    def register_dataset(
+        self,
+        token: str,
+        name: str,
+        table: DataTable,
+        total_budget: float,
+        aged_fraction: float = 0.0,
+        aged_table: DataTable | None = None,
+    ) -> DatasetDescription:
+        """Owner-only: place a dataset under the platform's control."""
+        self._authenticate(token, OWNER)
+        self._datasets.register(
+            name, table, total_budget,
+            aged_fraction=aged_fraction, aged_table=aged_table,
+        )
+        return self.describe_dataset(token, name)
+
+    def ledger_entries(self, token: str, name: str) -> list[tuple[str, float]]:
+        """Owner-only: (query, epsilon) audit trail of a dataset."""
+        self._authenticate(token, OWNER)
+        ledger = self._datasets.get(name).ledger
+        return [(entry.query, entry.epsilon) for entry in ledger]
+
+    # ------------------------------------------------------------------
+    # Shared read-only interface
+    # ------------------------------------------------------------------
+    def list_datasets(self, token: str) -> list[str]:
+        """Any principal: names of registered datasets."""
+        if token not in self._principals:
+            raise GuptError("unknown principal token")
+        return self._datasets.names()
+
+    def describe_dataset(self, token: str, name: str) -> DatasetDescription:
+        """Any principal: public metadata of one dataset."""
+        if token not in self._principals:
+            raise GuptError("unknown principal token")
+        registered = self._datasets.get(name)
+        return DatasetDescription(
+            name=registered.name,
+            num_records=registered.table.num_records,
+            num_dimensions=registered.table.num_dimensions,
+            column_names=registered.table.column_names,
+            remaining_budget=registered.budget.remaining,
+            has_aged_data=registered.aged is not None,
+        )
+
+    # ------------------------------------------------------------------
+    # Analyst interface
+    # ------------------------------------------------------------------
+    def submit(self, token: str, request: QueryRequest) -> QueryResponse:
+        """Analyst-only: run one private query.
+
+        All platform failures — bad parameters, exhausted budgets,
+        programs that die on every block — come back as structured
+        refusals.  The analyst's program runs behind the same chambers
+        as always; the service layer adds only authentication and the
+        error boundary.
+        """
+        self._authenticate(token, ANALYST)
+        try:
+            result = self._runtime.run(
+                request.dataset,
+                request.program,
+                request.range_strategy,
+                epsilon=request.epsilon,
+                accuracy=request.accuracy,
+                output_dimension=request.output_dimension,
+                block_size=request.block_size,
+                resampling_factor=request.resampling_factor,
+                query_name=request.query_name,
+                group_by=request.group_by,
+            )
+        except GuptError as exc:
+            return QueryResponse(ok=False, error=str(exc))
+        return QueryResponse(
+            ok=True,
+            value=tuple(float(v) for v in result.value),
+            epsilon_charged=result.epsilon_total,
+        )

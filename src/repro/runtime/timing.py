@@ -1,0 +1,60 @@
+"""The timing side-channel defense of §6.2.
+
+An adversarial program could leak a record's presence through its own
+runtime (e.g. loop forever when it sees the target).  GUPT's defense
+fixes the *observable* runtime of every block computation: a block gets a
+predefined cycle budget; if the program finishes early, the chamber waits
+out the remainder; if it exceeds the budget, it is killed and a constant
+in-range value is substituted for its output.  Either way the wall-clock
+cost per block is the budget, independent of the data.
+
+``pad=False`` keeps the kill-and-substitute behavior (which is what the
+*privacy* proof needs — the substituted constant makes the block output
+data-independent) but skips the idle padding, trading away only timing
+secrecy.  Experiments run unpadded; the security tests run padded.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimingDefense:
+    """Fixed-runtime policy for block computations.
+
+    Attributes
+    ----------
+    cycle_budget:
+        Wall-clock seconds each block computation is allotted.  ``None``
+        disables the defense entirely (trusted/benchmark mode).
+    pad:
+        Whether to sleep out unused budget so every block takes exactly
+        ``cycle_budget`` seconds.
+    """
+
+    cycle_budget: float | None = None
+    pad: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cycle_budget is not None and self.cycle_budget <= 0:
+            raise ValueError("cycle_budget must be positive (or None to disable)")
+
+    @property
+    def enabled(self) -> bool:
+        return self.cycle_budget is not None
+
+    def pad_to_budget(self, elapsed: float) -> float:
+        """Sleep out the remaining budget; returns seconds slept."""
+        if not self.enabled or not self.pad:
+            return 0.0
+        remaining = self.cycle_budget - elapsed
+        if remaining > 0:
+            time.sleep(remaining)
+            return remaining
+        return 0.0
+
+    def exceeded(self, elapsed: float) -> bool:
+        """Whether a computation has used up its budget."""
+        return self.enabled and elapsed > self.cycle_budget

@@ -1,0 +1,14 @@
+"""Streaming GUPT: windowed private analytics over arriving data.
+
+The paper's §8 lists temporally-correlated streaming data as future
+work; this subpackage implements the natural windowed design: records
+arrive into a current *epoch*; queries run (with full GUPT machinery)
+over a sliding window of recent epochs, each epoch carrying its own
+privacy budget; and epochs that fall out of a retention horizon *age
+out* into the parameter-estimation pool, closing the loop with the
+aging-of-sensitivity model of §3.3.
+"""
+
+from repro.streaming.window import StreamingGupt, WindowConfig
+
+__all__ = ["StreamingGupt", "WindowConfig"]

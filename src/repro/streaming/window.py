@@ -1,0 +1,234 @@
+"""Windowed GUPT over an epoch-structured stream.
+
+Model
+-----
+Time is divided into epochs.  Records ingested during epoch ``t`` are
+live while ``t`` is within the last ``window_epochs`` epochs, then
+retire.  Retired epochs older than ``aging_epochs`` are treated as
+privacy-expired (the §3.3 aging model applied to time) and join the
+aged pool used for block-size search and accuracy->epsilon estimation.
+
+Budgets
+-------
+Each epoch's records carry their own budget of ``epsilon_per_epoch``.
+A query over the current window touches every live epoch, so it charges
+its epsilon against *each* live epoch's budget (the window is a union
+of disjoint epoch datasets; a record lives in exactly one epoch, but a
+query output depends on all of them, so sequential composition applies
+per epoch independently).  When any live epoch cannot afford a query,
+the query is refused — conservative and simple.
+
+This is a reproduction-scale design, not a full streaming-DP treatment
+(no continual-observation counters); it exercises exactly the GUPT
+machinery the paper says should be extended to streams.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.accounting.budget import PrivacyBudget
+from repro.core.range_estimation import RangeStrategy
+from repro.core.sample_aggregate import SampleAggregateEngine, SampleAggregateResult
+from repro.core.aggregation import ranges_from_pairs
+from repro.core.range_estimation import RangeContext
+from repro.exceptions import GuptError, PrivacyBudgetExhausted
+from repro.mechanisms.rng import RandomSource, as_generator
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Shape of the stream's windowing and budgets.
+
+    Attributes
+    ----------
+    window_epochs:
+        How many most-recent epochs a query sees.
+    aging_epochs:
+        Epochs older than this many epochs ago are privacy-expired and
+        feed the aged pool.  Must be >= window_epochs.
+    epsilon_per_epoch:
+        Total budget each epoch's records can absorb over their lifetime.
+    block_size:
+        Block size for queries (None = n**0.6 of the window).
+    """
+
+    window_epochs: int = 4
+    aging_epochs: int = 12
+    epsilon_per_epoch: float = 2.0
+    block_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.window_epochs < 1:
+            raise GuptError("window_epochs must be >= 1")
+        if self.aging_epochs < self.window_epochs:
+            raise GuptError("aging_epochs must be >= window_epochs")
+        if self.epsilon_per_epoch <= 0:
+            raise GuptError("epsilon_per_epoch must be positive")
+
+
+@dataclass
+class _Epoch:
+    index: int
+    records: list[np.ndarray]
+    budget: PrivacyBudget
+
+    def values(self) -> np.ndarray | None:
+        if not self.records:
+            return None
+        return np.vstack(self.records)
+
+
+class StreamingGupt:
+    """Windowed private analytics with per-epoch budgets and aging."""
+
+    def __init__(self, config: WindowConfig | None = None, rng: RandomSource = None):
+        self._config = config or WindowConfig()
+        self._rng = as_generator(rng)
+        self._epochs: deque[_Epoch] = deque()
+        self._aged_rows: list[np.ndarray] = []
+        self._current = self._new_epoch(0)
+        self._engine = SampleAggregateEngine()
+
+    # ------------------------------------------------------------------
+    # Stream side
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Index of the epoch currently accepting records."""
+        return self._current.index
+
+    def ingest(self, records) -> None:
+        """Append records (rows) to the current epoch."""
+        array = np.asarray(records, dtype=float)
+        if array.ndim == 1:
+            array = array.reshape(-1, 1)
+        if array.ndim != 2 or array.shape[0] == 0:
+            raise GuptError("ingest expects a non-empty 1-D or 2-D batch")
+        if not np.all(np.isfinite(array)):
+            raise GuptError("records must be finite")
+        self._current.records.append(array)
+
+    def advance(self) -> int:
+        """Close the current epoch and open the next; returns its index.
+
+        Epochs falling outside the aging horizon are drained into the
+        aged pool; their unspent budgets are discarded (expired data no
+        longer needs one).
+        """
+        self._epochs.append(self._current)
+        next_index = self._current.index + 1
+        self._current = self._new_epoch(next_index)
+        horizon = next_index - self._config.aging_epochs
+        while self._epochs and self._epochs[0].index < horizon:
+            expired = self._epochs.popleft()
+            values = expired.values()
+            if values is not None:
+                self._aged_rows.append(values)
+        return next_index
+
+    # ------------------------------------------------------------------
+    # Query side
+    # ------------------------------------------------------------------
+    def window_values(self) -> np.ndarray:
+        """The records a query would see (current + recent epochs)."""
+        live = [self._current] + [
+            e for e in self._epochs
+            if e.index > self._current.index - self._config.window_epochs
+        ]
+        parts = [e.values() for e in live if e.values() is not None]
+        if not parts:
+            raise GuptError("the window contains no records yet")
+        return np.vstack(parts)
+
+    def aged_values(self) -> np.ndarray | None:
+        """Privacy-expired rows available for parameter estimation."""
+        if not self._aged_rows:
+            return None
+        return np.vstack(self._aged_rows)
+
+    def remaining_budgets(self) -> dict[int, float]:
+        """Remaining epsilon per live epoch (current included)."""
+        live = [self._current] + [
+            e for e in self._epochs
+            if e.index > self._current.index - self._config.window_epochs
+        ]
+        return {e.index: e.budget.remaining for e in live}
+
+    def query(
+        self,
+        program: Callable,
+        range_strategy: RangeStrategy,
+        epsilon: float,
+        output_dimension: int | None = None,
+    ) -> SampleAggregateResult:
+        """Run one private query over the current window.
+
+        Charges ``epsilon`` against every live epoch atomically: if any
+        epoch cannot afford it, nothing is charged and the query is
+        refused.
+        """
+        if epsilon <= 0 or not np.isfinite(epsilon):
+            raise GuptError(f"epsilon must be positive, got {epsilon}")
+        values = self.window_values()
+        dimension = (
+            int(output_dimension)
+            if output_dimension is not None
+            else int(getattr(program, "output_dimension", 1))
+        )
+
+        live = [self._current] + [
+            e for e in self._epochs
+            if e.index > self._current.index - self._config.window_epochs
+        ]
+        contributing = [e for e in live if e.values() is not None]
+        for epoch in contributing:
+            if not epoch.budget.can_afford(epsilon):
+                raise PrivacyBudgetExhausted(
+                    epsilon, epoch.budget.remaining, f"epoch-{epoch.index}"
+                )
+        for epoch in contributing:
+            epoch.budget.charge(epsilon)
+
+        epsilon_range = range_strategy.budget_fraction * epsilon
+        epsilon_noise = epsilon - epsilon_range
+
+        holder: dict[str, object] = {}
+
+        def block_outputs_fn(fallback: np.ndarray) -> np.ndarray:
+            sampled = self._engine.sample(
+                values, program, dimension, fallback,
+                block_size=self._config.block_size, rng=self._rng,
+            )
+            holder["sampled"] = sampled
+            return sampled.outputs
+
+        context = RangeContext(
+            input_values=values,
+            input_ranges=(None,) * values.shape[1],
+            output_dimension=dimension,
+            block_outputs_fn=block_outputs_fn,
+        )
+        estimate = range_strategy.estimate(context, epsilon_range, rng=self._rng)
+        sampled = holder.get("sampled")
+        if sampled is None:
+            fallback = np.array([r.midpoint for r in ranges_from_pairs(estimate.ranges)])
+            sampled = self._engine.sample(
+                values, program, dimension, fallback,
+                block_size=self._config.block_size, rng=self._rng,
+            )
+        return self._engine.aggregate(sampled, epsilon_noise, estimate.ranges, rng=self._rng)
+
+    # ------------------------------------------------------------------
+    def _new_epoch(self, index: int) -> _Epoch:
+        return _Epoch(
+            index=index,
+            records=[],
+            budget=PrivacyBudget(
+                self._config.epsilon_per_epoch, dataset=f"epoch-{index}"
+            ),
+        )

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.table import DataTable
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_table(rng) -> DataTable:
+    """200 records, 1 dimension, values in [0, 100]."""
+    return DataTable(
+        rng.uniform(0.0, 100.0, size=200),
+        column_names=["value"],
+        input_ranges=[(0.0, 100.0)],
+    )
+
+
+@pytest.fixture
+def wide_table(rng) -> DataTable:
+    """300 records, 3 dimensions, with input ranges."""
+    return DataTable(
+        rng.normal(0.0, 1.0, size=(300, 3)),
+        column_names=["a", "b", "c"],
+        input_ranges=[(-5.0, 5.0)] * 3,
+    )

@@ -1,0 +1,154 @@
+"""Unit tests for the clamp-average-perturb aggregator."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import (
+    NoisyAverageAggregator,
+    OutputRange,
+    ranges_from_pairs,
+)
+from repro.exceptions import InvalidPrivacyParameter, InvalidRange
+
+
+class TestOutputRange:
+    def test_width_and_midpoint(self):
+        r = OutputRange(-2.0, 6.0)
+        assert r.width == 8.0
+        assert r.midpoint == 2.0
+
+    def test_clamp(self):
+        r = OutputRange(0.0, 1.0)
+        assert np.array_equal(r.clamp(np.array([-1.0, 0.5, 2.0])), [0.0, 0.5, 1.0])
+
+    def test_degenerate_range_allowed(self):
+        r = OutputRange(3.0, 3.0)
+        assert r.width == 0.0
+
+    def test_inverted_rejected(self):
+        with pytest.raises(InvalidRange):
+            OutputRange(1.0, 0.0)
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(InvalidRange):
+            OutputRange(0.0, float("inf"))
+
+
+class TestRangesFromPairs:
+    def test_single_pair(self):
+        ranges = ranges_from_pairs((0.0, 1.0))
+        assert len(ranges) == 1
+        assert ranges[0].hi == 1.0
+
+    def test_list_of_pairs(self):
+        ranges = ranges_from_pairs([(0, 1), (2, 3)])
+        assert [r.lo for r in ranges] == [0.0, 2.0]
+
+    def test_single_output_range_object(self):
+        r = OutputRange(0.0, 1.0)
+        assert ranges_from_pairs(r) == [r]
+
+    def test_mixed_list(self):
+        ranges = ranges_from_pairs([OutputRange(0, 1), (2, 3)])
+        assert len(ranges) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidRange):
+            ranges_from_pairs([])
+
+
+class TestNoiseScale:
+    def test_algorithm1_formula(self):
+        # Lap(width / (l * eps)) for disjoint blocks.
+        agg = NoisyAverageAggregator((0.0, 10.0), epsilon=2.0)
+        assert agg.noise_scale(0, num_blocks=50, blocks_per_record=1) == pytest.approx(
+            10.0 / (50 * 2.0)
+        )
+
+    def test_resampling_formula(self):
+        # gamma multiplies the scale for fixed block count...
+        agg = NoisyAverageAggregator((0.0, 10.0), epsilon=2.0)
+        assert agg.noise_scale(0, num_blocks=50, blocks_per_record=4) == pytest.approx(
+            4 * 10.0 / (50 * 2.0)
+        )
+
+    def test_claim1_noise_independent_of_gamma_for_fixed_block_size(self):
+        # ...but for a FIXED BLOCK SIZE, gamma also multiplies the block
+        # count, so the scale is unchanged (Claim 1 of the paper).
+        agg = NoisyAverageAggregator((0.0, 10.0), epsilon=2.0)
+        base = agg.noise_scale(0, num_blocks=50, blocks_per_record=1)
+        resampled = agg.noise_scale(0, num_blocks=200, blocks_per_record=4)
+        assert resampled == pytest.approx(base)
+
+    def test_epsilon_split_across_dimensions(self):
+        single = NoisyAverageAggregator((0.0, 1.0), epsilon=1.0)
+        double = NoisyAverageAggregator([(0.0, 1.0), (0.0, 1.0)], epsilon=1.0)
+        assert double.noise_scale(0, 10, 1) == pytest.approx(
+            2 * single.noise_scale(0, 10, 1)
+        )
+
+    def test_invalid_args_rejected(self):
+        agg = NoisyAverageAggregator((0.0, 1.0), epsilon=1.0)
+        with pytest.raises(ValueError):
+            agg.noise_scale(0, num_blocks=0, blocks_per_record=1)
+        with pytest.raises(ValueError):
+            agg.noise_scale(0, num_blocks=1, blocks_per_record=0)
+
+
+class TestAggregate:
+    def test_mean_of_in_range_outputs(self):
+        agg = NoisyAverageAggregator((0.0, 100.0), epsilon=1e9)
+        release = agg.aggregate(np.array([10.0, 20.0, 30.0]), rng=0)
+        assert release.scalar() == pytest.approx(20.0, abs=1e-3)
+
+    def test_clamping_applied_before_average(self):
+        agg = NoisyAverageAggregator((0.0, 10.0), epsilon=1e9)
+        release = agg.aggregate(np.array([-100.0, 5.0, 100.0]), rng=0)
+        assert release.scalar() == pytest.approx((0.0 + 5.0 + 10.0) / 3, abs=1e-3)
+
+    def test_1d_input_promoted(self):
+        agg = NoisyAverageAggregator((0.0, 1.0), epsilon=1e9)
+        release = agg.aggregate(np.array([0.5, 0.5]), rng=0)
+        assert release.value.shape == (1,)
+
+    def test_multidimensional(self):
+        agg = NoisyAverageAggregator([(0.0, 1.0), (0.0, 100.0)], epsilon=1e9)
+        outputs = np.array([[0.2, 10.0], [0.4, 30.0]])
+        release = agg.aggregate(outputs, rng=0)
+        assert release.value[0] == pytest.approx(0.3, abs=1e-3)
+        assert release.value[1] == pytest.approx(20.0, abs=1e-2)
+
+    def test_dimension_mismatch_rejected(self):
+        agg = NoisyAverageAggregator((0.0, 1.0), epsilon=1.0)
+        with pytest.raises(ValueError):
+            agg.aggregate(np.zeros((5, 2)))
+
+    def test_3d_rejected(self):
+        agg = NoisyAverageAggregator((0.0, 1.0), epsilon=1.0)
+        with pytest.raises(ValueError):
+            agg.aggregate(np.zeros((2, 2, 2)))
+
+    def test_noise_has_expected_magnitude(self):
+        agg = NoisyAverageAggregator((0.0, 1.0), epsilon=1.0)
+        rng = np.random.default_rng(0)
+        outputs = np.full(10, 0.5)
+        scale = agg.noise_scale(0, 10, 1)
+        draws = [agg.aggregate(outputs, rng=rng).scalar() - 0.5 for _ in range(5000)]
+        assert np.std(draws) == pytest.approx(np.sqrt(2) * scale, rel=0.05)
+
+    def test_release_metadata(self):
+        agg = NoisyAverageAggregator((0.0, 1.0), epsilon=0.7)
+        release = agg.aggregate(np.full(12, 0.5), rng=0)
+        assert release.epsilon == 0.7
+        assert release.num_blocks == 12
+        assert release.noise_scales.shape == (1,)
+
+    def test_scalar_rejects_vector_release(self):
+        agg = NoisyAverageAggregator([(0.0, 1.0)] * 2, epsilon=1.0)
+        release = agg.aggregate(np.zeros((3, 2)), rng=0)
+        with pytest.raises(ValueError):
+            release.scalar()
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(InvalidPrivacyParameter):
+            NoisyAverageAggregator((0.0, 1.0), epsilon=0.0)

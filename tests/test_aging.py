@@ -1,0 +1,112 @@
+"""Unit tests for the aging-of-sensitivity model."""
+
+import numpy as np
+import pytest
+
+from repro.core.aging import AgedData
+from repro.datasets.table import DataTable
+from repro.estimators.statistics import Mean, Median
+from repro.exceptions import GuptError
+
+
+@pytest.fixture
+def aged(rng):
+    return AgedData(DataTable(rng.normal(50, 10, size=1000)), rng=0)
+
+
+class TestFullOutput:
+    def test_matches_direct_program_call(self, aged):
+        assert aged.full_output(Mean())[0] == pytest.approx(
+            aged.table.values.mean()
+        )
+
+    def test_cached_per_program(self, aged):
+        calls = {"n": 0}
+
+        def counting(values):
+            calls["n"] += 1
+            return float(np.mean(values))
+
+        aged.full_output(counting)
+        aged.full_output(counting)
+        assert calls["n"] == 1
+
+    def test_wrong_dimension_rejected(self, aged):
+        with pytest.raises(GuptError):
+            aged.full_output(lambda v: [1.0, 2.0], output_dimension=1)
+
+
+class TestBlockOutputs:
+    def test_shape(self, aged):
+        outputs = aged.block_outputs(Mean(), block_size=100)
+        assert outputs.shape == (10, 1)
+
+    def test_remainder_dropped(self, aged):
+        outputs = aged.block_outputs(Mean(), block_size=300)
+        assert outputs.shape == (3, 1)
+
+    def test_blocks_estimate_the_statistic(self, aged):
+        outputs = aged.block_outputs(Mean(), block_size=100)
+        assert outputs.mean() == pytest.approx(aged.table.values.mean(), abs=1.5)
+
+    def test_cached_per_block_size(self, aged):
+        first = aged.block_outputs(Mean(), block_size=50)
+        second = aged.block_outputs(Mean(), block_size=50)
+        assert first is second
+
+    def test_invalid_block_size_rejected(self, aged):
+        with pytest.raises(GuptError):
+            aged.block_outputs(Mean(), block_size=0)
+        with pytest.raises(GuptError):
+            aged.block_outputs(Mean(), block_size=10_000)
+
+
+class TestErrorTerms:
+    def test_estimation_error_nonnegative(self, aged):
+        error = aged.estimation_error(Mean(), block_size=50)
+        assert np.all(error >= 0)
+
+    def test_mean_has_near_zero_estimation_error(self, aged):
+        # The average of block means IS the truncated-sample mean.
+        error = aged.estimation_error(Mean(), block_size=100)
+        assert error[0] < 1.0
+
+    def test_median_estimation_error_shrinks_with_block_size(self, rng):
+        skewed = AgedData(DataTable(rng.lognormal(0, 1, size=2000)), rng=0)
+        small = skewed.estimation_error(Median(), block_size=1)[0]
+        large = skewed.estimation_error(Median(), block_size=500)[0]
+        assert large < small
+
+    def test_mean_estimation_variance_is_sigma2_over_n(self, aged):
+        # For the mean, Var(block mean)/l = (sigma^2/beta)/(n/beta)
+        # = sigma^2/n regardless of the block size.
+        sigma2_over_n = aged.table.values.var() / aged.num_records
+        for beta in (10, 50, 100):
+            measured = aged.estimation_variance(Mean(), block_size=beta)[0]
+            assert measured == pytest.approx(sigma2_over_n, rel=0.6)
+
+    def test_single_block_variance_is_zero(self, aged):
+        assert aged.estimation_variance(Mean(), block_size=1000)[0] == 0.0
+
+
+class TestMinAlpha:
+    def test_large_aged_slice_allows_alpha_zero(self):
+        aged = AgedData(DataTable(np.arange(1000.0)), rng=0)
+        assert aged.min_alpha(live_records=500) == 0.0
+
+    def test_small_aged_slice_forces_positive_alpha(self):
+        aged = AgedData(DataTable(np.arange(10.0)), rng=0)
+        alpha = aged.min_alpha(live_records=10_000)
+        # block size n^(1-alpha) must fit in 10 records.
+        assert 10_000 ** (1 - alpha) <= 10.0 + 1e-6
+
+    def test_invalid_live_size_rejected(self):
+        aged = AgedData(DataTable(np.arange(10.0)), rng=0)
+        with pytest.raises(GuptError):
+            aged.min_alpha(live_records=1)
+
+
+class TestValidation:
+    def test_tiny_aged_data_rejected(self):
+        with pytest.raises(GuptError):
+            AgedData(DataTable([1.0]))

@@ -1,0 +1,53 @@
+"""Unit tests for timestamp-based aging (split_by_age)."""
+
+import numpy as np
+import pytest
+
+from repro.core.aging import split_by_age
+from repro.datasets.table import DataTable
+from repro.exceptions import GuptError
+
+
+@pytest.fixture
+def table():
+    return DataTable(np.arange(10.0), column_names=["v"])
+
+
+class TestSplitByAge:
+    def test_partition_by_cutoff(self, table):
+        stamps = np.arange(10.0)  # record i created at time i
+        aged, live = split_by_age(table, stamps, cutoff=4.0)
+        assert aged.num_records == 4
+        assert live.num_records == 6
+        assert set(aged.values.ravel()) == {0.0, 1.0, 2.0, 3.0}
+
+    def test_boundary_records_stay_live(self, table):
+        stamps = np.full(10, 5.0)
+        aged, live = split_by_age(table, stamps, cutoff=5.0)
+        assert aged is None
+        assert live.num_records == 10
+
+    def test_all_aged(self, table):
+        aged, live = split_by_age(table, np.zeros(10), cutoff=1.0)
+        assert live is None
+        assert aged.num_records == 10
+
+    def test_metadata_preserved(self, table):
+        aged, _ = split_by_age(table, np.arange(10.0), cutoff=3.0)
+        assert aged.column_names == ("v",)
+
+    def test_wrong_timestamp_count_rejected(self, table):
+        with pytest.raises(GuptError):
+            split_by_age(table, np.zeros(3), cutoff=1.0)
+
+    def test_manager_integration(self, table):
+        """The timestamp split feeds register(aged_table=...) directly."""
+        from repro.accounting.manager import DatasetManager
+
+        aged, live = split_by_age(table, np.arange(10.0), cutoff=3.0)
+        manager = DatasetManager()
+        registered = manager.register(
+            "events", live, total_budget=1.0, aged_table=aged
+        )
+        assert registered.aged.num_records == 3
+        assert registered.table.num_records == 7

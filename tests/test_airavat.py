@@ -1,0 +1,131 @@
+"""Unit tests for the Airavat baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.airavat.mapreduce import MapReduceJob, MiniMapReduce
+from repro.baselines.airavat.runtime import AiravatRuntime
+from repro.exceptions import ComputationError, PrivacyBudgetExhausted
+
+
+def sum_mapper(row):
+    yield ("total", float(row[0]))
+
+
+@pytest.fixture
+def records(rng):
+    return rng.uniform(0.0, 10.0, size=(400, 1))
+
+
+class TestMapReduceJob:
+    def test_valid_job(self):
+        job = MapReduceJob(mapper=sum_mapper, keys=("total",), value_range=(0, 10))
+        assert job.max_pairs_per_record == 1
+
+    def test_empty_keys_rejected(self):
+        with pytest.raises(ComputationError):
+            MapReduceJob(mapper=sum_mapper, keys=(), value_range=(0, 10))
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ComputationError):
+            MapReduceJob(mapper=sum_mapper, keys=("a",), value_range=(10, 0))
+
+    def test_bad_pair_cap_rejected(self):
+        with pytest.raises(ComputationError):
+            MapReduceJob(
+                mapper=sum_mapper, keys=("a",), value_range=(0, 1),
+                max_pairs_per_record=0,
+            )
+
+
+class TestMiniMapReduce:
+    def test_groups_by_key(self, records):
+        job = MapReduceJob(mapper=sum_mapper, keys=("total",), value_range=(0, 10))
+        grouped = MiniMapReduce().map_and_group(job, records)
+        assert len(grouped["total"]) == 400
+
+    def test_values_clamped_to_declared_range(self):
+        job = MapReduceJob(mapper=sum_mapper, keys=("total",), value_range=(0, 5))
+        grouped = MiniMapReduce().map_and_group(job, np.array([[100.0]]))
+        assert grouped["total"] == [5.0]
+
+    def test_crashing_mapper_record_skipped(self, records):
+        def fragile(row):
+            if row[0] > 5.0:
+                raise RuntimeError
+            yield ("total", row[0])
+
+        job = MapReduceJob(mapper=fragile, keys=("total",), value_range=(0, 10))
+        grouped = MiniMapReduce().map_and_group(job, records)
+        assert len(grouped["total"]) == int((records[:, 0] <= 5.0).sum())
+
+    def test_pair_cap_enforced(self):
+        def chatty(row):
+            for i in range(10):
+                yield ("k", float(i))
+
+        job = MapReduceJob(
+            mapper=chatty, keys=("k",), value_range=(0, 10), max_pairs_per_record=2
+        )
+        grouped = MiniMapReduce().map_and_group(job, np.array([[1.0]]))
+        assert len(grouped["k"]) == 2
+
+    def test_undeclared_keys_dropped(self):
+        def rogue(row):
+            yield ("undeclared", 1.0)
+
+        job = MapReduceJob(mapper=rogue, keys=("expected",), value_range=(0, 1))
+        grouped = MiniMapReduce().map_and_group(job, np.array([[1.0]]))
+        assert grouped["expected"] == []
+
+
+class TestAiravatRuntime:
+    def test_noisy_sum_near_truth(self, records):
+        runtime = AiravatRuntime(total_budget=100.0, rng=0)
+        job = MapReduceJob(mapper=sum_mapper, keys=("total",), value_range=(0, 10))
+        result = runtime.run(job, records, epsilon=50.0)
+        assert result.sums["total"] == pytest.approx(records.sum(), rel=0.02)
+
+    def test_noisy_count_near_truth(self, records):
+        runtime = AiravatRuntime(total_budget=100.0, rng=0)
+        job = MapReduceJob(mapper=sum_mapper, keys=("total",), value_range=(0, 10))
+        result = runtime.run(job, records, epsilon=50.0, reduce_with="count")
+        assert result.counts["total"] == pytest.approx(400, abs=2)
+
+    def test_platform_holds_the_budget(self, records):
+        runtime = AiravatRuntime(total_budget=1.0, rng=0)
+        job = MapReduceJob(mapper=sum_mapper, keys=("total",), value_range=(0, 10))
+        runtime.run(job, records, epsilon=1.0)
+        with pytest.raises(PrivacyBudgetExhausted):
+            runtime.run(job, records, epsilon=0.5)
+
+    def test_unknown_reducer_rejected(self, records):
+        runtime = AiravatRuntime(total_budget=1.0, rng=0)
+        job = MapReduceJob(mapper=sum_mapper, keys=("total",), value_range=(0, 10))
+        with pytest.raises(ValueError):
+            runtime.run(job, records, epsilon=0.5, reduce_with="median")
+
+    def test_noise_scales_with_multiplicity(self, records):
+        # A record touching 2 keys halves the per-key epsilon; verify the
+        # noise grows accordingly.
+        def two_keys(row):
+            yield ("a", float(row[0]))
+            yield ("b", float(row[0]))
+
+        single = MapReduceJob(mapper=sum_mapper, keys=("total",), value_range=(0, 10))
+        double = MapReduceJob(
+            mapper=two_keys, keys=("a", "b"), value_range=(0, 10),
+            max_pairs_per_record=2,
+        )
+        rng = np.random.default_rng(0)
+
+        def spread(job, key):
+            runtime = AiravatRuntime(total_budget=10_000.0, rng=rng)
+            truth = records.sum()
+            draws = [
+                runtime.run(job, records, epsilon=1.0).sums[key] - truth
+                for _ in range(200)
+            ]
+            return np.std(draws)
+
+        assert spread(double, "a") > 1.5 * spread(single, "total")

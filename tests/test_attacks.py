@@ -1,0 +1,116 @@
+"""Tests for the side-channel attack harness (the Table 1 evidence)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.budget_attack import (
+    budget_attack_against_gupt,
+    budget_attack_against_pinq,
+)
+from repro.attacks.harness import (
+    budget_attack_outcomes,
+    run_all_attacks,
+    state_attack_on_airavat,
+    state_attack_on_gupt,
+    state_attack_on_pinq,
+    timing_attack_on,
+)
+from repro.attacks.state_attack import (
+    GlobalChannelProgram,
+    InstanceStateProgram,
+    read_global_channel,
+    reset_global_channel,
+)
+from repro.attacks.timing_attack import StallOnTargetProgram, timing_attack_observable
+
+
+@pytest.fixture
+def neighbor_pair(rng):
+    base = rng.uniform(0.0, 50.0, size=64)
+    with_target = base.copy()
+    with_target[0] = 77.25
+    return with_target, base
+
+
+class TestStateAttack:
+    def test_gupt_blocks_instance_state(self):
+        assert state_attack_on_gupt().leaked is False
+
+    def test_pinq_leaks_instance_state(self):
+        assert state_attack_on_pinq().leaked is True
+
+    def test_airavat_leaks_global_state(self):
+        assert state_attack_on_airavat().leaked is True
+
+    def test_instance_program_flags_target_on_direct_call(self):
+        program = InstanceStateProgram(target=5.0)
+        program(np.array([[1.0], [5.0]]))
+        assert program.saw_target
+
+    def test_instance_program_ignores_absent_target(self):
+        program = InstanceStateProgram(target=5.0)
+        program(np.array([[1.0], [2.0]]))
+        assert not program.saw_target
+
+    def test_global_channel_roundtrip(self):
+        reset_global_channel()
+        GlobalChannelProgram(target=3.0)(np.array([[3.0]]))
+        assert read_global_channel() is True
+        reset_global_channel()
+        assert read_global_channel() is False
+
+
+class TestBudgetAttack:
+    def test_pinq_meter_leaks(self, neighbor_pair):
+        with_target, without_target = neighbor_pair
+        assert budget_attack_against_pinq(with_target, without_target, 77.25)
+
+    def test_gupt_meter_is_data_independent(self, neighbor_pair):
+        with_target, without_target = neighbor_pair
+        assert not budget_attack_against_gupt(with_target, without_target, 77.25)
+
+    def test_outcome_rows_cover_three_systems(self):
+        outcomes = budget_attack_outcomes()
+        assert {o.system for o in outcomes} == {"gupt", "pinq", "airavat"}
+
+
+class TestTimingAttack:
+    def test_stall_program_sleeps_only_on_target(self):
+        import time
+
+        program = StallOnTargetProgram(target=9.0, delay=0.15)
+        started = time.perf_counter()
+        program(np.array([[1.0]]))
+        fast = time.perf_counter() - started
+        started = time.perf_counter()
+        program(np.array([[9.0]]))
+        slow = time.perf_counter() - started
+        assert slow - fast > 0.1
+
+    def test_observable_threshold(self):
+        assert timing_attack_observable(1.0, 0.5, resolution=0.05)
+        assert not timing_attack_observable(1.0, 1.01, resolution=0.05)
+
+    def test_gupt_defense_hides_the_stall(self):
+        assert timing_attack_on("gupt").leaked is False
+
+    def test_undefended_system_leaks(self):
+        assert timing_attack_on("pinq").leaked is True
+
+
+class TestFullMatrix:
+    def test_matches_papers_table1(self):
+        outcomes = run_all_attacks()
+        expected_leaks = {
+            ("gupt", "state"): False,
+            ("pinq", "state"): True,
+            ("airavat", "state"): True,
+            ("gupt", "budget"): False,
+            ("pinq", "budget"): True,
+            ("airavat", "budget"): False,
+            ("gupt", "timing"): False,
+            ("pinq", "timing"): True,
+            ("airavat", "timing"): True,
+        }
+        measured = {(o.system, o.attack): o.leaked for o in outcomes}
+        assert measured == expected_leaks

@@ -1,0 +1,94 @@
+"""Unit tests for optimal block-size selection (§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.aging import AgedData
+from repro.core.block_size import BlockSizeSearch
+from repro.datasets.table import DataTable
+from repro.estimators.statistics import Mean, Median
+from repro.exceptions import GuptError, InvalidPrivacyParameter
+
+
+@pytest.fixture
+def skewed_aged(rng):
+    return AgedData(DataTable(rng.lognormal(1.1, 0.9, size=2000)), rng=0)
+
+
+class TestObjective:
+    def test_decomposes_into_a_plus_b(self, skewed_aged):
+        search = BlockSizeSearch(skewed_aged, live_records=10_000, sensitivity=60.0)
+        total, estimation, noise = search.objective(Median(), 50, epsilon=2.0)
+        assert total == pytest.approx(estimation + noise)
+
+    def test_noise_term_formula(self, skewed_aged):
+        search = BlockSizeSearch(skewed_aged, live_records=10_000, sensitivity=60.0)
+        _, _, noise = search.objective(Mean(), 100, epsilon=2.0)
+        # B = sqrt(2) * s / (eps * n^alpha), n^alpha = n / beta.
+        assert noise == pytest.approx(np.sqrt(2) * 60.0 / (2.0 * (10_000 / 100)))
+
+    def test_noise_grows_with_block_size(self, skewed_aged):
+        search = BlockSizeSearch(skewed_aged, live_records=10_000, sensitivity=60.0)
+        _, _, small = search.objective(Mean(), 10, epsilon=2.0)
+        _, _, large = search.objective(Mean(), 500, epsilon=2.0)
+        assert large > small
+
+    def test_invalid_epsilon_rejected(self, skewed_aged):
+        search = BlockSizeSearch(skewed_aged, live_records=10_000, sensitivity=1.0)
+        with pytest.raises(InvalidPrivacyParameter):
+            search.objective(Mean(), 10, epsilon=0.0)
+
+
+class TestSearch:
+    def test_mean_prefers_smallest_blocks(self, skewed_aged):
+        # The mean has no estimation error, so noise dominates and the
+        # optimum is block size 1 (the paper's Example 3).
+        search = BlockSizeSearch(skewed_aged, live_records=10_000, sensitivity=60.0)
+        choice = search.search(Mean(), epsilon=2.0)
+        assert choice.block_size == 1
+
+    def test_median_prefers_moderate_blocks_at_low_epsilon(self, skewed_aged):
+        search = BlockSizeSearch(skewed_aged, live_records=2000, sensitivity=60.0)
+        choice = search.search(Median(), epsilon=2.0)
+        assert 2 <= choice.block_size <= 200
+
+    def test_median_optimum_grows_with_epsilon(self, skewed_aged):
+        # Cheaper noise shifts the balance toward larger blocks (Fig. 9).
+        search = BlockSizeSearch(skewed_aged, live_records=2000, sensitivity=60.0)
+        low = search.search(Median(), epsilon=1.0)
+        high = search.search(Median(), epsilon=20.0)
+        assert high.block_size >= low.block_size
+
+    def test_choice_reports_alpha_consistent_with_block_size(self, skewed_aged):
+        search = BlockSizeSearch(skewed_aged, live_records=10_000, sensitivity=1.0)
+        choice = search.search(Median(), epsilon=2.0)
+        assert 10_000**choice.alpha == pytest.approx(
+            10_000 / choice.block_size, rel=0.01
+        )
+
+    def test_block_size_never_exceeds_aged_size(self, rng):
+        tiny = AgedData(DataTable(rng.normal(size=50)), rng=0)
+        search = BlockSizeSearch(tiny, live_records=100_000, sensitivity=1.0)
+        choice = search.search(Median(), epsilon=1.0)
+        assert choice.block_size <= 50
+
+    def test_predicted_error_is_the_minimum_on_grid(self, skewed_aged):
+        search = BlockSizeSearch(skewed_aged, live_records=2000, sensitivity=60.0)
+        choice = search.search(Median(), epsilon=2.0)
+        for beta in (1, 5, 20, 100, 500):
+            total, _, _ = search.objective(Median(), beta, epsilon=2.0)
+            assert choice.predicted_error <= total + 1e-9
+
+
+class TestValidation:
+    def test_bad_live_records(self, skewed_aged):
+        with pytest.raises(GuptError):
+            BlockSizeSearch(skewed_aged, live_records=1, sensitivity=1.0)
+
+    def test_bad_sensitivity(self, skewed_aged):
+        with pytest.raises(GuptError):
+            BlockSizeSearch(skewed_aged, live_records=100, sensitivity=-1.0)
+
+    def test_bad_resolution(self, skewed_aged):
+        with pytest.raises(GuptError):
+            BlockSizeSearch(skewed_aged, live_records=100, sensitivity=1.0, resolution=1)

@@ -1,0 +1,79 @@
+"""Unit tests for PrivacyBudget."""
+
+import threading
+
+import pytest
+
+from repro.accounting.budget import PrivacyBudget
+from repro.exceptions import InvalidPrivacyParameter, PrivacyBudgetExhausted
+
+
+class TestCharge:
+    def test_charge_reduces_remaining(self):
+        budget = PrivacyBudget(2.0)
+        budget.charge(0.5)
+        assert budget.remaining == pytest.approx(1.5)
+        assert budget.spent == pytest.approx(0.5)
+
+    def test_exact_exhaustion(self):
+        budget = PrivacyBudget(1.0)
+        budget.charge(1.0)
+        assert budget.remaining == 0.0
+
+    def test_overcharge_raises_and_preserves_state(self):
+        budget = PrivacyBudget(1.0)
+        budget.charge(0.6)
+        with pytest.raises(PrivacyBudgetExhausted):
+            budget.charge(0.6)
+        assert budget.spent == pytest.approx(0.6)
+
+    def test_exhausted_error_carries_amounts(self):
+        budget = PrivacyBudget(1.0, dataset="census")
+        with pytest.raises(PrivacyBudgetExhausted) as excinfo:
+            budget.charge(2.0)
+        assert excinfo.value.requested == 2.0
+        assert excinfo.value.remaining == 1.0
+        assert excinfo.value.dataset == "census"
+
+    def test_many_fractional_charges_tolerated(self):
+        # eps/k charged k times must not trip on float rounding.
+        budget = PrivacyBudget(1.0)
+        for _ in range(7):
+            budget.charge(1.0 / 7.0)
+        assert budget.remaining == pytest.approx(0.0, abs=1e-9)
+
+    @pytest.mark.parametrize("amount", [0.0, -0.5, float("nan"), float("inf")])
+    def test_invalid_charge_rejected(self, amount):
+        budget = PrivacyBudget(1.0)
+        with pytest.raises(InvalidPrivacyParameter):
+            budget.charge(amount)
+
+    def test_can_afford(self):
+        budget = PrivacyBudget(1.0)
+        assert budget.can_afford(1.0)
+        assert not budget.can_afford(1.1)
+
+    @pytest.mark.parametrize("total", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_total_rejected(self, total):
+        with pytest.raises(InvalidPrivacyParameter):
+            PrivacyBudget(total)
+
+    def test_concurrent_charges_never_overspend(self):
+        budget = PrivacyBudget(10.0)
+        errors = []
+
+        def worker():
+            for _ in range(100):
+                try:
+                    budget.charge(0.05)
+                except PrivacyBudgetExhausted:
+                    errors.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # 400 charges of 0.05 would need 20.0; half must be refused.
+        assert budget.spent <= 10.0 + 1e-6
+        assert len(errors) > 0

@@ -1,0 +1,96 @@
+"""Unit tests for automatic budget distribution (§5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.budget_distribution import BudgetDistributor, QuerySpec
+from repro.exceptions import GuptError, InvalidPrivacyParameter
+
+
+def spec(name="q", width=1.0, blocks=10, gamma=1):
+    return QuerySpec(
+        name=name, output_width=width, num_blocks=blocks, resampling_factor=gamma
+    )
+
+
+class TestQuerySpec:
+    def test_noise_coefficient_formula(self):
+        q = spec(width=10.0, blocks=5, gamma=2)
+        assert q.noise_coefficient == pytest.approx(np.sqrt(2) * 2 * 10.0 / 5)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(GuptError):
+            spec(width=-1.0)
+
+    def test_invalid_blocks_rejected(self):
+        with pytest.raises(GuptError):
+            spec(blocks=0)
+
+    def test_invalid_gamma_rejected(self):
+        with pytest.raises(GuptError):
+            spec(gamma=0)
+
+
+class TestAllocate:
+    def test_shares_sum_to_total(self):
+        distributor = BudgetDistributor(2.0)
+        allocations = distributor.allocate([spec("a", 1.0), spec("b", 100.0)])
+        assert sum(a.epsilon for a in allocations) == pytest.approx(2.0)
+
+    def test_noise_std_equalized(self):
+        # The whole point of the zeta-proportional split (Example 4).
+        distributor = BudgetDistributor(1.0)
+        allocations = distributor.allocate(
+            [spec("mean", width=150.0), spec("variance", width=150.0**2 / 4)]
+        )
+        stds = [a.noise_std for a in allocations]
+        assert stds[0] == pytest.approx(stds[1])
+
+    def test_more_sensitive_query_gets_more_budget(self):
+        distributor = BudgetDistributor(1.0)
+        mean_alloc, var_alloc = distributor.allocate(
+            [spec("mean", width=1.0), spec("variance", width=100.0)]
+        )
+        assert var_alloc.epsilon > mean_alloc.epsilon
+        assert var_alloc.epsilon / mean_alloc.epsilon == pytest.approx(100.0)
+
+    def test_identical_queries_split_evenly(self):
+        distributor = BudgetDistributor(3.0)
+        allocations = distributor.allocate([spec("a"), spec("b"), spec("c")])
+        assert all(a.epsilon == pytest.approx(1.0) for a in allocations)
+
+    def test_block_count_enters_the_weighting(self):
+        distributor = BudgetDistributor(1.0)
+        few, many = distributor.allocate(
+            [spec("few", blocks=10), spec("many", blocks=1000)]
+        )
+        # More blocks -> lower sensitivity -> needs less budget.
+        assert few.epsilon > many.epsilon
+
+    def test_even_split_baseline_unequal_noise(self):
+        distributor = BudgetDistributor(1.0)
+        allocations = distributor.allocate_evenly(
+            [spec("mean", width=1.0), spec("variance", width=100.0)]
+        )
+        assert allocations[0].epsilon == allocations[1].epsilon
+        assert allocations[1].noise_std == pytest.approx(
+            100.0 * allocations[0].noise_std
+        )
+
+    def test_gupt_split_beats_even_split_on_worst_noise(self):
+        specs = [spec("mean", width=1.0), spec("variance", width=100.0)]
+        distributor = BudgetDistributor(1.0)
+        even_worst = max(a.noise_std for a in distributor.allocate_evenly(specs))
+        gupt_worst = max(a.noise_std for a in distributor.allocate(specs))
+        assert gupt_worst < even_worst
+
+    def test_empty_queries_rejected(self):
+        with pytest.raises(GuptError):
+            BudgetDistributor(1.0).allocate([])
+        with pytest.raises(GuptError):
+            BudgetDistributor(1.0).allocate_evenly([])
+
+    @pytest.mark.parametrize("total", [0.0, -1.0, float("nan")])
+    def test_invalid_total_rejected(self, total):
+        with pytest.raises(InvalidPrivacyParameter):
+            BudgetDistributor(total)

@@ -1,0 +1,138 @@
+"""Unit tests for accuracy-goal -> epsilon translation (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.aging import AgedData
+from repro.core.budget_estimation import AccuracyGoal, estimate_epsilon
+from repro.datasets.table import DataTable
+from repro.estimators.statistics import Mean
+from repro.exceptions import AccuracyGoalInfeasible, GuptError
+
+
+@pytest.fixture
+def aged(rng):
+    return AgedData(DataTable(rng.normal(40, 10, size=3000).clip(0, 150)), rng=0)
+
+
+class TestAccuracyGoal:
+    def test_permissible_std_formula(self):
+        goal = AccuracyGoal(rho=0.9, delta=0.1)
+        sigma = goal.permissible_std(reference_output=38.58)
+        assert sigma == pytest.approx(np.sqrt(0.1) * 0.1 * 38.58)
+
+    def test_stricter_rho_means_smaller_sigma(self):
+        loose = AccuracyGoal(rho=0.8, delta=0.1)
+        strict = AccuracyGoal(rho=0.99, delta=0.1)
+        assert strict.permissible_std(100.0) < loose.permissible_std(100.0)
+
+    def test_stricter_delta_means_smaller_sigma(self):
+        loose = AccuracyGoal(rho=0.9, delta=0.5)
+        strict = AccuracyGoal(rho=0.9, delta=0.01)
+        assert strict.permissible_std(100.0) < loose.permissible_std(100.0)
+
+    @pytest.mark.parametrize("rho", [0.0, 1.0, -0.1, 1.5])
+    def test_invalid_rho(self, rho):
+        with pytest.raises(GuptError):
+            AccuracyGoal(rho=rho, delta=0.1)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.1])
+    def test_invalid_delta(self, delta):
+        with pytest.raises(GuptError):
+            AccuracyGoal(rho=0.9, delta=delta)
+
+
+class TestEstimateEpsilon:
+    def test_solves_equation3(self, aged):
+        goal = AccuracyGoal(rho=0.9, delta=0.1)
+        estimate = estimate_epsilon(
+            goal, aged, Mean(), live_records=30_000, sensitivity=150.0, block_size=75
+        )
+        # Check eps satisfies C + 2 s^2/(eps^2 n^(2 alpha)) = sigma^2.
+        n_alpha = 30_000**estimate.alpha
+        noise_var = 2 * 150.0**2 / (estimate.epsilon**2 * n_alpha**2)
+        assert estimate.estimation_variance + noise_var == pytest.approx(
+            estimate.sigma**2, rel=1e-6
+        )
+
+    def test_stricter_goal_needs_more_epsilon(self, aged):
+        loose = estimate_epsilon(
+            AccuracyGoal(rho=0.8, delta=0.2), aged, Mean(),
+            live_records=30_000, sensitivity=150.0, block_size=75,
+        )
+        strict = estimate_epsilon(
+            AccuracyGoal(rho=0.95, delta=0.05), aged, Mean(),
+            live_records=30_000, sensitivity=150.0, block_size=75,
+        )
+        assert strict.epsilon > loose.epsilon
+
+    def test_smaller_blocks_need_less_epsilon(self, aged):
+        goal = AccuracyGoal(rho=0.9, delta=0.1)
+        small = estimate_epsilon(
+            goal, aged, Mean(), live_records=30_000, sensitivity=150.0, block_size=30
+        )
+        large = estimate_epsilon(
+            goal, aged, Mean(), live_records=30_000, sensitivity=150.0, block_size=300
+        )
+        assert small.epsilon < large.epsilon
+
+    def test_derived_epsilon_meets_goal_empirically(self, aged, rng):
+        # The end-to-end promise: run the query with the derived epsilon
+        # and check the accuracy goal holds on fresh live data.
+        from repro.core.sample_aggregate import SampleAggregateEngine
+
+        goal = AccuracyGoal(rho=0.9, delta=0.1)
+        live = rng.normal(40, 10, size=(30_000, 1)).clip(0, 150)
+        estimate = estimate_epsilon(
+            goal, aged, Mean(), live_records=30_000, sensitivity=150.0, block_size=75
+        )
+        engine = SampleAggregateEngine()
+        truth = live.mean()
+        hits = 0
+        for _ in range(50):
+            value = engine.run(
+                live, Mean(), epsilon=estimate.epsilon,
+                output_ranges=(0.0, 150.0), block_size=75, rng=rng,
+            ).scalar()
+            if abs(value - truth) / truth <= (1 - goal.rho):
+                hits += 1
+        assert hits >= 45  # goal asks for >= 90% of 50 = 45
+
+    def test_infeasible_goal_raises(self, rng):
+        # A tiny aged slice at a large block size -> huge estimation
+        # variance -> no epsilon can deliver 99.9% accuracy.
+        noisy = AgedData(DataTable(rng.lognormal(3, 2, size=60).clip(0, 150)), rng=0)
+        goal = AccuracyGoal(rho=0.999, delta=0.001)
+        with pytest.raises(AccuracyGoalInfeasible):
+            estimate_epsilon(
+                goal, noisy, Mean(), live_records=30_000,
+                sensitivity=150.0, block_size=2,
+            )
+
+    def test_zero_reference_output_raises(self, rng):
+        centered = AgedData(DataTable(rng.normal(0, 1, size=500)), rng=0)
+        # Mean ~ 0 -> permissible sigma ~ 0 -> infeasible.
+        zeroed = DataTable(np.concatenate([[-1.0, 1.0], np.zeros(100)]))
+        aged_zero = AgedData(zeroed, rng=0)
+        goal = AccuracyGoal(rho=0.9, delta=0.1)
+        with pytest.raises(AccuracyGoalInfeasible):
+            estimate_epsilon(
+                goal, aged_zero, Mean(), live_records=1000,
+                sensitivity=2.0, block_size=102,
+            )
+
+    def test_invalid_block_size_rejected(self, aged):
+        goal = AccuracyGoal(rho=0.9, delta=0.1)
+        with pytest.raises(GuptError):
+            estimate_epsilon(
+                goal, aged, Mean(), live_records=1000,
+                sensitivity=1.0, block_size=10_000,
+            )
+
+    def test_invalid_sensitivity_rejected(self, aged):
+        goal = AccuracyGoal(rho=0.9, delta=0.1)
+        with pytest.raises(GuptError):
+            estimate_epsilon(
+                goal, aged, Mean(), live_records=1000,
+                sensitivity=0.0, block_size=10,
+            )

@@ -1,0 +1,101 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets.loaders import save_csv
+from repro.datasets.table import DataTable
+
+
+@pytest.fixture
+def ages_csv(tmp_path, rng):
+    path = tmp_path / "ages.csv"
+    ages = rng.normal(40, 10, size=3000).clip(0, 150)
+    save_csv(DataTable(ages, column_names=["age"]), path)
+    return path
+
+
+class TestInspect:
+    def test_prints_shape(self, ages_csv, capsys):
+        assert main(["inspect", "--data", str(ages_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "records   : 3000" in out
+        assert "age" in out
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["inspect", "--data", str(tmp_path / "nope.csv")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_mean_query(self, ages_csv, capsys):
+        code = main([
+            "query", "--data", str(ages_csv), "--program", "mean",
+            "--range", "0", "150", "--epsilon", "5.0", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        value = float(out.split("private mean:")[1].split()[0])
+        assert 20.0 < value < 60.0
+        assert "budget left   : 5" in out
+
+    def test_median_by_column_name(self, ages_csv, capsys):
+        code = main([
+            "query", "--data", str(ages_csv), "--program", "median",
+            "--column", "age", "--range", "0", "150",
+            "--epsilon", "5.0", "--seed", "1",
+        ])
+        assert code == 0
+        assert "private median:" in capsys.readouterr().out
+
+    def test_count_above(self, ages_csv, capsys):
+        code = main([
+            "query", "--data", str(ages_csv), "--program", "count-above",
+            "--threshold", "40", "--range", "0", "1",
+            "--epsilon", "5.0", "--seed", "1",
+        ])
+        assert code == 0
+        value = float(capsys.readouterr().out.split("count-above:")[1].split()[0])
+        assert 0.0 <= value <= 1.0
+
+    def test_count_above_requires_threshold(self, ages_csv, capsys):
+        code = main([
+            "query", "--data", str(ages_csv), "--program", "count-above",
+            "--range", "0", "1", "--epsilon", "1.0",
+        ])
+        assert code == 2
+
+    def test_accuracy_goal_path(self, ages_csv, capsys):
+        code = main([
+            "query", "--data", str(ages_csv), "--program", "mean",
+            "--range", "0", "150", "--accuracy", "0.9", "0.1",
+            "--aged-fraction", "0.1", "--block-size", "30", "--seed", "1",
+        ])
+        assert code == 0
+        assert "derived from accuracy goal" in capsys.readouterr().out
+
+    def test_epsilon_and_accuracy_both_rejected(self, ages_csv, capsys):
+        code = main([
+            "query", "--data", str(ages_csv), "--program", "mean",
+            "--range", "0", "150", "--epsilon", "1.0",
+            "--accuracy", "0.9", "0.1",
+        ])
+        assert code == 2
+
+    def test_budget_exhaustion_reported(self, ages_csv, capsys):
+        code = main([
+            "query", "--data", str(ages_csv), "--program", "mean",
+            "--range", "0", "150", "--epsilon", "3.0", "--budget", "2.0",
+        ])
+        assert code == 1
+        assert "budget exhausted" in capsys.readouterr().err
+
+    def test_auto_block_size(self, ages_csv, capsys):
+        code = main([
+            "query", "--data", str(ages_csv), "--program", "mean",
+            "--range", "0", "150", "--epsilon", "2.0",
+            "--aged-fraction", "0.1", "--block-size", "auto", "--seed", "2",
+        ])
+        assert code == 0
+        assert "x 1 records" in capsys.readouterr().out  # optimizer picks beta=1

@@ -1,0 +1,91 @@
+"""Unit tests for composition accounting."""
+
+import pytest
+
+from repro.exceptions import InvalidPrivacyParameter
+from repro.mechanisms.composition import (
+    parallel_composition,
+    sequential_composition,
+    split_evenly,
+    split_proportionally,
+)
+
+
+class TestSequential:
+    def test_sum(self):
+        assert sequential_composition([0.5, 0.25, 0.25]) == pytest.approx(1.0)
+
+    def test_empty_is_zero(self):
+        assert sequential_composition([]) == 0.0
+
+    def test_zero_entries_allowed(self):
+        assert sequential_composition([0.0, 1.0]) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidPrivacyParameter):
+            sequential_composition([1.0, -0.1])
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidPrivacyParameter):
+            sequential_composition([float("nan")])
+
+
+class TestParallel:
+    def test_max(self):
+        assert parallel_composition([0.5, 2.0, 1.0]) == 2.0
+
+    def test_empty_is_zero(self):
+        assert parallel_composition([]) == 0.0
+
+    def test_cheaper_than_sequential(self):
+        eps = [0.5, 0.5, 0.5]
+        assert parallel_composition(eps) < sequential_composition(eps)
+
+
+class TestSplitEvenly:
+    def test_shares_sum_to_total(self):
+        shares = split_evenly(1.0, 7)
+        assert sum(shares) == pytest.approx(1.0)
+        assert len(shares) == 7
+
+    def test_single_part(self):
+        assert split_evenly(2.0, 1) == [2.0]
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(ValueError):
+            split_evenly(1.0, 0)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(InvalidPrivacyParameter):
+            split_evenly(0.0, 2)
+
+
+class TestSplitProportionally:
+    def test_proportions(self):
+        shares = split_proportionally(1.0, [1.0, 3.0])
+        assert shares[0] == pytest.approx(0.25)
+        assert shares[1] == pytest.approx(0.75)
+
+    def test_shares_sum_to_total(self):
+        shares = split_proportionally(2.5, [0.1, 0.2, 0.7])
+        assert sum(shares) == pytest.approx(2.5)
+
+    def test_all_zero_weights_fall_back_to_even(self):
+        shares = split_proportionally(1.0, [0.0, 0.0])
+        assert shares == [0.5, 0.5]
+
+    def test_zero_weight_gets_zero_share(self):
+        shares = split_proportionally(1.0, [0.0, 1.0])
+        assert shares[0] == 0.0
+
+    def test_empty_weights_rejected(self):
+        with pytest.raises(ValueError):
+            split_proportionally(1.0, [])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            split_proportionally(1.0, [1.0, -1.0])
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(InvalidPrivacyParameter):
+            split_proportionally(-1.0, [1.0])

@@ -1,0 +1,61 @@
+"""Unit tests for the computation manager."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ComputationError
+from repro.runtime.computation_manager import ComputationManager
+
+BLOCKS = [np.full((10, 1), float(i)) for i in range(5)]
+
+
+def mean_program(block):
+    return float(np.mean(block))
+
+
+class TestRunBlocks:
+    def test_one_outcome_per_block_in_order(self):
+        manager = ComputationManager()
+        results = manager.run_blocks(mean_program, BLOCKS, 1, np.array([0.0]))
+        assert [r.output[0] for r in results] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_parallel_matches_serial(self):
+        serial = ComputationManager(max_workers=1)
+        parallel = ComputationManager(max_workers=4)
+        a = serial.run_blocks(mean_program, BLOCKS, 1, np.array([0.0]))
+        b = parallel.run_blocks(mean_program, BLOCKS, 1, np.array([0.0]))
+        assert [r.output[0] for r in a] == [r.output[0] for r in b]
+
+    def test_partial_failure_uses_fallback(self):
+        def failing_on_even(block):
+            if int(block[0, 0]) % 2 == 0:
+                raise RuntimeError
+            return float(np.mean(block))
+
+        manager = ComputationManager()
+        results = manager.run_blocks(failing_on_even, BLOCKS, 1, np.array([-1.0]))
+        assert [r.output[0] for r in results] == [-1.0, 1.0, -1.0, 3.0, -1.0]
+
+    def test_total_failure_raises(self):
+        def always_fails(block):
+            raise RuntimeError
+
+        manager = ComputationManager()
+        with pytest.raises(ComputationError):
+            manager.run_blocks(always_fails, BLOCKS, 1, np.array([0.0]))
+
+    def test_empty_blocks_rejected(self):
+        with pytest.raises(ComputationError):
+            ComputationManager().run_blocks(mean_program, [], 1, np.array([0.0]))
+
+    def test_bad_output_dimension_rejected(self):
+        with pytest.raises(ComputationError):
+            ComputationManager().run_blocks(mean_program, BLOCKS, 0, np.array([0.0]))
+
+    def test_fallback_shape_mismatch_rejected(self):
+        with pytest.raises(ComputationError):
+            ComputationManager().run_blocks(mean_program, BLOCKS, 1, np.array([0.0, 1.0]))
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            ComputationManager(max_workers=0)

@@ -1,0 +1,73 @@
+"""Tests for the empirical DP verifier — including a negative control."""
+
+import numpy as np
+import pytest
+
+from repro.audit.dp_verifier import empirical_epsilon, neighboring
+from repro.mechanisms.laplace import laplace_noise
+
+
+class TestNeighboring:
+    def test_differs_in_exactly_one_record(self):
+        data = np.arange(10.0)
+        neighbor = neighboring(data, index=3, replacement=99.0)
+        diffs = data != neighbor
+        assert diffs.sum() == 1
+        assert neighbor[3] == 99.0
+
+    def test_default_replacement_is_extreme(self):
+        data = np.arange(10.0)
+        neighbor = neighboring(data, index=0, rng=0)
+        assert neighbor[0] in (0.0, 9.0)
+
+    def test_2d_supported(self):
+        data = np.arange(12.0).reshape(4, 3)
+        neighbor = neighboring(data, index=1, replacement=[0.0, 0.0, 0.0])
+        assert np.array_equal(neighbor[1], [0.0, 0.0, 0.0])
+        assert np.array_equal(neighbor[0], data[0])
+
+
+class TestEmpiricalEpsilon:
+    def test_laplace_mechanism_bounded_by_epsilon(self):
+        rng = np.random.default_rng(0)
+        epsilon = 1.0
+
+        def mechanism(data):
+            # Mean with sensitivity 1/n over data clamped to [0, 10].
+            clamped = np.clip(data, 0, 10)
+            return clamped.mean() + laplace_noise(10.0 / (epsilon * len(data)), rng=rng)
+
+        data = rng.uniform(0, 10, size=100)
+        neighbor = neighboring(data, replacement=10.0)
+        measured = empirical_epsilon(mechanism, data, neighbor, trials=3000)
+        # Sampling error inflates the estimate; allow generous headroom
+        # but far below what a broken mechanism produces.
+        assert measured < 2.5 * epsilon
+
+    def test_flags_broken_mechanism(self):
+        # Negative control: noise calibrated 100x too small must be
+        # detected as grossly non-private.
+        rng = np.random.default_rng(1)
+
+        def broken(data):
+            clamped = np.clip(data, 0, 10)
+            return clamped.mean() + laplace_noise(0.001, rng=rng)
+
+        data = rng.uniform(0, 10, size=100)
+        neighbor = neighboring(data, replacement=10.0)
+        measured = empirical_epsilon(broken, data, neighbor, trials=1500)
+        assert measured > 3.0
+
+    def test_constant_mechanism_is_perfectly_private(self):
+        measured = empirical_epsilon(
+            lambda data: 42.0, np.zeros(10), np.ones(10), trials=100
+        )
+        assert measured == 0.0
+
+    def test_too_few_trials_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_epsilon(lambda d: 0.0, np.zeros(5), np.zeros(5), trials=5)
+
+    def test_too_few_bins_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_epsilon(lambda d: 0.0, np.zeros(5), np.zeros(5), bins=1)

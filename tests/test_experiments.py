@@ -1,0 +1,146 @@
+"""Smoke tests for the experiment drivers (micro configs, fast).
+
+The benchmark suite asserts the full shape criteria on the quick
+configs; these tests keep the experiment *code paths* covered inside
+the unit-test run with tiny workloads.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import (
+    ablations,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    sandbox_overhead,
+    table1,
+)
+from repro.experiments.config import (
+    Figure3Config,
+    Figure4Config,
+    Figure5Config,
+    Figure6Config,
+    Figure7Config,
+    Figure8Config,
+    Figure9Config,
+    SandboxOverheadConfig,
+)
+from repro.experiments.reporting import format_table
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table("T", ["a", "bb"], [[1, 2.5], ["x", True]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert "yes" in text  # booleans rendered as yes/no
+
+    def test_format_table_empty_rows(self):
+        text = format_table("T", ["col"], [])
+        assert "col" in text
+
+
+class TestFigureSmoke:
+    def test_figure3(self):
+        config = Figure3Config(num_records=800, epsilons=(2.0, 10.0), repeats=1)
+        result = figure3.run(config)
+        assert len(result.points) == 2
+        assert 0.0 <= result.baseline_accuracy <= 1.0
+        assert "Figure 3" in result.format_table()
+        assert len(result.rows()) == 2
+
+    def test_figure4(self):
+        config = Figure4Config(
+            num_records=600, num_features=2, num_clusters=2,
+            kmeans_iterations=3, epsilons=(1.0, 4.0), repeats=1,
+        )
+        result = figure4.run(config)
+        assert result.baseline_icv > 0
+        assert len(result.points) == 2
+
+    def test_figure5(self):
+        config = Figure5Config(
+            num_records=400, num_features=2, num_clusters=2,
+            iteration_counts=(2, 5), pinq_epsilons=(4.0,),
+            gupt_epsilons=(2.0,), repeats=1,
+        )
+        result = figure5.run(config)
+        assert set(result.series) == {"PINQ-tight eps=4", "GUPT-tight eps=2"}
+        assert all(len(v) == 2 for v in result.series.values())
+
+    def test_figure6(self):
+        config = Figure6Config(
+            num_records=500, num_features=2, num_clusters=2,
+            iteration_counts=(1, 3),
+        )
+        result = figure6.run(config)
+        assert set(result.series) == {"non-private", "GUPT-helper", "GUPT-loose"}
+        assert all(t > 0 for series in result.series.values() for t in series)
+
+    def test_figure7_and_8(self):
+        config = Figure7Config(num_records=2000, queries=10, block_size=20)
+        result = figure7.run(config)
+        assert set(result.accuracies) == {
+            "constant eps=1", "constant eps=0.3", "variable eps",
+        }
+        assert result.variable_epsilon > 0
+
+        lifetime = figure8.run(Figure8Config(figure7=config))
+        assert lifetime.lifetimes["constant eps=1"] == 1.0
+        assert lifetime.variable_epsilon == pytest.approx(result.variable_epsilon)
+
+    def test_figure9(self):
+        config = Figure9Config(
+            num_records=300, block_sizes=(1, 10), epsilons=(2.0,), repeats=3
+        )
+        result = figure9.run(config)
+        assert set(result.series) == {"Mean eps=2", "Median eps=2"}
+        assert result.best_block_size("Mean eps=2") in (1, 10)
+
+    def test_table1(self):
+        result = table1.run()
+        assert set(result.matrix) == {
+            "works with unmodified programs",
+            "allows expressive programs",
+            "automated budget allocation",
+            "protects against budget attack",
+            "protects against state attack",
+            "protects against timing attack",
+        }
+        assert result.matches_paper()
+
+    def test_sandbox_overhead(self):
+        config = SandboxOverheadConfig(num_records=200, runs=3)
+        result = sandbox_overhead.run(config)
+        assert result.direct_seconds > 0
+        assert result.chambered_seconds > 0
+
+    def test_ablation_range_strategies(self):
+        result = ablations.run_range_strategies(repeats=2)
+        assert set(result.errors) == {"GUPT-tight", "GUPT-loose", "GUPT-helper"}
+
+    def test_ablation_resampling(self):
+        result = ablations.run_resampling(gammas=(1, 2), repeats=5)
+        assert len(set(result.noise_scales)) == 1
+
+
+class TestRunner:
+    def test_registry_covers_all_paper_artifacts(self):
+        assert {
+            "figure3", "figure4", "figure5", "figure6", "figure7",
+            "figure8", "figure9", "table1", "sandbox_overhead", "ablations",
+        } <= set(EXPERIMENTS)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("figure99")
+
+    def test_run_experiment_dispatches(self):
+        result = run_experiment("table1")
+        assert result.matches_paper()

@@ -1,0 +1,116 @@
+"""Unit tests for the exponential mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidPrivacyParameter
+from repro.mechanisms.exponential import ExponentialMechanism
+
+
+class TestProbabilities:
+    def test_sums_to_one(self):
+        mech = ExponentialMechanism(epsilon=1.0)
+        probs = mech.probabilities([0.0, 1.0, 2.0])
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_monotone_in_utility(self):
+        mech = ExponentialMechanism(epsilon=1.0)
+        probs = mech.probabilities([0.0, 1.0, 2.0])
+        assert probs[0] < probs[1] < probs[2]
+
+    def test_uniform_for_equal_utilities(self):
+        mech = ExponentialMechanism(epsilon=1.0)
+        probs = mech.probabilities([3.0, 3.0, 3.0, 3.0])
+        assert np.allclose(probs, 0.25)
+
+    def test_ratio_matches_formula(self):
+        mech = ExponentialMechanism(epsilon=2.0, utility_sensitivity=1.0)
+        probs = mech.probabilities([0.0, 1.0])
+        # p1/p0 = exp(eps * (u1-u0) / (2*du)) = exp(1)
+        assert probs[1] / probs[0] == pytest.approx(np.e)
+
+    def test_weights_scale_probabilities(self):
+        mech = ExponentialMechanism(epsilon=1.0)
+        probs = mech.probabilities([0.0, 0.0], weights=[1.0, 3.0])
+        assert probs[1] / probs[0] == pytest.approx(3.0)
+
+    def test_zero_weight_candidate_never_chosen(self):
+        mech = ExponentialMechanism(epsilon=1.0)
+        probs = mech.probabilities([10.0, 0.0], weights=[0.0, 1.0])
+        assert probs[0] == 0.0
+
+    def test_all_zero_weights_fall_back_to_best_utility(self):
+        mech = ExponentialMechanism(epsilon=1.0)
+        probs = mech.probabilities([1.0, 5.0, 5.0], weights=[0.0, 0.0, 0.0])
+        assert probs[0] == 0.0
+        assert probs[1] == probs[2] == pytest.approx(0.5)
+
+    def test_extreme_utilities_are_stable(self):
+        mech = ExponentialMechanism(epsilon=1.0)
+        probs = mech.probabilities([1e6, 1e6 - 1.0])
+        assert np.all(np.isfinite(probs))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_empty_utilities_rejected(self):
+        mech = ExponentialMechanism(epsilon=1.0)
+        with pytest.raises(ValueError):
+            mech.probabilities([])
+
+    def test_mismatched_weights_rejected(self):
+        mech = ExponentialMechanism(epsilon=1.0)
+        with pytest.raises(ValueError):
+            mech.probabilities([1.0, 2.0], weights=[1.0])
+
+    def test_negative_weights_rejected(self):
+        mech = ExponentialMechanism(epsilon=1.0)
+        with pytest.raises(ValueError):
+            mech.probabilities([1.0, 2.0], weights=[1.0, -1.0])
+
+
+class TestSelection:
+    def test_select_index_in_range(self):
+        mech = ExponentialMechanism(epsilon=1.0)
+        index = mech.select_index([0.0, 1.0, 2.0], rng=0)
+        assert index in (0, 1, 2)
+
+    def test_select_returns_candidate(self):
+        mech = ExponentialMechanism(epsilon=1.0)
+        chosen = mech.select(["a", "b", "c"], [0.0, 0.0, 100.0], rng=0)
+        assert chosen == "c"
+
+    def test_select_mismatched_lengths_rejected(self):
+        mech = ExponentialMechanism(epsilon=1.0)
+        with pytest.raises(ValueError):
+            mech.select(["a"], [0.0, 1.0])
+
+    def test_high_epsilon_concentrates_on_best(self):
+        mech = ExponentialMechanism(epsilon=50.0)
+        rng = np.random.default_rng(1)
+        picks = [mech.select_index([0.0, 1.0, 5.0], rng=rng) for _ in range(200)]
+        assert np.mean(np.array(picks) == 2) > 0.99
+
+    def test_low_epsilon_approaches_uniform(self):
+        mech = ExponentialMechanism(epsilon=1e-6)
+        probs = mech.probabilities([0.0, 1.0, 5.0])
+        assert np.allclose(probs, 1 / 3, atol=1e-5)
+
+    def test_empirical_frequencies_match_probabilities(self):
+        mech = ExponentialMechanism(epsilon=2.0)
+        utilities = [0.0, 1.0, 2.0]
+        probs = mech.probabilities(utilities)
+        rng = np.random.default_rng(2)
+        picks = np.array([mech.select_index(utilities, rng=rng) for _ in range(20_000)])
+        freq = np.bincount(picks, minlength=3) / picks.size
+        assert np.allclose(freq, probs, atol=0.02)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("epsilon", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_epsilon(self, epsilon):
+        with pytest.raises(InvalidPrivacyParameter):
+            ExponentialMechanism(epsilon=epsilon)
+
+    @pytest.mark.parametrize("du", [0.0, -1.0, float("nan")])
+    def test_invalid_sensitivity(self, du):
+        with pytest.raises(InvalidPrivacyParameter):
+            ExponentialMechanism(epsilon=1.0, utility_sensitivity=du)

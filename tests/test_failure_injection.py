@@ -1,0 +1,126 @@
+"""Failure injection: hostile and broken analyst programs.
+
+The runtime's contract is that no analyst program — crashing, hanging,
+shape-shifting, or adversarially data-dependent — can crash the
+platform, corrupt the accounting, or push a release outside the
+declared range by more than the Laplace noise.  Property-based fuzzing
+(hypothesis) drives the program behaviors.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accounting.manager import DatasetManager
+from repro.core.gupt import GuptRuntime
+from repro.core.range_estimation import TightRange
+from repro.core.sample_aggregate import SampleAggregateEngine
+from repro.datasets.table import DataTable
+from repro.exceptions import ComputationError, GuptError
+
+
+DATA = np.linspace(0.0, 10.0, 200).reshape(-1, 1)
+
+
+class TestHostilePrograms:
+    @given(
+        behavior=st.sampled_from(
+            ["crash", "nan", "inf", "wrong-shape", "string", "none", "huge"]
+        ),
+        fail_fraction=st.floats(min_value=0.1, max_value=0.9),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partial_failures_never_crash_or_escape_range(
+        self, behavior, fail_fraction, seed
+    ):
+        generator = np.random.default_rng(seed)
+
+        def flaky(block):
+            if generator.uniform() < fail_fraction:
+                if behavior == "crash":
+                    raise RuntimeError("injected")
+                return {
+                    "nan": float("nan"),
+                    "inf": float("inf"),
+                    "wrong-shape": [1.0, 2.0, 3.0],
+                    "string": "not a number",
+                    "none": None,
+                    "huge": 1e300,
+                }[behavior]
+            return float(np.mean(block))
+
+        engine = SampleAggregateEngine()
+        try:
+            release = engine.run(
+                DATA, flaky, epsilon=1.0, output_ranges=(0.0, 10.0),
+                block_size=20, rng=seed,
+            )
+        except ComputationError:
+            # Acceptable only when literally every block failed.
+            return
+        # Clamping bounds the data-derived part; noise scale at these
+        # parameters is 10/(10*1) = 1, so +-60 sigma is astronomically
+        # safe as an outer bound.
+        assert -70.0 <= release.scalar() <= 80.0
+        assert np.isfinite(release.value).all()
+
+    def test_huge_values_are_clamped_not_propagated(self):
+        engine = SampleAggregateEngine()
+        release = engine.run(
+            DATA, lambda b: 1e300, epsilon=1e9, output_ranges=(0.0, 10.0),
+            block_size=20, rng=0,
+        )
+        assert release.scalar() == pytest.approx(10.0, abs=0.01)
+
+    def test_program_mutating_its_block_cannot_corrupt_the_dataset(self):
+        table = DataTable(np.linspace(0.0, 10.0, 100))
+        manager = DatasetManager()
+        manager.register("d", table, total_budget=10.0)
+        runtime = GuptRuntime(manager, rng=0)
+
+        def vandal(block):
+            block[:] = -999.0  # blocks are copies; the table is read-only
+            return float(np.mean(block))
+
+        runtime.run("d", vandal, TightRange((0.0, 10.0)), epsilon=1.0)
+        assert np.array_equal(
+            manager.get("d").table.values.ravel(), np.linspace(0.0, 10.0, 100)
+        )
+
+    def test_failed_query_does_not_charge_twice(self):
+        table = DataTable(np.linspace(0.0, 10.0, 100))
+        manager = DatasetManager()
+        manager.register("d", table, total_budget=10.0)
+        runtime = GuptRuntime(manager, rng=0)
+
+        def always_crashes(block):
+            raise RuntimeError
+
+        with pytest.raises(ComputationError):
+            runtime.run("d", always_crashes, TightRange((0.0, 10.0)), epsilon=1.0)
+        # The charge happened before execution (that is the budget-attack
+        # defense) and exactly once.
+        assert manager.get("d").budget.spent == pytest.approx(1.0)
+
+    @given(dim=st.integers(min_value=1, max_value=6), seed=st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_vector_outputs_fuzzed_shapes(self, dim, seed):
+        generator = np.random.default_rng(seed)
+
+        def program(block):
+            # Sometimes the right shape, sometimes off by one.
+            size = dim if generator.uniform() < 0.7 else dim + 1
+            return list(generator.uniform(0, 1, size=size))
+
+        engine = SampleAggregateEngine()
+        try:
+            release = engine.run(
+                DATA, program, epsilon=1.0,
+                output_ranges=[(0.0, 1.0)] * dim, block_size=20, rng=seed,
+            )
+        except ComputationError:
+            return
+        assert release.value.shape == (dim,)
+        assert np.isfinite(release.value).all()

@@ -1,0 +1,179 @@
+"""End-to-end integration tests across module boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccuracyGoal,
+    BudgetDistributor,
+    DatasetManager,
+    GuptRuntime,
+    HelperRange,
+    LooseOutputRange,
+    QuerySpec,
+    TightRange,
+    census_adult,
+    life_sciences,
+)
+from repro.estimators import (
+    KMeans,
+    LogisticRegression,
+    Mean,
+    Variance,
+    classification_accuracy,
+    intra_cluster_variance,
+    train_test_split,
+)
+from repro.datasets.table import DataTable
+from repro.exceptions import PrivacyBudgetExhausted
+from repro.runtime import ComputationManager, InProcessChamber, SubprocessChamber, TimingDefense
+
+
+class TestCensusWorkflow:
+    def test_full_session(self):
+        """A complete owner/analyst session over the census data."""
+        manager = DatasetManager()
+        table = census_adult(num_records=8000, rng=0)
+        manager.register("census", table, total_budget=6.0, aged_fraction=0.1, rng=0)
+        runtime = GuptRuntime(manager, rng=1)
+
+        # Query 1: epsilon-specified mean.
+        mean_result = runtime.run(
+            "census", Mean(), TightRange((0.0, 150.0)), epsilon=1.0,
+            query_name="mean",
+        )
+        live = manager.get("census").table.values
+        assert mean_result.scalar() == pytest.approx(live.mean(), abs=5.0)
+
+        # Query 2: accuracy-goal variance.
+        variance_result = runtime.run(
+            "census", Variance(), TightRange((0.0, 150.0**2 / 4)),
+            accuracy=AccuracyGoal(rho=0.8, delta=0.2), block_size=50,
+            query_name="variance",
+        )
+        assert variance_result.epsilon_was_estimated
+
+        # Ledger reconciles with budget.
+        registered = manager.get("census")
+        assert registered.ledger.total_spent == pytest.approx(registered.budget.spent)
+        assert set(registered.ledger.by_query()) == {"mean", "variance"}
+
+    def test_distributed_budget_across_queries(self):
+        manager = DatasetManager()
+        manager.register("census", census_adult(num_records=5000, rng=0), total_budget=3.0)
+        runtime = GuptRuntime(manager, rng=2)
+
+        blocks = 5000 // round(5000**0.6)
+        specs = [
+            QuerySpec("mean", output_width=150.0, num_blocks=blocks),
+            QuerySpec("variance", output_width=150.0**2 / 4, num_blocks=blocks),
+        ]
+        allocations = BudgetDistributor(2.0).allocate(specs)
+        programs = {"mean": Mean(), "variance": Variance()}
+        ranges = {"mean": (0.0, 150.0), "variance": (0.0, 150.0**2 / 4)}
+        for allocation in allocations:
+            runtime.run(
+                "census",
+                programs[allocation.name],
+                TightRange(ranges[allocation.name]),
+                epsilon=allocation.epsilon,
+                query_name=allocation.name,
+            )
+        assert manager.get("census").budget.spent == pytest.approx(2.0)
+
+    def test_budget_exhaustion_ends_the_session(self):
+        manager = DatasetManager()
+        manager.register("census", census_adult(num_records=2000, rng=0), total_budget=2.0)
+        runtime = GuptRuntime(manager, rng=3)
+        runtime.run("census", Mean(), TightRange((0.0, 150.0)), epsilon=1.5)
+        with pytest.raises(PrivacyBudgetExhausted):
+            runtime.run("census", Mean(), TightRange((0.0, 150.0)), epsilon=1.0)
+        # The refused query left no trace.
+        assert manager.get("census").budget.spent == pytest.approx(1.5)
+
+
+class TestMachineLearningWorkflows:
+    def test_private_logistic_regression_beats_chance(self):
+        dataset = life_sciences(num_records=6000, rng=1)
+        train_x, train_y, test_x, test_y = train_test_split(
+            dataset.features.values, dataset.labels, rng=0
+        )
+        packed = DataTable(np.column_stack([train_x, train_y.astype(float)]))
+        manager = DatasetManager()
+        manager.register("lifesci", packed, total_budget=20.0)
+        runtime = GuptRuntime(manager, rng=4)
+
+        trainer = LogisticRegression(num_features=10)
+        result = runtime.run(
+            "lifesci", trainer,
+            TightRange([(-3.0, 3.0)] * trainer.output_dimension),
+            epsilon=10.0,
+        )
+        accuracy = classification_accuracy(result.value, test_x, test_y)
+        assert accuracy > 0.6
+
+    def test_private_kmeans_tracks_baseline(self):
+        dataset = life_sciences(num_records=6000, num_features=3, num_clusters=3, rng=2)
+        data = dataset.features.values
+        manager = DatasetManager()
+        manager.register("lifesci", dataset.features, total_budget=50.0)
+        runtime = GuptRuntime(manager, rng=5)
+
+        program = KMeans(num_clusters=3, num_features=3, iterations=10)
+        baseline_icv = intra_cluster_variance(data, program.fit(data))
+        bounds = [
+            (float(lo), float(hi))
+            for lo, hi in zip(data.min(axis=0), data.max(axis=0))
+        ] * 3
+        result = runtime.run(
+            "lifesci", program, TightRange(bounds), epsilon=20.0
+        )
+        icv = intra_cluster_variance(data, result.reshape(3, 3))
+        assert icv < 10 * baseline_icv
+
+
+class TestChamberIntegration:
+    def test_runtime_with_subprocess_chambers(self):
+        manager = DatasetManager()
+        manager.register("census", census_adult(num_records=500, rng=0), total_budget=50.0)
+        runtime = GuptRuntime(
+            manager, ComputationManager(SubprocessChamber()), rng=6
+        )
+        result = runtime.run(
+            "census", Mean(), TightRange((0.0, 150.0)), epsilon=30.0, block_size=25
+        )
+        live = manager.get("census").table.values
+        assert result.failed_blocks == 0
+        assert result.scalar() == pytest.approx(live.mean(), abs=5.0)
+
+    def test_runtime_with_timing_defense(self):
+        manager = DatasetManager()
+        manager.register("census", census_adult(num_records=200, rng=0), total_budget=5.0)
+        chamber = InProcessChamber(timing=TimingDefense(cycle_budget=0.5, pad=False))
+        runtime = GuptRuntime(manager, ComputationManager(chamber), rng=7)
+        result = runtime.run(
+            "census", Mean(), TightRange((0.0, 150.0)), epsilon=2.0, block_size=50
+        )
+        assert result.failed_blocks == 0
+
+    def test_hanging_program_produces_a_result_anyway(self):
+        import time
+
+        manager = DatasetManager()
+        manager.register("census", census_adult(num_records=200, rng=0), total_budget=5.0)
+        chamber = InProcessChamber(timing=TimingDefense(cycle_budget=0.05, pad=False))
+        runtime = GuptRuntime(manager, ComputationManager(chamber), rng=8)
+
+        def hangs_sometimes(block):
+            if block.mean() > 38.0:
+                time.sleep(0.5)
+            return float(block.mean())
+
+        result = runtime.run(
+            "census", hangs_sometimes, TightRange((0.0, 150.0)),
+            epsilon=2.0, block_size=50,
+        )
+        # Some blocks were killed, but the query still returned a value
+        # inside the plausible range.
+        assert result.failed_blocks >= 1
+        assert 0.0 <= result.scalar() <= 160.0

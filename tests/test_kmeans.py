@@ -1,0 +1,100 @@
+"""Unit tests for the k-means estimator."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.kmeans import KMeans, intra_cluster_variance, sort_centers
+
+
+@pytest.fixture
+def blobs(rng):
+    centers = np.array([[0.0, 0.0], [10.0, 10.0], [0.0, 10.0]])
+    assignment = rng.integers(0, 3, size=600)
+    return centers[assignment] + rng.normal(0, 0.4, size=(600, 2)), centers
+
+
+class TestSortCenters:
+    def test_sorts_by_first_coordinate(self):
+        flat = np.array([5.0, 1.0, 0.0, 2.0, 3.0, 9.0])
+        out = sort_centers(flat, num_clusters=3, num_features=2)
+        assert out.tolist() == [0.0, 2.0, 3.0, 9.0, 5.0, 1.0]
+
+    def test_stable_for_sorted_input(self):
+        flat = np.array([0.0, 1.0, 5.0, 2.0])
+        assert np.array_equal(sort_centers(flat, 2, 2), flat)
+
+
+class TestIntraClusterVariance:
+    def test_zero_for_exact_centers(self):
+        data = np.array([[0.0, 0.0], [2.0, 2.0]])
+        assert intra_cluster_variance(data, data) == 0.0
+
+    def test_nearest_center_assignment(self):
+        data = np.array([[0.0], [10.0]])
+        centers = np.array([[0.0], [10.0]])
+        assert intra_cluster_variance(data, centers) == 0.0
+
+    def test_single_center(self):
+        data = np.array([[0.0], [2.0]])
+        assert intra_cluster_variance(data, np.array([1.0])) == pytest.approx(1.0)
+
+
+class TestKMeans:
+    def test_recovers_blob_centers(self, blobs):
+        data, truth = blobs
+        program = KMeans(num_clusters=3, num_features=2, iterations=20)
+        centers = program.fit(data)
+        recovered = centers[np.argsort(centers[:, 0] + centers[:, 1])]
+        expected = truth[np.argsort(truth[:, 0] + truth[:, 1])]
+        assert np.allclose(recovered, expected, atol=0.5)
+
+    def test_callable_output_is_sorted_flat_vector(self, blobs):
+        data, _ = blobs
+        program = KMeans(num_clusters=3, num_features=2)
+        out = program(data)
+        assert out.shape == (6,)
+        firsts = out.reshape(3, 2)[:, 0]
+        assert np.all(np.diff(firsts) >= 0)
+
+    def test_output_dimension(self):
+        assert KMeans(num_clusters=4, num_features=10).output_dimension == 40
+
+    def test_deterministic_given_seed(self, blobs):
+        data, _ = blobs
+        a = KMeans(num_clusters=3, num_features=2, seed=1)(data)
+        b = KMeans(num_clusters=3, num_features=2, seed=1)(data)
+        assert np.array_equal(a, b)
+
+    def test_early_stopping_limits_work(self, blobs):
+        data, _ = blobs
+        capped = KMeans(num_clusters=3, num_features=2, iterations=200, tol=1e-6)
+        uncapped = KMeans(num_clusters=3, num_features=2, iterations=200, tol=0.0)
+        # Same final centers whether or not we early-stop.
+        assert np.allclose(capped(data), uncapped(data), atol=1e-4)
+
+    def test_restarts_never_hurt_icv(self, blobs):
+        data, _ = blobs
+        single = KMeans(num_clusters=3, num_features=2, restarts=1, seed=3)
+        multi = KMeans(num_clusters=3, num_features=2, restarts=8, seed=3)
+        icv_single = intra_cluster_variance(data, single.fit(data))
+        icv_multi = intra_cluster_variance(data, multi.fit(data))
+        assert icv_multi <= icv_single + 1e-9
+
+    def test_block_smaller_than_k_still_outputs_k_centers(self):
+        program = KMeans(num_clusters=4, num_features=1)
+        out = program(np.array([[1.0], [2.0]]))
+        assert out.shape == (4,)
+
+    def test_feature_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(num_clusters=2, num_features=3).fit(np.zeros((10, 2)))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_clusters": 0, "num_features": 1},
+        {"num_clusters": 1, "num_features": 0},
+        {"num_clusters": 1, "num_features": 1, "iterations": 0},
+        {"num_clusters": 1, "num_features": 1, "restarts": 0},
+    ])
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            KMeans(**kwargs)

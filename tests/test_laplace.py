@@ -1,0 +1,113 @@
+"""Unit tests for the Laplace mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidPrivacyParameter
+from repro.mechanisms.laplace import LaplaceMechanism, laplace_noise
+
+
+class TestLaplaceNoise:
+    def test_zero_scale_is_exact_zero(self):
+        assert laplace_noise(0.0) == 0.0
+
+    def test_zero_scale_vector(self):
+        noise = laplace_noise(0.0, size=5)
+        assert np.array_equal(noise, np.zeros(5))
+
+    def test_shape(self):
+        assert np.shape(laplace_noise(1.0, size=(3, 2), rng=0)) == (3, 2)
+
+    def test_scalar_when_size_none(self):
+        assert np.isscalar(laplace_noise(1.0, rng=0)) or np.ndim(laplace_noise(1.0, rng=0)) == 0
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(InvalidPrivacyParameter):
+            laplace_noise(-1.0)
+
+    def test_infinite_scale_rejected(self):
+        with pytest.raises(InvalidPrivacyParameter):
+            laplace_noise(float("inf"))
+
+    def test_seeded_reproducibility(self):
+        a = laplace_noise(2.0, size=10, rng=7)
+        b = laplace_noise(2.0, size=10, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_empirical_std(self):
+        draws = laplace_noise(1.0, size=200_000, rng=1)
+        # Laplace(b) has std sqrt(2)*b.
+        assert np.std(draws) == pytest.approx(np.sqrt(2.0), rel=0.02)
+
+    def test_empirical_mean_centered(self):
+        draws = laplace_noise(3.0, size=200_000, rng=2)
+        assert abs(np.mean(draws)) < 0.05
+
+
+class TestLaplaceMechanism:
+    def test_scale_is_sensitivity_over_epsilon(self):
+        mech = LaplaceMechanism(epsilon=0.5, sensitivity=2.0)
+        assert mech.scale == pytest.approx(4.0)
+
+    def test_noise_std(self):
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=1.0)
+        assert mech.noise_std == pytest.approx(np.sqrt(2.0))
+
+    def test_release_scalar_returns_float(self):
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=1.0)
+        assert isinstance(mech.release(5.0, rng=0), float)
+
+    def test_release_vector_shape(self):
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=1.0)
+        out = mech.release(np.zeros(4), rng=0)
+        assert out.shape == (4,)
+
+    def test_release_is_unbiased(self):
+        mech = LaplaceMechanism(epsilon=2.0, sensitivity=1.0)
+        rng = np.random.default_rng(3)
+        draws = [mech.release(10.0, rng=rng) for _ in range(20_000)]
+        assert np.mean(draws) == pytest.approx(10.0, abs=0.05)
+
+    def test_zero_sensitivity_releases_exactly(self):
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=0.0)
+        assert mech.release(42.0, rng=0) == 42.0
+
+    @pytest.mark.parametrize("epsilon", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_epsilon_rejected(self, epsilon):
+        with pytest.raises(InvalidPrivacyParameter):
+            LaplaceMechanism(epsilon=epsilon, sensitivity=1.0)
+
+    @pytest.mark.parametrize("sensitivity", [-0.1, float("nan"), float("inf")])
+    def test_invalid_sensitivity_rejected(self, sensitivity):
+        with pytest.raises(InvalidPrivacyParameter):
+            LaplaceMechanism(epsilon=1.0, sensitivity=sensitivity)
+
+    def test_interval_contains_value(self):
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=1.0)
+        lo, hi = mech.interval(5.0, confidence=0.95)
+        assert lo < 5.0 < hi
+
+    def test_interval_widens_with_confidence(self):
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=1.0)
+        narrow = mech.interval(0.0, confidence=0.5)
+        wide = mech.interval(0.0, confidence=0.99)
+        assert wide[1] - wide[0] > narrow[1] - narrow[0]
+
+    def test_interval_coverage_empirical(self):
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=1.0)
+        rng = np.random.default_rng(4)
+        lo, hi = mech.interval(0.0, confidence=0.9)
+        draws = np.array([mech.release(0.0, rng=rng) for _ in range(10_000)])
+        coverage = np.mean((draws >= lo) & (draws <= hi))
+        assert coverage == pytest.approx(0.9, abs=0.02)
+
+    @pytest.mark.parametrize("confidence", [0.0, 1.0, -0.5, 1.5])
+    def test_invalid_confidence_rejected(self, confidence):
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=1.0)
+        with pytest.raises(ValueError):
+            mech.interval(0.0, confidence=confidence)
+
+    def test_higher_epsilon_means_less_noise(self):
+        loose = LaplaceMechanism(epsilon=0.1, sensitivity=1.0)
+        tight = LaplaceMechanism(epsilon=10.0, sensitivity=1.0)
+        assert tight.noise_std < loose.noise_std

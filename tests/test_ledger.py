@@ -1,0 +1,50 @@
+"""Unit tests for the privacy ledger."""
+
+import pytest
+
+from repro.accounting.ledger import PrivacyLedger
+
+
+class TestLedger:
+    def test_record_appends(self):
+        ledger = PrivacyLedger()
+        ledger.record(0.5, "mean")
+        ledger.record(0.25, "variance")
+        assert len(ledger) == 2
+
+    def test_sequences_are_monotone(self):
+        ledger = PrivacyLedger()
+        entries = [ledger.record(0.1, f"q{i}") for i in range(5)]
+        assert [e.sequence for e in entries] == [0, 1, 2, 3, 4]
+
+    def test_total_spent(self):
+        ledger = PrivacyLedger()
+        ledger.record(0.5, "a")
+        ledger.record(0.3, "b")
+        assert ledger.total_spent == pytest.approx(0.8)
+
+    def test_by_query_groups(self):
+        ledger = PrivacyLedger()
+        ledger.record(0.5, "mean")
+        ledger.record(0.2, "mean")
+        ledger.record(0.1, "variance")
+        totals = ledger.by_query()
+        assert totals["mean"] == pytest.approx(0.7)
+        assert totals["variance"] == pytest.approx(0.1)
+
+    def test_iteration_yields_entries_in_order(self):
+        ledger = PrivacyLedger()
+        ledger.record(0.1, "a")
+        ledger.record(0.2, "b")
+        assert [e.query for e in ledger] == ["a", "b"]
+
+    def test_detail_is_stored(self):
+        ledger = PrivacyLedger()
+        entry = ledger.record(0.1, "q", detail="range estimation")
+        assert entry.detail == "range estimation"
+
+    def test_empty_ledger(self):
+        ledger = PrivacyLedger()
+        assert len(ledger) == 0
+        assert ledger.total_spent == 0.0
+        assert ledger.by_query() == {}

@@ -1,0 +1,56 @@
+"""Unit tests for the linear-regression estimator."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.linreg import LinearRegression
+
+
+@pytest.fixture
+def linear_data(rng):
+    features = rng.normal(0, 1, size=(500, 2))
+    targets = features @ np.array([3.0, -2.0]) + 1.5 + rng.normal(0, 0.01, 500)
+    return features, targets
+
+
+class TestFit:
+    def test_recovers_coefficients(self, linear_data):
+        x, y = linear_data
+        weights = LinearRegression(num_features=2).fit(x, y)
+        assert weights[0] == pytest.approx(3.0, abs=0.01)
+        assert weights[1] == pytest.approx(-2.0, abs=0.01)
+        assert weights[2] == pytest.approx(1.5, abs=0.01)
+
+    def test_predict_roundtrip(self, linear_data):
+        x, y = linear_data
+        model = LinearRegression(num_features=2)
+        weights = model.fit(x, y)
+        predictions = model.predict(weights, x)
+        assert np.allclose(predictions, y, atol=0.1)
+
+    def test_callable_block_contract(self, linear_data):
+        x, y = linear_data
+        block = np.column_stack([x, y])
+        out = LinearRegression(num_features=2)(block)
+        assert out.shape == (3,)
+
+    def test_output_dimension(self):
+        assert LinearRegression(num_features=5).output_dimension == 6
+
+    def test_collinear_features_stabilized_by_ridge(self):
+        x = np.ones((50, 2))  # perfectly collinear
+        y = np.ones(50)
+        weights = LinearRegression(num_features=2, ridge=1e-6).fit(x, y)
+        assert np.all(np.isfinite(weights))
+
+    def test_wrong_block_width_rejected(self):
+        with pytest.raises(ValueError):
+            LinearRegression(num_features=2)(np.zeros((5, 2)))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_features": 0},
+        {"num_features": 1, "ridge": -1.0},
+    ])
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LinearRegression(**kwargs)

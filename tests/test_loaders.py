@@ -1,0 +1,68 @@
+"""Unit tests for CSV loading/saving."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import load_csv, save_csv
+from repro.datasets.table import DataTable
+from repro.exceptions import DatasetError
+
+
+class TestRoundTrip:
+    def test_values_and_names_preserved(self, tmp_path):
+        table = DataTable(
+            [[1.0, 2.5], [3.0, -4.0]], column_names=["age", "income"]
+        )
+        path = tmp_path / "data.csv"
+        save_csv(table, path)
+        loaded = load_csv(path)
+        assert np.array_equal(loaded.values, table.values)
+        assert loaded.column_names == ("age", "income")
+
+    def test_input_ranges_redeclared_on_load(self, tmp_path):
+        table = DataTable([[1.0]], column_names=["v"])
+        path = tmp_path / "data.csv"
+        save_csv(table, path)
+        loaded = load_csv(path, input_ranges=[(0.0, 10.0)])
+        assert loaded.input_ranges == ((0.0, 10.0),)
+
+    def test_single_column(self, tmp_path):
+        table = DataTable(np.arange(5.0), column_names=["x"])
+        path = tmp_path / "one.csv"
+        save_csv(table, path)
+        assert load_csv(path).num_dimensions == 1
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_csv(tmp_path / "nope.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DatasetError):
+            load_csv(path)
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(DatasetError):
+            load_csv(path)
+
+    def test_ragged_row_reports_line(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1.0,2.0\n3.0\n")
+        with pytest.raises(DatasetError, match=":3"):
+            load_csv(path)
+
+    def test_non_numeric_cell_reports_line(self, tmp_path):
+        path = tmp_path / "text.csv"
+        path.write_text("a\n1.0\nhello\n")
+        with pytest.raises(DatasetError, match=":3"):
+            load_csv(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.csv"
+        path.write_text("a\n1.0\n\n2.0\n")
+        assert load_csv(path).num_records == 2

@@ -1,0 +1,112 @@
+"""Unit tests for the logistic-regression estimator."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.logistic_regression import (
+    LogisticRegression,
+    classification_accuracy,
+    train_test_split,
+)
+
+
+@pytest.fixture
+def separable(rng):
+    features = rng.normal(0, 1, size=(800, 3))
+    weights = np.array([2.0, -1.0, 0.5])
+    labels = (features @ weights + 0.3 > 0).astype(int)
+    return features, labels
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, separable):
+        x, y = separable
+        trx, tr_y, tex, te_y = train_test_split(x, y, test_fraction=0.25, rng=0)
+        assert trx.shape[0] == 600
+        assert tex.shape[0] == 200
+        assert tr_y.shape[0] == 600
+
+    def test_partition_of_rows(self, separable):
+        x, y = separable
+        trx, _, tex, _ = train_test_split(x, y, test_fraction=0.25, rng=0)
+        assert trx.shape[0] + tex.shape[0] == x.shape[0]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((5, 2)), np.zeros(4))
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0])
+    def test_invalid_fraction_rejected(self, separable, fraction):
+        x, y = separable
+        with pytest.raises(ValueError):
+            train_test_split(x, y, test_fraction=fraction)
+
+
+class TestFit:
+    def test_learns_separable_data(self, separable):
+        x, y = separable
+        model = LogisticRegression(num_features=3)
+        weights = model.fit(x, y)
+        assert classification_accuracy(weights, x, y) > 0.97
+
+    def test_weight_direction_matches_truth(self, separable):
+        x, y = separable
+        weights = LogisticRegression(num_features=3, l2=0.1).fit(x, y)
+        truth = np.array([2.0, -1.0, 0.5])
+        cosine = weights[:-1] @ truth / (
+            np.linalg.norm(weights[:-1]) * np.linalg.norm(truth)
+        )
+        assert cosine > 0.95
+
+    def test_intercept_learned(self, rng):
+        features = rng.normal(0, 1, size=(500, 1))
+        labels = (features[:, 0] > -1.0).astype(int)  # shifted boundary
+        weights = LogisticRegression(num_features=1).fit(features, labels)
+        assert weights[-1] > 0  # positive bias compensates the shift
+
+    def test_stronger_l2_shrinks_weights(self, separable):
+        x, y = separable
+        weak = LogisticRegression(num_features=3, l2=0.01).fit(x, y)
+        strong = LogisticRegression(num_features=3, l2=100.0).fit(x, y)
+        assert np.linalg.norm(strong[:-1]) < np.linalg.norm(weak[:-1])
+
+    def test_output_dimension(self):
+        assert LogisticRegression(num_features=7).output_dimension == 8
+
+    def test_callable_block_contract(self, separable):
+        x, y = separable
+        block = np.column_stack([x, y])
+        out = LogisticRegression(num_features=3)(block)
+        assert out.shape == (4,)
+
+    def test_wrong_block_width_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(num_features=3)(np.zeros((10, 3)))
+
+    def test_constant_labels_do_not_blow_up(self):
+        model = LogisticRegression(num_features=2)
+        weights = model.fit(np.random.default_rng(0).normal(size=(50, 2)), np.ones(50))
+        assert np.all(np.isfinite(weights))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_features": 0},
+        {"num_features": 1, "l2": 0.0},
+        {"num_features": 1, "iterations": 0},
+    ])
+    def test_invalid_params_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LogisticRegression(**kwargs)
+
+
+class TestAccuracy:
+    def test_perfect_classifier(self):
+        weights = np.array([1.0, 0.0])  # y = x > 0
+        features = np.array([[-1.0], [1.0]])
+        labels = np.array([0, 1])
+        assert classification_accuracy(weights, features, labels) == 1.0
+
+    def test_inverted_classifier(self):
+        weights = np.array([-1.0, 0.0])
+        features = np.array([[-1.0], [1.0]])
+        labels = np.array([0, 1])
+        assert classification_accuracy(weights, features, labels) == 0.0

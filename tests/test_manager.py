@@ -1,0 +1,130 @@
+"""Unit tests for the dataset manager."""
+
+import numpy as np
+import pytest
+
+from repro.accounting.manager import DatasetManager
+from repro.datasets.table import DataTable
+from repro.exceptions import DatasetError, PrivacyBudgetExhausted
+
+
+@pytest.fixture
+def table():
+    return DataTable(np.arange(100.0))
+
+
+class TestRegistration:
+    def test_register_and_get(self, table):
+        manager = DatasetManager()
+        manager.register("ages", table, total_budget=1.0)
+        assert manager.get("ages").table is table
+
+    def test_duplicate_name_rejected(self, table):
+        manager = DatasetManager()
+        manager.register("ages", table, total_budget=1.0)
+        with pytest.raises(DatasetError):
+            manager.register("ages", table, total_budget=1.0)
+
+    def test_empty_name_rejected(self, table):
+        with pytest.raises(DatasetError):
+            DatasetManager().register("", table, total_budget=1.0)
+
+    def test_unknown_lookup_rejected(self):
+        with pytest.raises(DatasetError):
+            DatasetManager().get("missing")
+
+    def test_names_in_order(self, table):
+        manager = DatasetManager()
+        manager.register("b", table, total_budget=1.0)
+        manager.register("a", table, total_budget=1.0)
+        assert manager.names() == ["b", "a"]
+
+    def test_unregister(self, table):
+        manager = DatasetManager()
+        manager.register("ages", table, total_budget=1.0)
+        manager.unregister("ages")
+        with pytest.raises(DatasetError):
+            manager.get("ages")
+
+    def test_unregister_unknown_rejected(self):
+        with pytest.raises(DatasetError):
+            DatasetManager().unregister("missing")
+
+
+class TestAgedData:
+    def test_no_aged_by_default(self, table):
+        manager = DatasetManager()
+        registered = manager.register("ages", table, total_budget=1.0)
+        assert registered.aged is None
+        assert registered.table.num_records == 100
+
+    def test_aged_fraction_carves_out_slice(self, table):
+        manager = DatasetManager()
+        registered = manager.register(
+            "ages", table, total_budget=1.0, aged_fraction=0.2, rng=0
+        )
+        assert registered.aged.num_records == 20
+        assert registered.table.num_records == 80
+
+    def test_aged_slice_is_disjoint_from_live(self, table):
+        manager = DatasetManager()
+        registered = manager.register(
+            "ages", table, total_budget=1.0, aged_fraction=0.3, rng=0
+        )
+        aged = set(registered.aged.values.ravel())
+        live = set(registered.table.values.ravel())
+        assert not aged & live
+        assert aged | live == set(range(100))
+
+    def test_explicit_aged_table(self, table):
+        aged = DataTable(np.arange(10.0))
+        manager = DatasetManager()
+        registered = manager.register(
+            "ages", table, total_budget=1.0, aged_table=aged
+        )
+        assert registered.aged is aged
+        assert registered.table.num_records == 100
+
+    def test_both_aged_options_rejected(self, table):
+        aged = DataTable(np.arange(10.0))
+        with pytest.raises(DatasetError):
+            DatasetManager().register(
+                "ages", table, total_budget=1.0,
+                aged_fraction=0.1, aged_table=aged,
+            )
+
+    @pytest.mark.parametrize("fraction", [1.0, -0.5, 2.0])
+    def test_invalid_fraction_rejected(self, table, fraction):
+        with pytest.raises(DatasetError):
+            DatasetManager().register(
+                "ages", table, total_budget=1.0, aged_fraction=fraction
+            )
+
+    def test_zero_fraction_means_no_aged_data(self, table):
+        registered = DatasetManager().register(
+            "ages", table, total_budget=1.0, aged_fraction=0.0
+        )
+        assert registered.aged is None
+
+
+class TestCharging:
+    def test_charge_updates_budget_and_ledger(self, table):
+        manager = DatasetManager()
+        registered = manager.register("ages", table, total_budget=2.0)
+        registered.charge(0.5, "mean")
+        assert manager.remaining_budget("ages") == pytest.approx(1.5)
+        assert registered.ledger.total_spent == pytest.approx(0.5)
+
+    def test_ledger_matches_budget_invariant(self, table):
+        manager = DatasetManager()
+        registered = manager.register("ages", table, total_budget=5.0)
+        for i in range(6):
+            registered.charge(0.5, f"q{i}")
+        assert registered.ledger.total_spent == pytest.approx(registered.budget.spent)
+
+    def test_refused_charge_not_in_ledger(self, table):
+        manager = DatasetManager()
+        registered = manager.register("ages", table, total_budget=1.0)
+        with pytest.raises(PrivacyBudgetExhausted):
+            registered.charge(2.0, "greedy")
+        assert len(registered.ledger) == 0

@@ -1,0 +1,136 @@
+"""Unit tests for the external-binary program wrapper."""
+
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.core.sample_aggregate import SampleAggregateEngine
+from repro.exceptions import ComputationError
+from repro.runtime.marshal import ExternalProgram, block_to_csv, parse_output_vector
+
+
+@pytest.fixture
+def mean_script(tmp_path):
+    """A standalone 'binary': reads CSV on stdin, prints the column mean."""
+    script = tmp_path / "mean.py"
+    script.write_text(textwrap.dedent("""
+        import sys
+        values = []
+        for line in sys.stdin:
+            line = line.strip()
+            if line:
+                values.append(float(line.split(",")[0]))
+        print(sum(values) / len(values))
+    """))
+    return (sys.executable, str(script))
+
+
+class TestSerialization:
+    def test_block_to_csv_roundtrip(self):
+        block = np.array([[1.0, 2.5], [3.0, -4.0]])
+        text = block_to_csv(block)
+        rows = [
+            [float(cell) for cell in line.split(",")]
+            for line in text.strip().splitlines()
+        ]
+        assert np.array_equal(np.array(rows), block)
+
+    def test_1d_block_promoted(self):
+        assert block_to_csv(np.array([1.0, 2.0])).strip().splitlines() == ["1.0", "2.0"]
+
+    def test_parse_whitespace_and_commas(self):
+        assert np.array_equal(
+            parse_output_vector("1.0, 2.0 3.0", 3), [1.0, 2.0, 3.0]
+        )
+
+    def test_parse_wrong_count_rejected(self):
+        with pytest.raises(ComputationError):
+            parse_output_vector("1.0 2.0", 3)
+
+    def test_parse_non_numeric_rejected(self):
+        with pytest.raises(ComputationError):
+            parse_output_vector("hello", 1)
+
+    def test_parse_nan_rejected(self):
+        with pytest.raises(ComputationError):
+            parse_output_vector("nan", 1)
+
+
+class TestExternalProgram:
+    def test_runs_the_binary(self, mean_script):
+        program = ExternalProgram(command=mean_script)
+        block = np.linspace(0.0, 10.0, 11).reshape(-1, 1)
+        assert program(block)[0] == pytest.approx(5.0)
+
+    def test_nonzero_exit_raises(self, tmp_path):
+        script = tmp_path / "fail.py"
+        script.write_text("import sys; sys.exit(3)")
+        program = ExternalProgram(command=(sys.executable, str(script)))
+        with pytest.raises(ComputationError, match="status 3"):
+            program(np.array([[1.0]]))
+
+    def test_hang_is_killed(self, tmp_path):
+        script = tmp_path / "hang.py"
+        script.write_text("import time, sys\nsys.stdin.read()\ntime.sleep(30)")
+        program = ExternalProgram(command=(sys.executable, str(script)), timeout=0.5)
+        with pytest.raises(ComputationError, match="exceeded"):
+            program(np.array([[1.0]]))
+
+    def test_missing_binary_raises(self):
+        program = ExternalProgram(command=("/no/such/binary",))
+        with pytest.raises(ComputationError, match="cannot execute"):
+            program(np.array([[1.0]]))
+
+    def test_garbage_output_raises(self, tmp_path):
+        script = tmp_path / "garbage.py"
+        script.write_text("import sys; sys.stdin.read(); print('not-a-number')")
+        program = ExternalProgram(command=(sys.executable, str(script)))
+        with pytest.raises(ComputationError):
+            program(np.array([[1.0]]))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"command": ()},
+        {"command": ("x",), "output_dimension": 0},
+    ])
+    def test_invalid_construction(self, kwargs):
+        with pytest.raises(ComputationError):
+            ExternalProgram(**kwargs)
+
+
+class TestEndToEnd:
+    def test_binary_under_sample_and_aggregate(self, mean_script, rng):
+        """The paper's headline capability: an unmodified external
+        executable runs privately with zero changes."""
+        program = ExternalProgram(command=mean_script)
+        data = rng.uniform(0.0, 10.0, size=(300, 1))
+        engine = SampleAggregateEngine()
+        release = engine.run(
+            data, program, epsilon=50.0, output_ranges=(0.0, 10.0),
+            block_size=50, rng=0,
+        )
+        assert release.failed_blocks == 0
+        assert release.scalar() == pytest.approx(data.mean(), abs=0.5)
+
+    def test_crashing_binary_blocks_fall_back(self, tmp_path, rng):
+        script = tmp_path / "flaky.py"
+        script.write_text(textwrap.dedent("""
+            import sys
+            values = [float(l.split(",")[0]) for l in sys.stdin if l.strip()]
+            mean = sum(values) / len(values)
+            if mean > 5.0:
+                sys.exit(1)
+            print(mean)
+        """))
+        program = ExternalProgram(command=(sys.executable, str(script)))
+        data = rng.uniform(0.0, 10.0, size=(200, 1))
+        engine = SampleAggregateEngine()
+        release = engine.run(
+            data, program, epsilon=1e9, output_ranges=(0.0, 10.0),
+            block_size=20, rng=0,
+        )
+        # Some blocks crash (mean > 5) and contribute the fallback 5.0;
+        # the release is still produced and in-range.
+        assert release.failed_blocks > 0
+        assert 0.0 <= release.scalar() <= 10.0

@@ -1,0 +1,140 @@
+"""Unit tests for the multivariate estimators and result intervals."""
+
+import numpy as np
+import pytest
+
+from repro.core.sample_aggregate import SampleAggregateEngine
+from repro.estimators.multivariate import Covariance, Histogram
+
+
+class TestHistogram:
+    def test_fractions_sum_to_one(self, rng):
+        program = Histogram(edges=(0.0, 2.0, 5.0, 10.0))
+        out = program(rng.uniform(0, 10, size=(200, 1)))
+        assert out.sum() == pytest.approx(1.0)
+        assert out.shape == (3,)
+
+    def test_known_distribution(self):
+        program = Histogram(edges=(0.0, 1.0, 2.0))
+        data = np.array([0.5, 0.5, 1.5, 1.5])
+        assert np.allclose(program(data), [0.5, 0.5])
+
+    def test_out_of_range_values_clipped_into_edge_buckets(self):
+        program = Histogram(edges=(0.0, 1.0, 2.0))
+        out = program(np.array([-100.0, 100.0]))
+        assert np.allclose(out, [0.5, 0.5])
+
+    def test_column_selection(self, rng):
+        program = Histogram(edges=(0.0, 0.5, 1.0), column=1)
+        block = np.column_stack([np.full(100, 99.0), rng.uniform(0, 1, 100)])
+        out = program(block)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_output_dimension(self):
+        assert Histogram(edges=(0, 1, 2, 3)).output_dimension == 3
+
+    @pytest.mark.parametrize("edges", [(1.0,), (0.0, 0.0), (2.0, 1.0)])
+    def test_invalid_edges_rejected(self, edges):
+        with pytest.raises(ValueError):
+            Histogram(edges=edges)
+
+    def test_private_histogram_end_to_end(self, rng):
+        data = rng.normal(5.0, 1.0, size=(5000, 1)).clip(0, 10)
+        program = Histogram(edges=(0.0, 4.0, 6.0, 10.0))
+        engine = SampleAggregateEngine()
+        release = engine.run(
+            data, program, epsilon=20.0,
+            output_ranges=[(0.0, 1.0)] * 3, block_size=100, rng=rng,
+        )
+        truth = program(data)
+        assert np.allclose(release.value, truth, atol=0.1)
+
+
+class TestCovariance:
+    def test_matches_numpy_cov(self, rng):
+        data = rng.normal(0, 1, size=(500, 3))
+        program = Covariance(num_features=3)
+        matrix = program.unpack(program(data))
+        assert np.allclose(matrix, np.cov(data, rowvar=False, ddof=0), atol=1e-9)
+
+    def test_output_dimension_triangle(self):
+        assert Covariance(num_features=4).output_dimension == 10
+
+    def test_unpack_is_symmetric(self, rng):
+        program = Covariance(num_features=3)
+        matrix = program.unpack(program(rng.normal(size=(50, 3))))
+        assert np.array_equal(matrix, matrix.T)
+
+    def test_single_feature(self, rng):
+        data = rng.normal(0, 2, size=(300, 1))
+        program = Covariance(num_features=1)
+        assert program(data)[0] == pytest.approx(data.var(), rel=1e-9)
+
+    def test_tiny_block_yields_zeros(self):
+        program = Covariance(num_features=2)
+        assert np.array_equal(program(np.zeros((1, 2))), np.zeros(3))
+
+    def test_feature_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Covariance(num_features=2)(np.zeros((10, 3)))
+
+    def test_unpack_wrong_size_rejected(self):
+        with pytest.raises(ValueError):
+            Covariance(num_features=2).unpack(np.zeros(5))
+
+    def test_private_covariance_end_to_end(self, rng):
+        cov = np.array([[2.0, 0.8], [0.8, 1.0]])
+        data = rng.multivariate_normal([0, 0], cov, size=8000)
+        program = Covariance(num_features=2)
+        engine = SampleAggregateEngine()
+        release = engine.run(
+            data, program, epsilon=50.0,
+            output_ranges=[(-5.0, 5.0)] * 3, block_size=200, rng=rng,
+        )
+        recovered = program.unpack(release.value)
+        assert np.allclose(recovered, cov, atol=0.3)
+
+
+class TestNoiseInterval:
+    def test_interval_contains_value(self, rng):
+        from repro.accounting.manager import DatasetManager
+        from repro.core.gupt import GuptRuntime
+        from repro.core.range_estimation import TightRange
+        from repro.datasets.table import DataTable
+        from repro.estimators.statistics import Mean
+
+        manager = DatasetManager()
+        manager.register("d", DataTable(rng.uniform(0, 10, 500)), total_budget=5.0)
+        runtime = GuptRuntime(manager, rng=0)
+        result = runtime.run("d", Mean(), TightRange((0.0, 10.0)), epsilon=1.0)
+        (lo, hi), = result.noise_interval(0.95)
+        assert lo < result.scalar() < hi
+
+    def test_interval_width_formula(self, rng):
+        from repro.accounting.manager import DatasetManager
+        from repro.core.gupt import GuptRuntime
+        from repro.core.range_estimation import TightRange
+        from repro.datasets.table import DataTable
+        from repro.estimators.statistics import Mean
+
+        manager = DatasetManager()
+        manager.register("d", DataTable(rng.uniform(0, 10, 500)), total_budget=5.0)
+        runtime = GuptRuntime(manager, rng=0)
+        result = runtime.run("d", Mean(), TightRange((0.0, 10.0)), epsilon=1.0)
+        (lo, hi), = result.noise_interval(0.9)
+        expected = -result.noise_scales[0] * np.log(0.1)
+        assert hi - lo == pytest.approx(2 * expected)
+
+    def test_invalid_confidence_rejected(self, rng):
+        from repro.accounting.manager import DatasetManager
+        from repro.core.gupt import GuptRuntime
+        from repro.core.range_estimation import TightRange
+        from repro.datasets.table import DataTable
+        from repro.estimators.statistics import Mean
+
+        manager = DatasetManager()
+        manager.register("d", DataTable(rng.uniform(0, 10, 100)), total_budget=5.0)
+        runtime = GuptRuntime(manager, rng=0)
+        result = runtime.run("d", Mean(), TightRange((0.0, 10.0)), epsilon=1.0)
+        with pytest.raises(ValueError):
+            result.noise_interval(1.0)

@@ -1,0 +1,127 @@
+"""Unit tests for the DP percentile estimator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidPrivacyParameter, InvalidRange
+from repro.mechanisms.percentile import dp_percentile, dp_percentile_range
+
+
+class TestDpPercentile:
+    def test_result_within_bounds(self):
+        rng = np.random.default_rng(0)
+        data = rng.uniform(10, 20, size=500)
+        for _ in range(20):
+            value = dp_percentile(data, 50, epsilon=1.0, lo=0.0, hi=100.0, rng=rng)
+            assert 0.0 <= value <= 100.0
+
+    def test_accurate_median_at_high_epsilon(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(50, 5, size=2000)
+        estimates = [
+            dp_percentile(data, 50, epsilon=20.0, lo=0.0, hi=100.0, rng=rng)
+            for _ in range(30)
+        ]
+        assert np.median(estimates) == pytest.approx(np.median(data), abs=1.0)
+
+    def test_accurate_quartiles_at_high_epsilon(self):
+        rng = np.random.default_rng(2)
+        data = rng.normal(0, 1, size=5000)
+        low = dp_percentile(data, 25, epsilon=20.0, lo=-10, hi=10, rng=rng)
+        high = dp_percentile(data, 75, epsilon=20.0, lo=-10, hi=10, rng=rng)
+        assert low == pytest.approx(np.percentile(data, 25), abs=0.3)
+        assert high == pytest.approx(np.percentile(data, 75), abs=0.3)
+
+    def test_zero_percentile_near_minimum(self):
+        rng = np.random.default_rng(3)
+        data = np.linspace(40, 60, 1000)
+        value = dp_percentile(data, 0, epsilon=20.0, lo=0, hi=100, rng=rng)
+        assert value < 45
+
+    def test_hundred_percentile_near_maximum(self):
+        rng = np.random.default_rng(4)
+        data = np.linspace(40, 60, 1000)
+        value = dp_percentile(data, 100, epsilon=20.0, lo=0, hi=100, rng=rng)
+        assert value > 55
+
+    def test_values_clamped_to_bounds(self):
+        # Outliers far outside [lo, hi] must not drag the estimate out.
+        rng = np.random.default_rng(5)
+        data = np.concatenate([np.full(100, 50.0), [1e9, -1e9]])
+        value = dp_percentile(data, 50, epsilon=20.0, lo=0, hi=100, rng=rng)
+        assert 0 <= value <= 100
+
+    def test_empty_data_returns_uniform_draw(self):
+        value = dp_percentile([], 50, epsilon=1.0, lo=10, hi=20, rng=0)
+        assert 10 <= value <= 20
+
+    def test_degenerate_bounds(self):
+        assert dp_percentile([1, 2, 3], 50, epsilon=1.0, lo=5, hi=5) == 5
+
+    def test_single_record(self):
+        value = dp_percentile([42.0], 50, epsilon=5.0, lo=0, hi=100, rng=0)
+        assert 0 <= value <= 100
+
+    @pytest.mark.parametrize("pct", [-1, 101])
+    def test_invalid_percentile_rejected(self, pct):
+        with pytest.raises(ValueError):
+            dp_percentile([1.0], pct, epsilon=1.0, lo=0, hi=1)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(InvalidPrivacyParameter):
+            dp_percentile([1.0], 50, epsilon=0.0, lo=0, hi=1)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(InvalidRange):
+            dp_percentile([1.0], 50, epsilon=1.0, lo=10, hi=0)
+
+    def test_nan_bounds_rejected(self):
+        with pytest.raises(InvalidRange):
+            dp_percentile([1.0], 50, epsilon=1.0, lo=float("nan"), hi=1)
+
+    def test_seeded_reproducibility(self):
+        data = np.arange(100.0)
+        a = dp_percentile(data, 50, epsilon=1.0, lo=0, hi=100, rng=9)
+        b = dp_percentile(data, 50, epsilon=1.0, lo=0, hi=100, rng=9)
+        assert a == b
+
+    def test_low_epsilon_spreads_over_range(self):
+        # With epsilon near zero, selection is essentially uniform over
+        # the candidate intervals weighted by length.
+        rng = np.random.default_rng(6)
+        data = np.full(100, 50.0)
+        draws = [
+            dp_percentile(data, 50, epsilon=1e-9, lo=0, hi=100, rng=rng)
+            for _ in range(500)
+        ]
+        assert np.std(draws) > 10.0
+
+
+class TestDpPercentileRange:
+    def test_ordered_pair(self):
+        rng = np.random.default_rng(7)
+        data = rng.normal(0, 1, size=1000)
+        lo, hi = dp_percentile_range(data, epsilon=1.0, lo=-10, hi=10, rng=rng)
+        assert lo <= hi
+
+    def test_accurate_interquartile_at_high_epsilon(self):
+        rng = np.random.default_rng(8)
+        data = rng.normal(0, 1, size=5000)
+        lo, hi = dp_percentile_range(data, epsilon=40.0, lo=-10, hi=10, rng=rng)
+        assert lo == pytest.approx(np.percentile(data, 25), abs=0.3)
+        assert hi == pytest.approx(np.percentile(data, 75), abs=0.3)
+
+    def test_custom_percentiles(self):
+        rng = np.random.default_rng(9)
+        data = rng.uniform(0, 100, size=5000)
+        lo, hi = dp_percentile_range(
+            data, epsilon=40.0, lo=0, hi=100,
+            lower_percentile=10, upper_percentile=90, rng=rng,
+        )
+        assert lo == pytest.approx(10, abs=3)
+        assert hi == pytest.approx(90, abs=3)
+
+    def test_inverted_percentiles_rejected(self):
+        with pytest.raises(ValueError):
+            dp_percentile_range([1.0], epsilon=1.0, lo=0, hi=1,
+                                lower_percentile=80, upper_percentile=20)

@@ -1,0 +1,181 @@
+"""Unit tests for the PINQ baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pinq.agent import BudgetAgent
+from repro.baselines.pinq.queryable import PINQueryable
+from repro.exceptions import InvalidPrivacyParameter, InvalidRange, PrivacyBudgetExhausted
+
+
+@pytest.fixture
+def queryable(rng):
+    data = rng.uniform(0.0, 10.0, size=(500, 2))
+    return PINQueryable(data, BudgetAgent(1000.0), rng=0), data
+
+
+class TestBudgetAgent:
+    def test_charges_accumulate(self):
+        agent = BudgetAgent(2.0)
+        agent.charge(0.5)
+        agent.charge(0.5)
+        assert agent.spent == pytest.approx(1.0)
+        assert agent.remaining == pytest.approx(1.0)
+
+    def test_overdraft_rejected(self):
+        agent = BudgetAgent(1.0)
+        with pytest.raises(PrivacyBudgetExhausted):
+            agent.charge(1.5)
+
+    @pytest.mark.parametrize("total", [0.0, -1.0])
+    def test_invalid_total(self, total):
+        with pytest.raises(InvalidPrivacyParameter):
+            BudgetAgent(total)
+
+
+class TestAggregations:
+    def test_noisy_count_near_truth(self, queryable):
+        q, data = queryable
+        counts = [q.noisy_count(epsilon=5.0) for _ in range(20)]
+        assert np.mean(counts) == pytest.approx(500, abs=3)
+
+    def test_noisy_count_charges(self, queryable):
+        q, _ = queryable
+        q.noisy_count(epsilon=0.7)
+        assert q.agent.spent == pytest.approx(0.7)
+
+    def test_noisy_sum_near_truth(self, queryable):
+        q, data = queryable
+        sums = [q.noisy_sum(epsilon=5.0, lo=0.0, hi=10.0) for _ in range(20)]
+        assert np.mean(sums) == pytest.approx(data[:, 0].sum(), rel=0.02)
+
+    def test_noisy_sum_clamps_outliers(self, rng):
+        data = np.array([[1.0], [1e9]])
+        q = PINQueryable(data, BudgetAgent(100.0), rng=0)
+        total = q.noisy_sum(epsilon=50.0, lo=0.0, hi=10.0)
+        assert total < 100.0
+
+    def test_noisy_average_within_bounds(self, queryable):
+        q, _ = queryable
+        avg = q.noisy_average(epsilon=1.0, lo=0.0, hi=10.0)
+        assert 0.0 <= avg <= 10.0
+
+    def test_noisy_average_charges_full_epsilon(self, queryable):
+        q, _ = queryable
+        q.noisy_average(epsilon=1.0, lo=0.0, hi=10.0)
+        assert q.agent.spent == pytest.approx(1.0)
+
+    def test_invalid_clamp_rejected(self, queryable):
+        q, _ = queryable
+        with pytest.raises(InvalidRange):
+            q.noisy_sum(epsilon=1.0, lo=5.0, hi=0.0)
+
+    def test_exhaustion_stops_queries(self, rng):
+        q = PINQueryable(rng.uniform(size=(10, 1)), BudgetAgent(1.0), rng=0)
+        q.noisy_count(epsilon=1.0)
+        with pytest.raises(PrivacyBudgetExhausted):
+            q.noisy_count(epsilon=0.1)
+
+
+class TestTransformations:
+    def test_where_filters(self, queryable):
+        q, data = queryable
+        filtered = q.where(lambda row: row[0] > 5.0)
+        count = filtered.noisy_count(epsilon=50.0)
+        assert count == pytest.approx((data[:, 0] > 5.0).sum(), abs=2)
+
+    def test_where_costs_nothing(self, queryable):
+        q, _ = queryable
+        q.where(lambda row: True)
+        assert q.agent.spent == 0.0
+
+    def test_select_transforms(self, queryable):
+        q, data = queryable
+        doubled = q.select(lambda row: [2.0 * row[0]])
+        total = doubled.noisy_sum(epsilon=50.0, lo=0.0, hi=20.0)
+        assert total == pytest.approx(2 * data[:, 0].sum(), rel=0.02)
+
+    def test_empty_where_result_handled(self, queryable):
+        q, _ = queryable
+        empty = q.where(lambda row: False)
+        count = empty.noisy_count(epsilon=50.0)
+        assert abs(count) < 2.0
+
+
+class TestPartition:
+    def test_partitions_are_disjoint_and_complete(self, queryable):
+        q, data = queryable
+        parts = q.partition([0, 1], key_fn=lambda row: int(row[0] > 5.0))
+        c0 = parts[0].noisy_count(epsilon=100.0)
+        c1 = parts[1].noisy_count(epsilon=100.0)
+        assert c0 + c1 == pytest.approx(500, abs=3)
+
+    def test_parallel_composition_charges_max_not_sum(self, queryable):
+        q, _ = queryable
+        parts = q.partition([0, 1, 2], key_fn=lambda row: int(row[0]) % 3)
+        for key in (0, 1, 2):
+            parts[key].noisy_count(epsilon=0.5)
+        # Three disjoint counts at eps=0.5 cost max(0.5) = 0.5 total.
+        assert q.agent.spent == pytest.approx(0.5)
+
+    def test_unbalanced_child_spending_charges_running_max(self, queryable):
+        q, _ = queryable
+        parts = q.partition([0, 1], key_fn=lambda row: int(row[0] > 5.0))
+        parts[0].noisy_count(epsilon=0.3)
+        assert q.agent.spent == pytest.approx(0.3)
+        parts[1].noisy_count(epsilon=0.5)
+        assert q.agent.spent == pytest.approx(0.5)
+        parts[0].noisy_count(epsilon=0.4)  # child 0 now at 0.7 total
+        assert q.agent.spent == pytest.approx(0.7)
+
+    def test_unknown_keys_dropped(self, queryable):
+        q, data = queryable
+        parts = q.partition([0], key_fn=lambda row: int(row[0] > 5.0))
+        count = parts[0].noisy_count(epsilon=100.0)
+        assert count == pytest.approx((data[:, 0] <= 5.0).sum(), abs=2)
+
+
+class TestNoisyMedian:
+    def test_near_truth_at_high_epsilon(self, queryable):
+        q, data = queryable
+        import numpy as np
+        medians = [q.noisy_median(epsilon=20.0, lo=0.0, hi=10.0) for _ in range(10)]
+        assert np.median(medians) == pytest.approx(np.median(data[:, 0]), abs=0.5)
+
+    def test_charges(self, queryable):
+        q, _ = queryable
+        q.noisy_median(epsilon=0.4, lo=0.0, hi=10.0)
+        assert q.agent.spent == pytest.approx(0.4)
+
+    def test_within_bounds(self, queryable):
+        q, _ = queryable
+        assert 0.0 <= q.noisy_median(epsilon=0.1, lo=0.0, hi=10.0) <= 10.0
+
+    def test_invalid_range_rejected(self, queryable):
+        q, _ = queryable
+        with pytest.raises(InvalidRange):
+            q.noisy_median(epsilon=1.0, lo=5.0, hi=1.0)
+
+
+class TestExponentialChoice:
+    def test_picks_high_score_candidate(self, queryable):
+        q, data = queryable
+        # Score each threshold by how many records exceed it (sensitivity 1).
+        chosen = q.exponential_choice(
+            epsilon=50.0,
+            candidates=[2.0, 5.0, 9.9],
+            score=lambda view, t: float((view._records[:, 0] > t).sum()),
+        )
+        assert chosen == 2.0
+
+    def test_charges_once(self, queryable):
+        q, _ = queryable
+        q.exponential_choice(
+            epsilon=0.7, candidates=[1, 2], score=lambda view, c: 0.0
+        )
+        assert q.agent.spent == pytest.approx(0.7)
+
+    def test_empty_candidates_rejected(self, queryable):
+        q, _ = queryable
+        with pytest.raises(ValueError):
+            q.exponential_choice(epsilon=1.0, candidates=[], score=lambda v, c: 0.0)

@@ -1,0 +1,58 @@
+"""Unit tests for PINQ k-means (the Figure 5 baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.pinq.kmeans import pinq_kmeans
+from repro.estimators.kmeans import intra_cluster_variance
+
+
+@pytest.fixture
+def blobs(rng):
+    centers = np.array([[0.0, 0.0], [8.0, 8.0]])
+    assignment = rng.integers(0, 2, size=800)
+    return centers[assignment] + rng.normal(0, 0.3, size=(800, 2))
+
+
+class TestPinqKMeans:
+    def test_spends_at_most_the_budget(self, blobs):
+        result = pinq_kmeans(blobs, 2, iterations=10, epsilon=2.0, bounds=(-10, 10), rng=0)
+        assert result.epsilon_spent <= 2.0 + 1e-9
+
+    def test_centers_within_bounds(self, blobs):
+        result = pinq_kmeans(blobs, 2, iterations=5, epsilon=2.0, bounds=(-10, 10), rng=0)
+        assert np.all(result.centers >= -10.0)
+        assert np.all(result.centers <= 10.0)
+
+    def test_finds_blobs_with_generous_budget(self, blobs):
+        result = pinq_kmeans(blobs, 2, iterations=5, epsilon=50.0, bounds=(-10, 10), rng=0)
+        icv = intra_cluster_variance(blobs, result.centers)
+        baseline = intra_cluster_variance(
+            blobs, np.array([[0.0, 0.0], [8.0, 8.0]])
+        )
+        assert icv < 3 * baseline
+
+    def test_more_iterations_degrade_quality(self, blobs):
+        # The Figure 5 effect: same total budget, more iterations, each
+        # one noisier.
+        rng = np.random.default_rng(1)
+        def avg_icv(iterations):
+            values = []
+            for seed in range(4):
+                result = pinq_kmeans(
+                    blobs, 2, iterations=iterations, epsilon=1.0,
+                    bounds=(-10, 10), rng=rng, init_seed=seed,
+                )
+                values.append(intra_cluster_variance(blobs, result.centers))
+            return np.mean(values)
+
+        assert avg_icv(50) > avg_icv(2)
+
+    def test_invalid_iterations_rejected(self, blobs):
+        with pytest.raises(ValueError):
+            pinq_kmeans(blobs, 2, iterations=0, epsilon=1.0, bounds=(-10, 10))
+
+    def test_1d_data_supported(self, rng):
+        data = np.concatenate([rng.normal(0, 0.1, 200), rng.normal(5, 0.1, 200)])
+        result = pinq_kmeans(data, 2, iterations=3, epsilon=20.0, bounds=(-2, 7), rng=0)
+        assert result.centers.shape == (2, 1)

@@ -1,0 +1,98 @@
+"""Unit tests for the MAC policy model."""
+
+import socket
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import SandboxViolation
+from repro.runtime.policy import MACPolicy
+
+
+class TestPermits:
+    def test_scratch_write_allowed(self, tmp_path):
+        policy = MACPolicy(scratch_dir=tmp_path)
+        assert policy.permits_write(tmp_path / "state.txt")
+
+    def test_nested_scratch_write_allowed(self, tmp_path):
+        policy = MACPolicy(scratch_dir=tmp_path)
+        assert policy.permits_write(tmp_path / "a" / "b" / "c.txt")
+
+    def test_outside_write_denied(self, tmp_path):
+        policy = MACPolicy(scratch_dir=tmp_path)
+        assert not policy.permits_write("/etc/passwd")
+
+    def test_sibling_prefix_denied(self, tmp_path):
+        # /scratch-evil must not match /scratch via prefix sloppiness.
+        scratch = tmp_path / "scratch"
+        scratch.mkdir()
+        policy = MACPolicy(scratch_dir=scratch)
+        assert not policy.permits_write(tmp_path / "scratch-evil" / "f")
+
+
+class TestEnforcement:
+    def test_network_blocked(self, tmp_path):
+        policy = MACPolicy(scratch_dir=tmp_path, allow_network=False)
+        with policy.enforced():
+            with pytest.raises(SandboxViolation):
+                socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+
+    def test_network_allowed_when_policy_permits(self, tmp_path):
+        policy = MACPolicy(scratch_dir=tmp_path, allow_network=True)
+        with policy.enforced():
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.close()
+
+    def test_write_outside_scratch_blocked(self, tmp_path):
+        scratch = tmp_path / "scratch"
+        scratch.mkdir()
+        policy = MACPolicy(scratch_dir=scratch)
+        outside = tmp_path / "leak.txt"
+        with policy.enforced():
+            with pytest.raises(SandboxViolation):
+                open(outside, "w")
+
+    def test_write_inside_scratch_allowed(self, tmp_path):
+        policy = MACPolicy(scratch_dir=tmp_path)
+        with policy.enforced():
+            with open(tmp_path / "ok.txt", "w") as fh:
+                fh.write("fine")
+        assert (tmp_path / "ok.txt").read_text() == "fine"
+
+    def test_reads_always_allowed(self, tmp_path):
+        target = tmp_path / "data.txt"
+        target.write_text("payload")
+        policy = MACPolicy(scratch_dir=tmp_path / "scratch")
+        with policy.enforced():
+            assert open(target).read() == "payload"
+
+    def test_patching_is_reverted(self, tmp_path):
+        policy = MACPolicy(scratch_dir=tmp_path)
+        original_socket = socket.socket
+        with policy.enforced():
+            pass
+        assert socket.socket is original_socket
+
+    def test_patching_reverted_after_exception(self, tmp_path):
+        policy = MACPolicy(scratch_dir=tmp_path)
+        original_open = open
+        with pytest.raises(RuntimeError):
+            with policy.enforced():
+                raise RuntimeError("program crash")
+        import builtins
+        assert builtins.open is original_open
+
+
+class TestWipeScratch:
+    def test_removes_files_and_dirs(self, tmp_path):
+        policy = MACPolicy(scratch_dir=tmp_path)
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "f.txt").write_text("x")
+        (tmp_path / "top.txt").write_text("y")
+        policy.wipe_scratch()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_missing_scratch_is_noop(self, tmp_path):
+        policy = MACPolicy(scratch_dir=tmp_path / "never-created")
+        policy.wipe_scratch()  # must not raise

@@ -1,0 +1,91 @@
+"""Empirical DP audits of the full sample-and-aggregate pipeline.
+
+These tests run the *actual engine* on neighboring datasets and check
+the observed privacy loss is consistent with the declared epsilon —
+an end-to-end sanity net over the whole noise-calibration path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.audit.dp_verifier import empirical_epsilon, neighboring
+from repro.core.sample_aggregate import SampleAggregateEngine
+from repro.estimators.statistics import Mean
+
+EPSILON = 1.0
+
+
+@pytest.fixture
+def data(rng):
+    return rng.uniform(0.0, 10.0, size=120)
+
+
+class TestEngineIsPrivate:
+    def test_disjoint_blocks(self, data, rng):
+        engine = SampleAggregateEngine()
+        # Fixed plan randomness would undercount; fresh generator per call
+        # exercises the full mechanism (partition + noise).
+        def mechanism(values):
+            return engine.run(
+                values, Mean(), epsilon=EPSILON, output_ranges=(0.0, 10.0),
+                block_size=12, rng=rng,
+            ).scalar()
+
+        neighbor = neighboring(data, replacement=10.0)
+        measured = empirical_epsilon(mechanism, data, neighbor, trials=1200)
+        assert measured < 2.5 * EPSILON
+
+    def test_resampled_blocks(self, data, rng):
+        engine = SampleAggregateEngine()
+
+        def mechanism(values):
+            return engine.run(
+                values, Mean(), epsilon=EPSILON, output_ranges=(0.0, 10.0),
+                block_size=12, resampling_factor=3, rng=rng,
+            ).scalar()
+
+        neighbor = neighboring(data, replacement=10.0)
+        measured = empirical_epsilon(mechanism, data, neighbor, trials=1200)
+        assert measured < 2.5 * EPSILON
+
+    def test_clamping_contains_adversarial_outputs(self, rng):
+        # A program returning wild values for the target record must be
+        # neutralized by clamping — the release cannot exceed the range.
+        engine = SampleAggregateEngine()
+        data = rng.uniform(0.0, 10.0, size=60)
+
+        def adversarial(block):
+            if np.any(np.isclose(block, 10.0)):
+                return 1e12
+            return float(np.mean(block))
+
+        result = engine.run(
+            np.append(data, 10.0), adversarial, epsilon=5.0,
+            output_ranges=(0.0, 10.0), block_size=10, rng=0,
+        )
+        # Mean of clamped outputs is in range; noise at eps=5, 6 blocks has
+        # scale 1/3 — the release stays within a few units of the range.
+        assert result.scalar() < 20.0
+
+    def test_failed_block_fallback_is_data_independent(self, rng):
+        # A crash keyed on the target record must not shift the release
+        # beyond what one block's clamped output could.
+        engine = SampleAggregateEngine()
+        base = rng.uniform(4.0, 6.0, size=60)
+
+        def crashes_on_target(block):
+            if np.any(np.isclose(block, 10.0)):
+                raise RuntimeError("adversarial crash")
+            return float(np.mean(block))
+
+        with_target = np.append(base, 10.0)
+
+        def mechanism(values):
+            return engine.run(
+                values, crashes_on_target, epsilon=EPSILON,
+                output_ranges=(0.0, 10.0), block_size=10, rng=rng,
+            ).scalar()
+
+        neighbor = np.append(base, 5.0)  # no crash on this one
+        measured = empirical_epsilon(mechanism, with_target, neighbor, trials=1000)
+        assert measured < 2.5 * EPSILON

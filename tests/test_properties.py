@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accounting.budget import PrivacyBudget
+from repro.core.aggregation import NoisyAverageAggregator, OutputRange
+from repro.core.blocks import BlockPlan
+from repro.core.budget_distribution import BudgetDistributor, QuerySpec
+from repro.exceptions import PrivacyBudgetExhausted
+from repro.mechanisms.composition import split_proportionally
+from repro.mechanisms.exponential import ExponentialMechanism
+from repro.mechanisms.percentile import dp_percentile
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+
+
+class TestBlockPlanProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=300),
+        beta=st.integers(min_value=1, max_value=300),
+        gamma=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invariants(self, n, beta, gamma, seed):
+        if beta > n:
+            return
+        plan = BlockPlan.draw(n, block_size=beta, resampling_factor=gamma, rng=seed)
+        # Every block exactly full.
+        assert all(len(block) == beta for block in plan.blocks)
+        # One record appears in at most gamma blocks (the sensitivity bound).
+        assert plan.record_multiplicity().max() <= gamma
+        # Block count is gamma * floor(n/beta).
+        assert plan.num_blocks == gamma * (n // beta)
+        # All indices valid.
+        for block in plan.blocks:
+            assert block.min() >= 0 and block.max() < n
+
+
+class TestAggregationProperties:
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=40
+        ),
+        lo=st.floats(min_value=-100, max_value=0),
+        hi=st.floats(min_value=0.001, max_value=100),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_release_bounded_by_range_plus_noise(self, values, lo, hi, seed):
+        agg = NoisyAverageAggregator(OutputRange(lo, hi), epsilon=1.0)
+        release = agg.aggregate(np.array(values), rng=seed)
+        scale = agg.noise_scale(0, len(values), 1)
+        # Clamped mean lies in [lo, hi]; noise is the only exceedance.
+        noise = release.scalar() - np.clip(np.array(values), lo, hi).mean()
+        assert abs(noise) < 60 * scale  # P(|Lap| > 60b) ~ 1e-26
+
+    @given(
+        lo=st.floats(min_value=-50, max_value=50),
+        width=st.floats(min_value=0, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_output_range_clamp_idempotent(self, lo, width):
+        r = OutputRange(lo, lo + width)
+        data = np.linspace(lo - 10, lo + width + 10, 20)
+        once = r.clamp(data)
+        assert np.array_equal(r.clamp(once), once)
+        assert once.min() >= r.lo and once.max() <= r.hi
+
+
+class TestBudgetProperties:
+    @given(
+        total=st.floats(min_value=0.1, max_value=100),
+        charges=st.lists(st.floats(min_value=0.001, max_value=10), max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_never_overspends(self, total, charges):
+        budget = PrivacyBudget(total)
+        for amount in charges:
+            try:
+                budget.charge(amount)
+            except PrivacyBudgetExhausted:
+                pass
+        assert budget.spent <= total + 1e-6
+        assert budget.remaining >= 0.0
+
+    @given(
+        epsilon=st.floats(min_value=0.01, max_value=100),
+        weights=st.lists(st.floats(min_value=0, max_value=1e3), min_size=1, max_size=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_proportional_split_conserves_budget(self, epsilon, weights):
+        shares = split_proportionally(epsilon, weights)
+        assert sum(shares) == pytest.approx(epsilon, rel=1e-9)
+        assert all(s >= 0 for s in shares)
+
+
+class TestDistributorProperties:
+    @given(
+        total=st.floats(min_value=0.1, max_value=10),
+        widths=st.lists(st.floats(min_value=0.01, max_value=1e4), min_size=1, max_size=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_equal_noise_and_conservation(self, total, widths):
+        specs = [
+            QuerySpec(name=f"q{i}", output_width=w, num_blocks=10)
+            for i, w in enumerate(widths)
+        ]
+        allocations = BudgetDistributor(total).allocate(specs)
+        assert sum(a.epsilon for a in allocations) == pytest.approx(total, rel=1e-9)
+        stds = [a.noise_std for a in allocations]
+        assert max(stds) == pytest.approx(min(stds), rel=1e-6)
+
+
+class TestExponentialMechanismProperties:
+    @given(
+        utilities=st.lists(
+            st.floats(min_value=-1e3, max_value=1e3), min_size=1, max_size=20
+        ),
+        epsilon=st.floats(min_value=0.01, max_value=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_distribution_valid_and_monotone(self, utilities, epsilon):
+        mech = ExponentialMechanism(epsilon=epsilon)
+        probs = mech.probabilities(utilities)
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs >= 0)
+        # Higher utility never gets lower probability.
+        order = np.argsort(utilities)
+        sorted_probs = probs[order]
+        assert np.all(np.diff(sorted_probs) >= -1e-12)
+
+
+class TestPercentileProperties:
+    @given(
+        values=st.lists(
+            st.floats(min_value=-100, max_value=100), min_size=1, max_size=50
+        ),
+        pct=st.floats(min_value=0, max_value=100),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_always_within_bounds(self, values, pct, seed):
+        out = dp_percentile(values, pct, epsilon=1.0, lo=-200, hi=200, rng=seed)
+        assert -200 <= out <= 200

@@ -1,0 +1,63 @@
+"""Stability checks on the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    @pytest.mark.parametrize("module", [
+        "repro.accounting",
+        "repro.attacks",
+        "repro.audit",
+        "repro.baselines",
+        "repro.baselines.airavat",
+        "repro.baselines.pinq",
+        "repro.cli",
+        "repro.core",
+        "repro.datasets",
+        "repro.estimators",
+        "repro.experiments",
+        "repro.mechanisms",
+        "repro.runtime",
+        "repro.streaming",
+    ])
+    def test_subpackages_importable_with_all(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    def test_every_public_module_has_a_docstring(self):
+        import pkgutil
+
+        package = importlib.import_module("repro")
+        for info in pkgutil.walk_packages(package.__path__, prefix="repro."):
+            if info.name.endswith("__main__"):
+                continue  # importing __main__ modules runs their CLI
+            module = importlib.import_module(info.name)
+            assert module.__doc__, f"{info.name} lacks a module docstring"
+
+
+class TestSubprocessSpawn:
+    def test_spawn_start_method_supported(self):
+        """Spawn-based chambers need picklable programs; our estimator
+        dataclasses are, so the slow-but-portable start method works."""
+        import numpy as np
+
+        from repro.estimators.statistics import Mean
+        from repro.runtime.sandbox import SubprocessChamber
+
+        chamber = SubprocessChamber(start_method="spawn")
+        block = np.linspace(0.0, 10.0, 20).reshape(-1, 1)
+        result = chamber.run_block(Mean(), block, 1, np.array([0.0]))
+        assert result.succeeded
+        assert result.output[0] == pytest.approx(block.mean())

@@ -1,0 +1,162 @@
+"""Unit tests for the GUPT-tight/loose/helper range strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.range_estimation import (
+    HelperRange,
+    LooseOutputRange,
+    RangeContext,
+    TightRange,
+)
+from repro.exceptions import InvalidRange
+
+
+def make_context(values=None, input_ranges=None, output_dimension=1, outputs=None):
+    values = np.asarray(values if values is not None else np.linspace(0, 100, 200))
+    if values.ndim == 1:
+        values = values.reshape(-1, 1)
+    if input_ranges is None:
+        input_ranges = (None,) * values.shape[1]
+
+    def block_outputs_fn(fallback):
+        if outputs is None:
+            raise AssertionError("strategy should not sample blocks")
+        return np.asarray(outputs, dtype=float)
+
+    return RangeContext(
+        input_values=values,
+        input_ranges=tuple(input_ranges),
+        output_dimension=output_dimension,
+        block_outputs_fn=block_outputs_fn,
+    )
+
+
+class TestTightRange:
+    def test_zero_cost(self):
+        strategy = TightRange((0.0, 10.0))
+        estimate = strategy.estimate(make_context(), epsilon=0.0)
+        assert estimate.epsilon_spent == 0.0
+        assert estimate.ranges[0].width == 10.0
+
+    def test_budget_fraction_is_zero(self):
+        assert TightRange((0.0, 1.0)).budget_fraction == 0.0
+
+    def test_dimension_mismatch_rejected(self):
+        strategy = TightRange([(0.0, 1.0)] * 2)
+        with pytest.raises(InvalidRange):
+            strategy.estimate(make_context(output_dimension=3), epsilon=0.0)
+
+
+class TestLooseOutputRange:
+    def test_budget_fraction_is_half(self):
+        assert LooseOutputRange((0.0, 1.0)).budget_fraction == 0.5
+
+    def test_estimates_interquartile_range_of_outputs(self):
+        rng = np.random.default_rng(0)
+        outputs = rng.normal(50.0, 5.0, size=(200, 1))
+        strategy = LooseOutputRange((0.0, 100.0))
+        context = make_context(outputs=outputs)
+        estimate = strategy.estimate(context, epsilon=50.0, rng=rng)
+        assert estimate.epsilon_spent == 50.0
+        assert estimate.ranges[0].lo == pytest.approx(np.percentile(outputs, 25), abs=2)
+        assert estimate.ranges[0].hi == pytest.approx(np.percentile(outputs, 75), abs=2)
+
+    def test_estimated_range_within_loose_bounds(self):
+        rng = np.random.default_rng(1)
+        outputs = rng.normal(0.0, 30.0, size=(100, 1))
+        strategy = LooseOutputRange((-10.0, 10.0))
+        estimate = strategy.estimate(make_context(outputs=outputs), epsilon=1.0, rng=rng)
+        assert -10.0 <= estimate.ranges[0].lo <= estimate.ranges[0].hi <= 10.0
+
+    def test_multidimensional_outputs(self):
+        rng = np.random.default_rng(2)
+        outputs = np.column_stack([
+            rng.normal(10, 1, 300), rng.normal(-10, 1, 300),
+        ])
+        strategy = LooseOutputRange([(-50.0, 50.0)] * 2)
+        estimate = strategy.estimate(
+            make_context(outputs=outputs, output_dimension=2), epsilon=100.0, rng=rng
+        )
+        assert estimate.ranges[0].midpoint == pytest.approx(10.0, abs=2.0)
+        assert estimate.ranges[1].midpoint == pytest.approx(-10.0, abs=2.0)
+
+    def test_wider_percentiles_supported(self):
+        rng = np.random.default_rng(3)
+        outputs = rng.uniform(0, 100, size=(500, 1))
+        narrow = LooseOutputRange((0.0, 100.0))
+        wide = LooseOutputRange((0.0, 100.0), lower_percentile=5, upper_percentile=95)
+        n = narrow.estimate(make_context(outputs=outputs), epsilon=100.0, rng=rng)
+        w = wide.estimate(make_context(outputs=outputs), epsilon=100.0, rng=rng)
+        assert w.ranges[0].width > n.ranges[0].width
+
+    def test_dimension_mismatch_rejected(self):
+        strategy = LooseOutputRange((0.0, 1.0))
+        with pytest.raises(InvalidRange):
+            strategy.estimate(
+                make_context(output_dimension=2, outputs=np.zeros((5, 2))),
+                epsilon=1.0,
+            )
+
+
+class TestHelperRange:
+    def test_budget_fraction_is_half(self):
+        assert HelperRange(lambda r: r).budget_fraction == 0.5
+
+    def test_translates_private_input_quartiles(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(50, 5, size=(2000, 1))
+
+        def translate(input_ranges):
+            (lo, hi), = input_ranges
+            return [(lo - 1.0, hi + 1.0)]
+
+        strategy = HelperRange(translate)
+        context = make_context(values=values, input_ranges=[(0.0, 100.0)])
+        estimate = strategy.estimate(context, epsilon=100.0, rng=rng)
+        assert estimate.ranges[0].lo == pytest.approx(np.percentile(values, 25) - 1, abs=2)
+        assert estimate.ranges[0].hi == pytest.approx(np.percentile(values, 75) + 1, abs=2)
+
+    def test_missing_input_ranges_rejected(self):
+        strategy = HelperRange(lambda r: r)
+        context = make_context(input_ranges=[None])
+        with pytest.raises(InvalidRange):
+            strategy.estimate(context, epsilon=1.0)
+
+    def test_explicit_loose_input_ranges_override(self):
+        rng = np.random.default_rng(5)
+        values = rng.normal(50, 5, size=(500, 1))
+        strategy = HelperRange(lambda r: r, loose_input_ranges=[(0.0, 100.0)])
+        context = make_context(values=values, input_ranges=[None])
+        estimate = strategy.estimate(context, epsilon=50.0, rng=rng)
+        assert 0.0 <= estimate.ranges[0].lo <= 100.0
+
+    def test_override_dimension_mismatch_rejected(self):
+        strategy = HelperRange(lambda r: r, loose_input_ranges=[(0.0, 1.0)] * 2)
+        with pytest.raises(InvalidRange):
+            strategy.estimate(make_context(), epsilon=1.0)
+
+    def test_translation_output_mismatch_rejected(self):
+        strategy = HelperRange(lambda r: [(0.0, 1.0)] * 3)
+        context = make_context(input_ranges=[(0.0, 100.0)], output_dimension=2)
+        with pytest.raises(InvalidRange):
+            strategy.estimate(context, epsilon=1.0)
+
+    def test_multi_input_dimensions_each_estimated(self):
+        rng = np.random.default_rng(6)
+        values = np.column_stack([
+            rng.normal(10, 1, 2000), rng.normal(100, 1, 2000),
+        ])
+
+        def translate(input_ranges):
+            # Output = sum of inputs, so ranges add.
+            lo = sum(r[0] for r in input_ranges)
+            hi = sum(r[1] for r in input_ranges)
+            return [(lo, hi)]
+
+        strategy = HelperRange(translate)
+        context = make_context(
+            values=values, input_ranges=[(0.0, 20.0), (0.0, 200.0)]
+        )
+        estimate = strategy.estimate(context, epsilon=200.0, rng=rng)
+        assert estimate.ranges[0].midpoint == pytest.approx(110.0, abs=5.0)

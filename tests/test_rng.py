@@ -1,0 +1,54 @@
+"""Unit tests for randomness plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms.rng import as_generator, spawn
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seeds_deterministically(self):
+        a = as_generator(5).uniform(size=3)
+        b = as_generator(5).uniform(size=3)
+        assert np.array_equal(a, b)
+
+    def test_generator_passes_through(self):
+        g = np.random.default_rng(1)
+        assert as_generator(g) is g
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(as_generator(np.int64(3)), np.random.Generator)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator("seed")
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).uniform(size=5)
+        b = as_generator(2).uniform(size=5)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawn:
+    def test_count(self):
+        children = spawn(0, 4)
+        assert len(children) == 4
+
+    def test_children_are_independent_streams(self):
+        a, b = spawn(0, 2)
+        assert not np.array_equal(a.uniform(size=10), b.uniform(size=10))
+
+    def test_deterministic_given_seed(self):
+        first = [g.uniform() for g in spawn(9, 3)]
+        second = [g.uniform() for g in spawn(9, 3)]
+        assert first == second
+
+    def test_zero_count(self):
+        assert spawn(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(0, -1)

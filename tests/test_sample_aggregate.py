@@ -1,0 +1,153 @@
+"""Unit tests for the two-phase sample-and-aggregate engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import OutputRange
+from repro.core.sample_aggregate import SampleAggregateEngine
+from repro.exceptions import ComputationError
+from repro.estimators.statistics import Mean
+
+
+@pytest.fixture
+def engine():
+    return SampleAggregateEngine()
+
+
+@pytest.fixture
+def data(rng):
+    return rng.uniform(0.0, 100.0, size=(400, 1))
+
+
+class TestSample:
+    def test_output_matrix_shape(self, engine, data):
+        sampled = engine.sample(data, Mean(), 1, [50.0], block_size=40, rng=0)
+        assert sampled.outputs.shape == (10, 1)
+        assert sampled.num_blocks == 10
+
+    def test_block_outputs_are_block_means(self, engine, data):
+        sampled = engine.sample(data, Mean(), 1, [50.0], block_size=40, rng=0)
+        for idx, row in zip(sampled.plan.blocks, sampled.outputs):
+            assert row[0] == pytest.approx(data[idx].mean())
+
+    def test_failed_blocks_counted_and_fall_back(self, engine, data):
+        calls = {"n": 0}
+
+        def flaky(block):
+            calls["n"] += 1
+            if calls["n"] % 2 == 0:
+                raise RuntimeError("boom")
+            return float(np.mean(block))
+
+        sampled = engine.sample(data, flaky, 1, [42.0], block_size=40, rng=0)
+        assert sampled.failed_blocks == 5
+        failed_rows = np.isclose(sampled.outputs[:, 0], 42.0)
+        assert failed_rows.sum() == 5
+
+    def test_all_blocks_failing_raises(self, engine, data):
+        def broken(block):
+            raise RuntimeError("always")
+
+        with pytest.raises(ComputationError):
+            engine.sample(data, broken, 1, [0.0], block_size=40)
+
+    def test_wrong_output_dimension_falls_back(self, engine, data):
+        def two_values(block):
+            return [1.0, 2.0]
+
+        with pytest.raises(ComputationError):
+            engine.sample(data, two_values, 1, [0.0], block_size=40)
+
+    def test_1d_data_promoted(self, engine):
+        sampled = engine.sample(np.arange(100.0), Mean(), 1, [0.0], block_size=10, rng=0)
+        assert sampled.outputs.shape == (10, 1)
+
+    def test_3d_data_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.sample(np.zeros((2, 2, 2)), Mean(), 1, [0.0])
+
+
+class TestCanonicalOrder:
+    def test_hook_applied_to_successful_blocks(self, data):
+        engine = SampleAggregateEngine(canonical_order=lambda v: np.sort(v))
+
+        def reversed_pair(block):
+            m = float(np.mean(block))
+            return [m + 1.0, m - 1.0]
+
+        sampled = engine.sample(data, reversed_pair, 2, [0.0, 0.0], block_size=40, rng=0)
+        assert np.all(sampled.outputs[:, 0] <= sampled.outputs[:, 1])
+
+    def test_hook_not_applied_to_fallback(self, data):
+        engine = SampleAggregateEngine(canonical_order=lambda v: np.sort(v))
+
+        def broken_sometimes(block):
+            if float(np.mean(block)) > 50:
+                raise RuntimeError
+            return [9.0, 1.0]
+
+        sampled = engine.sample(
+            data, broken_sometimes, 2, [5.0, 3.0], block_size=40, rng=0
+        )
+        fallback_rows = np.isclose(sampled.outputs[:, 0], 5.0)
+        # Fallback rows keep their (unsorted) constant exactly.
+        assert np.all(sampled.outputs[fallback_rows, 1] == 3.0)
+
+
+class TestAggregatePhase:
+    def test_high_epsilon_recovers_mean(self, engine, data):
+        result = engine.run(
+            data, Mean(), epsilon=1e9, output_ranges=(0.0, 100.0), block_size=40, rng=0
+        )
+        assert result.scalar() == pytest.approx(data.mean(), abs=0.01)
+
+    def test_metadata_propagated(self, engine, data):
+        result = engine.run(
+            data, Mean(), epsilon=2.0, output_ranges=(0.0, 100.0),
+            block_size=40, resampling_factor=2, rng=0,
+        )
+        assert result.epsilon == 2.0
+        assert result.block_size == 40
+        assert result.resampling_factor == 2
+        assert result.num_blocks == 20
+        assert result.output_ranges == (OutputRange(0.0, 100.0),)
+
+    def test_reaggregating_same_sample(self, engine, data):
+        sampled = engine.sample(data, Mean(), 1, [50.0], block_size=40, rng=0)
+        first = engine.aggregate(sampled, 1e9, (0.0, 100.0), rng=1)
+        second = engine.aggregate(sampled, 1e9, (0.0, 100.0), rng=2)
+        assert first.scalar() == pytest.approx(second.scalar(), abs=0.01)
+
+    def test_noise_scales_reflect_resampling_claim1(self, engine, data):
+        base = engine.run(
+            data, Mean(), epsilon=1.0, output_ranges=(0.0, 100.0),
+            block_size=40, resampling_factor=1, rng=0,
+        )
+        resampled = engine.run(
+            data, Mean(), epsilon=1.0, output_ranges=(0.0, 100.0),
+            block_size=40, resampling_factor=4, rng=0,
+        )
+        assert resampled.noise_scales[0] == pytest.approx(base.noise_scales[0])
+
+    def test_resampling_reduces_variance(self, engine):
+        rng = np.random.default_rng(0)
+        data = rng.lognormal(0, 1.5, size=(600, 1))
+        truth = data.mean()
+
+        def spread(gamma: int) -> float:
+            estimates = [
+                engine.run(
+                    data, Mean(), epsilon=1e9, output_ranges=(0.0, 50.0),
+                    block_size=150, resampling_factor=gamma, rng=rng,
+                ).scalar()
+                for _ in range(40)
+            ]
+            return float(np.std(np.array(estimates) - truth))
+
+        # With noise off, all remaining variance is partitioning variance;
+        # gamma=6 averages 6x more blocks and must cut it down.
+        assert spread(6) < spread(1)
+
+    def test_default_block_size_used_when_none(self, engine, data):
+        result = engine.run(data, Mean(), epsilon=1.0, output_ranges=(0.0, 100.0), rng=0)
+        assert result.block_size == round(400**0.6)

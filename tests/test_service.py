@@ -1,0 +1,174 @@
+"""Unit tests for the hosted three-party service layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.budget_estimation import AccuracyGoal
+from repro.core.range_estimation import TightRange
+from repro.datasets.table import DataTable
+from repro.estimators.statistics import Mean
+from repro.exceptions import GuptError
+from repro.runtime.service import ANALYST, OWNER, GuptService, QueryRequest
+
+
+@pytest.fixture
+def service():
+    return GuptService(rng=0)
+
+
+@pytest.fixture
+def owner(service):
+    return service.enroll(OWNER, name="hospital")
+
+
+@pytest.fixture
+def analyst(service):
+    return service.enroll(ANALYST, name="researcher")
+
+
+@pytest.fixture
+def registered(service, owner, rng):
+    ages = rng.normal(40, 10, size=3000).clip(0, 150)
+    table = DataTable(ages, column_names=["age"], input_ranges=[(0.0, 150.0)])
+    service.register_dataset(owner.token, "census", table, total_budget=5.0)
+    return table
+
+
+class TestEnrollment:
+    def test_tokens_are_unique(self, service):
+        a = service.enroll(ANALYST)
+        b = service.enroll(ANALYST)
+        assert a.token != b.token
+
+    def test_unknown_role_rejected(self, service):
+        with pytest.raises(GuptError):
+            service.enroll("superuser")
+
+    def test_unknown_token_rejected(self, service):
+        with pytest.raises(GuptError):
+            service.list_datasets("forged-token")
+
+
+class TestOwnerInterface:
+    def test_register_returns_public_description(self, service, owner, rng):
+        table = DataTable(rng.uniform(size=(100, 2)))
+        description = service.register_dataset(
+            owner.token, "d", table, total_budget=3.0
+        )
+        assert description.num_records == 100
+        assert description.num_dimensions == 2
+        assert description.remaining_budget == 3.0
+        assert not description.has_aged_data
+
+    def test_analyst_cannot_register(self, service, analyst, rng):
+        table = DataTable(rng.uniform(size=10))
+        with pytest.raises(GuptError):
+            service.register_dataset(analyst.token, "d", table, total_budget=1.0)
+
+    def test_owner_reads_ledger(self, service, owner, analyst, registered):
+        service.submit(
+            analyst.token,
+            QueryRequest(
+                dataset="census", program=Mean(),
+                range_strategy=TightRange((0.0, 150.0)), epsilon=1.0,
+                query_name="avg",
+            ),
+        )
+        entries = service.ledger_entries(owner.token, "census")
+        assert entries == [("avg", 1.0)]
+
+    def test_analyst_cannot_read_ledger(self, service, analyst, registered):
+        with pytest.raises(GuptError):
+            service.ledger_entries(analyst.token, "census")
+
+
+class TestAnalystInterface:
+    def test_query_returns_private_value(self, service, analyst, registered):
+        response = service.submit(
+            analyst.token,
+            QueryRequest(
+                dataset="census", program=Mean(),
+                range_strategy=TightRange((0.0, 150.0)), epsilon=2.0,
+            ),
+        )
+        assert response.ok
+        assert response.epsilon_charged == 2.0
+        assert 20.0 < response.value[0] < 60.0
+
+    def test_owner_cannot_query(self, service, owner, registered):
+        with pytest.raises(GuptError):
+            service.submit(
+                owner.token,
+                QueryRequest(
+                    dataset="census", program=Mean(),
+                    range_strategy=TightRange((0.0, 150.0)), epsilon=1.0,
+                ),
+            )
+
+    def test_budget_refusal_is_structured_not_raised(self, service, analyst, registered):
+        request = QueryRequest(
+            dataset="census", program=Mean(),
+            range_strategy=TightRange((0.0, 150.0)), epsilon=4.0,
+        )
+        assert service.submit(analyst.token, request).ok
+        refused = service.submit(analyst.token, request)
+        assert not refused.ok
+        assert "budget exhausted" in refused.error
+        assert refused.value == ()
+
+    def test_unknown_dataset_is_structured_error(self, service, analyst):
+        response = service.submit(
+            analyst.token,
+            QueryRequest(
+                dataset="missing", program=Mean(),
+                range_strategy=TightRange((0.0, 1.0)), epsilon=1.0,
+            ),
+        )
+        assert not response.ok
+        assert "missing" in response.error
+
+    def test_broken_program_is_structured_error(self, service, analyst, registered):
+        def broken(block):
+            raise RuntimeError("always fails")
+
+        response = service.submit(
+            analyst.token,
+            QueryRequest(
+                dataset="census", program=broken,
+                range_strategy=TightRange((0.0, 150.0)), epsilon=0.5,
+            ),
+        )
+        assert not response.ok
+        assert "every block" in response.error
+
+    def test_describe_shows_remaining_budget(self, service, analyst, registered):
+        before = service.describe_dataset(analyst.token, "census")
+        service.submit(
+            analyst.token,
+            QueryRequest(
+                dataset="census", program=Mean(),
+                range_strategy=TightRange((0.0, 150.0)), epsilon=1.0,
+            ),
+        )
+        after = service.describe_dataset(analyst.token, "census")
+        assert after.remaining_budget == pytest.approx(before.remaining_budget - 1.0)
+
+    def test_accuracy_goal_through_the_service(self, service, owner, analyst, rng):
+        ages = rng.normal(40, 10, size=4000).clip(0, 150)
+        table = DataTable(ages)
+        service.register_dataset(
+            owner.token, "aged-census", table, total_budget=5.0, aged_fraction=0.1
+        )
+        response = service.submit(
+            analyst.token,
+            QueryRequest(
+                dataset="aged-census", program=Mean(),
+                range_strategy=TightRange((0.0, 150.0)),
+                accuracy=AccuracyGoal(rho=0.9, delta=0.1), block_size=40,
+            ),
+        )
+        assert response.ok
+        assert 0.0 < response.epsilon_charged < 5.0
+
+    def test_list_datasets(self, service, analyst, registered):
+        assert service.list_datasets(analyst.token) == ["census"]

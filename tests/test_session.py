@@ -1,0 +1,90 @@
+"""Unit tests for the multi-query GuptSession."""
+
+import numpy as np
+import pytest
+
+from repro.accounting.manager import DatasetManager
+from repro.core.gupt import GuptRuntime
+from repro.core.range_estimation import HelperRange, TightRange
+from repro.core.session import GuptSession
+from repro.datasets.table import DataTable
+from repro.estimators.statistics import Mean, Variance
+from repro.exceptions import GuptError
+
+
+@pytest.fixture
+def runtime(rng):
+    manager = DatasetManager()
+    ages = rng.normal(40, 10, size=4000).clip(0, 150)
+    manager.register("census", DataTable(ages), total_budget=20.0)
+    return GuptRuntime(manager, rng=0)
+
+
+def build_session(runtime, total=2.0):
+    session = GuptSession(runtime=runtime, dataset="census", total_epsilon=total)
+    session.add("mean", Mean(), TightRange((0.0, 150.0)))
+    session.add("variance", Variance(), TightRange((0.0, 150.0**2 / 4)))
+    return session
+
+
+class TestPlan:
+    def test_specs_reflect_declared_widths(self, runtime):
+        specs = build_session(runtime).plan()
+        assert [s.name for s in specs] == ["mean", "variance"]
+        assert specs[0].output_width == 150.0
+        assert specs[1].output_width == 150.0**2 / 4
+
+    def test_empty_session_rejected(self, runtime):
+        session = GuptSession(runtime=runtime, dataset="census", total_epsilon=1.0)
+        with pytest.raises(GuptError):
+            session.plan()
+
+    def test_helper_strategy_rejected(self, runtime):
+        session = GuptSession(runtime=runtime, dataset="census", total_epsilon=1.0)
+        session.add("helper", Mean(), HelperRange(lambda r: [r[0]]))
+        with pytest.raises(GuptError):
+            session.plan()
+
+    def test_duplicate_names_rejected(self, runtime):
+        session = GuptSession(runtime=runtime, dataset="census", total_epsilon=1.0)
+        session.add("q", Mean(), TightRange((0.0, 150.0)))
+        with pytest.raises(GuptError):
+            session.add("q", Mean(), TightRange((0.0, 150.0)))
+
+
+class TestRun:
+    def test_runs_all_queries(self, runtime):
+        results = build_session(runtime).run()
+        assert set(results) == {"mean", "variance"}
+
+    def test_total_budget_spent_exactly(self, runtime):
+        build_session(runtime, total=2.0).run()
+        spent = runtime.dataset_manager.get("census").budget.spent
+        assert spent == pytest.approx(2.0)
+
+    def test_variance_gets_the_lions_share(self, runtime):
+        results = build_session(runtime, total=2.0).run()
+        # Example 4: the variance query's sensitivity is ~max/4 times the
+        # mean's, so it must receive almost the whole budget.
+        assert results["variance"].epsilon_total > 30 * results["mean"].epsilon_total
+
+    def test_noise_std_equalized_across_queries(self, runtime):
+        results = build_session(runtime, total=2.0).run()
+        mean_noise = results["mean"].noise_scales[0]
+        variance_noise = results["variance"].noise_scales[0]
+        assert mean_noise == pytest.approx(variance_noise, rel=0.01)
+
+    def test_ledger_has_one_entry_per_query(self, runtime):
+        build_session(runtime).run()
+        ledger = runtime.dataset_manager.get("census").ledger
+        assert set(ledger.by_query()) == {"mean", "variance"}
+
+    def test_chaining(self, runtime):
+        session = (
+            GuptSession(runtime=runtime, dataset="census", total_epsilon=1.0)
+            .add("a", Mean(), TightRange((0.0, 150.0)))
+            .add("b", Mean(), TightRange((0.0, 150.0)))
+        )
+        results = session.run()
+        assert results["a"].epsilon_total == pytest.approx(0.5)
+        assert results["b"].epsilon_total == pytest.approx(0.5)

@@ -1,0 +1,78 @@
+"""Unit tests for the statistical estimator programs."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.statistics import (
+    Count,
+    Mean,
+    Median,
+    Quantile,
+    StandardDeviation,
+    Variance,
+)
+
+DATA = np.array([[1.0, 10.0], [2.0, 20.0], [3.0, 30.0], [4.0, 40.0]])
+
+
+class TestMean:
+    def test_value(self):
+        assert Mean()(DATA) == pytest.approx(2.5)
+
+    def test_column_selection(self):
+        assert Mean(column=1)(DATA) == pytest.approx(25.0)
+
+    def test_1d_block(self):
+        assert Mean()(np.array([1.0, 3.0])) == 2.0
+
+    def test_output_dimension(self):
+        assert Mean().output_dimension == 1
+
+
+class TestMedian:
+    def test_value(self):
+        assert Median()(DATA) == pytest.approx(2.5)
+
+    def test_odd_count(self):
+        assert Median()(np.array([1.0, 100.0, 2.0])) == 2.0
+
+
+class TestQuantile:
+    def test_median_equivalence(self):
+        assert Quantile(0.5)(DATA) == Median()(DATA)
+
+    def test_extremes(self):
+        assert Quantile(0.0)(DATA) == 1.0
+        assert Quantile(1.0)(DATA) == 4.0
+
+    @pytest.mark.parametrize("q", [-0.1, 1.1])
+    def test_invalid_q_rejected(self, q):
+        with pytest.raises(ValueError):
+            Quantile(q)
+
+
+class TestVarianceAndStd:
+    def test_variance(self):
+        assert Variance()(DATA) == pytest.approx(np.var([1, 2, 3, 4]))
+
+    def test_std(self):
+        assert StandardDeviation()(DATA) == pytest.approx(np.std([1, 2, 3, 4]))
+
+    def test_std_is_sqrt_of_variance(self):
+        assert StandardDeviation()(DATA) == pytest.approx(np.sqrt(Variance()(DATA)))
+
+
+class TestCount:
+    def test_fraction_above(self):
+        assert Count(threshold=2.0)(DATA) == pytest.approx(0.5)
+
+    def test_fraction_below(self):
+        assert Count(threshold=2.0, above=False)(DATA) == pytest.approx(0.5)
+
+    def test_fractions_sum_to_one(self):
+        above = Count(threshold=2.5)(DATA)
+        below = Count(threshold=2.5, above=False)(DATA)
+        assert above + below == pytest.approx(1.0)
+
+    def test_column_selection(self):
+        assert Count(threshold=25.0, column=1)(DATA) == pytest.approx(0.5)

@@ -1,0 +1,116 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    CENSUS_TRUE_MEAN_AGE,
+    census_adult,
+    gaussian_table,
+    internet_ads,
+    life_sciences,
+)
+
+
+class TestLifeSciences:
+    def test_default_shape_matches_paper(self):
+        data = life_sciences()
+        assert data.features.num_records == 26733
+        assert data.features.num_dimensions == 10
+        assert data.labels.shape == (26733,)
+
+    def test_labels_binary(self):
+        data = life_sciences(num_records=500)
+        assert set(np.unique(data.labels)) <= {0, 1}
+
+    def test_deterministic(self):
+        a = life_sciences(num_records=200)
+        b = life_sciences(num_records=200)
+        assert np.array_equal(a.features.values, b.features.values)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = life_sciences(num_records=200, rng=1)
+        b = life_sciences(num_records=200, rng=2)
+        assert not np.array_equal(a.features.values, b.features.values)
+
+    def test_pca_like_variance_decay(self):
+        data = life_sciences(num_records=5000)
+        variances = data.features.values.var(axis=0)
+        # First component should have noticeably more variance than last.
+        assert variances[0] > 2 * variances[-1]
+
+    def test_classes_roughly_balanced(self):
+        data = life_sciences(num_records=5000)
+        assert 0.25 < data.labels.mean() < 0.75
+
+    def test_as_table_packs_label_last(self):
+        data = life_sciences(num_records=100)
+        packed = data.as_table()
+        assert packed.num_dimensions == 11
+        assert packed.column_names[-1] == "label"
+        assert np.array_equal(packed.values[:, -1], data.labels.astype(float))
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            life_sciences(num_records=0)
+
+
+class TestCensusAdult:
+    def test_default_shape_matches_paper(self):
+        table = census_adult()
+        assert table.num_records == 32561
+        assert table.num_dimensions == 1
+
+    def test_mean_matches_papers_value(self):
+        table = census_adult()
+        assert float(table.values.mean()) == pytest.approx(
+            CENSUS_TRUE_MEAN_AGE, abs=0.1
+        )
+
+    def test_ages_plausible(self):
+        table = census_adult()
+        assert table.values.min() >= 17.0
+        assert table.values.max() <= 90.0
+
+    def test_input_range_declared(self):
+        assert census_adult(num_records=100).input_ranges == ((0.0, 150.0),)
+
+    def test_deterministic(self):
+        assert np.array_equal(census_adult().values, census_adult().values)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            census_adult(num_records=-1)
+
+
+class TestInternetAds:
+    def test_shape(self):
+        table = internet_ads()
+        assert table.num_records == 2359
+        assert table.num_dimensions == 1
+
+    def test_right_skew(self):
+        # Figure 9 depends on mean > median (skewed aspect ratios).
+        values = internet_ads().values.ravel()
+        assert values.mean() > 1.2 * np.median(values)
+
+    def test_within_declared_range(self):
+        table = internet_ads()
+        lo, hi = table.input_ranges[0]
+        assert table.values.min() >= lo
+        assert table.values.max() <= hi
+
+    def test_deterministic(self):
+        assert np.array_equal(internet_ads().values, internet_ads().values)
+
+
+class TestGaussianTable:
+    def test_shape(self):
+        table = gaussian_table(100, 3, rng=0)
+        assert table.values.shape == (100, 3)
+
+    def test_moments(self):
+        table = gaussian_table(50_000, 1, mean=5.0, std=2.0, rng=0)
+        assert table.values.mean() == pytest.approx(5.0, abs=0.05)
+        assert table.values.std() == pytest.approx(2.0, abs=0.05)

@@ -1,0 +1,163 @@
+"""Unit tests for DataTable."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.table import DataTable
+from repro.exceptions import DatasetError, InvalidRange
+
+
+class TestConstruction:
+    def test_1d_promoted_to_column(self):
+        table = DataTable([1.0, 2.0, 3.0])
+        assert table.values.shape == (3, 1)
+
+    def test_2d_preserved(self):
+        table = DataTable([[1.0, 2.0], [3.0, 4.0]])
+        assert table.num_records == 2
+        assert table.num_dimensions == 2
+
+    def test_values_are_read_only(self):
+        table = DataTable([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            table.values[0, 0] = 99.0
+
+    def test_source_array_is_copied(self):
+        source = np.array([[1.0, 2.0]])
+        table = DataTable(source)
+        source[0, 0] = 99.0
+        assert table.values[0, 0] == 1.0
+
+    def test_default_column_names(self):
+        table = DataTable(np.zeros((2, 3)))
+        assert table.column_names == ("dim0", "dim1", "dim2")
+
+    def test_custom_column_names(self):
+        table = DataTable(np.zeros((2, 2)), column_names=["x", "y"])
+        assert table.column_names == ("x", "y")
+
+    def test_wrong_name_count_rejected(self):
+        with pytest.raises(DatasetError):
+            DataTable(np.zeros((2, 2)), column_names=["only-one"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            DataTable(np.empty((0, 2)))
+
+    def test_3d_rejected(self):
+        with pytest.raises(DatasetError):
+            DataTable(np.zeros((2, 2, 2)))
+
+    def test_nan_rejected(self):
+        with pytest.raises(DatasetError):
+            DataTable([1.0, float("nan")])
+
+    def test_inf_rejected(self):
+        with pytest.raises(DatasetError):
+            DataTable([1.0, float("inf")])
+
+    def test_input_ranges_validated(self):
+        with pytest.raises(InvalidRange):
+            DataTable([1.0], input_ranges=[(5.0, 1.0)])
+
+    def test_wrong_range_count_rejected(self):
+        with pytest.raises(DatasetError):
+            DataTable(np.zeros((2, 2)), input_ranges=[(0.0, 1.0)])
+
+    def test_none_ranges_allowed(self):
+        table = DataTable(np.zeros((2, 2)), input_ranges=[None, (0.0, 1.0)])
+        assert table.input_ranges[0] is None
+        assert table.input_ranges[1] == (0.0, 1.0)
+
+    def test_len_and_iter(self):
+        table = DataTable([[1.0], [2.0]])
+        assert len(table) == 2
+        assert [row[0] for row in table] == [1.0, 2.0]
+
+
+class TestColumnAccess:
+    def test_column_by_index(self):
+        table = DataTable([[1.0, 2.0], [3.0, 4.0]])
+        assert np.array_equal(table.column(1), [2.0, 4.0])
+
+    def test_column_by_name(self):
+        table = DataTable([[1.0, 2.0]], column_names=["x", "y"])
+        assert table.column("y")[0] == 2.0
+
+    def test_negative_index(self):
+        table = DataTable([[1.0, 2.0]])
+        assert table.column(-1)[0] == 2.0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError):
+            DataTable([[1.0]]).column("missing")
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(DatasetError):
+            DataTable([[1.0]]).column(5)
+
+    def test_select_columns(self):
+        table = DataTable([[1.0, 2.0, 3.0]], column_names=["a", "b", "c"],
+                          input_ranges=[(0, 1), (0, 2), (0, 3)])
+        sub = table.select_columns(["c", "a"])
+        assert sub.column_names == ("c", "a")
+        assert sub.values[0, 0] == 3.0
+        assert sub.input_ranges == ((0.0, 3.0), (0.0, 1.0))
+
+
+class TestDerivation:
+    def test_take_preserves_metadata(self):
+        table = DataTable([[1.0], [2.0], [3.0]], column_names=["v"],
+                          input_ranges=[(0, 10)])
+        sub = table.take([2, 0])
+        assert sub.values[:, 0].tolist() == [3.0, 1.0]
+        assert sub.column_names == ("v",)
+        assert sub.input_ranges == ((0.0, 10.0),)
+
+    def test_shuffled_is_permutation(self):
+        table = DataTable(np.arange(50.0))
+        shuffled = table.shuffled(rng=0)
+        assert sorted(shuffled.values.ravel()) == sorted(table.values.ravel())
+        assert not np.array_equal(shuffled.values, table.values)
+
+    def test_split_sizes(self):
+        table = DataTable(np.arange(100.0))
+        first, second = table.split(0.25, rng=0)
+        assert first.num_records == 25
+        assert second.num_records == 75
+
+    def test_split_is_partition(self):
+        table = DataTable(np.arange(100.0))
+        first, second = table.split(0.4, rng=1)
+        combined = sorted(
+            first.values.ravel().tolist() + second.values.ravel().tolist()
+        )
+        assert combined == list(range(100))
+
+    def test_split_never_empty(self):
+        table = DataTable(np.arange(3.0))
+        first, second = table.split(0.01, rng=0)
+        assert first.num_records >= 1
+        assert second.num_records >= 1
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -1.0])
+    def test_invalid_split_rejected(self, fraction):
+        with pytest.raises(ValueError):
+            DataTable(np.arange(10.0)).split(fraction)
+
+    def test_clamp(self):
+        table = DataTable([[-5.0, 5.0], [0.0, 0.0]])
+        clamped = table.clamp([(-1.0, 1.0), (-1.0, 1.0)])
+        assert clamped.values[0].tolist() == [-1.0, 1.0]
+
+    def test_clamp_wrong_count_rejected(self):
+        with pytest.raises(DatasetError):
+            DataTable([[1.0, 2.0]]).clamp([(0.0, 1.0)])
+
+    def test_clamp_invalid_range_rejected(self):
+        with pytest.raises(InvalidRange):
+            DataTable([[1.0]]).clamp([(5.0, 0.0)])
+
+    def test_observed_ranges(self):
+        table = DataTable([[1.0, -2.0], [3.0, 4.0]])
+        assert table.observed_ranges() == [(1.0, 3.0), (-2.0, 4.0)]

@@ -1,0 +1,41 @@
+"""Unit tests for the timing defense."""
+
+import time
+
+import pytest
+
+from repro.runtime.timing import TimingDefense
+
+
+class TestTimingDefense:
+    def test_disabled_by_default(self):
+        defense = TimingDefense()
+        assert not defense.enabled
+        assert defense.pad_to_budget(10.0) == 0.0
+        assert not defense.exceeded(1e9)
+
+    def test_exceeded(self):
+        defense = TimingDefense(cycle_budget=0.1)
+        assert defense.exceeded(0.2)
+        assert not defense.exceeded(0.05)
+
+    def test_pad_sleeps_out_remainder(self):
+        defense = TimingDefense(cycle_budget=0.05, pad=True)
+        started = time.perf_counter()
+        slept = defense.pad_to_budget(elapsed=0.0)
+        elapsed = time.perf_counter() - started
+        assert slept == pytest.approx(0.05, abs=0.01)
+        assert elapsed >= 0.045
+
+    def test_pad_noop_when_budget_used(self):
+        defense = TimingDefense(cycle_budget=0.05, pad=True)
+        assert defense.pad_to_budget(elapsed=0.06) == 0.0
+
+    def test_pad_disabled(self):
+        defense = TimingDefense(cycle_budget=0.05, pad=False)
+        assert defense.pad_to_budget(elapsed=0.0) == 0.0
+
+    @pytest.mark.parametrize("budget", [0.0, -1.0])
+    def test_invalid_budget_rejected(self, budget):
+        with pytest.raises(ValueError):
+            TimingDefense(cycle_budget=budget)

@@ -1,0 +1,120 @@
+"""Unit tests for user-level (grouped) partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.core.sample_aggregate import SampleAggregateEngine
+from repro.core.user_level import grouped_plan
+from repro.estimators.statistics import Mean
+from repro.exceptions import GuptError
+
+
+@pytest.fixture
+def user_labels(rng):
+    # 60 users with 1-8 records each.
+    sizes = rng.integers(1, 9, size=60)
+    return np.repeat(np.arange(60), sizes)
+
+
+class TestGroupedPlan:
+    def test_groups_never_split(self, user_labels):
+        plan = grouped_plan(user_labels, num_blocks=8, rng=0)
+        for user in np.unique(user_labels):
+            rows = set(np.flatnonzero(user_labels == user).tolist())
+            containing = [
+                i for i, block in enumerate(plan.blocks)
+                if rows & set(block.tolist())
+            ]
+            assert len(containing) == 1
+            assert rows <= set(plan.blocks[containing[0]].tolist())
+
+    def test_every_record_covered_exactly_once(self, user_labels):
+        plan = grouped_plan(user_labels, num_blocks=8, rng=0)
+        assert np.array_equal(
+            plan.record_multiplicity(), np.ones(user_labels.size, dtype=int)
+        )
+
+    def test_resampling_bounds_user_multiplicity(self, user_labels):
+        plan = grouped_plan(user_labels, num_blocks=6, resampling_factor=3, rng=0)
+        # Every record (hence every user) appears exactly gamma times.
+        assert np.array_equal(
+            plan.record_multiplicity(), np.full(user_labels.size, 3)
+        )
+        assert plan.num_blocks == 18
+
+    def test_blocks_are_balanced(self, user_labels):
+        plan = grouped_plan(user_labels, num_blocks=6, rng=0)
+        sizes = [len(block) for block in plan.blocks]
+        assert max(sizes) - min(sizes) <= 8  # within one max-group size
+
+    def test_more_blocks_than_groups_rejected(self):
+        with pytest.raises(GuptError):
+            grouped_plan(np.array([0, 0, 1, 1]), num_blocks=3)
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(GuptError):
+            grouped_plan(np.array([]), num_blocks=1)
+
+    def test_invalid_num_blocks_rejected(self):
+        with pytest.raises(GuptError):
+            grouped_plan(np.array([0, 1]), num_blocks=0)
+
+    def test_string_labels_supported(self):
+        labels = np.array(["alice", "bob", "alice", "carol"])
+        plan = grouped_plan(labels, num_blocks=2, rng=0)
+        assert plan.num_blocks == 2
+        alice_rows = {0, 2}
+        containing = [
+            i for i, block in enumerate(plan.blocks)
+            if alice_rows & set(block.tolist())
+        ]
+        assert len(containing) == 1
+
+
+class TestEngineWithGroupedPlan:
+    def test_engine_accepts_grouped_plan(self, rng, user_labels):
+        values = rng.uniform(0, 10, size=(user_labels.size, 1))
+        plan = grouped_plan(user_labels, num_blocks=8, rng=0)
+        engine = SampleAggregateEngine()
+        result = engine.run(
+            values, Mean(), epsilon=1e9, output_ranges=(0.0, 10.0), plan=plan
+        )
+        # Blocks have unequal sizes, so the block-mean average is only
+        # approximately the global mean — but with noise off it must be
+        # close for near-balanced blocks.
+        assert result.scalar() == pytest.approx(values.mean(), abs=0.5)
+        assert result.num_blocks == 8
+
+    def test_plan_size_mismatch_rejected(self, rng, user_labels):
+        values = rng.uniform(0, 10, size=(user_labels.size + 5, 1))
+        plan = grouped_plan(user_labels, num_blocks=4, rng=0)
+        engine = SampleAggregateEngine()
+        with pytest.raises(ValueError):
+            engine.run(values, Mean(), epsilon=1.0, output_ranges=(0.0, 10.0), plan=plan)
+
+
+class TestRuntimeGroupBy:
+    def test_user_level_query(self, rng):
+        from repro.accounting.manager import DatasetManager
+        from repro.core.gupt import GuptRuntime
+        from repro.core.range_estimation import TightRange
+        from repro.datasets.table import DataTable
+
+        users = np.repeat(np.arange(100.0), 4)
+        incomes = rng.uniform(0, 100, size=users.size)
+        table = DataTable(
+            np.column_stack([users, incomes]),
+            column_names=["user", "income"],
+        )
+        manager = DatasetManager()
+        manager.register("incomes", table, total_budget=100.0)
+        runtime = GuptRuntime(manager, rng=0)
+        result = runtime.run(
+            "incomes",
+            Mean(column=1),
+            TightRange((0.0, 100.0)),
+            epsilon=50.0,
+            block_size=20,
+            group_by="user",
+        )
+        assert result.scalar() == pytest.approx(incomes.mean(), abs=5.0)

@@ -1,0 +1,70 @@
+"""Unit tests for the utility metrics."""
+
+import numpy as np
+import pytest
+
+from repro.audit.utility import (
+    cdf_points,
+    normalized_rmse,
+    relative_error,
+    rmse,
+    within_accuracy,
+)
+
+
+class TestRmse:
+    def test_zero_for_exact(self):
+        assert rmse([5.0, 5.0], 5.0) == 0.0
+
+    def test_known_value(self):
+        assert rmse([4.0, 6.0], 5.0) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse([], 1.0)
+
+    def test_normalized(self):
+        assert normalized_rmse([4.0, 6.0], 5.0) == pytest.approx(0.2)
+
+    def test_normalized_zero_truth_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_rmse([1.0], 0.0)
+
+
+class TestRelativeError:
+    def test_value(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_symmetric_in_sign(self):
+        assert relative_error(9.0, 10.0) == pytest.approx(0.1)
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+
+class TestWithinAccuracy:
+    def test_inside(self):
+        assert within_accuracy(95.0, 100.0, rho=0.9)
+
+    def test_boundary(self):
+        assert within_accuracy(90.0, 100.0, rho=0.9)
+
+    def test_outside(self):
+        assert not within_accuracy(85.0, 100.0, rho=0.9)
+
+    @pytest.mark.parametrize("rho", [0.0, 1.0])
+    def test_invalid_rho(self, rho):
+        with pytest.raises(ValueError):
+            within_accuracy(1.0, 1.0, rho=rho)
+
+
+class TestCdf:
+    def test_sorted_values_and_fractions(self):
+        values, fractions = cdf_points([3.0, 1.0, 2.0])
+        assert values.tolist() == [1.0, 2.0, 3.0]
+        assert fractions.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cdf_points([])

@@ -1,0 +1,137 @@
+"""Empirical checks of the paper's utility theory (Appendix A).
+
+Theorem 2: for a generic asymptotically-normal statistic f on i.i.d.
+data, the GUPT output converges (in distribution) to f(T) as n grows.
+We verify the operational consequence — the error of the private
+estimate shrinks as the dataset grows — for three approximately-normal
+statistics the paper names: the mean, an OLS coefficient, and a
+maximum-likelihood estimator (logistic regression weight).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.sample_aggregate import SampleAggregateEngine
+from repro.estimators.linreg import LinearRegression
+from repro.estimators.logistic_regression import LogisticRegression
+from repro.estimators.statistics import Mean
+
+EPSILON = 2.0
+
+
+def private_errors(engine, make_data, program, output_ranges, truth_fn, sizes, rng,
+                   repeats=12):
+    """Median |private - truth| at each dataset size."""
+    errors = []
+    for n in sizes:
+        data = make_data(n)
+        truth = truth_fn(data)
+        samples = []
+        for _ in range(repeats):
+            release = engine.run(
+                data, program, epsilon=EPSILON, output_ranges=output_ranges, rng=rng
+            )
+            samples.append(abs(release.value[0] - truth))
+        errors.append(float(np.median(samples)))
+    return errors
+
+
+class TestTheorem2Convergence:
+    def test_mean_error_shrinks_with_n(self, rng):
+        engine = SampleAggregateEngine()
+
+        def make_data(n):
+            return rng.normal(5.0, 2.0, size=(n, 1)).clip(0, 10)
+
+        errors = private_errors(
+            engine, make_data, Mean(), (0.0, 10.0),
+            lambda data: float(data.mean()), sizes=(200, 2000, 20000), rng=rng,
+        )
+        # Error at n=20000 is a fraction of the error at n=200.
+        assert errors[-1] < 0.5 * errors[0]
+
+    def test_ols_coefficient_converges(self, rng):
+        engine = SampleAggregateEngine()
+        model = LinearRegression(num_features=1)
+
+        def make_data(n):
+            x = rng.normal(0, 1, size=n)
+            y = 2.0 * x + rng.normal(0, 0.5, size=n)
+            return np.column_stack([x, y])
+
+        errors = private_errors(
+            engine, make_data, model, [(-5.0, 5.0), (-5.0, 5.0)],
+            lambda data: 2.0, sizes=(200, 20000), rng=rng,
+        )
+        assert errors[-1] < 0.6 * errors[0]
+        # And the large-n private estimate is actually close to the truth.
+        assert errors[-1] < 0.3
+
+    def test_logistic_mle_converges(self, rng):
+        engine = SampleAggregateEngine()
+        model = LogisticRegression(num_features=1, l2=0.5)
+
+        def make_data(n):
+            x = rng.normal(0, 1, size=n)
+            p = 1 / (1 + np.exp(-1.5 * x))
+            y = (rng.uniform(size=n) < p).astype(float)
+            return np.column_stack([x, y])
+
+        ranges = [(-4.0, 4.0), (-4.0, 4.0)]
+
+        def coefficient_error(n, seed):
+            generator = np.random.default_rng(seed)
+            x = generator.normal(0, 1, size=n)
+            p = 1 / (1 + np.exp(-1.5 * x))
+            y = (generator.uniform(size=n) < p).astype(float)
+            data = np.column_stack([x, y])
+            # Compare against the same trainer on the full data (the MLE),
+            # which is what Theorem 2's f(T) is.
+            truth = model(data)[0]
+            samples = [
+                abs(engine.run(data, model, epsilon=EPSILON,
+                               output_ranges=ranges, rng=generator).value[0] - truth)
+                for _ in range(12)
+            ]
+            return float(np.median(samples))
+
+        small = np.median([coefficient_error(300, seed) for seed in (1, 2, 3)])
+        large = coefficient_error(20000, 4)
+        assert large < 0.7 * small
+
+    def test_noise_share_of_error_vanishes(self, rng):
+        # The Laplace scale is width/(l * eps) with l = n**0.4: it must
+        # fall polynomially in n.
+        engine = SampleAggregateEngine()
+        scales = []
+        for n in (100, 10000):
+            data = rng.uniform(0, 1, size=(n, 1))
+            release = engine.run(
+                data, Mean(), epsilon=EPSILON, output_ranges=(0.0, 1.0), rng=rng
+            )
+            scales.append(release.noise_scales[0])
+        assert scales[1] < scales[0] / 4
+
+
+class TestNonNormalStatisticsKeepPrivacyOnly:
+    def test_max_statistic_is_private_but_biased(self, rng):
+        """§3.2: non-approximately-normal queries keep the privacy
+        guarantee but get no accuracy guarantee.  The max is the classic
+        example: the block average of block-maxima underestimates the
+        true max, and no amount of data fixes that."""
+        engine = SampleAggregateEngine()
+        data = rng.uniform(0, 10, size=(20000, 1))
+
+        def block_max(block):
+            return float(block.max())
+
+        release = engine.run(
+            data, block_max, epsilon=100.0, output_ranges=(0.0, 10.0),
+            block_size=20, rng=rng,
+        )
+        truth = float(data.max())
+        # Still a valid, bounded, private release...
+        assert 0.0 <= release.scalar() <= 10.5
+        # ...but biased well below the true maximum: the average of
+        # 20-sample maxima concentrates near 10 * 20/21, not 10.
+        assert release.scalar() < truth - 0.2

@@ -1,0 +1,113 @@
+"""Bench: instrumentation overhead of the observability layer.
+
+Runs a representative query — private mean over 100,000 records through
+the full ``GuptRuntime.run`` path — alternating between an enabled and
+a disabled :class:`~repro.observability.MetricsRegistry`, and compares
+best-of-round wall clock (the noise-robust estimator: one-sided jitter
+only ever inflates a round).  Spans, per-block latency histograms and
+budget gauges should cost well under 5% of a real query, the threshold
+this smoke test enforces.
+
+Results land in ``BENCH_observability.json`` at the repo root so the
+bench trajectory has a measured starting point.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.accounting.manager import DatasetManager
+from repro.core.gupt import GuptRuntime
+from repro.core.range_estimation import TightRange
+from repro.datasets.table import DataTable
+from repro.estimators.statistics import Mean
+from repro.observability import MetricsRegistry
+
+NUM_RECORDS = 100_000
+EPSILON = 0.25
+ROUNDS = 15
+WARMUP = 3
+MAX_OVERHEAD_FRACTION = 0.05
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_observability.json"
+
+
+def _build_runtime(metrics: MetricsRegistry) -> GuptRuntime:
+    rng = np.random.default_rng(4242)
+    manager = DatasetManager(metrics=metrics)
+    manager.register(
+        "bench",
+        DataTable(
+            rng.normal(40.0, 10.0, size=NUM_RECORDS).clip(0.0, 150.0),
+            column_names=["age"],
+            input_ranges=[(0.0, 150.0)],
+        ),
+        # Enough budget for warmup + measured rounds on one dataset.
+        total_budget=(ROUNDS + WARMUP + 1) * EPSILON,
+    )
+    return GuptRuntime(manager, rng=7, metrics=metrics)
+
+
+def _time_one_query(runtime: GuptRuntime) -> float:
+    started = time.perf_counter()
+    runtime.run("bench", Mean(), TightRange((0.0, 150.0)), epsilon=EPSILON)
+    return time.perf_counter() - started
+
+
+def test_observability_overhead_under_threshold():
+    instrumented = _build_runtime(MetricsRegistry())
+    disabled = _build_runtime(MetricsRegistry(enabled=False))
+
+    for runtime in (disabled, instrumented):
+        for _ in range(WARMUP):
+            _time_one_query(runtime)
+
+    # Interleave rounds, alternating which mode goes first, so clock
+    # drift and cache effects hit both modes equally.
+    on_times, off_times = [], []
+    for round_index in range(ROUNDS):
+        pair = (disabled, instrumented)
+        if round_index % 2:
+            pair = (instrumented, disabled)
+        for runtime in pair:
+            elapsed = _time_one_query(runtime)
+            (on_times if runtime is instrumented else off_times).append(elapsed)
+
+    best_on, best_off = min(on_times), min(off_times)
+    overhead = (best_on - best_off) / best_off
+
+    report = {
+        "benchmark": "observability_overhead",
+        "query": {
+            "program": "mean",
+            "records": NUM_RECORDS,
+            "epsilon": EPSILON,
+            "range_strategy": "tight",
+        },
+        "rounds": ROUNDS,
+        "seconds_instrumented": best_on,
+        "seconds_disabled": best_off,
+        "overhead_fraction": overhead,
+        "threshold_fraction": MAX_OVERHEAD_FRACTION,
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"\nobservability overhead: {overhead * 100:.2f}% "
+        f"(on {best_on * 1e3:.2f} ms, off {best_off * 1e3:.2f} ms) "
+        f"-> {BENCH_PATH.name}"
+    )
+
+    assert best_off > 0.0
+    assert overhead < MAX_OVERHEAD_FRACTION
+
+
+def test_instrumented_run_still_records_everything():
+    """The measured configuration is the real one: telemetry present."""
+    metrics = MetricsRegistry()
+    runtime = _build_runtime(metrics)
+    result = runtime.run("bench", Mean(), TightRange((0.0, 150.0)), epsilon=EPSILON)
+    snapshot = metrics.snapshot()
+    assert snapshot["counters"]["blocks.executed"] == result.num_blocks
+    assert snapshot["histograms"]['runtime.run.seconds{dataset="bench"}']["count"] == 1

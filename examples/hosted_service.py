@@ -11,14 +11,18 @@ Run:  python examples/hosted_service.py
 
 import numpy as np
 
-from repro import DataTable, TightRange
+from repro import DataTable, MetricsRegistry, TightRange
 from repro.estimators import Count, Histogram, Mean
 from repro.runtime.service import ANALYST, OWNER, GuptService, QueryRequest
 
 
 def main() -> None:
     rng = np.random.default_rng(33)
-    service = GuptService(rng=5)
+    # The provider owns its metrics registry: operational telemetry
+    # (phase timings, block failure counts, budget burn-down) without
+    # any value derived from raw block outputs.
+    metrics = MetricsRegistry()
+    service = GuptService(rng=5, metrics=metrics)
 
     # --- the hospital registers its data ---------------------------------
     hospital = service.enroll(OWNER, name="st-mary")
@@ -85,6 +89,18 @@ def main() -> None:
 
     # --- the owner audits the ledger --------------------------------------
     print("owner's ledger    :", service.ledger_entries(hospital.token, "inpatient-stays"))
+
+    # --- the provider inspects its release-safe telemetry -----------------
+    snapshot = service.metrics_snapshot()
+    queries = snapshot["counters"]['service.queries{principal="uni-lab"}']
+    rejections = snapshot["counters"]['service.rejections{principal="uni-lab"}']
+    remaining = snapshot["gauges"]['budget.epsilon_remaining{dataset="inpatient-stays"}']
+    success = snapshot["counters"]["blocks.success"]
+    print(f"provider metrics  : {queries:.0f} queries ({rejections:.0f} rejected), "
+          f"{success:.0f} blocks ok, budget left {remaining:.3g}")
+    sample_spans = [s for s in snapshot["spans"] if s["name"] == "runtime.sample"]
+    print(f"sample phase      : {len(sample_spans)} spans, "
+          f"last {sample_spans[-1]['seconds'] * 1e3:.1f} ms")
 
 
 if __name__ == "__main__":

@@ -53,6 +53,12 @@ from repro.exceptions import (
     PrivacyBudgetExhausted,
     SandboxViolation,
 )
+from repro.observability import (
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
 from repro.runtime import (
     ComputationManager,
     InProcessChamber,
@@ -84,6 +90,7 @@ __all__ = [
     "InvalidRange",
     "LooseOutputRange",
     "MACPolicy",
+    "MetricsRegistry",
     "OutputRange",
     "PrivacyBudget",
     "PrivacyBudgetExhausted",
@@ -96,8 +103,11 @@ __all__ = [
     "TimingDefense",
     "census_adult",
     "estimate_epsilon",
+    "get_registry",
     "grouped_plan",
     "internet_ads",
     "life_sciences",
+    "set_registry",
     "split_by_age",
+    "use_registry",
 ]

@@ -19,6 +19,7 @@ from repro.accounting.ledger import PrivacyLedger
 from repro.datasets.table import DataTable
 from repro.exceptions import DatasetError
 from repro.mechanisms.rng import RandomSource
+from repro.observability import MetricsRegistry, get_registry
 
 
 @dataclass
@@ -39,6 +40,9 @@ class RegisteredDataset:
         Records considered privacy-expired under the aging model (may be
         ``None`` when the owner declares no aged data).  Drawn from the
         same distribution as ``table`` but *disjoint* from it.
+    metrics:
+        Registry receiving budget burn-down gauges; ``None`` uses the
+        process default.
     """
 
     name: str
@@ -46,19 +50,34 @@ class RegisteredDataset:
     budget: PrivacyBudget
     ledger: PrivacyLedger = field(default_factory=PrivacyLedger)
     aged: Optional[DataTable] = None
+    metrics: Optional[MetricsRegistry] = field(default=None, repr=False, compare=False)
 
     def charge(self, epsilon: float, query: str, detail: str = "") -> None:
-        """Atomically charge the budget and record the ledger entry."""
+        """Atomically charge the budget and record the ledger entry.
+
+        Budget telemetry (epsilon spent/remaining, charge count) is pure
+        accounting arithmetic — already public to the analyst via
+        :class:`~repro.runtime.service.DatasetDescription` — so exporting
+        it as gauges leaks nothing beyond the existing interface.
+        """
         self.budget.charge(epsilon)
         self.ledger.record(epsilon, query, detail)
+        registry = self.metrics or get_registry()
+        registry.counter("budget.charges", dataset=self.name).inc()
+        registry.counter("budget.epsilon_charged", dataset=self.name).inc(epsilon)
+        registry.gauge("budget.epsilon_spent", dataset=self.name).set(self.budget.spent)
+        registry.gauge("budget.epsilon_remaining", dataset=self.name).set(
+            self.budget.remaining
+        )
 
 
 class DatasetManager:
     """Registry of datasets with privacy budgets (trusted component)."""
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._datasets: dict[str, RegisteredDataset] = {}
         self._lock = threading.Lock()
+        self._metrics = metrics
 
     def register(
         self,
@@ -99,11 +118,19 @@ class DatasetManager:
             budget=PrivacyBudget(total_budget, dataset=name),
             ledger=PrivacyLedger(dataset=name),
             aged=aged,
+            metrics=self._metrics,
         )
         with self._lock:
             if name in self._datasets:
                 raise DatasetError(f"dataset {name!r} is already registered")
             self._datasets[name] = registered
+        registry = self._metrics or get_registry()
+        registry.gauge("budget.epsilon_total", dataset=name).set(
+            registered.budget.total
+        )
+        registry.gauge("budget.epsilon_remaining", dataset=name).set(
+            registered.budget.remaining
+        )
         return registered
 
     def get(self, name: str) -> RegisteredDataset:

@@ -7,10 +7,16 @@ Gives data owners and analysts a no-code path through the platform::
         --range 0 150 --epsilon 1.0 --budget 5.0
     python -m repro query    --data ages.csv --program median \\
         --range 0 150 --accuracy 0.9 0.1 --aged-fraction 0.1 --budget 5.0
+    python -m repro stats    --data ages.csv --program mean \\
+        --range 0 150 --epsilon 1.0 --budget 5.0
 
 The ``query`` command registers the file as a dataset with the given
 total budget, runs one program under GUPT-tight, and prints the private
-answer plus the release metadata.
+answer plus the release metadata.  ``stats`` takes the same arguments,
+runs the same query against its own metrics registry, and prints the
+full observability snapshot (phase timings, block success/fallback/kill
+counts, budget burn-down) as JSON — every value release-safe by
+construction (see :mod:`repro.observability`).
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from repro.core.range_estimation import TightRange
 from repro.datasets.loaders import load_csv
 from repro.estimators.statistics import Count, Mean, Median, StandardDeviation, Variance
 from repro.exceptions import GuptError
+from repro.observability import MetricsRegistry
 
 PROGRAMS = {
     "mean": Mean,
@@ -32,6 +39,33 @@ PROGRAMS = {
     "variance": Variance,
     "std": StandardDeviation,
 }
+
+
+def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
+    """Options shared by the ``query`` and ``stats`` commands."""
+    parser.add_argument("--data", required=True, help="path to a CSV file")
+    parser.add_argument(
+        "--program", required=True, choices=sorted(PROGRAMS) + ["count-above"],
+        help="statistic to compute",
+    )
+    parser.add_argument("--column", default=0, help="column name or index (default 0)")
+    parser.add_argument(
+        "--range", nargs=2, type=float, required=True, metavar=("LO", "HI"),
+        help="non-sensitive output range",
+    )
+    parser.add_argument("--epsilon", type=float, help="privacy budget for this query")
+    parser.add_argument(
+        "--accuracy", nargs=2, type=float, metavar=("RHO", "DELTA"),
+        help="accuracy goal instead of epsilon (needs --aged-fraction)",
+    )
+    parser.add_argument("--budget", type=float, default=10.0, help="dataset total budget")
+    parser.add_argument(
+        "--aged-fraction", type=float, default=0.0,
+        help="fraction of records treated as privacy-expired (aging model)",
+    )
+    parser.add_argument("--block-size", default=None, help="int, or 'auto'")
+    parser.add_argument("--threshold", type=float, help="threshold for count-above")
+    parser.add_argument("--seed", type=int, default=None, help="rng seed")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,29 +78,16 @@ def build_parser() -> argparse.ArgumentParser:
     inspect.add_argument("--data", required=True, help="path to a CSV file")
 
     query = commands.add_parser("query", help="run one private query")
-    query.add_argument("--data", required=True, help="path to a CSV file")
-    query.add_argument(
-        "--program", required=True, choices=sorted(PROGRAMS) + ["count-above"],
-        help="statistic to compute",
+    _add_query_arguments(query)
+
+    stats = commands.add_parser(
+        "stats",
+        help="run one private query and print the observability snapshot",
     )
-    query.add_argument("--column", default=0, help="column name or index (default 0)")
-    query.add_argument(
-        "--range", nargs=2, type=float, required=True, metavar=("LO", "HI"),
-        help="non-sensitive output range",
+    _add_query_arguments(stats)
+    stats.add_argument(
+        "--indent", type=int, default=2, help="JSON indentation (default 2)"
     )
-    query.add_argument("--epsilon", type=float, help="privacy budget for this query")
-    query.add_argument(
-        "--accuracy", nargs=2, type=float, metavar=("RHO", "DELTA"),
-        help="accuracy goal instead of epsilon (needs --aged-fraction)",
-    )
-    query.add_argument("--budget", type=float, default=10.0, help="dataset total budget")
-    query.add_argument(
-        "--aged-fraction", type=float, default=0.0,
-        help="fraction of records treated as privacy-expired (aging model)",
-    )
-    query.add_argument("--block-size", default=None, help="int, or 'auto'")
-    query.add_argument("--threshold", type=float, help="threshold for count-above")
-    query.add_argument("--seed", type=int, default=None, help="rng seed")
     return parser
 
 
@@ -91,29 +112,25 @@ def run_inspect(args) -> int:
     return 0
 
 
-def run_query(args) -> int:
-    if (args.epsilon is None) == (args.accuracy is None):
-        print("error: pass exactly one of --epsilon / --accuracy", file=sys.stderr)
-        return 2
-
+def _execute_query(args, metrics: MetricsRegistry | None = None):
+    """Shared query path: returns ``(result, manager)`` or raises."""
     table = load_csv(args.data)
     column = _resolve_column(args.column)
     column_index = table._column_index(column)
 
     if args.program == "count-above":
         if args.threshold is None:
-            print("error: count-above needs --threshold", file=sys.stderr)
-            return 2
+            raise GuptError("count-above needs --threshold")
         program = Count(threshold=args.threshold, column=column_index)
     else:
         program = PROGRAMS[args.program](column=column_index)
 
-    manager = DatasetManager()
+    manager = DatasetManager(metrics=metrics)
     manager.register(
         "cli", table, total_budget=args.budget,
         aged_fraction=args.aged_fraction, rng=args.seed,
     )
-    runtime = GuptRuntime(manager, rng=args.seed)
+    runtime = GuptRuntime(manager, rng=args.seed, metrics=metrics)
 
     kwargs = {}
     if args.epsilon is not None:
@@ -130,6 +147,18 @@ def run_query(args) -> int:
         query_name=args.program,
         **kwargs,
     )
+    return result, manager
+
+
+def run_query(args) -> int:
+    if (args.epsilon is None) == (args.accuracy is None):
+        print("error: pass exactly one of --epsilon / --accuracy", file=sys.stderr)
+        return 2
+    if args.program == "count-above" and args.threshold is None:
+        print("error: count-above needs --threshold", file=sys.stderr)
+        return 2
+
+    result, manager = _execute_query(args)
     print(f"private {args.program}: {result.scalar():.6g}")
     print(f"epsilon spent : {result.epsilon_total:.6g}"
           + (" (derived from accuracy goal)" if result.epsilon_was_estimated else ""))
@@ -139,11 +168,29 @@ def run_query(args) -> int:
     return 0
 
 
+def run_stats(args) -> int:
+    if (args.epsilon is None) == (args.accuracy is None):
+        print("error: pass exactly one of --epsilon / --accuracy", file=sys.stderr)
+        return 2
+    if args.program == "count-above" and args.threshold is None:
+        print("error: count-above needs --threshold", file=sys.stderr)
+        return 2
+
+    # A fresh registry per invocation: the snapshot describes exactly
+    # this query, not whatever else the process may have run.
+    registry = MetricsRegistry()
+    _execute_query(args, metrics=registry)
+    print(registry.to_json(indent=args.indent))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "inspect":
             return run_inspect(args)
+        if args.command == "stats":
+            return run_stats(args)
         return run_query(args)
     except GuptError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -38,6 +38,7 @@ from repro.core.sample_aggregate import SampleAggregateEngine, SampledBlocks
 from repro.core.user_level import grouped_plan
 from repro.exceptions import GuptError, InvalidPrivacyParameter
 from repro.mechanisms.rng import RandomSource, as_generator
+from repro.observability import MetricsRegistry, get_registry
 from repro.runtime.computation_manager import ComputationManager
 
 
@@ -53,6 +54,10 @@ class GuptRuntime:
         a serial in-process manager (see :mod:`repro.runtime`).
     rng:
         Seedable randomness for reproducible experiments.
+    metrics:
+        Registry receiving phase spans and query telemetry; ``None``
+        uses the process default.  Every recorded value is release-safe
+        (see :mod:`repro.observability`).
     """
 
     def __init__(
@@ -60,10 +65,12 @@ class GuptRuntime:
         dataset_manager: DatasetManager,
         computation_manager: ComputationManager | None = None,
         rng: RandomSource = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self._datasets = dataset_manager
-        self._computation = computation_manager or ComputationManager()
+        self._computation = computation_manager or ComputationManager(metrics=metrics)
         self._rng = as_generator(rng)
+        self._metrics = metrics
 
     @property
     def dataset_manager(self) -> DatasetManager:
@@ -122,24 +129,60 @@ class GuptRuntime:
             (§8.1): adding or removing a whole user moves at most
             ``resampling_factor`` block outputs.
         """
+        metrics = self._metrics or get_registry()
+        with metrics.span("runtime.run", dataset=dataset):
+            return self._run(
+                metrics,
+                dataset,
+                program,
+                range_strategy,
+                epsilon=epsilon,
+                accuracy=accuracy,
+                output_dimension=output_dimension,
+                block_size=block_size,
+                resampling_factor=resampling_factor,
+                canonical_order=canonical_order,
+                query_name=query_name,
+                group_by=group_by,
+            )
+
+    def _run(
+        self,
+        metrics: MetricsRegistry,
+        dataset: str,
+        program: Callable,
+        range_strategy: RangeStrategy,
+        epsilon: float | None,
+        accuracy: AccuracyGoal | None,
+        output_dimension: int | None,
+        block_size: int | str | None,
+        resampling_factor: int,
+        canonical_order: Callable[[np.ndarray], np.ndarray] | None,
+        query_name: str,
+        group_by: str | int | None,
+    ) -> GuptResult:
         registered = self._datasets.get(dataset)
         values = registered.table.values
-        dimension = self._resolve_output_dimension(program, output_dimension)
-        sensitivity = self._declared_width(range_strategy, dimension)
-        beta = self._resolve_block_size(
-            registered, program, block_size, dimension, sensitivity, epsilon
-        )
 
-        epsilon_total, was_estimated = self._resolve_epsilon(
-            registered, program, range_strategy, epsilon, accuracy, beta,
-            dimension, sensitivity,
-        )
+        # Phase 1: parameter resolution (block size may hill-climb over
+        # aged data, epsilon may be derived from an accuracy goal).
+        with metrics.span("runtime.resolve", dataset=dataset):
+            dimension = self._resolve_output_dimension(program, output_dimension)
+            sensitivity = self._declared_width(range_strategy, dimension)
+            beta = self._resolve_block_size(
+                registered, program, block_size, dimension, sensitivity, epsilon
+            )
+            epsilon_total, was_estimated = self._resolve_epsilon(
+                registered, program, range_strategy, epsilon, accuracy, beta,
+                dimension, sensitivity,
+            )
         epsilon_range = range_strategy.budget_fraction * epsilon_total
         epsilon_noise = epsilon_total - epsilon_range
 
         # Charge before execution: if the budget cannot cover the query,
         # the analyst program never runs (budget-attack defense).
         registered.charge(epsilon_total, query_name)
+        metrics.counter("runtime.queries", dataset=dataset).inc()
 
         engine = SampleAggregateEngine(self._computation, canonical_order)
         plan = None
@@ -153,41 +196,65 @@ class GuptRuntime:
         sampled_holder: dict[str, SampledBlocks] = {}
 
         def block_outputs_fn(fallback: np.ndarray) -> np.ndarray:
-            sampled = engine.sample(
-                values,
-                program,
-                dimension,
-                fallback,
-                block_size=beta,
-                resampling_factor=resampling_factor,
-                rng=self._rng,
-                plan=plan,
-            )
+            with metrics.span("runtime.sample", dataset=dataset):
+                sampled = engine.sample(
+                    values,
+                    program,
+                    dimension,
+                    fallback,
+                    block_size=beta,
+                    resampling_factor=resampling_factor,
+                    rng=self._rng,
+                    plan=plan,
+                )
             sampled_holder["sampled"] = sampled
             return sampled.outputs
 
+        # Phase 2: output-range estimation (GUPT-loose triggers the
+        # sample phase from inside, so its span nests in this one).
         context = RangeContext(
             input_values=values,
             input_ranges=registered.table.input_ranges,
             output_dimension=dimension,
             block_outputs_fn=block_outputs_fn,
         )
-        estimate = range_strategy.estimate(context, epsilon_range, rng=self._rng)
+        with metrics.span("runtime.range_estimation", dataset=dataset):
+            estimate = range_strategy.estimate(context, epsilon_range, rng=self._rng)
 
+        # Phase 3: sample-and-aggregate.
         sampled = sampled_holder.get("sampled")
         if sampled is None:
             fallback = np.array([r.midpoint for r in estimate.ranges])
-            sampled = engine.sample(
-                values,
-                program,
-                dimension,
-                fallback,
-                block_size=beta,
-                resampling_factor=resampling_factor,
-                rng=self._rng,
-                plan=plan,
+            with metrics.span("runtime.sample", dataset=dataset):
+                sampled = engine.sample(
+                    values,
+                    program,
+                    dimension,
+                    fallback,
+                    block_size=beta,
+                    resampling_factor=resampling_factor,
+                    rng=self._rng,
+                    plan=plan,
+                )
+        with metrics.span("runtime.aggregate", dataset=dataset):
+            release = engine.aggregate(
+                sampled, epsilon_noise, estimate.ranges, rng=self._rng
             )
-        release = engine.aggregate(sampled, epsilon_noise, estimate.ranges, rng=self._rng)
+
+        # Release-safe query telemetry: everything below is metadata the
+        # analyst already receives on GuptResult — never block outputs.
+        metrics.histogram("runtime.epsilon_charged", dataset=dataset).observe(
+            epsilon_total
+        )
+        metrics.counter("runtime.failed_blocks", dataset=dataset).inc(
+            release.failed_blocks
+        )
+        metrics.gauge("runtime.last_num_blocks", dataset=dataset).set(
+            release.num_blocks
+        )
+        metrics.gauge("runtime.last_block_size", dataset=dataset).set(
+            release.block_size
+        )
 
         return GuptResult(
             value=release.value,

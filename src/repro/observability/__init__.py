@@ -1,0 +1,32 @@
+"""Privacy-safe observability: metrics registry and phase tracing.
+
+This package gives the platform operational eyes without giving it a
+side channel: every value an instrumentation site may record is either
+release-safe query metadata, budget arithmetic, or wall-clock time the
+timing defense already fixes.  See :mod:`repro.observability.metrics`
+for the invariant and DESIGN.md for the reasoning.
+"""
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.observability.tracing import Span, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]

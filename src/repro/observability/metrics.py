@@ -1,0 +1,341 @@
+"""Privacy-safe metrics: counters, gauges and histograms with snapshots.
+
+The registry is the platform's *operational* eye: phase latencies, block
+success/fallback/kill counts, pool widths and budget burn-down.  It is
+deliberately dumber than a full metrics stack (no exemplars, no sliding
+windows) because every extra feature is another place a sensitive value
+could hide.
+
+**Privacy invariant (enforced by construction).**  Instrumentation code
+may only feed the registry values that are already safe to release:
+
+* release-safe metadata from :class:`~repro.core.sample_aggregate.\
+  SampleAggregateResult` / :class:`~repro.core.result.GuptResult`
+  (block geometry, failure counts, noise scales, epsilons);
+* budget arithmetic (spent/remaining epsilon, charge counts);
+* wall-clock durations — which the timing defense fixes to a
+  data-independent cycle budget whenever it is enabled.
+
+No instrumentation site reads ``block_outputs`` or any per-record value,
+and the test suite asserts a query's raw block outputs never appear in a
+snapshot (``tests/test_observability.py``).
+
+Components resolve their registry lazily: pass ``metrics=`` to own one
+(tests, the hosted service), or leave it ``None`` to share the process
+default (CLI, examples).  A disabled registry (``enabled=False``) turns
+every operation into a cheap no-op, which is what the overhead benchmark
+measures against.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+from typing import Iterator
+
+from repro.observability.tracing import Span, SpanRecord, Tracer
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_name(name: str, key: _LabelKey) -> str:
+    """``name{k="v",...}`` in sorted label order; bare name when unlabeled."""
+    if not key:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count (queries served, blocks killed)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge for deltas")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value (remaining budget, pool width)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Streaming summary of observations (latencies, pad times).
+
+    Keeps running aggregates only — count, sum, min, max, last — never
+    the raw observation series, so a snapshot's size is O(1) and there
+    is no buffer for sensitive values to linger in.
+    """
+
+    __slots__ = ("_count", "_sum", "_min", "_max", "_last", "_lock")
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._last = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+            self._last = value
+
+    def observe_many(self, values) -> None:
+        """Fold a batch of observations under one lock acquisition.
+
+        Hot loops (per-block latencies) batch locally and flush once,
+        so instrumentation cost stays flat in the number of blocks.
+        """
+        values = [float(v) for v in values]
+        if not values:
+            return
+        with self._lock:
+            self._count += len(values)
+            self._sum += sum(values)
+            self._min = min(self._min, min(values))
+            self._max = max(self._max, max(values))
+            self._last = values[-1]
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        with self._lock:
+            if not self._count:
+                return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                        "mean": 0.0, "last": 0.0}
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "mean": self._sum / self._count,
+                "last": self._last,
+            }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: ARG002
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:  # noqa: ARG002
+        pass
+
+    def observe_many(self, values) -> None:  # noqa: ARG002
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Named counters, gauges, histograms and spans with one snapshot.
+
+    Parameters
+    ----------
+    enabled:
+        ``False`` turns every accessor into a shared no-op instrument,
+        making instrumentation overhead measurable (and negligible).
+    max_spans:
+        Ring-buffer capacity of the embedded tracer.
+    """
+
+    def __init__(self, enabled: bool = True, max_spans: int = 1000):
+        self._enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._counters: dict[tuple[str, _LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, _LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, _LabelKey], Histogram] = {}
+        self._tracer = Tracer(max_spans=max_spans)
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer
+
+    # -- instrument accessors (get-or-create) ---------------------------
+    def counter(self, name: str, **labels) -> Counter:
+        if not self._enabled:
+            return _NULL_COUNTER
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        if not self._enabled:
+            return _NULL_GAUGE
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._gauges.get(key)
+            if metric is None:
+                metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        if not self._enabled:
+            return _NULL_HISTOGRAM
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._histograms.get(key)
+            if metric is None:
+                metric = self._histograms[key] = Histogram()
+        return metric
+
+    def span(self, name: str, **labels) -> Span:
+        """Context manager timing its body as one trace span.
+
+        The duration also lands in the ``<name>.seconds`` histogram so
+        phase timings show up aggregated in snapshots.
+        """
+        if not self._enabled:
+            return Span(name, tracer=None, histogram=None)
+        return Span(
+            name,
+            tracer=self._tracer,
+            histogram=self.histogram(f"{name}.seconds", **labels),
+            labels=_label_key(labels),
+        )
+
+    # -- export ---------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One JSON-ready dict of every instrument's current state."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                _render_name(name, key): metric.value
+                for (name, key), metric in sorted(counters.items())
+            },
+            "gauges": {
+                _render_name(name, key): metric.value
+                for (name, key), metric in sorted(gauges.items())
+            },
+            "histograms": {
+                _render_name(name, key): metric.summary()
+                for (name, key), metric in sorted(histograms.items())
+            },
+            "spans": [record.as_dict() for record in self._tracer.spans()],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=False)
+
+    def reset(self) -> None:
+        """Drop every instrument and span (fresh registry semantics)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+        self._tracer.reset()
+
+
+# ----------------------------------------------------------------------
+# The process-default registry
+# ----------------------------------------------------------------------
+_default_registry = MetricsRegistry()
+_default_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry components fall back to when none was injected."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the process-default registry; returns the previous one."""
+    global _default_registry
+    with _default_lock:
+        previous = _default_registry
+        _default_registry = registry
+    return previous
+
+
+@contextlib.contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily install ``registry`` as the process default."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecord",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]

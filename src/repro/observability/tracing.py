@@ -1,0 +1,103 @@
+"""Lightweight phase tracing: named wall-clock spans in a ring buffer.
+
+A span marks one phase of a request — block-size resolution, range
+estimation, sampling, aggregation — with its duration.  Spans carry only
+a name, labels and seconds; there is deliberately no ``attributes`` bag
+to stuff values into, which is part of how the observability layer keeps
+sensitive data out of telemetry (see :mod:`repro.observability.metrics`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span: what ran, for how long, with which labels."""
+
+    name: str
+    seconds: float
+    labels: tuple[tuple[str, str], ...] = ()
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "labels": dict(self.labels),
+        }
+
+
+class Tracer:
+    """Bounded, thread-safe store of finished spans (newest kept)."""
+
+    def __init__(self, max_spans: int = 1000):
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self._spans: deque[SpanRecord] = deque(maxlen=max_spans)
+        self._lock = threading.Lock()
+
+    def record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._spans.append(record)
+
+    def spans(self, name: str | None = None) -> list[SpanRecord]:
+        """Finished spans in completion order, optionally filtered."""
+        with self._lock:
+            records = list(self._spans)
+        if name is None:
+            return records
+        return [r for r in records if r.name == name]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+
+class Span:
+    """Context manager timing its body; records on exit.
+
+    ``tracer``/``histogram`` may be ``None`` (disabled registry), in
+    which case entering and exiting is a few attribute reads — cheap
+    enough to leave instrumentation unconditionally in hot paths.  A
+    plain ``__slots__`` class (not a dataclass) keeps per-span setup
+    off the phase-timing critical path.
+    """
+
+    __slots__ = ("name", "tracer", "histogram", "labels", "seconds", "_started")
+
+    def __init__(
+        self,
+        name: str,
+        tracer: Tracer | None = None,
+        histogram: "object | None" = None,  # duck-typed .observe(float)
+        labels: tuple[tuple[str, str], ...] = (),
+    ):
+        self.name = name
+        self.tracer = tracer
+        self.histogram = histogram
+        self.labels = labels
+        self.seconds: float | None = None
+        self._started = 0.0
+
+    def __enter__(self) -> "Span":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.seconds = time.perf_counter() - self._started
+        if self.tracer is not None:
+            self.tracer.record(
+                SpanRecord(name=self.name, seconds=self.seconds, labels=self.labels)
+            )
+        if self.histogram is not None:
+            self.histogram.observe(self.seconds)
+
+
+__all__ = ["Span", "SpanRecord", "Tracer"]

@@ -10,16 +10,25 @@ the GUPT runtime calls; each block execution goes through a
 role.  Parallelism across blocks uses a thread pool — block programs are
 numpy-heavy and release the GIL, and the chamber layer already provides
 the isolation, so threads are the cheap choice on one machine.
+
+The manager is also an instrumentation point (see
+:mod:`repro.observability`): per-block latency, success/fallback/kill
+counts and the pool width.  Recorded latency is the wall-clock of the
+whole chamber call *including* any timing-defense padding, so whenever
+the defense is on, the histogram observes the padded, data-independent
+duration — never the program's raw compute time.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Sequence
 
 import numpy as np
 
 from repro.exceptions import ComputationError
+from repro.observability import MetricsRegistry, get_registry
 from repro.runtime.sandbox import (
     AnalystProgram,
     BlockExecution,
@@ -39,21 +48,30 @@ class ComputationManager:
     max_workers:
         Thread-pool width; 1 (default) runs blocks serially, which keeps
         single-threaded benchmarks honest.
+    metrics:
+        Registry receiving block-level telemetry; ``None`` uses the
+        process default.
     """
 
     def __init__(
         self,
         chamber: ExecutionChamber | None = None,
         max_workers: int = 1,
+        metrics: MetricsRegistry | None = None,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
-        self._chamber = chamber or InProcessChamber()
+        self._chamber = chamber or InProcessChamber(metrics=metrics)
         self._max_workers = max_workers
+        self._metrics = metrics
 
     @property
     def chamber(self) -> ExecutionChamber:
         return self._chamber
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
 
     def run_blocks(
         self,
@@ -80,23 +98,36 @@ class ComputationManager:
         if not blocks:
             raise ComputationError("no blocks to execute")
 
+        metrics = self._metrics or get_registry()
+        metrics.gauge("blocks.pool_width").set(self._max_workers)
+
+        # Latencies batch locally and flush in one histogram update, so
+        # the per-block cost is a clock read and a list append.
+        durations: list[float] = []
+
+        def timed_run(block: np.ndarray) -> BlockExecution:
+            started = time.perf_counter()
+            execution = self._chamber.run_block(
+                program, block, output_dimension, fallback
+            )
+            durations.append(time.perf_counter() - started)
+            return execution
+
         if self._max_workers == 1:
-            results = [
-                self._chamber.run_block(program, block, output_dimension, fallback)
-                for block in blocks
-            ]
+            results = [timed_run(block) for block in blocks]
         else:
             with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-                results = list(
-                    pool.map(
-                        lambda block: self._chamber.run_block(
-                            program, block, output_dimension, fallback
-                        ),
-                        blocks,
-                    )
-                )
+                results = list(pool.map(timed_run, blocks))
+        metrics.histogram("blocks.latency_seconds").observe_many(durations)
 
-        if not any(r.succeeded for r in results):
+        succeeded = sum(1 for r in results if r.succeeded)
+        killed = sum(1 for r in results if r.killed)
+        metrics.counter("blocks.executed").inc(len(results))
+        metrics.counter("blocks.success").inc(succeeded)
+        metrics.counter("blocks.fallback").inc(len(results) - succeeded)
+        metrics.counter("blocks.killed").inc(killed)
+
+        if succeeded == 0:
             raise ComputationError(
                 "analyst program failed on every block; check that it returns "
                 f"a finite vector of dimension {output_dimension}"

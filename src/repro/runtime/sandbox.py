@@ -31,6 +31,7 @@ from typing import Callable, Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.observability import MetricsRegistry, get_registry
 from repro.runtime.policy import MACPolicy
 from repro.runtime.timing import TimingDefense
 
@@ -97,6 +98,9 @@ class InProcessChamber:
         Deep-copy the program object per block so instance attributes
         cannot carry state across blocks.  Plain functions are used
         as-is (they are copied trivially).
+    metrics:
+        Registry receiving the chamber's kill/pad telemetry; ``None``
+        uses the process default.
     """
 
     def __init__(
@@ -104,10 +108,12 @@ class InProcessChamber:
         timing: TimingDefense | None = None,
         policy: MACPolicy | None = None,
         fresh_instance: bool = True,
+        metrics: MetricsRegistry | None = None,
     ):
         self._timing = timing or TimingDefense(cycle_budget=None)
         self._policy = policy
         self._fresh_instance = fresh_instance
+        self._metrics = metrics
 
     def run_block(
         self,
@@ -123,7 +129,8 @@ class InProcessChamber:
 
         killed = result is _TIMED_OUT or self._timing.exceeded(elapsed)
         output = None if killed or result is _FAILED else _coerce_output(result, output_dimension)
-        self._timing.pad_to_budget(elapsed)
+        padded = self._timing.pad_to_budget(elapsed)
+        _record_chamber_metrics(self._metrics, killed=bool(killed), padded=padded)
         if output is None:
             return BlockExecution(
                 output=np.array(fallback, dtype=float),
@@ -175,6 +182,22 @@ _TIMED_OUT = _Sentinel("timed-out")
 _FAILED = _Sentinel("failed")
 
 
+def _record_chamber_metrics(
+    metrics: MetricsRegistry | None, killed: bool, padded: float
+) -> None:
+    """Record kill/pad telemetry shared by both chamber implementations.
+
+    Only two data-independent facts leave the chamber: whether the cycle
+    budget killed the block (already observable through the substituted
+    fallback) and how long the defense idled to fix the wall-clock.
+    """
+    registry = metrics or get_registry()
+    if killed:
+        registry.counter("chamber.kills").inc()
+    if padded > 0.0:
+        registry.histogram("chamber.pad_seconds").observe(padded)
+
+
 def _subprocess_child(conn, program: AnalystProgram, block: np.ndarray) -> None:
     """Child-process entry: run the program, ship the result back."""
     try:
@@ -201,10 +224,12 @@ class SubprocessChamber:
         timing: TimingDefense | None = None,
         policy: MACPolicy | None = None,
         start_method: str = "fork",
+        metrics: MetricsRegistry | None = None,
     ):
         self._timing = timing or TimingDefense(cycle_budget=None)
         self._policy = policy
         self._context = multiprocessing.get_context(start_method)
+        self._metrics = metrics
 
     def run_block(
         self,
@@ -234,7 +259,8 @@ class SubprocessChamber:
                 payload = body
         parent_conn.close()
         elapsed = time.perf_counter() - started
-        self._timing.pad_to_budget(elapsed)
+        padded = self._timing.pad_to_budget(elapsed)
+        _record_chamber_metrics(self._metrics, killed=killed, padded=padded)
         if self._policy is not None:
             self._policy.wipe_scratch()
 

@@ -29,6 +29,7 @@ from repro.core.range_estimation import RangeStrategy
 from repro.datasets.table import DataTable
 from repro.exceptions import GuptError
 from repro.mechanisms.rng import RandomSource
+from repro.observability import MetricsRegistry, get_registry
 from repro.runtime.computation_manager import ComputationManager
 
 OWNER = "owner"
@@ -94,11 +95,24 @@ class GuptService:
         self,
         computation_manager: ComputationManager | None = None,
         rng: RandomSource = None,
+        metrics: MetricsRegistry | None = None,
     ):
-        self._datasets = DatasetManager()
-        self._runtime = GuptRuntime(self._datasets, computation_manager, rng=rng)
+        self._metrics = metrics
+        self._datasets = DatasetManager(metrics=metrics)
+        self._runtime = GuptRuntime(
+            self._datasets, computation_manager, rng=rng, metrics=metrics
+        )
         self._principals: dict[str, Principal] = {}
         self._counter = itertools.count()
+
+    def metrics_snapshot(self) -> dict:
+        """Provider-side view of the service's operational telemetry.
+
+        Everything in the snapshot is release-safe by construction (see
+        :mod:`repro.observability`); it is still scoped to the *service
+        provider*, not exposed through the analyst interface.
+        """
+        return (self._metrics or get_registry()).snapshot()
 
     # ------------------------------------------------------------------
     # Enrollment
@@ -184,7 +198,12 @@ class GuptService:
         as always; the service layer adds only authentication and the
         error boundary.
         """
-        self._authenticate(token, ANALYST)
+        principal = self._authenticate(token, ANALYST)
+        metrics = self._metrics or get_registry()
+        # Per-principal accounting: labels carry the principal's public
+        # name (or role), never the secret token.
+        who = principal.name or principal.role
+        metrics.counter("service.queries", principal=who).inc()
         try:
             result = self._runtime.run(
                 request.dataset,
@@ -199,6 +218,7 @@ class GuptService:
                 group_by=request.group_by,
             )
         except GuptError as exc:
+            metrics.counter("service.rejections", principal=who).inc()
             return QueryResponse(ok=False, error=str(exc))
         return QueryResponse(
             ok=True,

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -99,3 +101,63 @@ class TestQuery:
         ])
         assert code == 0
         assert "x 1 records" in capsys.readouterr().out  # optimizer picks beta=1
+
+
+class TestStats:
+    def test_stats_prints_observability_snapshot(self, ages_csv, capsys):
+        code = main([
+            "stats", "--data", str(ages_csv), "--program", "mean",
+            "--range", "0", "150", "--epsilon", "1.5", "--budget", "5.0",
+            "--seed", "1",
+        ])
+        assert code == 0
+        snapshot = json.loads(capsys.readouterr().out)
+
+        # Phase timings for the whole request path.
+        for phase in ("runtime.run", "runtime.resolve", "runtime.sample",
+                      "runtime.aggregate", "runtime.range_estimation"):
+            assert snapshot["histograms"][f'{phase}.seconds{{dataset="cli"}}']["count"] >= 1
+
+        # Block success/fallback/kill counts.
+        counters = snapshot["counters"]
+        assert counters["blocks.executed"] >= 1
+        assert counters["blocks.success"] + counters["blocks.fallback"] == (
+            counters["blocks.executed"]
+        )
+        assert counters["blocks.killed"] == 0
+
+        # Per-dataset budget burn-down.
+        gauges = snapshot["gauges"]
+        assert gauges['budget.epsilon_spent{dataset="cli"}'] == pytest.approx(1.5)
+        assert gauges['budget.epsilon_remaining{dataset="cli"}'] == pytest.approx(3.5)
+
+        # And the trace itself.
+        assert any(s["name"] == "runtime.run" for s in snapshot["spans"])
+
+    def test_stats_registry_is_per_invocation(self, ages_csv, capsys):
+        snapshots = []
+        for _ in range(2):
+            assert main([
+                "stats", "--data", str(ages_csv), "--program", "mean",
+                "--range", "0", "150", "--epsilon", "1.0", "--seed", "1",
+            ]) == 0
+            snapshots.append(json.loads(capsys.readouterr().out))
+        # Each snapshot describes only its own query — nothing accumulates
+        # across invocations or leaks into the process default.
+        for snapshot in snapshots:
+            assert snapshot["counters"]['runtime.queries{dataset="cli"}'] == 1
+
+    def test_stats_validates_epsilon_accuracy_exclusivity(self, ages_csv, capsys):
+        code = main([
+            "stats", "--data", str(ages_csv), "--program", "mean",
+            "--range", "0", "150", "--epsilon", "1.0",
+            "--accuracy", "0.9", "0.1",
+        ])
+        assert code == 2
+
+    def test_stats_count_above_requires_threshold(self, ages_csv, capsys):
+        code = main([
+            "stats", "--data", str(ages_csv), "--program", "count-above",
+            "--range", "0", "1", "--epsilon", "1.0",
+        ])
+        assert code == 2

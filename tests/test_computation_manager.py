@@ -1,9 +1,12 @@
 """Unit tests for the computation manager."""
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.exceptions import ComputationError
+from repro.observability import MetricsRegistry
 from repro.runtime.computation_manager import ComputationManager
 
 BLOCKS = [np.full((10, 1), float(i)) for i in range(5)]
@@ -59,3 +62,60 @@ class TestRunBlocks:
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ValueError):
             ComputationManager(max_workers=0)
+
+
+class TestParallelFanOut:
+    """The ``max_workers > 1`` branch: ordering, failures, metrics."""
+
+    def test_ordering_preserved_despite_skewed_latencies(self):
+        # Early blocks sleep longest, so completion order inverts
+        # submission order; the result list must still follow block order.
+        blocks = [np.full((4, 1), float(i)) for i in range(8)]
+
+        def skewed(block):
+            time.sleep((7 - block[0, 0]) * 0.005)
+            return float(block[0, 0])
+
+        manager = ComputationManager(max_workers=4)
+        results = manager.run_blocks(skewed, blocks, 1, np.array([0.0]))
+        assert [r.output[0] for r in results] == [float(i) for i in range(8)]
+
+    def test_partial_failures_counted_and_substituted(self):
+        def failing_on_even(block):
+            if int(block[0, 0]) % 2 == 0:
+                raise RuntimeError
+            return float(np.mean(block))
+
+        metrics = MetricsRegistry()
+        manager = ComputationManager(max_workers=4, metrics=metrics)
+        results = manager.run_blocks(failing_on_even, BLOCKS, 1, np.array([-1.0]))
+        assert [r.output[0] for r in results] == [-1.0, 1.0, -1.0, 3.0, -1.0]
+        assert sum(1 for r in results if not r.succeeded) == 3
+        assert metrics.counter("blocks.executed").value == 5
+        assert metrics.counter("blocks.success").value == 2
+        assert metrics.counter("blocks.fallback").value == 3
+        assert metrics.gauge("blocks.pool_width").value == 4
+
+    def test_raises_only_when_every_block_fails(self):
+        def always_fails(block):
+            raise RuntimeError
+
+        manager = ComputationManager(max_workers=4)
+        with pytest.raises(ComputationError):
+            manager.run_blocks(always_fails, BLOCKS, 1, np.array([0.0]))
+
+        def one_survivor(block):
+            if int(block[0, 0]) != 3:
+                raise RuntimeError
+            return 3.0
+
+        results = manager.run_blocks(one_survivor, BLOCKS, 1, np.array([0.0]))
+        assert sum(1 for r in results if r.succeeded) == 1
+
+    def test_per_block_latency_recorded_for_every_block(self):
+        metrics = MetricsRegistry()
+        manager = ComputationManager(max_workers=4, metrics=metrics)
+        manager.run_blocks(mean_program, BLOCKS, 1, np.array([0.0]))
+        summary = metrics.histogram("blocks.latency_seconds").summary()
+        assert summary["count"] == len(BLOCKS)
+        assert summary["min"] >= 0.0

@@ -1,0 +1,158 @@
+"""Unit tests for the metrics registry."""
+
+import json
+import threading
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("queries").inc()
+        registry.counter("queries").inc(2.5)
+        assert registry.counter("queries").value == 3.5
+
+    def test_counter_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("queries").inc(-1.0)
+
+    def test_gauge_holds_last_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("budget").set(5.0)
+        registry.gauge("budget").set(2.5)
+        assert registry.gauge("budget").value == 2.5
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency")
+        for v in (1.0, 3.0, 2.0):
+            hist.observe(v)
+        summary = hist.summary()
+        assert summary == {
+            "count": 3, "sum": 6.0, "min": 1.0, "max": 3.0,
+            "mean": 2.0, "last": 2.0,
+        }
+
+    def test_empty_histogram_summary_is_zeroed(self):
+        summary = MetricsRegistry().histogram("latency").summary()
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0
+
+    def test_labels_isolate_series(self):
+        registry = MetricsRegistry()
+        registry.counter("queries", dataset="a").inc()
+        registry.counter("queries", dataset="b").inc(2)
+        assert registry.counter("queries", dataset="a").value == 1
+        assert registry.counter("queries", dataset="b").value == 2
+        assert registry.counter("queries").value == 0
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        registry.counter("c", a="1", b="2").inc()
+        assert registry.counter("c", b="2", a="1").value == 1
+
+
+class TestSnapshot:
+    def test_snapshot_renders_labeled_names(self):
+        registry = MetricsRegistry()
+        registry.counter("queries", dataset="x").inc()
+        registry.gauge("budget", dataset="x").set(1.5)
+        registry.histogram("latency").observe(0.25)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]['queries{dataset="x"}'] == 1
+        assert snapshot["gauges"]['budget{dataset="x"}'] == 1.5
+        assert snapshot["histograms"]["latency"]["count"] == 1
+        assert snapshot["spans"] == []
+
+    def test_to_json_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("queries").inc()
+        with registry.span("phase"):
+            pass
+        parsed = json.loads(registry.to_json())
+        assert parsed["counters"]["queries"] == 1
+        assert parsed["spans"][0]["name"] == "phase"
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("queries").inc()
+        registry.gauge("g").set(1)
+        registry.histogram("h").observe(1)
+        with registry.span("phase"):
+            pass
+        registry.reset()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"] == {}
+        assert snapshot["histograms"] == {}
+        assert snapshot["spans"] == []
+
+
+class TestDisabledRegistry:
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("queries").inc()
+        registry.gauge("g").set(9.0)
+        registry.histogram("h").observe(1.0)
+        with registry.span("phase"):
+            pass
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["gauges"] == {}
+        assert snapshot["histograms"] == {}
+        assert snapshot["spans"] == []
+
+    def test_disabled_span_still_times_itself(self):
+        registry = MetricsRegistry(enabled=False)
+        with registry.span("phase") as span:
+            pass
+        assert span.seconds is not None and span.seconds >= 0.0
+
+
+class TestDefaultRegistry:
+    def test_use_registry_swaps_and_restores(self):
+        original = get_registry()
+        mine = MetricsRegistry()
+        with use_registry(mine) as active:
+            assert active is mine
+            assert get_registry() is mine
+        assert get_registry() is original
+
+    def test_set_registry_returns_previous(self):
+        original = get_registry()
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            assert previous is original
+            assert get_registry() is mine
+        finally:
+            set_registry(original)
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_do_not_lose_counts(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        hist = registry.histogram("obs")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+                hist.observe(1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+        assert hist.count == 8000
+        assert hist.sum == pytest.approx(8000.0)

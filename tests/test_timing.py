@@ -2,8 +2,11 @@
 
 import time
 
+import numpy as np
 import pytest
 
+from repro.observability import MetricsRegistry
+from repro.runtime.sandbox import InProcessChamber
 from repro.runtime.timing import TimingDefense
 
 
@@ -39,3 +42,65 @@ class TestTimingDefense:
     def test_invalid_budget_rejected(self, budget):
         with pytest.raises(ValueError):
             TimingDefense(cycle_budget=budget)
+
+
+class TestTimingDefenseRegressions:
+    """End-to-end §6.2 semantics through a chamber, plus telemetry."""
+
+    BLOCK = np.zeros((5, 1))
+    FALLBACK = np.array([42.0])
+
+    def test_pad_enforces_wall_clock_floor_on_fast_blocks(self):
+        # A near-instant program must still be observed taking (at
+        # least) the full cycle budget when padding is on.
+        chamber = InProcessChamber(
+            timing=TimingDefense(cycle_budget=0.08, pad=True),
+            metrics=MetricsRegistry(),
+        )
+        started = time.perf_counter()
+        execution = chamber.run_block(
+            lambda block: 1.0, self.BLOCK, 1, self.FALLBACK
+        )
+        observed = time.perf_counter() - started
+        assert execution.succeeded
+        assert observed >= 0.075
+
+    def test_kill_and_substitute_yields_data_independent_fallback(self):
+        def hangs(block):
+            time.sleep(0.5)
+            return float(block.sum())
+
+        chamber = InProcessChamber(
+            timing=TimingDefense(cycle_budget=0.03, pad=False),
+            metrics=MetricsRegistry(),
+        )
+        execution = chamber.run_block(hangs, self.BLOCK, 1, self.FALLBACK)
+        assert execution.killed
+        assert not execution.succeeded
+        # The substituted output is exactly the constant fallback — it
+        # carries no bit of the block's data.
+        assert execution.output.tolist() == [42.0]
+
+    def test_kill_metric_recorded(self):
+        metrics = MetricsRegistry()
+        chamber = InProcessChamber(
+            timing=TimingDefense(cycle_budget=0.02, pad=False), metrics=metrics
+        )
+
+        def hangs(block):
+            time.sleep(0.3)
+            return 1.0
+
+        chamber.run_block(hangs, self.BLOCK, 1, self.FALLBACK)
+        assert metrics.counter("chamber.kills").value == 1
+
+    def test_pad_metric_recorded(self):
+        metrics = MetricsRegistry()
+        chamber = InProcessChamber(
+            timing=TimingDefense(cycle_budget=0.05, pad=True), metrics=metrics
+        )
+        chamber.run_block(lambda block: 1.0, self.BLOCK, 1, self.FALLBACK)
+        summary = metrics.histogram("chamber.pad_seconds").summary()
+        assert summary["count"] == 1
+        assert summary["last"] == pytest.approx(0.05, abs=0.02)
+        assert metrics.counter("chamber.kills").value == 0

@@ -1,0 +1,80 @@
+"""Unit tests for phase tracing."""
+
+import time
+
+import pytest
+
+from repro.observability import MetricsRegistry, Span, SpanRecord, Tracer
+
+
+class TestTracer:
+    def test_records_in_completion_order(self):
+        tracer = Tracer()
+        tracer.record(SpanRecord("a", 0.1))
+        tracer.record(SpanRecord("b", 0.2))
+        assert [s.name for s in tracer.spans()] == ["a", "b"]
+
+    def test_filter_by_name(self):
+        tracer = Tracer()
+        tracer.record(SpanRecord("a", 0.1))
+        tracer.record(SpanRecord("b", 0.2))
+        tracer.record(SpanRecord("a", 0.3))
+        assert [s.seconds for s in tracer.spans("a")] == [0.1, 0.3]
+
+    def test_ring_buffer_keeps_newest(self):
+        tracer = Tracer(max_spans=3)
+        for i in range(6):
+            tracer.record(SpanRecord(f"s{i}", float(i)))
+        assert [s.name for s in tracer.spans()] == ["s3", "s4", "s5"]
+        assert len(tracer) == 3
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+    def test_reset(self):
+        tracer = Tracer()
+        tracer.record(SpanRecord("a", 0.1))
+        tracer.reset()
+        assert tracer.spans() == []
+
+
+class TestSpan:
+    def test_span_measures_elapsed_time(self):
+        tracer = Tracer()
+        with Span("work", tracer=tracer) as span:
+            time.sleep(0.02)
+        assert span.seconds >= 0.015
+        (record,) = tracer.spans()
+        assert record.name == "work"
+        assert record.seconds == span.seconds
+
+    def test_span_records_even_when_body_raises(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with Span("work", tracer=tracer):
+                raise RuntimeError("boom")
+        assert len(tracer.spans()) == 1
+
+    def test_registry_span_feeds_histogram_and_tracer(self):
+        registry = MetricsRegistry()
+        with registry.span("phase", dataset="d"):
+            pass
+        (record,) = registry.tracer.spans()
+        assert record.name == "phase"
+        assert dict(record.labels) == {"dataset": "d"}
+        summary = registry.histogram("phase.seconds", dataset="d").summary()
+        assert summary["count"] == 1
+        assert summary["last"] == pytest.approx(record.seconds)
+
+    def test_nested_spans_record_inner_first(self):
+        registry = MetricsRegistry()
+        with registry.span("outer"):
+            with registry.span("inner"):
+                pass
+        names = [s.name for s in registry.tracer.spans()]
+        assert names == ["inner", "outer"]
+
+    def test_span_record_as_dict(self):
+        record = SpanRecord("p", 0.5, (("k", "v"),))
+        assert record.as_dict() == {"name": "p", "seconds": 0.5, "labels": {"k": "v"}}

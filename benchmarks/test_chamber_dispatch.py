@@ -1,0 +1,97 @@
+"""Micro-bench: per-block program instantiation inside a chamber.
+
+``InProcessChamber`` used to ``copy.deepcopy`` the analyst program for
+every block to stop state carryover.  It now pickles the program once
+and ``pickle.loads`` the cached bytes per block — same freshness
+guarantee, but the (often expensive) traversal of the program's state
+happens a single time per query instead of once per block.
+
+The program here carries deliberately heavy state (a large dict plus a
+numpy array) so the per-block instantiation cost dominates; the bench
+asserts the cached-pickle path beats a deepcopy-per-block chamber.
+"""
+
+import copy
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.runtime.sandbox import InProcessChamber
+
+BLOCKS = [np.full((20, 1), float(i)) for i in range(60)]
+FALLBACK = np.array([0.0])
+
+
+def _heavy_state() -> dict:
+    return {f"weight_{i}": float(i) * 0.5 for i in range(2000)}
+
+
+@dataclass
+class HeavyProgram:
+    """State-rich analyst program: instantiation cost is the point."""
+
+    table: dict = field(default_factory=_heavy_state)
+    matrix: np.ndarray = field(default_factory=lambda: np.ones((64, 64)))
+    output_dimension: int = 1
+
+    def __call__(self, block):
+        return float(np.mean(block)) + self.table["weight_0"]
+
+
+class DeepcopyChamber(InProcessChamber):
+    """The pre-optimization behaviour: deepcopy for every block."""
+
+    def _instantiate(self, program):
+        return copy.deepcopy(program)
+
+
+def _time_chamber(chamber) -> float:
+    program = HeavyProgram()
+    started = time.perf_counter()
+    for block in BLOCKS:
+        result = chamber.run_block(program, block, 1, FALLBACK)
+        assert result.succeeded
+    return time.perf_counter() - started
+
+
+def test_cached_pickle_beats_deepcopy_per_block():
+    # Warm-up outside the timed region (imports, allocator).
+    _time_chamber(InProcessChamber())
+    _time_chamber(DeepcopyChamber())
+
+    pickled = min(_time_chamber(InProcessChamber()) for _ in range(3))
+    deepcopied = min(_time_chamber(DeepcopyChamber()) for _ in range(3))
+
+    print(
+        f"\n{len(BLOCKS)} blocks, heavy program: "
+        f"cached-pickle {pickled * 1e3:.1f} ms vs "
+        f"deepcopy {deepcopied * 1e3:.1f} ms "
+        f"({deepcopied / pickled:.1f}x)"
+    )
+    assert pickled < deepcopied, (
+        f"cached pickle ({pickled:.4f}s) should beat "
+        f"per-block deepcopy ({deepcopied:.4f}s)"
+    )
+
+
+@dataclass
+class MutatingProgram(HeavyProgram):
+    """Tries the state attack: stash what it saw into its own state."""
+
+    def __call__(self, block):
+        self.table["leak"] = float(block[0, 0])
+        return float(np.mean(block))
+
+
+@pytest.mark.parametrize("chamber_cls", [InProcessChamber, DeepcopyChamber])
+def test_both_paths_isolate_state(chamber_cls):
+    # The speedup must not cost the state-attack defense: neither path
+    # lets a block's mutation reach the analyst-held instance.
+    chamber = chamber_cls()
+    program = MutatingProgram()
+    for block in BLOCKS[:3]:
+        result = chamber.run_block(program, block, 1, FALLBACK)
+        assert result.succeeded
+    assert "leak" not in program.table

@@ -66,6 +66,19 @@ def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--block-size", default=None, help="int, or 'auto'")
     parser.add_argument("--threshold", type=float, help="threshold for count-above")
     parser.add_argument("--seed", type=int, default=None, help="rng seed")
+    parser.add_argument(
+        "--backend", choices=["serial", "thread", "pool"], default=None,
+        help="execution backend (default: serial; pool = persistent "
+             "worker processes with zero-copy block dispatch)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="fan-out width for the thread/pool backends",
+    )
+    parser.add_argument(
+        "--dispatch-batch", type=int, default=None, metavar="N",
+        help="blocks per dispatch batch (thread/pool; default auto)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,7 +90,9 @@ def build_parser() -> argparse.ArgumentParser:
     inspect = commands.add_parser("inspect", help="describe a CSV dataset")
     inspect.add_argument("--data", required=True, help="path to a CSV file")
 
-    query = commands.add_parser("query", help="run one private query")
+    query = commands.add_parser(
+        "query", aliases=["run"], help="run one private query"
+    )
     _add_query_arguments(query)
 
     stats = commands.add_parser(
@@ -130,7 +145,14 @@ def _execute_query(args, metrics: MetricsRegistry | None = None):
         "cli", table, total_budget=args.budget,
         aged_fraction=args.aged_fraction, rng=args.seed,
     )
-    runtime = GuptRuntime(manager, rng=args.seed, metrics=metrics)
+    runtime = GuptRuntime(
+        manager,
+        rng=args.seed,
+        metrics=metrics,
+        backend=args.backend,
+        workers=args.workers,
+        batch_size=args.dispatch_batch,
+    )
 
     kwargs = {}
     if args.epsilon is not None:
@@ -139,14 +161,17 @@ def _execute_query(args, metrics: MetricsRegistry | None = None):
         rho, delta = args.accuracy
         kwargs["accuracy"] = AccuracyGoal(rho=rho, delta=delta)
 
-    result = runtime.run(
-        "cli",
-        program,
-        TightRange((args.range[0], args.range[1])),
-        block_size=_resolve_block_size(args.block_size),
-        query_name=args.program,
-        **kwargs,
-    )
+    try:
+        result = runtime.run(
+            "cli",
+            program,
+            TightRange((args.range[0], args.range[1])),
+            block_size=_resolve_block_size(args.block_size),
+            query_name=args.program,
+            **kwargs,
+        )
+    finally:
+        runtime.close()
     return result, manager
 
 

@@ -58,6 +58,10 @@ class GuptRuntime:
         Registry receiving phase spans and query telemetry; ``None``
         uses the process default.  Every recorded value is release-safe
         (see :mod:`repro.observability`).
+    backend, workers, batch_size:
+        Convenience knobs that build the computation manager in place
+        (``backend`` one of ``serial``/``thread``/``pool``); mutually
+        exclusive with passing ``computation_manager``.
     """
 
     def __init__(
@@ -66,15 +70,40 @@ class GuptRuntime:
         computation_manager: ComputationManager | None = None,
         rng: RandomSource = None,
         metrics: MetricsRegistry | None = None,
+        backend: str | None = None,
+        workers: int | None = None,
+        batch_size: int | None = None,
     ):
+        if computation_manager is not None and (
+            backend is not None or workers is not None or batch_size is not None
+        ):
+            raise GuptError(
+                "pass either computation_manager or backend/workers/batch_size, "
+                "not both"
+            )
+        if computation_manager is None:
+            computation_manager = ComputationManager(
+                max_workers=workers if workers is not None else 1,
+                backend=backend,
+                batch_size=batch_size,
+                metrics=metrics,
+            )
         self._datasets = dataset_manager
-        self._computation = computation_manager or ComputationManager(metrics=metrics)
+        self._computation = computation_manager
         self._rng = as_generator(rng)
         self._metrics = metrics
 
     @property
     def dataset_manager(self) -> DatasetManager:
         return self._datasets
+
+    @property
+    def computation_manager(self) -> ComputationManager:
+        return self._computation
+
+    def close(self) -> None:
+        """Release execution-backend resources (pool worker processes)."""
+        self._computation.close()
 
     # ------------------------------------------------------------------
     # The analyst entry point

@@ -10,9 +10,13 @@ with two chamber implementations:
 * :class:`~repro.runtime.sandbox.InProcessChamber` — the same semantics
   (fresh program instance, output-only channel, cycle budget, constant
   fallback) enforced in-process for speed; used by the experiments.
+* :class:`~repro.runtime.pool.PoolChamberBackend` — a persistent pool of
+  pre-forked chamber workers with zero-copy shared-memory block dispatch;
+  process isolation without the fork-per-block cost.
 """
 
 from repro.runtime.policy import MACPolicy
+from repro.runtime.pool import PoolChamberBackend
 from repro.runtime.sandbox import (
     BlockExecution,
     ExecutionChamber,
@@ -20,7 +24,7 @@ from repro.runtime.sandbox import (
     SubprocessChamber,
 )
 from repro.runtime.timing import TimingDefense
-from repro.runtime.computation_manager import ComputationManager
+from repro.runtime.computation_manager import BACKENDS, ComputationManager
 from repro.runtime.marshal import ExternalProgram
 
 # The hosted service layer (repro.runtime.service) sits ABOVE the core
@@ -29,12 +33,14 @@ from repro.runtime.marshal import ExternalProgram
 # (runtime -> service -> core -> runtime).
 
 __all__ = [
+    "BACKENDS",
     "BlockExecution",
     "ComputationManager",
     "ExecutionChamber",
     "ExternalProgram",
     "InProcessChamber",
     "MACPolicy",
+    "PoolChamberBackend",
     "SubprocessChamber",
     "TimingDefense",
 ]

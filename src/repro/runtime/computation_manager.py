@@ -6,10 +6,27 @@ component on each cluster node (instantiates chambers, pipes data in,
 collects outputs, forbids any other communication).  This module keeps
 that separation: :class:`ComputationManager` is the server-side object
 the GUPT runtime calls; each block execution goes through a
-:class:`~repro.runtime.sandbox.ExecutionChamber` which plays the client
-role.  Parallelism across blocks uses a thread pool — block programs are
-numpy-heavy and release the GIL, and the chamber layer already provides
-the isolation, so threads are the cheap choice on one machine.
+:class:`~repro.runtime.sandbox.ExecutionChamber` (or a pooled worker
+process) which plays the client role.
+
+Three execution backends trade isolation strength against dispatch cost:
+
+``serial``
+    One chamber call per block on the calling thread.  Zero dispatch
+    overhead; keeps single-threaded benchmarks honest.
+``thread``
+    A thread pool over the configured chamber.  Blocks are submitted in
+    *chunks* (not one future per block) so executor bookkeeping is
+    amortized; block programs are numpy-heavy and release the GIL, so
+    threads parallelize them on one machine.
+``pool``
+    :class:`~repro.runtime.pool.PoolChamberBackend` — persistent worker
+    processes, the program pickled once per query, blocks shipped
+    zero-copy through shared memory and dispatched in batches.  Real
+    process isolation at a small fraction of fork-per-block cost; the
+    backend for realistic block counts.  Programs the pickle module
+    cannot ship fall back to the serial chamber path (counted in
+    ``pool.unpicklable_fallbacks``).
 
 The manager is also an instrumentation point (see
 :mod:`repro.observability`): per-block latency, success/fallback/kill
@@ -21,6 +38,8 @@ duration — never the program's raw compute time.
 
 from __future__ import annotations
 
+import math
+import pickle
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Sequence
@@ -29,12 +48,16 @@ import numpy as np
 
 from repro.exceptions import ComputationError
 from repro.observability import MetricsRegistry, get_registry
+from repro.runtime.pool import PoolChamberBackend
 from repro.runtime.sandbox import (
     AnalystProgram,
     BlockExecution,
     ExecutionChamber,
     InProcessChamber,
 )
+from repro.runtime.timing import TimingDefense
+
+BACKENDS = ("serial", "thread", "pool")
 
 
 class ComputationManager:
@@ -43,14 +66,27 @@ class ComputationManager:
     Parameters
     ----------
     chamber:
-        The isolation boundary each block runs behind.  Defaults to an
-        unbudgeted :class:`InProcessChamber`.
+        The isolation boundary used by the ``serial`` and ``thread``
+        backends (and the pool backend's unpicklable-program fallback).
+        Defaults to an unbudgeted :class:`InProcessChamber`.
     max_workers:
-        Thread-pool width; 1 (default) runs blocks serially, which keeps
-        single-threaded benchmarks honest.
+        Fan-out width: thread-pool threads or pool worker processes.
     metrics:
         Registry receiving block-level telemetry; ``None`` uses the
         process default.
+    backend:
+        ``"serial"``, ``"thread"`` or ``"pool"``; ``None`` selects
+        ``serial`` when ``max_workers == 1`` and ``thread`` otherwise
+        (the pre-backend behavior, so existing callers are unchanged).
+    batch_size:
+        Blocks per dispatch chunk for the thread and pool backends;
+        ``None`` picks ``ceil(blocks / (4 * workers))`` per run.
+    pool:
+        A pre-built :class:`PoolChamberBackend` to use for the ``pool``
+        backend (e.g. one shared across managers); ``None`` constructs
+        one on demand from ``max_workers``/``timing``/``batch_size``.
+    timing:
+        Cycle-budget policy for an auto-constructed pool backend.
     """
 
     def __init__(
@@ -58,12 +94,33 @@ class ComputationManager:
         chamber: ExecutionChamber | None = None,
         max_workers: int = 1,
         metrics: MetricsRegistry | None = None,
+        backend: str | None = None,
+        batch_size: int | None = None,
+        pool: PoolChamberBackend | None = None,
+        timing: TimingDefense | None = None,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
-        self._chamber = chamber or InProcessChamber(metrics=metrics)
+        if backend is None:
+            backend = "serial" if max_workers == 1 else "thread"
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1 (or None for auto)")
+        self._chamber = chamber or InProcessChamber(timing=timing, metrics=metrics)
         self._max_workers = max_workers
         self._metrics = metrics
+        self._backend = backend
+        self._batch_size = batch_size
+        self._pool = pool
+        self._owns_pool = pool is None
+        if backend == "pool" and self._pool is None:
+            self._pool = PoolChamberBackend(
+                workers=max_workers,
+                timing=timing,
+                batch_size=batch_size,
+                metrics=metrics,
+            )
 
     @property
     def chamber(self) -> ExecutionChamber:
@@ -72,6 +129,25 @@ class ComputationManager:
     @property
     def max_workers(self) -> int:
         return self._max_workers
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    @property
+    def pool(self) -> PoolChamberBackend | None:
+        return self._pool
+
+    def close(self) -> None:
+        """Release backend resources (pool worker processes)."""
+        if self._pool is not None and self._owns_pool:
+            self._pool.close()
+
+    def __enter__(self) -> "ComputationManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def run_blocks(
         self,
@@ -95,30 +171,21 @@ class ComputationManager:
             raise ComputationError(
                 f"fallback has {fallback.size} dims, expected {output_dimension}"
             )
+        blocks = list(blocks)
         if not blocks:
             raise ComputationError("no blocks to execute")
 
         metrics = self._metrics or get_registry()
         metrics.gauge("blocks.pool_width").set(self._max_workers)
 
-        # Latencies batch locally and flush in one histogram update, so
-        # the per-block cost is a clock read and a list append.
-        durations: list[float] = []
-
-        def timed_run(block: np.ndarray) -> BlockExecution:
-            started = time.perf_counter()
-            execution = self._chamber.run_block(
-                program, block, output_dimension, fallback
+        if self._backend == "pool":
+            results = self._run_pool(
+                metrics, program, blocks, output_dimension, fallback
             )
-            durations.append(time.perf_counter() - started)
-            return execution
-
-        if self._max_workers == 1:
-            results = [timed_run(block) for block in blocks]
         else:
-            with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-                results = list(pool.map(timed_run, blocks))
-        metrics.histogram("blocks.latency_seconds").observe_many(durations)
+            results = self._run_chambers(
+                metrics, program, blocks, output_dimension, fallback
+            )
 
         succeeded = sum(1 for r in results if r.succeeded)
         killed = sum(1 for r in results if r.killed)
@@ -133,3 +200,64 @@ class ComputationManager:
                 f"a finite vector of dimension {output_dimension}"
             )
         return results
+
+    # -- chamber backends (serial / thread) ------------------------------
+    def _run_chambers(
+        self, metrics, program, blocks, output_dimension, fallback
+    ) -> list[BlockExecution]:
+        # Latencies batch locally and flush in one histogram update, so
+        # the per-block cost is a clock read and a list append.
+        durations: list[float] = []
+
+        def timed_run(block: np.ndarray) -> BlockExecution:
+            started = time.perf_counter()
+            execution = self._chamber.run_block(
+                program, block, output_dimension, fallback
+            )
+            durations.append(time.perf_counter() - started)
+            return execution
+
+        if self._backend == "serial" or self._max_workers == 1:
+            results = [timed_run(block) for block in blocks]
+        else:
+            # Chunked submission: one future per batch of blocks, not one
+            # per block, so executor overhead stays flat in block count.
+            batch_size = self._batch_size or max(
+                1, math.ceil(len(blocks) / (4 * self._max_workers))
+            )
+            batches = [
+                blocks[i : i + batch_size] for i in range(0, len(blocks), batch_size)
+            ]
+
+            def run_batch(batch: list[np.ndarray]) -> list[BlockExecution]:
+                return [timed_run(block) for block in batch]
+
+            with ThreadPoolExecutor(max_workers=self._max_workers) as executor:
+                results = [
+                    execution
+                    for batch_results in executor.map(run_batch, batches)
+                    for execution in batch_results
+                ]
+        metrics.histogram("blocks.latency_seconds").observe_many(durations)
+        return results
+
+    # -- pool backend ----------------------------------------------------
+    def _run_pool(
+        self, metrics, program, blocks, output_dimension, fallback
+    ) -> list[BlockExecution]:
+        try:
+            program_bytes = pickle.dumps(program)
+        except Exception:
+            # Closures/lambdas cannot cross a process boundary; degrade
+            # to the serial chamber path rather than refusing the query.
+            metrics.counter("pool.unpicklable_fallbacks").inc()
+            return self._run_chambers(
+                metrics, program, blocks, output_dimension, fallback
+            )
+        return self._pool.run_blocks(
+            program,
+            blocks,
+            output_dimension,
+            fallback,
+            program_bytes=program_bytes,
+        )

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import copy
 import multiprocessing
+import pickle
 import threading
 import time
 from dataclasses import dataclass
@@ -95,9 +96,12 @@ class InProcessChamber:
         Optional MAC policy; when given, the policy shim is active for
         the duration of each block (network blocked, writes confined).
     fresh_instance:
-        Deep-copy the program object per block so instance attributes
-        cannot carry state across blocks.  Plain functions are used
-        as-is (they are copied trivially).
+        Give each block a fresh program instance so instance attributes
+        cannot carry state across blocks.  The program is pickled once
+        (cached by identity) and ``pickle.loads``-ed per block, which is
+        far cheaper than the old per-block ``copy.deepcopy``; programs
+        pickle cannot handle fall back to deepcopy.  Plain functions
+        round-trip to themselves (they are copied trivially).
     metrics:
         Registry receiving the chamber's kill/pad telemetry; ``None``
         uses the process default.
@@ -114,6 +118,29 @@ class InProcessChamber:
         self._policy = policy
         self._fresh_instance = fresh_instance
         self._metrics = metrics
+        # (program, serialized bytes or None) — one entry, swapped when a
+        # different program arrives.  Holding the program itself (not its
+        # id) makes the identity check immune to id reuse, and the tuple
+        # swap is atomic so concurrent run_block calls from the thread
+        # backend can never see a mismatched pair.
+        self._pickle_cache: tuple[AnalystProgram, bytes | None] | None = None
+
+    def _instantiate(self, program: AnalystProgram) -> AnalystProgram:
+        """A fresh per-block instance: cached pickle, deepcopy fallback."""
+        cache = self._pickle_cache
+        if cache is None or cache[0] is not program:
+            try:
+                cache = (program, pickle.dumps(program))
+            except Exception:
+                cache = (program, None)
+            self._pickle_cache = cache
+        if cache[1] is None:
+            return copy.deepcopy(program)
+        try:
+            return pickle.loads(cache[1])
+        except Exception:
+            self._pickle_cache = (program, None)
+            return copy.deepcopy(program)
 
     def run_block(
         self,
@@ -122,7 +149,7 @@ class InProcessChamber:
         output_dimension: int,
         fallback: np.ndarray,
     ) -> BlockExecution:
-        instance = copy.deepcopy(program) if self._fresh_instance else program
+        instance = self._instantiate(program) if self._fresh_instance else program
         started = time.perf_counter()
         result = self._call_with_budget(instance, block)
         elapsed = time.perf_counter() - started
@@ -243,22 +270,35 @@ class SubprocessChamber:
             target=_subprocess_child, args=(child_conn, program, block), daemon=True
         )
         started = time.perf_counter()
-        process.start()
-        child_conn.close()
-        process.join(self._timing.cycle_budget)
-
         killed = False
         payload = None
-        if process.is_alive():
-            process.terminate()
-            process.join()
-            killed = True
-        elif parent_conn.poll():
-            status, body = parent_conn.recv()
-            if status == "ok":
-                payload = body
-        parent_conn.close()
+        try:
+            try:
+                process.start()
+            except Exception:
+                # A program the start method cannot ship (e.g. unpicklable
+                # under spawn) is treated like any other failing program:
+                # constant fallback, no error channel.
+                payload = None
+            else:
+                process.join(self._timing.cycle_budget)
+                if process.is_alive():
+                    process.terminate()
+                    process.join()
+                    killed = True
+                elif parent_conn.poll():
+                    status, body = parent_conn.recv()
+                    if status == "ok":
+                        payload = body
+        finally:
+            child_conn.close()
+            parent_conn.close()
         elapsed = time.perf_counter() - started
+        # Post-hoc budget check, mirroring InProcessChamber: a result that
+        # arrived but overran the cycle budget is still killed, so the
+        # timing defense is backend-independent.
+        if self._timing.exceeded(elapsed):
+            killed = True
         padded = self._timing.pad_to_budget(elapsed)
         _record_chamber_metrics(self._metrics, killed=killed, padded=padded)
         if self._policy is not None:

@@ -96,14 +96,33 @@ class GuptService:
         computation_manager: ComputationManager | None = None,
         rng: RandomSource = None,
         metrics: MetricsRegistry | None = None,
+        backend: str | None = None,
+        workers: int | None = None,
+        batch_size: int | None = None,
     ):
         self._metrics = metrics
         self._datasets = DatasetManager(metrics=metrics)
         self._runtime = GuptRuntime(
-            self._datasets, computation_manager, rng=rng, metrics=metrics
+            self._datasets,
+            computation_manager,
+            rng=rng,
+            metrics=metrics,
+            backend=backend,
+            workers=workers,
+            batch_size=batch_size,
         )
         self._principals: dict[str, Principal] = {}
         self._counter = itertools.count()
+
+    def close(self) -> None:
+        """Release execution-backend resources (pool worker processes)."""
+        self._runtime.close()
+
+    def __enter__(self) -> "GuptService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def metrics_snapshot(self) -> dict:
         """Provider-side view of the service's operational telemetry.

@@ -16,6 +16,20 @@ def mean_program(block):
     return float(np.mean(block))
 
 
+def shuffle_sensitive_program(block):
+    """Output encodes the block index; early blocks finish last."""
+    time.sleep((7 - block[0, 0]) * 0.004)
+    return float(block[0, 0])
+
+
+def always_fails_program(block):
+    raise RuntimeError("boom")
+
+
+def _manager_for(backend: str, **kwargs) -> ComputationManager:
+    return ComputationManager(backend=backend, max_workers=2, **kwargs)
+
+
 class TestRunBlocks:
     def test_one_outcome_per_block_in_order(self):
         manager = ComputationManager()
@@ -119,3 +133,39 @@ class TestParallelFanOut:
         summary = metrics.histogram("blocks.latency_seconds").summary()
         assert summary["count"] == len(BLOCKS)
         assert summary["min"] >= 0.0
+
+
+class TestBackendSelection:
+    """Backend resolution and per-backend result-ordering guarantees."""
+
+    def test_default_backend_tracks_worker_count(self):
+        assert ComputationManager().backend == "serial"
+        assert ComputationManager(max_workers=4).backend == "thread"
+        with ComputationManager(backend="pool", max_workers=2) as manager:
+            assert manager.backend == "pool"
+            assert manager.pool is not None
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "pool"])
+    def test_result_ordering_is_block_order(self, backend):
+        # Per-block outputs encode the block index while completion
+        # order is inverted; every backend must return submission order.
+        blocks = [np.full((4, 1), float(i)) for i in range(8)]
+        with _manager_for(backend, batch_size=1) as manager:
+            results = manager.run_blocks(
+                shuffle_sensitive_program, blocks, 1, np.array([-1.0])
+            )
+        assert [r.output[0] for r in results] == [float(i) for i in range(8)]
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "pool"])
+    def test_all_blocks_failed_raises_on_every_backend(self, backend):
+        with _manager_for(backend) as manager:
+            with pytest.raises(ComputationError):
+                manager.run_blocks(always_fails_program, BLOCKS, 1, np.array([0.0]))
+
+    @pytest.mark.parametrize("backend", ["thread", "pool"])
+    def test_chunked_dispatch_matches_serial(self, backend):
+        serial = ComputationManager()
+        expected = serial.run_blocks(mean_program, BLOCKS, 1, np.array([0.0]))
+        with _manager_for(backend, batch_size=2) as manager:
+            results = manager.run_blocks(mean_program, BLOCKS, 1, np.array([0.0]))
+        assert [r.output[0] for r in results] == [r.output[0] for r in expected]

@@ -23,6 +23,7 @@ from repro.core.range_estimation import TightRange
 from repro.datasets.table import DataTable
 from repro.estimators.statistics import Mean
 from repro.observability import MetricsRegistry
+from repro.runtime.computation_manager import ComputationManager
 from repro.runtime.service import ANALYST, OWNER, GuptService, QueryRequest
 
 # Every record — hence every block output and every released value —
@@ -244,3 +245,43 @@ class TestServiceTelemetry:
         assert service.submit(analyst.token, request).ok
         leaves = numeric_leaves(service.metrics_snapshot())
         assert max(abs(v) for v in leaves) < SENTINEL_LO / 2
+
+
+class TestPoolBackendTelemetry:
+    """The worker-pool backend extends the PR 1 release-safety invariant.
+
+    Pool telemetry is pure dispatch metadata — worker counts, batch
+    geometry, restart counts, wall-clock dispatch timings.  Running a
+    query whose every block output lives in the sentinel band proves
+    none of it derives from raw block outputs.
+    """
+
+    def test_pool_metrics_present_and_release_safe(self, manager, registry):
+        computation = ComputationManager(
+            backend="pool", max_workers=2, metrics=registry
+        )
+        runtime = GuptRuntime(
+            manager, computation_manager=computation, rng=7, metrics=registry
+        )
+        try:
+            result = runtime.run(
+                "census", Mean(), TightRange((SENTINEL_LO, SENTINEL_HI)), epsilon=2.0
+            )
+        finally:
+            runtime.close()
+        assert SENTINEL_LO < result.scalar() < SENTINEL_HI
+
+        snapshot = registry.snapshot()
+        # The pool's instruments all exist after one query...
+        assert snapshot["gauges"]["pool.workers"] == 2
+        assert snapshot["gauges"]["pool.batch_size"] >= 1
+        assert snapshot["counters"]["pool.worker_restarts"] == 0
+        assert snapshot["histograms"]["pool.dispatch_seconds"]["count"] >= 1
+        assert (
+            snapshot["histograms"]["blocks.latency_seconds"]["count"]
+            == result.num_blocks
+        )
+        # ...and none of them (nor anything else in the snapshot) comes
+        # anywhere near the sentinel band the block outputs live in.
+        leaves = numeric_leaves(snapshot)
+        assert leaves and max(abs(v) for v in leaves) < SENTINEL_LO / 2

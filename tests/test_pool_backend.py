@@ -1,0 +1,234 @@
+"""The persistent worker-pool backend: correctness, healing, telemetry.
+
+Programs used with the pool live at module level so pickle can ship
+them by reference; closures exercise the unpicklable fallback path.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ComputationError
+from repro.observability import MetricsRegistry
+from repro.runtime.computation_manager import ComputationManager
+from repro.runtime.pool import PoolChamberBackend
+from repro.runtime.timing import TimingDefense
+
+BLOCKS = [np.full((10, 1), float(i)) for i in range(12)]
+FALLBACK = np.array([-1.0])
+
+
+def mean_program(block):
+    return float(np.mean(block))
+
+
+def skewed_program(block):
+    # Early blocks sleep longest so completion order inverts block order.
+    time.sleep((11 - block[0, 0]) * 0.003)
+    return float(block[0, 0])
+
+
+def hang_on_two(block):
+    if block[0, 0] == 2.0:
+        time.sleep(30.0)
+    return float(np.mean(block))
+
+
+def die_on_one(block):
+    if block[0, 0] == 1.0:
+        os._exit(3)
+    return float(np.mean(block))
+
+
+def slow_on_two(block):
+    if block[0, 0] == 2.0:
+        time.sleep(0.1)
+    return float(np.mean(block))
+
+
+def mutate_on_two(block):
+    if block[0, 0] == 2.0:
+        block[0, 0] = 99.0
+    return float(np.mean(block))
+
+
+def always_fails(block):
+    raise RuntimeError("boom")
+
+
+@pytest.fixture
+def pool_manager():
+    manager = ComputationManager(backend="pool", max_workers=2)
+    yield manager
+    manager.close()
+
+
+class TestPoolCorrectness:
+    def test_matches_serial_in_order(self, pool_manager):
+        serial = ComputationManager()
+        a = serial.run_blocks(mean_program, BLOCKS, 1, FALLBACK)
+        b = pool_manager.run_blocks(mean_program, BLOCKS, 1, FALLBACK)
+        assert [r.output[0] for r in a] == [r.output[0] for r in b]
+
+    def test_ordering_despite_skewed_latencies(self):
+        manager = ComputationManager(backend="pool", max_workers=2, batch_size=1)
+        try:
+            results = manager.run_blocks(skewed_program, BLOCKS, 1, FALLBACK)
+        finally:
+            manager.close()
+        assert [r.output[0] for r in results] == [float(i) for i in range(12)]
+
+    def test_shm_and_pickle_paths_agree(self):
+        big = [np.full((1000, 2), float(i)) for i in range(6)]  # > threshold
+        shm = ComputationManager(backend="pool", max_workers=2)
+        tiny_threshold = PoolChamberBackend(workers=2, shm_threshold_bytes=1)
+        forced_pickle = ComputationManager(
+            backend="pool",
+            max_workers=2,
+            pool=PoolChamberBackend(workers=2, shm_threshold_bytes=10**12),
+        )
+        try:
+            a = shm.run_blocks(mean_program, big, 1, FALLBACK)
+            b = forced_pickle.run_blocks(mean_program, big, 1, FALLBACK)
+            c = tiny_threshold.run_blocks(mean_program, big, 1, FALLBACK)
+        finally:
+            shm.close()
+            forced_pickle.pool.close()
+            tiny_threshold.close()
+        values = [[r.output[0] for r in run] for run in (a, b, c)]
+        assert values[0] == values[1] == values[2]
+
+    def test_partial_failure_substitutes_fallback(self, pool_manager):
+        results = pool_manager.run_blocks(die_on_one, BLOCKS[:4], 1, FALLBACK)
+        assert [r.output[0] for r in results] == [0.0, -1.0, 2.0, 3.0]
+        assert not results[1].succeeded
+
+    def test_all_failed_raises(self, pool_manager):
+        with pytest.raises(ComputationError):
+            pool_manager.run_blocks(always_fails, BLOCKS, 1, FALLBACK)
+
+    def test_pool_survives_across_queries(self, pool_manager):
+        first = pool_manager.run_blocks(mean_program, BLOCKS, 1, FALLBACK)
+        second = pool_manager.run_blocks(skewed_program, BLOCKS, 1, FALLBACK)
+        assert all(r.succeeded for r in first)
+        assert all(r.succeeded for r in second)
+
+    def test_blocks_are_read_only_in_workers(self):
+        # In-place mutation fails that block (fallback) and cannot touch
+        # the parent's arrays — the shared segment is repacked per batch.
+        big = [np.full((1000, 1), float(i)) for i in range(4)]
+        manager = ComputationManager(backend="pool", max_workers=1)
+        try:
+            results = manager.run_blocks(mutate_on_two, big, 1, FALLBACK)
+        finally:
+            manager.close()
+        assert [r.succeeded for r in results] == [True, True, False, True]
+        assert big[2][0, 0] == 2.0  # parent copy untouched
+
+
+class TestPoolSelfHealing:
+    def test_hung_worker_killed_and_replaced(self):
+        metrics = MetricsRegistry()
+        manager = ComputationManager(
+            backend="pool", max_workers=2, metrics=metrics, batch_size=2,
+            timing=TimingDefense(cycle_budget=0.2, pad=False),
+        )
+        try:
+            results = manager.run_blocks(hang_on_two, BLOCKS[:6], 1, FALLBACK)
+        finally:
+            manager.close()
+        assert [r.output[0] for r in results] == [0.0, 1.0, -1.0, 3.0, 4.0, 5.0]
+        assert results[2].killed
+        assert metrics.counter("pool.worker_restarts").value >= 1
+        assert metrics.counter("chamber.kills").value >= 1
+
+    def test_crashed_worker_replaced_without_kill_semantics(self):
+        metrics = MetricsRegistry()
+        manager = ComputationManager(
+            backend="pool", max_workers=2, metrics=metrics, batch_size=2
+        )
+        try:
+            results = manager.run_blocks(die_on_one, BLOCKS[:6], 1, FALLBACK)
+        finally:
+            manager.close()
+        assert [r.output[0] for r in results] == [0.0, -1.0, 2.0, 3.0, 4.0, 5.0]
+        assert not results[1].succeeded
+        assert not results[1].killed  # crash, not a budget kill
+        assert metrics.counter("pool.worker_restarts").value >= 1
+
+    def test_post_hoc_budget_kill_without_restart(self):
+        # The overrun is modest: the result arrives (no parent-side
+        # deadline kill) but exceeded() still marks the block killed —
+        # the same rule both chambers apply.
+        metrics = MetricsRegistry()
+        manager = ComputationManager(
+            backend="pool", max_workers=1, metrics=metrics,
+            timing=TimingDefense(cycle_budget=0.05, pad=False),
+        )
+        try:
+            results = manager.run_blocks(slow_on_two, BLOCKS[:6], 1, FALLBACK)
+        finally:
+            manager.close()
+        assert results[2].killed
+        assert results[2].output[0] == -1.0
+        assert metrics.counter("pool.worker_restarts").value == 0
+
+
+class TestPoolFallbacks:
+    def test_unpicklable_program_falls_back_to_chamber(self):
+        metrics = MetricsRegistry()
+        manager = ComputationManager(backend="pool", max_workers=2, metrics=metrics)
+        try:
+            results = manager.run_blocks(
+                lambda block: float(np.mean(block)), BLOCKS, 1, FALLBACK
+            )
+        finally:
+            manager.close()
+        assert [r.output[0] for r in results] == [float(i) for i in range(12)]
+        assert metrics.counter("pool.unpicklable_fallbacks").value == 1
+
+    def test_close_is_idempotent_and_pool_restarts(self):
+        manager = ComputationManager(backend="pool", max_workers=2)
+        manager.run_blocks(mean_program, BLOCKS, 1, FALLBACK)
+        manager.close()
+        manager.close()
+        # A closed pool transparently restarts on the next run.
+        results = manager.run_blocks(mean_program, BLOCKS, 1, FALLBACK)
+        assert all(r.succeeded for r in results)
+        manager.close()
+
+    def test_context_manager_closes(self):
+        with ComputationManager(backend="pool", max_workers=2) as manager:
+            manager.run_blocks(mean_program, BLOCKS, 1, FALLBACK)
+            pool = manager.pool
+        assert pool._workers == []
+
+
+class TestPoolTelemetry:
+    def test_pool_metrics_populated(self):
+        metrics = MetricsRegistry()
+        manager = ComputationManager(
+            backend="pool", max_workers=2, metrics=metrics, batch_size=3
+        )
+        try:
+            manager.run_blocks(mean_program, BLOCKS, 1, FALLBACK)
+        finally:
+            manager.close()
+        snapshot = metrics.snapshot()
+        assert snapshot["gauges"]["pool.workers"] == 2
+        assert snapshot["gauges"]["pool.batch_size"] == 3
+        assert "pool.worker_restarts" in snapshot["counters"]
+        assert snapshot["histograms"]["pool.dispatch_seconds"]["count"] >= 4
+        assert snapshot["histograms"]["blocks.latency_seconds"]["count"] == len(BLOCKS)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ComputationManager(backend="warp")
+        with pytest.raises(ValueError):
+            ComputationManager(backend="pool", batch_size=0)
+        with pytest.raises(ValueError):
+            PoolChamberBackend(workers=0)
+        with pytest.raises(ValueError):
+            PoolChamberBackend(batch_size=0)

@@ -1,5 +1,6 @@
 """Unit tests for the isolation chambers."""
 
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -9,6 +10,14 @@ import pytest
 from repro.runtime.policy import MACPolicy
 from repro.runtime.sandbox import InProcessChamber, SubprocessChamber
 from repro.runtime.timing import TimingDefense
+
+
+class AlwaysExceededTiming(TimingDefense):
+    """A budget that every elapsed time exceeds — deterministic post-hoc
+    kill trigger without racing real clocks."""
+
+    def exceeded(self, elapsed: float) -> bool:  # noqa: ARG002
+        return True
 
 BLOCK = np.linspace(0.0, 10.0, 20).reshape(-1, 1)
 FALLBACK = np.array([5.0])
@@ -102,6 +111,36 @@ class TestInProcessChamber:
         chamber.run_block(program, BLOCK, 1, FALLBACK)
         assert program.calls == [20]
 
+    def test_pickled_bytes_cached_across_blocks(self):
+        # The program serializes once; later blocks reuse the bytes.
+        chamber = InProcessChamber()
+        program = StatefulProgram()
+        chamber.run_block(program, BLOCK, 1, FALLBACK)
+        first_cache = chamber._pickle_cache
+        assert first_cache[0] is program and first_cache[1] is not None
+        chamber.run_block(program, BLOCK, 1, FALLBACK)
+        assert chamber._pickle_cache is first_cache
+        assert program.calls == []  # isolation intact on the cached path
+
+    def test_unpicklable_program_falls_back_to_deepcopy(self):
+        # A program holding a lambda cannot pickle; deepcopy still gives
+        # every block a fresh instance.
+        @dataclass
+        class Unpicklable:
+            hook: object = field(default_factory=lambda: (lambda x: x))
+            calls: list = field(default_factory=list)
+
+            def __call__(self, block):
+                self.calls.append(len(block))
+                return float(np.mean(block))
+
+        chamber = InProcessChamber()
+        program = Unpicklable()
+        result = chamber.run_block(program, BLOCK, 1, FALLBACK)
+        assert result.succeeded
+        assert chamber._pickle_cache == (program, None)
+        assert program.calls == []  # still isolated via deepcopy
+
     def test_policy_blocks_forbidden_write(self, tmp_path):
         scratch = tmp_path / "scratch"
         scratch.mkdir()
@@ -179,3 +218,49 @@ class TestSubprocessChamber:
 
         chamber.run_block(writes_scratch, BLOCK, 1, FALLBACK)
         assert not scratch_file.exists()
+
+
+class TestTimingParityAcrossChambers:
+    """Satellite: kill semantics must be backend-independent.
+
+    ``InProcessChamber`` always applied a post-hoc ``exceeded()`` check;
+    ``SubprocessChamber`` used to kill only a still-alive child, so a
+    block whose result arrived *after* the budget was killed by one
+    backend and released by the other.  Both must now agree.
+    """
+
+    @pytest.mark.parametrize("chamber_cls", [InProcessChamber, SubprocessChamber])
+    def test_post_hoc_budget_overrun_is_killed(self, chamber_cls):
+        timing = AlwaysExceededTiming(cycle_budget=30.0, pad=False)
+        chamber = chamber_cls(timing=timing)
+        # The program completes well inside the 30s join window, so only
+        # the post-hoc check can mark it killed.
+        result = chamber.run_block(mean_program, BLOCK, 1, FALLBACK)
+        assert result.killed
+        assert not result.succeeded
+        assert result.output[0] == FALLBACK[0]
+
+
+class TestSpawnFailureCleanup:
+    """Satellite: ``process.start()`` raising must not leak pipe fds."""
+
+    def test_crash_at_spawn_yields_fallback(self):
+        chamber = SubprocessChamber(start_method="spawn")
+        # Lambdas cannot cross a spawn boundary: start() raises while
+        # pickling the process object.
+        result = chamber.run_block(lambda b: 0.0, BLOCK, 1, FALLBACK)
+        assert not result.succeeded
+        assert not result.killed
+        assert result.output[0] == FALLBACK[0]
+
+    def test_no_fd_leak_when_spawn_raises(self):
+        chamber = SubprocessChamber(start_method="spawn")
+        # Warm-up: a successful spawn starts multiprocessing's helper
+        # processes (resource tracker) whose fds would otherwise skew
+        # the count below.
+        chamber.run_block(mean_program, BLOCK, 1, FALLBACK)
+        before = len(os.listdir("/proc/self/fd"))
+        for _ in range(5):
+            chamber.run_block(lambda b: 0.0, BLOCK, 1, FALLBACK)
+        after = len(os.listdir("/proc/self/fd"))
+        assert after <= before

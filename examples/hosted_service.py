@@ -38,7 +38,7 @@ def main() -> None:
     researcher = service.enroll(ANALYST, name="uni-lab")
     print("analyst sees datasets:", service.list_datasets(researcher.token))
 
-    mean_response = service.submit(
+    mean_response = service.execute(
         researcher.token,
         QueryRequest(
             dataset="inpatient-stays", program=Mean(),
@@ -49,7 +49,7 @@ def main() -> None:
     print(f"private mean stay : {mean_response.value[0]:.2f} days "
           f"(true {stays.mean():.2f}, eps {mean_response.epsilon_charged})")
 
-    long_stay = service.submit(
+    long_stay = service.execute(
         researcher.token,
         QueryRequest(
             dataset="inpatient-stays",
@@ -62,7 +62,7 @@ def main() -> None:
           f"(true {(stays > 14.0).mean():.4f})")
 
     histogram = Histogram(edges=(0.0, 3.0, 7.0, 14.0, 60.0))
-    hist_response = service.submit(
+    hist_response = service.execute(
         researcher.token,
         QueryRequest(
             dataset="inpatient-stays", program=histogram,
@@ -77,7 +77,7 @@ def main() -> None:
     print(f"private histogram : {private}")
 
     # --- the budget is finite; the refusal is structured ------------------
-    refused = service.submit(
+    refused = service.execute(
         researcher.token,
         QueryRequest(
             dataset="inpatient-stays", program=Mean(),

@@ -7,9 +7,14 @@ rather than in analyst code is the defense against privacy-budget attacks.
 
 from repro.accounting.budget import PrivacyBudget
 from repro.accounting.ledger import LedgerEntry, PrivacyLedger
-from repro.accounting.manager import DatasetManager, RegisteredDataset
+from repro.accounting.manager import (
+    BudgetReservation,
+    DatasetManager,
+    RegisteredDataset,
+)
 
 __all__ = [
+    "BudgetReservation",
     "DatasetManager",
     "LedgerEntry",
     "PrivacyBudget",

@@ -1,7 +1,9 @@
-"""A mutable privacy budget with atomic charge semantics."""
+"""A mutable privacy budget with atomic charge and reservation semantics."""
 
 from __future__ import annotations
 
+import itertools
+import math
 import threading
 
 import numpy as np
@@ -17,6 +19,23 @@ class PrivacyBudget:
     leaves the budget untouched.  A small float tolerance absorbs the
     rounding that accumulates when a budget is split into many shares
     (e.g. ``eps / k`` charged ``k`` times).
+
+    Beyond one-shot charges, the budget supports *reservations* — the
+    two-phase primitive behind transactional accounting under concurrency:
+
+    1. :meth:`reserve` atomically checks the requested epsilon against
+       ``total - spent - reserved`` and, if it fits, places a hold on it
+       (returning an opaque reservation id).  A reservation a query holds
+       counts against every other caller's view of ``remaining``, so two
+       interleaved queries can never both pass the check and jointly
+       overspend.
+    2. :meth:`commit_reservation` converts the hold into spent epsilon;
+       :meth:`release_reservation` returns it untouched.
+
+    Outstanding holds are kept individually and summed with
+    :func:`math.fsum`, so releasing a reservation restores the exact
+    prior reserved total bit-for-bit — no floating-point drift can leak
+    or fabricate budget across reserve/rollback cycles.
     """
 
     _TOLERANCE = 1e-9
@@ -29,6 +48,8 @@ class PrivacyBudget:
         self._spent = 0.0
         self._dataset = dataset
         self._lock = threading.Lock()
+        self._outstanding: dict[int, float] = {}
+        self._reservation_ids = itertools.count()
 
     @property
     def total(self) -> float:
@@ -41,9 +62,32 @@ class PrivacyBudget:
         return self._spent
 
     @property
+    def reserved(self) -> float:
+        """Epsilon held by outstanding (uncommitted) reservations."""
+        with self._lock:
+            return self._reserved_locked()
+
+    @property
     def remaining(self) -> float:
-        """Epsilon still available (never negative)."""
-        return max(0.0, self._total - self._spent)
+        """Epsilon still available (never negative).
+
+        Outstanding reservations count as unavailable: they are epsilon
+        some in-flight query may still spend.
+        """
+        with self._lock:
+            return max(0.0, self._total - self._spent - self._reserved_locked())
+
+    def _reserved_locked(self) -> float:
+        if not self._outstanding:
+            return 0.0
+        return math.fsum(self._outstanding.values())
+
+    @staticmethod
+    def _validate(epsilon: float) -> float:
+        epsilon = float(epsilon)
+        if not np.isfinite(epsilon) or epsilon <= 0.0:
+            raise InvalidPrivacyParameter(f"charge must be positive, got {epsilon}")
+        return epsilon
 
     def can_afford(self, epsilon: float) -> bool:
         """Whether a charge of ``epsilon`` would succeed."""
@@ -51,17 +95,58 @@ class PrivacyBudget:
 
     def charge(self, epsilon: float) -> float:
         """Atomically consume ``epsilon``; returns the amount charged."""
-        epsilon = float(epsilon)
-        if not np.isfinite(epsilon) or epsilon <= 0.0:
-            raise InvalidPrivacyParameter(f"charge must be positive, got {epsilon}")
+        epsilon = self._validate(epsilon)
         with self._lock:
-            if epsilon > self.remaining + self._TOLERANCE:
-                raise PrivacyBudgetExhausted(epsilon, self.remaining, self._dataset)
+            available = self._total - self._spent - self._reserved_locked()
+            if epsilon > available + self._TOLERANCE:
+                raise PrivacyBudgetExhausted(
+                    epsilon, max(0.0, available), self._dataset
+                )
             self._spent = min(self._total, self._spent + epsilon)
+        return epsilon
+
+    # -- two-phase reservations ------------------------------------------
+    def reserve(self, epsilon: float) -> int:
+        """Place a hold on ``epsilon``; returns a reservation id.
+
+        Raises :class:`PrivacyBudgetExhausted` — without touching any
+        state — when the hold cannot fit alongside spent epsilon and the
+        other outstanding reservations.
+        """
+        epsilon = self._validate(epsilon)
+        with self._lock:
+            available = self._total - self._spent - self._reserved_locked()
+            if epsilon > available + self._TOLERANCE:
+                raise PrivacyBudgetExhausted(
+                    epsilon, max(0.0, available), self._dataset
+                )
+            reservation_id = next(self._reservation_ids)
+            self._outstanding[reservation_id] = epsilon
+        return reservation_id
+
+    def commit_reservation(self, reservation_id: int) -> float:
+        """Convert a hold into spent epsilon; returns the amount."""
+        with self._lock:
+            epsilon = self._outstanding.pop(reservation_id, None)
+            if epsilon is None:
+                raise InvalidPrivacyParameter(
+                    f"unknown or already-settled reservation {reservation_id}"
+                )
+            self._spent = min(self._total, self._spent + epsilon)
+        return epsilon
+
+    def release_reservation(self, reservation_id: int) -> float:
+        """Drop a hold, returning its epsilon to the available pool."""
+        with self._lock:
+            epsilon = self._outstanding.pop(reservation_id, None)
+            if epsilon is None:
+                raise InvalidPrivacyParameter(
+                    f"unknown or already-settled reservation {reservation_id}"
+                )
         return epsilon
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"PrivacyBudget(total={self._total:.6g}, spent={self._spent:.6g}, "
-            f"remaining={self.remaining:.6g})"
+            f"reserved={self.reserved:.6g}, remaining={self.remaining:.6g})"
         )

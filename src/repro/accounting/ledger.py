@@ -9,6 +9,7 @@ budget's ``spent`` value — an invariant the test suite checks.
 from __future__ import annotations
 
 import itertools
+import math
 import threading
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -47,18 +48,27 @@ class PrivacyLedger:
 
     @property
     def total_spent(self) -> float:
-        """Sum of all recorded charges."""
-        return sum(entry.epsilon for entry in self._entries)
+        """Sum of all recorded charges.
+
+        Uses :func:`math.fsum` so the total is the correctly-rounded sum
+        of the entries regardless of recording order — concurrent queries
+        landing in different interleavings cannot perturb the audit total.
+        """
+        with self._lock:
+            return math.fsum(entry.epsilon for entry in self._entries)
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __iter__(self) -> Iterator[LedgerEntry]:
-        return iter(list(self._entries))
+        with self._lock:
+            return iter(list(self._entries))
 
     def by_query(self) -> dict[str, float]:
         """Total epsilon spent per query name."""
+        with self._lock:
+            entries = list(self._entries)
         totals: dict[str, float] = {}
-        for entry in self._entries:
+        for entry in entries:
             totals[entry.query] = totals.get(entry.query, 0.0) + entry.epsilon
         return totals

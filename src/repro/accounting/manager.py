@@ -6,6 +6,16 @@ subsequent query must charge its epsilon here before touching the data.
 The manager also materializes the dataset's *aged* (privacy-expired)
 slice under the aging-of-sensitivity model of §3.3, which downstream
 components use for parameter estimation at zero privacy cost.
+
+Spending is transactional.  Every charge flows through a
+:class:`BudgetReservation`: the epsilon is *reserved* first (an atomic
+check-and-hold on the budget), then either *committed* (ledger entry
+written, epsilon permanently spent) or *rolled back* (the hold returned
+untouched).  There is deliberately no check-then-spend path — under
+concurrent queries a separate "can afford?" test followed by a charge
+lets two requests both pass the test and jointly overspend, which is
+exactly the interleaving the paper's §5.2 budget-attack defense must
+exclude in a hosted deployment.
 """
 
 from __future__ import annotations
@@ -17,9 +27,96 @@ from typing import Optional
 from repro.accounting.budget import PrivacyBudget
 from repro.accounting.ledger import PrivacyLedger
 from repro.datasets.table import DataTable
-from repro.exceptions import DatasetError
+from repro.exceptions import DatasetError, GuptError
 from repro.mechanisms.rng import RandomSource
 from repro.observability import MetricsRegistry, get_registry
+
+#: Reservation lifecycle states.
+RESERVATION_PENDING = "pending"
+RESERVATION_COMMITTED = "committed"
+RESERVATION_ROLLED_BACK = "rolled-back"
+
+
+class BudgetReservation:
+    """A transactional hold on part of one dataset's privacy budget.
+
+    The reservation is created in the *pending* state with the epsilon
+    already held against the budget (so no concurrent reservation can
+    claim it).  Exactly one terminal transition follows:
+
+    * :meth:`commit` — the epsilon becomes spent and a ledger entry is
+      recorded; this is irreversible, matching the fact that a private
+      release cannot be un-released.
+    * :meth:`rollback` — the hold is dropped and the budget restored to
+      its exact prior state.  Rolling back twice is a no-op; rolling
+      back a committed reservation raises, because the release already
+      happened.
+
+    Used as a context manager, a clean exit commits and an exception
+    rolls back — unless the body already settled the reservation.
+    """
+
+    def __init__(
+        self, dataset: "RegisteredDataset", reservation_id: int,
+        epsilon: float, query: str,
+    ):
+        self._dataset = dataset
+        self._reservation_id = reservation_id
+        self._epsilon = float(epsilon)
+        self._query = query
+        self._state = RESERVATION_PENDING
+        self._lock = threading.Lock()
+
+    @property
+    def epsilon(self) -> float:
+        return self._epsilon
+
+    @property
+    def query(self) -> str:
+        return self._query
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def pending(self) -> bool:
+        return self._state == RESERVATION_PENDING
+
+    def commit(self, detail: str = "") -> None:
+        """Spend the held epsilon and write the ledger entry."""
+        with self._lock:
+            if self._state != RESERVATION_PENDING:
+                raise GuptError(
+                    f"cannot commit a {self._state} reservation "
+                    f"(query {self._query!r})"
+                )
+            self._dataset._commit_reservation(self, detail)
+            self._state = RESERVATION_COMMITTED
+
+    def rollback(self) -> None:
+        """Return the held epsilon untouched (idempotent)."""
+        with self._lock:
+            if self._state == RESERVATION_ROLLED_BACK:
+                return
+            if self._state == RESERVATION_COMMITTED:
+                raise GuptError(
+                    f"cannot roll back a committed reservation "
+                    f"(query {self._query!r}); the release already happened"
+                )
+            self._dataset._rollback_reservation(self)
+            self._state = RESERVATION_ROLLED_BACK
+
+    def __enter__(self) -> "BudgetReservation":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self.pending:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
 
 
 @dataclass
@@ -52,23 +149,58 @@ class RegisteredDataset:
     aged: Optional[DataTable] = None
     metrics: Optional[MetricsRegistry] = field(default=None, repr=False, compare=False)
 
+    def _registry(self) -> MetricsRegistry:
+        return self.metrics or get_registry()
+
+    def _record_budget_gauges(self, registry: MetricsRegistry) -> None:
+        registry.gauge("budget.epsilon_spent", dataset=self.name).set(self.budget.spent)
+        registry.gauge("budget.epsilon_reserved", dataset=self.name).set(
+            self.budget.reserved
+        )
+        registry.gauge("budget.epsilon_remaining", dataset=self.name).set(
+            self.budget.remaining
+        )
+
+    def reserve(self, epsilon: float, query: str) -> BudgetReservation:
+        """Atomically hold ``epsilon`` for one query.
+
+        Raises :class:`~repro.exceptions.PrivacyBudgetExhausted` — with
+        nothing held — when the epsilon cannot fit alongside spent
+        budget and other in-flight reservations, so an exhausted budget
+        rejects at reservation time and no interleaving can overspend.
+        """
+        reservation_id = self.budget.reserve(epsilon)
+        registry = self._registry()
+        registry.counter("budget.reservations", dataset=self.name).inc()
+        self._record_budget_gauges(registry)
+        return BudgetReservation(self, reservation_id, epsilon, query)
+
     def charge(self, epsilon: float, query: str, detail: str = "") -> None:
-        """Atomically charge the budget and record the ledger entry.
+        """One-shot spend: reserve and immediately commit.
 
         Budget telemetry (epsilon spent/remaining, charge count) is pure
         accounting arithmetic — already public to the analyst via
         :class:`~repro.runtime.service.DatasetDescription` — so exporting
         it as gauges leaks nothing beyond the existing interface.
         """
-        self.budget.charge(epsilon)
-        self.ledger.record(epsilon, query, detail)
-        registry = self.metrics or get_registry()
+        self.reserve(epsilon, query).commit(detail)
+
+    # -- reservation callbacks (invoked under the reservation's lock) ----
+    def _commit_reservation(self, reservation: BudgetReservation, detail: str) -> None:
+        self.budget.commit_reservation(reservation._reservation_id)
+        self.ledger.record(reservation.epsilon, reservation.query, detail)
+        registry = self._registry()
         registry.counter("budget.charges", dataset=self.name).inc()
-        registry.counter("budget.epsilon_charged", dataset=self.name).inc(epsilon)
-        registry.gauge("budget.epsilon_spent", dataset=self.name).set(self.budget.spent)
-        registry.gauge("budget.epsilon_remaining", dataset=self.name).set(
-            self.budget.remaining
+        registry.counter("budget.epsilon_charged", dataset=self.name).inc(
+            reservation.epsilon
         )
+        self._record_budget_gauges(registry)
+
+    def _rollback_reservation(self, reservation: BudgetReservation) -> None:
+        self.budget.release_reservation(reservation._reservation_id)
+        registry = self._registry()
+        registry.counter("budget.reservation_rollbacks", dataset=self.name).inc()
+        self._record_budget_gauges(registry)
 
 
 class DatasetManager:
@@ -135,10 +267,11 @@ class DatasetManager:
 
     def get(self, name: str) -> RegisteredDataset:
         """Look up a registered dataset."""
-        try:
-            return self._datasets[name]
-        except KeyError:
-            raise DatasetError(f"no dataset registered under {name!r}") from None
+        with self._lock:
+            try:
+                return self._datasets[name]
+            except KeyError:
+                raise DatasetError(f"no dataset registered under {name!r}") from None
 
     def unregister(self, name: str) -> None:
         """Remove a dataset (its budget and ledger are discarded)."""
@@ -149,7 +282,8 @@ class DatasetManager:
 
     def names(self) -> list[str]:
         """Registered dataset names in registration order."""
-        return list(self._datasets)
+        with self._lock:
+            return list(self._datasets)
 
     def remaining_budget(self, name: str) -> float:
         """Convenience accessor for a dataset's remaining epsilon."""

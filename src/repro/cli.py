@@ -9,6 +9,9 @@ Gives data owners and analysts a no-code path through the platform::
         --range 0 150 --accuracy 0.9 0.1 --aged-fraction 0.1 --budget 5.0
     python -m repro stats    --data ages.csv --program mean \\
         --range 0 150 --epsilon 1.0 --budget 5.0
+    python -m repro serve    --data ages.csv --program mean \\
+        --range 0 150 --epsilon 0.5 --budget 5.0 \\
+        --analysts 4 --queries 8 --max-inflight 4 --queue-depth 16
 
 The ``query`` command registers the file as a dataset with the given
 total budget, runs one program under GUPT-tight, and prints the private
@@ -17,12 +20,19 @@ runs the same query against its own metrics registry, and prints the
 full observability snapshot (phase timings, block success/fallback/kill
 counts, budget burn-down) as JSON — every value release-safe by
 construction (see :mod:`repro.observability`).
+
+``serve`` stands up the full hosted service (Figure 2) in-process and
+drives it with concurrent analyst threads submitting through the query
+scheduler, then prints the traffic outcome and the scheduler telemetry:
+a one-command demonstration that transactional budget accounting plus
+admission control hold up under contention.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import threading
 
 from repro.accounting.manager import DatasetManager
 from repro.core.budget_estimation import AccuracyGoal
@@ -103,6 +113,36 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--indent", type=int, default=2, help="JSON indentation (default 2)"
     )
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the hosted service under simulated concurrent analysts",
+    )
+    _add_query_arguments(serve)
+    serve.add_argument(
+        "--analysts", type=int, default=4,
+        help="concurrent analyst threads (default 4)",
+    )
+    serve.add_argument(
+        "--queries", type=int, default=4, metavar="N",
+        help="queries each analyst submits (default 4)",
+    )
+    serve.add_argument(
+        "--scheduler-workers", type=int, default=4,
+        help="scheduler dispatcher threads (default 4)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="per-analyst in-flight query limit (default 8)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=64,
+        help="global scheduler queue capacity (default 64)",
+    )
+    serve.add_argument(
+        "--query-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-query timeout; omit for none",
+    )
     return parser
 
 
@@ -127,18 +167,20 @@ def run_inspect(args) -> int:
     return 0
 
 
+def _build_program(args, column_index: int):
+    if args.program == "count-above":
+        if args.threshold is None:
+            raise GuptError("count-above needs --threshold")
+        return Count(threshold=args.threshold, column=column_index)
+    return PROGRAMS[args.program](column=column_index)
+
+
 def _execute_query(args, metrics: MetricsRegistry | None = None):
     """Shared query path: returns ``(result, manager)`` or raises."""
     table = load_csv(args.data)
     column = _resolve_column(args.column)
     column_index = table._column_index(column)
-
-    if args.program == "count-above":
-        if args.threshold is None:
-            raise GuptError("count-above needs --threshold")
-        program = Count(threshold=args.threshold, column=column_index)
-    else:
-        program = PROGRAMS[args.program](column=column_index)
+    program = _build_program(args, column_index)
 
     manager = DatasetManager(metrics=metrics)
     manager.register(
@@ -209,6 +251,103 @@ def run_stats(args) -> int:
     return 0
 
 
+def run_serve(args) -> int:
+    if (args.epsilon is None) == (args.accuracy is None):
+        print("error: pass exactly one of --epsilon / --accuracy", file=sys.stderr)
+        return 2
+    if args.program == "count-above" and args.threshold is None:
+        print("error: count-above needs --threshold", file=sys.stderr)
+        return 2
+    if args.analysts < 1 or args.queries < 1:
+        print("error: --analysts and --queries must be >= 1", file=sys.stderr)
+        return 2
+
+    from repro.core.budget_estimation import AccuracyGoal as _Goal
+    from repro.runtime.service import ANALYST, OWNER, GuptService, QueryRequest
+
+    table = load_csv(args.data)
+    column_index = table._column_index(_resolve_column(args.column))
+    program = _build_program(args, column_index)
+    accuracy = _Goal(rho=args.accuracy[0], delta=args.accuracy[1]) if args.accuracy else None
+
+    registry = MetricsRegistry()
+    service = GuptService(
+        metrics=registry,
+        rng=args.seed,
+        backend=args.backend,
+        workers=args.workers,
+        batch_size=args.dispatch_batch,
+        scheduler_workers=args.scheduler_workers,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        query_timeout=args.query_timeout,
+    )
+    try:
+        owner = service.enroll(OWNER, "owner")
+        service.register_dataset(
+            owner.token, "cli", table,
+            total_budget=args.budget, aged_fraction=args.aged_fraction,
+        )
+        analysts = [
+            service.enroll(ANALYST, f"analyst-{i}") for i in range(args.analysts)
+        ]
+
+        outcomes: dict[str, list] = {p.name: [] for p in analysts}
+
+        def drive(index: int, principal) -> None:
+            """One analyst: submit every query up front, then collect."""
+            handles = []
+            for i in range(args.queries):
+                seed = (
+                    args.seed * 100_003 + index * 1_009 + i
+                    if args.seed is not None
+                    else None
+                )
+                handles.append(service.submit(principal.token, QueryRequest(
+                    dataset="cli",
+                    program=program,
+                    range_strategy=TightRange((args.range[0], args.range[1])),
+                    epsilon=args.epsilon,
+                    accuracy=accuracy,
+                    block_size=_resolve_block_size(args.block_size),
+                    query_name=f"{principal.name}/{args.program}-{i}",
+                    seed=seed,
+                )))
+            outcomes[principal.name] = [service.result(h) for h in handles]
+
+        threads = [
+            threading.Thread(target=drive, args=(i, p), name=p.name)
+            for i, p in enumerate(analysts)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        responses = [r for rs in outcomes.values() for r in rs]
+        succeeded = [r for r in responses if r.ok]
+        remaining = service.describe_dataset(owner.token, "cli").remaining_budget
+        audit = service.ledger_entries(owner.token, "cli")
+    finally:
+        service.close()
+
+    snapshot = registry.snapshot()
+    counters = snapshot.get("counters", {})
+
+    def counter(name: str) -> int:
+        return int(sum(v for k, v in counters.items() if k.split("{")[0] == name))
+
+    print(f"traffic       : {args.analysts} analysts x {args.queries} queries")
+    print(f"completed     : {len(succeeded)} ok, {len(responses) - len(succeeded)} refused")
+    print(f"epsilon spent : {args.budget - remaining:.6g} of {args.budget:.6g}"
+          f" ({len(audit)} ledger entries)")
+    print(f"scheduler     : rejections={counter('scheduler.admission_rejections')}"
+          f" timeouts={counter('scheduler.timeout_kills')}"
+          f" rollbacks={counter('scheduler.reservation_rollbacks')}")
+    print(f"queue depth   : {int(snapshot['gauges']['scheduler.queue_depth'])} after drain")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -216,6 +355,8 @@ def main(argv: list[str] | None = None) -> int:
             return run_inspect(args)
         if args.command == "stats":
             return run_stats(args)
+        if args.command == "serve":
+            return run_serve(args)
         return run_query(args)
     except GuptError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -6,9 +6,11 @@ One call to :meth:`GuptRuntime.run` performs a complete private query:
    from aged data, §4.3);
 2. resolve the privacy budget — either supplied directly or derived from
    an accuracy goal (§5.1);
-3. atomically charge the dataset's budget *before* anything executes
-   (so an adversarial program can never spend budget behind the
-   manager's back);
+3. atomically *reserve* the privacy budget before anything executes (so
+   an adversarial program can never spend budget behind the manager's
+   back, and concurrent queries can never jointly overspend); the
+   reservation commits once the query releases privately and rolls back
+   if the query fails before any noise is drawn;
 4. obtain output ranges via the chosen strategy (GUPT-tight / -loose /
    -helper, §4.1), paying the Theorem-1 split;
 5. run sample-and-aggregate through isolation chambers and release the
@@ -17,6 +19,7 @@ One call to :meth:`GuptRuntime.run` performs a complete private query:
 
 from __future__ import annotations
 
+import threading
 from typing import Callable
 
 import numpy as np
@@ -37,7 +40,7 @@ from repro.core.result import GuptResult
 from repro.core.sample_aggregate import SampleAggregateEngine, SampledBlocks
 from repro.core.user_level import grouped_plan
 from repro.exceptions import GuptError, InvalidPrivacyParameter
-from repro.mechanisms.rng import RandomSource, as_generator
+from repro.mechanisms.rng import RandomSource, as_generator, spawn
 from repro.observability import MetricsRegistry, get_registry
 from repro.runtime.computation_manager import ComputationManager
 
@@ -91,6 +94,7 @@ class GuptRuntime:
         self._datasets = dataset_manager
         self._computation = computation_manager
         self._rng = as_generator(rng)
+        self._rng_lock = threading.Lock()
         self._metrics = metrics
 
     @property
@@ -104,6 +108,18 @@ class GuptRuntime:
     def close(self) -> None:
         """Release execution-backend resources (pool worker processes)."""
         self._computation.close()
+
+    def spawn_rng(self) -> np.random.Generator:
+        """A child generator for one query, split off thread-safely.
+
+        Concurrent queries must not share the runtime's generator — a
+        numpy ``Generator`` is not thread-safe, and interleaved draws
+        would make released values depend on scheduling.  Children are
+        split deterministically from the runtime's seed, so a seeded
+        runtime still yields a reproducible sequence of queries.
+        """
+        with self._rng_lock:
+            return spawn(self._rng, 1)[0]
 
     # ------------------------------------------------------------------
     # The analyst entry point
@@ -121,6 +137,7 @@ class GuptRuntime:
         canonical_order: Callable[[np.ndarray], np.ndarray] | None = None,
         query_name: str = "query",
         group_by: str | int | None = None,
+        rng: RandomSource = None,
     ) -> GuptResult:
         """Run one private query and return a :class:`GuptResult`.
 
@@ -157,11 +174,20 @@ class GuptRuntime:
             block, upgrading the guarantee to *user-level* privacy
             (§8.1): adding or removing a whole user moves at most
             ``resampling_factor`` block outputs.
+        rng:
+            Optional per-query randomness overriding the runtime's
+            shared generator.  Concurrent callers (the query scheduler)
+            pass a private generator per query — either derived from the
+            request's seed for bit-reproducible releases, or split off
+            via :meth:`spawn_rng` — so interleaving never perturbs a
+            released value.
         """
         metrics = self._metrics or get_registry()
+        generator = self._rng if rng is None else as_generator(rng)
         with metrics.span("runtime.run", dataset=dataset):
             return self._run(
                 metrics,
+                generator,
                 dataset,
                 program,
                 range_strategy,
@@ -178,6 +204,7 @@ class GuptRuntime:
     def _run(
         self,
         metrics: MetricsRegistry,
+        generator: np.random.Generator,
         dataset: str,
         program: Callable,
         range_strategy: RangeStrategy,
@@ -199,76 +226,112 @@ class GuptRuntime:
             dimension = self._resolve_output_dimension(program, output_dimension)
             sensitivity = self._declared_width(range_strategy, dimension)
             beta = self._resolve_block_size(
-                registered, program, block_size, dimension, sensitivity, epsilon
+                registered, program, block_size, dimension, sensitivity, epsilon,
+                generator,
             )
             epsilon_total, was_estimated = self._resolve_epsilon(
                 registered, program, range_strategy, epsilon, accuracy, beta,
-                dimension, sensitivity,
+                dimension, sensitivity, generator,
             )
         epsilon_range = range_strategy.budget_fraction * epsilon_total
         epsilon_noise = epsilon_total - epsilon_range
 
-        # Charge before execution: if the budget cannot cover the query,
-        # the analyst program never runs (budget-attack defense).
-        registered.charge(epsilon_total, query_name)
+        # Reserve before execution: if the budget cannot cover the query,
+        # the analyst program never runs (budget-attack defense), and the
+        # hold blocks concurrent queries from claiming the same epsilon.
+        # The reservation commits at the first private release; a failure
+        # before any noise is drawn rolls it back so a refused or broken
+        # query costs nothing.
+        reservation = registered.reserve(epsilon_total, query_name)
         metrics.counter("runtime.queries", dataset=dataset).inc()
 
-        engine = SampleAggregateEngine(self._computation, canonical_order)
-        plan = None
-        if group_by is not None:
-            labels = registered.table.column(group_by)
-            num_blocks = max(1, registered.table.num_records // beta)
-            plan = grouped_plan(
-                labels, num_blocks, resampling_factor=resampling_factor,
-                rng=self._rng,
-            )
-        sampled_holder: dict[str, SampledBlocks] = {}
-
-        def block_outputs_fn(fallback: np.ndarray) -> np.ndarray:
-            with metrics.span("runtime.sample", dataset=dataset):
-                sampled = engine.sample(
-                    values,
-                    program,
-                    dimension,
-                    fallback,
-                    block_size=beta,
-                    resampling_factor=resampling_factor,
-                    rng=self._rng,
-                    plan=plan,
+        # ``released_privately`` flips to True at the last failure-free
+        # point before each strategy's first data-dependent noisy draw.
+        # A failure after that point must still commit (the release
+        # cannot be un-released); a failure before it rolls back.
+        released_privately = False
+        needs_private_range = epsilon_range > 0.0
+        try:
+            engine = SampleAggregateEngine(self._computation, canonical_order)
+            plan = None
+            if group_by is not None:
+                labels = registered.table.column(group_by)
+                num_blocks = max(1, registered.table.num_records // beta)
+                plan = grouped_plan(
+                    labels, num_blocks, resampling_factor=resampling_factor,
+                    rng=generator,
                 )
-            sampled_holder["sampled"] = sampled
-            return sampled.outputs
+            sampled_holder: dict[str, SampledBlocks] = {}
 
-        # Phase 2: output-range estimation (GUPT-loose triggers the
-        # sample phase from inside, so its span nests in this one).
-        context = RangeContext(
-            input_values=values,
-            input_ranges=registered.table.input_ranges,
-            output_dimension=dimension,
-            block_outputs_fn=block_outputs_fn,
-        )
-        with metrics.span("runtime.range_estimation", dataset=dataset):
-            estimate = range_strategy.estimate(context, epsilon_range, rng=self._rng)
+            def block_outputs_fn(fallback: np.ndarray) -> np.ndarray:
+                nonlocal released_privately
+                with metrics.span("runtime.sample", dataset=dataset):
+                    sampled = engine.sample(
+                        values,
+                        program,
+                        dimension,
+                        fallback,
+                        block_size=beta,
+                        resampling_factor=resampling_factor,
+                        rng=generator,
+                        plan=plan,
+                    )
+                sampled_holder["sampled"] = sampled
+                if needs_private_range:
+                    # The strategy asked for block outputs in order to
+                    # release noisy ranges from them next.
+                    released_privately = True
+                return sampled.outputs
 
-        # Phase 3: sample-and-aggregate.
-        sampled = sampled_holder.get("sampled")
-        if sampled is None:
-            fallback = np.array([r.midpoint for r in estimate.ranges])
-            with metrics.span("runtime.sample", dataset=dataset):
-                sampled = engine.sample(
-                    values,
-                    program,
-                    dimension,
-                    fallback,
-                    block_size=beta,
-                    resampling_factor=resampling_factor,
-                    rng=self._rng,
-                    plan=plan,
-                )
-        with metrics.span("runtime.aggregate", dataset=dataset):
-            release = engine.aggregate(
-                sampled, epsilon_noise, estimate.ranges, rng=self._rng
+            # Phase 2: output-range estimation (GUPT-loose triggers the
+            # sample phase from inside, so its span nests in this one).
+            context = RangeContext(
+                input_values=values,
+                input_ranges=registered.table.input_ranges,
+                output_dimension=dimension,
+                block_outputs_fn=block_outputs_fn,
             )
+            with metrics.span("runtime.range_estimation", dataset=dataset):
+                if needs_private_range and not isinstance(
+                    range_strategy, LooseOutputRange
+                ):
+                    # Helper-style strategies release directly from the
+                    # inputs; loose defers until block_outputs_fn runs.
+                    released_privately = True
+                estimate = range_strategy.estimate(
+                    context, epsilon_range, rng=generator
+                )
+
+            # Phase 3: sample-and-aggregate.
+            sampled = sampled_holder.get("sampled")
+            if sampled is None:
+                fallback = np.array([r.midpoint for r in estimate.ranges])
+                with metrics.span("runtime.sample", dataset=dataset):
+                    sampled = engine.sample(
+                        values,
+                        program,
+                        dimension,
+                        fallback,
+                        block_size=beta,
+                        resampling_factor=resampling_factor,
+                        rng=generator,
+                        plan=plan,
+                    )
+            released_privately = True
+            with metrics.span("runtime.aggregate", dataset=dataset):
+                release = engine.aggregate(
+                    sampled, epsilon_noise, estimate.ranges, rng=generator
+                )
+        except BaseException as exc:
+            if released_privately:
+                reservation.commit(detail="committed on failure after private release")
+            else:
+                reservation.rollback()
+                # Structured metadata for the service layer: how much of
+                # the reserved epsilon was returned (budget arithmetic).
+                exc.epsilon_rolled_back = epsilon_total  # type: ignore[attr-defined]
+            raise
+        reservation.commit()
 
         # Release-safe query telemetry: everything below is metadata the
         # analyst already receives on GuptResult — never block outputs.
@@ -336,6 +399,7 @@ class GuptRuntime:
         dimension: int,
         sensitivity: float | None,
         epsilon: float | None,
+        generator: np.random.Generator,
     ) -> int:
         n = registered.table.num_records
         if block_size is None:
@@ -354,7 +418,7 @@ class GuptRuntime:
                     "(GUPT-tight or GUPT-loose strategy)"
                 )
             search = BlockSizeSearch(
-                AgedData(registered.aged, rng=self._rng),
+                AgedData(registered.aged, rng=generator),
                 live_records=n,
                 sensitivity=sensitivity,
             )
@@ -375,6 +439,7 @@ class GuptRuntime:
         block_size: int,
         dimension: int,
         sensitivity: float | None,
+        generator: np.random.Generator,
     ) -> tuple[float, bool]:
         if (epsilon is None) == (accuracy is None):
             raise GuptError("pass exactly one of epsilon or accuracy")
@@ -394,7 +459,7 @@ class GuptRuntime:
                 "accuracy goals need a declared output range "
                 "(GUPT-tight or GUPT-loose strategy)"
             )
-        aged = AgedData(registered.aged, rng=self._rng)
+        aged = AgedData(registered.aged, rng=generator)
         estimate = estimate_epsilon(
             goal=accuracy,
             aged=aged,

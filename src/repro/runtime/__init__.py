@@ -26,11 +26,14 @@ from repro.runtime.sandbox import (
 from repro.runtime.timing import TimingDefense
 from repro.runtime.computation_manager import BACKENDS, ComputationManager
 from repro.runtime.marshal import ExternalProgram
+from repro.runtime.scheduler import QueryHandle, QueryScheduler
 
 # The hosted service layer (repro.runtime.service) sits ABOVE the core
 # runtime — it wraps GuptRuntime — so it is imported by its full module
 # path rather than re-exported here, which would create an import cycle
-# (runtime -> service -> core -> runtime).
+# (runtime -> service -> core -> runtime).  The scheduler is generic
+# over a runner callable and only type-references the service, so it is
+# safe to re-export.
 
 __all__ = [
     "BACKENDS",
@@ -41,6 +44,8 @@ __all__ = [
     "InProcessChamber",
     "MACPolicy",
     "PoolChamberBackend",
+    "QueryHandle",
+    "QueryScheduler",
     "SubprocessChamber",
     "TimingDefense",
 ]

@@ -45,6 +45,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import pickle
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -274,6 +275,11 @@ class PoolChamberBackend:
         self._metrics = metrics
         self._workers: list[_WorkerHandle] = []
         self._program_bytes: bytes | None = None
+        # The dispatch protocol is stateful (program broadcast, busy
+        # slots, per-batch shm segments), so concurrent queries — e.g.
+        # scheduler workers sharing one pool — serialize here.  Block
+        # parallelism still comes from the worker processes underneath.
+        self._dispatch_lock = threading.Lock()
 
     # -- lifecycle -------------------------------------------------------
     @property
@@ -308,10 +314,11 @@ class PoolChamberBackend:
 
     def close(self) -> None:
         """Shut the pool down; the next run transparently restarts it."""
-        for worker in self._workers:
-            worker.stop()
-        self._workers = []
-        self._program_bytes = None
+        with self._dispatch_lock:
+            for worker in self._workers:
+                worker.stop()
+            self._workers = []
+            self._program_bytes = None
 
     def __enter__(self) -> "PoolChamberBackend":
         return self
@@ -342,6 +349,14 @@ class PoolChamberBackend:
         fallback = np.asarray(fallback, dtype=float).ravel()
         if program_bytes is None:
             program_bytes = pickle.dumps(program)
+        with self._dispatch_lock:
+            return self._run_blocks_locked(
+                blocks, output_dimension, fallback, program_bytes
+            )
+
+    def _run_blocks_locked(
+        self, blocks, output_dimension, fallback, program_bytes
+    ) -> list[BlockExecution]:
         self._ensure_started()
         registry = self._registry()
 

@@ -1,0 +1,520 @@
+"""The query scheduler: admission, queueing and dispatch for the service.
+
+GUPT's Figure 2 deployment is a *hosted* platform: many analysts submit
+queries concurrently against shared datasets.  This module is the
+serving layer that makes that safe and fair:
+
+* **Admission control.**  A submission is rejected — with a structured
+  :class:`~repro.runtime.service.QueryResponse`, never an exception —
+  when its principal already has ``max_inflight`` queries in flight or
+  the global queue holds ``queue_depth`` queries.  Back-pressure is
+  explicit and observable instead of an unbounded queue.
+* **Per-dataset FIFO fairness.**  Queries are queued per dataset and
+  dispatched in submission order, one in flight per dataset at a time;
+  datasets take turns round-robin.  Serializing each dataset's queries
+  keeps its budget burn-down order deterministic and stops one hot
+  dataset from starving the others; parallelism comes from concurrent
+  datasets and from the block-level execution backend underneath
+  (thread or worker-pool :class:`ComputationManager`).
+* **Per-query timeouts.**  A query that exceeds ``query_timeout`` —
+  waiting or running — resolves to a structured timeout response.  A
+  still-queued query is killed before it ever reserves budget; a
+  running query cannot be interrupted mid-release, so its value is
+  discarded and any committed epsilon stays spent (discarding a
+  released value is always privacy-safe; un-spending is not).
+* **Clean shutdown.**  ``close(drain=True)`` stops admissions, lets
+  queued and running queries finish, and leaves ``scheduler.queue_depth``
+  at zero; ``close(drain=False)`` resolves queued queries with shutdown
+  responses and only waits for the running ones.
+
+Every admitted query gets exactly one terminal response, retrievable
+any number of times through its :class:`QueryHandle`.
+
+Telemetry (all release-safe: queue geometry, counts and wall-clock,
+never query values): ``scheduler.queue_depth``, ``scheduler.running``,
+``scheduler.submitted``, ``scheduler.admission_rejections``,
+``scheduler.completed``, ``scheduler.timeout_kills``,
+``scheduler.cancellations``, ``scheduler.reservation_rollbacks``,
+``scheduler.wait_seconds``, ``scheduler.run_seconds``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.exceptions import GuptError
+from repro.observability import MetricsRegistry, get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.runtime.service import QueryRequest, QueryResponse
+
+#: Ticket lifecycle states.
+_QUEUED = "queued"
+_RUNNING = "running"
+_DONE = "done"
+
+
+@dataclass(frozen=True)
+class QueryHandle:
+    """An opaque claim ticket for one submitted query.
+
+    Carries only public metadata (no token, no values): the scheduler's
+    sequence id, the target dataset and the submitting principal's
+    public name.
+    """
+
+    id: int
+    dataset: str
+    principal: str = ""
+
+
+class _Ticket:
+    """Scheduler-internal state for one submission."""
+
+    __slots__ = (
+        "handle", "request", "runner", "deadline", "state",
+        "response", "done", "submitted_at", "started_at",
+    )
+
+    def __init__(self, handle, request, runner, deadline):
+        self.handle = handle
+        self.request = request
+        self.runner = runner
+        self.deadline = deadline
+        self.state = _QUEUED
+        self.response = None
+        self.done = threading.Event()
+        self.submitted_at = time.perf_counter()
+        self.started_at: float | None = None
+
+
+class QueryScheduler:
+    """Admits, queues and dispatches queries across worker threads.
+
+    Parameters
+    ----------
+    workers:
+        Dispatcher threads.  Each runs one query at a time; useful
+        parallelism requires queries on distinct datasets (per-dataset
+        FIFO serializes same-dataset queries) or a parallel block-level
+        backend underneath.
+    max_inflight:
+        Per-principal cap on queries that are queued or running.
+    queue_depth:
+        Global cap on queued (admitted, not yet running) queries.
+    query_timeout:
+        Seconds from submission until a query times out; ``None``
+        disables timeouts.
+    metrics:
+        Registry receiving the scheduler's release-safe telemetry;
+        ``None`` uses the process default.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        max_inflight: int = 8,
+        queue_depth: int = 64,
+        query_timeout: float | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if workers < 1:
+            raise GuptError("workers must be >= 1")
+        if max_inflight < 1:
+            raise GuptError("max_inflight must be >= 1")
+        if queue_depth < 1:
+            raise GuptError("queue_depth must be >= 1")
+        if query_timeout is not None and query_timeout <= 0:
+            raise GuptError("query_timeout must be positive (or None)")
+        self._max_inflight = max_inflight
+        self._queue_depth = queue_depth
+        self._query_timeout = query_timeout
+        self._metrics = metrics
+
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._idle = threading.Condition(self._lock)
+        self._queues: dict[str, deque[_Ticket]] = {}
+        self._rotation: deque[str] = deque()
+        self._busy_datasets: set[str] = set()
+        self._inflight: dict[str, int] = {}
+        self._tickets: dict[int, _Ticket] = {}
+        self._ids = itertools.count()
+        self._queued_total = 0
+        self._running_total = 0
+        self._closing = False
+
+        registry = self._registry()
+        registry.gauge("scheduler.queue_depth").set(0)
+        registry.gauge("scheduler.running").set(0)
+        registry.gauge("scheduler.workers").set(workers)
+        # Materialize the counters at zero so snapshots always carry them.
+        for name in (
+            "scheduler.submitted",
+            "scheduler.admission_rejections",
+            "scheduler.completed",
+            "scheduler.timeout_kills",
+            "scheduler.cancellations",
+            "scheduler.reservation_rollbacks",
+        ):
+            registry.counter(name).inc(0)
+
+        self._threads = [
+            threading.Thread(
+                target=self._worker, name=f"gupt-scheduler-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    def _registry(self) -> MetricsRegistry:
+        return self._metrics or get_registry()
+
+    @property
+    def queue_depth(self) -> int:
+        """Queries admitted but not yet dispatched."""
+        return self._queued_total
+
+    @property
+    def query_timeout(self) -> float | None:
+        return self._query_timeout
+
+    def submit(
+        self,
+        runner: Callable[["QueryRequest"], "QueryResponse"],
+        request: "QueryRequest",
+        principal: str = "",
+    ) -> QueryHandle:
+        """Admit one query; always returns a handle, never raises.
+
+        ``runner`` is the blocking execution callable (the service binds
+        it to the authenticated principal); the scheduler invokes it on
+        a dispatcher thread.  A rejected submission's handle resolves
+        immediately to the structured rejection response.
+        """
+        registry = self._registry()
+        deadline = (
+            time.perf_counter() + self._query_timeout
+            if self._query_timeout is not None
+            else None
+        )
+        with self._lock:
+            handle = QueryHandle(
+                id=next(self._ids), dataset=request.dataset, principal=principal
+            )
+            ticket = _Ticket(handle, request, runner, deadline)
+            self._tickets[handle.id] = ticket
+            registry.counter("scheduler.submitted").inc()
+            if self._closing:
+                self._reject(ticket, "scheduler is shutting down", registry)
+                return handle
+            if self._inflight.get(principal, 0) >= self._max_inflight:
+                self._reject(
+                    ticket,
+                    f"principal has {self._max_inflight} queries in flight "
+                    f"(limit {self._max_inflight})",
+                    registry,
+                )
+                return handle
+            if self._queued_total >= self._queue_depth:
+                self._reject(
+                    ticket,
+                    f"scheduler queue is full ({self._queue_depth} queries)",
+                    registry,
+                )
+                return handle
+            queue = self._queues.setdefault(request.dataset, deque())
+            queue.append(ticket)
+            if request.dataset not in self._rotation:
+                self._rotation.append(request.dataset)
+            self._inflight[principal] = self._inflight.get(principal, 0) + 1
+            self._queued_total += 1
+            registry.gauge("scheduler.queue_depth").set(self._queued_total)
+            self._work.notify()
+        return handle
+
+    def result(self, handle: QueryHandle, timeout: float | None = None):
+        """Block until the query resolves; returns its terminal response.
+
+        ``timeout`` bounds *this wait*, not the query: when it elapses
+        first, ``None`` is returned and the query keeps running — call
+        again later.  The per-query timeout configured on the scheduler
+        is enforced independently.
+        """
+        ticket = self._ticket(handle)
+        wait_deadline = (
+            time.perf_counter() + timeout if timeout is not None else None
+        )
+        while True:
+            remaining = None
+            if wait_deadline is not None:
+                remaining = max(0.0, wait_deadline - time.perf_counter())
+            if ticket.deadline is not None and not ticket.done.is_set():
+                # Wake up at the query's own deadline so a queued query
+                # stuck behind a long-running one still times out on
+                # schedule rather than when a worker finally pops it.
+                until_deadline = max(0.0, ticket.deadline - time.perf_counter())
+                remaining = (
+                    until_deadline if remaining is None
+                    else min(remaining, until_deadline)
+                )
+            finished = ticket.done.wait(remaining)
+            if finished:
+                return ticket.response
+            if ticket.deadline is not None and (
+                time.perf_counter() >= ticket.deadline
+            ):
+                self._expire(ticket)
+                if ticket.done.is_set():
+                    return ticket.response
+                continue  # running past deadline: keep waiting for the worker
+            if wait_deadline is not None and time.perf_counter() >= wait_deadline:
+                return None
+
+    def cancel(self, handle: QueryHandle) -> bool:
+        """Cancel a still-queued query; returns whether it was cancelled.
+
+        A running or finished query cannot be cancelled (its reservation
+        may already be committed); the method returns ``False`` and the
+        query resolves normally.
+        """
+        ticket = self._ticket(handle)
+        registry = self._registry()
+        with self._lock:
+            if ticket.state != _QUEUED:
+                return False
+            registry.counter("scheduler.cancellations").inc()
+            self._finalize_queued(
+                ticket,
+                self._response(ok=False, error="query cancelled before dispatch"),
+                "cancelled",
+                registry,
+            )
+        return True
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait until no queries are queued or running."""
+        deadline = time.perf_counter() + timeout if timeout is not None else None
+        with self._idle:
+            while self._queued_total > 0 or self._running_total > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(remaining)
+        return True
+
+    def close(self, drain: bool = True) -> None:
+        """Stop admissions, settle the queue, and join the workers."""
+        registry = self._registry()
+        with self._lock:
+            if not self._closing:
+                self._closing = True
+                if not drain:
+                    for queue in self._queues.values():
+                        for ticket in list(queue):
+                            if ticket.state == _QUEUED:
+                                self._finalize_queued(
+                                    ticket,
+                                    self._response(
+                                        ok=False,
+                                        error="scheduler shut down before dispatch",
+                                    ),
+                                    "shutdown",
+                                    registry,
+                                )
+            self._work.notify_all()
+        for thread in self._threads:
+            thread.join()
+        registry.gauge("scheduler.queue_depth").set(self._queued_total)
+        registry.gauge("scheduler.running").set(0)
+
+    def __enter__(self) -> "QueryScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _response(ok: bool, error: str):
+        from repro.runtime.service import QueryResponse
+
+        return QueryResponse(ok=ok, error=error)
+
+    def _ticket(self, handle: QueryHandle) -> _Ticket:
+        ticket = self._tickets.get(handle.id)
+        if ticket is None:
+            raise GuptError(f"unknown query handle {handle.id}")
+        return ticket
+
+    def _reject(self, ticket: _Ticket, reason: str, registry) -> None:
+        """Settle a submission that was never admitted (lock held)."""
+        registry.counter("scheduler.admission_rejections").inc()
+        registry.counter("scheduler.completed", outcome="rejected").inc()
+        ticket.state = _DONE
+        ticket.response = self._response(ok=False, error=reason)
+        ticket.done.set()
+
+    def _finalize_queued(
+        self, ticket: _Ticket, response, outcome: str, registry
+    ) -> None:
+        """Resolve an admitted-but-queued ticket (lock held).
+
+        The ticket stays in its dataset deque — dispatch skips settled
+        tickets — so cancellation and expiry are O(1).
+        """
+        ticket.state = _DONE
+        ticket.response = response
+        self._queued_total -= 1
+        principal = ticket.handle.principal
+        self._inflight[principal] = self._inflight.get(principal, 1) - 1
+        registry.counter("scheduler.completed", outcome=outcome).inc()
+        registry.gauge("scheduler.queue_depth").set(self._queued_total)
+        ticket.done.set()
+        self._idle.notify_all()
+
+    def _expire(self, ticket: _Ticket) -> None:
+        """Time out a still-queued ticket (called from ``result``)."""
+        registry = self._registry()
+        with self._lock:
+            if ticket.state != _QUEUED:
+                return
+            registry.counter("scheduler.timeout_kills").inc()
+            self._finalize_queued(
+                ticket,
+                self._response(
+                    ok=False,
+                    error="query timed out before dispatch; no budget was spent",
+                ),
+                "timeout",
+                registry,
+            )
+
+    def _next_ticket(self) -> _Ticket | None:
+        """Pop the next dispatchable ticket, round-robin (lock held)."""
+        registry = self._registry()
+        for _ in range(len(self._rotation)):
+            dataset = self._rotation.popleft()
+            queue = self._queues.get(dataset)
+            if not queue:
+                self._queues.pop(dataset, None)
+                continue
+            if dataset in self._busy_datasets:
+                self._rotation.append(dataset)
+                continue
+            ticket = None
+            while queue:
+                candidate = queue.popleft()
+                if candidate.state != _QUEUED:
+                    continue  # settled by cancel/expire; lazily dropped
+                if candidate.deadline is not None and (
+                    time.perf_counter() >= candidate.deadline
+                ):
+                    registry.counter("scheduler.timeout_kills").inc()
+                    self._finalize_queued(
+                        candidate,
+                        self._response(
+                            ok=False,
+                            error="query timed out before dispatch; "
+                                  "no budget was spent",
+                        ),
+                        "timeout",
+                        registry,
+                    )
+                    continue
+                ticket = candidate
+                break
+            if queue:
+                self._rotation.append(dataset)
+            else:
+                self._queues.pop(dataset, None)
+            if ticket is not None:
+                self._busy_datasets.add(dataset)
+                return ticket
+        return None
+
+    def _worker(self) -> None:
+        registry = self._registry()
+        while True:
+            with self._work:
+                ticket = self._next_ticket()
+                while ticket is None:
+                    if self._closing and self._queued_total == 0:
+                        return
+                    self._work.wait(0.05)
+                    ticket = self._next_ticket()
+                ticket.state = _RUNNING
+                ticket.started_at = time.perf_counter()
+                self._queued_total -= 1
+                self._running_total += 1
+                registry.gauge("scheduler.queue_depth").set(self._queued_total)
+                registry.gauge("scheduler.running").set(self._running_total)
+            registry.histogram("scheduler.wait_seconds").observe(
+                ticket.started_at - ticket.submitted_at
+            )
+
+            try:
+                response = ticket.runner(ticket.request)
+            except BaseException as exc:  # noqa: BLE001 - boundary of last resort
+                # The runner (service layer) already converts GuptErrors;
+                # anything else must still become a structured response.
+                response = self._response(
+                    ok=False, error=f"internal error: {type(exc).__name__}"
+                )
+
+            elapsed = time.perf_counter() - ticket.started_at
+            outcome = "ok" if response.ok else "error"
+            if ticket.deadline is not None and time.perf_counter() > ticket.deadline:
+                # The query overran while running.  The release cannot be
+                # taken back, so its value is discarded; epsilon that was
+                # committed stays spent (stated in the error — budget
+                # arithmetic only, never values).
+                registry.counter("scheduler.timeout_kills").inc()
+                charged = getattr(response, "epsilon_charged", 0.0)
+                response = self._response(
+                    ok=False,
+                    error=(
+                        "query timed out while running; result discarded"
+                        + (
+                            f" (epsilon {charged:.6g} already spent)"
+                            if charged
+                            else " (no budget was spent)"
+                        )
+                    ),
+                )
+                outcome = "timeout"
+            if getattr(response, "epsilon_rolled_back", 0.0) > 0.0:
+                registry.counter("scheduler.reservation_rollbacks").inc()
+
+            with self._work:
+                ticket.state = _DONE
+                ticket.response = response
+                self._running_total -= 1
+                principal = ticket.handle.principal
+                self._inflight[principal] = self._inflight.get(principal, 1) - 1
+                dataset = ticket.handle.dataset
+                self._busy_datasets.discard(dataset)
+                if self._queues.get(dataset) and dataset not in self._rotation:
+                    self._rotation.append(dataset)
+                registry.counter("scheduler.completed", outcome=outcome).inc()
+                registry.gauge("scheduler.running").set(self._running_total)
+                registry.histogram("scheduler.run_seconds").observe(elapsed)
+                ticket.done.set()
+                self._work.notify_all()
+                self._idle.notify_all()
+
+
+__all__ = ["QueryHandle", "QueryScheduler"]

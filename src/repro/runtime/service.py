@@ -13,12 +13,28 @@ caller's role: analysts see dataset names, shapes and remaining budgets
 (all public under the paper's model), and the differentially private
 query results; they never see records, raw block outputs or ledger
 details (those belong to the owner).
+
+Queries run two ways:
+
+* :meth:`GuptService.execute` — blocking, one response per call; the
+  original single-analyst interface.
+* :meth:`GuptService.submit` / :meth:`~GuptService.result` /
+  :meth:`~GuptService.cancel` — async-style handles dispatched through a
+  :class:`~repro.runtime.scheduler.QueryScheduler`, which adds admission
+  control, per-dataset FIFO fairness, per-principal in-flight limits and
+  per-query timeouts for concurrent multi-analyst traffic.
+
+Budget spending under either path is transactional (see
+:mod:`repro.accounting.manager`): concurrent queries reserve epsilon up
+front, commit on success and roll back on pre-release failure, so no
+interleaving of analysts can overspend a dataset's budget.
 """
 
 from __future__ import annotations
 
 import itertools
 import secrets
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -31,6 +47,7 @@ from repro.exceptions import GuptError
 from repro.mechanisms.rng import RandomSource
 from repro.observability import MetricsRegistry, get_registry
 from repro.runtime.computation_manager import ComputationManager
+from repro.runtime.scheduler import QueryHandle, QueryScheduler
 
 OWNER = "owner"
 ANALYST = "analyst"
@@ -59,7 +76,14 @@ class DatasetDescription:
 
 @dataclass(frozen=True)
 class QueryRequest:
-    """An analyst's job submission (§3.1's analyst interface)."""
+    """An analyst's job submission (§3.1's analyst interface).
+
+    ``seed`` pins the query's randomness: a seeded request produces a
+    bit-identical release no matter which execution path runs it or what
+    other queries are in flight.  Unseeded scheduled queries draw an
+    independent child generator from the runtime's stream instead, so
+    concurrency never perturbs anyone else's noise.
+    """
 
     dataset: str
     program: Callable
@@ -71,6 +95,7 @@ class QueryRequest:
     resampling_factor: int = 1
     query_name: str = "query"
     group_by: str | int | None = None
+    seed: int | None = None
 
 
 @dataclass(frozen=True)
@@ -79,13 +104,16 @@ class QueryResponse:
 
     ``error`` is a human-readable reason; it is derived only from the
     request's public parameters (budget arithmetic, validation), never
-    from record values, so refusals do not leak.
+    from record values, so refusals do not leak.  ``epsilon_rolled_back``
+    reports budget returned by a transactional rollback when the query
+    failed before its private release — always zero on success.
     """
 
     ok: bool
     value: tuple[float, ...] = ()
     epsilon_charged: float = 0.0
     error: str = ""
+    epsilon_rolled_back: float = 0.0
 
 
 class GuptService:
@@ -99,6 +127,10 @@ class GuptService:
         backend: str | None = None,
         workers: int | None = None,
         batch_size: int | None = None,
+        scheduler_workers: int = 4,
+        max_inflight: int = 8,
+        queue_depth: int = 64,
+        query_timeout: float | None = None,
     ):
         self._metrics = metrics
         self._datasets = DatasetManager(metrics=metrics)
@@ -113,9 +145,33 @@ class GuptService:
         )
         self._principals: dict[str, Principal] = {}
         self._counter = itertools.count()
+        # The scheduler (and its worker threads) is created lazily on the
+        # first async submission, so purely blocking users pay nothing.
+        self._scheduler_config = dict(
+            workers=scheduler_workers,
+            max_inflight=max_inflight,
+            queue_depth=queue_depth,
+            query_timeout=query_timeout,
+        )
+        self._scheduler: QueryScheduler | None = None
+        self._scheduler_lock = threading.Lock()
 
-    def close(self) -> None:
-        """Release execution-backend resources (pool worker processes)."""
+    @property
+    def scheduler(self) -> QueryScheduler:
+        """The service's query scheduler (created on first access)."""
+        with self._scheduler_lock:
+            if self._scheduler is None:
+                self._scheduler = QueryScheduler(
+                    metrics=self._metrics, **self._scheduler_config
+                )
+            return self._scheduler
+
+    def close(self, drain: bool = True) -> None:
+        """Drain the scheduler and release execution-backend resources."""
+        with self._scheduler_lock:
+            scheduler, self._scheduler = self._scheduler, None
+        if scheduler is not None:
+            scheduler.close(drain=drain)
         self._runtime.close()
 
     def __enter__(self) -> "GuptService":
@@ -208,8 +264,8 @@ class GuptService:
     # ------------------------------------------------------------------
     # Analyst interface
     # ------------------------------------------------------------------
-    def submit(self, token: str, request: QueryRequest) -> QueryResponse:
-        """Analyst-only: run one private query.
+    def execute(self, token: str, request: QueryRequest) -> QueryResponse:
+        """Analyst-only: run one private query, blocking until it resolves.
 
         All platform failures — bad parameters, exhausted budgets,
         programs that die on every block — come back as structured
@@ -218,6 +274,48 @@ class GuptService:
         error boundary.
         """
         principal = self._authenticate(token, ANALYST)
+        return self._run_request(principal, request, rng=request.seed)
+
+    def submit(self, token: str, request: QueryRequest) -> QueryHandle:
+        """Analyst-only: enqueue one private query; returns immediately.
+
+        The query goes through the scheduler's admission control
+        (per-principal in-flight limit, global queue depth) and
+        per-dataset FIFO dispatch.  Rejections resolve the handle
+        immediately with a structured refusal — :meth:`submit` itself
+        only raises for authentication failures.
+        """
+        principal = self._authenticate(token, ANALYST)
+
+        def runner(req: QueryRequest) -> QueryResponse:
+            # An unseeded concurrent query gets its own child generator:
+            # numpy Generators are not thread-safe, and independent
+            # streams keep each query's noise unaffected by whatever
+            # else is in flight.
+            rng = req.seed if req.seed is not None else self._runtime.spawn_rng()
+            return self._run_request(principal, req, rng=rng)
+
+        return self.scheduler.submit(
+            runner, request, principal=principal.name or principal.role
+        )
+
+    def result(
+        self, handle: QueryHandle, timeout: float | None = None
+    ) -> QueryResponse | None:
+        """Wait for a submitted query's terminal response.
+
+        Returns ``None`` when ``timeout`` elapses first; the query keeps
+        running and ``result`` can be called again.
+        """
+        return self.scheduler.result(handle, timeout=timeout)
+
+    def cancel(self, handle: QueryHandle) -> bool:
+        """Cancel a still-queued query (no budget is ever spent)."""
+        return self.scheduler.cancel(handle)
+
+    def _run_request(
+        self, principal: Principal, request: QueryRequest, rng: RandomSource = None
+    ) -> QueryResponse:
         metrics = self._metrics or get_registry()
         # Per-principal accounting: labels carry the principal's public
         # name (or role), never the secret token.
@@ -235,10 +333,15 @@ class GuptService:
                 resampling_factor=request.resampling_factor,
                 query_name=request.query_name,
                 group_by=request.group_by,
+                rng=rng,
             )
         except GuptError as exc:
             metrics.counter("service.rejections", principal=who).inc()
-            return QueryResponse(ok=False, error=str(exc))
+            return QueryResponse(
+                ok=False,
+                error=str(exc),
+                epsilon_rolled_back=getattr(exc, "epsilon_rolled_back", 0.0),
+            )
         return QueryResponse(
             ok=True,
             value=tuple(float(v) for v in result.value),

@@ -186,13 +186,25 @@ class StreamingGupt:
             if e.index > self._current.index - self._config.window_epochs
         ]
         contributing = [e for e in live if e.values() is not None]
+        # Transactional multi-epoch spend: reserve against every epoch
+        # first, then commit all holds.  The old check-then-charge loop
+        # was a race — two interleaved queries could both pass every
+        # ``can_afford`` test, then one would fail its charge halfway
+        # through, leaving the earlier epochs charged for a query that
+        # was refused.  Reservations make the refusal leave every epoch
+        # untouched, bit-for-bit.
+        held: list[tuple[_Epoch, int]] = []
         for epoch in contributing:
-            if not epoch.budget.can_afford(epsilon):
+            try:
+                held.append((epoch, epoch.budget.reserve(epsilon)))
+            except PrivacyBudgetExhausted:
+                for reserved_epoch, reservation_id in held:
+                    reserved_epoch.budget.release_reservation(reservation_id)
                 raise PrivacyBudgetExhausted(
                     epsilon, epoch.budget.remaining, f"epoch-{epoch.index}"
-                )
-        for epoch in contributing:
-            epoch.budget.charge(epsilon)
+                ) from None
+        for epoch, reservation_id in held:
+            epoch.budget.commit_reservation(reservation_id)
 
         epsilon_range = range_strategy.budget_fraction * epsilon
         epsilon_noise = epsilon - epsilon_range

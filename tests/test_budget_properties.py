@@ -1,0 +1,225 @@
+"""Property-based invariants for transactional budget accounting.
+
+Hand-rolled property testing (seeded :mod:`numpy` random scripts, no
+external dependency): each property runs many randomly generated
+operation sequences — serially against a shadow model, and concurrently
+as random thread interleavings — and asserts the accounting invariants
+*exactly*.
+
+Exactness is by construction: every generated epsilon is a dyadic
+rational ``k / 1024`` with totals below ``2**3``, so every sum the
+accounting can form fits a float mantissa with room to spare and the
+invariants can be asserted with ``==``, no tolerance.  A one-ulp drift
+anywhere in reserve/commit/rollback would fail these tests.
+
+Invariants under test:
+
+* conservation: ``spent + reserved + headroom == total`` at every step;
+* safety: ``spent <= total`` and ``remaining >= 0`` always;
+* audit: the ledger's :func:`math.fsum` total equals ``budget.spent``;
+* reversibility: any sequence of reserves and rollbacks restores the
+  budget bit-for-bit;
+* atomicity: a refused reservation changes nothing.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.accounting.budget import PrivacyBudget
+from repro.accounting.manager import DatasetManager
+from repro.datasets.table import DataTable
+from repro.exceptions import PrivacyBudgetExhausted
+from repro.observability import MetricsRegistry
+
+SEEDS = list(range(10))
+#: All epsilons are multiples of this; sums of a few thousand of them
+#: are exact in binary floating point.
+QUANTUM = 1.0 / 1024.0
+
+
+def _epsilon(rng: np.random.Generator) -> float:
+    return int(rng.integers(1, 257)) * QUANTUM
+
+
+def _table() -> DataTable:
+    rng = np.random.default_rng(99)
+    return DataTable(rng.uniform(0.0, 1.0, size=(32, 1)), column_names=("x",))
+
+
+class _ShadowModel:
+    """Exact reference implementation of the budget state machine."""
+
+    def __init__(self, total: float):
+        self.total = total
+        self.committed: list[float] = []
+        self.holds: dict[int, float] = {}
+
+    @property
+    def spent(self) -> float:
+        return math.fsum(self.committed)
+
+    @property
+    def reserved(self) -> float:
+        return math.fsum(self.holds.values())
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.total - self.spent - self.reserved)
+
+    def fits(self, epsilon: float) -> bool:
+        return epsilon <= self.total - self.spent - self.reserved
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_serial_scripts_match_shadow_model(seed):
+    """Random op sequences agree with the exact reference, step by step."""
+    rng = np.random.default_rng(seed)
+    total = int(rng.integers(2, 8)) * 1.0
+    budget = PrivacyBudget(total, dataset="prop")
+    model = _ShadowModel(total)
+    live: list[tuple[int, int]] = []  # (real id, model id)
+    next_model_id = 0
+
+    for _ in range(400):
+        op = rng.integers(0, 4)
+        if op == 0:  # reserve
+            epsilon = _epsilon(rng)
+            if model.fits(epsilon):
+                live.append((budget.reserve(epsilon), next_model_id))
+                model.holds[next_model_id] = epsilon
+                next_model_id += 1
+            else:
+                with pytest.raises(PrivacyBudgetExhausted):
+                    budget.reserve(epsilon)
+        elif op == 1 and live:  # commit a random hold
+            index = int(rng.integers(0, len(live)))
+            real_id, model_id = live.pop(index)
+            budget.commit_reservation(real_id)
+            model.committed.append(model.holds.pop(model_id))
+        elif op == 2 and live:  # roll back a random hold
+            index = int(rng.integers(0, len(live)))
+            real_id, model_id = live.pop(index)
+            budget.release_reservation(real_id)
+            del model.holds[model_id]
+        elif op == 3:  # one-shot charge
+            epsilon = _epsilon(rng)
+            if model.fits(epsilon):
+                budget.charge(epsilon)
+                model.committed.append(epsilon)
+            else:
+                with pytest.raises(PrivacyBudgetExhausted):
+                    budget.charge(epsilon)
+
+        # Exact agreement with the model after every single operation.
+        assert budget.spent == model.spent
+        assert budget.reserved == model.reserved
+        assert budget.remaining == model.remaining
+        # Conservation and safety, independent of the model.
+        assert budget.spent + budget.reserved <= total
+        assert budget.remaining >= 0.0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_concurrent_interleavings_conserve_budget(seed):
+    """Random per-thread scripts: no interleaving breaks the invariants."""
+    rng = np.random.default_rng(seed)
+    total = int(rng.integers(2, 6)) * 1.0
+    manager = DatasetManager(metrics=MetricsRegistry())
+    registered = manager.register("prop", _table(), total_budget=total)
+
+    threads = 8
+    committed_per_thread: list[list[float]] = [[] for _ in range(threads)]
+    thread_seeds = [int(s) for s in rng.integers(0, 2**31, size=threads)]
+    barrier = threading.Barrier(threads)
+    errors: list[BaseException] = []
+
+    def script(slot: int) -> None:
+        local = np.random.default_rng(thread_seeds[slot])
+        barrier.wait()
+        try:
+            for step in range(60):
+                epsilon = _epsilon(local)
+                try:
+                    reservation = registered.reserve(epsilon, f"t{slot}-q{step}")
+                except PrivacyBudgetExhausted:
+                    continue
+                # Mixed outcomes: some queries fail pre-release and roll
+                # back, the rest commit.
+                if local.integers(0, 3) == 0:
+                    reservation.rollback()
+                else:
+                    reservation.commit()
+                    committed_per_thread[slot].append(epsilon)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    pool = [threading.Thread(target=script, args=(i,)) for i in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    assert not errors, errors
+
+    all_committed = [e for chunk in committed_per_thread for e in chunk]
+    budget = registered.budget
+    # Safety: never oversubscribed, bit-exactly.
+    assert budget.spent <= total
+    # Everything settled: no hold outlives its query.
+    assert budget.reserved == 0.0
+    # The spend equals the exact sum of every committed epsilon: no
+    # interleaving lost, duplicated or fabricated budget.
+    assert budget.spent == math.fsum(all_committed)
+    # The audit trail agrees entry-for-entry.
+    assert registered.ledger.total_spent == budget.spent
+    assert len(registered.ledger) == len(all_committed)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_reserve_rollback_cycles_restore_state(seed):
+    """Any storm of reserves and rollbacks leaves the budget untouched."""
+    rng = np.random.default_rng(seed)
+    total = 4.0
+    budget = PrivacyBudget(total, dataset="prop")
+    spent_before = budget.spent
+
+    live: list[int] = []
+    for _ in range(300):
+        if rng.integers(0, 2) == 0:
+            epsilon = _epsilon(rng)
+            try:
+                live.append(budget.reserve(epsilon))
+            except PrivacyBudgetExhausted:
+                pass
+        elif live:
+            budget.release_reservation(live.pop(int(rng.integers(0, len(live)))))
+    for reservation_id in live:
+        budget.release_reservation(reservation_id)
+
+    assert budget.spent == spent_before
+    assert budget.reserved == 0.0
+    assert budget.remaining == total
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_refused_reservation_changes_nothing(seed):
+    """A refusal is atomic: observable state is identical before/after."""
+    rng = np.random.default_rng(seed)
+    total = 2.0
+    budget = PrivacyBudget(total, dataset="prop")
+    # Drive the budget to a random nearly-full point.
+    while budget.remaining > 0.5:
+        budget.charge(_epsilon(rng))
+    snapshot = (budget.spent, budget.reserved, budget.remaining)
+
+    oversized = budget.remaining + QUANTUM
+    for _ in range(20):
+        with pytest.raises(PrivacyBudgetExhausted):
+            budget.reserve(oversized)
+        with pytest.raises(PrivacyBudgetExhausted):
+            budget.charge(oversized)
+    assert (budget.spent, budget.reserved, budget.remaining) == snapshot

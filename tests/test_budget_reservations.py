@@ -1,0 +1,260 @@
+"""Transactional budget accounting under real thread contention.
+
+The seed implementation had a latent check-then-spend race: a caller
+could test ``can_afford`` and then ``charge``, and two interleaved
+callers could both pass the test on the last slice of budget.  These
+tests pin the fix — two-phase reservations — at its sharpest point: an
+*exact-fit* budget hammered by 32 threads, asserted bit-exactly (the
+test values are binary fractions, so float sums are exact and no
+epsilon-slop can hide an overspend).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.accounting.budget import PrivacyBudget
+from repro.accounting.manager import BudgetReservation, DatasetManager
+from repro.datasets.table import DataTable
+from repro.exceptions import GuptError, InvalidPrivacyParameter, PrivacyBudgetExhausted
+from repro.observability import MetricsRegistry
+
+THREADS = 32
+#: Binary-exact slice: 0.25 * 8 == 2.0 with zero rounding.
+EPSILON = 0.25
+TOTAL = 2.0
+FITS = 8  # how many EPSILON slices the budget holds, exactly
+
+
+def _table() -> DataTable:
+    rng = np.random.default_rng(4242)
+    return DataTable(rng.uniform(0.0, 1.0, size=(64, 1)), column_names=("x",))
+
+
+def _hammer(worker, threads=THREADS):
+    """Run ``worker(index)`` on ``threads`` threads through one barrier."""
+    barrier = threading.Barrier(threads)
+    errors: list[BaseException] = []
+
+    def body(index: int) -> None:
+        barrier.wait()
+        try:
+            worker(index)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    pool = [threading.Thread(target=body, args=(i,)) for i in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    assert not errors, errors
+
+
+class TestExactFitRace:
+    """The 32-thread regression for the check-then-spend race."""
+
+    def test_direct_charges_never_overspend(self):
+        budget = PrivacyBudget(TOTAL, dataset="exact-fit")
+        admitted = []
+
+        def worker(index: int) -> None:
+            try:
+                budget.charge(EPSILON)
+            except PrivacyBudgetExhausted:
+                return
+            admitted.append(index)
+
+        _hammer(worker)
+        assert len(admitted) == FITS
+        assert budget.spent == TOTAL  # bit-exact, no tolerance
+        assert budget.remaining == 0.0
+
+    def test_reserve_commit_never_overspends(self):
+        budget = PrivacyBudget(TOTAL, dataset="exact-fit")
+        admitted = []
+
+        def worker(index: int) -> None:
+            try:
+                reservation_id = budget.reserve(EPSILON)
+            except PrivacyBudgetExhausted:
+                return
+            budget.commit_reservation(reservation_id)
+            admitted.append(index)
+
+        _hammer(worker)
+        assert len(admitted) == FITS
+        assert budget.spent == TOTAL
+        assert budget.reserved == 0.0
+
+    def test_check_then_spend_is_safe_through_reservations(self):
+        """The historical attack: everyone checks first, then spends.
+
+        ``can_afford`` can say yes to all 32 threads at once, but the
+        reservation step re-checks atomically, so the budget still
+        cannot be oversubscribed.
+        """
+        budget = PrivacyBudget(TOTAL, dataset="exact-fit")
+        passed_check = []
+        committed = []
+
+        def worker(index: int) -> None:
+            if budget.can_afford(EPSILON):
+                passed_check.append(index)
+            try:
+                reservation_id = budget.reserve(EPSILON)
+            except PrivacyBudgetExhausted:
+                return
+            budget.commit_reservation(reservation_id)
+            committed.append(index)
+
+        _hammer(worker)
+        # The stale check may admit any number of threads...
+        assert len(passed_check) >= FITS
+        # ...but the transactional spend admits exactly the budget's worth.
+        assert len(committed) == FITS
+        assert budget.spent == TOTAL
+
+    def test_rollback_storm_spends_nothing(self):
+        """32 threads reserve and roll back concurrently; budget unscathed."""
+        budget = PrivacyBudget(TOTAL, dataset="exact-fit")
+
+        def worker(index: int) -> None:
+            try:
+                reservation_id = budget.reserve(EPSILON)
+            except PrivacyBudgetExhausted:
+                return
+            budget.release_reservation(reservation_id)
+
+        _hammer(worker)
+        assert budget.spent == 0.0
+        assert budget.reserved == 0.0
+        assert budget.remaining == TOTAL  # bit-exact restore
+
+    def test_manager_ledger_matches_spend_under_contention(self):
+        manager = DatasetManager(metrics=MetricsRegistry())
+        registered = manager.register("d", _table(), total_budget=TOTAL)
+
+        def worker(index: int) -> None:
+            try:
+                reservation = registered.reserve(EPSILON, f"q-{index}")
+            except PrivacyBudgetExhausted:
+                return
+            if index % 4 == 0:
+                reservation.rollback()
+            else:
+                reservation.commit()
+
+        _hammer(worker)
+        assert registered.budget.spent == registered.ledger.total_spent
+        assert registered.budget.spent <= TOTAL
+        assert registered.budget.reserved == 0.0
+
+
+class TestReservationLifecycle:
+    def _registered(self):
+        manager = DatasetManager(metrics=MetricsRegistry())
+        return manager.register("d", _table(), total_budget=TOTAL)
+
+    def test_reserve_holds_budget_until_settled(self):
+        registered = self._registered()
+        reservation = registered.reserve(EPSILON, "q")
+        assert registered.budget.reserved == EPSILON
+        assert registered.budget.remaining == TOTAL - EPSILON
+        assert registered.budget.spent == 0.0
+        assert len(registered.ledger) == 0
+        reservation.commit()
+        assert registered.budget.reserved == 0.0
+        assert registered.budget.spent == EPSILON
+        assert registered.ledger.total_spent == EPSILON
+
+    def test_rollback_restores_exact_state(self):
+        registered = self._registered()
+        before = registered.budget.remaining
+        reservation = registered.reserve(EPSILON, "q")
+        reservation.rollback()
+        assert registered.budget.remaining == before  # bit-exact
+        assert len(registered.ledger) == 0
+
+    def test_rollback_is_idempotent(self):
+        registered = self._registered()
+        reservation = registered.reserve(EPSILON, "q")
+        reservation.rollback()
+        reservation.rollback()  # no-op, no error
+        assert reservation.state == "rolled-back"
+
+    def test_commit_twice_raises(self):
+        registered = self._registered()
+        reservation = registered.reserve(EPSILON, "q")
+        reservation.commit()
+        with pytest.raises(GuptError, match="committed"):
+            reservation.commit()
+
+    def test_rollback_after_commit_raises(self):
+        registered = self._registered()
+        reservation = registered.reserve(EPSILON, "q")
+        reservation.commit()
+        with pytest.raises(GuptError, match="release already happened"):
+            reservation.rollback()
+
+    def test_context_manager_commits_on_success(self):
+        registered = self._registered()
+        with registered.reserve(EPSILON, "q"):
+            pass
+        assert registered.budget.spent == EPSILON
+
+    def test_context_manager_rolls_back_on_error(self):
+        registered = self._registered()
+        with pytest.raises(RuntimeError):
+            with registered.reserve(EPSILON, "q"):
+                raise RuntimeError("program died")
+        assert registered.budget.spent == 0.0
+        assert registered.budget.reserved == 0.0
+
+    def test_context_manager_respects_explicit_settlement(self):
+        registered = self._registered()
+        with pytest.raises(RuntimeError):
+            with registered.reserve(EPSILON, "q") as reservation:
+                reservation.commit(detail="released before the failure")
+                raise RuntimeError("failure after the release")
+        # The explicit commit stands; the exception does not roll it back.
+        assert registered.budget.spent == EPSILON
+
+    def test_exhausted_reserve_touches_nothing(self):
+        registered = self._registered()
+        holds = [registered.reserve(EPSILON, f"q-{i}") for i in range(FITS)]
+        with pytest.raises(PrivacyBudgetExhausted):
+            registered.reserve(EPSILON, "one-too-many")
+        assert registered.budget.reserved == TOTAL
+        for hold in holds:
+            hold.rollback()
+        assert registered.budget.remaining == TOTAL
+
+    def test_settled_reservation_id_is_dead(self):
+        budget = PrivacyBudget(TOTAL)
+        reservation_id = budget.reserve(EPSILON)
+        budget.commit_reservation(reservation_id)
+        with pytest.raises(InvalidPrivacyParameter):
+            budget.commit_reservation(reservation_id)
+        with pytest.raises(InvalidPrivacyParameter):
+            budget.release_reservation(reservation_id)
+
+    def test_many_binary_slices_sum_exactly(self):
+        """512 commits of 1/256 over a budget of 2.0: fsum keeps it exact."""
+        budget = PrivacyBudget(TOTAL)
+        slice_epsilon = 1.0 / 256.0
+        committed = 0
+        while True:
+            try:
+                reservation_id = budget.reserve(slice_epsilon)
+            except PrivacyBudgetExhausted:
+                break
+            budget.commit_reservation(reservation_id)
+            committed += 1
+        assert committed == 512
+        assert budget.spent == TOTAL
+        assert math.fsum([slice_epsilon] * committed) == TOTAL

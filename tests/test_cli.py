@@ -161,3 +161,50 @@ class TestStats:
             "--range", "0", "1", "--epsilon", "1.0",
         ])
         assert code == 2
+
+
+class TestServe:
+    def test_serve_exact_fit_budget(self, ages_csv, capsys):
+        # 4 analysts x 4 queries at epsilon 0.5 against a budget of 4.0:
+        # exactly 8 commits, the rest refused, queue drained.
+        code = main([
+            "serve", "--data", str(ages_csv), "--program", "mean",
+            "--range", "0", "150", "--epsilon", "0.5", "--budget", "4.0",
+            "--analysts", "4", "--queries", "4",
+            "--max-inflight", "16", "--queue-depth", "32", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "traffic       : 4 analysts x 4 queries" in out
+        assert "completed     : 8 ok, 8 refused" in out
+        assert "epsilon spent : 4 of 4 (8 ledger entries)" in out
+        assert "queue depth   : 0 after drain" in out
+
+    def test_serve_admission_control_rejects_overflow(self, ages_csv, capsys):
+        # A queue one deep with one analyst hammering it: some queries
+        # must be refused at admission, yet every one resolves and the
+        # books still balance.
+        code = main([
+            "serve", "--data", str(ages_csv), "--program", "mean",
+            "--range", "0", "150", "--epsilon", "0.25", "--budget", "50.0",
+            "--analysts", "2", "--queries", "8",
+            "--max-inflight", "2", "--queue-depth", "1", "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed     : " in out
+        assert "queue depth   : 0 after drain" in out
+
+    def test_serve_validates_epsilon_accuracy_exclusivity(self, ages_csv, capsys):
+        code = main([
+            "serve", "--data", str(ages_csv), "--program", "mean",
+            "--range", "0", "150",
+        ])
+        assert code == 2
+
+    def test_serve_validates_traffic_shape(self, ages_csv, capsys):
+        code = main([
+            "serve", "--data", str(ages_csv), "--program", "mean",
+            "--range", "0", "150", "--epsilon", "0.5", "--analysts", "0",
+        ])
+        assert code == 2

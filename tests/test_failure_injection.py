@@ -89,7 +89,7 @@ class TestHostilePrograms:
             manager.get("d").table.values.ravel(), np.linspace(0.0, 10.0, 100)
         )
 
-    def test_failed_query_does_not_charge_twice(self):
+    def test_failed_query_rolls_back_and_success_charges_once(self):
         table = DataTable(np.linspace(0.0, 10.0, 100))
         manager = DatasetManager()
         manager.register("d", table, total_budget=10.0)
@@ -100,9 +100,19 @@ class TestHostilePrograms:
 
         with pytest.raises(ComputationError):
             runtime.run("d", always_crashes, TightRange((0.0, 10.0)), epsilon=1.0)
-        # The charge happened before execution (that is the budget-attack
-        # defense) and exactly once.
+        # The epsilon is reserved before execution (the budget-attack
+        # defense: the platform, not the program, holds the budget) but a
+        # query that dies before any private release rolls its
+        # reservation back — the analyst learned nothing, so nothing is
+        # spent and no hold lingers.
+        assert manager.get("d").budget.spent == 0.0
+        assert manager.get("d").budget.reserved == 0.0
+
+        # A successful retry charges exactly once.
+        runtime.run("d", lambda b: float(np.mean(b)),
+                    TightRange((0.0, 10.0)), epsilon=1.0)
         assert manager.get("d").budget.spent == pytest.approx(1.0)
+        assert manager.get("d").ledger.total_spent == pytest.approx(1.0)
 
     @given(dim=st.integers(min_value=1, max_value=6), seed=st.integers(0, 2**31))
     @settings(max_examples=20, deadline=None)

@@ -215,9 +215,9 @@ class TestServiceTelemetry:
             range_strategy=TightRange((SENTINEL_LO, SENTINEL_HI)),
             epsilon=2.0,
         )
-        assert service.submit(analyst.token, request).ok
+        assert service.execute(analyst.token, request).ok
         # Second identical query cannot fit the remaining budget.
-        assert not service.submit(analyst.token, request).ok
+        assert not service.execute(analyst.token, request).ok
 
         snapshot = service.metrics_snapshot()
         assert snapshot["counters"]['service.queries{principal="uni-lab"}'] == 2
@@ -242,9 +242,91 @@ class TestServiceTelemetry:
             range_strategy=TightRange((SENTINEL_LO, SENTINEL_HI)),
             epsilon=1.0,
         )
-        assert service.submit(analyst.token, request).ok
+        assert service.execute(analyst.token, request).ok
         leaves = numeric_leaves(service.metrics_snapshot())
         assert max(abs(v) for v in leaves) < SENTINEL_LO / 2
+
+
+class TestSchedulerTelemetry:
+    """The scheduler's telemetry is queue geometry, never query values.
+
+    Same sentinel construction as the other release-safety suites: the
+    dataset (and so every block output and every released value) lives
+    in [7000, 7400]; after real scheduled traffic — successes, a
+    pre-release failure that rolls its reservation back, an admission
+    rejection — every ``scheduler.*`` instrument exists and no numeric
+    leaf in the snapshot approaches the band.
+    """
+
+    @staticmethod
+    def _always_fails(block):
+        raise RuntimeError("dies in the chamber, pre-release")
+
+    def test_scheduler_metrics_present_and_release_safe(self, registry, rng):
+        service = GuptService(
+            rng=3, metrics=registry,
+            scheduler_workers=2, max_inflight=2, queue_depth=8,
+        )
+        owner = service.enroll(OWNER, name="hospital")
+        analyst = service.enroll(ANALYST, name="uni-lab")
+        values = rng.uniform(SENTINEL_LO + 50.0, SENTINEL_HI - 50.0, size=1500)
+        service.register_dataset(
+            owner.token,
+            "stays",
+            DataTable(values, input_ranges=[(SENTINEL_LO, SENTINEL_HI)]),
+            total_budget=20.0,
+        )
+
+        def request(program, name):
+            return QueryRequest(
+                dataset="stays",
+                program=program,
+                range_strategy=TightRange((SENTINEL_LO, SENTINEL_HI)),
+                epsilon=1.0,
+                query_name=name,
+                seed=11,
+            )
+
+        good = [
+            service.submit(analyst.token, request(Mean(), "good-0")),
+            service.submit(analyst.token, request(Mean(), "good-1")),
+        ]
+        # Third concurrent submission breaches max_inflight=2: a
+        # structured admission rejection.
+        rejected = service.submit(analyst.token, request(Mean(), "over-limit"))
+        responses = [service.result(h) for h in good]
+        assert all(r.ok for r in responses)
+        assert all(SENTINEL_LO < r.value[0] < SENTINEL_HI for r in responses)
+        assert not service.result(rejected).ok
+
+        # A program that dies on every block fails before any private
+        # release: its reservation rolls back and the response says how
+        # much epsilon came back.
+        failed = service.result(
+            service.submit(analyst.token, request(self._always_fails, "doomed"))
+        )
+        assert not failed.ok
+        assert failed.epsilon_rolled_back == 1.0
+
+        service.close()
+        snapshot = registry.snapshot()
+        counters = snapshot["counters"]
+        assert counters["scheduler.submitted"] == 4
+        assert counters["scheduler.admission_rejections"] == 1
+        assert counters["scheduler.reservation_rollbacks"] == 1
+        assert counters['scheduler.completed{outcome="ok"}'] == 2
+        assert counters['scheduler.completed{outcome="rejected"}'] == 1
+        assert counters['scheduler.completed{outcome="error"}'] == 1
+        assert counters["scheduler.timeout_kills"] == 0
+        assert snapshot["gauges"]["scheduler.queue_depth"] == 0
+        assert snapshot["gauges"]["scheduler.running"] == 0
+        assert snapshot["histograms"]["scheduler.wait_seconds"]["count"] == 3
+        assert snapshot["histograms"]["scheduler.run_seconds"]["count"] == 3
+        # The single numeric walk: nothing anywhere in the snapshot —
+        # scheduler counters, budget gauges, timing histograms, labels —
+        # carries a value derived from the sentinel-band outputs.
+        leaves = numeric_leaves(snapshot)
+        assert leaves and max(abs(v) for v in leaves) < SENTINEL_LO / 2
 
 
 class TestPoolBackendTelemetry:

@@ -5,15 +5,19 @@ them by reference; closures exercise the unpicklable fallback path.
 """
 
 import os
+import threading
 import time
 
 import numpy as np
 import pytest
 
+from repro.core.range_estimation import TightRange
+from repro.datasets.table import DataTable
 from repro.exceptions import ComputationError
 from repro.observability import MetricsRegistry
 from repro.runtime.computation_manager import ComputationManager
 from repro.runtime.pool import PoolChamberBackend
+from repro.runtime.service import ANALYST, OWNER, GuptService, QueryRequest
 from repro.runtime.timing import TimingDefense
 
 BLOCKS = [np.full((10, 1), float(i)) for i in range(12)]
@@ -204,6 +208,114 @@ class TestPoolFallbacks:
             manager.run_blocks(mean_program, BLOCKS, 1, FALLBACK)
             pool = manager.pool
         assert pool._workers == []
+
+
+class TestDeterminismUnderConcurrency:
+    """Fixed seeds pin every bit of a release, whatever runs it.
+
+    The full matrix the ISSUE asks for: the same seeded queries through
+    the serial chambers, the thread backend, the worker-pool backend,
+    and the scheduler under real contention must produce bit-identical
+    values — block parallelism and request interleaving may change
+    wall-clock, never the released numbers.
+    """
+
+    SEEDS = [9000 + i for i in range(6)]
+
+    @staticmethod
+    def _service(backend, **kwargs):
+        service = GuptService(
+            metrics=MetricsRegistry(), rng=31337, backend=backend,
+            workers=2, **kwargs,
+        )
+        owner = service.enroll(OWNER)
+        analyst = service.enroll(ANALYST)
+        rng = np.random.default_rng(404)
+        table = DataTable(rng.uniform(0.0, 10.0, size=(96, 1)), column_names=("x",))
+        service.register_dataset(owner.token, "d", table, total_budget=50.0)
+        return service, analyst
+
+    @classmethod
+    def _request(cls, seed):
+        return QueryRequest(
+            dataset="d",
+            program=mean_program,
+            range_strategy=TightRange(((0.0, 10.0),)),
+            epsilon=0.5,
+            block_size=8,
+            seed=seed,
+        )
+
+    def _run_blocking(self, backend):
+        service, analyst = self._service(backend)
+        try:
+            values = []
+            for seed in self.SEEDS:
+                response = service.execute(analyst.token, self._request(seed))
+                assert response.ok, response.error
+                values.append(response.value)
+        finally:
+            service.close()
+        return values
+
+    def test_serial_thread_pool_bit_identical(self):
+        serial = self._run_blocking("serial")
+        thread = self._run_blocking("thread")
+        pool = self._run_blocking("pool")
+        assert serial == thread == pool  # tuple equality: bit-exact floats
+
+    def test_scheduler_contention_bit_identical_to_serial(self):
+        serial = self._run_blocking("serial")
+        service, analyst = self._service(
+            "pool", scheduler_workers=4, max_inflight=32, queue_depth=32,
+        )
+        try:
+            # Reverse submission order from 31 extra contending threads'
+            # worth of interleaving noise: the scheduler serializes the
+            # dataset FIFO, the seeds pin the noise.
+            handles = {
+                seed: service.submit(analyst.token, self._request(seed))
+                for seed in reversed(self.SEEDS)
+            }
+            scheduled = []
+            for seed in self.SEEDS:
+                response = service.result(handles[seed])
+                assert response.ok, response.error
+                scheduled.append(response.value)
+        finally:
+            service.close()
+        assert scheduled == serial
+
+    def test_concurrent_dispatch_into_shared_pool_is_safe(self):
+        """Many threads drive one pool at once; every answer is right.
+
+        This is the scheduler's real usage pattern: the backend's
+        dispatch protocol is stateful, so concurrent ``run_blocks``
+        calls serialize on the dispatch lock instead of corrupting each
+        other's program broadcasts and batch bookkeeping.
+        """
+        manager = ComputationManager(backend="pool", max_workers=2)
+        expected = [float(i) for i in range(12)]
+        failures = []
+        barrier = threading.Barrier(6)
+
+        def drive(slot):
+            barrier.wait()
+            for _ in range(3):
+                results = manager.run_blocks(mean_program, BLOCKS, 1, FALLBACK)
+                values = [r.output[0] for r in results]
+                if values != expected:
+                    failures.append((slot, values))
+
+        threads = [threading.Thread(target=drive, args=(i,)) for i in range(6)]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            manager.close()
+        assert failures == []
 
 
 class TestPoolTelemetry:

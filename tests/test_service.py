@@ -66,7 +66,7 @@ class TestOwnerInterface:
             service.register_dataset(analyst.token, "d", table, total_budget=1.0)
 
     def test_owner_reads_ledger(self, service, owner, analyst, registered):
-        service.submit(
+        service.execute(
             analyst.token,
             QueryRequest(
                 dataset="census", program=Mean(),
@@ -84,7 +84,7 @@ class TestOwnerInterface:
 
 class TestAnalystInterface:
     def test_query_returns_private_value(self, service, analyst, registered):
-        response = service.submit(
+        response = service.execute(
             analyst.token,
             QueryRequest(
                 dataset="census", program=Mean(),
@@ -97,7 +97,7 @@ class TestAnalystInterface:
 
     def test_owner_cannot_query(self, service, owner, registered):
         with pytest.raises(GuptError):
-            service.submit(
+            service.execute(
                 owner.token,
                 QueryRequest(
                     dataset="census", program=Mean(),
@@ -110,14 +110,14 @@ class TestAnalystInterface:
             dataset="census", program=Mean(),
             range_strategy=TightRange((0.0, 150.0)), epsilon=4.0,
         )
-        assert service.submit(analyst.token, request).ok
-        refused = service.submit(analyst.token, request)
+        assert service.execute(analyst.token, request).ok
+        refused = service.execute(analyst.token, request)
         assert not refused.ok
         assert "budget exhausted" in refused.error
         assert refused.value == ()
 
     def test_unknown_dataset_is_structured_error(self, service, analyst):
-        response = service.submit(
+        response = service.execute(
             analyst.token,
             QueryRequest(
                 dataset="missing", program=Mean(),
@@ -131,7 +131,7 @@ class TestAnalystInterface:
         def broken(block):
             raise RuntimeError("always fails")
 
-        response = service.submit(
+        response = service.execute(
             analyst.token,
             QueryRequest(
                 dataset="census", program=broken,
@@ -143,7 +143,7 @@ class TestAnalystInterface:
 
     def test_describe_shows_remaining_budget(self, service, analyst, registered):
         before = service.describe_dataset(analyst.token, "census")
-        service.submit(
+        service.execute(
             analyst.token,
             QueryRequest(
                 dataset="census", program=Mean(),
@@ -159,7 +159,7 @@ class TestAnalystInterface:
         service.register_dataset(
             owner.token, "aged-census", table, total_budget=5.0, aged_fraction=0.1
         )
-        response = service.submit(
+        response = service.execute(
             analyst.token,
             QueryRequest(
                 dataset="aged-census", program=Mean(),
@@ -172,3 +172,113 @@ class TestAnalystInterface:
 
     def test_list_datasets(self, service, analyst, registered):
         assert service.list_datasets(analyst.token) == ["census"]
+
+    def test_failed_query_reports_rolled_back_epsilon(
+        self, service, analyst, registered
+    ):
+        def broken(block):
+            raise RuntimeError("always fails")
+
+        before = service.describe_dataset(analyst.token, "census")
+        response = service.execute(
+            analyst.token,
+            QueryRequest(
+                dataset="census", program=broken,
+                range_strategy=TightRange((0.0, 150.0)), epsilon=0.5,
+            ),
+        )
+        after = service.describe_dataset(analyst.token, "census")
+        assert not response.ok
+        assert response.epsilon_rolled_back == 0.5
+        # The pre-release failure returned its hold: nothing was spent.
+        assert after.remaining_budget == before.remaining_budget
+
+    def test_seeded_requests_are_reproducible(self, service, analyst, registered):
+        request = QueryRequest(
+            dataset="census", program=Mean(),
+            range_strategy=TightRange((0.0, 150.0)), epsilon=0.5, seed=321,
+        )
+        first = service.execute(analyst.token, request)
+        second = service.execute(analyst.token, request)
+        assert first.ok and second.ok
+        assert first.value == second.value  # bit-identical
+
+
+class TestAsyncHandles:
+    """submit/result/cancel: the scheduler threaded through the service."""
+
+    def _request(self, seed=None, epsilon=0.5):
+        return QueryRequest(
+            dataset="census", program=Mean(),
+            range_strategy=TightRange((0.0, 150.0)), epsilon=epsilon, seed=seed,
+        )
+
+    def test_submit_returns_handle_result_blocks(self, service, analyst, registered):
+        handle = service.submit(analyst.token, self._request())
+        assert handle.dataset == "census"
+        assert handle.principal == "researcher"
+        response = service.result(handle)
+        assert response.ok
+        assert 20.0 < response.value[0] < 60.0
+        service.close()
+
+    def test_submit_matches_execute_with_same_seed(
+        self, service, analyst, registered
+    ):
+        direct = service.execute(analyst.token, self._request(seed=77))
+        handle = service.submit(analyst.token, self._request(seed=77))
+        scheduled = service.result(handle)
+        assert direct.ok and scheduled.ok
+        assert direct.value == scheduled.value  # bit-identical paths
+        service.close()
+
+    def test_owner_cannot_submit(self, service, owner, registered):
+        with pytest.raises(GuptError):
+            service.submit(owner.token, self._request())
+
+    def test_cancel_before_dispatch_spends_nothing(
+        self, service, analyst, registered
+    ):
+        import threading
+
+        gate = threading.Event()
+
+        def blocked(block):
+            gate.wait(5.0)
+            return float(np.mean(block))
+
+        before = service.describe_dataset(analyst.token, "census")
+        first = service.submit(analyst.token, QueryRequest(
+            dataset="census", program=blocked,
+            range_strategy=TightRange((0.0, 150.0)), epsilon=0.5,
+        ))
+        second = service.submit(analyst.token, self._request())
+        cancelled = service.cancel(second)
+        gate.set()
+        assert cancelled
+        refusal = service.result(second)
+        assert not refusal.ok and "cancelled" in refusal.error
+        assert service.result(first) is not None
+        after = service.describe_dataset(analyst.token, "census")
+        # Only the first (uncancelled) query could have spent budget.
+        assert after.remaining_budget >= before.remaining_budget - 0.5
+        service.close()
+
+    def test_close_is_safe_without_scheduler(self, service):
+        service.close()  # lazy scheduler never created; still clean
+
+    def test_budget_refusals_structured_through_scheduler(
+        self, service, analyst, registered
+    ):
+        handles = [
+            service.submit(analyst.token, self._request(seed=i, epsilon=2.0))
+            for i in range(4)
+        ]
+        responses = [service.result(h) for h in handles]
+        succeeded = [r for r in responses if r.ok]
+        refused = [r for r in responses if not r.ok]
+        # 5.0 total budget fits exactly two 2.0-epsilon releases.
+        assert len(succeeded) == 2
+        assert len(refused) == 2
+        assert all(r.error for r in refused)
+        service.close()

@@ -1,0 +1,212 @@
+"""Soak test: sustained mixed owner/analyst traffic against the service.
+
+Runs the full hosted stack — scheduler, transactional accounting,
+chambers — under continuous concurrent load for a wall-clock duration
+taken from ``REPRO_SOAK_SECONDS`` (default 2 so the tier-1 run stays
+fast; the CI concurrency job sets 30).  Traffic mix:
+
+* an *owner* thread that keeps registering fresh datasets and auditing
+  ledgers of the existing ones;
+* several *analyst* threads submitting seeded and unseeded queries
+  through the scheduler against a rotating set of datasets, some of
+  which run dry mid-soak;
+* a *saboteur* analyst whose programs die on every block (exercising
+  reservation rollback) and who cancels some of its own queries.
+
+At the end, the accounting invariants must hold exactly: per-dataset
+``spent <= total`` and ``spent == fsum(ledger)`` bit-for-bit, every
+submitted handle resolved to exactly one terminal response, and the
+drained scheduler reads zero queued and zero running.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.core.range_estimation import TightRange
+from repro.datasets.table import DataTable
+from repro.observability import MetricsRegistry
+from repro.runtime.service import (
+    ANALYST,
+    OWNER,
+    GuptService,
+    QueryRequest,
+)
+
+SOAK_SECONDS = float(os.environ.get("REPRO_SOAK_SECONDS", "2"))
+ANALYST_THREADS = 4
+EPSILON = 0.125  # binary-exact; budgets are small multiples of it
+
+
+def mean_program(block):
+    return float(np.mean(block))
+
+
+def doomed_program(block):
+    raise RuntimeError("dies on every block")
+
+
+def test_soak_mixed_traffic_preserves_invariants():
+    registry = MetricsRegistry()
+    service = GuptService(
+        metrics=registry,
+        rng=90210,
+        scheduler_workers=4,
+        max_inflight=16,
+        queue_depth=64,
+        query_timeout=30.0,
+    )
+    owner = service.enroll(OWNER, "owner")
+    analysts = [service.enroll(ANALYST, f"analyst-{i}") for i in range(ANALYST_THREADS)]
+    saboteur = service.enroll(ANALYST, "saboteur")
+
+    table_rng = np.random.default_rng(1)
+
+    def fresh_table() -> DataTable:
+        return DataTable(
+            table_rng.uniform(0.0, 10.0, size=(64, 1)), column_names=("x",)
+        )
+
+    datasets: list[str] = []
+    totals: dict[str, float] = {}
+    datasets_lock = threading.Lock()
+
+    def register(index: int) -> None:
+        name = f"soak-{index}"
+        # Tight budgets (a handful of EPSILON slices) so datasets run
+        # dry mid-soak and refusals flow constantly.
+        total = EPSILON * int(table_rng.integers(4, 40))
+        service.register_dataset(owner.token, name, fresh_table(), total_budget=total)
+        with datasets_lock:
+            totals[name] = total
+            datasets.append(name)
+
+    register(0)
+    register(1)
+
+    deadline = time.monotonic() + SOAK_SECONDS
+    errors: list[BaseException] = []
+    unresolved: list[str] = []
+
+    def owner_loop() -> None:
+        index = 2
+        try:
+            while time.monotonic() < deadline:
+                register(index)
+                index += 1
+                # Audit while traffic is live: the ledger must always be
+                # internally consistent with the budget.
+                with datasets_lock:
+                    name = datasets[int(table_rng.integers(0, len(datasets)))]
+                entries = service.ledger_entries(owner.token, name)
+                description = service.describe_dataset(owner.token, name)
+                audited = math.fsum(epsilon for _, epsilon in entries)
+                # Mid-flight the ledger may trail an in-progress commit,
+                # but it can never exceed the registered total, and the
+                # advertised remaining budget can never go negative.
+                if audited > totals[name]:
+                    raise AssertionError(f"{name} ledger exceeds its budget")
+                if description.remaining_budget < 0.0:
+                    raise AssertionError(f"{name} advertises negative budget")
+                time.sleep(0.05)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    def analyst_loop(slot: int, principal) -> None:
+        local = np.random.default_rng(5000 + slot)
+        try:
+            step = 0
+            while time.monotonic() < deadline:
+                with datasets_lock:
+                    name = datasets[int(local.integers(0, len(datasets)))]
+                seed = int(local.integers(0, 2**31)) if step % 2 else None
+                handle = service.submit(principal.token, QueryRequest(
+                    dataset=name,
+                    program=mean_program,
+                    range_strategy=TightRange(((0.0, 10.0),)),
+                    epsilon=EPSILON,
+                    block_size=8,
+                    query_name=f"{principal.name}-{step}",
+                    seed=seed,
+                ))
+                response = service.result(handle, timeout=30.0)
+                if response is None:
+                    unresolved.append(f"{principal.name}-{step}")
+                elif response.ok and response.epsilon_charged != EPSILON:
+                    raise AssertionError(
+                        f"wrong charge: {response.epsilon_charged}"
+                    )
+                step += 1
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    def saboteur_loop() -> None:
+        local = np.random.default_rng(666)
+        try:
+            step = 0
+            while time.monotonic() < deadline:
+                with datasets_lock:
+                    name = datasets[int(local.integers(0, len(datasets)))]
+                handle = service.submit(saboteur.token, QueryRequest(
+                    dataset=name,
+                    program=doomed_program,
+                    range_strategy=TightRange(((0.0, 10.0),)),
+                    epsilon=EPSILON,
+                    block_size=8,
+                    query_name=f"sabotage-{step}",
+                ))
+                if step % 3 == 0:
+                    service.cancel(handle)  # races dispatch; either is fine
+                response = service.result(handle, timeout=30.0)
+                if response is None:
+                    unresolved.append(f"sabotage-{step}")
+                elif response.ok:
+                    raise AssertionError("a doomed program cannot succeed")
+                step += 1
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=owner_loop, name="owner")]
+    threads += [
+        threading.Thread(target=analyst_loop, args=(i, p), name=p.name)
+        for i, p in enumerate(analysts)
+    ]
+    threads.append(threading.Thread(target=saboteur_loop, name="saboteur"))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors, errors
+    assert not unresolved, unresolved
+
+    # Post-drain accounting: every dataset's books balance bit-exactly.
+    for name in datasets:
+        description = service.describe_dataset(owner.token, name)
+        entries = service.ledger_entries(owner.token, name)
+        audited = math.fsum(epsilon for _, epsilon in entries)
+        registered = service._datasets.get(name)
+        assert registered.budget.spent <= registered.budget.total
+        assert registered.budget.spent == audited  # ledger == budget, exact
+        assert registered.budget.reserved == 0.0  # no hold survived its query
+        assert description.remaining_budget >= 0.0
+
+    service.close()
+    snapshot = registry.snapshot()
+    assert snapshot["gauges"]["scheduler.queue_depth"] == 0.0
+    assert snapshot["gauges"]["scheduler.running"] == 0.0
+    counters = snapshot["counters"]
+    submitted = counters["scheduler.submitted"]
+    settled = sum(
+        value for key, value in counters.items()
+        if key.startswith("scheduler.completed")
+    )
+    # Exactly one terminal outcome per submission, whatever its path
+    # (ok, error, rejection, timeout, cancellation, shutdown).
+    assert settled == submitted
+    assert submitted > 0

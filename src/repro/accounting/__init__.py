@@ -6,6 +6,15 @@ rather than in analyst code is the defense against privacy-budget attacks.
 """
 
 from repro.accounting.budget import PrivacyBudget
+from repro.accounting.journal import (
+    BudgetJournal,
+    FsckReport,
+    RecoveredDataset,
+    ReplayResult,
+    fsck,
+    journal_path,
+    recover,
+)
 from repro.accounting.ledger import LedgerEntry, PrivacyLedger
 from repro.accounting.manager import (
     BudgetReservation,
@@ -14,10 +23,17 @@ from repro.accounting.manager import (
 )
 
 __all__ = [
+    "BudgetJournal",
     "BudgetReservation",
     "DatasetManager",
+    "FsckReport",
     "LedgerEntry",
     "PrivacyBudget",
     "PrivacyLedger",
+    "RecoveredDataset",
     "RegisteredDataset",
+    "ReplayResult",
+    "fsck",
+    "journal_path",
+    "recover",
 ]

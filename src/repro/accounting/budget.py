@@ -105,6 +105,30 @@ class PrivacyBudget:
             self._spent = min(self._total, self._spent + epsilon)
         return epsilon
 
+    def restore_spent(self, amounts) -> float:
+        """Replay recovered spends into a fresh budget (recovery only).
+
+        ``amounts`` are the individually recovered committed epsilons;
+        they are summed with :func:`math.fsum` so the restored ``spent``
+        matches the journal's (and the ledger's) correctly-rounded total
+        bit-for-bit.  Only a pristine budget can be restored — recovery
+        happens at registration time, before any live activity.
+        """
+        with self._lock:
+            if self._spent or self._outstanding:
+                raise InvalidPrivacyParameter(
+                    "restore_spent requires a pristine budget "
+                    f"(spent={self._spent:.6g}, "
+                    f"reserved={self._reserved_locked():.6g})"
+                )
+            recovered = math.fsum(float(a) for a in amounts)
+            if recovered < 0.0 or not np.isfinite(recovered):
+                raise InvalidPrivacyParameter(
+                    f"recovered spend must be finite and >= 0, got {recovered}"
+                )
+            self._spent = min(self._total, recovered)
+        return self._spent
+
     # -- two-phase reservations ------------------------------------------
     def reserve(self, epsilon: float) -> int:
         """Place a hold on ``epsilon``; returns a reservation id.

@@ -16,6 +16,14 @@ concurrent queries a separate "can afford?" test followed by a charge
 lets two requests both pass the test and jointly overspend, which is
 exactly the interleaving the paper's §5.2 budget-attack defense must
 exclude in a hosted deployment.
+
+Spending can also be *durable*.  A manager created with ``state_dir=``
+writes every budget lifecycle event to an fsync'd write-ahead journal
+(:mod:`repro.accounting.journal`) and, on startup, replays whatever an
+earlier process left behind: committed spends are restored bit-for-bit,
+and reservations that were in flight at the crash are resolved
+*conservatively* as spent — a restart can waste epsilon, never mint it.
+Without ``state_dir`` the manager is purely in-memory, as before.
 """
 
 from __future__ import annotations
@@ -25,11 +33,24 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.accounting.budget import PrivacyBudget
+from repro.accounting.journal import (
+    COMMIT,
+    RECOVERY,
+    REGISTER,
+    RESERVE,
+    RETIRE,
+    ROLLBACK,
+    BudgetJournal,
+    RecoveredDataset,
+    journal_path,
+    recover,
+)
 from repro.accounting.ledger import PrivacyLedger
 from repro.datasets.table import DataTable
 from repro.exceptions import DatasetError, GuptError
 from repro.mechanisms.rng import RandomSource
 from repro.observability import MetricsRegistry, get_registry
+from repro.testing import failpoints
 
 #: Reservation lifecycle states.
 RESERVATION_PENDING = "pending"
@@ -140,6 +161,9 @@ class RegisteredDataset:
     metrics:
         Registry receiving budget burn-down gauges; ``None`` uses the
         process default.
+    journal:
+        Durable write-ahead journal shared with the owning manager;
+        ``None`` keeps the dataset purely in-memory.
     """
 
     name: str
@@ -148,6 +172,7 @@ class RegisteredDataset:
     ledger: PrivacyLedger = field(default_factory=PrivacyLedger)
     aged: Optional[DataTable] = None
     metrics: Optional[MetricsRegistry] = field(default=None, repr=False, compare=False)
+    journal: Optional[BudgetJournal] = field(default=None, repr=False, compare=False)
 
     def _registry(self) -> MetricsRegistry:
         return self.metrics or get_registry()
@@ -168,8 +193,23 @@ class RegisteredDataset:
         nothing held — when the epsilon cannot fit alongside spent
         budget and other in-flight reservations, so an exhausted budget
         rejects at reservation time and no interleaving can overspend.
+
+        Under a journaled manager the hold is made durable before the
+        reservation is handed out: a query never runs without a durable
+        trace, so a crash mid-query resolves conservatively as spent.
+        A journal failure releases the hold and refuses the query.
         """
         reservation_id = self.budget.reserve(epsilon)
+        if self.journal is not None:
+            try:
+                failpoints.hit("manager.reserve.held")
+                self.journal.append(
+                    RESERVE, self.name,
+                    epsilon=epsilon, reservation_id=reservation_id, query=query,
+                )
+            except BaseException:
+                self.budget.release_reservation(reservation_id)
+                raise
         registry = self._registry()
         registry.counter("budget.reservations", dataset=self.name).inc()
         self._record_budget_gauges(registry)
@@ -187,6 +227,19 @@ class RegisteredDataset:
 
     # -- reservation callbacks (invoked under the reservation's lock) ----
     def _commit_reservation(self, reservation: BudgetReservation, detail: str) -> None:
+        # Write-ahead: the commit record is durable before the in-memory
+        # spend.  A crash between the two leaves a durable commit that
+        # recovery honors; a journal *failure* leaves the hold pending,
+        # which recovery resolves conservatively as spent — either way
+        # the recovered remaining budget is never above the truth.
+        if self.journal is not None:
+            self.journal.append(
+                COMMIT, self.name,
+                epsilon=reservation.epsilon,
+                reservation_id=reservation._reservation_id,
+                query=reservation.query, detail=detail,
+            )
+            failpoints.hit("manager.commit.durable")
         self.budget.commit_reservation(reservation._reservation_id)
         self.ledger.record(reservation.epsilon, reservation.query, detail)
         registry = self._registry()
@@ -197,6 +250,16 @@ class RegisteredDataset:
         self._record_budget_gauges(registry)
 
     def _rollback_reservation(self, reservation: BudgetReservation) -> None:
+        # Journal first here too: a journal failure keeps the hold (the
+        # conservative direction), and a crash after the durable
+        # rollback correctly frees the epsilon on recovery.
+        if self.journal is not None:
+            self.journal.append(
+                ROLLBACK, self.name,
+                epsilon=reservation.epsilon,
+                reservation_id=reservation._reservation_id,
+                query=reservation.query,
+            )
         self.budget.release_reservation(reservation._reservation_id)
         registry = self._registry()
         registry.counter("budget.reservation_rollbacks", dataset=self.name).inc()
@@ -204,12 +267,67 @@ class RegisteredDataset:
 
 
 class DatasetManager:
-    """Registry of datasets with privacy budgets (trusted component)."""
+    """Registry of datasets with privacy budgets (trusted component).
 
-    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+    Parameters
+    ----------
+    metrics:
+        Registry receiving budget and journal telemetry; ``None`` uses
+        the process default.
+    state_dir:
+        Directory holding the durable budget journal.  When given, every
+        budget lifecycle event is journaled (fsync'd write-ahead), and a
+        journal left behind by an earlier process is recovered on
+        construction: re-registering a recovered dataset name (with the
+        same total budget) adopts its recovered spends bit-for-bit, and
+        reservations that were in flight at the crash count as spent.
+        ``None`` keeps the manager purely in-memory.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        state_dir: Optional[str] = None,
+    ) -> None:
         self._datasets: dict[str, RegisteredDataset] = {}
         self._lock = threading.Lock()
         self._metrics = metrics
+        self._journal: Optional[BudgetJournal] = None
+        self._recovered: dict[str, RecoveredDataset] = {}
+        if state_dir is not None:
+            registry = metrics or get_registry()
+            path = journal_path(state_dir)
+            replayed = recover(path, metrics=registry)
+            self._recovered = replayed.datasets
+            self._journal = BudgetJournal(path, metrics=metrics)
+            if replayed.records:
+                # Recovery barrier: reservations from earlier process
+                # generations can never be settled now; the barrier makes
+                # every future replay resolve them conservatively even
+                # once fresh reservations reuse their ids.
+                self._journal.append(RECOVERY, "")
+                registry.counter("journal.recoveries").inc()
+
+    @property
+    def journal(self) -> Optional[BudgetJournal]:
+        """The manager's durable journal (``None`` when in-memory)."""
+        return self._journal
+
+    def recovered_names(self) -> list[str]:
+        """Recovered datasets awaiting re-registration by their owner."""
+        with self._lock:
+            return list(self._recovered)
+
+    def close(self) -> None:
+        """Flush and close the durable journal (no-op when in-memory)."""
+        if self._journal is not None:
+            self._journal.close()
+
+    def __enter__(self) -> "DatasetManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def register(
         self,
@@ -251,10 +369,36 @@ class DatasetManager:
             ledger=PrivacyLedger(dataset=name),
             aged=aged,
             metrics=self._metrics,
+            journal=self._journal,
         )
         with self._lock:
             if name in self._datasets:
                 raise DatasetError(f"dataset {name!r} is already registered")
+            recovered = self._recovered.get(name)
+            if recovered is not None:
+                # Adopt the journal's recovered state: the register
+                # record is already durable, so none is re-written, and
+                # the recovered spends (conservative resolutions
+                # included) are replayed into the fresh budget and
+                # ledger with ``math.fsum`` parity.
+                if recovered.total != registered.budget.total:
+                    raise DatasetError(
+                        f"dataset {name!r} was journaled with total budget "
+                        f"{recovered.total:.6g}, cannot re-register with "
+                        f"{registered.budget.total:.6g}"
+                    )
+                for spend in recovered.committed:
+                    registered.ledger.record(
+                        spend.epsilon, spend.query, spend.detail
+                    )
+                registered.budget.restore_spent(
+                    [spend.epsilon for spend in recovered.committed]
+                )
+                del self._recovered[name]
+            elif self._journal is not None:
+                self._journal.append(
+                    REGISTER, name, epsilon=registered.budget.total
+                )
             self._datasets[name] = registered
         registry = self._metrics or get_registry()
         registry.gauge("budget.epsilon_total", dataset=name).set(
@@ -274,10 +418,18 @@ class DatasetManager:
                 raise DatasetError(f"no dataset registered under {name!r}") from None
 
     def unregister(self, name: str) -> None:
-        """Remove a dataset (its budget and ledger are discarded)."""
+        """Remove a dataset (its budget and ledger are discarded).
+
+        Journaled as a ``retire`` record first, so a recovered journal
+        never resurrects a dataset its owner withdrew — and a subsequent
+        re-registration under the same name starts a fresh budget, as an
+        explicit owner action legitimately may.
+        """
         with self._lock:
             if name not in self._datasets:
                 raise DatasetError(f"no dataset registered under {name!r}")
+            if self._journal is not None:
+                self._journal.append(RETIRE, name)
             del self._datasets[name]
 
     def names(self) -> list[str]:

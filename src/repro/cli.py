@@ -89,6 +89,12 @@ def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
         "--dispatch-batch", type=int, default=None, metavar="N",
         help="blocks per dispatch batch (thread/pool; default auto)",
     )
+    parser.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="durable budget journal directory: spent epsilon survives "
+             "restarts and crashes (the dataset re-registers against its "
+             "recovered budget; totals must match across invocations)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -143,6 +149,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--query-timeout", type=float, default=None, metavar="SECONDS",
         help="per-query timeout; omit for none",
     )
+
+    fsck = commands.add_parser(
+        "fsck",
+        help="verify a budget journal; optionally repair a torn tail "
+             "and compact it (offline only — stop the service first)",
+    )
+    fsck.add_argument(
+        "--state-dir", required=True, metavar="DIR",
+        help="state directory holding the journal",
+    )
+    fsck.add_argument(
+        "--journal", default=None, metavar="NAME",
+        help="journal file name inside the state directory "
+             "(default budget.wal; streams use stream.wal)",
+    )
+    fsck.add_argument(
+        "--repair", action="store_true",
+        help="truncate a torn tail to the last intact record",
+    )
+    fsck.add_argument(
+        "--compact", action="store_true",
+        help="rewrite the journal as its resolved snapshot "
+             "(implies --repair; atomic)",
+    )
+    fsck.add_argument(
+        "--indent", type=int, default=2, help="JSON indentation (default 2)"
+    )
     return parser
 
 
@@ -182,7 +215,7 @@ def _execute_query(args, metrics: MetricsRegistry | None = None):
     column_index = table._column_index(column)
     program = _build_program(args, column_index)
 
-    manager = DatasetManager(metrics=metrics)
+    manager = DatasetManager(metrics=metrics, state_dir=args.state_dir)
     manager.register(
         "cli", table, total_budget=args.budget,
         aged_fraction=args.aged_fraction, rng=args.seed,
@@ -214,6 +247,7 @@ def _execute_query(args, metrics: MetricsRegistry | None = None):
         )
     finally:
         runtime.close()
+        manager.close()
     return result, manager
 
 
@@ -281,6 +315,7 @@ def run_serve(args) -> int:
         max_inflight=args.max_inflight,
         queue_depth=args.queue_depth,
         query_timeout=args.query_timeout,
+        state_dir=args.state_dir,
     )
     try:
         owner = service.enroll(OWNER, "owner")
@@ -348,6 +383,25 @@ def run_serve(args) -> int:
     return 0
 
 
+def run_fsck(args) -> int:
+    import json
+    import os
+
+    from repro.accounting.journal import fsck, journal_path
+
+    path = (
+        os.path.join(args.state_dir, args.journal)
+        if args.journal
+        else journal_path(args.state_dir)
+    )
+    report = fsck(path, repair=args.repair, compact_file=args.compact)
+    print(json.dumps(report.to_dict(), indent=args.indent, sort_keys=True))
+    if not report.exists:
+        print(f"error: no journal at {path}", file=sys.stderr)
+        return 1
+    return 0 if report.clean and not report.anomalies else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -357,6 +411,8 @@ def main(argv: list[str] | None = None) -> int:
             return run_stats(args)
         if args.command == "serve":
             return run_serve(args)
+        if args.command == "fsck":
+            return run_fsck(args)
         return run_query(args)
     except GuptError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -65,17 +65,24 @@ class GuptRuntime:
         Convenience knobs that build the computation manager in place
         (``backend`` one of ``serial``/``thread``/``pool``); mutually
         exclusive with passing ``computation_manager``.
+    state_dir:
+        Convenience knob that builds a *durable* dataset manager in
+        place (``DatasetManager(state_dir=...)``: fsync'd budget journal
+        plus crash recovery); mutually exclusive with passing
+        ``dataset_manager``.  A manager built here is closed by
+        :meth:`close`; a passed-in manager stays the caller's to close.
     """
 
     def __init__(
         self,
-        dataset_manager: DatasetManager,
+        dataset_manager: DatasetManager | None = None,
         computation_manager: ComputationManager | None = None,
         rng: RandomSource = None,
         metrics: MetricsRegistry | None = None,
         backend: str | None = None,
         workers: int | None = None,
         batch_size: int | None = None,
+        state_dir: str | None = None,
     ):
         if computation_manager is not None and (
             backend is not None or workers is not None or batch_size is not None
@@ -91,6 +98,11 @@ class GuptRuntime:
                 batch_size=batch_size,
                 metrics=metrics,
             )
+        if dataset_manager is not None and state_dir is not None:
+            raise GuptError("pass either dataset_manager or state_dir, not both")
+        self._owns_datasets = dataset_manager is None
+        if dataset_manager is None:
+            dataset_manager = DatasetManager(metrics=metrics, state_dir=state_dir)
         self._datasets = dataset_manager
         self._computation = computation_manager
         self._rng = as_generator(rng)
@@ -106,8 +118,14 @@ class GuptRuntime:
         return self._computation
 
     def close(self) -> None:
-        """Release execution-backend resources (pool worker processes)."""
+        """Release execution-backend resources (pool worker processes).
+
+        A dataset manager the runtime built itself (``state_dir=`` or
+        default) is closed too, flushing its durable journal.
+        """
         self._computation.close()
+        if self._owns_datasets:
+            self._datasets.close()
 
     def spawn_rng(self) -> np.random.Generator:
         """A child generator for one query, split off thread-safely.

@@ -43,6 +43,26 @@ class DatasetError(GuptError):
     """Raised for dataset registration/lookup/shape problems."""
 
 
+class JournalError(GuptError):
+    """Raised when the durable budget journal cannot record an event.
+
+    The accounting layer fails *closed* around this error: an event that
+    could not be made durable never mutates in-memory state in a way that
+    would under-count spending, so a journal failure can refuse queries
+    but can never resurrect budget.
+    """
+
+
+class JournalCorruption(JournalError):
+    """Raised when a journal file is unreadable beyond a torn tail.
+
+    A torn tail (an interrupted final record) is an expected crash
+    artifact and is truncated silently during recovery; corruption means
+    the file does not even carry the journal magic and cannot be trusted
+    at all.
+    """
+
+
 class ComputationError(GuptError):
     """Raised when an analyst program fails in a way GUPT cannot hide.
 

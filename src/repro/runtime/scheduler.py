@@ -49,6 +49,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.exceptions import GuptError
 from repro.observability import MetricsRegistry, get_registry
+from repro.testing import failpoints
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
     from repro.runtime.service import QueryRequest, QueryResponse
@@ -467,6 +468,10 @@ class QueryScheduler:
             )
 
             try:
+                # Durability crash site: killing the process here models
+                # a service dying with a dispatched-but-unstarted query —
+                # nothing is reserved yet, so recovery must charge zero.
+                failpoints.hit("scheduler.dispatch")
                 response = ticket.runner(ticket.request)
             except BaseException as exc:  # noqa: BLE001 - boundary of last resort
                 # The runner (service layer) already converts GuptErrors;

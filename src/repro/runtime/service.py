@@ -131,9 +131,14 @@ class GuptService:
         max_inflight: int = 8,
         queue_depth: int = 64,
         query_timeout: float | None = None,
+        state_dir: str | None = None,
     ):
         self._metrics = metrics
-        self._datasets = DatasetManager(metrics=metrics)
+        # With state_dir the accounting layer is durable: every budget
+        # event is journaled (fsync'd write-ahead) and a journal left by
+        # a crashed predecessor is recovered conservatively before any
+        # query can run — see repro.accounting.journal.
+        self._datasets = DatasetManager(metrics=metrics, state_dir=state_dir)
         self._runtime = GuptRuntime(
             self._datasets,
             computation_manager,
@@ -167,12 +172,13 @@ class GuptService:
             return self._scheduler
 
     def close(self, drain: bool = True) -> None:
-        """Drain the scheduler and release execution-backend resources."""
+        """Drain the scheduler, release backends, close the journal."""
         with self._scheduler_lock:
             scheduler, self._scheduler = self._scheduler, None
         if scheduler is not None:
             scheduler.close(drain=drain)
         self._runtime.close()
+        self._datasets.close()
 
     def __enter__(self) -> "GuptService":
         return self
@@ -237,6 +243,17 @@ class GuptService:
         self._authenticate(token, OWNER)
         ledger = self._datasets.get(name).ledger
         return [(entry.query, entry.epsilon) for entry in ledger]
+
+    def recovered_datasets(self, token: str) -> list[str]:
+        """Owner-only: journaled dataset names awaiting re-registration.
+
+        Non-empty only on a durable service that recovered a crashed
+        predecessor's journal: the budgets are already accounted for,
+        but queries are refused until the owner re-supplies the data by
+        registering each name again (with its original total budget).
+        """
+        self._authenticate(token, OWNER)
+        return self._datasets.recovered_names()
 
     # ------------------------------------------------------------------
     # Shared read-only interface

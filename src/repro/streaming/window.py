@@ -25,19 +25,31 @@ machinery the paper says should be extended to streams.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
 
 from repro.accounting.budget import PrivacyBudget
+from repro.accounting.journal import (
+    COMMIT,
+    REGISTER,
+    RESERVE,
+    RETIRE,
+    ROLLBACK,
+    BudgetJournal,
+)
 from repro.core.range_estimation import RangeStrategy
 from repro.core.sample_aggregate import SampleAggregateEngine, SampleAggregateResult
 from repro.core.aggregation import ranges_from_pairs
 from repro.core.range_estimation import RangeContext
 from repro.exceptions import GuptError, PrivacyBudgetExhausted
 from repro.mechanisms.rng import RandomSource, as_generator
+
+#: Journal file name for a stream's per-epoch budget events.
+STREAM_JOURNAL_NAME = "stream.wal"
 
 
 @dataclass(frozen=True)
@@ -84,15 +96,47 @@ class _Epoch:
 
 
 class StreamingGupt:
-    """Windowed private analytics with per-epoch budgets and aging."""
+    """Windowed private analytics with per-epoch budgets and aging.
 
-    def __init__(self, config: WindowConfig | None = None, rng: RandomSource = None):
+    With ``state_dir=`` the stream journals every per-epoch budget
+    lifecycle event — epoch registration, query reserve/commit/rollback
+    and the *retire* of an epoch aging out — to an fsync'd write-ahead
+    journal (``stream.wal``), the same format as the dataset manager's.
+    The journal is an audit trail of budget arithmetic only: stream
+    *records* are never journaled and a crashed stream's data is gone,
+    but replaying the journal proves exactly which epochs spent what and
+    which were retired, so no restart can resurrect an exhausted or
+    retired epoch's budget.
+    """
+
+    def __init__(
+        self,
+        config: WindowConfig | None = None,
+        rng: RandomSource = None,
+        state_dir: Optional[str] = None,
+    ):
         self._config = config or WindowConfig()
         self._rng = as_generator(rng)
         self._epochs: deque[_Epoch] = deque()
         self._aged_rows: list[np.ndarray] = []
+        self._journal: Optional[BudgetJournal] = None
+        if state_dir is not None:
+            self._journal = BudgetJournal(
+                os.path.join(state_dir, STREAM_JOURNAL_NAME)
+            )
+        self._queries = 0
         self._current = self._new_epoch(0)
         self._engine = SampleAggregateEngine()
+
+    @property
+    def journal(self) -> Optional[BudgetJournal]:
+        """The stream's budget journal (``None`` when in-memory)."""
+        return self._journal
+
+    def close(self) -> None:
+        """Flush and close the stream's journal (no-op when in-memory)."""
+        if self._journal is not None:
+            self._journal.close()
 
     # ------------------------------------------------------------------
     # Stream side
@@ -126,6 +170,10 @@ class StreamingGupt:
         horizon = next_index - self._config.aging_epochs
         while self._epochs and self._epochs[0].index < horizon:
             expired = self._epochs.popleft()
+            if self._journal is not None:
+                # Retire is terminal: the epoch's budget is discarded
+                # with it and no replay can bring it back.
+                self._journal.append(RETIRE, f"epoch-{expired.index}")
             values = expired.values()
             if values is not None:
                 self._aged_rows.append(values)
@@ -193,17 +241,51 @@ class StreamingGupt:
         # through, leaving the earlier epochs charged for a query that
         # was refused.  Reservations make the refusal leave every epoch
         # untouched, bit-for-bit.
-        held: list[tuple[_Epoch, int]] = []
+        self._queries += 1
+        query_name = f"stream-query-{self._queries}"
+        held: list[tuple[_Epoch, int, bool]] = []
+
+        def unwind() -> None:
+            # Journal the rollbacks first (conservative ordering, same
+            # as the dataset manager), then return every hold.
+            for reserved_epoch, reservation_id, journaled in held:
+                if journaled and self._journal is not None:
+                    self._journal.append(
+                        ROLLBACK, f"epoch-{reserved_epoch.index}",
+                        epsilon=epsilon, reservation_id=reservation_id,
+                        query=query_name,
+                    )
+                reserved_epoch.budget.release_reservation(reservation_id)
+
         for epoch in contributing:
             try:
-                held.append((epoch, epoch.budget.reserve(epsilon)))
+                reservation_id = epoch.budget.reserve(epsilon)
             except PrivacyBudgetExhausted:
-                for reserved_epoch, reservation_id in held:
-                    reserved_epoch.budget.release_reservation(reservation_id)
+                unwind()
                 raise PrivacyBudgetExhausted(
                     epsilon, epoch.budget.remaining, f"epoch-{epoch.index}"
                 ) from None
-        for epoch, reservation_id in held:
+            held.append((epoch, reservation_id, False))
+            if self._journal is not None:
+                try:
+                    self._journal.append(
+                        RESERVE, f"epoch-{epoch.index}",
+                        epsilon=epsilon, reservation_id=reservation_id,
+                        query=query_name,
+                    )
+                except BaseException:
+                    unwind()
+                    raise
+                held[-1] = (epoch, reservation_id, True)
+        for epoch, reservation_id, _ in held:
+            # Write-ahead: a crash between the durable commit and the
+            # in-memory one resolves as spent either way on replay.
+            if self._journal is not None:
+                self._journal.append(
+                    COMMIT, f"epoch-{epoch.index}",
+                    epsilon=epsilon, reservation_id=reservation_id,
+                    query=query_name,
+                )
             epoch.budget.commit_reservation(reservation_id)
 
         epsilon_range = range_strategy.budget_fraction * epsilon
@@ -237,6 +319,11 @@ class StreamingGupt:
 
     # ------------------------------------------------------------------
     def _new_epoch(self, index: int) -> _Epoch:
+        if self._journal is not None:
+            self._journal.append(
+                REGISTER, f"epoch-{index}",
+                epsilon=self._config.epsilon_per_epoch,
+            )
         return _Epoch(
             index=index,
             records=[],

@@ -1,0 +1,35 @@
+"""Test instrumentation that ships with the platform.
+
+Durability claims are only as strong as the harness that attacks them:
+:mod:`repro.testing.failpoints` lets the test suite kill or fault the
+process at every durability-critical instruction, and
+:mod:`repro.testing.crash_driver` is the subprocess entry point the
+crash-matrix tests execute and kill.  Shipping the instrumentation in
+the package (rather than in ``tests/``) keeps the named crash sites in
+the production code honest: a site that drifts away from the code it
+guards fails the matrix, not just a comment.
+"""
+
+from repro.testing.failpoints import (
+    CRASH_EXIT_CODE,
+    ENV_VAR,
+    FailpointError,
+    arm,
+    disarm,
+    hit,
+    hit_count,
+    is_armed,
+    reset,
+)
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "ENV_VAR",
+    "FailpointError",
+    "arm",
+    "disarm",
+    "hit",
+    "hit_count",
+    "is_armed",
+    "reset",
+]

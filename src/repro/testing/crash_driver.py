@@ -1,0 +1,114 @@
+"""Subprocess victim for the crash-injection matrix.
+
+The crash-matrix tests (``tests/test_journal_crash.py``) launch this
+module as a subprocess with failpoints armed through the
+:data:`repro.testing.failpoints.ENV_VAR` environment variable, let a
+``crash``-mode site kill it mid-operation, then recover the journal and
+check that no budget was resurrected.
+
+The driver reports progress on stdout as machine-readable lines:
+
+* ``COMMITTED <epsilon-repr>`` — flushed *after* a commit returned, so
+  the parent's committed-spend floor is always a lower bound on the
+  durable truth (a crash can only lose the *line*, never the record);
+* ``REMAINING <repr>`` and ``DONE`` — only on a crash-free run.
+
+Two modes:
+
+* ``manager`` — drives :class:`~repro.accounting.manager.DatasetManager`
+  reserve/commit cycles directly.  Journal appends are exactly
+  ``register, (reserve, commit) * N``, so a failpoint armed on the K-th
+  append targets one precise lifecycle instruction.
+* ``service`` — drives the full hosted stack (scheduler, runtime,
+  chambers) through :class:`~repro.runtime.service.GuptService` with a
+  durable ``state_dir``, for the sites that live above the journal
+  (``scheduler.dispatch``, ``manager.commit.durable``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _table(records: int = 64):
+    import numpy as np
+
+    from repro.datasets.table import DataTable
+
+    rng = np.random.default_rng(4242)
+    return DataTable(rng.uniform(0.0, 10.0, size=(records, 1)), column_names=("x",))
+
+
+def _report_commit(epsilon: float) -> None:
+    print(f"COMMITTED {epsilon!r}", flush=True)
+
+
+def run_manager(args) -> int:
+    from repro.accounting.manager import DatasetManager
+    from repro.observability import MetricsRegistry
+
+    manager = DatasetManager(metrics=MetricsRegistry(), state_dir=args.state_dir)
+    registered = manager.register("crash", _table(), total_budget=args.total)
+    for index in range(args.queries):
+        reservation = registered.reserve(args.epsilon, f"q{index + 1}")
+        reservation.commit()
+        _report_commit(args.epsilon)
+    print(f"REMAINING {registered.budget.remaining!r}", flush=True)
+    manager.close()
+    print("DONE", flush=True)
+    return 0
+
+
+def run_service(args) -> int:
+    from repro.core.range_estimation import TightRange
+    from repro.observability import MetricsRegistry
+    from repro.runtime.service import ANALYST, OWNER, GuptService, QueryRequest
+
+    def mean_program(block):
+        import numpy as np
+
+        return float(np.mean(block))
+
+    service = GuptService(
+        metrics=MetricsRegistry(), rng=7, state_dir=args.state_dir,
+        scheduler_workers=1, max_inflight=4, queue_depth=16,
+    )
+    owner = service.enroll(OWNER, "owner")
+    service.register_dataset(owner.token, "crash", _table(), total_budget=args.total)
+    analyst = service.enroll(ANALYST, "analyst")
+    for index in range(args.queries):
+        handle = service.submit(analyst.token, QueryRequest(
+            dataset="crash",
+            program=mean_program,
+            range_strategy=TightRange(((0.0, 10.0),)),
+            epsilon=args.epsilon,
+            block_size=8,
+            query_name=f"q{index + 1}",
+            seed=index,
+        ))
+        response = service.result(handle, timeout=60.0)
+        if response is not None and response.ok:
+            _report_commit(response.epsilon_charged)
+    remaining = service.describe_dataset(owner.token, "crash").remaining_budget
+    print(f"REMAINING {remaining!r}", flush=True)
+    service.close()
+    print("DONE", flush=True)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.testing.crash_driver")
+    parser.add_argument("--state-dir", required=True)
+    parser.add_argument("--mode", choices=("manager", "service"), default="manager")
+    parser.add_argument("--total", type=float, default=2.0)
+    parser.add_argument("--epsilon", type=float, default=0.25)
+    parser.add_argument("--queries", type=int, default=3)
+    args = parser.parse_args(argv)
+    if args.mode == "service":
+        return run_service(args)
+    return run_manager(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,236 @@
+"""Crash-injection matrix: kill the process at every journal failpoint.
+
+Each case launches :mod:`repro.testing.crash_driver` as a subprocess
+with one failpoint armed in ``crash`` mode (``os._exit`` mid-operation —
+the in-process equivalent of ``kill -9``), then recovers the journal in
+*this* process and checks the one invariant that matters:
+
+    recovered spent >= every commit the victim reported before dying,
+    and recovered remaining <= the budget truth at the instant of death.
+
+A crash may waste epsilon (a reservation with no terminal record is
+conservatively treated as spent); it must never mint it.
+
+The matrix is deterministic, not a race hunt: failpoints fire on an
+exact hit count, and the driver's journal-append sequence is fixed
+(``register`` is append 1, query *j*'s reserve is append ``2j`` and its
+commit append ``2j + 1``), so each case dies at one known instruction.
+"""
+
+import math
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.accounting.journal import fsck, journal_path, recover, scan
+from repro.accounting.manager import DatasetManager
+from repro.datasets.table import DataTable
+from repro.testing.failpoints import CRASH_EXIT_CODE, ENV_VAR
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+EPSILON = 0.25  # dyadic: every expected total is exact in binary
+TOTAL = 2.0
+QUERIES = 3
+TARGET = 2  # the query (1-based) whose lifecycle the matrix interrupts
+
+
+def run_driver(state_dir, failpoints="", mode="manager", timeout=120.0):
+    """Run the victim; returns (returncode, committed epsilons, stdout)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    if failpoints:
+        env[ENV_VAR] = failpoints
+    else:
+        env.pop(ENV_VAR, None)
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.testing.crash_driver",
+            "--state-dir", str(state_dir), "--mode", mode,
+            "--total", str(TOTAL), "--epsilon", str(EPSILON),
+            "--queries", str(QUERIES),
+        ],
+        capture_output=True, text=True, timeout=timeout, env=env,
+    )
+    committed = [
+        float(line.split(" ", 1)[1])
+        for line in proc.stdout.splitlines()
+        if line.startswith("COMMITTED ")
+    ]
+    return proc.returncode, committed, proc.stdout
+
+
+def recovered_census(state_dir):
+    result = recover(journal_path(str(state_dir)))
+    return result.datasets["census" if "census" in result.datasets else "crash"]
+
+
+# Append index of the record the failpoint interrupts, and the exact
+# recovered spend each (site, record) combination must produce:
+#   * dying before the reserve record is durable loses the reservation
+#     entirely — the query never happened, spent = (TARGET-1) * eps;
+#   * dying once the reserve record reached the file (even unsynced: the
+#     OS page cache survives os._exit) leaves an unsettled hold that
+#     recovery resolves conservatively — spent = TARGET * eps;
+#   * dying anywhere around the commit record also yields TARGET * eps,
+#     whether the commit landed (counted as committed) or not (the
+#     reserve resolves conservatively).  Same total, different paths.
+RESERVE_APPEND = 2 * TARGET
+COMMIT_APPEND = 2 * TARGET + 1
+
+MATRIX = [
+    # (case id, failpoint spec, expected spent multiplier, torn tail?)
+    ("reserve-pre", f"journal.append.pre=crash@{RESERVE_APPEND}",
+     TARGET - 1, False),
+    ("reserve-torn", f"journal.append.torn=crash@{RESERVE_APPEND}",
+     TARGET - 1, True),
+    ("reserve-pre-fsync", f"journal.append.pre_fsync=crash@{RESERVE_APPEND}",
+     TARGET, False),
+    ("reserve-post", f"journal.append.post=crash@{RESERVE_APPEND}",
+     TARGET, False),
+    ("commit-pre", f"journal.append.pre=crash@{COMMIT_APPEND}",
+     TARGET, False),
+    ("commit-torn", f"journal.append.torn=crash@{COMMIT_APPEND}",
+     TARGET, True),
+    ("commit-pre-fsync", f"journal.append.pre_fsync=crash@{COMMIT_APPEND}",
+     TARGET, False),
+    ("commit-post", f"journal.append.post=crash@{COMMIT_APPEND}",
+     TARGET, False),
+]
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize(
+        "spec,multiplier,torn", [m[1:] for m in MATRIX],
+        ids=[m[0] for m in MATRIX],
+    )
+    def test_recovery_never_resurrects_budget(self, tmp_path, spec,
+                                              multiplier, torn):
+        returncode, committed, stdout = run_driver(tmp_path, spec)
+        assert returncode == CRASH_EXIT_CODE, stdout
+        assert "DONE" not in stdout
+
+        path = journal_path(str(tmp_path))
+        # fsck (read-only) sees exactly the torn tail the crash shape
+        # predicts, before anything repairs it.
+        report = fsck(path)
+        assert report.torn == torn, report.to_dict()
+
+        state = recovered_census(tmp_path)
+        expected = multiplier * EPSILON
+
+        # Floor: every commit the victim reported made it to disk first
+        # (write-ahead), so recovery can never fall below the report.
+        assert state.spent >= math.fsum(committed) - 1e-12
+        # Exactness: dyadic epsilons, so the conservative total is not
+        # merely close — it is the predicted float, bit for bit.
+        assert state.spent == expected
+        assert state.remaining == TOTAL - expected
+        # No hold survives recovery: everything settled conservatively.
+        assert not state.pending
+
+    @pytest.mark.parametrize(
+        "spec,multiplier,torn", [m[1:] for m in MATRIX],
+        ids=[m[0] for m in MATRIX],
+    )
+    def test_successor_manager_adopts_conservative_state(self, tmp_path, spec,
+                                                         multiplier, torn):
+        returncode, _, _ = run_driver(tmp_path, spec)
+        assert returncode == CRASH_EXIT_CODE
+        expected = multiplier * EPSILON
+        with DatasetManager(state_dir=str(tmp_path)) as manager:
+            assert manager.recovered_names() == ["crash"]
+            adopted = manager.register(
+                "crash", DataTable([[1.0]], column_names=("x",)),
+                total_budget=TOTAL,
+            )
+            assert adopted.budget.spent == expected
+            assert adopted.budget.remaining == TOTAL - expected
+            # The successor keeps journaling: spend the rest and die
+            # cleanly, and the books still balance on the next replay.
+            adopted.charge(EPSILON, "post-crash")
+        state = recovered_census(tmp_path)
+        assert state.spent == expected + EPSILON
+
+
+class TestTornTailFsckRoundTrip:
+    """Satellite: fsck detects the torn tail and repairs it without
+    losing any record written before the tear."""
+
+    def test_fsck_repair_round_trip(self, tmp_path):
+        spec = f"journal.append.torn=crash@{COMMIT_APPEND}"
+        returncode, committed, _ = run_driver(tmp_path, spec)
+        assert returncode == CRASH_EXIT_CODE
+        path = journal_path(str(tmp_path))
+
+        before = fsck(path)
+        assert before.torn and not before.repaired
+        assert before.to_dict()["truncated_bytes"] > 0
+        intact_records = before.records
+
+        repaired = fsck(path, repair=True)
+        assert repaired.repaired and repaired.clean
+        after = fsck(path)
+        assert not after.torn
+        # Every record before the tear survived the repair.
+        assert after.records == intact_records
+        assert len(scan(path).records) == intact_records
+        # And the repaired journal still recovers conservatively.
+        state = recovered_census(tmp_path)
+        assert state.spent == TARGET * EPSILON
+        assert state.spent >= math.fsum(committed) - 1e-12
+
+
+class TestCrashFreeBaseline:
+    def test_clean_run_is_bit_exact(self, tmp_path):
+        returncode, committed, stdout = run_driver(tmp_path)
+        assert returncode == 0, stdout
+        assert "DONE" in stdout
+        assert committed == [EPSILON] * QUERIES
+        state = recovered_census(tmp_path)
+        # No reservation in flight at exit: fsum parity is exact.
+        assert state.spent == math.fsum(committed)
+        assert state.remaining == TOTAL - QUERIES * EPSILON
+        assert state.conservative == 0
+
+
+class TestServiceStackCrashes:
+    """Crash sites above the journal, through the full hosted service."""
+
+    def test_commit_durable_but_not_applied(self, tmp_path):
+        # manager.commit.durable sits after the journal's commit append
+        # and before the in-memory spend: the worst-case window where
+        # disk says "spent" and memory never heard about it.
+        spec = f"manager.commit.durable=crash@{TARGET}"
+        returncode, committed, stdout = run_driver(
+            tmp_path, spec, mode="service"
+        )
+        assert returncode == CRASH_EXIT_CODE, stdout
+        state = recovered_census(tmp_path)
+        assert state.spent == TARGET * EPSILON  # the durable commit counts
+        assert state.spent >= math.fsum(committed) - 1e-12
+
+    def test_crash_at_scheduler_dispatch(self, tmp_path):
+        # Death between admission and execution: the query never touched
+        # the budget, so recovery must account only the earlier queries.
+        spec = f"scheduler.dispatch=crash@{TARGET}"
+        returncode, committed, stdout = run_driver(
+            tmp_path, spec, mode="service"
+        )
+        assert returncode == CRASH_EXIT_CODE, stdout
+        state = recovered_census(tmp_path)
+        assert state.spent == (TARGET - 1) * EPSILON
+        assert state.spent >= math.fsum(committed) - 1e-12
+        assert not state.pending
+
+    def test_clean_service_run_recovers_exact(self, tmp_path):
+        returncode, committed, stdout = run_driver(tmp_path, mode="service")
+        assert returncode == 0, stdout
+        assert committed == [EPSILON] * QUERIES
+        state = recovered_census(tmp_path)
+        assert state.spent == math.fsum(committed)
+        assert state.remaining == TOTAL - QUERIES * EPSILON

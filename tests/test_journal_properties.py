@@ -1,0 +1,303 @@
+"""Property-based invariants for journaled accounting with crashes.
+
+Same hand-rolled harness as ``test_budget_properties.py`` (seeded
+:mod:`numpy` random scripts, dyadic-rational epsilons, exact ``==``
+assertions — no hypothesis dependency), extended with two new events the
+journal exists for:
+
+* *crash* — the writer abandons the journal mid-session (no clean
+  shutdown record, live reservations never settled) and a successor
+  manager recovers from disk;
+* *journal failure* — an injected error on the next append, exercising
+  the fail-closed paths (a reserve that cannot be journaled is refused;
+  a commit that cannot be journaled stays pending and later resolves
+  conservatively).
+
+The shadow model knows exactly what conservative recovery must produce:
+every real commit plus every hold that was in flight at a crash.  The
+central invariant, asserted after every recovery:
+
+    recovered spent == fsum(commits + crashed holds)   (exact), hence
+    recovered remaining <= total - fsum(commits)        (never above truth).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.accounting.journal import journal_path, recover
+from repro.accounting.manager import DatasetManager
+from repro.datasets.table import DataTable
+from repro.exceptions import GuptError, PrivacyBudgetExhausted
+from repro.observability import MetricsRegistry
+from repro.testing import failpoints
+
+SEEDS = list(range(10))
+QUANTUM = 1.0 / 1024.0
+TOTAL = 4.0
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    failpoints.reset()
+    yield
+    failpoints.reset()
+
+
+def _epsilon(rng: np.random.Generator) -> float:
+    return int(rng.integers(1, 257)) * QUANTUM
+
+
+def _table() -> DataTable:
+    rng = np.random.default_rng(99)
+    return DataTable(rng.uniform(0.0, 1.0, size=(32, 1)), column_names=("x",))
+
+
+class _Shadow:
+    """Exact reference for what durable recovery must reconstruct."""
+
+    def __init__(self, total: float):
+        self.total = total
+        self.commits: list[float] = []       # really-released spends
+        self.conservative: list[float] = []  # holds lost to a crash
+
+    @property
+    def durable_spent(self) -> float:
+        return math.fsum(self.commits + self.conservative)
+
+    @property
+    def truth_remaining(self) -> float:
+        """Budget the in-flight queries had actually consumed at most."""
+        return self.total - math.fsum(self.commits)
+
+    def fits(self, epsilon: float, holds: dict[int, float]) -> bool:
+        headroom = (
+            self.total - self.durable_spent - math.fsum(holds.values())
+        )
+        return epsilon <= headroom
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_crash_recover_scripts_match_shadow_model(seed, tmp_path):
+    """Random reserve/commit/rollback/charge/crash scripts: after every
+    recovery the adopted budget equals the shadow model bit-for-bit and
+    never resurrects crash-lost epsilon."""
+    rng = np.random.default_rng(seed)
+    state_dir = str(tmp_path)
+    model = _Shadow(TOTAL)
+    holds: dict[int, float] = {}  # model-side live reservations
+    live: dict[int, object] = {}  # model id -> BudgetReservation
+    next_id = 0
+
+    manager = DatasetManager(metrics=MetricsRegistry(), state_dir=state_dir)
+    registered = manager.register("prop", _table(), total_budget=TOTAL)
+
+    def crash_and_recover():
+        nonlocal manager, registered
+        # A crash settles nothing: every live hold is lost in flight and
+        # recovery must treat it as spent.
+        model.conservative.extend(holds.values())
+        holds.clear()
+        live.clear()
+        manager.journal.abandon()
+        manager = DatasetManager(
+            metrics=MetricsRegistry(), state_dir=state_dir
+        )
+        assert manager.recovered_names() == ["prop"]
+        registered = manager.register("prop", _table(), total_budget=TOTAL)
+        assert registered.budget.spent == model.durable_spent
+        assert registered.budget.remaining <= model.truth_remaining
+        assert registered.ledger.total_spent == model.durable_spent
+
+    for _ in range(120):
+        op = int(rng.integers(0, 12))
+        if op <= 4:  # reserve
+            epsilon = _epsilon(rng)
+            if model.fits(epsilon, holds):
+                live[next_id] = registered.reserve(epsilon, f"q{next_id}")
+                holds[next_id] = epsilon
+                next_id += 1
+            else:
+                with pytest.raises(PrivacyBudgetExhausted):
+                    registered.reserve(epsilon, "refused")
+        elif op <= 7 and live:  # commit a random hold
+            key = int(rng.choice(list(live)))
+            live.pop(key).commit()
+            model.commits.append(holds.pop(key))
+        elif op <= 9 and live:  # roll back a random hold
+            key = int(rng.choice(list(live)))
+            live.pop(key).rollback()
+            del holds[key]
+        elif op == 10:  # one-shot charge
+            epsilon = _epsilon(rng)
+            if model.fits(epsilon, holds):
+                registered.charge(epsilon, "charge")
+                model.commits.append(epsilon)
+            else:
+                with pytest.raises(PrivacyBudgetExhausted):
+                    registered.charge(epsilon, "refused")
+        else:  # crash + recover
+            crash_and_recover()
+
+        assert registered.budget.spent == model.durable_spent
+        assert registered.budget.spent + registered.budget.reserved <= TOTAL
+
+    crash_and_recover()
+    manager.close()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_injected_journal_failures_stay_conservative(seed, tmp_path):
+    """Random journal-append failures: reserve fails closed (refused, no
+    budget held), commit fails pending (resolved conservatively at the
+    next recovery) — recovered spend never drops below real commits."""
+    rng = np.random.default_rng(seed)
+    state_dir = str(tmp_path)
+    model = _Shadow(TOTAL)
+    holds: dict[int, float] = {}
+    live: dict[int, object] = {}
+    stuck: dict[int, float] = {}  # commit journaled? no — commit *failed*
+    next_id = 0
+
+    manager = DatasetManager(metrics=MetricsRegistry(), state_dir=state_dir)
+    registered = manager.register("prop", _table(), total_budget=TOTAL)
+
+    for _ in range(80):
+        op = int(rng.integers(0, 10))
+        inject = int(rng.integers(0, 4)) == 0
+        if op <= 3:  # reserve, possibly with a failing journal
+            epsilon = _epsilon(rng)
+            fits = model.fits(epsilon, holds) and epsilon <= (
+                TOTAL - model.durable_spent
+                - math.fsum(holds.values()) - math.fsum(stuck.values())
+            )
+            if not fits:
+                with pytest.raises(GuptError):
+                    registered.reserve(epsilon, "refused")
+                continue
+            if inject:
+                failpoints.arm("journal.append.pre", "error")
+                with pytest.raises(GuptError):
+                    registered.reserve(epsilon, "doomed")
+                failpoints.disarm("journal.append.pre")
+                # Fail-closed: the in-memory hold was released too.
+            else:
+                live[next_id] = registered.reserve(epsilon, f"q{next_id}")
+                holds[next_id] = epsilon
+                next_id += 1
+        elif op <= 6 and live:  # commit, possibly with a failing journal
+            key = int(rng.choice(list(live)))
+            reservation = live.pop(key)
+            if inject:
+                failpoints.arm("journal.append.pre", "error")
+                with pytest.raises(GuptError):
+                    reservation.commit()
+                failpoints.disarm("journal.append.pre")
+                # The hold survives in memory (still counted against the
+                # budget) and its reserve record survives on disk: the
+                # next recovery must resolve it as spent.
+                stuck[key] = holds.pop(key)
+            else:
+                reservation.commit()
+                model.commits.append(holds.pop(key))
+        elif op <= 8 and live:  # rollback
+            key = int(rng.choice(list(live)))
+            live.pop(key).rollback()
+            del holds[key]
+
+    # Crash with everything unsettled still in flight.
+    model.conservative.extend(holds.values())
+    model.conservative.extend(stuck.values())
+    manager.journal.abandon()
+
+    result = recover(journal_path(state_dir))
+    state = result.datasets["prop"]
+    assert state.spent == model.durable_spent
+    assert state.spent >= math.fsum(model.commits)
+    assert state.remaining <= model.truth_remaining
+    assert not state.pending
+
+
+@pytest.mark.parametrize("seed", SEEDS[:5])
+def test_recovery_is_idempotent(seed, tmp_path):
+    """Recovering N times (and idle restart cycles) changes nothing."""
+    rng = np.random.default_rng(seed)
+    state_dir = str(tmp_path)
+    manager = DatasetManager(state_dir=state_dir)
+    registered = manager.register("prop", _table(), total_budget=TOTAL)
+    for i in range(int(rng.integers(3, 9))):
+        registered.charge(_epsilon(rng), f"q{i}")
+    if rng.integers(0, 2) == 0:
+        registered.reserve(_epsilon(rng), "in-flight")  # dies with us
+    manager.journal.abandon()
+
+    first = recover(journal_path(state_dir)).datasets["prop"]
+    for _ in range(3):
+        again = recover(journal_path(state_dir)).datasets["prop"]
+        assert again.spent == first.spent
+        assert again.remaining == first.remaining
+
+    spent = first.spent
+    for _ in range(3):  # idle restart cycles append only RECOVERY barriers
+        with DatasetManager(state_dir=state_dir) as cycled:
+            assert cycled.recovered_names() == ["prop"]
+            adopted = cycled.register("prop", _table(), total_budget=TOTAL)
+            assert adopted.budget.spent == spent
+
+
+@pytest.mark.parametrize("seed", SEEDS[:5])
+def test_concurrent_settled_traffic_replays_exactly(seed, tmp_path):
+    """Concurrent journaled traffic that settles cleanly replays to the
+    exact fsum of committed epsilons — no interleaving of appends can
+    lose, duplicate or fabricate a record."""
+    import threading
+
+    rng = np.random.default_rng(seed)
+    state_dir = str(tmp_path)
+    manager = DatasetManager(metrics=MetricsRegistry(), state_dir=state_dir)
+    registered = manager.register("prop", _table(), total_budget=TOTAL)
+
+    threads = 4
+    committed: list[list[float]] = [[] for _ in range(threads)]
+    thread_seeds = [int(s) for s in rng.integers(0, 2**31, size=threads)]
+    barrier = threading.Barrier(threads)
+    errors: list[BaseException] = []
+
+    def script(slot: int) -> None:
+        local = np.random.default_rng(thread_seeds[slot])
+        barrier.wait()
+        try:
+            for step in range(20):
+                epsilon = _epsilon(local)
+                try:
+                    reservation = registered.reserve(
+                        epsilon, f"t{slot}-q{step}"
+                    )
+                except PrivacyBudgetExhausted:
+                    continue
+                if local.integers(0, 3) == 0:
+                    reservation.rollback()
+                else:
+                    reservation.commit()
+                    committed[slot].append(epsilon)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    pool = [threading.Thread(target=script, args=(i,)) for i in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    assert not errors, errors
+
+    live_spent = registered.budget.spent
+    manager.close()
+
+    state = recover(journal_path(state_dir)).datasets["prop"]
+    everything = [e for chunk in committed for e in chunk]
+    assert state.spent == math.fsum(everything) == live_spent
+    assert state.conservative == 0
+    assert not state.pending

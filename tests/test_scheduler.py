@@ -360,14 +360,19 @@ class TestServiceStressAcceptance:
     def _mean(block):
         return float(np.mean(block))
 
-    def test_exact_fit_budget_under_contention(self):
+    @pytest.mark.parametrize(
+        "durable", [False, True], ids=["in-memory", "journaled"]
+    )
+    def test_exact_fit_budget_under_contention(self, durable, tmp_path):
         registry = MetricsRegistry()
+        state_dir = str(tmp_path) if durable else None
         service = GuptService(
             metrics=registry,
             rng=2024,
             scheduler_workers=4,
             max_inflight=self.THREADS,
             queue_depth=self.THREADS,
+            state_dir=state_dir,
         )
         owner = service.enroll(OWNER, "owner")
         rng = np.random.default_rng(7)
@@ -429,6 +434,19 @@ class TestServiceStressAcceptance:
         assert snapshot["gauges"]["scheduler.queue_depth"] == 0.0
         assert snapshot["gauges"]["scheduler.running"] == 0.0
         assert snapshot["counters"]["scheduler.submitted"] == float(self.THREADS)
+
+        if durable:
+            # Cold replay of the contention storm: exactly FITS commits
+            # survive on disk, spending the budget to the last bit, with
+            # every refused reserve either absent or rolled back.
+            from repro.accounting.journal import journal_path, recover
+
+            state = recover(journal_path(state_dir)).datasets["shared"]
+            assert state.spent == self.BUDGET
+            assert state.remaining == 0.0
+            assert len(state.committed) == self.FITS
+            assert state.conservative == 0
+            assert not state.pending
 
     def test_scheduled_results_match_serial_bit_for_bit(self):
         """Seeded queries: contention cannot perturb a single bit."""

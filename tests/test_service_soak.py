@@ -17,6 +17,11 @@ At the end, the accounting invariants must hold exactly: per-dataset
 ``spent <= total`` and ``spent == fsum(ledger)`` bit-for-bit, every
 submitted handle resolved to exactly one terminal response, and the
 drained scheduler reads zero queued and zero running.
+
+The soak runs twice: once in-memory and once with a ``state_dir``, so
+the whole battery also exercises the journaled accounting path — every
+reserve/commit/rollback under load goes through an fsync'd append — and
+the journal replay afterwards must agree with the live books exactly.
 """
 
 from __future__ import annotations
@@ -27,7 +32,9 @@ import threading
 import time
 
 import numpy as np
+import pytest
 
+from repro.accounting.journal import journal_path, recover
 from repro.core.range_estimation import TightRange
 from repro.datasets.table import DataTable
 from repro.observability import MetricsRegistry
@@ -51,8 +58,10 @@ def doomed_program(block):
     raise RuntimeError("dies on every block")
 
 
-def test_soak_mixed_traffic_preserves_invariants():
+@pytest.mark.parametrize("durable", [False, True], ids=["in-memory", "journaled"])
+def test_soak_mixed_traffic_preserves_invariants(durable, tmp_path):
     registry = MetricsRegistry()
+    state_dir = str(tmp_path) if durable else None
     service = GuptService(
         metrics=registry,
         rng=90210,
@@ -60,6 +69,7 @@ def test_soak_mixed_traffic_preserves_invariants():
         max_inflight=16,
         queue_depth=64,
         query_timeout=30.0,
+        state_dir=state_dir,
     )
     owner = service.enroll(OWNER, "owner")
     analysts = [service.enroll(ANALYST, f"analyst-{i}") for i in range(ANALYST_THREADS)]
@@ -186,6 +196,7 @@ def test_soak_mixed_traffic_preserves_invariants():
     assert not unresolved, unresolved
 
     # Post-drain accounting: every dataset's books balance bit-exactly.
+    live_spent: dict[str, float] = {}
     for name in datasets:
         description = service.describe_dataset(owner.token, name)
         entries = service.ledger_entries(owner.token, name)
@@ -195,8 +206,20 @@ def test_soak_mixed_traffic_preserves_invariants():
         assert registered.budget.spent == audited  # ledger == budget, exact
         assert registered.budget.reserved == 0.0  # no hold survived its query
         assert description.remaining_budget >= 0.0
+        live_spent[name] = registered.budget.spent
 
     service.close()
+
+    if durable:
+        # The journal, replayed cold, reconstructs every dataset's spend
+        # bit-for-bit: the soak settled cleanly, so recovery needs no
+        # conservative resolutions and loses nothing.
+        replayed = recover(journal_path(state_dir))
+        assert sorted(replayed.datasets) == sorted(datasets)
+        for name, state in replayed.datasets.items():
+            assert state.spent == live_spent[name]
+            assert state.conservative == 0
+            assert not state.pending
     snapshot = registry.snapshot()
     assert snapshot["gauges"]["scheduler.queue_depth"] == 0.0
     assert snapshot["gauges"]["scheduler.running"] == 0.0

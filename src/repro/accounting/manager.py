@@ -28,9 +28,10 @@ Without ``state_dir`` the manager is purely in-memory, as before.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.accounting.budget import PrivacyBudget
 from repro.accounting.journal import (
@@ -158,6 +159,12 @@ class RegisteredDataset:
         Records considered privacy-expired under the aging model (may be
         ``None`` when the owner declares no aged data).  Drawn from the
         same distribution as ``table`` but *disjoint* from it.
+    version:
+        Monotone registration generation assigned by the owning manager.
+        Anything derived from the dataset's *contents* (memoized block
+        plans, materializations) keys on ``(name, version)`` so a
+        retire-and-re-register under the same name can never serve
+        derivations of the old records.
     metrics:
         Registry receiving budget burn-down gauges; ``None`` uses the
         process default.
@@ -171,6 +178,7 @@ class RegisteredDataset:
     budget: PrivacyBudget
     ledger: PrivacyLedger = field(default_factory=PrivacyLedger)
     aged: Optional[DataTable] = None
+    version: int = 0
     metrics: Optional[MetricsRegistry] = field(default=None, repr=False, compare=False)
     journal: Optional[BudgetJournal] = field(default=None, repr=False, compare=False)
 
@@ -292,6 +300,8 @@ class DatasetManager:
         self._datasets: dict[str, RegisteredDataset] = {}
         self._lock = threading.Lock()
         self._metrics = metrics
+        self._versions = itertools.count(1)
+        self._invalidation_hooks: list[Callable[[str], None]] = []
         self._journal: Optional[BudgetJournal] = None
         self._recovered: dict[str, RecoveredDataset] = {}
         if state_dir is not None:
@@ -317,6 +327,24 @@ class DatasetManager:
         """Recovered datasets awaiting re-registration by their owner."""
         with self._lock:
             return list(self._recovered)
+
+    def add_invalidation_hook(self, callback: Callable[[str], None]) -> None:
+        """Call ``callback(name)`` whenever ``name``'s registration changes.
+
+        Fired on both register and unregister, *outside* the manager's
+        lock (a hook may call back into the manager).  Consumers use it
+        to eagerly drop content-derived caches — version-scoped cache
+        keys already make stale hits impossible, so the hook is purely
+        about reclaiming memory promptly.
+        """
+        with self._lock:
+            self._invalidation_hooks.append(callback)
+
+    def _notify_invalidation(self, name: str) -> None:
+        with self._lock:
+            hooks = list(self._invalidation_hooks)
+        for hook in hooks:
+            hook(name)
 
     def close(self) -> None:
         """Flush and close the durable journal (no-op when in-memory)."""
@@ -368,6 +396,7 @@ class DatasetManager:
             budget=PrivacyBudget(total_budget, dataset=name),
             ledger=PrivacyLedger(dataset=name),
             aged=aged,
+            version=next(self._versions),
             metrics=self._metrics,
             journal=self._journal,
         )
@@ -407,6 +436,7 @@ class DatasetManager:
         registry.gauge("budget.epsilon_remaining", dataset=name).set(
             registered.budget.remaining
         )
+        self._notify_invalidation(name)
         return registered
 
     def get(self, name: str) -> RegisteredDataset:
@@ -431,6 +461,7 @@ class DatasetManager:
             if self._journal is not None:
                 self._journal.append(RETIRE, name)
             del self._datasets[name]
+        self._notify_invalidation(name)
 
     def names(self) -> list[str]:
         """Registered dataset names in registration order."""

@@ -77,9 +77,12 @@ def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--threshold", type=float, help="threshold for count-above")
     parser.add_argument("--seed", type=int, default=None, help="rng seed")
     parser.add_argument(
-        "--backend", choices=["serial", "thread", "pool"], default=None,
+        "--backend", choices=["serial", "thread", "pool", "vectorized"],
+        default=None,
         help="execution backend (default: serial; pool = persistent "
-             "worker processes with zero-copy block dispatch)",
+             "worker processes with zero-copy block dispatch; vectorized "
+             "= one fused numpy call over the stacked blocks for "
+             "programs declaring a batch form, bit-identical to serial)",
     )
     parser.add_argument(
         "--workers", type=int, default=None,

@@ -52,14 +52,55 @@ class OutputRange:
         return 0.5 * (self.lo + self.hi)
 
     def clamp(self, values: np.ndarray) -> np.ndarray:
-        """Clip values into the range."""
-        return np.clip(values, self.lo, self.hi)
+        """Clip values into the range; non-finite values become the midpoint.
+
+        ``np.clip`` alone passes NaN through, so a single misbehaving
+        block output would poison the released average with NaN — both a
+        utility failure and a leak ("some block produced a non-finite
+        value").  Substituting the data-independent midpoint keeps every
+        aggregated value inside ``[lo, hi]``, which is the in-range
+        guarantee the Laplace calibration assumes.
+        """
+        values = np.asarray(values, dtype=float)
+        clipped = np.clip(values, self.lo, self.hi)
+        finite = np.isfinite(values)
+        if finite.all():
+            return clipped
+        return np.where(finite, clipped, self.midpoint)
+
+
+def _pair_to_range(pair) -> OutputRange:
+    """One ``(lo, hi)`` pair — tuple, list or array-like — as a range."""
+    if isinstance(pair, OutputRange):
+        return pair
+    try:
+        arr = np.asarray(pair, dtype=float).ravel()
+    except (TypeError, ValueError) as exc:
+        raise InvalidRange(
+            f"cannot interpret {pair!r} as a (lo, hi) output range"
+        ) from exc
+    if arr.size != 2:
+        raise InvalidRange(
+            f"an output range needs exactly two bounds (lo, hi), got {pair!r}"
+        )
+    return OutputRange(float(arr[0]), float(arr[1]))
 
 
 def ranges_from_pairs(pairs) -> list[OutputRange]:
-    """Coerce ``[(lo, hi), ...]`` (or a single pair) into OutputRanges."""
+    """Coerce ``[(lo, hi), ...]`` (or a single pair) into OutputRanges.
+
+    Accepts tuples, lists, numpy arrays (a length-2 vector is one pair;
+    a ``(k, 2)`` matrix is k pairs) and any mix of pairs and
+    :class:`OutputRange` instances.  Anything else raises
+    :class:`~repro.exceptions.InvalidRange` with the offending value —
+    never a bare ``TypeError`` from iterating scalars.
+    """
     if isinstance(pairs, OutputRange):
         return [pairs]
+    if isinstance(pairs, np.ndarray):
+        if pairs.ndim == 1:
+            return [_pair_to_range(pairs)]
+        pairs = list(pairs)
     if (
         isinstance(pairs, (tuple, list))
         and len(pairs) == 2
@@ -67,13 +108,14 @@ def ranges_from_pairs(pairs) -> list[OutputRange]:
         and np.isscalar(pairs[1])
     ):
         return [OutputRange(float(pairs[0]), float(pairs[1]))]
-    out = []
-    for pair in pairs:
-        if isinstance(pair, OutputRange):
-            out.append(pair)
-        else:
-            lo, hi = pair
-            out.append(OutputRange(float(lo), float(hi)))
+    try:
+        items = list(pairs)
+    except TypeError as exc:
+        raise InvalidRange(
+            f"cannot interpret {pairs!r} as output ranges; pass (lo, hi), "
+            "a sequence of such pairs, or OutputRange instances"
+        ) from exc
+    out = [_pair_to_range(pair) for pair in items]
     if not out:
         raise InvalidRange("at least one output range is required")
     return out

@@ -40,6 +40,23 @@ def default_block_size(num_records: int) -> int:
     return max(1, int(round(num_records ** (1.0 - DEFAULT_NUM_BLOCKS_EXPONENT))))
 
 
+def blocks_per_round(num_records: int, block_size: int) -> int:
+    """Full bins of ``block_size`` records per resampling round: ⌊n/β⌋.
+
+    The single source of truth for per-round block counts: both
+    :meth:`BlockPlan.draw` and the grouped (user-level) planner derive
+    their geometry from this, so a consumer can never disagree with the
+    plan it is calibrated against about how many blocks one round holds.
+    The *total* block count of a drawn plan is ``gamma`` times this —
+    always read it off ``plan.num_blocks`` rather than recomputing.
+    """
+    if num_records <= 0:
+        raise GuptError("dataset must contain at least one record")
+    if block_size <= 0:
+        raise GuptError(f"block size must be positive, got {block_size}")
+    return num_records // block_size
+
+
 @dataclass(frozen=True)
 class BlockPlan:
     """A concrete assignment of record indices to blocks.
@@ -61,6 +78,9 @@ class BlockPlan:
     block_size: int
     resampling_factor: int
     blocks: tuple[np.ndarray, ...] = field(repr=False)
+    _matrix_cache: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def num_blocks(self) -> int:
@@ -76,8 +96,43 @@ class BlockPlan:
         """
         return self.resampling_factor
 
+    @property
+    def index_matrix(self) -> np.ndarray | None:
+        """The ``(l, block_size)`` index matrix, or ``None`` when ragged.
+
+        Plans drawn by :meth:`draw` always have uniform full blocks;
+        grouped (user-level) plans may not, in which case there is no
+        rectangular view and callers fall back to per-block slicing.
+        """
+        matrix = self._matrix_cache
+        if matrix is None:
+            width = len(self.blocks[0]) if self.blocks else 0
+            if not all(len(b) == width for b in self.blocks):
+                return None
+            matrix = np.vstack(self.blocks) if self.blocks else None
+            object.__setattr__(self, "_matrix_cache", matrix)
+        return matrix
+
+    def stack(self, values: np.ndarray) -> np.ndarray | None:
+        """All blocks as one ``(l, block_size, d)`` stacked array.
+
+        A single fancy-index gather instead of ``l`` separate ones; the
+        per-block rows of the result are zero-copy views into it, which
+        is what the vectorized execution backend consumes directly.
+        Returns ``None`` for ragged (grouped) plans.
+        """
+        matrix = self.index_matrix
+        if matrix is None:
+            return None
+        values = np.asarray(values)
+        flat = values[matrix.reshape(-1)]
+        return flat.reshape(matrix.shape[0], matrix.shape[1], *values.shape[1:])
+
     def materialize(self, values: np.ndarray) -> list[np.ndarray]:
         """Row-slices of ``values`` for each block."""
+        stacked = self.stack(values)
+        if stacked is not None:
+            return list(stacked)
         return [values[idx] for idx in self.blocks]
 
     @staticmethod
@@ -116,14 +171,15 @@ class BlockPlan:
             )
 
         generator = as_generator(rng)
-        bins_per_round = num_records // block_size
+        bins_per_round = blocks_per_round(num_records, block_size)
         blocks: list[np.ndarray] = []
         for _ in range(resampling_factor):
             order = generator.permutation(num_records)
-            for b in range(bins_per_round):
-                start = b * block_size
-                block = np.sort(order[start : start + block_size])
-                blocks.append(block)
+            # One reshape + row-wise sort instead of a Python loop over
+            # bins: identical indices to slicing bin-by-bin, an order of
+            # magnitude faster at realistic block counts.
+            kept = order[: bins_per_round * block_size]
+            blocks.extend(np.sort(kept.reshape(bins_per_round, block_size), axis=1))
         return BlockPlan(
             num_records=num_records,
             block_size=block_size,
@@ -138,7 +194,8 @@ class BlockPlan:
         ``resampling_factor``, and when ``block_size`` divides
         ``num_records`` every entry equals it exactly.
         """
-        counts = np.zeros(self.num_records, dtype=int)
-        for block in self.blocks:
-            counts[block] += 1
-        return counts
+        if not self.blocks:
+            return np.zeros(self.num_records, dtype=int)
+        return np.bincount(
+            np.concatenate(self.blocks), minlength=self.num_records
+        ).astype(int)

@@ -27,8 +27,9 @@ import numpy as np
 from repro.accounting.manager import DatasetManager, RegisteredDataset
 from repro.core.aging import AgedData
 from repro.core.block_size import BlockSizeSearch
-from repro.core.blocks import default_block_size
+from repro.core.blocks import blocks_per_round, default_block_size
 from repro.core.budget_estimation import AccuracyGoal, estimate_epsilon
+from repro.core.plan_cache import DEFAULT_MAX_ENTRIES, BlockPlanCache
 from repro.core.range_estimation import (
     HelperRange,
     LooseOutputRange,
@@ -63,8 +64,21 @@ class GuptRuntime:
         (see :mod:`repro.observability`).
     backend, workers, batch_size:
         Convenience knobs that build the computation manager in place
-        (``backend`` one of ``serial``/``thread``/``pool``); mutually
-        exclusive with passing ``computation_manager``.
+        (``backend`` one of ``serial``/``thread``/``pool``/
+        ``vectorized``); mutually exclusive with passing
+        ``computation_manager``.
+    plan_cache:
+        A :class:`~repro.core.plan_cache.BlockPlanCache` to memoize
+        block plans and stacked materializations across queries, or
+        ``None`` to build one of ``plan_cache_size`` entries.  Cache
+        keys are data-independent by construction (registration
+        identity + public plan geometry + seed), and the runtime wires
+        the dataset manager's invalidation hooks in so re-registered
+        datasets evict their stale entries eagerly.
+    plan_cache_size:
+        Entry bound for the runtime-built cache; ``0`` disables caching
+        entirely (plans are still drawn through the same seeded
+        protocol, so released values do not depend on the setting).
     state_dir:
         Convenience knob that builds a *durable* dataset manager in
         place (``DatasetManager(state_dir=...)``: fsync'd budget journal
@@ -83,6 +97,8 @@ class GuptRuntime:
         workers: int | None = None,
         batch_size: int | None = None,
         state_dir: str | None = None,
+        plan_cache: BlockPlanCache | None = None,
+        plan_cache_size: int | None = None,
     ):
         if computation_manager is not None and (
             backend is not None or workers is not None or batch_size is not None
@@ -108,6 +124,16 @@ class GuptRuntime:
         self._rng = as_generator(rng)
         self._rng_lock = threading.Lock()
         self._metrics = metrics
+        if plan_cache is not None and plan_cache_size is not None:
+            raise GuptError("pass either plan_cache or plan_cache_size, not both")
+        if plan_cache is None and plan_cache_size != 0:
+            plan_cache = BlockPlanCache(
+                max_entries=plan_cache_size or DEFAULT_MAX_ENTRIES,
+                metrics=metrics,
+            )
+        self._plan_cache = plan_cache
+        if self._plan_cache is not None:
+            self._datasets.add_invalidation_hook(self._plan_cache.invalidate)
 
     @property
     def dataset_manager(self) -> DatasetManager:
@@ -117,13 +143,20 @@ class GuptRuntime:
     def computation_manager(self) -> ComputationManager:
         return self._computation
 
+    @property
+    def plan_cache(self) -> BlockPlanCache | None:
+        return self._plan_cache
+
     def close(self) -> None:
         """Release execution-backend resources (pool worker processes).
 
         A dataset manager the runtime built itself (``state_dir=`` or
-        default) is closed too, flushing its durable journal.
+        default) is closed too, flushing its durable journal; a plan
+        cache drops its memoized materializations.
         """
         self._computation.close()
+        if self._plan_cache is not None:
+            self._plan_cache.clear()
         if self._owns_datasets:
             self._datasets.close()
 
@@ -272,9 +305,16 @@ class GuptRuntime:
         try:
             engine = SampleAggregateEngine(self._computation, canonical_order)
             plan = None
+            cache_token = (dataset, registered.version)
             if group_by is not None:
                 labels = registered.table.column(group_by)
-                num_blocks = max(1, registered.table.num_records // beta)
+                # Per-round block count, from the same ⌊n/β⌋ the
+                # record-level planner uses (grouped_plan multiplies the
+                # resampling factor in itself — passing a pre-multiplied
+                # count here would square gamma's effect).
+                num_blocks = max(
+                    1, blocks_per_round(registered.table.num_records, beta)
+                )
                 plan = grouped_plan(
                     labels, num_blocks, resampling_factor=resampling_factor,
                     rng=generator,
@@ -293,6 +333,8 @@ class GuptRuntime:
                         resampling_factor=resampling_factor,
                         rng=generator,
                         plan=plan,
+                        plan_cache=self._plan_cache,
+                        cache_token=cache_token,
                     )
                 sampled_holder["sampled"] = sampled
                 if needs_private_range:
@@ -308,6 +350,7 @@ class GuptRuntime:
                 input_ranges=registered.table.input_ranges,
                 output_dimension=dimension,
                 block_outputs_fn=block_outputs_fn,
+                blocks_per_record=resampling_factor,
             )
             with metrics.span("runtime.range_estimation", dataset=dataset):
                 if needs_private_range and not isinstance(
@@ -334,6 +377,8 @@ class GuptRuntime:
                         resampling_factor=resampling_factor,
                         rng=generator,
                         plan=plan,
+                        plan_cache=self._plan_cache,
+                        cache_token=cache_token,
                     )
             released_privately = True
             with metrics.span("runtime.aggregate", dataset=dataset):

@@ -71,6 +71,11 @@ class RangeContext:
     input_ranges: tuple[tuple[float, float] | None, ...]
     output_dimension: int
     block_outputs_fn: Callable[[np.ndarray], np.ndarray]
+    #: gamma — how many block outputs one record can move.  Strategies
+    #: that privatize *block outputs* (GUPT-loose) must scale their
+    #: mechanism's sensitivity by this; strategies over raw inputs
+    #: (GUPT-helper, one row = one record) ignore it.
+    blocks_per_record: int = 1
 
 
 class TightRange:
@@ -134,7 +139,14 @@ class LooseOutputRange:
         generator = as_generator(rng)
         fallback = np.array([r.midpoint for r in self._loose])
         outputs = context.block_outputs_fn(fallback)
-        per_dim = epsilon / context.output_dimension
+        # Under gamma-resampling one record sits in gamma blocks, so it
+        # moves up to gamma of the outputs being privatized here and
+        # every rank in the percentile mechanism's order statistics can
+        # shift by gamma, not 1.  Running each estimate at
+        # epsilon / gamma restores the advertised epsilon guarantee
+        # (pre-fix the released range was only (gamma * epsilon)-DP).
+        gamma = max(1, int(context.blocks_per_record))
+        per_dim = epsilon / (context.output_dimension * gamma)
         ranges = []
         for dim, loose in enumerate(self._loose):
             lo, hi = dp_percentile_range(

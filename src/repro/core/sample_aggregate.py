@@ -22,7 +22,8 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.aggregation import NoisyAverageAggregator, OutputRange
-from repro.core.blocks import BlockPlan
+from repro.core.blocks import BlockPlan, default_block_size
+from repro.core.plan_cache import BlockPlanCache, PlanKey
 from repro.mechanisms.rng import RandomSource, as_generator
 from repro.runtime.computation_manager import ComputationManager
 from repro.runtime.sandbox import AnalystProgram
@@ -112,6 +113,8 @@ class SampleAggregateEngine:
         resampling_factor: int = 1,
         rng: RandomSource = None,
         plan: BlockPlan | None = None,
+        plan_cache: BlockPlanCache | None = None,
+        cache_token: tuple[str, int] | None = None,
     ) -> SampledBlocks:
         """Partition the data and run the program on every block.
 
@@ -121,14 +124,29 @@ class SampleAggregateEngine:
         ``plan`` (e.g. the user-level grouped plan of
         :mod:`repro.core.user_level`) overrides the default record-level
         partitioning.
+
+        ``cache_token`` — the owning dataset's ``(name, version)``
+        registration identity — opts this call into the memoizable plan
+        protocol: the plan's randomness is funneled through a single
+        ``plan_seed`` drawn from ``rng`` (one generator draw whether the
+        lookup hits or misses, so seeded releases are bit-identical with
+        and without a warm cache), and ``plan_cache``, when given,
+        memoizes the drawn plan plus its stacked materialization under
+        the data-independent :class:`PlanKey`.
         """
         values = self._as_matrix(values)
+        stacked: np.ndarray | None = None
         if plan is not None:
             if plan.num_records != values.shape[0]:
                 raise ValueError(
                     f"plan covers {plan.num_records} records but data has "
                     f"{values.shape[0]}"
                 )
+            stacked = plan.stack(values)
+        elif cache_token is not None:
+            plan, stacked = self._plan_via_cache(
+                values, block_size, resampling_factor, rng, plan_cache, cache_token
+            )
         else:
             plan = BlockPlan.draw(
                 num_records=values.shape[0],
@@ -136,20 +154,74 @@ class SampleAggregateEngine:
                 resampling_factor=resampling_factor,
                 rng=rng,
             )
-        executions = self._manager.run_blocks(
+            stacked = plan.stack(values)
+        # The per-block list is only materialized when there is no
+        # rectangular stacked view (ragged grouped plans); the manager
+        # builds it lazily otherwise, so the vectorized fast path never
+        # creates per-block Python objects at all.
+        blocks = None if stacked is not None else plan.materialize(values)
+        collected = self._manager.run_blocks_collected(
             program,
-            plan.materialize(values),
             output_dimension,
             np.asarray(fallback, dtype=float),
+            blocks=blocks,
+            stacked=stacked,
         )
-        failed = sum(1 for e in executions if not e.succeeded)
-        rows = []
-        for execution in executions:
-            row = execution.output
-            if self._canonical_order is not None and execution.succeeded:
-                row = np.asarray(self._canonical_order(row), dtype=float).ravel()
-            rows.append(row)
-        return SampledBlocks(plan=plan, outputs=np.vstack(rows), failed_blocks=failed)
+        failed = int(collected.num_blocks - collected.succeeded.sum())
+        outputs = collected.outputs
+        if self._canonical_order is not None:
+            rows = []
+            for row, ok in zip(outputs, collected.succeeded):
+                if ok:
+                    row = np.asarray(self._canonical_order(row), dtype=float).ravel()
+                rows.append(row)
+            outputs = np.vstack(rows)
+        return SampledBlocks(plan=plan, outputs=outputs, failed_blocks=failed)
+
+    @staticmethod
+    def _plan_via_cache(
+        values: np.ndarray,
+        block_size: int | None,
+        resampling_factor: int,
+        rng: RandomSource,
+        plan_cache: BlockPlanCache | None,
+        cache_token: tuple[str, int],
+    ) -> tuple[BlockPlan, np.ndarray | None]:
+        """Draw (or recall) a plan under the memoizable-seed protocol.
+
+        Exactly one value is consumed from the caller's generator — the
+        ``plan_seed`` — regardless of cache hit, miss, or absence of a
+        cache, so the downstream noise draws (and therefore the released
+        bits of a seeded query) cannot depend on cache state.  The plan
+        itself comes from a private generator derived from that seed,
+        which is what makes the cached entry reusable: the ``draw``
+        closure is a pure function of the :class:`PlanKey`.
+        """
+        num_records = values.shape[0]
+        beta = int(block_size) if block_size is not None else default_block_size(num_records)
+        generator = as_generator(rng)
+        plan_seed = int(generator.integers(0, 2**63 - 1))
+        key = PlanKey(
+            dataset=cache_token[0],
+            version=int(cache_token[1]),
+            num_records=num_records,
+            block_size=beta,
+            resampling_factor=int(resampling_factor),
+            seed=plan_seed,
+        )
+
+        def draw() -> BlockPlan:
+            return BlockPlan.draw(
+                num_records=num_records,
+                block_size=beta,
+                resampling_factor=resampling_factor,
+                rng=np.random.default_rng(plan_seed),
+            )
+
+        if plan_cache is None:
+            plan = draw()
+            return plan, plan.stack(values)
+        return plan_cache.plan_and_stack(key, values, draw)
 
     # ------------------------------------------------------------------
     # Phase 2: aggregate
@@ -193,6 +265,8 @@ class SampleAggregateEngine:
         resampling_factor: int = 1,
         rng: RandomSource = None,
         plan: BlockPlan | None = None,
+        plan_cache: BlockPlanCache | None = None,
+        cache_token: tuple[str, int] | None = None,
     ) -> SampleAggregateResult:
         """Algorithm 1 end-to-end for callers with a known output range."""
         generator = as_generator(rng)
@@ -207,6 +281,8 @@ class SampleAggregateEngine:
             resampling_factor=resampling_factor,
             rng=generator,
             plan=plan,
+            plan_cache=plan_cache,
+            cache_token=cache_token,
         )
         return self.aggregate(sampled, epsilon, output_ranges, rng=generator)
 

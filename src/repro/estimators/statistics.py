@@ -5,6 +5,15 @@ median of a single column; variance for the Example-4 budget-distribution
 scenario).  Each program operates on whichever column it is configured
 with and ignores the rest of the block, so the same dataset can serve
 many queries.
+
+Every estimator here also declares the batch form of
+:mod:`repro.runtime.vectorized`: ``run_batch(stacked)`` computes all
+block outputs in one numpy reduction over the stacked ``(l, block_size,
+d)`` array.  Each batch form applies the *same* numpy reduction to the
+same values along one axis, which numpy evaluates with the same
+pairwise/partition algorithms per row as the per-block call — so
+``run_batch`` is bit-identical to mapping ``__call__`` over the blocks
+(the equivalence tests pin this down).
 """
 
 from __future__ import annotations
@@ -21,6 +30,14 @@ def _column(block: np.ndarray, index: int) -> np.ndarray:
     return block[:, index]
 
 
+def _batch_column(stacked: np.ndarray, index: int) -> np.ndarray:
+    """The configured column of every block: ``(l, block_size)``."""
+    stacked = np.asarray(stacked, dtype=float)
+    if stacked.ndim == 2:
+        return stacked
+    return stacked[:, :, index]
+
+
 @dataclass(frozen=True)
 class Mean:
     """Arithmetic mean of one column."""
@@ -30,6 +47,9 @@ class Mean:
 
     def __call__(self, block: np.ndarray) -> float:
         return float(np.mean(_column(block, self.column)))
+
+    def run_batch(self, stacked: np.ndarray) -> np.ndarray:
+        return np.mean(_batch_column(stacked, self.column), axis=1)
 
 
 @dataclass(frozen=True)
@@ -41,6 +61,9 @@ class Median:
 
     def __call__(self, block: np.ndarray) -> float:
         return float(np.median(_column(block, self.column)))
+
+    def run_batch(self, stacked: np.ndarray) -> np.ndarray:
+        return np.median(_batch_column(stacked, self.column), axis=1)
 
 
 @dataclass(frozen=True)
@@ -58,6 +81,9 @@ class Quantile:
     def __call__(self, block: np.ndarray) -> float:
         return float(np.quantile(_column(block, self.column), self.q))
 
+    def run_batch(self, stacked: np.ndarray) -> np.ndarray:
+        return np.quantile(_batch_column(stacked, self.column), self.q, axis=1)
+
 
 @dataclass(frozen=True)
 class Variance:
@@ -69,6 +95,9 @@ class Variance:
     def __call__(self, block: np.ndarray) -> float:
         return float(np.var(_column(block, self.column)))
 
+    def run_batch(self, stacked: np.ndarray) -> np.ndarray:
+        return np.var(_batch_column(stacked, self.column), axis=1)
+
 
 @dataclass(frozen=True)
 class StandardDeviation:
@@ -79,6 +108,9 @@ class StandardDeviation:
 
     def __call__(self, block: np.ndarray) -> float:
         return float(np.std(_column(block, self.column)))
+
+    def run_batch(self, stacked: np.ndarray) -> np.ndarray:
+        return np.std(_batch_column(stacked, self.column), axis=1)
 
 
 @dataclass(frozen=True)
@@ -99,3 +131,8 @@ class Count:
         column = _column(block, self.column)
         hits = column > self.threshold if self.above else column <= self.threshold
         return float(np.mean(hits))
+
+    def run_batch(self, stacked: np.ndarray) -> np.ndarray:
+        columns = _batch_column(stacked, self.column)
+        hits = columns > self.threshold if self.above else columns <= self.threshold
+        return np.mean(hits, axis=1)

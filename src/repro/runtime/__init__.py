@@ -13,6 +13,9 @@ with two chamber implementations:
 * :class:`~repro.runtime.pool.PoolChamberBackend` — a persistent pool of
   pre-forked chamber workers with zero-copy shared-memory block dispatch;
   process isolation without the fork-per-block cost.
+* :mod:`~repro.runtime.vectorized` — the batch fast path: programs that
+  declare ``run_batch`` run over the whole stacked block array in one
+  numpy call, bit-identical to the per-block backends.
 """
 
 from repro.runtime.policy import MACPolicy
@@ -27,6 +30,11 @@ from repro.runtime.timing import TimingDefense
 from repro.runtime.computation_manager import BACKENDS, ComputationManager
 from repro.runtime.marshal import ExternalProgram
 from repro.runtime.scheduler import QueryHandle, QueryScheduler
+from repro.runtime.vectorized import (
+    VectorizedProgram,
+    stack_blocks,
+    supports_batch,
+)
 
 # The hosted service layer (repro.runtime.service) sits ABOVE the core
 # runtime — it wraps GuptRuntime — so it is imported by its full module
@@ -48,4 +56,7 @@ __all__ = [
     "QueryScheduler",
     "SubprocessChamber",
     "TimingDefense",
+    "VectorizedProgram",
+    "stack_blocks",
+    "supports_batch",
 ]

@@ -27,6 +27,14 @@ Three execution backends trade isolation strength against dispatch cost:
     backend for realistic block counts.  Programs the pickle module
     cannot ship fall back to the serial chamber path (counted in
     ``pool.unpicklable_fallbacks``).
+``vectorized``
+    The fast path of :mod:`repro.runtime.vectorized`: a program that
+    declares a batch form (``run_batch``) runs over the whole stacked
+    block array in one numpy call — zero per-block dispatch.  Programs
+    without a batch form, ragged block lists, batch calls that raise,
+    and queries under an active timing defense all degrade transparently
+    to the chamber path (serial at one worker, chunked threads
+    otherwise), counted per reason in ``vectorized.fallbacks``.
 
 The manager is also an instrumentation point (see
 :mod:`repro.observability`): per-block latency, success/fallback/kill
@@ -56,8 +64,14 @@ from repro.runtime.sandbox import (
     InProcessChamber,
 )
 from repro.runtime.timing import TimingDefense
+from repro.runtime.vectorized import (
+    BatchOutputs,
+    run_batch_blocks,
+    stack_blocks,
+    supports_batch,
+)
 
-BACKENDS = ("serial", "thread", "pool")
+BACKENDS = ("serial", "thread", "pool", "vectorized")
 
 
 class ComputationManager:
@@ -75,9 +89,10 @@ class ComputationManager:
         Registry receiving block-level telemetry; ``None`` uses the
         process default.
     backend:
-        ``"serial"``, ``"thread"`` or ``"pool"``; ``None`` selects
-        ``serial`` when ``max_workers == 1`` and ``thread`` otherwise
-        (the pre-backend behavior, so existing callers are unchanged).
+        ``"serial"``, ``"thread"``, ``"pool"`` or ``"vectorized"``;
+        ``None`` selects ``serial`` when ``max_workers == 1`` and
+        ``thread`` otherwise (the pre-backend behavior, so existing
+        callers are unchanged).
     batch_size:
         Blocks per dispatch chunk for the thread and pool backends;
         ``None`` picks ``ceil(blocks / (4 * workers))`` per run.
@@ -108,6 +123,7 @@ class ComputationManager:
         if batch_size is not None and batch_size < 1:
             raise ValueError("batch_size must be >= 1 (or None for auto)")
         self._chamber = chamber or InProcessChamber(timing=timing, metrics=metrics)
+        self._timing = timing
         self._max_workers = max_workers
         self._metrics = metrics
         self._backend = backend
@@ -155,8 +171,14 @@ class ComputationManager:
         blocks: Sequence[np.ndarray],
         output_dimension: int,
         fallback: np.ndarray,
+        stacked: np.ndarray | None = None,
     ) -> list[BlockExecution]:
         """Run ``program`` on every block; one outcome per block, in order.
+
+        ``stacked``, when given, is the ``(l, block_size, d)`` stacked
+        view of exactly the same ``blocks`` (as produced by
+        :meth:`BlockPlan.stack`); the vectorized backend consumes it
+        directly instead of re-stacking, the other backends ignore it.
 
         Raises :class:`ComputationError` only when *every* block failed,
         which signals a systemic problem (wrong output dimension, program
@@ -164,13 +186,68 @@ class ComputationManager:
         failures are kept as fallback outputs — turning them into errors
         would create the exact side channel the chambers exist to close.
         """
-        if output_dimension < 1:
-            raise ComputationError("output dimension must be >= 1")
-        fallback = np.asarray(fallback, dtype=float).ravel()
-        if fallback.size != output_dimension:
-            raise ComputationError(
-                f"fallback has {fallback.size} dims, expected {output_dimension}"
+        return self._run_blocks_impl(
+            program, blocks, output_dimension, fallback, stacked, try_batch=True
+        )
+
+    def run_blocks_collected(
+        self,
+        program: AnalystProgram,
+        output_dimension: int,
+        fallback: np.ndarray,
+        blocks: Sequence[np.ndarray] | None = None,
+        stacked: np.ndarray | None = None,
+    ) -> BatchOutputs:
+        """Run every block and return the outcomes in matrix form.
+
+        Same semantics as :meth:`run_blocks` — same telemetry, same
+        all-blocks-failed error, same per-block fallback substitution —
+        but the result is the ``(l, p)`` output matrix plus a success
+        mask instead of per-block execution records.  On the vectorized
+        fast path that matrix is handed through *directly* from the
+        fused batch call, so no per-block Python objects are built at
+        all; the other backends run chambers and collect.
+
+        ``blocks`` may be omitted when ``stacked`` covers the whole
+        plan; the per-block list is then materialized only if a chamber
+        path actually needs it.
+        """
+        fallback = self._validate_shape(output_dimension, fallback)
+        if self._backend == "vectorized":
+            metrics = self._metrics or get_registry()
+            metrics.gauge("blocks.pool_width").set(self._max_workers)
+            batch = self._try_batch(
+                metrics, program, blocks, output_dimension, fallback, stacked
             )
+            if batch is not None:
+                succeeded = int(batch.succeeded.sum())
+                self._count_outcomes(
+                    metrics, batch.num_blocks, succeeded, killed=0
+                )
+                if succeeded == 0:
+                    raise ComputationError(self._all_failed_message(output_dimension))
+                return batch
+        # Chamber/pool path (including a counted vectorized degrade):
+        # run the per-block contract, then collect to matrix form.
+        if blocks is None:
+            blocks = [] if stacked is None else list(stacked)
+        executions = self._run_blocks_impl(
+            program, blocks, output_dimension, fallback, stacked, try_batch=False
+        )
+        outputs = np.vstack([e.output for e in executions])
+        succeeded = np.fromiter(
+            (e.succeeded for e in executions), dtype=bool, count=len(executions)
+        )
+        return BatchOutputs(
+            outputs=outputs,
+            succeeded=succeeded,
+            elapsed=float(sum(e.elapsed for e in executions)),
+        )
+
+    def _run_blocks_impl(
+        self, program, blocks, output_dimension, fallback, stacked, try_batch
+    ) -> list[BlockExecution]:
+        fallback = self._validate_shape(output_dimension, fallback)
         blocks = list(blocks)
         if not blocks:
             raise ComputationError("no blocks to execute")
@@ -178,28 +255,95 @@ class ComputationManager:
         metrics = self._metrics or get_registry()
         metrics.gauge("blocks.pool_width").set(self._max_workers)
 
-        if self._backend == "pool":
+        batch = None
+        if try_batch and self._backend == "vectorized":
+            batch = self._try_batch(
+                metrics, program, blocks, output_dimension, fallback, stacked
+            )
+        if batch is not None:
+            results = batch.to_executions()
+        elif self._backend == "pool":
             results = self._run_pool(
                 metrics, program, blocks, output_dimension, fallback
             )
         else:
+            # Serial/thread — and the vectorized backend's degraded path,
+            # whose fallback reason _try_batch has already counted.
             results = self._run_chambers(
                 metrics, program, blocks, output_dimension, fallback
             )
 
         succeeded = sum(1 for r in results if r.succeeded)
         killed = sum(1 for r in results if r.killed)
-        metrics.counter("blocks.executed").inc(len(results))
-        metrics.counter("blocks.success").inc(succeeded)
-        metrics.counter("blocks.fallback").inc(len(results) - succeeded)
-        metrics.counter("blocks.killed").inc(killed)
+        self._count_outcomes(metrics, len(results), succeeded, killed)
 
         if succeeded == 0:
-            raise ComputationError(
-                "analyst program failed on every block; check that it returns "
-                f"a finite vector of dimension {output_dimension}"
-            )
+            raise ComputationError(self._all_failed_message(output_dimension))
         return results
+
+    @staticmethod
+    def _validate_shape(output_dimension: int, fallback) -> np.ndarray:
+        if output_dimension < 1:
+            raise ComputationError("output dimension must be >= 1")
+        fallback = np.asarray(fallback, dtype=float).ravel()
+        if fallback.size != output_dimension:
+            raise ComputationError(
+                f"fallback has {fallback.size} dims, expected {output_dimension}"
+            )
+        return fallback
+
+    @staticmethod
+    def _count_outcomes(metrics, executed: int, succeeded: int, killed: int) -> None:
+        metrics.counter("blocks.executed").inc(executed)
+        metrics.counter("blocks.success").inc(succeeded)
+        metrics.counter("blocks.fallback").inc(executed - succeeded)
+        metrics.counter("blocks.killed").inc(killed)
+
+    @staticmethod
+    def _all_failed_message(output_dimension: int) -> str:
+        return (
+            "analyst program failed on every block; check that it returns "
+            f"a finite vector of dimension {output_dimension}"
+        )
+
+    # -- vectorized backend ----------------------------------------------
+    def _try_batch(
+        self, metrics, program, blocks, output_dimension, fallback, stacked
+    ) -> BatchOutputs | None:
+        """The fused batch call, or ``None`` after counting the reason."""
+
+        def degrade(reason: str) -> None:
+            metrics.counter("vectorized.fallbacks", reason=reason).inc()
+            return None
+
+        if not supports_batch(program):
+            return degrade("no_batch_form")
+        # Per-block kill-and-pad semantics cannot apply to one fused call;
+        # an active cycle budget (on the manager or its chamber) forces
+        # the chamber path so the timing defense is never silently lost.
+        chamber_timing = getattr(self._chamber, "timing", None)
+        if (self._timing is not None and self._timing.enabled) or (
+            chamber_timing is not None and chamber_timing.enabled
+        ):
+            return degrade("timing_defense")
+        if stacked is None and blocks is not None:
+            stacked = stack_blocks(blocks)
+        if stacked is None:
+            return degrade("ragged_blocks")
+
+        started = time.perf_counter()
+        batch = run_batch_blocks(program, stacked, output_dimension, fallback)
+        if batch is None:
+            return degrade("batch_error")
+        metrics.counter("vectorized.batches").inc()
+        metrics.histogram("vectorized.batch_seconds").observe(
+            time.perf_counter() - started
+        )
+        metrics.histogram("vectorized.blocks_per_batch").observe(batch.num_blocks)
+        metrics.histogram("blocks.latency_seconds").observe_many(
+            [batch.per_block_elapsed] * batch.num_blocks
+        )
+        return batch
 
     # -- chamber backends (serial / thread) ------------------------------
     def _run_chambers(

@@ -125,6 +125,11 @@ class InProcessChamber:
         # backend can never see a mismatched pair.
         self._pickle_cache: tuple[AnalystProgram, bytes | None] | None = None
 
+    @property
+    def timing(self) -> TimingDefense:
+        """The chamber's cycle-budget policy (read by backend selection)."""
+        return self._timing
+
     def _instantiate(self, program: AnalystProgram) -> AnalystProgram:
         """A fresh per-block instance: cached pickle, deepcopy fallback."""
         cache = self._pickle_cache
@@ -257,6 +262,11 @@ class SubprocessChamber:
         self._policy = policy
         self._context = multiprocessing.get_context(start_method)
         self._metrics = metrics
+
+    @property
+    def timing(self) -> TimingDefense:
+        """The chamber's cycle-budget policy (read by backend selection)."""
+        return self._timing
 
     def run_block(
         self,

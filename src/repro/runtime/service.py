@@ -132,6 +132,7 @@ class GuptService:
         queue_depth: int = 64,
         query_timeout: float | None = None,
         state_dir: str | None = None,
+        plan_cache_size: int | None = None,
     ):
         self._metrics = metrics
         # With state_dir the accounting layer is durable: every budget
@@ -139,6 +140,10 @@ class GuptService:
         # a crashed predecessor is recovered conservatively before any
         # query can run — see repro.accounting.journal.
         self._datasets = DatasetManager(metrics=metrics, state_dir=state_dir)
+        # plan_cache_size bounds the runtime's memoized block plans
+        # (0 disables caching); re-registration invalidates via the
+        # dataset manager's hooks, so owners rotating a dataset name
+        # never leave stale materializations behind.
         self._runtime = GuptRuntime(
             self._datasets,
             computation_manager,
@@ -147,6 +152,7 @@ class GuptService:
             backend=backend,
             workers=workers,
             batch_size=batch_size,
+            plan_cache_size=plan_cache_size,
         )
         self._principals: dict[str, Principal] = {}
         self._counter = itertools.count()

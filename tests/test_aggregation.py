@@ -33,6 +33,23 @@ class TestOutputRange:
         with pytest.raises(InvalidRange):
             OutputRange(0.0, float("inf"))
 
+    def test_clamp_replaces_nan_with_midpoint(self):
+        # Regression: np.clip passes NaN through, so a single NaN block
+        # output used to poison the released average into NaN.
+        r = OutputRange(0.0, 10.0)
+        clamped = r.clamp(np.array([np.nan, 2.0, 12.0]))
+        assert np.array_equal(clamped, [5.0, 2.0, 10.0])
+        assert np.isfinite(clamped).all()
+
+    def test_clamp_replaces_infinities_with_midpoint(self):
+        r = OutputRange(-1.0, 1.0)
+        clamped = r.clamp(np.array([np.inf, -np.inf, 0.25]))
+        assert np.array_equal(clamped, [0.0, 0.0, 0.25])
+
+    def test_clamp_all_finite_fast_path_unchanged(self):
+        r = OutputRange(0.0, 1.0)
+        assert np.array_equal(r.clamp(np.array([-1.0, 0.5, 2.0])), [0.0, 0.5, 1.0])
+
 
 class TestRangesFromPairs:
     def test_single_pair(self):
@@ -55,6 +72,32 @@ class TestRangesFromPairs:
     def test_empty_rejected(self):
         with pytest.raises(InvalidRange):
             ranges_from_pairs([])
+
+    def test_numpy_pair_vector(self):
+        # Regression: a length-2 ndarray used to be iterated element by
+        # element, treating each scalar bound as its own "pair".
+        ranges = ranges_from_pairs(np.array([0.0, 1.0]))
+        assert ranges == [OutputRange(0.0, 1.0)]
+
+    def test_numpy_matrix_of_pairs(self):
+        ranges = ranges_from_pairs(np.array([[0.0, 1.0], [2.0, 3.0]]))
+        assert [(r.lo, r.hi) for r in ranges] == [(0.0, 1.0), (2.0, 3.0)]
+
+    def test_list_of_numpy_pairs(self):
+        ranges = ranges_from_pairs([np.array([0.0, 1.0]), (2.0, 3.0)])
+        assert [(r.lo, r.hi) for r in ranges] == [(0.0, 1.0), (2.0, 3.0)]
+
+    def test_scalar_raises_invalid_range_not_type_error(self):
+        with pytest.raises(InvalidRange):
+            ranges_from_pairs(5.0)
+
+    def test_wrong_length_vector_rejected(self):
+        with pytest.raises(InvalidRange):
+            ranges_from_pairs(np.array([0.0, 1.0, 2.0]))
+
+    def test_malformed_pair_inside_list_rejected(self):
+        with pytest.raises(InvalidRange):
+            ranges_from_pairs([(0.0, 1.0), "nonsense"])
 
 
 class TestNoiseScale:

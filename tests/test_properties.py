@@ -39,6 +39,57 @@ class TestBlockPlanProperties:
         for block in plan.blocks:
             assert block.min() >= 0 and block.max() < n
 
+    @given(
+        n=st.integers(min_value=2, max_value=400),
+        beta=st.integers(min_value=1, max_value=57),
+        gamma=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_multiplicity_when_block_size_does_not_divide_n(
+        self, n, beta, gamma, seed
+    ):
+        """The §4.2 remainder-dropping invariants when beta does not divide n.
+
+        Each round keeps exactly ``floor(n/beta) * beta`` records (the
+        per-round remainder is dropped), so total coverage is pinned
+        even though *which* records each round drops varies.
+        """
+        if beta > n:
+            return
+        plan = BlockPlan.draw(n, block_size=beta, resampling_factor=gamma, rng=seed)
+        multiplicity = plan.record_multiplicity()
+        assert multiplicity.shape == (n,)
+        # The sensitivity bound gamma holds for every record, full
+        # rounds or not.
+        assert multiplicity.max() <= gamma
+        assert multiplicity.min() >= 0
+        # Coverage is exactly gamma rounds of floor(n/beta) full bins.
+        assert multiplicity.sum() == gamma * (n // beta) * beta
+        # When beta divides n no record is ever dropped.
+        if n % beta == 0:
+            assert np.array_equal(multiplicity, np.full(n, gamma))
+
+    @given(
+        n=st.integers(min_value=2, max_value=300),
+        beta=st.integers(min_value=1, max_value=50),
+        gamma=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stacked_materialization_matches_per_block_slices(
+        self, n, beta, gamma, seed
+    ):
+        """plan.stack rows are exactly the per-index gathers (bit-equal)."""
+        if beta > n:
+            return
+        plan = BlockPlan.draw(n, block_size=beta, resampling_factor=gamma, rng=seed)
+        values = np.random.default_rng(seed).normal(size=(n, 2))
+        stacked = plan.stack(values)
+        assert stacked.shape == (plan.num_blocks, beta, 2)
+        for row, idx in zip(stacked, plan.blocks):
+            assert np.array_equal(row, values[idx])
+
 
 class TestAggregationProperties:
     @given(

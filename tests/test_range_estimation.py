@@ -12,7 +12,13 @@ from repro.core.range_estimation import (
 from repro.exceptions import InvalidRange
 
 
-def make_context(values=None, input_ranges=None, output_dimension=1, outputs=None):
+def make_context(
+    values=None,
+    input_ranges=None,
+    output_dimension=1,
+    outputs=None,
+    blocks_per_record=1,
+):
     values = np.asarray(values if values is not None else np.linspace(0, 100, 200))
     if values.ndim == 1:
         values = values.reshape(-1, 1)
@@ -29,6 +35,7 @@ def make_context(values=None, input_ranges=None, output_dimension=1, outputs=Non
         input_ranges=tuple(input_ranges),
         output_dimension=output_dimension,
         block_outputs_fn=block_outputs_fn,
+        blocks_per_record=blocks_per_record,
     )
 
 
@@ -97,6 +104,70 @@ class TestLooseOutputRange:
                 make_context(output_dimension=2, outputs=np.zeros((5, 2))),
                 epsilon=1.0,
             )
+
+
+class TestLooseRangeGammaSensitivity:
+    """Regression for the gamma-resampling privacy bug (Claim 1 audit).
+
+    Under gamma-resampling one record sits in gamma blocks, so it moves
+    up to gamma of the block outputs GUPT-loose privatizes — every rank
+    in the percentile mechanism's order statistics shifts by gamma, not
+    1.  The strategy must run each percentile estimate at
+    ``epsilon / (dims * gamma)``; pre-fix it ignored gamma entirely and
+    the released range was only ``(gamma * epsilon)``-DP.
+    """
+
+    @staticmethod
+    def _mechanism_epsilons(monkeypatch, blocks_per_record, epsilon, dims=1):
+        import repro.core.range_estimation as range_estimation
+
+        captured = []
+        real = range_estimation.dp_percentile_range
+
+        def spy(values, eps, *args, **kwargs):
+            captured.append(eps)
+            return real(values, eps, *args, **kwargs)
+
+        monkeypatch.setattr(range_estimation, "dp_percentile_range", spy)
+        outputs = np.tile(np.linspace(10.0, 90.0, 60).reshape(-1, 1), (1, dims))
+        strategy = LooseOutputRange([(0.0, 100.0)] * dims)
+        strategy.estimate(
+            make_context(
+                outputs=outputs,
+                output_dimension=dims,
+                blocks_per_record=blocks_per_record,
+            ),
+            epsilon=epsilon,
+            rng=0,
+        )
+        return captured
+
+    def test_mechanism_epsilon_divided_by_gamma(self, monkeypatch):
+        # Fails pre-fix: the mechanism used to receive the full 0.6.
+        [eps] = self._mechanism_epsilons(monkeypatch, blocks_per_record=3, epsilon=0.6)
+        assert eps == pytest.approx(0.6 / 3)
+
+    def test_gamma_one_unchanged(self, monkeypatch):
+        [eps] = self._mechanism_epsilons(monkeypatch, blocks_per_record=1, epsilon=0.6)
+        assert eps == pytest.approx(0.6)
+
+    def test_gamma_composes_with_dimension_split(self, monkeypatch):
+        epsilons = self._mechanism_epsilons(
+            monkeypatch, blocks_per_record=2, epsilon=1.2, dims=2
+        )
+        assert epsilons == [pytest.approx(1.2 / (2 * 2))] * 2
+
+    def test_charged_epsilon_still_the_full_budget(self, monkeypatch):
+        # The *ledger* charge is unchanged — the fix tightens what the
+        # mechanism actually provides for that charge.
+        outputs = np.linspace(10.0, 90.0, 60).reshape(-1, 1)
+        strategy = LooseOutputRange((0.0, 100.0))
+        estimate = strategy.estimate(
+            make_context(outputs=outputs, blocks_per_record=4),
+            epsilon=0.8,
+            rng=0,
+        )
+        assert estimate.epsilon_spent == 0.8
 
 
 class TestHelperRange:

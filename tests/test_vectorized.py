@@ -1,0 +1,371 @@
+"""Tests for the vectorized block-execution fast path.
+
+Three layers: the batch primitives (stacking, batch execution, fallback
+substitution), the computation manager's backend selection with its
+counted fallback hierarchy, and the end-to-end guarantees — bit-identical
+releases across the full serial/thread/pool/vectorized matrix for the
+same seeded request, and release-safe telemetry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.gupt import GuptRuntime
+from repro.accounting.manager import DatasetManager
+from repro.core.range_estimation import TightRange
+from repro.datasets.table import DataTable
+from repro.estimators.statistics import (
+    Count,
+    Mean,
+    Median,
+    Quantile,
+    StandardDeviation,
+    Variance,
+)
+from repro.observability import MetricsRegistry
+from repro.runtime.computation_manager import BACKENDS, ComputationManager
+from repro.runtime.service import ANALYST, OWNER, GuptService, QueryRequest
+from repro.runtime.timing import TimingDefense
+from repro.runtime.vectorized import (
+    VectorizedProgram,
+    run_batch_blocks,
+    stack_blocks,
+    supports_batch,
+)
+
+FALLBACK = np.array([5.0])
+BLOCKS = [np.full((4, 1), float(i)) for i in range(6)]
+
+
+def plain_mean(block):
+    return float(np.mean(block))
+
+
+class TestBatchPrimitives:
+    def test_supports_batch_detection(self):
+        assert supports_batch(Mean())
+        assert not supports_batch(plain_mean)
+
+    def test_estimators_satisfy_the_protocol(self):
+        for program in (Mean(), Median(), Variance(), StandardDeviation()):
+            assert isinstance(program, VectorizedProgram)
+
+    def test_stack_blocks_uniform(self):
+        stacked = stack_blocks(BLOCKS)
+        assert stacked.shape == (6, 4, 1)
+        assert np.array_equal(stacked[3], BLOCKS[3])
+
+    def test_stack_blocks_ragged_returns_none(self):
+        assert stack_blocks([np.zeros((4, 1)), np.zeros((3, 1))]) is None
+        assert stack_blocks([]) is None
+
+    def test_run_batch_blocks_outputs(self):
+        stacked = stack_blocks(BLOCKS)
+        batch = run_batch_blocks(Mean(), stacked, 1, FALLBACK)
+        assert batch.num_blocks == 6
+        assert batch.outputs.shape == (6, 1)
+        assert list(batch.outputs[:, 0]) == [float(i) for i in range(6)]
+        assert batch.succeeded.all()
+
+    def test_to_executions_expansion(self):
+        batch = run_batch_blocks(Mean(), stack_blocks(BLOCKS), 1, FALLBACK)
+        executions = batch.to_executions()
+        assert [e.output[0] for e in executions] == [float(i) for i in range(6)]
+        assert all(e.succeeded and not e.killed for e in executions)
+        assert all(e.elapsed == batch.per_block_elapsed for e in executions)
+
+    def test_nonfinite_rows_substituted_with_fallback(self):
+        class NaNBatch:
+            def __call__(self, block):
+                return float(np.mean(block))
+
+            def run_batch(self, stacked):
+                out = np.mean(stacked[:, :, 0], axis=1)
+                out[2] = np.nan
+                return out
+
+        batch = run_batch_blocks(NaNBatch(), stack_blocks(BLOCKS), 1, FALLBACK)
+        assert batch.outputs[2, 0] == 5.0
+        assert list(batch.succeeded) == [True, True, False, True, True, True]
+        assert np.isfinite(batch.outputs).all()
+
+    def test_raising_batch_returns_none(self):
+        class Broken:
+            def __call__(self, block):
+                return 0.0
+
+            def run_batch(self, stacked):
+                raise RuntimeError("boom")
+
+        assert run_batch_blocks(Broken(), stack_blocks(BLOCKS), 1, FALLBACK) is None
+
+    def test_wrong_shape_batch_returns_none(self):
+        class WrongShape:
+            def __call__(self, block):
+                return 0.0
+
+            def run_batch(self, stacked):
+                return np.zeros((stacked.shape[0] + 1,))
+
+        assert run_batch_blocks(WrongShape(), stack_blocks(BLOCKS), 1, FALLBACK) is None
+
+    def test_no_state_carryover_across_queries(self):
+        class Stateful:
+            def __init__(self):
+                self.calls = 0
+
+            def __call__(self, block):
+                return 0.0
+
+            def run_batch(self, stacked):
+                self.calls += 1
+                return np.full(stacked.shape[0], float(self.calls))
+
+        program = Stateful()
+        stacked = stack_blocks(BLOCKS)
+        first = run_batch_blocks(program, stacked, 1, FALLBACK)
+        second = run_batch_blocks(program, stacked, 1, FALLBACK)
+        # Each query ran against a fresh instance: counter stays at 1.
+        assert list(first.outputs[:, 0]) == [1.0] * 6
+        assert list(second.outputs[:, 0]) == [1.0] * 6
+        assert program.calls == 0
+
+
+class TestManagerBackend:
+    def test_vectorized_in_backends(self):
+        assert "vectorized" in BACKENDS
+
+    def test_batch_path_taken_for_batch_programs(self):
+        registry = MetricsRegistry()
+        manager = ComputationManager(backend="vectorized", metrics=registry)
+        results = manager.run_blocks(Mean(), BLOCKS, 1, FALLBACK)
+        assert [r.output[0] for r in results] == [float(i) for i in range(6)]
+        counters = registry.snapshot()["counters"]
+        assert counters["vectorized.batches"] == 1
+        assert "blocks.executed" in counters
+
+    def test_fallback_no_batch_form(self):
+        registry = MetricsRegistry()
+        manager = ComputationManager(backend="vectorized", metrics=registry)
+        results = manager.run_blocks(plain_mean, BLOCKS, 1, FALLBACK)
+        assert [r.output[0] for r in results] == [float(i) for i in range(6)]
+        counters = registry.snapshot()["counters"]
+        assert counters['vectorized.fallbacks{reason="no_batch_form"}'] == 1
+        assert counters.get("vectorized.batches", 0) == 0
+
+    def test_fallback_timing_defense(self):
+        registry = MetricsRegistry()
+        manager = ComputationManager(
+            backend="vectorized",
+            metrics=registry,
+            timing=TimingDefense(cycle_budget=5.0),
+        )
+        results = manager.run_blocks(Mean(), BLOCKS, 1, FALLBACK)
+        assert [r.output[0] for r in results] == [float(i) for i in range(6)]
+        counters = registry.snapshot()["counters"]
+        assert counters['vectorized.fallbacks{reason="timing_defense"}'] == 1
+
+    def test_fallback_ragged_blocks(self):
+        registry = MetricsRegistry()
+        manager = ComputationManager(backend="vectorized", metrics=registry)
+        ragged = BLOCKS + [np.full((3, 1), 6.0)]
+        results = manager.run_blocks(Mean(), ragged, 1, FALLBACK)
+        assert [r.output[0] for r in results] == [float(i) for i in range(7)]
+        counters = registry.snapshot()["counters"]
+        assert counters['vectorized.fallbacks{reason="ragged_blocks"}'] == 1
+
+    def test_fallback_batch_error(self):
+        class Broken:
+            def __call__(self, block):
+                return float(np.mean(block))
+
+            def run_batch(self, stacked):
+                raise RuntimeError("boom")
+
+        registry = MetricsRegistry()
+        manager = ComputationManager(backend="vectorized", metrics=registry)
+        results = manager.run_blocks(Broken(), BLOCKS, 1, FALLBACK)
+        # The per-block __call__ path still answers the query.
+        assert [r.output[0] for r in results] == [float(i) for i in range(6)]
+        counters = registry.snapshot()["counters"]
+        assert counters['vectorized.fallbacks{reason="batch_error"}'] == 1
+
+    def test_collected_matrix_matches_execution_list(self):
+        vec = ComputationManager(backend="vectorized", metrics=MetricsRegistry())
+        serial = ComputationManager(backend="serial", metrics=MetricsRegistry())
+        collected = vec.run_blocks_collected(Mean(), 1, FALLBACK, blocks=BLOCKS)
+        executions = serial.run_blocks(Mean(), BLOCKS, 1, FALLBACK)
+        assert np.array_equal(
+            collected.outputs, np.vstack([e.output for e in executions])
+        )
+        assert collected.succeeded.all()
+
+    def test_collected_without_blocks_list(self):
+        # The fast path needs only the stacked view; no per-block list.
+        manager = ComputationManager(backend="vectorized", metrics=MetricsRegistry())
+        collected = manager.run_blocks_collected(
+            Mean(), 1, FALLBACK, stacked=stack_blocks(BLOCKS)
+        )
+        assert list(collected.outputs[:, 0]) == [float(i) for i in range(6)]
+
+    def test_collected_degrades_to_chambers(self):
+        registry = MetricsRegistry()
+        manager = ComputationManager(backend="vectorized", metrics=registry)
+        collected = manager.run_blocks_collected(
+            plain_mean, 1, FALLBACK, blocks=BLOCKS
+        )
+        assert list(collected.outputs[:, 0]) == [float(i) for i in range(6)]
+        counters = registry.snapshot()["counters"]
+        assert counters['vectorized.fallbacks{reason="no_batch_form"}'] == 1
+
+    def test_precomputed_stacked_view_used(self):
+        class CountingBatch:
+            seen = []
+
+            def __call__(self, block):
+                return float(np.mean(block))
+
+            def run_batch(self, stacked):
+                CountingBatch.seen.append(stacked.shape)
+                return np.mean(stacked[:, :, 0], axis=1)
+
+        manager = ComputationManager(backend="vectorized", metrics=MetricsRegistry())
+        stacked = stack_blocks(BLOCKS)
+        manager.run_blocks(CountingBatch(), BLOCKS, 1, FALLBACK, stacked=stacked)
+        assert CountingBatch.seen == [(6, 4, 1)]
+
+
+class TestEstimatorBatchParity:
+    """run_batch must be the exact vectorization of __call__ — bit-equal."""
+
+    @pytest.mark.parametrize(
+        "program",
+        [
+            Mean(),
+            Median(),
+            Quantile(q=0.3),
+            Variance(),
+            StandardDeviation(),
+            Count(threshold=0.5),
+            Mean(column=1),
+            Count(threshold=0.2, column=1, above=False),
+        ],
+        ids=lambda p: f"{type(p).__name__}-col{p.column}",
+    )
+    def test_bitwise_parity(self, program):
+        rng = np.random.default_rng(99)
+        blocks = [rng.uniform(0.0, 1.0, size=(17, 3)) for _ in range(12)]
+        stacked = stack_blocks(blocks)
+        batch = program.run_batch(stacked)
+        serial = np.array([program(block) for block in blocks])
+        assert np.array_equal(batch, serial)  # bit-identical, not approx
+
+
+class TestDeterminismMatrix:
+    """The same seeded request releases identical bits on every backend."""
+
+    SEEDS = [4200 + i for i in range(5)]
+
+    @staticmethod
+    def _service(backend):
+        service = GuptService(
+            metrics=MetricsRegistry(), rng=31337, backend=backend, workers=2
+        )
+        owner = service.enroll(OWNER)
+        analyst = service.enroll(ANALYST)
+        rng = np.random.default_rng(404)
+        table = DataTable(rng.uniform(0.0, 10.0, size=(96, 1)), column_names=("x",))
+        service.register_dataset(owner.token, "d", table, total_budget=50.0)
+        return service, analyst
+
+    def _run(self, backend, program):
+        service, analyst = self._service(backend)
+        try:
+            values = []
+            for seed in self.SEEDS:
+                response = service.execute(
+                    analyst.token,
+                    QueryRequest(
+                        dataset="d",
+                        program=program,
+                        range_strategy=TightRange(((0.0, 10.0),)),
+                        epsilon=0.5,
+                        block_size=8,
+                        seed=seed,
+                    ),
+                )
+                assert response.ok, response.error
+                values.append(response.value)
+        finally:
+            service.close()
+        return values
+
+    def test_all_backends_bit_identical(self):
+        released = {b: self._run(b, Mean()) for b in BACKENDS}
+        assert (
+            released["serial"]
+            == released["thread"]
+            == released["pool"]
+            == released["vectorized"]
+        )
+
+    def test_matrix_holds_for_median(self):
+        # Median exercises a different numpy reduction path (partition,
+        # not pairwise sum).
+        assert self._run("serial", Median()) == self._run("vectorized", Median())
+
+    def test_warm_cache_repeat_is_bit_identical(self):
+        service, analyst = self._service("vectorized")
+        request = QueryRequest(
+            dataset="d",
+            program=Mean(),
+            range_strategy=TightRange(((0.0, 10.0),)),
+            epsilon=0.5,
+            block_size=8,
+            seed=777,
+        )
+        try:
+            cold = service.execute(analyst.token, request)
+            warm = service.execute(analyst.token, request)
+        finally:
+            service.close()
+        assert cold.ok and warm.ok
+        assert cold.value == warm.value
+
+
+class TestVectorizedTelemetryReleaseSafety:
+    # Mirrors tests/test_observability.py: every record lies in the
+    # sentinel band; no release-safe metric can legitimately reach it.
+    SENTINEL_LO, SENTINEL_HI = 7000.0, 7400.0
+
+    def test_fast_path_metrics_stay_below_the_band(self):
+        from tests.test_observability import numeric_leaves
+
+        registry = MetricsRegistry()
+        manager = DatasetManager(metrics=registry)
+        rng = np.random.default_rng(11)
+        values = rng.uniform(
+            self.SENTINEL_LO + 50.0, self.SENTINEL_HI - 50.0, size=2000
+        )
+        manager.register(
+            "census",
+            DataTable(values, column_names=["v"]),
+            total_budget=20.0,
+        )
+        runtime = GuptRuntime(
+            manager, rng=7, metrics=registry, backend="vectorized"
+        )
+        result = runtime.run(
+            "census",
+            Mean(),
+            TightRange((self.SENTINEL_LO, self.SENTINEL_HI)),
+            epsilon=2.0,
+            rng=3,
+        )
+        assert self.SENTINEL_LO - 60 < result.scalar() < self.SENTINEL_HI + 60
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["vectorized.batches"] >= 1
+        assert any(k.startswith("plan_cache.") for k in snapshot["counters"])
+        leaves = numeric_leaves(snapshot)
+        assert leaves, "snapshot unexpectedly empty"
+        assert max(abs(v) for v in leaves) < self.SENTINEL_LO / 2

@@ -328,7 +328,9 @@ class DatasetManager:
         with self._lock:
             return list(self._recovered)
 
-    def add_invalidation_hook(self, callback: Callable[[str], None]) -> None:
+    def add_invalidation_hook(
+        self, callback: Callable[[str], None]
+    ) -> Callable[[], None]:
         """Call ``callback(name)`` whenever ``name``'s registration changes.
 
         Fired on both register and unregister, *outside* the manager's
@@ -336,9 +338,24 @@ class DatasetManager:
         to eagerly drop content-derived caches — version-scoped cache
         keys already make stale hits impossible, so the hook is purely
         about reclaiming memory promptly.
+
+        Returns an unsubscribe callable: a consumer that is shut down
+        before the manager (e.g. a runtime against a caller-owned
+        manager) must call it so the manager does not pin the dead
+        consumer and keep invoking it forever.  Unsubscribing twice is
+        a no-op.
         """
         with self._lock:
             self._invalidation_hooks.append(callback)
+        return lambda: self.remove_invalidation_hook(callback)
+
+    def remove_invalidation_hook(self, callback: Callable[[str], None]) -> None:
+        """Remove a previously added hook; a no-op if it is not present."""
+        with self._lock:
+            try:
+                self._invalidation_hooks.remove(callback)
+            except ValueError:
+                pass
 
     def _notify_invalidation(self, name: str) -> None:
         with self._lock:

@@ -132,8 +132,11 @@ class GuptRuntime:
                 metrics=metrics,
             )
         self._plan_cache = plan_cache
+        self._plan_cache_unhook: Callable[[], None] | None = None
         if self._plan_cache is not None:
-            self._datasets.add_invalidation_hook(self._plan_cache.invalidate)
+            self._plan_cache_unhook = self._datasets.add_invalidation_hook(
+                self._plan_cache.invalidate
+            )
 
     @property
     def dataset_manager(self) -> DatasetManager:
@@ -152,9 +155,14 @@ class GuptRuntime:
 
         A dataset manager the runtime built itself (``state_dir=`` or
         default) is closed too, flushing its durable journal; a plan
-        cache drops its memoized materializations.
+        cache drops its memoized materializations and unhooks itself
+        from the dataset manager (so a long-lived caller-owned manager
+        does not pin — or keep invoking — the dead cache).
         """
         self._computation.close()
+        if self._plan_cache_unhook is not None:
+            self._plan_cache_unhook()
+            self._plan_cache_unhook = None
         if self._plan_cache is not None:
             self._plan_cache.clear()
         if self._owns_datasets:

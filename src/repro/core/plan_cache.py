@@ -16,6 +16,10 @@ value or a block output, so cache hit/miss behavior (and the
 does not already reveal.  Cached *values* (plans and stacked block
 views) are of course sensitive, exactly as the dataset itself is; they
 live and die inside the trusted platform and are never released.
+Stacked materializations are frozen (``writeable = False``) before
+insertion: they are shared across queries, so an analyst program that
+mutates its input in place must never be able to corrupt the records a
+*later* query computes its release from.
 
 **Invalidation.**  Entries are scoped to a dataset *version*: the
 dataset manager assigns a fresh version at every registration, so
@@ -164,7 +168,15 @@ class BlockPlanCache:
 
         registry.counter("plan_cache.misses").inc()
         plan = draw()
-        entry = _Entry(plan, plan.stack(values))
+        stacked = plan.stack(values)
+        if stacked is not None:
+            # The entry is shared across queries: freeze it so an analyst
+            # program that mutates its input in place can never corrupt
+            # the cached records other queries will compute from.  The
+            # execution layer detects the frozen array and hands such
+            # programs per-query copies instead.
+            stacked.flags.writeable = False
+        entry = _Entry(plan, stacked)
         evicted = 0
         with self._lock:
             if key not in self._entries:

@@ -214,6 +214,11 @@ class ComputationManager:
         """
         fallback = self._validate_shape(output_dimension, fallback)
         if self._backend == "vectorized":
+            # Empty input is a caller error, not a plan-shape degrade:
+            # raise before _try_batch so the telemetry never counts a
+            # vectorized fallback for a query that had nothing to run.
+            if stacked is None and not blocks:
+                raise ComputationError("no blocks to execute")
             metrics = self._metrics or get_registry()
             metrics.gauge("blocks.pool_width").set(self._max_workers)
             batch = self._try_batch(
@@ -230,7 +235,16 @@ class ComputationManager:
         # Chamber/pool path (including a counted vectorized degrade):
         # run the per-block contract, then collect to matrix form.
         if blocks is None:
-            blocks = [] if stacked is None else list(stacked)
+            if stacked is None:
+                blocks = []
+            elif stacked.flags.writeable:
+                blocks = list(stacked)
+            else:
+                # Frozen stacked arrays are shared plan-cache entries;
+                # chambers run programs that may legitimately mutate
+                # their block in place, so hand each one a per-query
+                # copy — mutation degrades to a copy, never corruption.
+                blocks = [np.array(block) for block in stacked]
         executions = self._run_blocks_impl(
             program, blocks, output_dimension, fallback, stacked, try_batch=False
         )

@@ -31,7 +31,9 @@ defense it cannot reproduce:
 * *state attack* — ``run_batch`` sees all blocks in one call anyway, so
   per-block instance freshness is vacuous; the program instance is
   still pickle-round-tripped once per query so no state survives
-  *across* queries.
+  *across* queries, and the batch call only ever receives a *read-only*
+  view of the stacked blocks, so in-place mutation cannot carry state
+  across queries through a shared plan-cache entry either.
 * *timing attack* — per-block kill-and-pad semantics cannot be applied
   to a single fused call, so whenever a cycle budget is configured the
   manager transparently degrades to the chamber path (counted in
@@ -155,9 +157,17 @@ def run_batch_blocks(
     fallback = np.asarray(fallback, dtype=float).ravel()
     num_blocks = int(stacked.shape[0])
     instance = _fresh_instance(program)
+    # The program sees a read-only view: the stacked array may be a
+    # cache entry shared across queries, and released bits must never
+    # depend on cache state.  Freezing unconditionally keeps behavior
+    # identical on cold and warm caches — a batch form that mutates its
+    # input raises here and degrades to the chamber path (which hands
+    # such programs per-query copies) instead of corrupting anything.
+    readonly = stacked.view()
+    readonly.flags.writeable = False
     started = time.perf_counter()
     try:
-        raw = instance.run_batch(stacked)
+        raw = instance.run_batch(readonly)
     except Exception:
         return None
     elapsed = time.perf_counter() - started

@@ -128,3 +128,27 @@ class TestCharging:
         with pytest.raises(PrivacyBudgetExhausted):
             registered.charge(2.0, "greedy")
         assert len(registered.ledger) == 0
+
+
+class TestInvalidationHooks:
+    def test_hook_fires_on_register_and_unregister(self, table):
+        manager = DatasetManager()
+        calls = []
+        manager.add_invalidation_hook(calls.append)
+        manager.register("ages", table, total_budget=1.0)
+        manager.unregister("ages")
+        assert calls == ["ages", "ages"]
+
+    def test_add_returns_unsubscribe(self, table):
+        manager = DatasetManager()
+        calls = []
+        unhook = manager.add_invalidation_hook(calls.append)
+        manager.register("ages", table, total_budget=1.0)
+        assert calls == ["ages"]
+        unhook()
+        unhook()  # idempotent
+        manager.unregister("ages")
+        assert calls == ["ages"]  # no further notifications
+
+    def test_remove_unknown_hook_is_noop(self, table):
+        DatasetManager().remove_invalidation_hook(lambda name: None)

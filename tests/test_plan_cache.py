@@ -121,6 +121,20 @@ class TestCacheMechanics:
         assert len(cache) == 0
         assert cache.nbytes == 0
 
+    def test_cached_materialization_is_frozen(self):
+        # The stacked entry is shared across queries: it must come back
+        # read-only so a mutating program can never corrupt the records
+        # a later query computes its release from.
+        cache = BlockPlanCache(metrics=MetricsRegistry())
+        values = np.arange(100, dtype=float).reshape(-1, 1)
+        key = make_key()
+        _, stacked = cache.plan_and_stack(key, values, drawer(key))
+        assert stacked.flags.writeable is False
+        with pytest.raises(ValueError):
+            stacked[0, 0, 0] = 1e9
+        _, again = cache.plan_and_stack(key, values, drawer(key))
+        assert again.flags.writeable is False
+
     def test_bounds_validated(self):
         with pytest.raises(ValueError):
             BlockPlanCache(max_entries=0)
@@ -289,3 +303,62 @@ class TestRuntimeIntegration:
         assert len(runtime.plan_cache) == 1
         runtime.close()
         assert len(runtime.plan_cache) == 0
+
+    def test_mutating_program_cannot_poison_the_cache(self):
+        # Regression: the chamber fallback used to run programs on
+        # zero-copy views into the shared cache entry, so an in-place
+        # mutation survived into every later query with the same plan
+        # key.  The frozen entry now forces a per-query copy: a program
+        # that reads its block and then zeroes it releases the same
+        # bits on the cold run, the warm-cache run and with no cache.
+        class ReadThenZero:
+            output_dimension = 1
+
+            def __call__(self, block):
+                out = float(np.mean(block))
+                block[...] = 0.0
+                return out
+
+        values = np.random.default_rng(5).uniform(1.0, 10.0, size=(96, 1))
+        cached = self._runtime(values, rng=0, backend="vectorized")
+        uncached = self._runtime(
+            values, rng=0, backend="vectorized", plan_cache_size=0
+        )
+
+        def query(runtime):
+            return runtime.run(
+                "d",
+                ReadThenZero(),
+                TightRange((0.0, 10.0)),
+                epsilon=0.5,
+                block_size=8,
+                rng=42,
+            ).scalar()
+
+        cold = query(cached)
+        warm = query(cached)
+        off = query(uncached)
+        assert cold == warm == off
+        # The cached records themselves survived both runs unmutated.
+        assert len(cached.plan_cache) == 1
+        entry = next(iter(cached.plan_cache._entries.values()))
+        assert entry.stacked.flags.writeable is False
+        assert np.all(entry.stacked >= 1.0)  # never zeroed in place
+
+    def test_close_detaches_cache_from_caller_owned_manager(self):
+        manager = DatasetManager()
+        values = np.arange(100, dtype=float).reshape(-1, 1)
+        manager.register(
+            "d", DataTable(values, column_names=("x",)), total_budget=100.0
+        )
+        runtime = GuptRuntime(manager, rng=0)
+        cache = runtime.plan_cache
+        runtime.close()
+        # The caller-owned manager outlives the runtime: close() must
+        # unhook the cache, or every dead runtime would stay pinned and
+        # keep being invoked on each registration change.  A leaked
+        # hook would evict the entry below on unregister.
+        key = make_key(dataset="d")
+        cache.plan_and_stack(key, values, drawer(key))
+        manager.unregister("d")
+        assert len(cache) == 1

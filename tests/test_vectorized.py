@@ -22,6 +22,7 @@ from repro.estimators.statistics import (
     StandardDeviation,
     Variance,
 )
+from repro.exceptions import ComputationError
 from repro.observability import MetricsRegistry
 from repro.runtime.computation_manager import BACKENDS, ComputationManager
 from repro.runtime.service import ANALYST, OWNER, GuptService, QueryRequest
@@ -108,6 +109,22 @@ class TestBatchPrimitives:
                 return np.zeros((stacked.shape[0] + 1,))
 
         assert run_batch_blocks(WrongShape(), stack_blocks(BLOCKS), 1, FALLBACK) is None
+
+    def test_batch_call_sees_read_only_view(self):
+        # The stacked array may be a cache entry shared across queries:
+        # in-place mutation must raise (degrading the batch) rather
+        # than write through, on cold and warm caches alike.
+        class Mutator:
+            def __call__(self, block):
+                return float(np.mean(block))
+
+            def run_batch(self, stacked):
+                stacked[...] = 0.0
+                return np.mean(stacked[:, :, 0], axis=1)
+
+        stacked = stack_blocks(BLOCKS)
+        assert run_batch_blocks(Mutator(), stacked, 1, FALLBACK) is None
+        assert np.array_equal(stacked, np.stack(BLOCKS))
 
     def test_no_state_carryover_across_queries(self):
         class Stateful:
@@ -217,6 +234,59 @@ class TestManagerBackend:
         assert list(collected.outputs[:, 0]) == [float(i) for i in range(6)]
         counters = registry.snapshot()["counters"]
         assert counters['vectorized.fallbacks{reason="no_batch_form"}'] == 1
+
+    def test_mutating_batch_degrades_to_chambers(self):
+        class MutatingBatch:
+            def __call__(self, block):
+                return float(np.mean(block))
+
+            def run_batch(self, stacked):
+                stacked *= 0.0
+                return np.mean(stacked[:, :, 0], axis=1)
+
+        registry = MetricsRegistry()
+        manager = ComputationManager(backend="vectorized", metrics=registry)
+        stacked = stack_blocks(BLOCKS)
+        results = manager.run_blocks(
+            MutatingBatch(), BLOCKS, 1, FALLBACK, stacked=stacked
+        )
+        # The in-place write raised against the read-only view; the
+        # per-block path answered and the stacked array is untouched.
+        assert [r.output[0] for r in results] == [float(i) for i in range(6)]
+        assert np.array_equal(stacked, np.stack(BLOCKS))
+        counters = registry.snapshot()["counters"]
+        assert counters['vectorized.fallbacks{reason="batch_error"}'] == 1
+
+    def test_frozen_stacked_falls_back_with_writable_copies(self):
+        # A frozen stacked array marks a shared cache entry: the chamber
+        # fallback must hand programs per-query copies, so a legitimate
+        # mutating program still succeeds without corrupting the entry.
+        def read_then_zero(block):
+            out = float(np.mean(block))
+            block[...] = 0.0
+            return out
+
+        manager = ComputationManager(
+            backend="vectorized", metrics=MetricsRegistry()
+        )
+        stacked = stack_blocks(BLOCKS)
+        stacked.flags.writeable = False
+        collected = manager.run_blocks_collected(
+            read_then_zero, 1, FALLBACK, stacked=stacked
+        )
+        assert list(collected.outputs[:, 0]) == [float(i) for i in range(6)]
+        assert collected.succeeded.all()
+        assert np.array_equal(np.asarray(stacked), np.stack(BLOCKS))
+
+    def test_empty_input_is_an_error_not_a_fallback(self):
+        # Regression: no blocks at all used to count a ragged_blocks
+        # degrade before the chamber path raised.
+        registry = MetricsRegistry()
+        manager = ComputationManager(backend="vectorized", metrics=registry)
+        with pytest.raises(ComputationError):
+            manager.run_blocks_collected(Mean(), 1, FALLBACK)
+        counters = registry.snapshot()["counters"]
+        assert not any(k.startswith("vectorized.fallbacks") for k in counters)
 
     def test_precomputed_stacked_view_used(self):
         class CountingBatch:

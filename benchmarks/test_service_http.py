@@ -1,0 +1,123 @@
+"""Bench: the HTTP front door under 100 concurrent analysts.
+
+Measures what the service tier actually delivers over the wire —
+sustained queries/sec and end-to-end submit-to-result latency
+(p50/p99) — with every analyst on its own keep-alive connection,
+driving a scheduler-backed :class:`GuptService` on the vectorized
+backend.  Every query is seeded, and after the run a sample of the
+released values is recomputed *in-process* through
+``GuptService.execute``: each over-the-wire release must be
+bit-identical, proving the network tier adds nothing to the privacy
+path.
+
+``SERVICE_SCALE=smoke`` shrinks to 20 analysts for CI smoke runs.
+Writes ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.observability import MetricsRegistry
+from repro.runtime.service import GuptService
+from repro.server import protocol
+from repro.server.http import GuptHttpServer
+from repro.server.loadgen import LOAD_RANGE, run_load, seed_for
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+ADMIN = "bench-admin"
+EPSILON = 0.01
+BASE_SEED = 424242
+NUM_RECORDS = 2_000
+#: Released values re-verified in-process (spot check; full replay of
+#: every query would just re-run the load serially).
+VERIFY_SAMPLE = 50
+
+
+def test_http_throughput_and_bit_identity(capsys):
+    smoke = os.environ.get("SERVICE_SCALE", "full") == "smoke"
+    analysts = 20 if smoke else 100
+    queries_per_analyst = 5 if smoke else 10
+
+    registry = MetricsRegistry()
+    service = GuptService(
+        rng=0,
+        metrics=registry,
+        backend="vectorized",
+        scheduler_workers=4,
+        max_inflight=analysts * queries_per_analyst + 1,
+        queue_depth=analysts * queries_per_analyst + 1,
+    )
+    server = GuptHttpServer(service, admin_token=ADMIN, metrics=registry)
+    host, port = server.start()
+    try:
+        report = run_load(
+            host, port, ADMIN,
+            analysts=analysts,
+            queries_per_analyst=queries_per_analyst,
+            dataset="bench",
+            num_records=NUM_RECORDS,
+            epsilon=EPSILON,
+            seed=BASE_SEED,
+        )
+
+        # -- bit-identity: replay a deterministic sample in-process ----
+        verifier = service.enroll("analyst", "verifier")
+        keys = sorted(report.values)[:VERIFY_SAMPLE]
+        assert keys, "load run released nothing"
+        for key in keys:
+            analyst_index, index = map(int, key.split("/"))
+            body = protocol.query_request_to_wire(
+                "bench", {"name": "mean"}, [LOAD_RANGE],
+                epsilon=EPSILON,
+                seed=seed_for(BASE_SEED, analyst_index, index),
+                query_name=f"load-{analyst_index}-{index}",
+            )
+            in_process = service.execute(
+                verifier.token, protocol.parse_query_request(body)
+            )
+            assert in_process.ok
+            assert list(in_process.value) == report.values[key], key
+    finally:
+        server.stop()
+        service.close()
+
+    summary = report.summary()
+    summary["verified_bit_identical"] = len(keys)
+    snapshot = registry.snapshot()
+    summary["http_connections"] = snapshot["counters"]["http.connections"]
+
+    expected = analysts * queries_per_analyst
+    assert report.completed == expected, report.refused
+    assert report.ok == expected, report.refused
+    assert report.transport_errors == 0
+
+    BENCH_PATH.write_text(json.dumps(
+        {
+            "bench": "service_http",
+            "mode": "smoke" if smoke else "full",
+            "epsilon": EPSILON,
+            "num_records": NUM_RECORDS,
+            "base_seed": BASE_SEED,
+            **summary,
+        },
+        indent=2,
+    ))
+
+    with capsys.disabled():
+        print(
+            f"\nhttp front door: {analysts} analysts x {queries_per_analyst} "
+            f"queries -> {summary['queries_per_second']:.0f} q/s, "
+            f"p50 {summary['latency_p50_ms']:.0f} ms, "
+            f"p99 {summary['latency_p99_ms']:.0f} ms, "
+            f"{summary['verified_bit_identical']} releases verified bit-identical"
+        )
+
+    # The acceptance bar: >=100 sustained queries/sec at full scale
+    # (scaled pro rata for the smoke run).
+    floor = 100.0 if not smoke else 50.0
+    assert summary["queries_per_second"] >= floor, summary

@@ -55,13 +55,14 @@ def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
     """Options shared by the ``query`` and ``stats`` commands."""
     parser.add_argument("--data", required=True, help="path to a CSV file")
     parser.add_argument(
-        "--program", required=True, choices=sorted(PROGRAMS) + ["count-above"],
-        help="statistic to compute",
+        "--program", choices=sorted(PROGRAMS) + ["count-above"],
+        help="statistic to compute (required unless 'serve --http', "
+             "where analysts name programs over the wire)",
     )
     parser.add_argument("--column", default=0, help="column name or index (default 0)")
     parser.add_argument(
-        "--range", nargs=2, type=float, required=True, metavar=("LO", "HI"),
-        help="non-sensitive output range",
+        "--range", nargs=2, type=float, metavar=("LO", "HI"),
+        help="non-sensitive output range (required unless 'serve --http')",
     )
     parser.add_argument("--epsilon", type=float, help="privacy budget for this query")
     parser.add_argument(
@@ -125,9 +126,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = commands.add_parser(
         "serve",
-        help="run the hosted service under simulated concurrent analysts",
+        help="run the hosted service: --http exposes it over the network "
+             "front door; without --http it is driven by simulated "
+             "concurrent analyst threads in-process",
     )
     _add_query_arguments(serve)
+    serve.add_argument(
+        "--http", default=None, metavar="HOST:PORT",
+        help="serve the HTTP front door on this address (port 0 picks "
+             "an ephemeral port) instead of simulating traffic",
+    )
+    serve.add_argument(
+        "--http-seconds", type=float, default=None, metavar="SECONDS",
+        help="with --http: serve for this long then exit cleanly "
+             "(default: until interrupted)",
+    )
+    serve.add_argument(
+        "--admin-token", default=None, metavar="TOKEN",
+        help="with --http: bearer token guarding /v1/enroll "
+             "(default: freshly generated and printed)",
+    )
     serve.add_argument(
         "--analysts", type=int, default=4,
         help="concurrent analyst threads (default 4)",
@@ -254,7 +272,21 @@ def _execute_query(args, metrics: MetricsRegistry | None = None):
     return result, manager
 
 
+def _missing_query_args(args) -> bool:
+    """Validate --program/--range presence for query-running commands."""
+    missing = [
+        flag for flag, value in (("--program", args.program), ("--range", args.range))
+        if value is None
+    ]
+    if missing:
+        print(f"error: {' and '.join(missing)} required here", file=sys.stderr)
+        return True
+    return False
+
+
 def run_query(args) -> int:
+    if _missing_query_args(args):
+        return 2
     if (args.epsilon is None) == (args.accuracy is None):
         print("error: pass exactly one of --epsilon / --accuracy", file=sys.stderr)
         return 2
@@ -273,6 +305,8 @@ def run_query(args) -> int:
 
 
 def run_stats(args) -> int:
+    if _missing_query_args(args):
+        return 2
     if (args.epsilon is None) == (args.accuracy is None):
         print("error: pass exactly one of --epsilon / --accuracy", file=sys.stderr)
         return 2
@@ -288,7 +322,76 @@ def run_stats(args) -> int:
     return 0
 
 
+def run_serve_http(args) -> int:
+    """Stand up the real network front door over one CSV dataset."""
+    import time
+
+    from repro.runtime.service import ANALYST, OWNER, GuptService
+    from repro.server.http import GuptHttpServer
+
+    host, _, port_text = args.http.rpartition(":")
+    if not host or not port_text:
+        print("error: --http needs HOST:PORT", file=sys.stderr)
+        return 2
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"error: bad port {port_text!r}", file=sys.stderr)
+        return 2
+
+    table = load_csv(args.data)
+    registry = MetricsRegistry()
+    service = GuptService(
+        metrics=registry,
+        rng=args.seed,
+        backend=args.backend,
+        workers=args.workers,
+        batch_size=args.dispatch_batch,
+        scheduler_workers=args.scheduler_workers,
+        max_inflight=args.max_inflight,
+        queue_depth=args.queue_depth,
+        query_timeout=args.query_timeout,
+        state_dir=args.state_dir,
+    )
+    server = GuptHttpServer(
+        service, host=host, port=port,
+        admin_token=args.admin_token, metrics=registry,
+        state_dir=args.state_dir,
+    )
+    try:
+        owner = service.enroll(OWNER, "cli-owner")
+        analyst = service.enroll(ANALYST, "cli-analyst")
+        service.register_dataset(
+            owner.token, "cli", table,
+            total_budget=args.budget, aged_fraction=args.aged_fraction,
+        )
+        bound_host, bound_port = server.start()
+        print(f"front door    : http://{bound_host}:{bound_port}")
+        print(f"admin token   : {server.admin_token}")
+        print(f"owner token   : {owner.token}")
+        print(f"analyst token : {analyst.token}")
+        print(f"dataset       : cli ({table.num_records} records, "
+              f"budget {args.budget:g})")
+        sys.stdout.flush()
+        try:
+            if args.http_seconds is not None:
+                time.sleep(args.http_seconds)
+            else:  # pragma: no cover - interactive mode
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:  # pragma: no cover - interactive mode
+            pass
+    finally:
+        server.stop()
+        service.close()
+    return 0
+
+
 def run_serve(args) -> int:
+    if args.http is not None:
+        return run_serve_http(args)
+    if _missing_query_args(args):
+        return 2
     if (args.epsilon is None) == (args.accuracy is None):
         print("error: pass exactly one of --epsilon / --accuracy", file=sys.stderr)
         return 2

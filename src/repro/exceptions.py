@@ -2,6 +2,14 @@
 
 Every error raised by the library derives from :class:`GuptError` so that
 callers can catch library failures without masking programming errors.
+
+Each class additionally carries a stable, machine-readable ``code`` — a
+lower_snake_case identifier that crosses process boundaries unchanged.
+The hosted service stamps it onto refusal responses and the HTTP tier
+(:mod:`repro.server`) maps it to a status code, so remote clients can
+dispatch on the *class* of a failure without parsing human-readable
+messages.  Codes are part of the wire contract: renaming one is a
+breaking protocol change (``tests/test_server_protocol.py`` pins them).
 """
 
 from __future__ import annotations
@@ -9,6 +17,9 @@ from __future__ import annotations
 
 class GuptError(Exception):
     """Base class for all errors raised by this library."""
+
+    #: Stable machine-readable identifier for this class of failure.
+    code = "gupt_error"
 
 
 class PrivacyBudgetExhausted(GuptError):
@@ -19,6 +30,8 @@ class PrivacyBudgetExhausted(GuptError):
     Haeberlen et al.: an adversarial program cannot spend budget behind
     the manager's back, it can only be refused.
     """
+
+    code = "budget_exhausted"
 
     def __init__(self, requested: float, remaining: float, dataset: str = ""):
         self.requested = float(requested)
@@ -34,13 +47,19 @@ class PrivacyBudgetExhausted(GuptError):
 class InvalidPrivacyParameter(GuptError):
     """Raised for non-positive or non-finite privacy parameters."""
 
+    code = "invalid_privacy_parameter"
+
 
 class InvalidRange(GuptError):
     """Raised when an output or input range is malformed (lo > hi, NaN...)."""
 
+    code = "invalid_range"
+
 
 class DatasetError(GuptError):
     """Raised for dataset registration/lookup/shape problems."""
+
+    code = "dataset_error"
 
 
 class JournalError(GuptError):
@@ -52,6 +71,8 @@ class JournalError(GuptError):
     but can never resurrect budget.
     """
 
+    code = "journal_error"
+
 
 class JournalCorruption(JournalError):
     """Raised when a journal file is unreadable beyond a torn tail.
@@ -61,6 +82,8 @@ class JournalCorruption(JournalError):
     the file does not even carry the journal magic and cannot be trusted
     at all.
     """
+
+    code = "journal_corruption"
 
 
 class ComputationError(GuptError):
@@ -72,6 +95,8 @@ class ComputationError(GuptError):
     program whose output dimension disagrees with the declared one.
     """
 
+    code = "computation_error"
+
 
 class SandboxViolation(GuptError):
     """Raised when an analyst program attempts a forbidden operation.
@@ -79,6 +104,8 @@ class SandboxViolation(GuptError):
     The isolated execution chamber simulates the AppArmor MAC policy from
     the paper: no network, no IPC, writes confined to a scratch directory.
     """
+
+    code = "sandbox_violation"
 
 
 class AccuracyGoalInfeasible(GuptError):
@@ -88,3 +115,32 @@ class AccuracyGoalInfeasible(GuptError):
     exceeds the permissible output variance, so even an infinite privacy
     budget (zero noise) could not reach the goal.
     """
+
+    code = "accuracy_infeasible"
+
+
+class AuthenticationError(GuptError):
+    """Raised when a principal token is unknown to the service.
+
+    Deliberately message-poor: an attacker probing the front door learns
+    only that the token does not authenticate, never whether it once
+    existed or what role it would have had.
+    """
+
+    code = "unauthenticated"
+
+
+class AuthorizationError(GuptError):
+    """Raised when an authenticated principal lacks the required role.
+
+    The three-party model (Figure 2) gives owners and analysts disjoint
+    capabilities; crossing them is refused before any state is touched.
+    """
+
+    code = "forbidden"
+
+
+class UnknownHandleError(GuptError):
+    """Raised when a query handle does not name a live submission."""
+
+    code = "unknown_query"

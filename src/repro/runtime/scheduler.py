@@ -47,7 +47,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
-from repro.exceptions import GuptError
+from repro.exceptions import GuptError, UnknownHandleError
 from repro.observability import MetricsRegistry, get_registry
 from repro.testing import failpoints
 
@@ -216,13 +216,17 @@ class QueryScheduler:
             self._tickets[handle.id] = ticket
             registry.counter("scheduler.submitted").inc()
             if self._closing:
-                self._reject(ticket, "scheduler is shutting down", registry)
+                self._reject(
+                    ticket, "scheduler is shutting down",
+                    "scheduler_shutdown", registry,
+                )
                 return handle
             if self._inflight.get(principal, 0) >= self._max_inflight:
                 self._reject(
                     ticket,
                     f"principal has {self._max_inflight} queries in flight "
                     f"(limit {self._max_inflight})",
+                    "max_inflight",
                     registry,
                 )
                 return handle
@@ -230,6 +234,7 @@ class QueryScheduler:
                 self._reject(
                     ticket,
                     f"scheduler queue is full ({self._queue_depth} queries)",
+                    "queue_full",
                     registry,
                 )
                 return handle
@@ -296,7 +301,10 @@ class QueryScheduler:
             registry.counter("scheduler.cancellations").inc()
             self._finalize_queued(
                 ticket,
-                self._response(ok=False, error="query cancelled before dispatch"),
+                self._response(
+                    ok=False, error="query cancelled before dispatch",
+                    code="cancelled",
+                ),
                 "cancelled",
                 registry,
             )
@@ -330,6 +338,7 @@ class QueryScheduler:
                                     self._response(
                                         ok=False,
                                         error="scheduler shut down before dispatch",
+                                        code="scheduler_shutdown",
                                     ),
                                     "shutdown",
                                     registry,
@@ -350,23 +359,32 @@ class QueryScheduler:
     # Internals
     # ------------------------------------------------------------------
     @staticmethod
-    def _response(ok: bool, error: str):
+    def _response(ok: bool, error: str, code: str):
         from repro.runtime.service import QueryResponse
 
-        return QueryResponse(ok=ok, error=error)
+        return QueryResponse(ok=ok, error=error, code=code)
 
     def _ticket(self, handle: QueryHandle) -> _Ticket:
         ticket = self._tickets.get(handle.id)
         if ticket is None:
-            raise GuptError(f"unknown query handle {handle.id}")
+            raise UnknownHandleError(f"unknown query handle {handle.id}")
         return ticket
 
-    def _reject(self, ticket: _Ticket, reason: str, registry) -> None:
+    def state(self, handle: QueryHandle) -> str:
+        """Lifecycle state of one submission: queued, running or done.
+
+        Public metadata only (the same states the queue-depth and
+        running gauges aggregate); safe to surface to the submitting
+        analyst, e.g. as the HTTP tier's poll/SSE status field.
+        """
+        return self._ticket(handle).state
+
+    def _reject(self, ticket: _Ticket, reason: str, code: str, registry) -> None:
         """Settle a submission that was never admitted (lock held)."""
         registry.counter("scheduler.admission_rejections").inc()
         registry.counter("scheduler.completed", outcome="rejected").inc()
         ticket.state = _DONE
-        ticket.response = self._response(ok=False, error=reason)
+        ticket.response = self._response(ok=False, error=reason, code=code)
         ticket.done.set()
 
     def _finalize_queued(
@@ -399,6 +417,7 @@ class QueryScheduler:
                 self._response(
                     ok=False,
                     error="query timed out before dispatch; no budget was spent",
+                    code="timeout",
                 ),
                 "timeout",
                 registry,
@@ -431,6 +450,7 @@ class QueryScheduler:
                             ok=False,
                             error="query timed out before dispatch; "
                                   "no budget was spent",
+                            code="timeout",
                         ),
                         "timeout",
                         registry,
@@ -477,7 +497,9 @@ class QueryScheduler:
                 # The runner (service layer) already converts GuptErrors;
                 # anything else must still become a structured response.
                 response = self._response(
-                    ok=False, error=f"internal error: {type(exc).__name__}"
+                    ok=False,
+                    error=f"internal error: {type(exc).__name__}",
+                    code="internal_error",
                 )
 
             elapsed = time.perf_counter() - ticket.started_at
@@ -499,6 +521,7 @@ class QueryScheduler:
                             else " (no budget was spent)"
                         )
                     ),
+                    code="timeout",
                 )
                 outcome = "timeout"
             if getattr(response, "epsilon_rolled_back", 0.0) > 0.0:

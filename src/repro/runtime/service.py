@@ -43,7 +43,7 @@ from repro.core.budget_estimation import AccuracyGoal
 from repro.core.gupt import GuptRuntime
 from repro.core.range_estimation import RangeStrategy
 from repro.datasets.table import DataTable
-from repro.exceptions import GuptError
+from repro.exceptions import AuthenticationError, AuthorizationError, GuptError
 from repro.mechanisms.rng import RandomSource
 from repro.observability import MetricsRegistry, get_registry
 from repro.runtime.computation_manager import ComputationManager
@@ -104,9 +104,17 @@ class QueryResponse:
 
     ``error`` is a human-readable reason; it is derived only from the
     request's public parameters (budget arithmetic, validation), never
-    from record values, so refusals do not leak.  ``epsilon_rolled_back``
-    reports budget returned by a transactional rollback when the query
-    failed before its private release — always zero on success.
+    from record values, so refusals do not leak.  ``code`` is the
+    machine-readable counterpart: ``"ok"`` on success, otherwise the
+    stable identifier of the failure class (the exception's
+    :attr:`~repro.exceptions.GuptError.code`, or a scheduler refusal
+    code such as ``queue_full`` / ``max_inflight`` / ``timeout`` /
+    ``cancelled`` / ``scheduler_shutdown`` / ``internal_error``).
+    Clients — in particular the HTTP tier in :mod:`repro.server` —
+    dispatch on ``code``, never on the message text.
+    ``epsilon_rolled_back`` reports budget returned by a transactional
+    rollback when the query failed before its private release — always
+    zero on success.
     """
 
     ok: bool
@@ -114,6 +122,7 @@ class QueryResponse:
     epsilon_charged: float = 0.0
     error: str = ""
     epsilon_rolled_back: float = 0.0
+    code: str = "ok"
 
 
 class GuptService:
@@ -216,9 +225,9 @@ class GuptService:
     def _authenticate(self, token: str, required_role: str) -> Principal:
         principal = self._principals.get(token)
         if principal is None:
-            raise GuptError("unknown principal token")
+            raise AuthenticationError("unknown principal token")
         if principal.role != required_role:
-            raise GuptError(
+            raise AuthorizationError(
                 f"operation requires role {required_role!r}, token has "
                 f"{principal.role!r}"
             )
@@ -267,13 +276,13 @@ class GuptService:
     def list_datasets(self, token: str) -> list[str]:
         """Any principal: names of registered datasets."""
         if token not in self._principals:
-            raise GuptError("unknown principal token")
+            raise AuthenticationError("unknown principal token")
         return self._datasets.names()
 
     def describe_dataset(self, token: str, name: str) -> DatasetDescription:
         """Any principal: public metadata of one dataset."""
         if token not in self._principals:
-            raise GuptError("unknown principal token")
+            raise AuthenticationError("unknown principal token")
         registered = self._datasets.get(name)
         return DatasetDescription(
             name=registered.name,
@@ -327,8 +336,21 @@ class GuptService:
     ) -> QueryResponse | None:
         """Wait for a submitted query's terminal response.
 
-        Returns ``None`` when ``timeout`` elapses first; the query keeps
-        running and ``result`` can be called again.
+        ``timeout`` bounds *this wait only*, never the query.  The
+        contract on expiry — pinned by ``tests/test_service.py`` and
+        mirrored one-to-one by the HTTP poll endpoint (which answers
+        ``202 {"status": "pending"}``) — is:
+
+        * ``result`` **returns** ``None``; it never raises on expiry
+          (``timeout=0`` is therefore a non-blocking poll);
+        * the query is unaffected: it stays queued or running, no budget
+          decision is altered, and the scheduler's own ``query_timeout``
+          keeps being enforced independently;
+        * calling ``result`` again later is always valid and yields the
+          same single terminal response every time once it exists.
+
+        Raises :class:`~repro.exceptions.UnknownHandleError` only for a
+        handle this scheduler never issued.
         """
         return self.scheduler.result(handle, timeout=timeout)
 
@@ -364,6 +386,7 @@ class GuptService:
                 ok=False,
                 error=str(exc),
                 epsilon_rolled_back=getattr(exc, "epsilon_rolled_back", 0.0),
+                code=type(exc).code,
             )
         return QueryResponse(
             ok=True,

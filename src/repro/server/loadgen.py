@@ -1,0 +1,265 @@
+"""Load generator: hundreds of concurrent analysts against the front door.
+
+Drives a running :class:`GuptHttpServer` with realistic traffic — each
+analyst is one thread with its own persistent keep-alive connection and
+its own enrolled principal, submitting queries and long-polling for
+results.  Admission-control refusals (:class:`Backpressure`) are obeyed,
+not hidden: the analyst sleeps the server's ``Retry-After`` and
+resubmits, and every refusal is counted in the summary, so the report
+shows both the sustained goodput *and* how hard the scheduler had to
+push back to achieve it.
+
+Produces the numbers ``benchmarks/test_service_http.py`` persists to
+``BENCH_service.json``: sustained queries/sec, p50/p99 end-to-end
+latency (submit to terminal response), refusal/retry counts, and — when
+``seed`` is set — the released values keyed by ``(analyst, index)`` so
+the caller can check bit-identity against in-process execution.
+
+Also runnable standalone against any front door::
+
+    python -m repro.server.loadgen --url http://127.0.0.1:8080 \\
+        --admin-token TOKEN --analysts 100 --queries 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from urllib.parse import urlsplit
+
+from repro.server.client import Backpressure, GuptClient, ServerError
+from repro.server.protocol import query_request_to_wire
+
+#: Value range of the synthetic load dataset (data and declared range).
+LOAD_RANGE = (0.0, 100.0)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run (all values JSON-serializable)."""
+
+    analysts: int
+    queries_per_analyst: int
+    duration_seconds: float
+    completed: int = 0
+    ok: int = 0
+    refused: dict[str, int] = field(default_factory=dict)
+    backpressure_retries: int = 0
+    transport_errors: int = 0
+    latencies: list[float] = field(default_factory=list)
+    #: "analyst/index" -> released value tuple (seeded runs only).
+    values: dict[str, list[float]] = field(default_factory=dict)
+    #: "analyst/index" -> seed used (seeded runs only).
+    seeds: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.completed / self.duration_seconds if self.duration_seconds else 0.0
+
+    def summary(self) -> dict:
+        latencies = sorted(self.latencies)
+        return {
+            "analysts": self.analysts,
+            "queries_per_analyst": self.queries_per_analyst,
+            "duration_seconds": self.duration_seconds,
+            "completed": self.completed,
+            "ok": self.ok,
+            "refused": dict(sorted(self.refused.items())),
+            "backpressure_retries": self.backpressure_retries,
+            "transport_errors": self.transport_errors,
+            "queries_per_second": self.queries_per_second,
+            "latency_p50_ms": _percentile(latencies, 0.50) * 1000.0,
+            "latency_p90_ms": _percentile(latencies, 0.90) * 1000.0,
+            "latency_p99_ms": _percentile(latencies, 0.99) * 1000.0,
+            "latency_max_ms": (latencies[-1] * 1000.0) if latencies else 0.0,
+        }
+
+
+def seed_for(base_seed: int, analyst: int, index: int) -> int:
+    """The deterministic per-query seed scheme (stable wire contract)."""
+    return base_seed * 1_000_003 + analyst * 10_007 + index
+
+
+def run_load(
+    host: str,
+    port: int,
+    admin_token: str,
+    analysts: int = 100,
+    queries_per_analyst: int = 10,
+    dataset: str = "load",
+    num_records: int = 2000,
+    epsilon: float = 0.01,
+    seed: int | None = None,
+    register: bool = True,
+    total_budget: float | None = None,
+    program: str = "mean",
+    max_retries: int = 200,
+) -> LoadReport:
+    """Drive one load run; returns the :class:`LoadReport`.
+
+    When ``register`` is true an owner is enrolled and a synthetic
+    uniform dataset of ``num_records`` records is registered with a
+    budget sized to admit every query (plus 10% headroom) unless
+    ``total_budget`` overrides it.  ``seed=None`` leaves queries
+    unseeded (fresh noise per query); an integer seed makes every
+    released value reproducible and recorded in the report.
+    """
+    import numpy as np
+
+    bootstrap = GuptClient(host, port)
+    try:
+        if register:
+            owner_token = bootstrap.enroll("owner", "loadgen-owner", admin_token)
+            owner = GuptClient(host, port, token=owner_token)
+            try:
+                data_rng = np.random.default_rng(seed if seed is not None else 0)
+                values = data_rng.uniform(*LOAD_RANGE, size=num_records).tolist()
+                budget = (
+                    total_budget
+                    if total_budget is not None
+                    else epsilon * analysts * queries_per_analyst * 1.1
+                )
+                owner.register_dataset(
+                    dataset, values, total_budget=budget,
+                    column_names=["x"], input_ranges=[list(LOAD_RANGE)],
+                )
+            finally:
+                owner.close()
+        tokens = [
+            bootstrap.enroll("analyst", f"load-{i}", admin_token)
+            for i in range(analysts)
+        ]
+    finally:
+        bootstrap.close()
+
+    report = LoadReport(analysts=analysts, queries_per_analyst=queries_per_analyst,
+                        duration_seconds=0.0)
+    lock = threading.Lock()
+    barrier = threading.Barrier(analysts + 1)
+
+    def drive(analyst_index: int, token: str) -> None:
+        client = GuptClient(host, port, token=token)
+        local_latencies: list[float] = []
+        local_refused: dict[str, int] = {}
+        local_ok = 0
+        local_retries = 0
+        local_transport = 0
+        local_values: dict[str, list[float]] = {}
+        local_seeds: dict[str, int] = {}
+        try:
+            barrier.wait()
+            for index in range(queries_per_analyst):
+                key = f"{analyst_index}/{index}"
+                query_seed = None
+                if seed is not None:
+                    query_seed = seed_for(seed, analyst_index, index)
+                    local_seeds[key] = query_seed
+                body = query_request_to_wire(
+                    dataset, {"name": program}, [LOAD_RANGE],
+                    epsilon=epsilon, seed=query_seed,
+                    query_name=f"load-{analyst_index}-{index}",
+                )
+                started = time.perf_counter()
+                response = None
+                for _attempt in range(max_retries):
+                    try:
+                        query_id = client.submit(body)
+                    except Backpressure as refusal:
+                        local_retries += 1
+                        with lock:
+                            report.backpressure_retries += 1
+                        time.sleep(min(refusal.retry_after, 0.25))
+                        continue
+                    except ServerError as error:
+                        local_refused[error.code] = (
+                            local_refused.get(error.code, 0) + 1
+                        )
+                        break
+                    except OSError:
+                        local_transport += 1
+                        break
+                    response = client.result(query_id)
+                    break
+                if response is None:
+                    continue
+                local_latencies.append(time.perf_counter() - started)
+                if response.ok:
+                    local_ok += 1
+                    if query_seed is not None:
+                        local_values[key] = list(response.value)
+                else:
+                    local_refused[response.code] = (
+                        local_refused.get(response.code, 0) + 1
+                    )
+        finally:
+            client.close()
+        with lock:
+            report.latencies.extend(local_latencies)
+            report.ok += local_ok
+            report.completed += len(local_latencies)
+            report.transport_errors += local_transport
+            report.values.update(local_values)
+            report.seeds.update(local_seeds)
+            for refusal_code, count in local_refused.items():
+                report.refused[refusal_code] = (
+                    report.refused.get(refusal_code, 0) + count
+                )
+
+    threads = [
+        threading.Thread(target=drive, args=(i, token), name=f"loadgen-{i}")
+        for i, token in enumerate(tokens)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    report.duration_seconds = time.perf_counter() - started
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-loadgen",
+        description="drive a GUPT HTTP front door with concurrent analysts",
+    )
+    parser.add_argument("--url", required=True, help="server base URL")
+    parser.add_argument("--admin-token", required=True)
+    parser.add_argument("--analysts", type=int, default=100)
+    parser.add_argument("--queries", type=int, default=10)
+    parser.add_argument("--epsilon", type=float, default=0.01)
+    parser.add_argument("--records", type=int, default=2000)
+    parser.add_argument("--dataset", default="load")
+    parser.add_argument("--program", default="mean")
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument(
+        "--no-register", action="store_true",
+        help="assume the dataset already exists (reuses --dataset)",
+    )
+    args = parser.parse_args(argv)
+    split = urlsplit(args.url)
+    report = run_load(
+        split.hostname, split.port or 80, args.admin_token,
+        analysts=args.analysts, queries_per_analyst=args.queries,
+        dataset=args.dataset, num_records=args.records,
+        epsilon=args.epsilon, seed=args.seed, program=args.program,
+        register=not args.no_register,
+    )
+    print(json.dumps(report.summary(), indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,359 @@
+"""The wire contract between remote analysts and the hosted service.
+
+This module is the single source of truth for three things:
+
+1. **Error codes and HTTP statuses.**  Every refusal the platform can
+   produce — an exception class from :mod:`repro.exceptions` or a
+   scheduler refusal code — maps to exactly one stable machine-readable
+   ``code`` string and one HTTP status (:data:`STATUS_FOR_CODE`).  The
+   mapping is one-to-one and pinned by the conformance suite
+   (``tests/test_server_protocol.py``); changing an entry is a breaking
+   protocol change and requires bumping :data:`PROTOCOL_VERSION`.
+
+2. **JSON encodings.**  :func:`response_to_wire` /
+   :func:`wire_to_response` round-trip every
+   :class:`~repro.runtime.service.QueryResponse` field bit-for-bit
+   (floats travel as JSON numbers, which Python serializes via
+   ``repr`` — shortest round-trip representation — so a seeded release
+   is identical on both sides of the wire).
+
+3. **Request parsing.**  Remote analysts cannot ship arbitrary Python
+   callables — that would hand the chamber an unauditable pickle from
+   an untrusted network peer.  Instead the wire names a program from
+   :data:`PROGRAM_REGISTRY` (the built-in estimators, each of which the
+   chambers already treat as untrusted) plus its public parameters.
+   Range strategies are likewise declared by kind: ``tight`` and
+   ``loose`` are wire-encodable; GUPT-helper needs an analyst-supplied
+   translation *function* and is in-process only.
+
+Nothing in this module touches records or block outputs: every encoded
+value is either a public request parameter or an already-released
+(hence differentially private) result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Callable, Mapping
+
+from repro.core.budget_estimation import AccuracyGoal
+from repro.core.range_estimation import LooseOutputRange, TightRange
+from repro.estimators.statistics import (
+    Count,
+    Mean,
+    Median,
+    Quantile,
+    StandardDeviation,
+    Variance,
+)
+from repro.exceptions import GuptError
+
+#: Bumped on any breaking change to codes, statuses or encodings.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(GuptError):
+    """A request that cannot be parsed into a valid platform request."""
+
+    code = "invalid_request"
+
+
+# ----------------------------------------------------------------------
+# Error codes -> HTTP statuses (the conformance suite pins this table)
+# ----------------------------------------------------------------------
+#: One HTTP status per stable error code.  Grouping rationale:
+#: 4xx = the caller can fix the request (auth, parameters, budget);
+#: 429 = backpressure, retry later (admission control refusals);
+#: 5xx = the platform, not the request (shutdown, journal, internal).
+STATUS_FOR_CODE: dict[str, int] = {
+    "ok": 200,
+    "pending": 202,
+    # -- request-side failures ------------------------------------------
+    "invalid_request": 400,
+    "gupt_error": 400,
+    "invalid_privacy_parameter": 400,
+    "invalid_range": 400,
+    "unauthenticated": 401,
+    "budget_exhausted": 402,
+    "forbidden": 403,
+    "dataset_error": 404,
+    "unknown_query": 404,
+    "cancelled": 409,
+    "not_cancellable": 409,
+    "accuracy_infeasible": 422,
+    "computation_error": 422,
+    "sandbox_violation": 422,
+    # -- backpressure (admission control) -------------------------------
+    "max_inflight": 429,
+    "queue_full": 429,
+    # -- platform-side failures -----------------------------------------
+    "internal_error": 500,
+    "journal_corruption": 500,
+    "journal_error": 503,
+    "scheduler_shutdown": 503,
+    "timeout": 504,
+}
+
+#: Codes whose responses carry a ``Retry-After`` header: the request was
+#: well-formed and will likely succeed once load drains.
+RETRY_AFTER_CODES = frozenset({"max_inflight", "queue_full", "scheduler_shutdown"})
+
+#: Admission-control refusals: the scheduler settled the handle at
+#: submission time without running anything, so the HTTP tier answers
+#: the *submit* request itself with the mapped status (429/503) instead
+#: of handing back a query id that would only ever poll to a refusal.
+ADMISSION_CODES = frozenset({"max_inflight", "queue_full", "scheduler_shutdown"})
+
+
+def status_for_code(code: str) -> int:
+    """HTTP status for a wire code; unknown codes are server faults."""
+    return STATUS_FOR_CODE.get(code, 500)
+
+
+# ----------------------------------------------------------------------
+# QueryResponse encoding
+# ----------------------------------------------------------------------
+def response_to_wire(response) -> dict[str, Any]:
+    """Encode a :class:`QueryResponse` as a JSON-safe dict (all fields)."""
+    wire = asdict(response)
+    wire["value"] = [float(v) for v in response.value]
+    return wire
+
+
+def wire_to_response(wire: Mapping[str, Any]):
+    """Decode a wire dict back into a :class:`QueryResponse`.
+
+    Inverse of :func:`response_to_wire`: for every field, including
+    defaults the sender omitted.  Used by the client so remote callers
+    handle the exact same dataclass the in-process API returns.
+    """
+    from repro.runtime.service import QueryResponse
+
+    try:
+        return QueryResponse(
+            ok=bool(wire["ok"]),
+            value=tuple(float(v) for v in wire.get("value", ())),
+            epsilon_charged=float(wire.get("epsilon_charged", 0.0)),
+            error=str(wire.get("error", "")),
+            epsilon_rolled_back=float(wire.get("epsilon_rolled_back", 0.0)),
+            code=str(wire.get("code", "ok" if wire["ok"] else "gupt_error")),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed query response: {exc}") from exc
+
+
+def description_to_wire(description) -> dict[str, Any]:
+    """Encode a :class:`DatasetDescription` (public metadata only)."""
+    wire = asdict(description)
+    wire["column_names"] = list(description.column_names)
+    return wire
+
+
+# ----------------------------------------------------------------------
+# Program registry (wire name -> estimator factory)
+# ----------------------------------------------------------------------
+def _mk_simple(cls) -> Callable[[Mapping[str, Any]], Any]:
+    def build(spec: Mapping[str, Any]):
+        return cls(column=int(spec.get("column", 0)))
+
+    return build
+
+
+def _mk_quantile(spec: Mapping[str, Any]):
+    if "q" not in spec:
+        raise ProtocolError("program 'quantile' needs field 'q'")
+    return Quantile(q=float(spec["q"]), column=int(spec.get("column", 0)))
+
+
+def _mk_count(spec: Mapping[str, Any]):
+    if "threshold" not in spec:
+        raise ProtocolError("program 'count_above' needs field 'threshold'")
+    return Count(
+        threshold=float(spec["threshold"]),
+        column=int(spec.get("column", 0)),
+        above=bool(spec.get("above", True)),
+    )
+
+
+PROGRAM_REGISTRY: dict[str, Callable[[Mapping[str, Any]], Any]] = {
+    "mean": _mk_simple(Mean),
+    "median": _mk_simple(Median),
+    "variance": _mk_simple(Variance),
+    "std": _mk_simple(StandardDeviation),
+    "quantile": _mk_quantile,
+    "count_above": _mk_count,
+}
+
+
+def parse_program(spec: Any):
+    """Build the named estimator from its wire spec."""
+    if not isinstance(spec, Mapping):
+        raise ProtocolError("'program' must be an object with a 'name'")
+    name = spec.get("name")
+    factory = PROGRAM_REGISTRY.get(name)
+    if factory is None:
+        known = ", ".join(sorted(PROGRAM_REGISTRY))
+        raise ProtocolError(f"unknown program {name!r}; known programs: {known}")
+    try:
+        return factory(spec)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad parameters for program {name!r}: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Range strategies
+# ----------------------------------------------------------------------
+def _parse_range_pairs(raw: Any) -> list[tuple[float, float]]:
+    if not isinstance(raw, (list, tuple)) or not raw:
+        raise ProtocolError("'ranges' must be a non-empty list of [lo, hi] pairs")
+    pairs = []
+    for pair in raw:
+        if not isinstance(pair, (list, tuple)) or len(pair) != 2:
+            raise ProtocolError(f"range entry {pair!r} is not a [lo, hi] pair")
+        pairs.append((float(pair[0]), float(pair[1])))
+    return pairs
+
+
+def parse_range_strategy(spec: Any):
+    """Build a range strategy from its wire spec (tight or loose)."""
+    if not isinstance(spec, Mapping):
+        raise ProtocolError("'range' must be an object with a 'kind'")
+    kind = spec.get("kind")
+    if kind == "tight":
+        return TightRange(_parse_range_pairs(spec.get("ranges")))
+    if kind == "loose":
+        return LooseOutputRange(
+            _parse_range_pairs(spec.get("ranges")),
+            lower_percentile=float(spec.get("lower_percentile", 25.0)),
+            upper_percentile=float(spec.get("upper_percentile", 75.0)),
+        )
+    raise ProtocolError(
+        f"unknown range kind {kind!r}; wire-encodable kinds: tight, loose "
+        "(GUPT-helper needs an analyst callable and is in-process only)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Query requests
+# ----------------------------------------------------------------------
+def parse_query_request(body: Any):
+    """Parse a submit-query JSON body into a :class:`QueryRequest`.
+
+    Raises :class:`ProtocolError` (wire code ``invalid_request``, HTTP
+    400) for anything that does not name a complete, well-typed request;
+    semantic validation (budget arithmetic, range feasibility) stays
+    with the runtime, which reports through its own error classes.
+    """
+    from repro.runtime.service import QueryRequest
+
+    if not isinstance(body, Mapping):
+        raise ProtocolError("request body must be a JSON object")
+    dataset = body.get("dataset")
+    if not isinstance(dataset, str) or not dataset:
+        raise ProtocolError("'dataset' must be a non-empty string")
+
+    program = parse_program(body.get("program"))
+    strategy = parse_range_strategy(body.get("range"))
+
+    epsilon = body.get("epsilon")
+    accuracy_spec = body.get("accuracy")
+    accuracy = None
+    if accuracy_spec is not None:
+        if not isinstance(accuracy_spec, Mapping) or not (
+            "rho" in accuracy_spec and "delta" in accuracy_spec
+        ):
+            raise ProtocolError("'accuracy' must be {'rho': ..., 'delta': ...}")
+        accuracy = AccuracyGoal(
+            rho=float(accuracy_spec["rho"]), delta=float(accuracy_spec["delta"])
+        )
+    if (epsilon is None) == (accuracy is None):
+        raise ProtocolError("pass exactly one of 'epsilon' / 'accuracy'")
+
+    block_size = body.get("block_size")
+    if block_size is not None and block_size != "auto":
+        try:
+            block_size = int(block_size)
+        except (TypeError, ValueError):
+            raise ProtocolError("'block_size' must be an int, 'auto' or null") from None
+
+    seed = body.get("seed")
+    if seed is not None:
+        try:
+            seed = int(seed)
+        except (TypeError, ValueError):
+            raise ProtocolError("'seed' must be an integer or null") from None
+
+    group_by = body.get("group_by")
+    if group_by is not None and not isinstance(group_by, (str, int)):
+        raise ProtocolError("'group_by' must be a column name, index or null")
+
+    try:
+        return QueryRequest(
+            dataset=dataset,
+            program=program,
+            range_strategy=strategy,
+            epsilon=None if epsilon is None else float(epsilon),
+            accuracy=accuracy,
+            output_dimension=(
+                None
+                if body.get("output_dimension") is None
+                else int(body["output_dimension"])
+            ),
+            block_size=block_size,
+            resampling_factor=int(body.get("resampling_factor", 1)),
+            query_name=str(body.get("query_name", "query")),
+            group_by=group_by,
+            seed=seed,
+        )
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed query request: {exc}") from exc
+
+
+def query_request_to_wire(
+    dataset: str,
+    program: Mapping[str, Any],
+    ranges,
+    *,
+    kind: str = "tight",
+    epsilon: float | None = None,
+    accuracy: tuple[float, float] | None = None,
+    block_size=None,
+    resampling_factor: int = 1,
+    query_name: str = "query",
+    seed: int | None = None,
+) -> dict[str, Any]:
+    """Client-side helper assembling a submit body (tight/loose only)."""
+    body: dict[str, Any] = {
+        "dataset": dataset,
+        "program": dict(program),
+        "range": {"kind": kind, "ranges": [[float(lo), float(hi)] for lo, hi in ranges]},
+        "resampling_factor": resampling_factor,
+        "query_name": query_name,
+    }
+    if epsilon is not None:
+        body["epsilon"] = float(epsilon)
+    if accuracy is not None:
+        body["accuracy"] = {"rho": float(accuracy[0]), "delta": float(accuracy[1])}
+    if block_size is not None:
+        body["block_size"] = block_size
+    if seed is not None:
+        body["seed"] = int(seed)
+    return body
+
+
+__all__ = [
+    "ADMISSION_CODES",
+    "PROGRAM_REGISTRY",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RETRY_AFTER_CODES",
+    "STATUS_FOR_CODE",
+    "description_to_wire",
+    "parse_program",
+    "parse_query_request",
+    "parse_range_strategy",
+    "query_request_to_wire",
+    "response_to_wire",
+    "status_for_code",
+    "wire_to_response",
+]

@@ -367,3 +367,107 @@ class TestPoolBackendTelemetry:
         # anywhere near the sentinel band the block outputs live in.
         leaves = numeric_leaves(snapshot)
         assert leaves and max(abs(v) for v in leaves) < SENTINEL_LO / 2
+
+
+class TestHttpTelemetry:
+    """The network tier extends the PR 1 release-safety invariant.
+
+    ``http.*`` instruments are pure transport metadata — request/response
+    counts by route template and status, connection gauges, duration
+    histograms, auth-failure and backpressure counters.  Driving the
+    real server with sentinel-band data over the wire (success, auth
+    failure, backpressure rejection, SSE stream) proves none of it
+    derives from record values, released values or raw URLs.
+    """
+
+    def test_http_metrics_present_and_release_safe(self, registry, rng):
+        from repro.server.client import Backpressure, GuptClient
+        from repro.server.http import GuptHttpServer
+
+        service = GuptService(
+            rng=3, metrics=registry, scheduler_workers=1, max_inflight=1,
+        )
+        server = GuptHttpServer(service, admin_token="tel-admin", metrics=registry)
+        host, port = server.start()
+        client = GuptClient(host, port)
+        try:
+            client.token = client.enroll("owner", "o", "tel-admin")
+            # Big enough that the slow query below runs for milliseconds
+            # (so the second submit deterministically hits max_inflight)
+            # but with block counts well under the sentinel threshold.
+            values = rng.uniform(SENTINEL_LO + 50.0, SENTINEL_HI - 50.0, size=20_000)
+            client.register_dataset(
+                "census", values.tolist(), total_budget=20.0,
+                column_names=["v"], input_ranges=[[SENTINEL_LO, SENTINEL_HI]],
+            )
+            analyst = GuptClient(host, port)
+            analyst.token = analyst.enroll("analyst", "a", "tel-admin")
+            body = {
+                "dataset": "census",
+                "program": {"name": "mean"},
+                "range": {"kind": "tight",
+                          "ranges": [[SENTINEL_LO, SENTINEL_HI]]},
+                "epsilon": 2.0,
+            }
+            # One successful release (value in the sentinel band) — and a
+            # second submission refused by max_inflight=1 while the
+            # first's 4000 blocks are still running.
+            slow = dict(body, block_size=25, epsilon=0.5)
+            first = analyst.submit(slow)
+            with pytest.raises(Backpressure):
+                analyst.submit(slow)
+            released = analyst.result(first)
+            assert released.ok
+            assert SENTINEL_LO < released.value[0] < SENTINEL_HI
+
+            # An auth failure and an SSE stream touch their instruments.
+            status, _, _ = analyst.raw_request("GET", "/v1/datasets", token="bogus")
+            assert status == 401
+            done = analyst.submit(dict(body, epsilon=0.5))
+            events = list(analyst.events(done))
+            assert events[-1][0] == "result"
+            analyst.close()
+        finally:
+            client.close()
+            server.stop()
+            service.close()
+
+        snapshot = registry.snapshot()
+        counters = snapshot["counters"]
+        # Every http.* instrument exists (materialized at zero on start,
+        # so release builds can alert on absence)...
+        assert counters["http.connections"] >= 2
+        assert counters['http.requests{method="POST",route="/v1/queries"}'] >= 3
+        assert counters['http.responses{status="200"}'] >= 2
+        assert counters['http.backpressure_rejections{code="max_inflight"}'] == 1
+        assert counters["http.auth_failures"] >= 1
+        assert counters["http.sse_streams"] == 1
+        assert counters['http.sse_events{event="result"}'] == 1
+        assert counters["http.protocol_errors"] == 0
+        assert snapshot["gauges"]["http.open_connections"] == 0
+        route_histogram = snapshot["histograms"][
+            'http.request_seconds{route="/v1/queries"}'
+        ]
+        assert route_histogram["count"] >= 2
+        # ...and the single numeric walk: nothing in the snapshot —
+        # counts, durations, statuses, route labels — reaches the
+        # sentinel band the records and released values live in.
+        leaves = numeric_leaves(snapshot)
+        assert leaves and max(abs(v) for v in leaves) < SENTINEL_LO / 2
+
+    def test_http_metrics_materialized_before_traffic(self, registry):
+        from repro.server.http import GuptHttpServer
+
+        service = GuptService(rng=0, metrics=registry)
+        server = GuptHttpServer(service, admin_token="x", metrics=registry)
+        try:
+            counters = registry.snapshot()["counters"]
+            for name in (
+                "http.connections", "http.requests", "http.responses",
+                "http.backpressure_rejections", "http.auth_failures",
+                "http.sse_streams", "http.sse_events", "http.protocol_errors",
+            ):
+                assert counters[name] == 0
+            assert registry.snapshot()["gauges"]["http.open_connections"] == 0
+        finally:
+            service.close()

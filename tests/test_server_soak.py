@@ -1,0 +1,269 @@
+"""HTTP soak: sustained mixed traffic through the network front door.
+
+The over-the-wire sibling of ``tests/test_service_soak.py``: the same
+wall-clock duration knob (``REPRO_SOAK_SECONDS``, default 2 so tier-1
+stays fast; the CI service job raises it), but every operation travels
+through the real asyncio server — enrollment, dataset registration,
+seeded and unseeded submissions, long-polls, cancellations and ledger
+audits, from **32+ concurrent clients** each holding its own keep-alive
+connection.
+
+The accounting check is a *shadow model*: every client records, purely
+from wire responses, how much epsilon it believes each dataset charged
+it (``epsilon_charged`` of each ``ok`` response — refusals charge
+nothing).  After the soak drains, the server's own ledger must agree
+with the sum of all clients' shadows **bit-for-bit** per dataset.  Any
+drift — a double-charge, a leaked reservation, a charge on a refusal,
+a lost ledger entry — breaks the equality.  EPSILON is a binary-exact
+float so the sums carry no rounding slack.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.observability import MetricsRegistry
+from repro.runtime.service import GuptService
+from repro.server.client import Backpressure, GuptClient, ServerError
+from repro.server.http import GuptHttpServer
+from repro.server.protocol import query_request_to_wire
+
+SOAK_SECONDS = float(os.environ.get("REPRO_SOAK_SECONDS", "2"))
+ANALYST_CLIENTS = 32
+CANCELLER_CLIENTS = 2
+EPSILON = 0.125  # binary-exact; all budgets are small multiples of it
+ADMIN = "soak-admin"
+RANGE = (0.0, 10.0)
+
+
+@pytest.mark.parametrize("durable", [False, True], ids=["in-memory", "journaled"])
+def test_http_soak_zero_budget_drift(durable, tmp_path):
+    registry = MetricsRegistry()
+    state_dir = str(tmp_path) if durable else None
+    service = GuptService(
+        metrics=registry,
+        rng=90210,
+        scheduler_workers=4,
+        max_inflight=16,
+        queue_depth=256,
+        query_timeout=30.0,
+        state_dir=state_dir,
+    )
+    server = GuptHttpServer(
+        service, admin_token=ADMIN, metrics=registry, state_dir=state_dir
+    )
+    host, port = server.start()
+
+    bootstrap = GuptClient(host, port)
+    owner_token = bootstrap.enroll("owner", "owner", ADMIN)
+    analyst_tokens = [
+        bootstrap.enroll("analyst", f"analyst-{i}", ADMIN)
+        for i in range(ANALYST_CLIENTS)
+    ]
+    canceller_tokens = [
+        bootstrap.enroll("analyst", f"canceller-{i}", ADMIN)
+        for i in range(CANCELLER_CLIENTS)
+    ]
+    bootstrap.close()
+
+    table_rng = np.random.default_rng(1)
+    datasets: list[str] = []
+    totals: dict[str, float] = {}
+    datasets_lock = threading.Lock()
+    # The shadow model: dataset -> fsum-able list of charges the clients
+    # believe they paid, reconstructed only from wire responses.
+    shadow: dict[str, list[float]] = {}
+    shadow_lock = threading.Lock()
+
+    def shadow_charge(name: str, epsilon: float) -> None:
+        with shadow_lock:
+            shadow.setdefault(name, []).append(epsilon)
+
+    def register(client: GuptClient, index: int) -> None:
+        name = f"soak-{index}"
+        total = EPSILON * int(table_rng.integers(4, 40))
+        values = table_rng.uniform(*RANGE, size=(64, 1)).tolist()
+        client.register_dataset(
+            name, values, total_budget=total,
+            column_names=["x"], input_ranges=[list(RANGE)],
+        )
+        with datasets_lock:
+            totals[name] = total
+            datasets.append(name)
+
+    deadline = time.monotonic() + SOAK_SECONDS
+    errors: list[BaseException] = []
+    unresolved: list[str] = []
+
+    def pick_dataset(local) -> str:
+        with datasets_lock:
+            return datasets[int(local.integers(0, len(datasets)))]
+
+    def query_body(name: str, step: int, who: str, seed) -> dict:
+        return query_request_to_wire(
+            name, {"name": "mean"}, [RANGE],
+            epsilon=EPSILON, block_size=8,
+            query_name=f"{who}-{step}", seed=seed,
+        )
+
+    def submit_obeying_backpressure(client: GuptClient, body: dict) -> int | None:
+        """Submit, honoring Retry-After; None when refused non-retryably."""
+        for _ in range(1000):
+            try:
+                return client.submit(body)
+            except Backpressure as refusal:
+                time.sleep(min(refusal.retry_after, 0.05))
+        return None
+
+    def owner_loop() -> None:
+        client = GuptClient(host, port, token=owner_token)
+        try:
+            register(client, 0)
+            register(client, 1)
+            started.set()
+            index = 2
+            local = np.random.default_rng(77)
+            while time.monotonic() < deadline:
+                register(client, index)
+                index += 1
+                name = pick_dataset(local)
+                entries = client.ledger(name)
+                description = client.describe_dataset(name)
+                audited = math.fsum(e["epsilon"] for e in entries)
+                if audited > totals[name]:
+                    raise AssertionError(f"{name} ledger exceeds its budget")
+                if description["remaining_budget"] < 0.0:
+                    raise AssertionError(f"{name} advertises negative budget")
+                time.sleep(0.05)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+        finally:
+            started.set()
+            client.close()
+
+    def analyst_loop(slot: int, token: str) -> None:
+        client = GuptClient(host, port, token=token)
+        local = np.random.default_rng(5000 + slot)
+        try:
+            step = 0
+            while time.monotonic() < deadline:
+                name = pick_dataset(local)
+                seed = int(local.integers(0, 2**31)) if step % 2 else None
+                query_id = submit_obeying_backpressure(
+                    client, query_body(name, step, f"analyst-{slot}", seed)
+                )
+                if query_id is None:
+                    step += 1
+                    continue
+                response = client.result(query_id, timeout=30.0)
+                if response is None:
+                    unresolved.append(f"analyst-{slot}-{step}")
+                elif response.ok:
+                    if response.epsilon_charged != EPSILON:
+                        raise AssertionError(
+                            f"wrong charge: {response.epsilon_charged}"
+                        )
+                    shadow_charge(name, response.epsilon_charged)
+                elif response.epsilon_charged != 0.0:
+                    raise AssertionError("a refusal charged budget")
+                step += 1
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+        finally:
+            client.close()
+
+    def canceller_loop(slot: int, token: str) -> None:
+        """Submit-then-cancel races dispatch; either outcome must keep
+        the books straight (an ok response charges, a cancelled one
+        cannot)."""
+        client = GuptClient(host, port, token=token)
+        local = np.random.default_rng(666 + slot)
+        try:
+            step = 0
+            while time.monotonic() < deadline:
+                name = pick_dataset(local)
+                query_id = submit_obeying_backpressure(
+                    client, query_body(name, step, f"canceller-{slot}", None)
+                )
+                if query_id is None:
+                    step += 1
+                    continue
+                client.cancel(query_id)  # races dispatch; False is fine
+                response = client.result(query_id, timeout=30.0)
+                if response is None:
+                    unresolved.append(f"canceller-{slot}-{step}")
+                elif response.ok:
+                    shadow_charge(name, response.epsilon_charged)
+                elif response.epsilon_charged != 0.0:
+                    raise AssertionError("a cancelled query charged budget")
+                step += 1
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+        finally:
+            client.close()
+
+    started = threading.Event()
+    threads = [threading.Thread(target=owner_loop, name="owner")]
+    threads[0].start()
+    started.wait()  # first datasets exist before analysts go
+    threads += [
+        threading.Thread(target=analyst_loop, args=(i, t), name=f"analyst-{i}")
+        for i, t in enumerate(analyst_tokens)
+    ]
+    threads += [
+        threading.Thread(target=canceller_loop, args=(i, t), name=f"canceller-{i}")
+        for i, t in enumerate(canceller_tokens)
+    ]
+    for thread in threads[1:]:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors, errors
+    assert not unresolved, unresolved
+
+    # Zero drift: the server's ledger per dataset equals the sum of the
+    # clients' shadow charges, bit-for-bit.
+    audit = GuptClient(host, port, token=owner_token)
+    for name in datasets:
+        entries = audit.ledger(name)
+        server_spent = math.fsum(e["epsilon"] for e in entries)
+        shadow_spent = math.fsum(shadow.get(name, []))
+        assert server_spent == shadow_spent, (
+            f"{name}: server ledger {server_spent} != shadow {shadow_spent}"
+        )
+        assert server_spent <= totals[name]
+        description = audit.describe_dataset(name)
+        assert description["remaining_budget"] >= 0.0
+        assert len(entries) == len(shadow.get(name, []))
+
+    if durable:
+        report = audit.fsck()
+        assert report["exists"] and not report["torn"]
+        assert sorted(report["datasets"]) == sorted(datasets)
+        for name, state in report["datasets"].items():
+            assert state["spent"] == math.fsum(shadow.get(name, []))
+
+    audit.close()
+    server.stop()
+    service.close()
+
+    # The drained scheduler settled every submission exactly once.
+    snapshot = registry.snapshot()
+    assert snapshot["gauges"]["scheduler.queue_depth"] == 0.0
+    assert snapshot["gauges"]["scheduler.running"] == 0.0
+    assert snapshot["gauges"]["http.open_connections"] == 0.0
+    counters = snapshot["counters"]
+    submitted = counters["scheduler.submitted"]
+    settled = sum(
+        value for key, value in counters.items()
+        if key.startswith("scheduler.completed")
+    )
+    assert settled == submitted
+    assert submitted > 0

@@ -282,3 +282,81 @@ class TestAsyncHandles:
         assert len(refused) == 2
         assert all(r.error for r in refused)
         service.close()
+
+
+class TestResultTimeoutSemantics:
+    """The pinned result(timeout=...) contract (mirrored by HTTP poll).
+
+    On expiry ``result`` **returns None and never raises**; the query is
+    unaffected (still queued/running, no budget movement, no state
+    change); any number of expired waits may precede the terminal
+    response, which — once produced — is returned again on every later
+    call.  ``timeout=0`` is a non-blocking poll.
+    """
+
+    def _slow_request(self, pause: float = 0.01):
+        import time as _time
+
+        def slow_mean(block):
+            _time.sleep(pause)
+            return float(np.mean(block))
+
+        return QueryRequest(
+            dataset="census", program=slow_mean,
+            range_strategy=TightRange((0.0, 150.0)), epsilon=0.5,
+            block_size=150, seed=5,  # 20 blocks -> >=50ms wall-clock
+        )
+
+    def test_expiry_returns_none_never_raises(self, service, analyst, registered):
+        handle = service.submit(analyst.token, self._slow_request())
+        assert service.result(handle, timeout=0.0) is None  # non-blocking poll
+        assert service.result(handle, timeout=0.001) is None
+        final = service.result(handle)  # no timeout: waits to terminal
+        assert final is not None and final.ok
+        service.close()
+
+    def test_expired_waits_do_not_perturb_the_query(
+        self, service, analyst, registered
+    ):
+        handle = service.submit(analyst.token, self._slow_request())
+        polls = 0
+        while service.result(handle, timeout=0.002) is None:
+            polls += 1
+            assert polls < 10_000, "query never settled"
+        final = service.result(handle, timeout=0.0)
+        assert final is not None and final.ok
+        # Exactly one charge despite many expired waits.
+        entries = [e for e in service.ledger_entries(
+            service.enroll(OWNER, "auditor").token, "census"
+        )]
+        assert len(entries) == 1
+        assert entries[0][1] == 0.5
+        service.close()
+
+    def test_settled_query_ignores_timeout(self, service, analyst, registered):
+        request = QueryRequest(
+            dataset="census", program=Mean(),
+            range_strategy=TightRange((0.0, 150.0)), epsilon=0.5, seed=7,
+        )
+        handle = service.submit(analyst.token, request)
+        final = service.result(handle)
+        # timeout=0 on a settled query returns the response, not None —
+        # and keeps returning the identical response forever.
+        assert service.result(handle, timeout=0.0) == final
+        assert service.result(handle, timeout=0.001) == final
+        assert service.result(handle) == final
+        service.close()
+
+    def test_foreign_handle_raises_unknown(self, service, analyst, registered):
+        from repro.exceptions import UnknownHandleError
+
+        handle = service.submit(analyst.token, QueryRequest(
+            dataset="census", program=Mean(),
+            range_strategy=TightRange((0.0, 150.0)), epsilon=0.5,
+        ))
+        service.result(handle)
+        other = GuptService(rng=0)
+        with pytest.raises(UnknownHandleError):
+            other.scheduler.state(handle)
+        other.close()
+        service.close()

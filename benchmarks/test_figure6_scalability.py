@@ -18,12 +18,11 @@ Two experiments share this file:
 5x assertion, which needs realistic block counts to be meaningful).
 """
 
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
+from common import write_bench
 
 from repro.accounting.manager import DatasetManager
 from repro.core.gupt import GuptRuntime
@@ -33,7 +32,6 @@ from repro.experiments import figure6
 from repro.runtime.computation_manager import ComputationManager
 from repro.runtime.sandbox import SubprocessChamber
 
-BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_scalability.json"
 SEED = 424242
 RECORDS_PER_BLOCK = 100
 DIMENSIONS = 8
@@ -122,21 +120,21 @@ def test_backend_scalability():
         best_pool = min(v for k, v in at_count.items() if k.startswith("pool"))
         speedups[str(num_blocks)] = at_count["subprocess-fork"] / best_pool
 
-    BENCH_PATH.write_text(
-        json.dumps(
-            {
-                "bench": "backend_scalability",
-                "mode": "smoke" if smoke else "full",
-                "records_per_block": RECORDS_PER_BLOCK,
-                "dimensions": DIMENSIONS,
-                "epsilon": EPSILON,
-                "seed": SEED,
-                "results": rows,
-                "pool_speedup_vs_subprocess": speedups,
-                "identical_released_values": True,
-            },
-            indent=2,
-        )
+    write_bench(
+        "scalability",
+        "smoke" if smoke else "full",
+        bench="backend_scalability",
+        payload={
+            "results": rows,
+            "pool_speedup_vs_subprocess": speedups,
+            "identical_released_values": True,
+        },
+        params={
+            "records_per_block": RECORDS_PER_BLOCK,
+            "dimensions": DIMENSIONS,
+            "epsilon": EPSILON,
+            "seed": SEED,
+        },
     )
     print(f"\npool speedup vs fork-per-block: {speedups}")
 

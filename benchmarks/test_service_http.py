@@ -16,11 +16,10 @@ Writes ``BENCH_service.json``.
 
 from __future__ import annotations
 
-import json
 import os
-from pathlib import Path
 
 import numpy as np
+from common import write_bench
 
 from repro.observability import MetricsRegistry
 from repro.runtime.service import GuptService
@@ -28,7 +27,6 @@ from repro.server import protocol
 from repro.server.http import GuptHttpServer
 from repro.server.loadgen import LOAD_RANGE, run_load, seed_for
 
-BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
 ADMIN = "bench-admin"
 EPSILON = 0.01
 BASE_SEED = 424242
@@ -63,6 +61,10 @@ def test_http_throughput_and_bit_identity(capsys):
             num_records=NUM_RECORDS,
             epsilon=EPSILON,
             seed=BASE_SEED,
+            # Default headroom (10%) only covers the load itself; the
+            # in-process verification replays VERIFY_SAMPLE more.
+            total_budget=EPSILON
+            * (analysts * queries_per_analyst + VERIFY_SAMPLE + 1),
         )
 
         # -- bit-identity: replay a deterministic sample in-process ----
@@ -96,17 +98,17 @@ def test_http_throughput_and_bit_identity(capsys):
     assert report.ok == expected, report.refused
     assert report.transport_errors == 0
 
-    BENCH_PATH.write_text(json.dumps(
-        {
-            "bench": "service_http",
-            "mode": "smoke" if smoke else "full",
+    write_bench(
+        "service",
+        "smoke" if smoke else "full",
+        bench="service_http",
+        payload=summary,
+        params={
             "epsilon": EPSILON,
             "num_records": NUM_RECORDS,
             "base_seed": BASE_SEED,
-            **summary,
         },
-        indent=2,
-    ))
+    )
 
     with capsys.disabled():
         print(

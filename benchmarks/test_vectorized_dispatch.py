@@ -17,12 +17,11 @@ Two claims are asserted:
 assertion, which needs realistic record counts to be meaningful.
 """
 
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
+from common import write_bench
 
 from repro.accounting.manager import DatasetManager
 from repro.core.gupt import GuptRuntime
@@ -31,7 +30,6 @@ from repro.datasets.table import DataTable
 from repro.estimators.statistics import Mean
 from repro.observability import MetricsRegistry
 
-BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_vectorized.json"
 SEED = 31337
 QUERY_SEED = 777
 BLOCK_SIZE = 100
@@ -117,21 +115,21 @@ def test_vectorized_dispatch():
         at_n = {r["backend"]: r["warm_seconds"] for r in rows if r["records"] == num_records}
         speedups[str(num_records)] = at_n["serial"] / at_n["vectorized"]
 
-    BENCH_PATH.write_text(
-        json.dumps(
-            {
-                "bench": "vectorized_dispatch",
-                "mode": "smoke" if smoke else "full",
-                "block_size": BLOCK_SIZE,
-                "epsilon": EPSILON,
-                "seed": SEED,
-                "query_seed": QUERY_SEED,
-                "results": rows,
-                "warm_speedup_vs_serial": speedups,
-                "identical_released_values": True,
-            },
-            indent=2,
-        )
+    write_bench(
+        "vectorized",
+        "smoke" if smoke else "full",
+        bench="vectorized_dispatch",
+        payload={
+            "results": rows,
+            "warm_speedup_vs_serial": speedups,
+            "identical_released_values": True,
+        },
+        params={
+            "block_size": BLOCK_SIZE,
+            "epsilon": EPSILON,
+            "seed": SEED,
+            "query_seed": QUERY_SEED,
+        },
     )
     print(f"\nwarm vectorized speedup vs serial: {speedups}")
 

@@ -78,16 +78,26 @@ def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--threshold", type=float, help="threshold for count-above")
     parser.add_argument("--seed", type=int, default=None, help="rng seed")
     parser.add_argument(
-        "--backend", choices=["serial", "thread", "pool", "vectorized"],
+        "--backend", choices=["serial", "thread", "pool", "vectorized", "sharded"],
         default=None,
         help="execution backend (default: serial; pool = persistent "
              "worker processes with zero-copy block dispatch; vectorized "
              "= one fused numpy call over the stacked blocks for "
-             "programs declaring a batch form, bit-identical to serial)",
+             "programs declaring a batch form, bit-identical to serial; "
+             "sharded = shard-owning worker processes with shard-local "
+             "block plans and a partials-only combine, bit-identical to "
+             "serial for the same --shards)",
     )
     parser.add_argument(
         "--workers", type=int, default=None,
-        help="fan-out width for the thread/pool backends",
+        help="fan-out width for the thread/pool/sharded backends",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="S",
+        help="logical shard count of the sharded plan protocol — a "
+             "public plan parameter the released bits depend on (like "
+             "--block-size), honored by every backend; default 1, or "
+             "one shard per worker under --backend sharded",
     )
     parser.add_argument(
         "--dispatch-batch", type=int, default=None, metavar="N",
@@ -248,6 +258,7 @@ def _execute_query(args, metrics: MetricsRegistry | None = None):
         backend=args.backend,
         workers=args.workers,
         batch_size=args.dispatch_batch,
+        shards=args.shards,
     )
 
     kwargs = {}
@@ -347,6 +358,7 @@ def run_serve_http(args) -> int:
         backend=args.backend,
         workers=args.workers,
         batch_size=args.dispatch_batch,
+        shards=args.shards,
         scheduler_workers=args.scheduler_workers,
         max_inflight=args.max_inflight,
         queue_depth=args.queue_depth,
@@ -417,6 +429,7 @@ def run_serve(args) -> int:
         backend=args.backend,
         workers=args.workers,
         batch_size=args.dispatch_batch,
+        shards=args.shards,
         scheduler_workers=args.scheduler_workers,
         max_inflight=args.max_inflight,
         queue_depth=args.queue_depth,

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import GuptError
-from repro.mechanisms.rng import RandomSource, as_generator
+from repro.mechanisms.rng import RandomSource, as_generator, spawn
 
 #: Exponent of the default number of blocks in Algorithm 1 (l = n**0.4).
 DEFAULT_NUM_BLOCKS_EXPONENT = 0.4
@@ -187,6 +187,18 @@ class BlockPlan:
             blocks=tuple(blocks),
         )
 
+    @staticmethod
+    def empty(
+        num_records: int, block_size: int, resampling_factor: int
+    ) -> "BlockPlan":
+        """A plan with zero blocks (a shard too small to fill one block)."""
+        return BlockPlan(
+            num_records=num_records,
+            block_size=block_size,
+            resampling_factor=resampling_factor,
+            blocks=(),
+        )
+
     def record_multiplicity(self) -> np.ndarray:
         """How many blocks each record appears in (length n).
 
@@ -199,3 +211,183 @@ class BlockPlan:
         return np.bincount(
             np.concatenate(self.blocks), minlength=self.num_records
         ).astype(int)
+
+
+# ----------------------------------------------------------------------
+# Sharded plan protocol
+# ----------------------------------------------------------------------
+# Sample-and-aggregate composes across contiguous *shards* of a dataset:
+# block outputs are iid clamped summaries, so a plan may be drawn as the
+# concatenation of shard-local plans — each shard partitions only its own
+# records — and executed anywhere (one process, one thread pool, or K
+# shard-owning worker processes) without changing a single released bit.
+#
+# The protocol makes that invariance hold *by construction*:
+#
+# * the query consumes exactly one generator draw (the ``plan_seed``),
+#   whether sharded or not — downstream noise draws are untouched;
+# * shard ``s`` of ``S`` derives its private plan RNG from
+#   ``spawn(plan_seed, S)[s]`` (numpy ``SeedSequence`` spawning), a pure
+#   function of ``(plan_seed, S)`` — never of which process runs it;
+# * shard boundaries are a pure function of ``(num_records, S)``
+#   (:func:`shard_offsets`), and the combined plan orders blocks
+#   shard-major, so concatenating per-shard partials in shard order
+#   reproduces the single-process block order exactly.
+#
+# ``shards == 1`` is *defined* as the legacy protocol (the plan RNG is
+# ``default_rng(plan_seed)`` directly, no spawning), so pre-sharding
+# seeded releases are bit-stable.
+
+def shard_offsets(num_records: int, shards: int) -> np.ndarray:
+    """Contiguous, balanced shard boundaries: ``shards + 1`` offsets.
+
+    Shard ``s`` owns rows ``[offsets[s], offsets[s + 1])``.  The first
+    ``num_records % shards`` shards hold one extra record, so shard
+    sizes differ by at most one and the decomposition is a pure function
+    of ``(num_records, shards)``.
+    """
+    if num_records <= 0:
+        raise GuptError("dataset must contain at least one record")
+    if shards < 1:
+        raise GuptError(f"shards must be >= 1, got {shards}")
+    if shards > num_records:
+        raise GuptError(
+            f"{shards} shards infeasible for dataset of {num_records} records"
+        )
+    base, extra = divmod(num_records, shards)
+    sizes = np.full(shards, base, dtype=np.int64)
+    sizes[:extra] += 1
+    offsets = np.zeros(shards + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    return offsets
+
+
+def shard_plan_rng(plan_seed: int, shards: int, shard: int) -> np.random.Generator:
+    """The private plan generator of one shard: ``spawn(plan_seed, S)[s]``.
+
+    Pure in ``(plan_seed, shards, shard)`` — the coordinator and a shard
+    worker recomputing it independently draw identical plans.  The
+    single-shard case *is* the legacy protocol (``default_rng(plan_seed)``
+    with no spawn step), keeping pre-sharding seeded releases bit-stable.
+    """
+    if not 0 <= shard < shards:
+        raise GuptError(f"shard {shard} out of range for {shards} shards")
+    if shards == 1:
+        return np.random.default_rng(int(plan_seed))
+    return spawn(int(plan_seed), shards)[shard]
+
+
+def shard_block_counts(
+    num_records: int, block_size: int, resampling_factor: int, shards: int
+) -> np.ndarray:
+    """Blocks contributed by each shard: ``gamma * (n_s // beta)`` per shard.
+
+    Public plan geometry (no record values involved): the coordinator
+    uses it to pre-size the combined output matrix and validate shard
+    partials, and tests use it to slice a combined stacked
+    materialization back into per-shard views.
+    """
+    offsets = shard_offsets(num_records, shards)
+    sizes = offsets[1:] - offsets[:-1]
+    return (sizes // int(block_size)) * int(resampling_factor)
+
+
+def draw_shard_local_plan(
+    num_local_records: int,
+    block_size: int,
+    resampling_factor: int,
+    plan_seed: int,
+    shards: int,
+    shard: int,
+) -> BlockPlan:
+    """Shard ``s``'s local plan, with indices relative to the shard.
+
+    Exactly what a shard worker draws over its own contiguous slice; the
+    combined plan of :func:`draw_sharded_plan` is these local plans with
+    the shard's base offset added.  A shard smaller than one block
+    contributes an empty plan rather than failing the query.
+    """
+    if block_size > num_local_records:
+        return BlockPlan.empty(num_local_records, block_size, resampling_factor)
+    return BlockPlan.draw(
+        num_records=num_local_records,
+        block_size=block_size,
+        resampling_factor=resampling_factor,
+        rng=shard_plan_rng(plan_seed, shards, shard),
+    )
+
+
+def draw_sharded_plan(
+    num_records: int,
+    block_size: int | None = None,
+    resampling_factor: int = 1,
+    plan_seed: int = 0,
+    shards: int = 1,
+) -> BlockPlan:
+    """The combined plan: shard-local plans concatenated shard-major.
+
+    For ``shards == 1`` this *is* ``BlockPlan.draw`` under the legacy
+    one-draw protocol.  For ``shards > 1`` each shard's blocks index only
+    its own contiguous rows, so any executor owning those rows can
+    materialize them without seeing the rest of the dataset.
+    """
+    if block_size is None:
+        block_size = default_block_size(num_records)
+    block_size = int(block_size)
+    if shards == 1:
+        return BlockPlan.draw(
+            num_records=num_records,
+            block_size=block_size,
+            resampling_factor=resampling_factor,
+            rng=np.random.default_rng(int(plan_seed)),
+        )
+    offsets = shard_offsets(num_records, shards)
+    blocks: list[np.ndarray] = []
+    for shard in range(shards):
+        local = draw_shard_local_plan(
+            int(offsets[shard + 1] - offsets[shard]),
+            block_size,
+            resampling_factor,
+            plan_seed,
+            shards,
+            shard,
+        )
+        base = int(offsets[shard])
+        blocks.extend(indices + base for indices in local.blocks)
+    if not blocks:
+        raise GuptError(
+            f"block size {block_size} leaves no full block in any of "
+            f"{shards} shards of {num_records} records"
+        )
+    return BlockPlan(
+        num_records=num_records,
+        block_size=block_size,
+        resampling_factor=int(resampling_factor),
+        blocks=tuple(blocks),
+    )
+
+
+@dataclass(frozen=True)
+class ShardPlanSummary:
+    """Plan geometry of a sharded execution, without the index arrays.
+
+    The sharded backend plans and materializes blocks inside the shard
+    workers; the coordinator only ever needs the combined geometry (for
+    aggregation sensitivity and release metadata), which this summary
+    carries under the same attribute contract as :class:`BlockPlan`.
+    """
+
+    num_records: int
+    block_size: int
+    resampling_factor: int
+    num_blocks: int
+    shards: int
+
+    @property
+    def max_blocks_per_record(self) -> int:
+        """Same calibration bound as :class:`BlockPlan`: gamma.
+
+        Sharding cannot raise it — every record lives in exactly one
+        shard and appears in at most gamma of that shard's blocks.
+        """
+        return self.resampling_factor

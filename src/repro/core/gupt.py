@@ -62,11 +62,13 @@ class GuptRuntime:
         Registry receiving phase spans and query telemetry; ``None``
         uses the process default.  Every recorded value is release-safe
         (see :mod:`repro.observability`).
-    backend, workers, batch_size:
+    backend, workers, batch_size, shards:
         Convenience knobs that build the computation manager in place
         (``backend`` one of ``serial``/``thread``/``pool``/
-        ``vectorized``); mutually exclusive with passing
-        ``computation_manager``.
+        ``vectorized``/``sharded``; ``shards`` the logical shard count
+        of the sharded plan protocol — a public plan parameter released
+        bits depend on, applying to every backend); mutually exclusive
+        with passing ``computation_manager``.
     plan_cache:
         A :class:`~repro.core.plan_cache.BlockPlanCache` to memoize
         block plans and stacked materializations across queries, or
@@ -96,22 +98,27 @@ class GuptRuntime:
         backend: str | None = None,
         workers: int | None = None,
         batch_size: int | None = None,
+        shards: int | None = None,
         state_dir: str | None = None,
         plan_cache: BlockPlanCache | None = None,
         plan_cache_size: int | None = None,
     ):
         if computation_manager is not None and (
-            backend is not None or workers is not None or batch_size is not None
+            backend is not None
+            or workers is not None
+            or batch_size is not None
+            or shards is not None
         ):
             raise GuptError(
-                "pass either computation_manager or backend/workers/batch_size, "
-                "not both"
+                "pass either computation_manager or backend/workers/"
+                "batch_size/shards, not both"
             )
         if computation_manager is None:
             computation_manager = ComputationManager(
                 max_workers=workers if workers is not None else 1,
                 backend=backend,
                 batch_size=batch_size,
+                shards=shards,
                 metrics=metrics,
             )
         if dataset_manager is not None and state_dir is not None:
@@ -137,6 +144,17 @@ class GuptRuntime:
             self._plan_cache_unhook = self._datasets.add_invalidation_hook(
                 self._plan_cache.invalidate
             )
+        # The sharded backend keeps registered datasets resident in
+        # shared memory; re-registering a name must evict the stale
+        # segments eagerly (version-keyed descriptors already make stale
+        # *use* impossible — this frees the memory).
+        self._sharded_unhook: Callable[[], None] | None = None
+        sharded = self._computation.sharded_backend
+        if sharded is not None:
+            self._sharded_unhook = self._datasets.add_invalidation_hook(
+                sharded.invalidate
+            )
+        self._closed = False
 
     @property
     def dataset_manager(self) -> DatasetManager:
@@ -151,18 +169,25 @@ class GuptRuntime:
         return self._plan_cache
 
     def close(self) -> None:
-        """Release execution-backend resources (pool worker processes).
+        """Release execution-backend resources (worker processes).
 
         A dataset manager the runtime built itself (``state_dir=`` or
         default) is closed too, flushing its durable journal; a plan
         cache drops its memoized materializations and unhooks itself
         from the dataset manager (so a long-lived caller-owned manager
-        does not pin — or keep invoking — the dead cache).
+        does not pin — or keep invoking — the dead cache).  Idempotent:
+        teardown paths overlap (context managers, ``GuptService.close``,
+        ``atexit`` handlers), and only the first call releases anything.
         """
+        if self._closed:
+            return
+        self._closed = True
         self._computation.close()
-        if self._plan_cache_unhook is not None:
-            self._plan_cache_unhook()
-            self._plan_cache_unhook = None
+        for unhook in (self._plan_cache_unhook, self._sharded_unhook):
+            if unhook is not None:
+                unhook()
+        self._plan_cache_unhook = None
+        self._sharded_unhook = None
         if self._plan_cache is not None:
             self._plan_cache.clear()
         if self._owns_datasets:
@@ -387,6 +412,10 @@ class GuptRuntime:
                         plan=plan,
                         plan_cache=self._plan_cache,
                         cache_token=cache_token,
+                        # Ranges are known here (tight/helper); the
+                        # sharded path clamps block outputs inside the
+                        # workers before they cross the shard boundary.
+                        output_ranges=estimate.ranges,
                     )
             released_privately = True
             with metrics.span("runtime.aggregate", dataset=dataset):

@@ -39,7 +39,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.core.blocks import BlockPlan
+from repro.core.blocks import BlockPlan, shard_block_counts
 from repro.observability import MetricsRegistry, get_registry
 
 #: Default maximum number of memoized (plan, materialization) entries.
@@ -58,6 +58,15 @@ class PlanKey:
     plans can never be served); the remaining fields are the plan
     geometry plus the seed the plan's private generator was derived
     from.  Nothing here is a function of record values.
+
+    ``shards`` is the logical shard count of the sharded plan protocol
+    (see :func:`repro.core.blocks.draw_sharded_plan`); it participates
+    in the key because the combined plan is a pure function of
+    ``(seed, shards)``.  ``shard`` scopes a *shard-local* entry — a
+    worker memoizing its own slice of the plan keys on its shard index
+    so two workers' caches can never serve each other's rows; ``-1``
+    (the default) marks a whole-dataset entry.  Both are public
+    execution parameters, never functions of record values.
     """
 
     dataset: str
@@ -66,6 +75,8 @@ class PlanKey:
     block_size: int
     resampling_factor: int
     seed: int
+    shards: int = 1
+    shard: int = -1
 
 
 class _Entry:
@@ -221,3 +232,24 @@ class BlockPlanCache:
             self._entries.clear()
             self._bytes = 0
             self._record_gauges(registry)
+
+
+def slice_stacked_for_shard(stacked: np.ndarray, key: PlanKey, shard: int) -> np.ndarray:
+    """One shard's rows of a combined stacked materialization (zero-copy).
+
+    The combined plan of the sharded protocol orders blocks shard-major,
+    so shard ``s`` owns a contiguous row range of the ``(l, beta, d)``
+    stacked array; its bounds follow from public geometry alone
+    (:func:`~repro.core.blocks.shard_block_counts`).  This is the bridge
+    between a coordinator-side cached materialization and the per-shard
+    view a shard-local executor computes independently — the equivalence
+    tests compare the two, and a single-process backend replaying a
+    sharded plan can hand out per-shard slices without re-gathering.
+    """
+    counts = shard_block_counts(
+        key.num_records, key.block_size, key.resampling_factor, key.shards
+    )
+    if not 0 <= shard < key.shards:
+        raise ValueError(f"shard {shard} out of range for {key.shards} shards")
+    start = int(counts[:shard].sum())
+    return stacked[start : start + int(counts[shard])]

@@ -22,7 +22,12 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.aggregation import NoisyAverageAggregator, OutputRange
-from repro.core.blocks import BlockPlan, default_block_size
+from repro.core.blocks import (
+    BlockPlan,
+    ShardPlanSummary,
+    default_block_size,
+    draw_sharded_plan,
+)
 from repro.core.plan_cache import BlockPlanCache, PlanKey
 from repro.mechanisms.rng import RandomSource, as_generator
 from repro.runtime.computation_manager import ComputationManager
@@ -36,9 +41,17 @@ class SampledBlocks:
     ``outputs`` is **sensitive** (each row is a function of real records)
     and must not leave the trusted platform; only the phase-2 noisy
     aggregate is private to release.
+
+    ``plan`` is a :class:`BlockPlan` when the plan was drawn (or
+    replayed) in-process, or a
+    :class:`~repro.core.blocks.ShardPlanSummary` when the sharded
+    backend planned inside its workers and only the combined geometry
+    came back; both carry the attribute contract aggregation needs
+    (``num_blocks``, ``block_size``, ``resampling_factor``,
+    ``max_blocks_per_record``).
     """
 
-    plan: BlockPlan
+    plan: "BlockPlan | ShardPlanSummary"
     outputs: np.ndarray
     failed_blocks: int
 
@@ -115,6 +128,7 @@ class SampleAggregateEngine:
         plan: BlockPlan | None = None,
         plan_cache: BlockPlanCache | None = None,
         cache_token: tuple[str, int] | None = None,
+        output_ranges: Sequence[OutputRange] | None = None,
     ) -> SampledBlocks:
         """Partition the data and run the program on every block.
 
@@ -132,7 +146,16 @@ class SampleAggregateEngine:
         lookup hits or misses, so seeded releases are bit-identical with
         and without a warm cache), and ``plan_cache``, when given,
         memoizes the drawn plan plus its stacked materialization under
-        the data-independent :class:`PlanKey`.
+        the data-independent :class:`PlanKey`.  The plan is drawn for
+        the manager's ``plan_shards`` logical shards — under the
+        ``sharded`` backend each shard plans and executes worker-locally
+        and only its block-output partial crosses back; every other
+        backend replays the identical combined plan in-process.
+
+        ``output_ranges``, when already known at sample time (GUPT-tight
+        / -helper), lets the sharded path clamp block outputs inside the
+        workers before they cross the shard boundary; aggregation clamps
+        to the same ranges again, so the release is unchanged.
         """
         values = self._as_matrix(values)
         stacked: np.ndarray | None = None
@@ -144,8 +167,31 @@ class SampleAggregateEngine:
                 )
             stacked = plan.stack(values)
         elif cache_token is not None:
+            num_records = values.shape[0]
+            beta = (
+                int(block_size)
+                if block_size is not None
+                else default_block_size(num_records)
+            )
+            # The one-draw protocol: exactly one value leaves the
+            # caller's generator here, whatever happens downstream —
+            # cache hit or miss, sharded fast path or degrade — so the
+            # noise draws that follow (and the released bits of a seeded
+            # query) cannot depend on execution strategy.
+            generator = as_generator(rng)
+            plan_seed = int(generator.integers(0, 2**63 - 1))
+            if self._manager.backend == "sharded":
+                sampled = self._sample_sharded(
+                    values, program, output_dimension, fallback, beta,
+                    resampling_factor, plan_seed, cache_token, output_ranges,
+                )
+                if sampled is not None:
+                    return sampled
+                # Degrade (counted in sharded.fallbacks): replay the
+                # identical S-sharded plan through the chamber path.
             plan, stacked = self._plan_via_cache(
-                values, block_size, resampling_factor, rng, plan_cache, cache_token
+                values, beta, resampling_factor, plan_seed,
+                self._manager.plan_shards, plan_cache, cache_token,
             )
         else:
             plan = BlockPlan.draw(
@@ -168,54 +214,102 @@ class SampleAggregateEngine:
             stacked=stacked,
         )
         failed = int(collected.num_blocks - collected.succeeded.sum())
-        outputs = collected.outputs
-        if self._canonical_order is not None:
-            rows = []
-            for row, ok in zip(outputs, collected.succeeded):
-                if ok:
-                    row = np.asarray(self._canonical_order(row), dtype=float).ravel()
-                rows.append(row)
-            outputs = np.vstack(rows)
+        outputs = self._apply_canonical_order(collected.outputs, collected.succeeded)
         return SampledBlocks(plan=plan, outputs=outputs, failed_blocks=failed)
+
+    def _sample_sharded(
+        self,
+        values: np.ndarray,
+        program: AnalystProgram,
+        output_dimension: int,
+        fallback: np.ndarray | Sequence[float],
+        block_size: int,
+        resampling_factor: int,
+        plan_seed: int,
+        cache_token: tuple[str, int],
+        output_ranges: Sequence[OutputRange] | None,
+    ) -> SampledBlocks | None:
+        """Phase 1 through the shard workers, or ``None`` to degrade.
+
+        Workers only receive clamp bounds when no canonical-order hook
+        is installed: the single-process order is reorder-then-clamp
+        (hook in :meth:`sample`, clamp in :meth:`aggregate`), and
+        clamping per-dimension ranges does not commute with reordering,
+        so a pre-clamped partial would change the release.
+        """
+        clamp_ranges = None
+        if output_ranges is not None and self._canonical_order is None:
+            clamp_ranges = (
+                tuple(r.lo for r in output_ranges),
+                tuple(r.hi for r in output_ranges),
+            )
+        result = self._manager.run_sharded_collected(
+            program,
+            values,
+            dataset=cache_token[0],
+            version=int(cache_token[1]),
+            block_size=block_size,
+            resampling_factor=resampling_factor,
+            plan_seed=plan_seed,
+            output_dimension=output_dimension,
+            fallback=np.asarray(fallback, dtype=float),
+            clamp_ranges=clamp_ranges,
+        )
+        if result is None:
+            return None
+        summary, collected = result
+        failed = int(collected.num_blocks - collected.succeeded.sum())
+        outputs = self._apply_canonical_order(collected.outputs, collected.succeeded)
+        return SampledBlocks(plan=summary, outputs=outputs, failed_blocks=failed)
+
+    def _apply_canonical_order(
+        self, outputs: np.ndarray, succeeded: np.ndarray
+    ) -> np.ndarray:
+        if self._canonical_order is None:
+            return outputs
+        rows = []
+        for row, ok in zip(outputs, succeeded):
+            if ok:
+                row = np.asarray(self._canonical_order(row), dtype=float).ravel()
+            rows.append(row)
+        return np.vstack(rows)
 
     @staticmethod
     def _plan_via_cache(
         values: np.ndarray,
-        block_size: int | None,
+        block_size: int,
         resampling_factor: int,
-        rng: RandomSource,
+        plan_seed: int,
+        shards: int,
         plan_cache: BlockPlanCache | None,
         cache_token: tuple[str, int],
     ) -> tuple[BlockPlan, np.ndarray | None]:
         """Draw (or recall) a plan under the memoizable-seed protocol.
 
-        Exactly one value is consumed from the caller's generator — the
-        ``plan_seed`` — regardless of cache hit, miss, or absence of a
-        cache, so the downstream noise draws (and therefore the released
-        bits of a seeded query) cannot depend on cache state.  The plan
-        itself comes from a private generator derived from that seed,
-        which is what makes the cached entry reusable: the ``draw``
-        closure is a pure function of the :class:`PlanKey`.
+        The plan comes from a private generator derived from the
+        pre-drawn ``plan_seed`` (and, when ``shards > 1``, the sharded
+        derivation of :func:`draw_sharded_plan`), which is what makes
+        the cached entry reusable: the ``draw`` closure is a pure
+        function of the :class:`PlanKey`.
         """
         num_records = values.shape[0]
-        beta = int(block_size) if block_size is not None else default_block_size(num_records)
-        generator = as_generator(rng)
-        plan_seed = int(generator.integers(0, 2**63 - 1))
         key = PlanKey(
             dataset=cache_token[0],
             version=int(cache_token[1]),
             num_records=num_records,
-            block_size=beta,
+            block_size=block_size,
             resampling_factor=int(resampling_factor),
             seed=plan_seed,
+            shards=int(shards),
         )
 
         def draw() -> BlockPlan:
-            return BlockPlan.draw(
+            return draw_sharded_plan(
                 num_records=num_records,
-                block_size=beta,
+                block_size=block_size,
                 resampling_factor=resampling_factor,
-                rng=np.random.default_rng(plan_seed),
+                plan_seed=plan_seed,
+                shards=shards,
             )
 
         if plan_cache is None:
@@ -283,6 +377,7 @@ class SampleAggregateEngine:
             plan=plan,
             plan_cache=plan_cache,
             cache_token=cache_token,
+            output_ranges=aggregator.ranges,
         )
         return self.aggregate(sampled, epsilon, output_ranges, rng=generator)
 

@@ -35,6 +35,19 @@ Three execution backends trade isolation strength against dispatch cost:
     and queries under an active timing defense all degrade transparently
     to the chamber path (serial at one worker, chunked threads
     otherwise), counted per reason in ``vectorized.fallbacks``.
+``sharded``
+    :class:`~repro.runtime.shard.ShardedExecutionBackend` — the dataset
+    is split into ``S`` contiguous logical shards owned by persistent
+    worker processes; each shard plans and executes its blocks locally
+    and ships back only its ``(l_s, p)`` partial of clamped block
+    outputs.  The logical shard count is a *public plan parameter*
+    (``plan_shards``): every backend of a manager configured with
+    ``shards=S`` draws the same S-sharded combined plan, so releases
+    are bit-identical whether the shards run in-process or across
+    workers.  Queries the shard protocol cannot carry — an active
+    timing defense, unpicklable programs, explicit (grouped) plans —
+    degrade to the combined-plan chamber path, counted per reason in
+    ``sharded.fallbacks``.
 
 The manager is also an instrumentation point (see
 :mod:`repro.observability`): per-block latency, success/fallback/kill
@@ -56,6 +69,7 @@ import numpy as np
 
 from repro.exceptions import ComputationError
 from repro.observability import MetricsRegistry, get_registry
+from repro.core.blocks import ShardPlanSummary
 from repro.runtime.pool import PoolChamberBackend
 from repro.runtime.sandbox import (
     AnalystProgram,
@@ -63,6 +77,7 @@ from repro.runtime.sandbox import (
     ExecutionChamber,
     InProcessChamber,
 )
+from repro.runtime.shard import ShardedExecutionBackend, ShardQuerySpec
 from repro.runtime.timing import TimingDefense
 from repro.runtime.vectorized import (
     BatchOutputs,
@@ -71,7 +86,13 @@ from repro.runtime.vectorized import (
     supports_batch,
 )
 
-BACKENDS = ("serial", "thread", "pool", "vectorized")
+BACKENDS = ("serial", "thread", "pool", "vectorized", "sharded")
+
+#: Logical shard count when the sharded backend is selected without an
+#: explicit ``shards``: one logical shard per worker.  Deliberately a
+#: pure function of configuration — never of ``os.cpu_count()`` — since
+#: the shard count is a plan parameter that released bits depend on.
+DEFAULT_SHARDS_PER_WORKER = 1
 
 
 class ComputationManager:
@@ -102,6 +123,21 @@ class ComputationManager:
         one on demand from ``max_workers``/``timing``/``batch_size``.
     timing:
         Cycle-budget policy for an auto-constructed pool backend.
+    shards:
+        Logical shard count ``S`` of the sharded plan protocol — a
+        *public plan parameter* that applies to **every** backend: a
+        manager with ``shards=4`` draws 4-sharded combined plans whether
+        it executes them serially, through threads, the pool, the
+        vectorized path, or shard workers.  That is what makes the
+        determinism matrix possible — fix ``shards`` and vary the
+        backend, and the released bits do not move.  Defaults to ``1``
+        (the legacy single-plan protocol, bit-compatible with earlier
+        releases) except under ``backend="sharded"``, where it defaults
+        to one logical shard per worker.
+    sharded:
+        A pre-built :class:`ShardedExecutionBackend` for the ``sharded``
+        backend; ``None`` constructs one on demand.  Its logical shard
+        count must agree with ``shards`` when both are given.
     """
 
     def __init__(
@@ -113,6 +149,8 @@ class ComputationManager:
         batch_size: int | None = None,
         pool: PoolChamberBackend | None = None,
         timing: TimingDefense | None = None,
+        shards: int | None = None,
+        sharded: ShardedExecutionBackend | None = None,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -122,6 +160,8 @@ class ComputationManager:
             raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
         if batch_size is not None and batch_size < 1:
             raise ValueError("batch_size must be >= 1 (or None for auto)")
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be >= 1 (or None for the default)")
         self._chamber = chamber or InProcessChamber(timing=timing, metrics=metrics)
         self._timing = timing
         self._max_workers = max_workers
@@ -137,6 +177,28 @@ class ComputationManager:
                 batch_size=batch_size,
                 metrics=metrics,
             )
+        self._sharded = sharded
+        self._owns_sharded = sharded is None
+        if sharded is not None:
+            if shards is not None and sharded.shards != shards:
+                raise ValueError(
+                    f"shards={shards} disagrees with the provided sharded "
+                    f"backend's {sharded.shards} logical shards"
+                )
+            self._plan_shards = sharded.shards
+        elif backend == "sharded":
+            self._plan_shards = (
+                shards
+                if shards is not None
+                else max(1, DEFAULT_SHARDS_PER_WORKER * max_workers)
+            )
+            self._sharded = ShardedExecutionBackend(
+                shards=self._plan_shards,
+                workers=max_workers,
+                metrics=metrics,
+            )
+        else:
+            self._plan_shards = shards if shards is not None else 1
 
     @property
     def chamber(self) -> ExecutionChamber:
@@ -154,10 +216,36 @@ class ComputationManager:
     def pool(self) -> PoolChamberBackend | None:
         return self._pool
 
+    @property
+    def sharded_backend(self) -> ShardedExecutionBackend | None:
+        return self._sharded
+
+    @property
+    def plan_shards(self) -> int:
+        """Logical shard count S of every plan this manager draws.
+
+        A public plan parameter (like block size): released bits are a
+        function of it, and of nothing else about the deployment —
+        physical worker counts, backend choice and cache state never
+        move them.
+        """
+        return self._plan_shards
+
     def close(self) -> None:
-        """Release backend resources (pool worker processes)."""
+        """Release backend resources (worker processes); idempotent.
+
+        Teardown paths overlap (``GuptRuntime.close``, context managers,
+        test fixtures), so closing twice must be safe: the pool backend
+        tears down only the workers it currently has (a second close
+        finds none), and the sharded backend releases its processes and
+        shared-memory segments exactly once behind its own guard.
+        Backends passed in by the caller are never closed here — they
+        stay the caller's to close.
+        """
         if self._pool is not None and self._owns_pool:
             self._pool.close()
+        if self._sharded is not None and self._owns_sharded:
+            self._sharded.close()
 
     def __enter__(self) -> "ComputationManager":
         return self
@@ -257,6 +345,85 @@ class ComputationManager:
             succeeded=succeeded,
             elapsed=float(sum(e.elapsed for e in executions)),
         )
+
+    def run_sharded_collected(
+        self,
+        program: AnalystProgram,
+        values: np.ndarray,
+        *,
+        dataset: str,
+        version: int,
+        block_size: int,
+        resampling_factor: int,
+        plan_seed: int,
+        output_dimension: int,
+        fallback: np.ndarray,
+        clamp_ranges: tuple[tuple[float, ...], tuple[float, ...]] | None = None,
+    ) -> tuple[ShardPlanSummary, BatchOutputs] | None:
+        """Run one query through the shard workers, or ``None`` to degrade.
+
+        The sharded fast path: shard-local planning and execution,
+        partials-only combine, same telemetry and all-blocks-failed
+        error as :meth:`run_blocks_collected`.  Returns ``None`` — after
+        counting the reason in ``sharded.fallbacks`` — when the shard
+        protocol cannot carry the query (an active timing defense, whose
+        per-block kill-and-pad semantics the fused shard execution
+        cannot reproduce, or a program pickle cannot ship to a worker);
+        the caller then replays the *same* S-sharded plan through the
+        chamber path, so a degrade never moves released bits.
+
+        ``clamp_ranges`` is the optional ``(lows, highs)`` pair of
+        declared per-dimension output bounds; when given, workers clamp
+        block outputs before they cross the shard IPC boundary
+        (aggregation clamps to the same bounds again, so the release is
+        untouched).
+        """
+        if self._backend != "sharded" or self._sharded is None:
+            raise ComputationError("manager is not configured for sharded execution")
+        metrics = self._metrics or get_registry()
+
+        def degrade(reason: str) -> None:
+            metrics.counter("sharded.fallbacks", reason=reason).inc()
+            return None
+
+        chamber_timing = getattr(self._chamber, "timing", None)
+        if (self._timing is not None and self._timing.enabled) or (
+            chamber_timing is not None and chamber_timing.enabled
+        ):
+            return degrade("timing_defense")
+        try:
+            program_bytes = pickle.dumps(program)
+        except Exception:
+            return degrade("unpicklable")
+
+        fallback = self._validate_shape(output_dimension, fallback)
+        clamp_lo = clamp_hi = None
+        if clamp_ranges is not None:
+            clamp_lo = tuple(float(v) for v in clamp_ranges[0])
+            clamp_hi = tuple(float(v) for v in clamp_ranges[1])
+        spec = ShardQuerySpec(
+            dataset=dataset,
+            version=int(version),
+            num_records=int(values.shape[0]),
+            block_size=int(block_size),
+            resampling_factor=int(resampling_factor),
+            plan_seed=int(plan_seed),
+            shards=self._plan_shards,
+            output_dimension=int(output_dimension),
+            fallback=tuple(float(v) for v in fallback),
+            clamp_lo=clamp_lo,
+            clamp_hi=clamp_hi,
+        )
+        metrics.gauge("blocks.pool_width").set(self._max_workers)
+        summary, batch = self._sharded.run_sharded(program_bytes, values, spec)
+        succeeded = int(batch.succeeded.sum())
+        self._count_outcomes(metrics, batch.num_blocks, succeeded, killed=0)
+        metrics.histogram("blocks.latency_seconds").observe_many(
+            [batch.per_block_elapsed] * batch.num_blocks
+        )
+        if succeeded == 0:
+            raise ComputationError(self._all_failed_message(output_dimension))
+        return summary, batch
 
     def _run_blocks_impl(
         self, program, blocks, output_dimension, fallback, stacked, try_batch

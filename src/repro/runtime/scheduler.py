@@ -149,6 +149,7 @@ class QueryScheduler:
         self._queued_total = 0
         self._running_total = 0
         self._closing = False
+        self._close_finished = False
 
         registry = self._registry()
         registry.gauge("scheduler.queue_depth").set(0)
@@ -324,9 +325,17 @@ class QueryScheduler:
         return True
 
     def close(self, drain: bool = True) -> None:
-        """Stop admissions, settle the queue, and join the workers."""
+        """Stop admissions, settle the queue, and join the workers.
+
+        Exactly-once: the first call performs the shutdown (refusals,
+        thread joins, final gauge writes); later calls — overlapping
+        teardown paths, context-manager exit after an explicit close —
+        return immediately without touching anything.
+        """
         registry = self._registry()
         with self._lock:
+            if self._close_finished:
+                return
             if not self._closing:
                 self._closing = True
                 if not drain:
@@ -348,6 +357,8 @@ class QueryScheduler:
             thread.join()
         registry.gauge("scheduler.queue_depth").set(self._queued_total)
         registry.gauge("scheduler.running").set(0)
+        with self._lock:
+            self._close_finished = True
 
     def __enter__(self) -> "QueryScheduler":
         return self

@@ -136,6 +136,7 @@ class GuptService:
         backend: str | None = None,
         workers: int | None = None,
         batch_size: int | None = None,
+        shards: int | None = None,
         scheduler_workers: int = 4,
         max_inflight: int = 8,
         queue_depth: int = 64,
@@ -161,6 +162,7 @@ class GuptService:
             backend=backend,
             workers=workers,
             batch_size=batch_size,
+            shards=shards,
             plan_cache_size=plan_cache_size,
         )
         self._principals: dict[str, Principal] = {}
@@ -175,6 +177,7 @@ class GuptService:
         )
         self._scheduler: QueryScheduler | None = None
         self._scheduler_lock = threading.Lock()
+        self._closed = False
 
     @property
     def scheduler(self) -> QueryScheduler:
@@ -187,8 +190,18 @@ class GuptService:
             return self._scheduler
 
     def close(self, drain: bool = True) -> None:
-        """Drain the scheduler, release backends, close the journal."""
+        """Drain the scheduler, release backends, close the journal.
+
+        Idempotent and exactly-once: the scheduler is swapped out under
+        its lock (so only one caller ever drains it), the runtime and
+        dataset manager guard themselves, and a ``_closed`` flag makes
+        repeated calls — context-manager exit after an explicit close,
+        overlapping shutdown hooks — cheap no-ops.
+        """
         with self._scheduler_lock:
+            if self._closed:
+                return
+            self._closed = True
             scheduler, self._scheduler = self._scheduler, None
         if scheduler is not None:
             scheduler.close(drain=drain)

@@ -50,7 +50,7 @@ from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
-from repro.runtime.sandbox import BlockExecution
+from repro.runtime.sandbox import BlockExecution, _coerce_output
 
 
 @dataclass(frozen=True)
@@ -189,3 +189,47 @@ def run_batch_blocks(
         # the cached stacked array) before it escapes to aggregation.
         matrix = matrix.copy()
     return BatchOutputs(outputs=matrix, succeeded=finite, elapsed=elapsed)
+
+
+def run_stacked_serial(
+    program_bytes: bytes,
+    stacked: np.ndarray,
+    output_dimension: int,
+    fallback: np.ndarray,
+) -> BatchOutputs:
+    """Per-block execution over a stacked array, collected in matrix form.
+
+    The shard workers' slow path: a program with no usable batch form
+    runs block-by-block against a *fresh* ``pickle.loads`` instance per
+    block — the same instance-freshness guarantee the chambers give, so
+    no state can carry between blocks — with the chamber's malformed-
+    output rule (fallback substitution, ``succeeded=False``).  Outputs
+    are bit-identical to the serial chamber path for deterministic
+    programs: same block values, same per-block call.
+    """
+    fallback = np.asarray(fallback, dtype=float).ravel()
+    num_blocks = int(stacked.shape[0])
+    outputs = np.empty((num_blocks, output_dimension), dtype=float)
+    succeeded = np.zeros(num_blocks, dtype=bool)
+    started = time.perf_counter()
+    for i in range(num_blocks):
+        # A writable per-block copy, matching the chamber path's contract
+        # for frozen cached materializations: a program that mutates its
+        # input scribbles on the copy, never on the shared stack — and
+        # succeeds exactly when it would under the serial chamber.
+        block = np.array(stacked[i])
+        try:
+            raw = pickle.loads(program_bytes)(block)
+        except Exception:  # noqa: BLE001 - any failure becomes fallback
+            raw = None
+        vector = None if raw is None else _coerce_output(raw, output_dimension)
+        if vector is None:
+            outputs[i] = fallback
+        else:
+            outputs[i] = vector
+            succeeded[i] = True
+    return BatchOutputs(
+        outputs=outputs,
+        succeeded=succeeded,
+        elapsed=time.perf_counter() - started,
+    )

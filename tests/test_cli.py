@@ -208,3 +208,107 @@ class TestServe:
             "--range", "0", "150", "--epsilon", "0.5", "--analysts", "0",
         ])
         assert code == 2
+
+    def test_serve_simulated_traffic_on_sharded_backend(self, ages_csv, capsys):
+        """The in-process load harness runs its queries through the
+        sharded backend when asked to."""
+        code = main([
+            "serve", "--data", str(ages_csv), "--program", "mean",
+            "--range", "0", "150", "--epsilon", "0.5", "--budget", "4.0",
+            "--backend", "sharded", "--shards", "2", "--workers", "2",
+            "--analysts", "2", "--queries", "2",
+            "--max-inflight", "8", "--queue-depth", "16", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "completed     : 4 ok, 0 refused" in out
+        assert "queue depth   : 0 after drain" in out
+
+
+class TestServeHttp:
+    """``serve --http`` must honor the execution flags end-to-end.
+
+    Each matrix entry stands up the real front door via ``main``, runs
+    one seeded query over the wire, and the released value must be
+    bit-identical across backends: the execution flags reach
+    ``GuptService`` (a dropped ``--shards`` would change the plan and
+    the bits; a dropped ``--backend`` would be invisible — so the matrix
+    also includes a shard-count variant that MUST differ).
+    """
+
+    MATRIX = [
+        ["--backend", "serial", "--shards", "2"],
+        ["--backend", "vectorized", "--shards", "2"],
+        ["--backend", "sharded", "--shards", "2", "--workers", "2"],
+    ]
+
+    def _serve_and_query(self, ages_csv, extra):
+        import socket
+        import threading
+        import time
+
+        from repro.server import protocol
+        from repro.server.client import GuptClient
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        codes = []
+        thread = threading.Thread(
+            target=lambda: codes.append(main([
+                "serve", "--data", str(ages_csv),
+                "--http", f"127.0.0.1:{port}",
+                "--http-seconds", "4", "--admin-token", "matrix-admin",
+                "--budget", "10.0", "--seed", "1", *extra,
+            ])),
+            daemon=True,
+        )
+        thread.start()
+        client = None
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            try:
+                candidate = GuptClient("127.0.0.1", port)
+                candidate.healthz()
+                client = candidate
+                break
+            except OSError:
+                time.sleep(0.05)
+        assert client is not None, "front door never came up"
+        try:
+            token = client.enroll("analyst", "matrix", "matrix-admin")
+            analyst = GuptClient("127.0.0.1", port, token=token)
+            try:
+                body = protocol.query_request_to_wire(
+                    "cli", {"name": "mean"}, [(0.0, 150.0)],
+                    epsilon=0.5, seed=7,
+                )
+                response = analyst.result(analyst.submit(body), timeout=15)
+            finally:
+                analyst.close()
+        finally:
+            client.close()
+        thread.join(timeout=30)
+        assert codes == [0], f"serve --http exited {codes} for {extra}"
+        assert response is not None and response.ok, response
+        return tuple(response.value)
+
+    def test_http_flag_matrix_is_bit_identical(self, ages_csv, capsys):
+        released = {
+            " ".join(extra): self._serve_and_query(ages_csv, extra)
+            for extra in self.MATRIX
+        }
+        assert len(set(released.values())) == 1, released
+
+    def test_http_shard_count_reaches_the_plan(self, ages_csv, capsys):
+        """--shards is forwarded, not decorative: changing it alone
+        changes the released bits."""
+        at_two = self._serve_and_query(
+            ages_csv, ["--backend", "sharded", "--shards", "2"]
+        )
+        at_four = self._serve_and_query(
+            ages_csv, ["--backend", "sharded", "--shards", "4"]
+        )
+        assert at_two != at_four

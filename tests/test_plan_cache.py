@@ -173,6 +173,13 @@ class TestKeyPrivacyInvariant:
             "block_size",
             "resampling_factor",
             "seed",
+            # Sharded plan protocol: the logical shard count is a public
+            # plan parameter (the combined plan is a pure function of
+            # seed and shards), and the shard index scopes worker-local
+            # entries — both analyst-visible execution geometry, never
+            # record-derived.
+            "shards",
+            "shard",
         }
 
     def test_same_public_parameters_same_entry_regardless_of_values(self):

@@ -1,0 +1,399 @@
+"""Sharded execution engine: determinism, combine protocol, self-healing.
+
+The backend's core contract is that sharding is *execution geometry*,
+not a statistical change: for a fixed logical shard count ``S`` (a
+public plan parameter, like block size) every backend — serial, thread,
+pool, vectorized, sharded at any physical worker count ``K`` — releases
+bit-for-bit identical values under the same seed.  These tests pin that
+matrix, the shard-major combine protocol underneath it, the degrade
+paths (timing defense, unpicklable programs, explicit grouped plans),
+and kill-and-replace self-healing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accounting.manager import DatasetManager
+from repro.core.blocks import (
+    draw_shard_local_plan,
+    draw_sharded_plan,
+    shard_block_counts,
+    shard_offsets,
+)
+from repro.core.gupt import GuptRuntime
+from repro.core.plan_cache import BlockPlanCache, PlanKey, slice_stacked_for_shard
+from repro.core.range_estimation import TightRange
+from repro.datasets.table import DataTable
+from repro.estimators.statistics import Mean
+from repro.exceptions import ComputationError
+from repro.observability import MetricsRegistry
+from repro.runtime.computation_manager import ComputationManager
+from repro.runtime.shard import ShardedExecutionBackend, ShardQuerySpec
+from repro.runtime.timing import TimingDefense
+
+SEED = 424242
+QUERY_SEED = 7
+EPSILON = 0.5
+BLOCK_SIZE = 50
+NUM_RECORDS = 1_000
+
+
+def crash_on_negative_mean(block):
+    """Kills its host process on shard-0 data (see the self-heal test).
+
+    Module-level so it pickles: a nested def would silently degrade the
+    sharded fast path to the in-process chamber — and kill the test run.
+    """
+    if float(np.mean(block)) < 0:
+        import os
+
+        os._exit(13)
+    return float(np.mean(block))
+
+
+crash_on_negative_mean.output_dimension = 1
+
+
+def _values(num_records: int = NUM_RECORDS) -> np.ndarray:
+    return np.random.default_rng(SEED).uniform(0.0, 100.0, size=(num_records, 1))
+
+
+def _release(
+    *,
+    backend: str | None = None,
+    workers: int | None = None,
+    shards: int | None = None,
+    computation: ComputationManager | None = None,
+    metrics: MetricsRegistry | None = None,
+    program=None,
+    num_records: int = NUM_RECORDS,
+):
+    """One seeded query through a fresh runtime; the released tuple."""
+    manager = DatasetManager()
+    manager.register(
+        "data", DataTable(_values(num_records), input_ranges=[(0.0, 100.0)]),
+        total_budget=100.0,
+    )
+    if computation is not None:
+        runtime = GuptRuntime(
+            manager, computation_manager=computation, rng=SEED, metrics=metrics
+        )
+    else:
+        runtime = GuptRuntime(
+            manager, rng=SEED, backend=backend, workers=workers,
+            shards=shards, metrics=metrics,
+        )
+    try:
+        result = runtime.run(
+            "data",
+            program if program is not None else Mean(),
+            TightRange((0.0, 100.0)),
+            epsilon=EPSILON,
+            block_size=BLOCK_SIZE,
+            rng=QUERY_SEED,
+        )
+    finally:
+        runtime.close()
+    return tuple(float(v) for v in result.value), result.num_blocks
+
+
+class TestDeterminismMatrix:
+    def test_every_backend_agrees_at_fixed_shards(self):
+        """serial/thread/pool/vectorized/sharded(K=1,2,4): same bits at S=4."""
+        releases = {
+            "serial": _release(backend="serial", shards=4),
+            "thread": _release(backend="thread", workers=2, shards=4),
+            "pool": _release(backend="pool", workers=2, shards=4),
+            "vectorized": _release(backend="vectorized", shards=4),
+            "sharded-K1": _release(backend="sharded", workers=1, shards=4),
+            "sharded-K2": _release(backend="sharded", workers=2, shards=4),
+            "sharded-K4": _release(backend="sharded", workers=4, shards=4),
+        }
+        assert len(set(releases.values())) == 1, releases
+
+    def test_worker_count_never_moves_bits(self):
+        """K is deployment geometry: uneven shard/worker splits included."""
+        releases = {
+            k: _release(backend="sharded", workers=k, shards=6)
+            for k in (1, 2, 3, 4, 6)
+        }
+        assert len(set(releases.values())) == 1, releases
+
+    def test_single_shard_matches_legacy_protocol(self):
+        """S=1 is *defined* as the pre-sharding plan protocol."""
+        assert _release(backend="serial") == _release(
+            backend="sharded", workers=1, shards=1
+        )
+
+    def test_shard_count_is_a_public_plan_parameter(self):
+        """Changing S redraws the plan — S reaches the released bits."""
+        assert _release(backend="serial", shards=2) != _release(
+            backend="serial", shards=4
+        )
+
+    def test_fast_path_actually_ran(self):
+        metrics = MetricsRegistry()
+        _release(backend="sharded", workers=2, shards=4, metrics=metrics)
+        counters = metrics.snapshot()["counters"]
+        assert counters["shard.queries"] == 1
+        assert not any(k.startswith("sharded.fallbacks") for k in counters)
+
+
+class TestCombineProtocol:
+    def test_combined_plan_is_shard_major_concatenation(self):
+        combined = draw_sharded_plan(
+            NUM_RECORDS, block_size=BLOCK_SIZE, resampling_factor=2,
+            plan_seed=99, shards=3,
+        )
+        offsets = shard_offsets(NUM_RECORDS, 3)
+        base = 0
+        rebuilt = []
+        for shard in range(3):
+            local = draw_shard_local_plan(
+                int(offsets[shard + 1] - offsets[shard]),
+                BLOCK_SIZE, 2, plan_seed=99, shards=3, shard=shard,
+            )
+            rebuilt.extend(
+                [int(offsets[shard]) + int(i) for i in block]
+                for block in local.blocks
+            )
+            base += local.num_blocks
+        assert [list(map(int, b)) for b in combined.blocks] == rebuilt
+
+    def test_slice_stacked_matches_worker_local_stack(self):
+        """The coordinator's combined stack slices into exactly the
+        worker-local materializations — the equivalence the partials-only
+        combine rests on."""
+        values = _values(600)
+        shards = 3
+        cache = BlockPlanCache(metrics=MetricsRegistry())
+        combined_key = PlanKey(
+            dataset="d", version=1, num_records=600, block_size=BLOCK_SIZE,
+            resampling_factor=1, seed=5, shards=shards,
+        )
+        _, combined_stacked = cache.plan_and_stack(
+            combined_key, values,
+            lambda: draw_sharded_plan(
+                600, block_size=BLOCK_SIZE, plan_seed=5, shards=shards
+            ),
+        )
+        offsets = shard_offsets(600, shards)
+        for shard in range(shards):
+            local_values = values[int(offsets[shard]) : int(offsets[shard + 1])]
+            local_plan = draw_shard_local_plan(
+                local_values.shape[0], BLOCK_SIZE, 1,
+                plan_seed=5, shards=shards, shard=shard,
+            )
+            local_stacked = np.stack(
+                [local_values[list(block)] for block in local_plan.blocks]
+            )
+            np.testing.assert_array_equal(
+                slice_stacked_for_shard(combined_stacked, combined_key, shard),
+                local_stacked,
+            )
+
+    def test_shard_block_counts_partition_the_plan(self):
+        counts = shard_block_counts(NUM_RECORDS, BLOCK_SIZE, 2, 3)
+        combined = draw_sharded_plan(
+            NUM_RECORDS, block_size=BLOCK_SIZE, resampling_factor=2,
+            plan_seed=1, shards=3,
+        )
+        assert int(np.sum(counts)) == combined.num_blocks
+
+
+class TestSelfHealing:
+    def test_worker_killed_between_queries_heals_bit_identically(self):
+        metrics = MetricsRegistry()
+        manager = DatasetManager()
+        manager.register(
+            "data", DataTable(_values(), input_ranges=[(0.0, 100.0)]),
+            total_budget=100.0,
+        )
+        computation = ComputationManager(
+            backend="sharded", shards=4, max_workers=2, metrics=metrics
+        )
+        runtime = GuptRuntime(
+            manager, computation_manager=computation, rng=SEED, metrics=metrics
+        )
+        try:
+            def query(seed):
+                result = runtime.run(
+                    "data", Mean(), TightRange((0.0, 100.0)),
+                    epsilon=EPSILON, block_size=BLOCK_SIZE, rng=seed,
+                )
+                return tuple(float(v) for v in result.value)
+
+            before = query(11)
+            computation.sharded_backend._workers[0].kill()
+            after = query(11)
+        finally:
+            runtime.close()
+        assert before == after
+        counters = metrics.snapshot()["counters"]
+        assert counters["shard.worker_restarts"] >= 1
+        # The healed worker needed the dataset re-pushed, but the
+        # coordinator never re-copied the segment for the live ones.
+        assert counters["shard.dataset_pushes"] == 1
+
+    def test_crash_during_query_substitutes_fallback_rows(self):
+        """A program that kills its worker on one shard's data: the query
+        still completes, the dead shard resolving to fallback rows —
+        the same data-independent outcome the pool backend gives killed
+        blocks."""
+        # Shard 0 owns the negative half; every block drawn from it
+        # kills the worker (twice, after one heal-and-retry).
+        values = np.concatenate(
+            [np.full(500, -50.0), np.full(500, 50.0)]
+        ).reshape(-1, 1)
+        metrics = MetricsRegistry()
+        manager = DatasetManager()
+        manager.register(
+            "data", DataTable(values, input_ranges=[(-100.0, 100.0)]),
+            total_budget=100.0,
+        )
+        computation = ComputationManager(
+            backend="sharded", shards=2, max_workers=2, metrics=metrics
+        )
+        runtime = GuptRuntime(
+            manager, computation_manager=computation, rng=SEED, metrics=metrics
+        )
+        try:
+            result = runtime.run(
+                "data", crash_on_negative_mean, TightRange((-100.0, 100.0)),
+                epsilon=EPSILON, block_size=100, rng=3,
+            )
+        finally:
+            runtime.close()
+        assert np.all(np.isfinite(result.value))
+        counters = metrics.snapshot()["counters"]
+        assert counters["shard.worker_restarts"] >= 1
+        assert counters["blocks.fallback"] >= 1
+        assert counters["blocks.success"] >= 1
+
+
+class TestDegrades:
+    def test_unpicklable_program_degrades_bit_compatibly(self):
+        def make_program():
+            offset = 0.0  # closure => unpicklable across processes
+            program = lambda block: float(np.mean(block)) + offset  # noqa: E731
+            program.output_dimension = 1
+            return program
+
+        metrics = MetricsRegistry()
+        sharded = _release(
+            backend="sharded", workers=2, shards=3,
+            metrics=metrics, program=make_program(),
+        )
+        serial = _release(backend="serial", shards=3, program=make_program())
+        assert sharded == serial
+        counters = metrics.snapshot()["counters"]
+        assert counters['sharded.fallbacks{reason="unpicklable"}'] == 1
+        assert counters.get("shard.queries", 0) == 0
+
+    def test_timing_defense_degrades_bit_compatibly(self):
+        metrics = MetricsRegistry()
+        guarded = ComputationManager(
+            backend="sharded", shards=3, max_workers=2,
+            timing=TimingDefense(cycle_budget=30.0, pad=False),
+            metrics=metrics,
+        )
+        sharded = _release(computation=guarded, metrics=metrics)
+        serial = _release(backend="serial", shards=3)
+        assert sharded == serial
+        counters = metrics.snapshot()["counters"]
+        assert counters['sharded.fallbacks{reason="timing_defense"}'] == 1
+
+    def test_grouped_query_bypasses_fast_path(self):
+        """group_by hands the engine an explicit plan; the sharded
+        backend must answer it through the chamber path, identically to
+        serial."""
+        labels = np.repeat(np.arange(25), 40).astype(float)
+        table = DataTable(
+            np.column_stack([_values().ravel(), labels]),
+            column_names=("x", "user"),
+            input_ranges=[(0.0, 100.0), (0.0, 25.0)],
+        )
+
+        def grouped_release(backend):
+            metrics = MetricsRegistry()
+            manager = DatasetManager()
+            manager.register("data", table, total_budget=100.0)
+            runtime = GuptRuntime(
+                manager, rng=SEED, backend=backend, workers=2, shards=2,
+                metrics=metrics,
+            )
+            try:
+                result = runtime.run(
+                    "data", Mean(), TightRange((0.0, 100.0)),
+                    epsilon=EPSILON, group_by="user", rng=9,
+                )
+            finally:
+                runtime.close()
+            return tuple(float(v) for v in result.value), metrics
+
+        sharded_value, metrics = grouped_release("sharded")
+        serial_value, _ = grouped_release("serial")
+        assert sharded_value == serial_value
+        assert metrics.snapshot()["counters"].get("shard.queries", 0) == 0
+
+
+class TestValidation:
+    def test_backend_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            ShardedExecutionBackend(shards=0)
+        with pytest.raises(ValueError):
+            ShardedExecutionBackend(shards=2, workers=0)
+        with pytest.raises(ValueError):
+            ShardedExecutionBackend(shards=2, resident_datasets=0)
+
+    def test_workers_clamped_to_shards(self):
+        backend = ShardedExecutionBackend(shards=2, workers=8)
+        assert backend.workers == 2
+        backend.close()
+
+    def test_spec_shard_mismatch_is_an_error(self):
+        backend = ShardedExecutionBackend(shards=2, workers=1)
+        spec = ShardQuerySpec(
+            dataset="d", version=1, num_records=100, block_size=10,
+            resampling_factor=1, plan_seed=0, shards=3,
+            output_dimension=1, fallback=(0.0,),
+        )
+        try:
+            with pytest.raises(ComputationError, match="3 shards"):
+                backend.run_sharded(b"", _values(100), spec)
+        finally:
+            backend.close()
+
+    def test_manager_validates_shard_count(self):
+        with pytest.raises(ValueError):
+            ComputationManager(backend="sharded", shards=0)
+
+    def test_manager_rejects_mismatched_prebuilt_backend(self):
+        backend = ShardedExecutionBackend(shards=2, workers=1)
+        try:
+            with pytest.raises(ValueError):
+                ComputationManager(backend="sharded", shards=4, sharded=backend)
+        finally:
+            backend.close()
+
+    def test_collected_requires_sharded_backend(self):
+        manager = ComputationManager(backend="serial")
+        with pytest.raises(ComputationError):
+            manager.run_sharded_collected(
+                Mean(), _values(100), dataset="d", version=1,
+                block_size=10, resampling_factor=1, plan_seed=0,
+                output_dimension=1, fallback=np.zeros(1),
+            )
+
+    def test_serial_backends_honor_the_shards_knob(self):
+        manager = ComputationManager(backend="serial", shards=3)
+        assert manager.plan_shards == 3
+        assert manager.sharded_backend is None
+
+    def test_sharded_default_is_one_shard_per_worker(self):
+        manager = ComputationManager(backend="sharded", max_workers=3)
+        try:
+            assert manager.plan_shards == 3
+            assert manager.sharded_backend.shards == 3
+        finally:
+            manager.close()

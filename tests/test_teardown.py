@@ -1,0 +1,168 @@
+"""Teardown ordering: every close is idempotent and exactly-once.
+
+Teardown paths overlap in this codebase by design — context managers,
+explicit ``close()`` calls, ``GuptService.close`` cascading into
+``GuptRuntime.close`` cascading into the backends, ``__del__`` as a
+last resort.  A double release of worker processes or shared-memory
+segments is a crash; a *skipped* release is a leak.  These regression
+tests pin the contract at every layer: closing twice is a no-op, the
+expensive teardown happens exactly once, and — for the pool backend,
+which is restartable by design — closing does not wedge the owner
+against a later run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accounting.manager import DatasetManager
+from repro.core.gupt import GuptRuntime
+from repro.core.range_estimation import TightRange
+from repro.datasets.table import DataTable
+from repro.estimators.statistics import Mean
+from repro.exceptions import ComputationError
+from repro.observability import MetricsRegistry
+from repro.runtime.computation_manager import ComputationManager
+from repro.runtime.scheduler import QueryScheduler
+from repro.runtime.service import ANALYST, OWNER, GuptService, QueryRequest
+from repro.runtime.shard import ShardedExecutionBackend
+
+
+def _table(num_records: int = 400) -> DataTable:
+    values = np.random.default_rng(3).uniform(0.0, 100.0, size=num_records)
+    return DataTable(values, column_names=["v"], input_ranges=[(0.0, 100.0)])
+
+
+class TestShardedBackendTeardown:
+    def test_close_is_idempotent_and_terminal(self):
+        backend = ShardedExecutionBackend(shards=2, workers=2)
+        backend._ensure_started()
+        processes = [w.process for w in backend._workers]
+        backend.close()
+        assert all(not p.is_alive() for p in processes)
+        backend.close()  # second call: cheap no-op, no double release
+        with pytest.raises(ComputationError, match="closed"):
+            backend._ensure_started()
+
+    def test_close_releases_segments_exactly_once(self, monkeypatch):
+        from repro.runtime.shard import _DatasetSegment
+
+        backend = ShardedExecutionBackend(shards=2, workers=1)
+        with backend._dispatch_lock:
+            backend._ensure_started()
+            backend._ensure_dataset_locked(
+                ("d", 1), np.arange(20.0).reshape(-1, 1)
+            )
+        releases = []
+        original = _DatasetSegment.release
+        monkeypatch.setattr(
+            _DatasetSegment, "release",
+            lambda segment: (releases.append(segment.key), original(segment))[1],
+        )
+        backend.close()
+        backend.close()
+        assert releases == [("d", 1)]
+
+    def test_context_manager_overlapping_explicit_close(self):
+        with ShardedExecutionBackend(shards=2, workers=1) as backend:
+            backend._ensure_started()
+            backend.close()  # __exit__ will close again — must not raise
+
+
+class TestComputationManagerTeardown:
+    def test_sharded_manager_double_close(self):
+        manager = ComputationManager(backend="sharded", shards=2, max_workers=2)
+        backend = manager.sharded_backend
+        backend._ensure_started()
+        manager.close()
+        manager.close()
+        assert backend._closed
+
+    def test_pool_backend_survives_close_run_close(self):
+        """The pool restarts transparently after close; the manager must
+        not remember a close and skip the next one (that would leak the
+        restarted workers)."""
+        manager = ComputationManager(backend="pool", max_workers=1)
+
+        def run_once():
+            values = np.random.default_rng(0).uniform(0, 10, size=(40, 1))
+            blocks = [values[i * 10 : (i + 1) * 10] for i in range(4)]
+            results = manager.run_blocks(Mean(), blocks, 1, np.zeros(1))
+            assert all(r.succeeded for r in results)
+
+        run_once()
+        manager.close()
+        run_once()  # transparently restarts the pool
+        pool = manager._pool
+        assert pool._workers, "pool did not restart"
+        manager.close()  # second close must still stop the new workers
+        assert not pool._workers
+
+
+class TestRuntimeTeardown:
+    def test_double_close_unhooks_exactly_once(self):
+        manager = DatasetManager()
+        manager.register("d", _table(), total_budget=10.0)
+        runtime = GuptRuntime(manager, rng=0, backend="sharded", shards=2)
+        runtime.run(
+            "d", Mean(), TightRange((0.0, 100.0)), epsilon=0.5,
+            block_size=50, rng=1,
+        )
+        hooks_before = len(manager._invalidation_hooks)
+        runtime.close()
+        assert len(manager._invalidation_hooks) == hooks_before - 2
+        runtime.close()  # idempotent: no double unhook, no error
+        assert len(manager._invalidation_hooks) == hooks_before - 2
+
+    def test_close_without_any_query(self):
+        manager = DatasetManager()
+        manager.register("d", _table(), total_budget=10.0)
+        runtime = GuptRuntime(manager, rng=0, backend="sharded", shards=2)
+        runtime.close()
+        runtime.close()
+
+
+class TestServiceTeardown:
+    def _service(self) -> GuptService:
+        service = GuptService(rng=0, backend="sharded", shards=2, workers=2)
+        owner = service.enroll(OWNER, "o")
+        service.register_dataset(owner.token, "d", _table(), total_budget=10.0)
+        return service
+
+    def test_double_close_drains_scheduler_once(self, monkeypatch):
+        service = self._service()
+        analyst = service.enroll(ANALYST, "a")
+        response = service.execute(
+            analyst.token,
+            QueryRequest(
+                dataset="d", program=Mean(),
+                range_strategy=TightRange((0.0, 100.0)), epsilon=0.5, seed=1,
+            ),
+        )
+        assert response.ok
+        scheduler = service.scheduler
+        closes = []
+        original = scheduler.close
+        monkeypatch.setattr(
+            scheduler, "close",
+            lambda drain=True: (closes.append(drain), original(drain=drain))[1],
+        )
+        service.close()
+        service.close()
+        assert closes == [True]
+
+    def test_close_before_scheduler_exists(self):
+        service = GuptService(rng=0)
+        service.close()
+        service.close()
+
+    def test_context_exit_after_explicit_close(self):
+        with self._service() as service:
+            service.close()
+
+
+class TestSchedulerTeardown:
+    def test_double_close(self):
+        scheduler = QueryScheduler(workers=2)
+        scheduler.close()
+        scheduler.close()
+        assert scheduler._close_finished

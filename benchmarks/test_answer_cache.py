@@ -1,0 +1,129 @@
+"""Bench: the noisy-answer cache — replaying a release beats re-running it.
+
+A cache hit is a dictionary lookup plus a frozen-result copy; a miss is
+a full sample-and-aggregate execution.  This bench measures cold
+(miss + store) versus warm (replay) throughput for an identical seeded
+query and writes ``BENCH_cache.json``.
+
+Two claims are asserted:
+
+* the replayed release is bit-for-bit identical to the original — the
+  speedup is bought with post-processing, not with different bits; and
+* warm replay is faster than cold execution (the floor is deliberately
+  modest: the point of the cache is the *zero marginal ε*, the speedup
+  is the free lunch on top).
+
+``CACHE_SCALE=smoke`` shrinks the dataset and repeat counts for CI.
+"""
+
+import os
+import time
+
+import numpy as np
+from common import write_bench
+
+from repro.accounting.manager import DatasetManager
+from repro.core.gupt import GuptRuntime
+from repro.core.range_estimation import TightRange
+from repro.datasets.table import DataTable
+from repro.estimators.statistics import Mean
+from repro.observability import MetricsRegistry
+
+SEED = 90210
+QUERY_SEED = 1234
+BLOCK_SIZE = 100
+EPSILON = 0.5
+WARM_SPEEDUP_FLOOR = 2.0
+
+
+def _build_runtime(num_records: int, registry: MetricsRegistry) -> GuptRuntime:
+    rng = np.random.default_rng(SEED)
+    values = rng.uniform(0.0, 100.0, size=(num_records, 1))
+    manager = DatasetManager(metrics=registry)
+    manager.register(
+        "bench",
+        DataTable(values, input_ranges=[(0.0, 100.0)]),
+        total_budget=1_000.0,
+    )
+    return GuptRuntime(
+        manager, rng=SEED, metrics=registry, answer_cache_size=64,
+    )
+
+
+def _time_query(runtime: GuptRuntime) -> tuple[float, tuple[float, ...], bool]:
+    started = time.perf_counter()
+    result = runtime.run(
+        "bench",
+        Mean(),
+        TightRange((0.0, 100.0)),
+        epsilon=EPSILON,
+        block_size=BLOCK_SIZE,
+        rng=QUERY_SEED,
+    )
+    elapsed = time.perf_counter() - started
+    return elapsed, tuple(float(v) for v in result.value), result.cached
+
+
+def test_answer_cache_throughput():
+    smoke = os.environ.get("CACHE_SCALE", "full") == "smoke"
+    num_records = 20_000 if smoke else 1_000_000
+    warm_repeats = 20 if smoke else 200
+
+    registry = MetricsRegistry()
+    runtime = _build_runtime(num_records, registry)
+    try:
+        spent_before = runtime.dataset_manager.get("bench").budget.spent
+        cold_seconds, cold_value, cold_hit = _time_query(runtime)
+        spent_cold = runtime.dataset_manager.get("bench").budget.spent
+
+        warm_times = []
+        for _ in range(warm_repeats):
+            warm_seconds, warm_value, warm_hit = _time_query(runtime)
+            assert warm_hit and warm_value == cold_value
+            warm_times.append(warm_seconds)
+        spent_warm = runtime.dataset_manager.get("bench").budget.spent
+    finally:
+        runtime.close()
+
+    assert not cold_hit
+    # Every warm query was a replay: budget moved once, at the miss.
+    assert spent_cold - spent_before == EPSILON
+    assert spent_warm == spent_cold
+
+    best_warm = min(warm_times)
+    speedup = cold_seconds / best_warm
+    counters = registry.snapshot()["counters"]
+    assert counters['optimizer.cache_hits{dataset="bench"}'] == warm_repeats
+
+    write_bench(
+        "cache",
+        "smoke" if smoke else "full",
+        bench="answer_cache",
+        payload={
+            "records": num_records,
+            "cold_seconds": cold_seconds,
+            "warm_seconds_best": best_warm,
+            "warm_seconds_mean": sum(warm_times) / len(warm_times),
+            "warm_repeats": warm_repeats,
+            "warm_speedup": speedup,
+            "warm_qps": 1.0 / best_warm,
+            "epsilon_spent_total": spent_warm,
+            "identical_released_values": True,
+            "value": list(cold_value),
+        },
+        params={
+            "block_size": BLOCK_SIZE,
+            "epsilon": EPSILON,
+            "seed": SEED,
+            "query_seed": QUERY_SEED,
+        },
+    )
+    print(
+        f"\ncold {cold_seconds * 1e3:8.2f} ms  "
+        f"warm(best) {best_warm * 1e6:8.1f} us  "
+        f"speedup {speedup:8.1f}x  value={cold_value[0]:.6f}"
+    )
+
+    # Replay skips sampling, execution and noise generation entirely;
+    # even a smoke-sized run clears this floor by orders of magnitude.
+    assert speedup >= WARM_SPEEDUP_FLOOR, (cold_seconds, best_warm)

@@ -94,8 +94,13 @@ COMMIT = "commit"
 ROLLBACK = "rollback"
 RETIRE = "retire"
 RECOVERY = "recovery"
+# A zero-ε replay of an already-published release (answer-cache hit).
+# Informational: it proves to an auditor that the query was served
+# without opening a reservation, and it carries no epsilon, so budget
+# recovery ignores it entirely.
+REPLAY = "replay"
 
-_KINDS = frozenset({REGISTER, RESERVE, COMMIT, ROLLBACK, RETIRE, RECOVERY})
+_KINDS = frozenset({REGISTER, RESERVE, COMMIT, ROLLBACK, RETIRE, RECOVERY, REPLAY})
 
 #: Ledger detail attached to conservatively resolved reservations.
 CONSERVATIVE_DETAIL = "resolved conservatively after crash (no terminal record)"
@@ -431,6 +436,10 @@ def replay(records: Iterable[dict]) -> ReplayResult:
             # discarded with the dataset, nothing left to resurrect.
             state.pending.clear()
             result.retired.append(datasets.pop(name))
+        elif kind == REPLAY:
+            # Zero-ε answer-cache replay: audit trail only.  No budget
+            # moved, so recovery has nothing to fold in.
+            pass
     # End of journal: anything still pending was in flight at the crash.
     for state in datasets.values():
         state.resolve_pending_conservatively()
@@ -607,6 +616,7 @@ __all__ = [
     "ROLLBACK",
     "RETIRE",
     "RECOVERY",
+    "REPLAY",
     "CONSERVATIVE_DETAIL",
     "BudgetJournal",
     "CommittedSpend",

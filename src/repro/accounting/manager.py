@@ -38,6 +38,7 @@ from repro.accounting.journal import (
     COMMIT,
     RECOVERY,
     REGISTER,
+    REPLAY,
     RESERVE,
     RETIRE,
     ROLLBACK,
@@ -232,6 +233,25 @@ class RegisteredDataset:
         it as gauges leaks nothing beyond the existing interface.
         """
         self.reserve(epsilon, query).commit(detail)
+
+    def record_replay(self, query: str, detail: str = "answer-cache replay") -> None:
+        """Audit a zero-ε replay of an already-published release.
+
+        A cache hit hands out bits the analyst already holds, which is
+        free under post-processing — so no reservation is opened and no
+        budget moves.  The event still lands in both audit surfaces (a
+        ``REPLAY`` journal record and a 0.0-epsilon ledger entry) so an
+        auditor can verify the "zero marginal ε" claim against the same
+        trail that proves every real spend.  Failing closed: a journal
+        that cannot record the event refuses the replay, exactly like a
+        reserve would.
+        """
+        if self.journal is not None:
+            self.journal.append(REPLAY, self.name, query=query, detail=detail)
+        self.ledger.record(0.0, query, detail)
+        registry = self._registry()
+        registry.counter("budget.replays", dataset=self.name).inc()
+        self._record_budget_gauges(registry)
 
     # -- reservation callbacks (invoked under the reservation's lock) ----
     def _commit_reservation(self, reservation: BudgetReservation, detail: str) -> None:

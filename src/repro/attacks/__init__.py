@@ -14,17 +14,32 @@ from repro.attacks.state_attack import (
 )
 from repro.attacks.budget_attack import budget_attack_against_gupt, budget_attack_against_pinq
 from repro.attacks.timing_attack import StallOnTargetProgram, timing_attack_observable
-from repro.attacks.harness import AttackOutcome, run_all_attacks
+from repro.attacks.harness import (
+    AttackOutcome,
+    SvtAttackOutcome,
+    run_all_attacks,
+    run_svt_attacks,
+)
+from repro.attacks.svt_variants import (
+    BudgetRefundSVT,
+    NoQueryNoiseSVT,
+    UnboundedPositivesSVT,
+)
 
 __all__ = [
     "AttackOutcome",
+    "BudgetRefundSVT",
     "GlobalChannelProgram",
     "InstanceStateProgram",
+    "NoQueryNoiseSVT",
     "StallOnTargetProgram",
+    "SvtAttackOutcome",
+    "UnboundedPositivesSVT",
     "budget_attack_against_gupt",
     "budget_attack_against_pinq",
     "read_global_channel",
     "reset_global_channel",
     "run_all_attacks",
+    "run_svt_attacks",
     "timing_attack_observable",
 ]

@@ -1,0 +1,122 @@
+"""Deliberately broken sparse-vector variants (attack regressions).
+
+Chen & Machanavajjhala ("On the Privacy Properties of Variants on the
+Sparse Vector Technique") catalogue published SVT variants that claim
+ε-DP and are not.  Three of those flaws are reproduced here as
+subclasses of the *correct* :class:`repro.optimizer.svt.SparseVector`,
+each dropping exactly one of its load-bearing ingredients, so the
+attack harness can demonstrate — empirically, via the DP verifier —
+that the distinguishers flag every broken variant while the shipped
+one survives.
+
+These classes exist only for the attack battery.  Nothing in
+:mod:`repro.runtime` or :mod:`repro.server` imports this module; the
+service constructs :class:`~repro.optimizer.svt.SparseVector` directly,
+and a test pins that the session type is exactly that class.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import SvtError, SvtSessionExhausted
+from repro.mechanisms.laplace import laplace_noise
+from repro.optimizer.svt import SparseVector
+
+
+class NoQueryNoiseSVT(SparseVector):
+    """Flaw: no fresh noise on the query answers (Stoddard et al.).
+
+    Only the threshold is noisy; every probe compares the *exact*
+    answer against it.  Two queries with the same exact answer then
+    always get the same response, so a pair of queries engineered to
+    coincide on one neighbor and straddle the threshold on the other
+    yields a transcript that is impossible under one of them —
+    unbounded privacy loss, regardless of the claimed ε.
+    """
+
+    def probe(self, value: float) -> bool:
+        if self.exhausted:
+            raise SvtSessionExhausted(
+                f"SVT session answered its {self.count} above-threshold "
+                "probes; open a new session to continue"
+            )
+        value = float(value)
+        if not math.isfinite(value):
+            raise SvtError("probe value must be finite")
+        self._probes += 1
+        # ν is missing: the exact answer meets the noisy threshold.
+        above = bool(value >= self.threshold + self._rho)
+        if above:
+            self._positives += 1
+        return above
+
+
+class BudgetRefundSVT(SparseVector):
+    """Flaw: per-answer noise miscalibrated for the refund accounting
+    (the Lee & Clifton variant in Chen & Machanavajjhala's taxonomy).
+
+    The accounting *claims* the correct pay-as-you-go terms — ε₁ at
+    open, ε₂/c per positive, negatives refunded/free — but the query
+    noise is Lap(Δ/ε₂), as if each individual answer paid the whole ε₂.
+    The missing ``2c`` factor means the (supposedly free) negative
+    answers are 2c× less noisy than the analysis that makes them free
+    requires, so a long run of at-threshold probes leaks far more than
+    the claimed budget.
+    """
+
+    def probe(self, value: float) -> bool:
+        if self.exhausted:
+            raise SvtSessionExhausted(
+                f"SVT session answered its {self.count} above-threshold "
+                "probes; open a new session to continue"
+            )
+        value = float(value)
+        if not math.isfinite(value):
+            raise SvtError("probe value must be finite")
+        # Missing the 2c factor: noise as if this answer alone paid ε₂.
+        nu = float(
+            laplace_noise(
+                self.sensitivity / self.epsilon_answers, rng=self._generator
+            )
+        )
+        self._probes += 1
+        above = bool(value + nu >= self.threshold + self._rho)
+        if above:
+            self._positives += 1
+        return above
+
+
+class UnboundedPositivesSVT(SparseVector):
+    """Flaw: no cutoff at c positives (the Roth lecture-notes variant).
+
+    Noise is calibrated as if the session answers a single positive
+    (scales for c = 1), but the session never exhausts: it keeps
+    releasing above-threshold answers, each one an un-paid-for ε₂'s
+    worth of leakage.  ``exhausted`` is always False and ``probe``
+    never raises :class:`SvtSessionExhausted`.
+    """
+
+    @property
+    def exhausted(self) -> bool:
+        return False
+
+    def probe(self, value: float) -> bool:
+        value = float(value)
+        if not math.isfinite(value):
+            raise SvtError("probe value must be finite")
+        # Noise for a single positive (c = 1), answers without bound.
+        nu = float(
+            laplace_noise(
+                2.0 * self.sensitivity / self.epsilon_answers,
+                rng=self._generator,
+            )
+        )
+        self._probes += 1
+        above = bool(value + nu >= self.threshold + self._rho)
+        if above:
+            self._positives += 1
+        return above
+
+
+__all__ = ["BudgetRefundSVT", "NoQueryNoiseSVT", "UnboundedPositivesSVT"]

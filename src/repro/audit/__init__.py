@@ -7,11 +7,16 @@ from repro.audit.utility import (
     rmse,
     within_accuracy,
 )
-from repro.audit.dp_verifier import empirical_epsilon, neighboring
+from repro.audit.dp_verifier import (
+    empirical_epsilon,
+    empirical_epsilon_discrete,
+    neighboring,
+)
 
 __all__ = [
     "cdf_points",
     "empirical_epsilon",
+    "empirical_epsilon_discrete",
     "neighboring",
     "normalized_rmse",
     "relative_error",

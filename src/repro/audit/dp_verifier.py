@@ -82,3 +82,45 @@ def empirical_epsilon(
     p_a = (hist_a + smoothing) / (trials + smoothing * bins)
     p_b = (hist_b + smoothing) / (trials + smoothing * bins)
     return float(np.max(np.abs(np.log(p_a) - np.log(p_b))))
+
+
+def empirical_epsilon_discrete(
+    mechanism: Callable[[np.ndarray], object],
+    dataset_a: np.ndarray,
+    dataset_b: np.ndarray,
+    trials: int = 2000,
+    smoothing: float = 1.0,
+) -> float:
+    """Like :func:`empirical_epsilon` for discrete-output mechanisms.
+
+    Interactive mechanisms such as sparse-vector answer in a *finite*
+    transcript space (tuples of above/below bits), where real-line
+    binning is the wrong tool: the natural histogram is one cell per
+    observed outcome.  Outcomes must be hashable (tuples, not lists).
+    Probabilities are Laplace-smoothed over the union of outcomes seen
+    on either dataset, and the estimate is the worst
+    ``|log(p_a / p_b)|`` across that union — for a transcript that is
+    *impossible* under one neighbor but common under the other, this
+    grows like ``log(trials)``, which is how the broken SVT variants
+    get flagged.
+    """
+    if trials < 10:
+        raise ValueError("need at least 10 trials for a meaningful estimate")
+    counts_a: dict = {}
+    counts_b: dict = {}
+    for _ in range(trials):
+        outcome = mechanism(dataset_a)
+        counts_a[outcome] = counts_a.get(outcome, 0) + 1
+    for _ in range(trials):
+        outcome = mechanism(dataset_b)
+        counts_b[outcome] = counts_b.get(outcome, 0) + 1
+    support = set(counts_a) | set(counts_b)
+    if len(support) < 2:
+        return 0.0
+    k = len(support)
+    worst = 0.0
+    for outcome in support:
+        p_a = (counts_a.get(outcome, 0) + smoothing) / (trials + smoothing * k)
+        p_b = (counts_b.get(outcome, 0) + smoothing) / (trials + smoothing * k)
+        worst = max(worst, abs(float(np.log(p_a) - np.log(p_b))))
+    return worst

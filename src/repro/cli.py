@@ -180,6 +180,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--query-timeout", type=float, default=None, metavar="SECONDS",
         help="per-query timeout; omit for none",
     )
+    serve.add_argument(
+        "--answer-cache", type=int, default=None, metavar="ENTRIES",
+        help="noisy-answer cache capacity: identical seeded queries "
+             "replay the already-published release at zero marginal "
+             "epsilon (default: disabled)",
+    )
+    serve.add_argument(
+        "--fusion-limit", type=int, default=None, metavar="N",
+        help="coalesce up to N adjacent same-plan queries per dataset "
+             "into one stacked dispatch (default: disabled)",
+    )
 
     fsck = commands.add_parser(
         "fsck",
@@ -364,6 +375,8 @@ def run_serve_http(args) -> int:
         queue_depth=args.queue_depth,
         query_timeout=args.query_timeout,
         state_dir=args.state_dir,
+        answer_cache_size=args.answer_cache,
+        fusion_limit=args.fusion_limit,
     )
     server = GuptHttpServer(
         service, host=host, port=port,
@@ -435,6 +448,8 @@ def run_serve(args) -> int:
         queue_depth=args.queue_depth,
         query_timeout=args.query_timeout,
         state_dir=args.state_dir,
+        answer_cache_size=args.answer_cache,
+        fusion_limit=args.fusion_limit,
     )
     try:
         owner = service.enroll(OWNER, "owner")

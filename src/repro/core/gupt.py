@@ -43,6 +43,7 @@ from repro.core.user_level import grouped_plan
 from repro.exceptions import GuptError, InvalidPrivacyParameter
 from repro.mechanisms.rng import RandomSource, as_generator, spawn
 from repro.observability import MetricsRegistry, get_registry
+from repro.optimizer.answer_cache import AnswerCache, build_answer_key
 from repro.runtime.computation_manager import ComputationManager
 
 
@@ -81,6 +82,18 @@ class GuptRuntime:
         Entry bound for the runtime-built cache; ``0`` disables caching
         entirely (plans are still drawn through the same seeded
         protocol, so released values do not depend on the setting).
+    answer_cache:
+        An :class:`~repro.optimizer.answer_cache.AnswerCache` replaying
+        previously *published* releases for bit-identical repeat
+        queries at zero marginal ε, or ``None``.  Off by default — the
+        cache changes the budget arithmetic of repeated queries (hits
+        are free), so turning it on is the operator's call; released
+        *bits* never depend on the setting (hits replay the exact
+        release a cold run would recompute from the same seed).
+    answer_cache_size:
+        Entry bound for a runtime-built answer cache; ``None``/``0``
+        leaves answer caching disabled.  Mutually exclusive with
+        ``answer_cache``.
     state_dir:
         Convenience knob that builds a *durable* dataset manager in
         place (``DatasetManager(state_dir=...)``: fsync'd budget journal
@@ -102,6 +115,8 @@ class GuptRuntime:
         state_dir: str | None = None,
         plan_cache: BlockPlanCache | None = None,
         plan_cache_size: int | None = None,
+        answer_cache: AnswerCache | None = None,
+        answer_cache_size: int | None = None,
     ):
         if computation_manager is not None and (
             backend is not None
@@ -144,6 +159,24 @@ class GuptRuntime:
             self._plan_cache_unhook = self._datasets.add_invalidation_hook(
                 self._plan_cache.invalidate
             )
+        if answer_cache is not None and answer_cache_size is not None:
+            raise GuptError(
+                "pass either answer_cache or answer_cache_size, not both"
+            )
+        if answer_cache is None and answer_cache_size:
+            answer_cache = AnswerCache(
+                max_entries=answer_cache_size, metrics=metrics
+            )
+        self._answer_cache = answer_cache
+        # Both derived caches (block plans and published answers) hang
+        # off the same invalidation notification: one re-registration
+        # must evict both, or a version bump could leave a replayable
+        # answer keyed to records that no longer exist.
+        self._answer_cache_unhook: Callable[[], None] | None = None
+        if self._answer_cache is not None:
+            self._answer_cache_unhook = self._datasets.add_invalidation_hook(
+                self._answer_cache.invalidate
+            )
         # The sharded backend keeps registered datasets resident in
         # shared memory; re-registering a name must evict the stale
         # segments eagerly (version-keyed descriptors already make stale
@@ -168,6 +201,10 @@ class GuptRuntime:
     def plan_cache(self) -> BlockPlanCache | None:
         return self._plan_cache
 
+    @property
+    def answer_cache(self) -> AnswerCache | None:
+        return self._answer_cache
+
     def close(self) -> None:
         """Release execution-backend resources (worker processes).
 
@@ -183,15 +220,28 @@ class GuptRuntime:
             return
         self._closed = True
         self._computation.close()
-        for unhook in (self._plan_cache_unhook, self._sharded_unhook):
+        for unhook in (
+            self._plan_cache_unhook,
+            self._answer_cache_unhook,
+            self._sharded_unhook,
+        ):
             if unhook is not None:
                 unhook()
         self._plan_cache_unhook = None
+        self._answer_cache_unhook = None
         self._sharded_unhook = None
         if self._plan_cache is not None:
             self._plan_cache.clear()
+        if self._answer_cache is not None:
+            self._answer_cache.clear()
         if self._owns_datasets:
             self._datasets.close()
+
+    def __enter__(self) -> "GuptRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def spawn_rng(self) -> np.random.Generator:
         """A child generator for one query, split off thread-safely.
@@ -204,6 +254,64 @@ class GuptRuntime:
         """
         with self._rng_lock:
             return spawn(self._rng, 1)[0]
+
+    def exact_aggregate(
+        self,
+        dataset: str,
+        program: Callable,
+        lower: float,
+        upper: float,
+        block_size: int | None = None,
+        resampling_factor: int = 1,
+        output_dimension: int | None = None,
+        rng: RandomSource = None,
+    ) -> float:
+        """Trusted-side clamped block-output average — **not** a release.
+
+        Runs the same sample phase a private query would (same block
+        plan protocol, same chambers, same clamping to ``[lower,
+        upper]``) but averages *without noise* and charges nothing.
+        The returned value is privacy-sensitive: it exists so gating
+        mechanisms (the SVT session layer in
+        :mod:`repro.runtime.service`) can compare it against a noisy
+        threshold on the trusted side.  It must never be handed to an
+        analyst — only a differentially private function of it may be.
+        """
+        registered = self._datasets.get(dataset)
+        values = registered.table.values
+        dimension = self._resolve_output_dimension(program, output_dimension)
+        if dimension != 1:
+            raise GuptError(
+                f"threshold probes take scalar programs, got dimension {dimension}"
+            )
+        n = registered.table.num_records
+        beta = default_block_size(n) if block_size is None else int(block_size)
+        if beta < 1 or beta > n:
+            raise GuptError(
+                f"block size {beta} infeasible for dataset of {n} records"
+            )
+        from repro.core.aggregation import OutputRange
+
+        ranges = (OutputRange(float(lower), float(upper)),)
+        engine = SampleAggregateEngine(self._computation, None)
+        fallback = np.array([ranges[0].midpoint])
+        sampled = engine.sample(
+            values,
+            program,
+            dimension,
+            fallback,
+            block_size=beta,
+            resampling_factor=resampling_factor,
+            rng=rng,
+            plan_cache=self._plan_cache,
+            cache_token=(dataset, registered.version),
+            # The sharded path clamps inside the workers (the IPC
+            # boundary must only ever carry clamped outputs); clamping
+            # is idempotent, so re-clamping below never moves the value.
+            output_ranges=ranges,
+        )
+        outputs = np.clip(sampled.outputs[:, 0], ranges[0].lo, ranges[0].hi)
+        return float(np.mean(outputs))
 
     # ------------------------------------------------------------------
     # The analyst entry point
@@ -268,6 +376,10 @@ class GuptRuntime:
         """
         metrics = self._metrics or get_registry()
         generator = self._rng if rng is None else as_generator(rng)
+        # The raw integer seed (when one was passed) is what makes a
+        # query bit-reproducible — and therefore answer-cacheable.  It
+        # must be captured here, before the generator coercion erases it.
+        query_seed = int(rng) if isinstance(rng, (int, np.integer)) else None
         with metrics.span("runtime.run", dataset=dataset):
             return self._run(
                 metrics,
@@ -283,6 +395,7 @@ class GuptRuntime:
                 canonical_order=canonical_order,
                 query_name=query_name,
                 group_by=group_by,
+                query_seed=query_seed,
             )
 
     def _run(
@@ -300,6 +413,7 @@ class GuptRuntime:
         canonical_order: Callable[[np.ndarray], np.ndarray] | None,
         query_name: str,
         group_by: str | int | None,
+        query_seed: int | None = None,
     ) -> GuptResult:
         registered = self._datasets.get(dataset)
         values = registered.table.values
@@ -319,6 +433,42 @@ class GuptRuntime:
             )
         epsilon_range = range_strategy.budget_fraction * epsilon_total
         epsilon_noise = epsilon_total - epsilon_range
+
+        # Answer-cache lookup — strictly *before* the budget reservation.
+        # A hit replays bits the analyst already holds (free under
+        # post-processing), so it must never open a reservation, never
+        # appear as a spend, and never run the analyst program.  Only
+        # fully pinned queries are cacheable: an explicit seed (bit
+        # reproducibility), an explicit epsilon (accuracy-goal budgets
+        # are derived from aged-data draws) and no canonical-order hook
+        # (its identity cannot be established in general).
+        answer_key = None
+        if (
+            self._answer_cache is not None
+            and query_seed is not None
+            and not was_estimated
+            and canonical_order is None
+        ):
+            answer_key = build_answer_key(
+                dataset=dataset,
+                version=registered.version,
+                program=program,
+                range_strategy=range_strategy,
+                epsilon=epsilon_total,
+                output_dimension=dimension,
+                block_size=beta,
+                resampling_factor=resampling_factor,
+                group_by=group_by,
+                seed=query_seed,
+                shards=self._computation.plan_shards,
+            )
+            if answer_key is not None:
+                replayed = self._answer_cache.get(answer_key)
+                if replayed is not None:
+                    registered.record_replay(query_name)
+                    metrics.counter("runtime.queries", dataset=dataset).inc()
+                    metrics.counter("optimizer.replays", dataset=dataset).inc()
+                    return replayed
 
         # Reserve before execution: if the budget cannot cover the query,
         # the analyst program never runs (budget-attack defense), and the
@@ -448,7 +598,7 @@ class GuptRuntime:
             release.block_size
         )
 
-        return GuptResult(
+        result = GuptResult(
             value=release.value,
             epsilon_total=epsilon_total,
             epsilon_noise=epsilon_noise,
@@ -463,6 +613,11 @@ class GuptRuntime:
             failed_blocks=release.failed_blocks,
             epsilon_was_estimated=was_estimated,
         )
+        if answer_key is not None and self._answer_cache is not None:
+            # Store only *after* the commit above: a release that was
+            # paid for is published, and published bits are replayable.
+            self._answer_cache.put(answer_key, result)
+        return result
 
     # ------------------------------------------------------------------
     # Parameter resolution

@@ -44,6 +44,12 @@ class GuptResult:
     epsilon_was_estimated:
         True when the budget came from an accuracy goal (§5.1) rather
         than being supplied directly.
+    cached:
+        True when this result is a replay of an already-published
+        release (answer-cache hit).  The bits — value and all release
+        metadata — are identical to the original; the replay itself
+        charged zero marginal ε (``epsilon_total`` documents what the
+        *original* release cost).
     """
 
     value: np.ndarray
@@ -59,6 +65,7 @@ class GuptResult:
     noise_scales: np.ndarray = field(repr=False)
     failed_blocks: int = 0
     epsilon_was_estimated: bool = False
+    cached: bool = False
 
     def scalar(self) -> float:
         """The private value as a float (1-D outputs only)."""

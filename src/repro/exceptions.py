@@ -144,3 +144,37 @@ class UnknownHandleError(GuptError):
     """Raised when a query handle does not name a live submission."""
 
     code = "unknown_query"
+
+
+class SvtError(GuptError):
+    """Raised for malformed sparse-vector session requests.
+
+    Covers bad thresholds/ranges/counts at open, probes whose geometry
+    does not fit the session's declared sensitivity, and session-table
+    capacity refusals — anything wrong with the *request*, as opposed to
+    the session's budget state.
+    """
+
+    code = "svt_error"
+
+
+class SvtSessionExhausted(GuptError):
+    """Raised when an SVT session has answered its c-th positive.
+
+    The hard cutoff is part of the privacy proof (the per-positive
+    charge ε₂/c only sums to ε₂ because positives stop at ``c``), so an
+    exhausted session refuses further probes rather than degrading.
+    """
+
+    code = "svt_exhausted"
+
+
+class UnknownSvtSession(GuptError):
+    """Raised when a session id does not name a live SVT session.
+
+    Like :class:`UnknownHandleError`, deliberately indistinguishable
+    between "never existed", "already closed" and "owned by someone
+    else" — session ids are not probe-able.
+    """
+
+    code = "unknown_svt_session"

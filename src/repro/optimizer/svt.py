@@ -1,0 +1,162 @@
+"""A *correct* sparse vector technique session (Alg. 1, Chen & M.).
+
+The sparse vector technique answers a stream of threshold queries
+("is q_i(D) above T?") while charging privacy budget only for the few
+queries that clear the threshold.  Chen & Machanavajjhala ("On the
+Privacy Properties of Variants on the Sparse Vector Technique") show
+that most published variants of this algorithm are broken; this module
+implements the variant that is actually ε-differentially private, and
+the broken variants live in :mod:`repro.attacks.svt_variants` as
+attack-harness regressions, never reachable from a service path.
+
+The three load-bearing ingredients, each of which some published
+variant drops:
+
+1. **A noisy threshold**, ρ ~ Lap(Δ/ε₁), drawn *once per session*.
+2. **Fresh query noise**, ν_i ~ Lap(2cΔ/ε₂), drawn *per probe* — the
+   ``2c`` is what lets up to ``c`` positive answers jointly cost ε₂.
+3. **A hard cutoff at c positives.**  Negative answers are free (they
+   are jointly covered by the threshold noise), but every positive
+   consumes ε₂/c, and the session refuses to answer once ``c`` positives
+   have been released.
+
+The pay-as-you-go accounting this class exposes — ε₁ at open, ε₂/c per
+positive, nothing per negative — follows the standard SVT analysis: a
+session abandoned after k < c positives has privacy cost at most
+ε₁ + k·ε₂/c, so committing the per-positive charge only when a positive
+is actually released never under-counts.  (This is *not* the broken
+"budget refund" variant: the refund flaw is charging per-answer noise
+as if each answer paid the full ε₂ while scaling noise for one answer —
+see ``repro.attacks.svt_variants.BudgetRefundSVT``.)
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import InvalidPrivacyParameter, SvtError, SvtSessionExhausted
+from repro.mechanisms.laplace import laplace_noise
+from repro.mechanisms.rng import RandomSource, as_generator
+
+
+class SparseVector:
+    """One interactive above-threshold session.
+
+    Parameters
+    ----------
+    threshold:
+        The public comparison threshold T.
+    sensitivity:
+        Global sensitivity Δ of every probe query (for GUPT block-mean
+        probes: γ·width/num_blocks, fixed by the session's declared
+        range and plan geometry).
+    epsilon:
+        Total session budget ε = ε₁ + ε₂.
+    count:
+        Hard cutoff ``c``: the session answers at most this many
+        positives, then refuses.
+    rng:
+        Seedable randomness.  The threshold noise is the *first* draw,
+        then one draw per probe, so a seeded session has a reproducible
+        transcript.
+    threshold_fraction:
+        Fraction of ε spent on the threshold noise (ε₁); the remainder
+        is ε₂, amortized over the ``c`` positives.
+    """
+
+    def __init__(
+        self,
+        *,
+        threshold: float,
+        sensitivity: float,
+        epsilon: float,
+        count: int = 1,
+        rng: RandomSource = None,
+        threshold_fraction: float = 0.5,
+    ):
+        threshold = float(threshold)
+        if not math.isfinite(threshold):
+            raise SvtError(f"threshold must be finite, got {threshold}")
+        sensitivity = float(sensitivity)
+        if not math.isfinite(sensitivity) or sensitivity <= 0:
+            raise SvtError(f"sensitivity must be positive, got {sensitivity}")
+        epsilon = float(epsilon)
+        if not math.isfinite(epsilon) or epsilon <= 0:
+            raise InvalidPrivacyParameter(
+                f"epsilon must be positive, got {epsilon}"
+            )
+        count = int(count)
+        if count < 1:
+            raise SvtError(f"count must be >= 1, got {count}")
+        threshold_fraction = float(threshold_fraction)
+        if not 0.0 < threshold_fraction < 1.0:
+            raise SvtError(
+                f"threshold_fraction must be in (0, 1), got {threshold_fraction}"
+            )
+
+        self.threshold = threshold
+        self.sensitivity = sensitivity
+        self.epsilon = epsilon
+        self.count = count
+        self.epsilon_threshold = threshold_fraction * epsilon
+        self.epsilon_answers = epsilon - self.epsilon_threshold
+        self._generator = as_generator(rng)
+        # Ingredient 1: one noisy threshold for the whole session.
+        self._rho = float(
+            laplace_noise(sensitivity / self.epsilon_threshold, rng=self._generator)
+        )
+        self._positives = 0
+        self._probes = 0
+
+    @property
+    def epsilon_per_positive(self) -> float:
+        """Marginal charge for one above-threshold answer: ε₂/c."""
+        return self.epsilon_answers / self.count
+
+    @property
+    def positives(self) -> int:
+        return self._positives
+
+    @property
+    def probes(self) -> int:
+        return self._probes
+
+    @property
+    def exhausted(self) -> bool:
+        return self._positives >= self.count
+
+    def probe(self, value: float) -> bool:
+        """Answer one threshold query: is ``value`` (noisily) above T?
+
+        ``value`` is the *exact* query answer, computed on the trusted
+        side; it never leaves this method — only the boolean does.
+        """
+        if self.exhausted:
+            # Ingredient 3: the hard cutoff.  Refusal is loud, not a
+            # silent extra answer — extra answers are the Roth flaw.
+            raise SvtSessionExhausted(
+                f"SVT session answered its {self.count} above-threshold "
+                "probes; open a new session to continue"
+            )
+        value = float(value)
+        if not math.isfinite(value):
+            raise SvtError("probe value must be finite")
+        # Ingredient 2: fresh noise per probe, scaled by 2c.
+        nu = float(
+            laplace_noise(
+                2.0 * self.count * self.sensitivity / self.epsilon_answers,
+                rng=self._generator,
+            )
+        )
+        self._probes += 1
+        above = bool(value + nu >= self.threshold + self._rho)
+        if above:
+            self._positives += 1
+        return above
+
+    def transcript_rng(self) -> np.random.Generator:
+        """The session generator (probe-value computation shares it so a
+        seeded session has one reproducible draw sequence)."""
+        return self._generator

@@ -38,14 +38,29 @@ import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
+import math
+
+import numpy as np
+
 from repro.accounting.manager import DatasetManager
+from repro.core.blocks import blocks_per_round, default_block_size
 from repro.core.budget_estimation import AccuracyGoal
 from repro.core.gupt import GuptRuntime
 from repro.core.range_estimation import RangeStrategy
 from repro.datasets.table import DataTable
-from repro.exceptions import AuthenticationError, AuthorizationError, GuptError
-from repro.mechanisms.rng import RandomSource
+from repro.exceptions import (
+    AuthenticationError,
+    AuthorizationError,
+    GuptError,
+    InvalidRange,
+    SvtError,
+    SvtSessionExhausted,
+    UnknownSvtSession,
+)
+from repro.mechanisms.rng import RandomSource, as_generator
 from repro.observability import MetricsRegistry, get_registry
+from repro.optimizer.fusion import DEFAULT_FUSION_LIMIT, default_fusion_key
+from repro.optimizer.svt import SparseVector
 from repro.runtime.computation_manager import ComputationManager
 from repro.runtime.scheduler import QueryHandle, QueryScheduler
 
@@ -114,7 +129,10 @@ class QueryResponse:
     dispatch on ``code``, never on the message text.
     ``epsilon_rolled_back`` reports budget returned by a transactional
     rollback when the query failed before its private release — always
-    zero on success.
+    zero on success.  ``cached`` marks an answer-cache replay of an
+    already-published release: the value bits are identical to the
+    original release and ``epsilon_charged`` is zero (post-processing
+    is free; the original query paid).
     """
 
     ok: bool
@@ -123,6 +141,77 @@ class QueryResponse:
     error: str = ""
     epsilon_rolled_back: float = 0.0
     code: str = "ok"
+    cached: bool = False
+
+
+@dataclass(frozen=True)
+class SvtOpenResponse:
+    """Public receipt for one opened SVT session.
+
+    Everything here is budget arithmetic over analyst-declared
+    parameters; the noisy threshold itself never appears on any
+    response (revealing it would let probes be inverted for free).
+    """
+
+    session_id: str
+    dataset: str
+    epsilon_charged: float
+    epsilon_per_positive: float
+    count: int
+
+
+@dataclass(frozen=True)
+class SvtProbeResponse:
+    """One above/below-threshold answer.
+
+    ``above`` is the differentially private output the budget paid for;
+    ``epsilon_charged`` is this probe's marginal charge (ε₂/c for a
+    positive, zero for a negative).  The exact aggregate, the noisy
+    margin and the noisy threshold stay on the trusted side.
+    """
+
+    above: bool
+    epsilon_charged: float
+    positives: int
+    probes: int
+    exhausted: bool
+
+
+@dataclass(frozen=True)
+class SvtCloseResponse:
+    """Terminal accounting for one SVT session."""
+
+    closed: bool
+    positives: int
+    probes: int
+    epsilon_charged: float
+
+
+class _SvtSession:
+    """Service-side state of one live SVT session (internal)."""
+
+    __slots__ = (
+        "session_id", "owner_token", "dataset", "version", "query_name",
+        "svt", "lower", "upper", "block_size", "resampling_factor",
+        "epsilon_charged", "lock",
+    )
+
+    def __init__(
+        self, session_id, owner_token, dataset, version, query_name,
+        svt, lower, upper, block_size, resampling_factor, epsilon_charged,
+    ):
+        self.session_id = session_id
+        self.owner_token = owner_token
+        self.dataset = dataset
+        self.version = version
+        self.query_name = query_name
+        self.svt = svt
+        self.lower = lower
+        self.upper = upper
+        self.block_size = block_size
+        self.resampling_factor = resampling_factor
+        self.epsilon_charged = epsilon_charged
+        self.lock = threading.Lock()
 
 
 class GuptService:
@@ -143,6 +232,9 @@ class GuptService:
         query_timeout: float | None = None,
         state_dir: str | None = None,
         plan_cache_size: int | None = None,
+        answer_cache_size: int | None = None,
+        fusion_limit: int | None = None,
+        max_svt_sessions: int = 64,
     ):
         self._metrics = metrics
         # With state_dir the accounting layer is durable: every budget
@@ -154,6 +246,9 @@ class GuptService:
         # (0 disables caching); re-registration invalidates via the
         # dataset manager's hooks, so owners rotating a dataset name
         # never leave stale materializations behind.
+        # answer_cache_size > 0 turns on the noisy-answer cache: repeat
+        # seeded queries replay the published release at zero marginal ε
+        # (see repro.optimizer.answer_cache); off by default.
         self._runtime = GuptRuntime(
             self._datasets,
             computation_manager,
@@ -164,16 +259,29 @@ class GuptService:
             batch_size=batch_size,
             shards=shards,
             plan_cache_size=plan_cache_size,
+            answer_cache_size=answer_cache_size,
         )
         self._principals: dict[str, Principal] = {}
         self._counter = itertools.count()
+        if max_svt_sessions < 1:
+            raise GuptError("max_svt_sessions must be >= 1")
+        self._max_svt_sessions = max_svt_sessions
+        self._svt_sessions: dict[str, _SvtSession] = {}
+        self._svt_lock = threading.Lock()
         # The scheduler (and its worker threads) is created lazily on the
         # first async submission, so purely blocking users pay nothing.
+        # fusion_limit > 1 lets one scheduler worker drain adjacent
+        # same-dataset/same-plan seeded queries back-to-back (see
+        # repro.optimizer.fusion) — released bits are unaffected.
+        if fusion_limit is not None and fusion_limit < 1:
+            raise GuptError("fusion_limit must be >= 1 (or None to disable)")
         self._scheduler_config = dict(
             workers=scheduler_workers,
             max_inflight=max_inflight,
             queue_depth=queue_depth,
             query_timeout=query_timeout,
+            fusion_key=default_fusion_key if fusion_limit else None,
+            fusion_limit=fusion_limit or DEFAULT_FUSION_LIMIT,
         )
         self._scheduler: QueryScheduler | None = None
         self._scheduler_lock = threading.Lock()
@@ -205,6 +313,10 @@ class GuptService:
             scheduler, self._scheduler = self._scheduler, None
         if scheduler is not None:
             scheduler.close(drain=drain)
+        with self._svt_lock:
+            # Dropping a session spends nothing further; budget already
+            # charged (ε₁ + committed positives) stays spent.
+            self._svt_sessions.clear()
         self._runtime.close()
         self._datasets.close()
 
@@ -404,5 +516,221 @@ class GuptService:
         return QueryResponse(
             ok=True,
             value=tuple(float(v) for v in result.value),
-            epsilon_charged=result.epsilon_total,
+            # An answer-cache replay charged nothing *now*; the original
+            # release already paid its epsilon_total.
+            epsilon_charged=0.0 if result.cached else result.epsilon_total,
+            cached=result.cached,
         )
+
+    # ------------------------------------------------------------------
+    # SVT interactive sessions (repro.optimizer.svt)
+    # ------------------------------------------------------------------
+    def svt_open(
+        self,
+        token: str,
+        dataset: str,
+        threshold: float,
+        lower: float,
+        upper: float,
+        epsilon: float,
+        count: int = 1,
+        block_size: int | None = None,
+        resampling_factor: int = 1,
+        seed: int | None = None,
+        query_name: str = "svt",
+        threshold_fraction: float = 0.5,
+    ) -> SvtOpenResponse:
+        """Analyst-only: open an above-threshold probing session.
+
+        The session pins the dataset, the declared output range
+        ``[lower, upper]`` and the plan geometry at open time; every
+        probe's sensitivity (γ·width/num_blocks, the same bound the
+        noisy-average release uses) is therefore fixed up front, which
+        is what makes the per-session noise calibration sound.  ε is
+        split into a threshold share (charged here, once) and an answer
+        share amortized over up to ``count`` positive answers — negative
+        answers are free, by the SVT analysis.
+        """
+        principal = self._authenticate(token, ANALYST)
+        registered = self._datasets.get(dataset)
+        lower, upper = float(lower), float(upper)
+        if not (math.isfinite(lower) and math.isfinite(upper)) or lower >= upper:
+            raise InvalidRange(
+                f"SVT output range must be finite with lower < upper, "
+                f"got [{lower}, {upper}]"
+            )
+        resampling_factor = int(resampling_factor)
+        if resampling_factor < 1:
+            raise SvtError(
+                f"resampling_factor must be >= 1, got {resampling_factor}"
+            )
+        n = registered.table.num_records
+        beta = default_block_size(n) if block_size is None else int(block_size)
+        if beta < 1 or beta > n:
+            raise SvtError(
+                f"block size {beta} infeasible for dataset of {n} records"
+            )
+        num_blocks = blocks_per_round(n, beta) * resampling_factor
+        if num_blocks < 1:
+            raise SvtError("plan geometry yields no blocks")
+        # One record touches at most γ block outputs; the clamped block
+        # mean therefore moves by at most γ·width/num_blocks.
+        sensitivity = resampling_factor * (upper - lower) / num_blocks
+
+        generator = as_generator(seed) if seed is not None else self.spawn_rng()
+        with self._svt_lock:
+            if len(self._svt_sessions) >= self._max_svt_sessions:
+                raise SvtError(
+                    f"too many open SVT sessions "
+                    f"(limit {self._max_svt_sessions}); close one first"
+                )
+        # Charge the threshold share first: the session's noisy
+        # threshold is drawn immediately below, and a draw that was not
+        # paid for must never exist.  A refused charge (exhausted
+        # budget) aborts before any noise exists.
+        svt_kwargs = dict(
+            threshold=threshold,
+            sensitivity=sensitivity,
+            epsilon=float(epsilon),
+            count=count,
+            threshold_fraction=threshold_fraction,
+        )
+        # Validate all SVT parameters before money moves: a malformed
+        # request must not charge ε₁ and then fail.
+        probe_free = SparseVector(rng=np.random.default_rng(0), **svt_kwargs)
+        epsilon_threshold = probe_free.epsilon_threshold
+        registered.charge(
+            epsilon_threshold, f"{query_name}[threshold]",
+            detail="svt session threshold noise",
+        )
+        svt = SparseVector(rng=generator, **svt_kwargs)
+        session_id = f"svt-{next(self._counter)}-{secrets.token_hex(4)}"
+        session = _SvtSession(
+            session_id=session_id,
+            owner_token=token,
+            dataset=dataset,
+            version=registered.version,
+            query_name=query_name,
+            svt=svt,
+            lower=lower,
+            upper=upper,
+            block_size=beta,
+            resampling_factor=resampling_factor,
+            epsilon_charged=epsilon_threshold,
+        )
+        with self._svt_lock:
+            self._svt_sessions[session_id] = session
+        metrics = self._metrics or get_registry()
+        who = principal.name or principal.role
+        metrics.counter("svt.sessions_opened", principal=who).inc()
+        metrics.gauge("svt.open_sessions").set(len(self._svt_sessions))
+        return SvtOpenResponse(
+            session_id=session_id,
+            dataset=dataset,
+            epsilon_charged=epsilon_threshold,
+            epsilon_per_positive=svt.epsilon_per_positive,
+            count=svt.count,
+        )
+
+    def _svt_session(self, token: str, session_id: str) -> _SvtSession:
+        """Look up a live session owned by ``token``.
+
+        One indistinguishable refusal for "never existed", "closed" and
+        "someone else's" — session ids must not be probe-able.
+        """
+        self._authenticate(token, ANALYST)
+        with self._svt_lock:
+            session = self._svt_sessions.get(session_id)
+        if session is None or session.owner_token != token:
+            raise UnknownSvtSession(f"unknown SVT session {session_id!r}")
+        return session
+
+    def svt_probe(
+        self, token: str, session_id: str, program: Callable,
+        output_dimension: int | None = None,
+    ) -> SvtProbeResponse:
+        """Analyst-only: one above/below-threshold answer.
+
+        The program runs through the ordinary sample phase (chambers,
+        block plan protocol, clamping to the session's declared range),
+        but the exact clamped block average never leaves the platform —
+        only the noisy comparison against the session's noisy threshold
+        does.  Budget is transactional per probe: ε₂/c is *reserved*
+        before anything executes, committed only when the answer is
+        positive, rolled back on a negative answer or any failure.
+        (That rollback is sound for the correct algorithm — negatives
+        are jointly covered by the threshold noise and the 2cΔ/ε₂ query
+        noise; see repro.attacks.svt_variants for the broken variant
+        that refunds while noising as if every answer paid in full.)
+        """
+        session = self._svt_session(token, session_id)
+        metrics = self._metrics or get_registry()
+        with session.lock:
+            svt = session.svt
+            if svt.exhausted:
+                raise SvtSessionExhausted(
+                    f"SVT session answered its {svt.count} above-threshold "
+                    "probes; open a new session to continue"
+                )
+            registered = self._datasets.get(session.dataset)
+            if registered.version != session.version:
+                # The sensitivity bound was computed against the old
+                # registration's geometry; a re-registered dataset
+                # invalidates the session rather than mis-calibrating.
+                raise SvtError(
+                    f"dataset {session.dataset!r} was re-registered since "
+                    "this SVT session opened; open a new session"
+                )
+            reservation = registered.reserve(
+                svt.epsilon_per_positive, f"{session.query_name}[positive]"
+            )
+            try:
+                value = self._runtime.exact_aggregate(
+                    session.dataset,
+                    program,
+                    session.lower,
+                    session.upper,
+                    block_size=session.block_size,
+                    resampling_factor=session.resampling_factor,
+                    output_dimension=output_dimension,
+                    rng=svt.transcript_rng(),
+                )
+                above = svt.probe(value)
+            except BaseException:
+                reservation.rollback()
+                raise
+            if above:
+                reservation.commit(detail="svt above-threshold answer")
+                charged = svt.epsilon_per_positive
+                session.epsilon_charged += charged
+            else:
+                reservation.rollback()
+                charged = 0.0
+        metrics.counter("svt.probes", dataset=session.dataset).inc()
+        if above:
+            metrics.counter("svt.positives", dataset=session.dataset).inc()
+        return SvtProbeResponse(
+            above=above,
+            epsilon_charged=charged,
+            positives=svt.positives,
+            probes=svt.probes,
+            exhausted=svt.exhausted,
+        )
+
+    def svt_close(self, token: str, session_id: str) -> SvtCloseResponse:
+        """Analyst-only: end a session; already-charged ε stays spent."""
+        session = self._svt_session(token, session_id)
+        with self._svt_lock:
+            self._svt_sessions.pop(session_id, None)
+        metrics = self._metrics or get_registry()
+        metrics.gauge("svt.open_sessions").set(len(self._svt_sessions))
+        return SvtCloseResponse(
+            closed=True,
+            positives=session.svt.positives,
+            probes=session.svt.probes,
+            epsilon_charged=session.epsilon_charged,
+        )
+
+    def spawn_rng(self) -> np.random.Generator:
+        """A fresh child generator from the runtime's seeded stream."""
+        return self._runtime.spawn_rng()

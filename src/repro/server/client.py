@@ -251,6 +251,59 @@ class GuptClient:
             payload.get("error", ""), payload,
         )
 
+    # ------------------------------------------------------------------
+    # SVT sessions
+    # ------------------------------------------------------------------
+    def svt_open(
+        self,
+        dataset: str,
+        threshold: float,
+        lower: float,
+        upper: float,
+        epsilon: float,
+        count: int = 1,
+        block_size: int | None = None,
+        resampling_factor: int = 1,
+        seed: int | None = None,
+        query_name: str = "svt",
+        threshold_fraction: float = 0.5,
+    ) -> dict[str, Any]:
+        """Open an above-threshold session; returns the open payload.
+
+        The payload carries ``session_id`` plus the public accounting
+        terms (``epsilon_charged`` for the threshold share,
+        ``epsilon_per_positive``, ``count``) — never the noisy
+        threshold itself.
+        """
+        body: dict[str, Any] = {
+            "dataset": dataset,
+            "threshold": threshold,
+            "lower": lower,
+            "upper": upper,
+            "epsilon": epsilon,
+            "count": count,
+            "resampling_factor": resampling_factor,
+            "query_name": query_name,
+            "threshold_fraction": threshold_fraction,
+        }
+        if block_size is not None:
+            body["block_size"] = block_size
+        if seed is not None:
+            body["seed"] = seed
+        return self._request("POST", "/v1/svt", body)
+
+    def svt_probe(
+        self, session_id: str, program: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        """One above/below answer for a wire-named program."""
+        return self._request(
+            "POST", f"/v1/svt/{session_id}/probe", {"program": dict(program)}
+        )
+
+    def svt_close(self, session_id: str) -> dict[str, Any]:
+        """End a session; already-charged budget stays spent."""
+        return self._request("DELETE", f"/v1/svt/{session_id}")
+
     def events(self, query_id: int) -> Iterator[tuple[str, dict[str, Any]]]:
         """Stream SSE frames for one query: yields ``(event, payload)``.
 

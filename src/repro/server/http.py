@@ -44,6 +44,7 @@ raw paths): ``http.requests``, ``http.responses``,
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import json
 import re
 import secrets
@@ -495,6 +496,9 @@ class GuptHttpServer:
         add("GET", "/v1/queries/{id}/events", self._handle_events)
         add("GET", "/v1/queries/{id}", self._handle_poll)
         add("DELETE", "/v1/queries/{id}", self._handle_cancel)
+        add("POST", "/v1/svt", self._handle_svt_open)
+        add("POST", "/v1/svt/{id}/probe", self._handle_svt_probe)
+        add("DELETE", "/v1/svt/{id}", self._handle_svt_close)
 
     async def _handle_healthz(self, headers, params, query, body, writer):
         return _Response(200, {
@@ -772,6 +776,70 @@ class GuptHttpServer:
         except (ConnectionError, OSError):  # pragma: no cover - client gone
             pass
         return None  # connection closes (Connection: close)
+
+    # -- SVT sessions ---------------------------------------------------
+    async def _handle_svt_open(self, headers, params, query, body, writer):
+        token = self._bearer(headers)
+        payload = self._json_body(body)
+        if not isinstance(payload, Mapping):
+            raise _HttpError("invalid_request", "SVT open body must be an object")
+        try:
+            kwargs = dict(
+                dataset=str(payload["dataset"]),
+                threshold=float(payload["threshold"]),
+                lower=float(payload["lower"]),
+                upper=float(payload["upper"]),
+                epsilon=float(payload["epsilon"]),
+                count=int(payload.get("count", 1)),
+                resampling_factor=int(payload.get("resampling_factor", 1)),
+                query_name=str(payload.get("query_name", "svt")),
+                threshold_fraction=float(payload.get("threshold_fraction", 0.5)),
+            )
+            if payload.get("block_size") is not None:
+                kwargs["block_size"] = int(payload["block_size"])
+            if payload.get("seed") is not None:
+                kwargs["seed"] = int(payload["seed"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise _HttpError(
+                "invalid_request", f"malformed SVT open request: {exc}"
+            ) from exc
+
+        def open_session():
+            return self._service.svt_open(token, **kwargs)
+
+        try:
+            opened = await self._in_executor(open_session)
+        except GuptError as exc:
+            raise self._translate(exc) from exc
+        return _Response(200, dataclasses.asdict(opened))
+
+    async def _handle_svt_probe(self, headers, params, query, body, writer):
+        token = self._bearer(headers)
+        payload = self._json_body(body)
+        if not isinstance(payload, Mapping):
+            raise _HttpError("invalid_request", "SVT probe body must be an object")
+        try:
+            program = protocol.parse_program(payload.get("program"))
+        except ProtocolError as exc:
+            self._registry().counter("http.protocol_errors").inc()
+            raise _HttpError(exc.code, str(exc)) from exc
+
+        def probe():
+            return self._service.svt_probe(token, params["id"], program)
+
+        try:
+            answered = await self._in_executor(probe)
+        except GuptError as exc:
+            raise self._translate(exc) from exc
+        return _Response(200, dataclasses.asdict(answered))
+
+    async def _handle_svt_close(self, headers, params, query, body, writer):
+        token = self._bearer(headers)
+        try:
+            closed = self._service.svt_close(token, params["id"])
+        except GuptError as exc:
+            raise self._translate(exc) from exc
+        return _Response(200, dataclasses.asdict(closed))
 
 
 __all__ = ["GuptHttpServer"]

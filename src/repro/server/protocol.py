@@ -73,13 +73,16 @@ STATUS_FOR_CODE: dict[str, int] = {
     "gupt_error": 400,
     "invalid_privacy_parameter": 400,
     "invalid_range": 400,
+    "svt_error": 400,
     "unauthenticated": 401,
     "budget_exhausted": 402,
     "forbidden": 403,
     "dataset_error": 404,
     "unknown_query": 404,
+    "unknown_svt_session": 404,
     "cancelled": 409,
     "not_cancellable": 409,
+    "svt_exhausted": 409,
     "accuracy_infeasible": 422,
     "computation_error": 422,
     "sandbox_violation": 422,
@@ -137,6 +140,7 @@ def wire_to_response(wire: Mapping[str, Any]):
             error=str(wire.get("error", "")),
             epsilon_rolled_back=float(wire.get("epsilon_rolled_back", 0.0)),
             code=str(wire.get("code", "ok" if wire["ok"] else "gupt_error")),
+            cached=bool(wire.get("cached", False)),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ProtocolError(f"malformed query response: {exc}") from exc

@@ -1,0 +1,215 @@
+"""Release-safety of the optimizer layers: nothing data-derived leaks.
+
+Same technique as tests/test_observability.py: every record in the
+dataset — hence every block output, every exact SVT aggregate, and
+every released value — lives in a sentinel band ([7000, 7400]) far
+from any legitimate magnitude (epsilons, counts, block geometry,
+versions, seconds).  A numeric walk over each surface then proves the
+invariant in one assertion per surface:
+
+* ``optimizer.*`` / ``svt.*`` telemetry (and the whole snapshot),
+* answer-cache keys (digests + public parameters only),
+* durable journal frames, including the zero-ε replay frame,
+* SVT wire messages — the noisy threshold is *chosen inside the band*
+  and must still never appear in any response.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.accounting.journal import journal_path, scan
+from repro.datasets.table import DataTable
+from repro.estimators.statistics import Mean
+from repro.observability import MetricsRegistry
+from repro.runtime.service import ANALYST, OWNER, GuptService, QueryRequest
+from repro.core.range_estimation import TightRange
+
+SENTINEL_LO, SENTINEL_HI = 7000.0, 7400.0
+#: Inside the band on purpose: the one SVT parameter that must stay
+#: server-side even though the analyst supplied it (its noisy version
+#: is the secret the whole mechanism leans on).
+THRESHOLD = 7100.0
+NUM_RECORDS = 2_000
+EPSILON = 0.5
+QUERY_SEED = 7
+
+
+def numeric_leaves(payload) -> list[float]:
+    """Every number reachable in a payload, labels included."""
+    if isinstance(payload, bool):
+        return []
+    if isinstance(payload, (int, float)):
+        return [float(payload)]
+    if isinstance(payload, str):
+        try:
+            return [float(payload)]
+        except ValueError:
+            return []
+    if isinstance(payload, dict):
+        return [v for item in payload.items() for x in item for v in numeric_leaves(x)]
+    if isinstance(payload, (list, tuple)):
+        return [v for item in payload for v in numeric_leaves(item)]
+    return []
+
+
+def in_band(leaves) -> list[float]:
+    return [v for v in leaves if SENTINEL_LO <= v <= SENTINEL_HI]
+
+
+def mean_program(block: np.ndarray) -> float:
+    return float(np.mean(block))
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def service(registry, tmp_path):
+    service = GuptService(
+        rng=7,
+        scheduler_workers=1,
+        metrics=registry,
+        answer_cache_size=16,
+        state_dir=str(tmp_path),
+    )
+    try:
+        yield service
+    finally:
+        service.close()
+
+
+@pytest.fixture
+def tokens(service):
+    owner = service.enroll(OWNER, "owner").token
+    analyst = service.enroll(ANALYST, "analyst").token
+    values = np.random.default_rng(12345).uniform(
+        SENTINEL_LO + 50.0, SENTINEL_HI - 50.0, size=(NUM_RECORDS, 1)
+    )
+    service.register_dataset(
+        owner, "census",
+        DataTable(values, input_ranges=[(SENTINEL_LO, SENTINEL_HI)]),
+        20.0,
+    )
+    return owner, analyst
+
+
+def _seeded_request(seed=QUERY_SEED) -> QueryRequest:
+    return QueryRequest(
+        dataset="census",
+        program=Mean(),
+        range_strategy=TightRange((SENTINEL_LO, SENTINEL_HI)),
+        epsilon=EPSILON,
+        block_size=50,
+        seed=seed,
+    )
+
+
+def _exercise(service, analyst):
+    """One cache miss, one replay, one full SVT session."""
+    miss = service.result(service.submit(analyst, _seeded_request()))
+    hit = service.result(service.submit(analyst, _seeded_request()))
+    assert miss.ok and hit.ok and hit.cached
+    opened = service.svt_open(
+        analyst, "census", threshold=THRESHOLD,
+        lower=SENTINEL_LO, upper=SENTINEL_HI,
+        epsilon=EPSILON, count=2, seed=11,
+    )
+    probes = [
+        service.svt_probe(analyst, opened.session_id, mean_program),
+        service.svt_probe(
+            analyst, opened.session_id,
+            # Shifted below the band; clamped back to the lower bound,
+            # so this probe lands below the threshold and rolls back.
+            mean_program_minus_band,
+        ),
+    ]
+    closed = service.svt_close(analyst, opened.session_id)
+    return miss, hit, opened, probes, closed
+
+
+def mean_program_minus_band(block: np.ndarray) -> float:
+    return float(np.mean(block)) - 500.0
+
+
+class TestTelemetryIsBandFree:
+    def test_optimizer_and_svt_metrics_never_carry_data(
+        self, service, registry, tokens
+    ):
+        _, analyst = tokens
+        _exercise(service, analyst)
+        snapshot = registry.snapshot()
+        optimizer_metrics = {
+            section: {
+                name: value
+                for name, value in entries.items()
+                if name.startswith(("optimizer.", "svt.", "budget."))
+            }
+            for section, entries in snapshot.items()
+            if isinstance(entries, dict)
+        }
+        # The layers under test actually reported something...
+        reported = [n for s in optimizer_metrics.values() for n in s]
+        assert any(n.startswith("optimizer.") for n in reported)
+        assert any(n.startswith("svt.") for n in reported)
+        # ...and none of it touches the band.
+        assert in_band(numeric_leaves(optimizer_metrics)) == []
+
+    def test_whole_snapshot_is_band_free(self, service, registry, tokens):
+        _, analyst = tokens
+        _exercise(service, analyst)
+        assert in_band(numeric_leaves(registry.snapshot())) == []
+
+
+class TestCacheKeysAreBandFree:
+    def test_stored_keys_contain_only_public_identity(self, service, tokens):
+        _, analyst = tokens
+        _exercise(service, analyst)
+        cache = service._runtime.answer_cache
+        assert len(cache) >= 1
+        for key in list(cache._entries):
+            leaves = numeric_leaves(dataclasses.asdict(key))
+            assert in_band(leaves) == [], key
+
+
+class TestJournalIsBandFree:
+    def test_all_frames_including_replay(self, service, tokens, tmp_path):
+        _, analyst = tokens
+        _exercise(service, analyst)
+        records = scan(journal_path(str(tmp_path))).records
+        kinds = {frame["kind"] for frame in records}
+        assert "replay" in kinds    # the zero-ε replay is on the books
+        assert "commit" in kinds    # so are the SVT charges
+        for frame in records:
+            assert in_band(numeric_leaves(frame)) == [], frame
+
+
+class TestSvtWireIsBandFree:
+    def test_no_response_ever_carries_band_values(self, service, tokens):
+        _, analyst = tokens
+        miss, hit, opened, probes, closed = _exercise(service, analyst)
+        for response in (opened, *probes, closed):
+            wire = dataclasses.asdict(response)
+            leaves = numeric_leaves(wire)
+            assert in_band(leaves) == [], wire
+            assert THRESHOLD not in leaves
+
+    def test_probe_bits_are_the_only_data_dependent_output(
+        self, service, tokens
+    ):
+        _, analyst = tokens
+        *_, probes, _ = _exercise(service, analyst)
+        above, below = probes
+        assert above.above is True
+        assert below.above is False
+        # The exact aggregates (~7200 and the clamped lower bound) stay
+        # server-side; only the comparison bit crosses the wire.
+        wire = dataclasses.asdict(above)
+        assert set(wire) == {
+            "above", "epsilon_charged", "positives", "probes", "exhausted",
+        }

@@ -141,7 +141,7 @@ class TestWireRoundTrip:
         wire = protocol.response_to_wire(QueryResponse(ok=True))
         assert set(wire) == field_names == {
             "ok", "value", "epsilon_charged", "error",
-            "epsilon_rolled_back", "code",
+            "epsilon_rolled_back", "code", "cached",
         }
 
     def test_defaults_are_fillable(self):
@@ -170,13 +170,16 @@ class TestGoldenContract:
             "gupt_error": 400,
             "invalid_privacy_parameter": 400,
             "invalid_range": 400,
+            "svt_error": 400,
             "unauthenticated": 401,
             "budget_exhausted": 402,
             "forbidden": 403,
             "dataset_error": 404,
             "unknown_query": 404,
+            "unknown_svt_session": 404,
             "cancelled": 409,
             "not_cancellable": 409,
+            "svt_exhausted": 409,
             "accuracy_infeasible": 422,
             "computation_error": 422,
             "sandbox_violation": 422,

@@ -1,0 +1,318 @@
+"""SVT interactive sessions through the service and the HTTP tier.
+
+The service exposes exactly one sparse-vector implementation — the
+correct one — with pay-as-you-go budget accounting: the threshold
+share ε₁ is charged when the session opens, each positive answer
+commits ε₂/c through the two-phase reservation path, and negative
+answers roll their reservation back (free, as the SVT analysis
+allows).  The HTTP tier carries only the public session terms over the
+wire; the noisy threshold and the exact per-probe aggregates never
+leave the platform.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    InvalidRange,
+    PrivacyBudgetExhausted,
+    SvtError,
+    SvtSessionExhausted,
+    UnknownSvtSession,
+)
+from repro.datasets.table import DataTable
+from repro.optimizer.svt import SparseVector
+from repro.runtime.service import ANALYST, OWNER, GuptService
+from repro.server.client import GuptClient, ServerError
+from repro.server.http import GuptHttpServer
+
+NUM_RECORDS = 1_000
+MEAN_VALUE = 0.6
+
+
+def mean_program(block: np.ndarray) -> float:
+    return float(np.mean(block))
+
+
+@pytest.fixture
+def service():
+    service = GuptService(rng=7, scheduler_workers=1)
+    try:
+        yield service
+    finally:
+        service.close()
+
+
+@pytest.fixture
+def tokens(service):
+    owner = service.enroll(OWNER, "owner").token
+    analyst = service.enroll(ANALYST, "analyst").token
+    values = np.full((NUM_RECORDS, 1), MEAN_VALUE)
+    service.register_dataset(owner, "d", DataTable(values), 5.0)
+    return owner, analyst
+
+
+class TestSessionLifecycle:
+    def test_open_charges_threshold_share_only(self, service, tokens):
+        _, analyst = tokens
+        registered = service._datasets.get("d")
+        opened = service.svt_open(
+            analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
+            epsilon=0.5, count=2, seed=11,
+        )
+        assert opened.epsilon_charged == pytest.approx(0.25)
+        assert opened.epsilon_per_positive == pytest.approx(0.125)
+        assert registered.budget.spent == pytest.approx(0.25)
+
+    def test_positive_commits_negative_rolls_back(self, service, tokens):
+        _, analyst = tokens
+        registered = service._datasets.get("d")
+        opened = service.svt_open(
+            analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
+            epsilon=0.5, count=2, seed=11,
+        )
+        above = service.svt_probe(analyst, opened.session_id, mean_program)
+        assert above.above  # mean 0.6 sits clearly above threshold 0.5
+        assert above.epsilon_charged == pytest.approx(0.125)
+        assert registered.budget.spent == pytest.approx(0.375)
+
+        below = service.svt_probe(
+            analyst, opened.session_id,
+            lambda block: float(np.mean(block)) - 10.0,
+        )
+        assert not below.above
+        assert below.epsilon_charged == 0.0
+        assert registered.budget.spent == pytest.approx(0.375)
+        # The rollback shows in the ledger trail as reserve/rollback,
+        # never as a committed spend.
+        committed = [e.epsilon for e in registered.ledger]
+        assert sum(committed) == pytest.approx(0.375)
+
+    def test_exhaustion_is_loud(self, service, tokens):
+        _, analyst = tokens
+        opened = service.svt_open(
+            analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
+            epsilon=0.5, count=1, seed=11,
+        )
+        first = service.svt_probe(analyst, opened.session_id, mean_program)
+        assert first.above and first.exhausted
+        with pytest.raises(SvtSessionExhausted):
+            service.svt_probe(analyst, opened.session_id, mean_program)
+
+    def test_close_keeps_spent_budget(self, service, tokens):
+        _, analyst = tokens
+        registered = service._datasets.get("d")
+        opened = service.svt_open(
+            analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
+            epsilon=0.5, count=2, seed=11,
+        )
+        service.svt_probe(analyst, opened.session_id, mean_program)
+        closed = service.svt_close(analyst, opened.session_id)
+        assert closed.closed
+        assert closed.epsilon_charged == pytest.approx(0.375)
+        assert registered.budget.spent == pytest.approx(0.375)
+        with pytest.raises(UnknownSvtSession):
+            service.svt_probe(analyst, opened.session_id, mean_program)
+
+    def test_session_is_exactly_the_shipped_variant(self, service, tokens):
+        _, analyst = tokens
+        opened = service.svt_open(
+            analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
+            epsilon=0.5, seed=11,
+        )
+        session = service._svt_sessions[opened.session_id]
+        assert type(session.svt) is SparseVector
+
+    def test_seeded_sessions_are_reproducible(self, tokens, service):
+        _, analyst = tokens
+
+        def transcript():
+            opened = service.svt_open(
+                analyst, "d", threshold=0.6, lower=0.0, upper=1.0,
+                epsilon=0.5, count=5, seed=99,
+            )
+            bits = [
+                service.svt_probe(
+                    analyst, opened.session_id, mean_program
+                ).above
+                for _ in range(3)
+            ]
+            service.svt_close(analyst, opened.session_id)
+            return bits
+
+        assert transcript() == transcript()
+
+
+class TestRefusals:
+    def test_foreign_session_is_indistinguishable_from_unknown(
+        self, service, tokens
+    ):
+        _, analyst = tokens
+        other = service.enroll(ANALYST, "other").token
+        opened = service.svt_open(
+            analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
+            epsilon=0.5, seed=11,
+        )
+        with pytest.raises(UnknownSvtSession) as foreign:
+            service.svt_probe(other, opened.session_id, mean_program)
+        with pytest.raises(UnknownSvtSession) as unknown:
+            service.svt_probe(analyst, "svt-0-deadbeef", mean_program)
+        assert type(foreign.value) is type(unknown.value)
+
+    def test_open_refused_when_budget_cannot_cover_threshold(
+        self, service, tokens
+    ):
+        owner, analyst = tokens
+        values = np.full((NUM_RECORDS, 1), MEAN_VALUE)
+        service.register_dataset(owner, "tiny", DataTable(values), 0.1)
+        registered = service._datasets.get("tiny")
+        with pytest.raises(PrivacyBudgetExhausted):
+            service.svt_open(
+                analyst, "tiny", threshold=0.5, lower=0.0, upper=1.0,
+                epsilon=1.0, seed=11,
+            )
+        assert registered.budget.spent == 0.0
+        assert not service._svt_sessions
+
+    def test_invalid_range_and_params(self, service, tokens):
+        _, analyst = tokens
+        with pytest.raises(InvalidRange):
+            service.svt_open(
+                analyst, "d", threshold=0.5, lower=1.0, upper=0.0,
+                epsilon=0.5, seed=11,
+            )
+        with pytest.raises(SvtError):
+            service.svt_open(
+                analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
+                epsilon=0.5, count=0, seed=11,
+            )
+        registered = service._datasets.get("d")
+        assert registered.budget.spent == 0.0
+
+    def test_reregistration_invalidates_session(self, service, tokens):
+        owner, analyst = tokens
+        opened = service.svt_open(
+            analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
+            epsilon=0.5, seed=11,
+        )
+        service._datasets.unregister("d")
+        values = np.full((NUM_RECORDS, 1), MEAN_VALUE)
+        service._datasets.register("d", DataTable(values), total_budget=5.0)
+        with pytest.raises(SvtError):
+            service.svt_probe(analyst, opened.session_id, mean_program)
+
+    def test_session_cap(self, tokens):
+        service = GuptService(rng=7, scheduler_workers=1, max_svt_sessions=1)
+        try:
+            owner = service.enroll(OWNER).token
+            analyst = service.enroll(ANALYST).token
+            values = np.full((NUM_RECORDS, 1), MEAN_VALUE)
+            service.register_dataset(owner, "d", DataTable(values), 5.0)
+            service.svt_open(
+                analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
+                epsilon=0.5, seed=11,
+            )
+            with pytest.raises(SvtError):
+                service.svt_open(
+                    analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
+                    epsilon=0.5, seed=12,
+                )
+        finally:
+            service.close()
+
+
+class TestWireContract:
+    def test_open_response_never_carries_the_threshold(self, service, tokens):
+        _, analyst = tokens
+        opened = service.svt_open(
+            analyst, "d", threshold=0.77, lower=0.0, upper=1.0,
+            epsilon=0.5, seed=11,
+        )
+        wire = dataclasses.asdict(opened)
+        assert set(wire) == {
+            "session_id", "dataset", "epsilon_charged",
+            "epsilon_per_positive", "count",
+        }
+        assert 0.77 not in wire.values()
+
+    def test_probe_response_is_bits_and_accounting_only(
+        self, service, tokens
+    ):
+        _, analyst = tokens
+        opened = service.svt_open(
+            analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
+            epsilon=0.5, seed=11,
+        )
+        answered = service.svt_probe(analyst, opened.session_id, mean_program)
+        wire = dataclasses.asdict(answered)
+        assert set(wire) == {
+            "above", "epsilon_charged", "positives", "probes", "exhausted",
+        }
+        # The exact aggregate (0.6, clamped block mean) must not appear.
+        assert MEAN_VALUE not in wire.values()
+
+
+class TestHttpTier:
+    @pytest.fixture
+    def http_stack(self):
+        service = GuptService(rng=7, scheduler_workers=1)
+        server = GuptHttpServer(
+            service, host="127.0.0.1", port=0, admin_token="adm"
+        )
+        server.start()
+        host, port = server.address
+        client = GuptClient(host, port)
+        try:
+            owner = client.enroll("owner", admin_token="adm")
+            analyst = client.enroll("analyst", admin_token="adm")
+            client.token = owner
+            client.register_dataset("d", [[MEAN_VALUE]] * NUM_RECORDS, 5.0)
+            client.token = analyst
+            yield client
+        finally:
+            client.close()
+            server.stop()
+            service.close()
+
+    def test_full_session_over_http(self, http_stack):
+        client = http_stack
+        opened = client.svt_open(
+            "d", threshold=0.5, lower=0.0, upper=1.0,
+            epsilon=0.5, count=2, seed=11,
+        )
+        assert opened["epsilon_charged"] == pytest.approx(0.25)
+        answered = client.svt_probe(
+            opened["session_id"], {"name": "mean", "column": 0}
+        )
+        assert answered["above"] is True
+        assert answered["epsilon_charged"] == pytest.approx(0.125)
+        closed = client.svt_close(opened["session_id"])
+        assert closed["closed"] is True
+        assert closed["epsilon_charged"] == pytest.approx(0.375)
+
+    def test_exhausted_session_maps_to_409(self, http_stack):
+        client = http_stack
+        opened = client.svt_open(
+            "d", threshold=0.5, lower=0.0, upper=1.0,
+            epsilon=0.5, count=1, seed=11,
+        )
+        client.svt_probe(opened["session_id"], {"name": "mean"})
+        with pytest.raises(ServerError) as refusal:
+            client.svt_probe(opened["session_id"], {"name": "mean"})
+        assert refusal.value.status == 409
+        assert refusal.value.code == "svt_exhausted"
+
+    def test_unknown_session_maps_to_404(self, http_stack):
+        with pytest.raises(ServerError) as refusal:
+            http_stack.svt_probe("svt-9-cafebabe", {"name": "mean"})
+        assert refusal.value.status == 404
+        assert refusal.value.code == "unknown_svt_session"
+
+    def test_malformed_open_maps_to_400(self, http_stack):
+        with pytest.raises(ServerError) as refusal:
+            http_stack._request("POST", "/v1/svt", {"dataset": "d"})
+        assert refusal.value.status == 400

@@ -265,6 +265,7 @@ class GuptRuntime:
         resampling_factor: int = 1,
         output_dimension: int | None = None,
         rng: RandomSource = None,
+        registered=None,
     ) -> float:
         """Trusted-side clamped block-output average — **not** a release.
 
@@ -276,8 +277,15 @@ class GuptRuntime:
         :mod:`repro.runtime.service`) can compare it against a noisy
         threshold on the trusted side.  It must never be handed to an
         analyst — only a differentially private function of it may be.
+
+        ``registered`` lets a caller that already resolved (and
+        version-checked) the registration pin the probe to that exact
+        table: re-resolving by name here could race a concurrent
+        re-registration and execute against geometry the caller's
+        sensitivity bound was never computed for.
         """
-        registered = self._datasets.get(dataset)
+        if registered is None:
+            registered = self._datasets.get(dataset)
         values = registered.table.values
         dimension = self._resolve_output_dimension(program, output_dimension)
         if dimension != 1:

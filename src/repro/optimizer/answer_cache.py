@@ -19,10 +19,22 @@ bits depend on:
   (the plan-seed protocol of :mod:`repro.core.sample_aggregate`), which
   is exactly what makes replay indistinguishable from re-execution.
 
-Program and strategy identity use a pickle digest: equal digests imply
-the runtime would execute byte-identical logic.  Unpicklable programs
-(lambdas, closures over live objects) simply bypass the cache — they
-still run correctly, they just never hit.
+Program and strategy identity use a *content* digest.  A plain pickle
+would be unsound here: pickle serializes module-level functions by
+reference (module + qualname), not by code, so a function whose body
+changed — redefined in ``__main__`` or a notebook, or an edited module
+against a long-lived runtime — would keep its digest and silently
+replay a stale release for different logic.  Instead, functions (and
+lambdas, methods, ``functools.partial``s and callable instances) are
+fingerprinted structurally: bytecode, constants, names, defaults,
+closure cell values, and the values of the module globals the code
+references, recursively.  Two programs with equal digests therefore
+execute the same bytecode over the same captured state.  The one
+residual gap is state the fingerprint cannot see — e.g. a global
+*mutated in place* between calls, or C-extension internals — which is
+also state pickle could never pin.  Programs whose captured state
+cannot be fingerprinted (unpicklable closure or global values) simply
+bypass the cache — they still run correctly, they just never hit.
 
 Keys are built exclusively from analyst-supplied public parameters and
 registration metadata — never from records or block outputs — so the
@@ -33,9 +45,11 @@ this module mirrors.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import pickle
 import threading
+import types
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 
@@ -74,10 +88,130 @@ class AnswerKey:
     shards: int
 
 
+def _code_identity(code: types.CodeType) -> tuple:
+    """A structural token for one code object, recursing into nested code.
+
+    Covers everything execution depends on: bytecode, constants (nested
+    functions appear as code constants), the names it resolves, and the
+    argument/flag layout.  Line numbers and filenames are deliberately
+    excluded — moving a function does not change what it computes.
+    """
+    consts = tuple(
+        _code_identity(const) if isinstance(const, types.CodeType) else const
+        for const in code.co_consts
+    )
+    return (
+        "code",
+        code.co_argcount,
+        code.co_posonlyargcount,
+        code.co_kwonlyargcount,
+        code.co_flags,
+        code.co_code,
+        consts,
+        code.co_names,
+        code.co_varnames,
+        code.co_freevars,
+        code.co_cellvars,
+    )
+
+
+def _global_refs(fn: types.FunctionType, seen: set[int]) -> tuple:
+    """Identity tokens for the module globals ``fn``'s code references.
+
+    A function's behavior depends on the globals it reads, and pickling
+    the function by reference would not pin them.  Builtins are not in
+    ``__globals__`` and are skipped; module references reduce to the
+    module name (attribute reads off a module are as stable as the
+    environment itself).
+    """
+    names: set[str] = set()
+    stack = [fn.__code__]
+    while stack:
+        code = stack.pop()
+        names.update(code.co_names)
+        stack.extend(
+            const for const in code.co_consts
+            if isinstance(const, types.CodeType)
+        )
+    return tuple(
+        (name, _identity(fn.__globals__[name], seen))
+        for name in sorted(names)
+        if name in fn.__globals__
+    )
+
+
+def _identity(obj: object, seen: set[int]) -> object:
+    """A picklable token capturing what executing ``obj`` would run.
+
+    Functions, methods, partials and callable instances are decomposed
+    structurally (code content + captured state); everything else is
+    returned as-is and pickled *by value* inside the enclosing token.
+    ``seen`` breaks reference cycles (e.g. a recursive function that
+    names itself in its own globals); revisits collapse to a marker,
+    which keeps the traversal finite and deterministic.
+    """
+    if id(obj) in seen:
+        return ("cycle",)
+    if isinstance(obj, types.ModuleType):
+        return ("module", obj.__name__)
+    if isinstance(obj, types.MethodType):
+        seen.add(id(obj))
+        return (
+            "method",
+            _identity(obj.__func__, seen),
+            _identity(obj.__self__, seen),
+        )
+    if isinstance(obj, functools.partial):
+        seen.add(id(obj))
+        return (
+            "partial",
+            _identity(obj.func, seen),
+            tuple(_identity(arg, seen) for arg in obj.args),
+            tuple(sorted(
+                (key, _identity(value, seen))
+                for key, value in obj.keywords.items()
+            )),
+        )
+    if isinstance(obj, types.FunctionType):
+        seen.add(id(obj))
+        return (
+            "function",
+            obj.__module__,
+            obj.__qualname__,
+            _code_identity(obj.__code__),
+            tuple(_identity(d, seen) for d in obj.__defaults__ or ()),
+            tuple(sorted(
+                (key, _identity(value, seen))
+                for key, value in (obj.__kwdefaults__ or {}).items()
+            )),
+            tuple(
+                _identity(cell.cell_contents, seen)
+                for cell in obj.__closure__ or ()
+            ),
+            _global_refs(obj, seen),
+        )
+    if (
+        callable(obj)
+        and not isinstance(obj, type)
+        and isinstance(getattr(type(obj), "__call__", None), types.FunctionType)
+    ):
+        # A callable instance executes its class's __call__ over its own
+        # state: pin both.  The instance pickles by value (its state);
+        # the __call__ token pins the code an edited class would change.
+        seen.add(id(obj))
+        return ("instance", obj, _identity(type(obj).__call__, seen))
+    return obj
+
+
 def _digest(obj: object) -> str | None:
-    """A stable content digest of a picklable object, else ``None``."""
+    """A stable content digest of ``obj``'s behavior, else ``None``.
+
+    ``None`` (unpicklable captured state, an empty closure cell, …)
+    means identity cannot be established and the query must bypass the
+    cache.
+    """
     try:
-        payload = pickle.dumps(obj, protocol=_DIGEST_PROTOCOL)
+        payload = pickle.dumps(_identity(obj, set()), protocol=_DIGEST_PROTOCOL)
     except Exception:
         return None
     return hashlib.sha256(payload).hexdigest()

@@ -57,7 +57,7 @@ from repro.exceptions import (
     SvtSessionExhausted,
     UnknownSvtSession,
 )
-from repro.mechanisms.rng import RandomSource, as_generator
+from repro.mechanisms.rng import RandomSource
 from repro.observability import MetricsRegistry, get_registry
 from repro.optimizer.fusion import DEFAULT_FUSION_LIMIT, default_fusion_key
 from repro.optimizer.svt import SparseVector
@@ -536,7 +536,6 @@ class GuptService:
         count: int = 1,
         block_size: int | None = None,
         resampling_factor: int = 1,
-        seed: int | None = None,
         query_name: str = "svt",
         threshold_fraction: float = 0.5,
     ) -> SvtOpenResponse:
@@ -550,6 +549,16 @@ class GuptService:
         split into a threshold share (charged here, once) and an answer
         share amortized over up to ``count`` positive answers — negative
         answers are free, by the SVT analysis.
+
+        There is deliberately no analyst-supplied seed, unlike the
+        ordinary query path: the SVT analysis only covers negative
+        answers for free because the noisy threshold ρ and the per-probe
+        noise ν are *secret*.  An analyst who could choose the seed
+        could compute both exactly and turn every free negative into an
+        exact threshold comparison on the raw aggregate.  (A seeded
+        ordinary query still pays its full ε per release, which is why
+        seeds are sound there.)  Session randomness is drawn exclusively
+        from the platform's own stream.
         """
         principal = self._authenticate(token, ANALYST)
         registered = self._datasets.get(dataset)
@@ -577,17 +586,15 @@ class GuptService:
         # mean therefore moves by at most γ·width/num_blocks.
         sensitivity = resampling_factor * (upper - lower) / num_blocks
 
-        generator = as_generator(seed) if seed is not None else self.spawn_rng()
+        generator = self.spawn_rng()
+        # Advisory fast-fail; the authoritative cap check happens under
+        # the lock at insertion time below, where it cannot race.
         with self._svt_lock:
             if len(self._svt_sessions) >= self._max_svt_sessions:
                 raise SvtError(
                     f"too many open SVT sessions "
                     f"(limit {self._max_svt_sessions}); close one first"
                 )
-        # Charge the threshold share first: the session's noisy
-        # threshold is drawn immediately below, and a draw that was not
-        # paid for must never exist.  A refused charge (exhausted
-        # budget) aborts before any noise exists.
         svt_kwargs = dict(
             threshold=threshold,
             sensitivity=sensitivity,
@@ -596,30 +603,52 @@ class GuptService:
             threshold_fraction=threshold_fraction,
         )
         # Validate all SVT parameters before money moves: a malformed
-        # request must not charge ε₁ and then fail.
+        # request must not hold ε₁ and then fail.
         probe_free = SparseVector(rng=np.random.default_rng(0), **svt_kwargs)
         epsilon_threshold = probe_free.epsilon_threshold
-        registered.charge(
-            epsilon_threshold, f"{query_name}[threshold]",
-            detail="svt session threshold noise",
+        # Hold the threshold share before the session's noisy threshold
+        # is drawn — a draw whose ε is not at least reserved must never
+        # exist — and commit it only once the session is installed.  Any
+        # failure in between (including losing the cap race) rolls the
+        # hold back, so a refused open costs nothing.
+        reservation = registered.reserve(
+            epsilon_threshold, f"{query_name}[threshold]"
         )
-        svt = SparseVector(rng=generator, **svt_kwargs)
-        session_id = f"svt-{next(self._counter)}-{secrets.token_hex(4)}"
-        session = _SvtSession(
-            session_id=session_id,
-            owner_token=token,
-            dataset=dataset,
-            version=registered.version,
-            query_name=query_name,
-            svt=svt,
-            lower=lower,
-            upper=upper,
-            block_size=beta,
-            resampling_factor=resampling_factor,
-            epsilon_charged=epsilon_threshold,
-        )
-        with self._svt_lock:
-            self._svt_sessions[session_id] = session
+        try:
+            svt = SparseVector(rng=generator, **svt_kwargs)
+            session_id = f"svt-{next(self._counter)}-{secrets.token_hex(4)}"
+            session = _SvtSession(
+                session_id=session_id,
+                owner_token=token,
+                dataset=dataset,
+                version=registered.version,
+                query_name=query_name,
+                svt=svt,
+                lower=lower,
+                upper=upper,
+                block_size=beta,
+                resampling_factor=resampling_factor,
+                epsilon_charged=epsilon_threshold,
+            )
+            with self._svt_lock:
+                if len(self._svt_sessions) >= self._max_svt_sessions:
+                    raise SvtError(
+                        f"too many open SVT sessions "
+                        f"(limit {self._max_svt_sessions}); close one first"
+                    )
+                self._svt_sessions[session_id] = session
+            try:
+                reservation.commit(detail="svt session threshold noise")
+            except BaseException:
+                # A commit refused (e.g. journal failure) leaves the
+                # hold pending: withdraw the session so nothing unpaid
+                # is ever probe-able, then release the hold.
+                with self._svt_lock:
+                    self._svt_sessions.pop(session_id, None)
+                raise
+        except BaseException:
+            reservation.rollback()
+            raise
         metrics = self._metrics or get_registry()
         who = principal.name or principal.role
         metrics.counter("svt.sessions_opened", principal=who).inc()
@@ -685,6 +714,11 @@ class GuptService:
                 svt.epsilon_per_positive, f"{session.query_name}[positive]"
             )
             try:
+                # Pass the registration we just version-checked: a
+                # re-resolve by name inside exact_aggregate could race a
+                # concurrent re-registration and run the probe against a
+                # table whose geometry the session's sensitivity was
+                # never calibrated for.
                 value = self._runtime.exact_aggregate(
                     session.dataset,
                     program,
@@ -694,6 +728,7 @@ class GuptService:
                     resampling_factor=session.resampling_factor,
                     output_dimension=output_dimension,
                     rng=svt.transcript_rng(),
+                    registered=registered,
                 )
                 above = svt.probe(value)
             except BaseException:

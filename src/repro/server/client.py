@@ -264,7 +264,6 @@ class GuptClient:
         count: int = 1,
         block_size: int | None = None,
         resampling_factor: int = 1,
-        seed: int | None = None,
         query_name: str = "svt",
         threshold_fraction: float = 0.5,
     ) -> dict[str, Any]:
@@ -273,7 +272,10 @@ class GuptClient:
         The payload carries ``session_id`` plus the public accounting
         terms (``epsilon_charged`` for the threshold share,
         ``epsilon_per_positive``, ``count``) — never the noisy
-        threshold itself.
+        threshold itself.  There is no seed parameter: SVT noise must
+        stay secret (free negatives depend on it), so the server draws
+        all session randomness itself and rejects requests that carry
+        a ``seed`` field.
         """
         body: dict[str, Any] = {
             "dataset": dataset,
@@ -288,8 +290,6 @@ class GuptClient:
         }
         if block_size is not None:
             body["block_size"] = block_size
-        if seed is not None:
-            body["seed"] = seed
         return self._request("POST", "/v1/svt", body)
 
     def svt_probe(

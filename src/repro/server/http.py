@@ -783,6 +783,18 @@ class GuptHttpServer:
         payload = self._json_body(body)
         if not isinstance(payload, Mapping):
             raise _HttpError("invalid_request", "SVT open body must be an object")
+        if "seed" in payload:
+            # Refuse loudly rather than silently ignoring: an analyst
+            # who believes their seed was honored might reason about
+            # the transcript as if the noise were known.  SVT noise is
+            # drawn server-side only — a predictable noisy threshold
+            # would turn every free negative answer into an exact
+            # comparison on the raw aggregate.
+            raise _HttpError(
+                "invalid_request",
+                "SVT sessions draw their randomness server-side; "
+                "'seed' is not accepted",
+            )
         try:
             kwargs = dict(
                 dataset=str(payload["dataset"]),
@@ -797,8 +809,6 @@ class GuptHttpServer:
             )
             if payload.get("block_size") is not None:
                 kwargs["block_size"] = int(payload["block_size"])
-            if payload.get("seed") is not None:
-                kwargs["seed"] = int(payload["seed"])
         except (KeyError, TypeError, ValueError) as exc:
             raise _HttpError(
                 "invalid_request", f"malformed SVT open request: {exc}"

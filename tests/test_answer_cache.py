@@ -21,6 +21,8 @@ These tests pin the three load-bearing properties:
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -206,14 +208,96 @@ class TestCacheBypass:
         assert not other.cached
         assert registered.budget.spent == pytest.approx(EPSILON * 3)
 
-    def test_unpicklable_program_is_uncacheable(self):
+    def test_unfingerprintable_program_is_uncacheable(self):
+        # A closure over live, unpicklable state (a lock) has no stable
+        # content identity; such programs must bypass the cache.
+        lock = threading.Lock()
+
+        def program(block, _lock=lock):
+            return 0.0
+
         key = build_answer_key(
-            dataset="data", version=1, program=lambda block: 0.0,
+            dataset="data", version=1, program=program,
             range_strategy=TightRange((0.0, 100.0)), epsilon=EPSILON,
             output_dimension=1, block_size=BLOCK_SIZE, resampling_factor=1,
             group_by=None, seed=QUERY_SEED, shards=1,
         )
         assert key is None
+
+    def test_redefined_function_body_misses(self):
+        # pickle would serialize both of these by reference (identical
+        # module + qualname) and replay the stale release; the content
+        # digest must see the changed bytecode.  This is the notebook /
+        # edited-module / long-lived-runtime scenario.
+        def make(body: str):
+            namespace = {"np": np}
+            exec(
+                f"def prog(block):\n    return {body}\n", namespace
+            )
+            fn = namespace["prog"]
+            fn.__module__ = "analyst_notebook"
+            return fn
+
+        def key_for(program):
+            return build_answer_key(
+                dataset="data", version=1, program=program,
+                range_strategy=TightRange((0.0, 100.0)), epsilon=EPSILON,
+                output_dimension=1, block_size=BLOCK_SIZE,
+                resampling_factor=1, group_by=None, seed=QUERY_SEED,
+                shards=1,
+            )
+
+        mean_a = key_for(make("float(np.mean(block))"))
+        mean_b = key_for(make("float(np.mean(block))"))
+        maximum = key_for(make("float(np.max(block))"))
+        assert mean_a is not None
+        # Same logic → same identity (the cache still works) …
+        assert mean_a == mean_b
+        # … different body under the same name → different identity.
+        assert mean_a != maximum
+
+    def test_closure_value_is_part_of_identity(self):
+        def make(offset: float):
+            def prog(block):
+                return float(np.mean(block)) + offset
+            return prog
+
+        def key_for(program):
+            return build_answer_key(
+                dataset="data", version=1, program=program,
+                range_strategy=TightRange((0.0, 100.0)), epsilon=EPSILON,
+                output_dimension=1, block_size=BLOCK_SIZE,
+                resampling_factor=1, group_by=None, seed=QUERY_SEED,
+                shards=1,
+            )
+
+        assert key_for(make(1.0)) == key_for(make(1.0))
+        assert key_for(make(1.0)) != key_for(make(2.0))
+
+    def test_referenced_global_value_is_part_of_identity(self):
+        # Same bytecode, but the module global the code reads differs:
+        # executing the two programs produces different outputs, so
+        # their identities must differ too.
+        def make(scale: float):
+            namespace = {"np": np, "SCALE": scale}
+            exec(
+                "def prog(block):\n"
+                "    return float(np.mean(block)) * SCALE\n",
+                namespace,
+            )
+            return namespace["prog"]
+
+        def key_for(program):
+            return build_answer_key(
+                dataset="data", version=1, program=program,
+                range_strategy=TightRange((0.0, 100.0)), epsilon=EPSILON,
+                output_dimension=1, block_size=BLOCK_SIZE,
+                resampling_factor=1, group_by=None, seed=QUERY_SEED,
+                shards=1,
+            )
+
+        assert key_for(make(1.0)) == key_for(make(1.0))
+        assert key_for(make(1.0)) != key_for(make(3.0))
 
     def test_disabled_by_default(self):
         with GuptRuntime(_manager(), rng=SEED) as runtime:

@@ -61,8 +61,8 @@ class TestSessionLifecycle:
         _, analyst = tokens
         registered = service._datasets.get("d")
         opened = service.svt_open(
-            analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
-            epsilon=0.5, count=2, seed=11,
+            analyst, "d", threshold=0.3, lower=0.0, upper=1.0, block_size=2,
+            epsilon=0.5, count=2,
         )
         assert opened.epsilon_charged == pytest.approx(0.25)
         assert opened.epsilon_per_positive == pytest.approx(0.125)
@@ -72,11 +72,11 @@ class TestSessionLifecycle:
         _, analyst = tokens
         registered = service._datasets.get("d")
         opened = service.svt_open(
-            analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
-            epsilon=0.5, count=2, seed=11,
+            analyst, "d", threshold=0.3, lower=0.0, upper=1.0, block_size=2,
+            epsilon=0.5, count=2,
         )
         above = service.svt_probe(analyst, opened.session_id, mean_program)
-        assert above.above  # mean 0.6 sits clearly above threshold 0.5
+        assert above.above  # mean 0.6 sits far above threshold 0.3
         assert above.epsilon_charged == pytest.approx(0.125)
         assert registered.budget.spent == pytest.approx(0.375)
 
@@ -95,8 +95,8 @@ class TestSessionLifecycle:
     def test_exhaustion_is_loud(self, service, tokens):
         _, analyst = tokens
         opened = service.svt_open(
-            analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
-            epsilon=0.5, count=1, seed=11,
+            analyst, "d", threshold=0.3, lower=0.0, upper=1.0, block_size=2,
+            epsilon=0.5, count=1,
         )
         first = service.svt_probe(analyst, opened.session_id, mean_program)
         assert first.above and first.exhausted
@@ -107,8 +107,8 @@ class TestSessionLifecycle:
         _, analyst = tokens
         registered = service._datasets.get("d")
         opened = service.svt_open(
-            analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
-            epsilon=0.5, count=2, seed=11,
+            analyst, "d", threshold=0.3, lower=0.0, upper=1.0, block_size=2,
+            epsilon=0.5, count=2,
         )
         service.svt_probe(analyst, opened.session_id, mean_program)
         closed = service.svt_close(analyst, opened.session_id)
@@ -121,28 +121,51 @@ class TestSessionLifecycle:
     def test_session_is_exactly_the_shipped_variant(self, service, tokens):
         _, analyst = tokens
         opened = service.svt_open(
-            analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
-            epsilon=0.5, seed=11,
+            analyst, "d", threshold=0.3, lower=0.0, upper=1.0, block_size=2,
+            epsilon=0.5,
         )
         session = service._svt_sessions[opened.session_id]
         assert type(session.svt) is SparseVector
 
-    def test_seeded_sessions_are_reproducible(self, tokens, service):
+    def test_open_rejects_analyst_seed(self, service, tokens):
+        # The SVT analysis charges nothing for negative answers only
+        # because the noisy threshold and per-probe noise are secret.
+        # An analyst-chosen seed would make both computable, turning
+        # every free negative into an exact comparison on the raw
+        # aggregate — so there is no seed parameter at all.
         _, analyst = tokens
-
-        def transcript():
-            opened = service.svt_open(
-                analyst, "d", threshold=0.6, lower=0.0, upper=1.0,
-                epsilon=0.5, count=5, seed=99,
+        with pytest.raises(TypeError):
+            service.svt_open(
+                analyst, "d", threshold=0.3, lower=0.0, upper=1.0,
+                epsilon=0.5, seed=11,
             )
-            bits = [
-                service.svt_probe(
-                    analyst, opened.session_id, mean_program
-                ).above
-                for _ in range(3)
-            ]
-            service.svt_close(analyst, opened.session_id)
-            return bits
+
+    def test_transcripts_reproducible_from_platform_seed_only(self, tokens):
+        # Reproducibility (for operators, e.g. replaying an incident)
+        # comes from the *platform's* seed, never from the analyst:
+        # two services built on the same seed replay identical session
+        # transcripts, with no analyst-visible knob involved.
+        def transcript():
+            service = GuptService(rng=7, scheduler_workers=1)
+            try:
+                owner = service.enroll(OWNER, "owner").token
+                analyst = service.enroll(ANALYST, "analyst").token
+                values = np.full((NUM_RECORDS, 1), MEAN_VALUE)
+                service.register_dataset(owner, "d", DataTable(values), 5.0)
+                opened = service.svt_open(
+                    analyst, "d", threshold=0.55, lower=0.0, upper=1.0,
+                    epsilon=0.5, count=5,
+                )
+                bits = [
+                    service.svt_probe(
+                        analyst, opened.session_id, mean_program
+                    ).above
+                    for _ in range(3)
+                ]
+                service.svt_close(analyst, opened.session_id)
+                return bits
+            finally:
+                service.close()
 
         assert transcript() == transcript()
 
@@ -154,8 +177,8 @@ class TestRefusals:
         _, analyst = tokens
         other = service.enroll(ANALYST, "other").token
         opened = service.svt_open(
-            analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
-            epsilon=0.5, seed=11,
+            analyst, "d", threshold=0.3, lower=0.0, upper=1.0, block_size=2,
+            epsilon=0.5,
         )
         with pytest.raises(UnknownSvtSession) as foreign:
             service.svt_probe(other, opened.session_id, mean_program)
@@ -172,8 +195,8 @@ class TestRefusals:
         registered = service._datasets.get("tiny")
         with pytest.raises(PrivacyBudgetExhausted):
             service.svt_open(
-                analyst, "tiny", threshold=0.5, lower=0.0, upper=1.0,
-                epsilon=1.0, seed=11,
+                analyst, "tiny", threshold=0.3, lower=0.0, upper=1.0, block_size=2,
+                epsilon=1.0,
             )
         assert registered.budget.spent == 0.0
         assert not service._svt_sessions
@@ -183,12 +206,12 @@ class TestRefusals:
         with pytest.raises(InvalidRange):
             service.svt_open(
                 analyst, "d", threshold=0.5, lower=1.0, upper=0.0,
-                epsilon=0.5, seed=11,
+                epsilon=0.5,
             )
         with pytest.raises(SvtError):
             service.svt_open(
-                analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
-                epsilon=0.5, count=0, seed=11,
+                analyst, "d", threshold=0.3, lower=0.0, upper=1.0, block_size=2,
+                epsilon=0.5, count=0,
             )
         registered = service._datasets.get("d")
         assert registered.budget.spent == 0.0
@@ -196,8 +219,8 @@ class TestRefusals:
     def test_reregistration_invalidates_session(self, service, tokens):
         owner, analyst = tokens
         opened = service.svt_open(
-            analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
-            epsilon=0.5, seed=11,
+            analyst, "d", threshold=0.3, lower=0.0, upper=1.0, block_size=2,
+            epsilon=0.5,
         )
         service._datasets.unregister("d")
         values = np.full((NUM_RECORDS, 1), MEAN_VALUE)
@@ -213,14 +236,60 @@ class TestRefusals:
             values = np.full((NUM_RECORDS, 1), MEAN_VALUE)
             service.register_dataset(owner, "d", DataTable(values), 5.0)
             service.svt_open(
-                analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
-                epsilon=0.5, seed=11,
+                analyst, "d", threshold=0.3, lower=0.0, upper=1.0, block_size=2,
+                epsilon=0.5,
             )
             with pytest.raises(SvtError):
                 service.svt_open(
-                    analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
-                    epsilon=0.5, seed=12,
+                    analyst, "d", threshold=0.3, lower=0.0, upper=1.0, block_size=2,
+                    epsilon=0.5,
                 )
+        finally:
+            service.close()
+
+    def test_session_cap_holds_under_concurrent_opens(self):
+        # The cap is enforced under the lock at insertion time, so a
+        # stampede of concurrent opens can never push the session table
+        # past the cap — and every refused open rolls its threshold
+        # hold back, so exactly the admitted sessions are charged.
+        import threading as _threading
+
+        cap = 2
+        service = GuptService(
+            rng=7, scheduler_workers=1, max_svt_sessions=cap
+        )
+        try:
+            owner = service.enroll(OWNER).token
+            analyst = service.enroll(ANALYST).token
+            values = np.full((NUM_RECORDS, 1), MEAN_VALUE)
+            service.register_dataset(owner, "d", DataTable(values), 100.0)
+            registered = service._datasets.get("d")
+            outcomes = []
+            barrier = _threading.Barrier(8)
+
+            def open_one():
+                barrier.wait()
+                try:
+                    outcomes.append(service.svt_open(
+                        analyst, "d", threshold=0.3, lower=0.0,
+                        upper=1.0, block_size=2, epsilon=0.5,
+                    ))
+                except SvtError as exc:
+                    outcomes.append(exc)
+
+            threads = [
+                _threading.Thread(target=open_one) for _ in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            admitted = [o for o in outcomes if not isinstance(o, Exception)]
+            assert len(admitted) == cap
+            assert len(service._svt_sessions) == cap
+            # ε₁ = 0.25 per admitted session; refused opens cost nothing.
+            assert registered.budget.spent == pytest.approx(0.25 * cap)
+            assert registered.budget.reserved == 0.0
         finally:
             service.close()
 
@@ -229,8 +298,8 @@ class TestWireContract:
     def test_open_response_never_carries_the_threshold(self, service, tokens):
         _, analyst = tokens
         opened = service.svt_open(
-            analyst, "d", threshold=0.77, lower=0.0, upper=1.0,
-            epsilon=0.5, seed=11,
+            analyst, "d", threshold=0.77, lower=0.0, upper=1.0, block_size=2,
+            epsilon=0.5,
         )
         wire = dataclasses.asdict(opened)
         assert set(wire) == {
@@ -244,8 +313,8 @@ class TestWireContract:
     ):
         _, analyst = tokens
         opened = service.svt_open(
-            analyst, "d", threshold=0.5, lower=0.0, upper=1.0,
-            epsilon=0.5, seed=11,
+            analyst, "d", threshold=0.3, lower=0.0, upper=1.0, block_size=2,
+            epsilon=0.5,
         )
         answered = service.svt_probe(analyst, opened.session_id, mean_program)
         wire = dataclasses.asdict(answered)
@@ -281,8 +350,8 @@ class TestHttpTier:
     def test_full_session_over_http(self, http_stack):
         client = http_stack
         opened = client.svt_open(
-            "d", threshold=0.5, lower=0.0, upper=1.0,
-            epsilon=0.5, count=2, seed=11,
+            "d", threshold=0.3, lower=0.0, upper=1.0, block_size=2,
+            epsilon=0.5, count=2,
         )
         assert opened["epsilon_charged"] == pytest.approx(0.25)
         answered = client.svt_probe(
@@ -297,8 +366,8 @@ class TestHttpTier:
     def test_exhausted_session_maps_to_409(self, http_stack):
         client = http_stack
         opened = client.svt_open(
-            "d", threshold=0.5, lower=0.0, upper=1.0,
-            epsilon=0.5, count=1, seed=11,
+            "d", threshold=0.3, lower=0.0, upper=1.0, block_size=2,
+            epsilon=0.5, count=1,
         )
         client.svt_probe(opened["session_id"], {"name": "mean"})
         with pytest.raises(ServerError) as refusal:
@@ -316,3 +385,18 @@ class TestHttpTier:
         with pytest.raises(ServerError) as refusal:
             http_stack._request("POST", "/v1/svt", {"dataset": "d"})
         assert refusal.value.status == 400
+
+    def test_open_with_seed_is_rejected_not_ignored(self, http_stack):
+        # Silently dropping the field would let an analyst believe the
+        # noise is known to them; the server must refuse outright.
+        with pytest.raises(ServerError) as refusal:
+            http_stack._request(
+                "POST", "/v1/svt",
+                {
+                    "dataset": "d", "threshold": 0.3, "lower": 0.0,
+                    "upper": 1.0, "epsilon": 0.5, "seed": 11,
+                },
+            )
+        assert refusal.value.status == 400
+        assert refusal.value.code == "invalid_request"
+        assert "seed" in str(refusal.value)

@@ -78,7 +78,8 @@ def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--threshold", type=float, help="threshold for count-above")
     parser.add_argument("--seed", type=int, default=None, help="rng seed")
     parser.add_argument(
-        "--backend", choices=["serial", "thread", "pool", "vectorized", "sharded"],
+        "--backend",
+        choices=["serial", "thread", "pool", "vectorized", "sharded", "remote"],
         default=None,
         help="execution backend (default: serial; pool = persistent "
              "worker processes with zero-copy block dispatch; vectorized "
@@ -86,11 +87,19 @@ def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
              "programs declaring a batch form, bit-identical to serial; "
              "sharded = shard-owning worker processes with shard-local "
              "block plans and a partials-only combine, bit-identical to "
-             "serial for the same --shards)",
+             "serial for the same --shards; remote = the sharded engine "
+             "over TCP shard-node processes — see --nodes and the "
+             "shard-node command — still bit-identical at fixed --shards)",
     )
     parser.add_argument(
         "--workers", type=int, default=None,
         help="fan-out width for the thread/pool/sharded backends",
+    )
+    parser.add_argument(
+        "--nodes", default=None, metavar="N|HOST:PORT,...",
+        help="with --backend remote: a comma-separated list of running "
+             "shard-node addresses, or an integer to spawn that many "
+             "local node processes in-process",
     )
     parser.add_argument(
         "--shards", type=int, default=None, metavar="S",
@@ -192,6 +201,18 @@ def build_parser() -> argparse.ArgumentParser:
              "into one stacked dispatch (default: disabled)",
     )
 
+    shard_node = commands.add_parser(
+        "shard-node",
+        help="run one shard-node worker process: binds HOST:PORT (port 0 "
+             "picks an ephemeral port, announced on stdout as "
+             "'LISTENING HOST PORT') and serves shard executions to a "
+             "'--backend remote' coordinator until shut down",
+    )
+    shard_node.add_argument(
+        "address", metavar="HOST:PORT",
+        help="bind address (use port 0 for an ephemeral port)",
+    )
+
     fsck = commands.add_parser(
         "fsck",
         help="verify a budget journal; optionally repair a torn tail "
@@ -234,6 +255,16 @@ def _resolve_block_size(argument):
     return int(argument)
 
 
+def _resolve_nodes(argument):
+    """``--nodes``: an int spawns local nodes, addresses join a cluster."""
+    if argument is None:
+        return None
+    text = str(argument).strip()
+    if text.isdigit():
+        return int(text)
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
 def run_inspect(args) -> int:
     table = load_csv(args.data)
     print(f"records   : {table.num_records}")
@@ -270,6 +301,7 @@ def _execute_query(args, metrics: MetricsRegistry | None = None):
         workers=args.workers,
         batch_size=args.dispatch_batch,
         shards=args.shards,
+        nodes=_resolve_nodes(args.nodes),
     )
 
     kwargs = {}
@@ -370,6 +402,7 @@ def run_serve_http(args) -> int:
         workers=args.workers,
         batch_size=args.dispatch_batch,
         shards=args.shards,
+        nodes=_resolve_nodes(args.nodes),
         scheduler_workers=args.scheduler_workers,
         max_inflight=args.max_inflight,
         queue_depth=args.queue_depth,
@@ -443,6 +476,7 @@ def run_serve(args) -> int:
         workers=args.workers,
         batch_size=args.dispatch_batch,
         shards=args.shards,
+        nodes=_resolve_nodes(args.nodes),
         scheduler_workers=args.scheduler_workers,
         max_inflight=args.max_inflight,
         queue_depth=args.queue_depth,
@@ -547,6 +581,10 @@ def main(argv: list[str] | None = None) -> int:
             return run_serve(args)
         if args.command == "fsck":
             return run_fsck(args)
+        if args.command == "shard-node":
+            from repro.runtime.remote.node import main as shard_node_main
+
+            return shard_node_main([args.address])
         return run_query(args)
     except GuptError as exc:
         print(f"error: {exc}", file=sys.stderr)

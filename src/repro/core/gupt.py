@@ -63,13 +63,16 @@ class GuptRuntime:
         Registry receiving phase spans and query telemetry; ``None``
         uses the process default.  Every recorded value is release-safe
         (see :mod:`repro.observability`).
-    backend, workers, batch_size, shards:
+    backend, workers, batch_size, shards, nodes:
         Convenience knobs that build the computation manager in place
         (``backend`` one of ``serial``/``thread``/``pool``/
-        ``vectorized``/``sharded``; ``shards`` the logical shard count
-        of the sharded plan protocol — a public plan parameter released
-        bits depend on, applying to every backend); mutually exclusive
-        with passing ``computation_manager``.
+        ``vectorized``/``sharded``/``remote``; ``shards`` the logical
+        shard count of the sharded plan protocol — a public plan
+        parameter released bits depend on, applying to every backend;
+        ``nodes`` the shard-node cluster for ``backend="remote"`` —
+        addresses, a count to spawn locally, or ``None`` for one per
+        worker); mutually exclusive with passing
+        ``computation_manager``.
     plan_cache:
         A :class:`~repro.core.plan_cache.BlockPlanCache` to memoize
         block plans and stacked materializations across queries, or
@@ -112,6 +115,7 @@ class GuptRuntime:
         workers: int | None = None,
         batch_size: int | None = None,
         shards: int | None = None,
+        nodes: int | list | None = None,
         state_dir: str | None = None,
         plan_cache: BlockPlanCache | None = None,
         plan_cache_size: int | None = None,
@@ -123,10 +127,11 @@ class GuptRuntime:
             or workers is not None
             or batch_size is not None
             or shards is not None
+            or nodes is not None
         ):
             raise GuptError(
                 "pass either computation_manager or backend/workers/"
-                "batch_size/shards, not both"
+                "batch_size/shards/nodes, not both"
             )
         if computation_manager is None:
             computation_manager = ComputationManager(
@@ -134,6 +139,7 @@ class GuptRuntime:
                 backend=backend,
                 batch_size=batch_size,
                 shards=shards,
+                nodes=nodes,
                 metrics=metrics,
             )
         if dataset_manager is not None and state_dir is not None:

@@ -180,7 +180,7 @@ class SampleAggregateEngine:
             # query) cannot depend on execution strategy.
             generator = as_generator(rng)
             plan_seed = int(generator.integers(0, 2**63 - 1))
-            if self._manager.backend == "sharded":
+            if self._manager.backend in ("sharded", "remote"):
                 sampled = self._sample_sharded(
                     values, program, output_dimension, fallback, beta,
                     resampling_factor, plan_seed, cache_token, output_ranges,

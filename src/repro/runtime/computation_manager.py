@@ -48,6 +48,15 @@ Three execution backends trade isolation strength against dispatch cost:
     timing defense, unpicklable programs, explicit (grouped) plans —
     degrade to the combined-plan chamber path, counted per reason in
     ``sharded.fallbacks``.
+``remote``
+    :class:`~repro.runtime.remote.RemoteShardBackend` — the sharded
+    engine with the pipe/shared-memory transport replaced by TCP
+    shard-node processes speaking the framed binary protocol of
+    :mod:`repro.runtime.remote.wire`.  Same shard-local plans, same
+    partials-only combine, same degrade reasons (counted in
+    ``sharded.fallbacks`` — the shard protocol is transport-agnostic),
+    so releases stay bit-identical to every in-process backend at the
+    same ``S``, for any node count and across single-node failures.
 
 The manager is also an instrumentation point (see
 :mod:`repro.observability`): per-block latency, success/fallback/kill
@@ -77,6 +86,7 @@ from repro.runtime.sandbox import (
     ExecutionChamber,
     InProcessChamber,
 )
+from repro.runtime.remote import RemoteShardBackend
 from repro.runtime.shard import ShardedExecutionBackend, ShardQuerySpec
 from repro.runtime.timing import TimingDefense
 from repro.runtime.vectorized import (
@@ -86,7 +96,11 @@ from repro.runtime.vectorized import (
     supports_batch,
 )
 
-BACKENDS = ("serial", "thread", "pool", "vectorized", "sharded")
+BACKENDS = ("serial", "thread", "pool", "vectorized", "sharded", "remote")
+
+#: Backends that execute the sharded plan protocol natively (shard-local
+#: planning, partials-only combine) rather than through chambers.
+SHARD_PROTOCOL_BACKENDS = ("sharded", "remote")
 
 #: Logical shard count when the sharded backend is selected without an
 #: explicit ``shards``: one logical shard per worker.  Deliberately a
@@ -135,9 +149,16 @@ class ComputationManager:
         releases) except under ``backend="sharded"``, where it defaults
         to one logical shard per worker.
     sharded:
-        A pre-built :class:`ShardedExecutionBackend` for the ``sharded``
-        backend; ``None`` constructs one on demand.  Its logical shard
+        A pre-built :class:`ShardedExecutionBackend` (or
+        :class:`~repro.runtime.remote.RemoteShardBackend` — they share
+        the ``run_sharded`` contract) for the ``sharded``/``remote``
+        backends; ``None`` constructs one on demand.  Its logical shard
         count must agree with ``shards`` when both are given.
+    nodes:
+        For ``backend="remote"``: where the shard nodes are — a list of
+        ``(host, port)`` / ``"host:port"`` addresses for an existing
+        cluster, an int to spawn that many in-process nodes, or
+        ``None`` to spawn one per worker.  Ignored by other backends.
     """
 
     def __init__(
@@ -150,7 +171,8 @@ class ComputationManager:
         pool: PoolChamberBackend | None = None,
         timing: TimingDefense | None = None,
         shards: int | None = None,
-        sharded: ShardedExecutionBackend | None = None,
+        sharded: ShardedExecutionBackend | RemoteShardBackend | None = None,
+        nodes: int | list | None = None,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -186,17 +208,24 @@ class ComputationManager:
                     f"backend's {sharded.shards} logical shards"
                 )
             self._plan_shards = sharded.shards
-        elif backend == "sharded":
+        elif backend in SHARD_PROTOCOL_BACKENDS:
             self._plan_shards = (
                 shards
                 if shards is not None
                 else max(1, DEFAULT_SHARDS_PER_WORKER * max_workers)
             )
-            self._sharded = ShardedExecutionBackend(
-                shards=self._plan_shards,
-                workers=max_workers,
-                metrics=metrics,
-            )
+            if backend == "remote":
+                self._sharded = RemoteShardBackend(
+                    shards=self._plan_shards,
+                    nodes=nodes if nodes is not None else max_workers,
+                    metrics=metrics,
+                )
+            else:
+                self._sharded = ShardedExecutionBackend(
+                    shards=self._plan_shards,
+                    workers=max_workers,
+                    metrics=metrics,
+                )
         else:
             self._plan_shards = shards if shards is not None else 1
 
@@ -217,7 +246,8 @@ class ComputationManager:
         return self._pool
 
     @property
-    def sharded_backend(self) -> ShardedExecutionBackend | None:
+    def sharded_backend(self) -> ShardedExecutionBackend | RemoteShardBackend | None:
+        """The shard-protocol executor: in-process workers or remote nodes."""
         return self._sharded
 
     @property
@@ -378,7 +408,7 @@ class ComputationManager:
         (aggregation clamps to the same bounds again, so the release is
         untouched).
         """
-        if self._backend != "sharded" or self._sharded is None:
+        if self._backend not in SHARD_PROTOCOL_BACKENDS or self._sharded is None:
             raise ComputationError("manager is not configured for sharded execution")
         metrics = self._metrics or get_registry()
 

@@ -1,0 +1,54 @@
+"""Distributed shard execution over the network.
+
+The remote backend crosses the machine boundary that
+:mod:`repro.runtime.shard` stops at: logical shards are executed by
+*shard-node* processes reachable only over TCP, speaking the
+length-prefixed, versioned, CRC-framed binary protocol of
+:mod:`repro.runtime.remote.wire`.  The privacy contract of the sharded
+engine is preserved on a genuinely untrusted channel — the only payload
+a node ever returns is its clamped ``(l_s, p)`` block-output partial
+and success mask — and releases stay bit-identical to every in-process
+backend at the same logical shard count ``S``.
+
+Pieces:
+
+* :mod:`~repro.runtime.remote.wire` — the frame format and message
+  schema (the conformance suite pins its bytes);
+* :mod:`~repro.runtime.remote.node` — :class:`ShardNodeServer`, the
+  standalone worker process (``repro shard-node HOST:PORT``);
+* :mod:`~repro.runtime.remote.backend` — :class:`RemoteShardBackend`,
+  the coordinator: node registry, heartbeats, shard re-assignment on
+  node death, and the partial-quorum degrade path.
+"""
+
+from repro.runtime.remote.backend import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_NODE_TIMEOUT,
+    RemoteShardBackend,
+    local_node_cluster,
+)
+from repro.runtime.remote.node import ShardNodeServer
+from repro.runtime.remote.wire import (
+    REMOTE_MAGIC,
+    REMOTE_PROTOCOL_VERSION,
+    CorruptFrame,
+    Frame,
+    FrameError,
+    TruncatedFrame,
+    VersionMismatch,
+)
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_NODE_TIMEOUT",
+    "CorruptFrame",
+    "Frame",
+    "FrameError",
+    "REMOTE_MAGIC",
+    "REMOTE_PROTOCOL_VERSION",
+    "RemoteShardBackend",
+    "ShardNodeServer",
+    "TruncatedFrame",
+    "VersionMismatch",
+    "local_node_cluster",
+]

@@ -1,0 +1,775 @@
+"""The remote coordinator: shard execution across TCP-connected nodes.
+
+:class:`RemoteShardBackend` is a drop-in sibling of
+:class:`repro.runtime.shard.ShardedExecutionBackend` — same
+``run_sharded(program_bytes, values, spec)`` contract, same shard-major
+deterministic combine, same fallback substitution for shards nobody
+answered — with the pipe/shared-memory transport replaced by the framed
+binary protocol of :mod:`repro.runtime.remote.wire`.  Because logical
+shard plans are pure functions of ``(plan_seed, S, shard)`` and the
+combine is ordered by shard index, a seeded release through this
+backend is bit-identical to every in-process backend at the same ``S``
+— for any node count, and under any single-node failure that a
+surviving node absorbs.
+
+Failure handling, in escalating order:
+
+* **Reconnect.**  A node whose session dropped between queries is
+  re-dialed at dispatch time and its segments re-pushed.
+* **Re-assignment.**  A node that dies or wedges mid-query (EOF, torn
+  frame, or no progress within ``node_timeout``) has its unanswered
+  shards adopted by surviving nodes, which receive the missing
+  segments plus a fresh plan and replay ``spawn(plan_seed, S)[s]`` —
+  computing the identical partial, so healing never perturbs released
+  bits.  Each shard is re-assigned at most once per query.
+* **Quorum degrade.**  Shards that remain unanswered (every holder
+  dead, or the retry died too) resolve to the query's data-independent
+  fallback rows — the killed-worker semantics of the in-process
+  backends — and the query is flagged in telemetry
+  (``remote.degraded_queries``) instead of raising.
+
+Telemetry (all release-safe geometry/counters, never payloads):
+``remote.nodes``, ``remote.shards``, ``remote.queries``,
+``remote.segment_pushes``, ``remote.heartbeats``,
+``remote.node_deaths``, ``remote.reassigned_shards``,
+``remote.degraded_queries``, ``remote.fallback_shards``,
+``remote.dispatch_seconds``, ``remote.partial_rows``.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import socket
+import subprocess
+import sys
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable
+
+import numpy as np
+
+from repro.core.blocks import ShardPlanSummary, shard_block_counts, shard_offsets
+from repro.exceptions import ComputationError
+from repro.observability import MetricsRegistry, get_registry
+from repro.runtime.remote import wire
+from repro.runtime.remote.node import ShardNodeServer
+from repro.runtime.shard import DEFAULT_RESIDENT_DATASETS, ShardQuerySpec
+from repro.runtime.vectorized import BatchOutputs
+from repro.testing import failpoints
+
+#: What a dead/unusable peer looks like to the coordinator: socket
+#: errors, torn/corrupt/truncated frames, and injected send failures
+#: (``remote.send.*`` in ``error`` mode raises
+#: :class:`~repro.testing.failpoints.FailpointError`, which models the
+#: same thing — a write that did not reach the peer intact).
+_DEAD_PEER = (OSError, wire.FrameError, failpoints.FailpointError)
+
+#: Seconds between coordinator heartbeat rounds (PING -> PONG probes of
+#: idle sessions).  ``None`` disables the heartbeat thread — tests do,
+#: so frame counts stay deterministic for ``@N`` failpoint targeting.
+DEFAULT_HEARTBEAT_INTERVAL: float | None = 5.0
+
+#: Seconds a node may go without sending any frame mid-query before the
+#: coordinator declares it wedged and re-assigns its shards.
+DEFAULT_NODE_TIMEOUT = 30.0
+
+#: Connection/handshake timeout when dialing a node.
+_DIAL_TIMEOUT = 10.0
+
+
+def parse_node_address(text: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` (the CLI's ``--nodes`` format)."""
+    host, _, port = text.rpartition(":")
+    if not host or not port:
+        raise ComputationError(f"bad node address {text!r} (expected HOST:PORT)")
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise ComputationError(f"bad node address {text!r}: {exc}") from exc
+
+
+class _NodeSession:
+    """One live coordinator -> node connection and what it holds."""
+
+    __slots__ = ("address", "sock", "held")
+
+    def __init__(self, address: tuple[str, int], sock: socket.socket):
+        self.address = address
+        self.sock = sock
+        self.held: set[tuple[str, int, int]] = set()  # (dataset, version, shard)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class LocalNodeCluster:
+    """A convenience cluster of shard nodes owned by this process.
+
+    ``spawn="thread"`` runs :class:`ShardNodeServer` instances on daemon
+    threads — real TCP, zero process overhead; the default for tests
+    and single-box use.  ``spawn="process"`` launches
+    ``python -m repro shard-node 127.0.0.1:0`` subprocesses (scraping
+    the announced ``LISTENING`` line), which is what the fault matrix
+    and the CI soak use: a crashed subprocess is a genuinely dead peer.
+    ``env`` adds variables to subprocess nodes (e.g. arming
+    ``REPRO_FAILPOINTS`` in a victim node).
+    """
+
+    def __init__(
+        self,
+        count: int,
+        spawn: str = "thread",
+        env: dict[str, str] | None = None,
+    ):
+        if count < 1:
+            raise ComputationError("a node cluster needs at least one node")
+        if spawn not in ("thread", "process"):
+            raise ComputationError(f"unknown node spawn mode {spawn!r}")
+        self.addresses: list[tuple[str, int]] = []
+        self._servers: list[ShardNodeServer] = []
+        self._processes: list[subprocess.Popen] = []
+        if spawn == "thread":
+            for _ in range(count):
+                server = ShardNodeServer()
+                self.addresses.append(server.start())
+                self._servers.append(server)
+            return
+        # Subprocess nodes must be able to import this package no matter
+        # where the parent found it (installed, or PYTHONPATH=src).
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(os.path.dirname(__file__)))
+        )
+        package_root = os.path.dirname(package_root)  # .../src
+        node_path = os.pathsep.join(
+            p for p in (package_root, os.environ.get("PYTHONPATH")) if p
+        )
+        for _ in range(count):
+            process = subprocess.Popen(
+                [sys.executable, "-m", "repro", "shard-node", "127.0.0.1:0"],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                text=True,
+                env={**os.environ, "PYTHONPATH": node_path, **(env or {})},
+            )
+            line = process.stdout.readline().strip()
+            parts = line.split()
+            if len(parts) != 3 or parts[0] != "LISTENING":
+                process.kill()
+                raise ComputationError(
+                    f"shard-node did not announce its port (got {line!r})"
+                )
+            self.addresses.append((parts[1], int(parts[2])))
+            self._processes.append(process)
+
+    def stop(self) -> None:
+        for server in self._servers:
+            server.stop()
+        self._servers = []
+        for process in self._processes:
+            if process.poll() is None:
+                process.terminate()
+        for process in self._processes:
+            try:
+                process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck node
+                process.kill()
+                process.wait(timeout=5.0)
+        self._processes = []
+
+    def __enter__(self) -> "LocalNodeCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def local_node_cluster(
+    count: int, spawn: str = "thread", env: dict[str, str] | None = None
+) -> LocalNodeCluster:
+    """Start ``count`` local shard nodes; see :class:`LocalNodeCluster`."""
+    return LocalNodeCluster(count, spawn=spawn, env=env)
+
+
+class RemoteShardBackend:
+    """S logical shards executed by N shard-node processes over TCP.
+
+    Parameters
+    ----------
+    shards:
+        Logical shard count S — the public plan parameter released bits
+        depend on.  Node count, like worker count, never matters.
+    nodes:
+        Where the nodes are: a list of ``(host, port)`` tuples or
+        ``"host:port"`` strings for an existing cluster, an int to
+        spawn that many in-process nodes, or ``None`` to spawn
+        ``min(shards, 4)``.  Node ``i`` of N initially owns the
+        contiguous logical shards ``[i * S // N, (i + 1) * S // N)``.
+    node_timeout:
+        Mid-query liveness deadline: a node sending nothing for this
+        long is declared wedged and its shards re-assigned.
+    heartbeat_interval:
+        Period of the idle-session PING thread; ``None`` disables it
+        (deterministic tests drive :meth:`heartbeat_once` directly).
+    message_observer:
+        Called with every decoded node -> coordinator :class:`Frame`
+        (the privacy suite asserts only clamped summaries appear).
+    frame_observer:
+        Called with ``(direction, frame_bytes)`` for every frame in
+        both directions — the network-capture hook the sentinel tests
+        scan for raw data.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        nodes: int | list | None = None,
+        resident_datasets: int = DEFAULT_RESIDENT_DATASETS,
+        metrics: MetricsRegistry | None = None,
+        message_observer: Callable[[wire.Frame], None] | None = None,
+        frame_observer: Callable[[str, bytes], None] | None = None,
+        node_timeout: float = DEFAULT_NODE_TIMEOUT,
+        heartbeat_interval: float | None = DEFAULT_HEARTBEAT_INTERVAL,
+        node_spawn: str = "thread",
+    ):
+        if shards < 1:
+            raise ComputationError("shards must be >= 1")
+        if resident_datasets < 1:
+            raise ComputationError("resident_datasets must be >= 1")
+        self._shards = int(shards)
+        self._resident_datasets = int(resident_datasets)
+        self._metrics = metrics
+        self._message_observer = message_observer
+        self._frame_observer = frame_observer
+        self._node_timeout = float(node_timeout)
+        self._heartbeat_interval = heartbeat_interval
+        self._cluster: LocalNodeCluster | None = None
+        if nodes is None or isinstance(nodes, int):
+            count = min(self._shards, 4) if nodes is None else int(nodes)
+            self._cluster = local_node_cluster(count, spawn=node_spawn)
+            addresses = self._cluster.addresses
+        else:
+            addresses = [
+                parse_node_address(n) if isinstance(n, str) else (n[0], int(n[1]))
+                for n in nodes
+            ]
+        if not addresses:
+            raise ComputationError("remote backend needs at least one node")
+        self._addresses = addresses
+        self._sessions: list[_NodeSession | None] = [None] * len(addresses)
+        # (dataset, version) -> contiguous float matrix, kept so healed
+        # or adopting nodes can be re-pushed their shard slices.
+        self._values: OrderedDict[tuple[str, int], np.ndarray] = OrderedDict()
+        self._qids = iter(range(1, 2**62))
+        self._last_elapsed = 0.0
+        self._closed = False
+        self._dispatch_lock = threading.Lock()
+        self._stop_heartbeat = threading.Event()
+        self._heartbeat_thread: threading.Thread | None = None
+        if heartbeat_interval:
+            self._heartbeat_thread = threading.Thread(
+                target=self._heartbeat_loop, name="remote-heartbeat", daemon=True
+            )
+            self._heartbeat_thread.start()
+
+    # -- geometry --------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        return self._shards
+
+    @property
+    def nodes(self) -> int:
+        return len(self._addresses)
+
+    @property
+    def workers(self) -> int:
+        # Interface parity with ShardedExecutionBackend: "workers" is
+        # the physical executor count, here nodes.
+        return len(self._addresses)
+
+    def _registry(self) -> MetricsRegistry:
+        return self._metrics or get_registry()
+
+    def _node_shards(self, index: int) -> list[int]:
+        """Contiguous logical shards initially owned by node ``index``."""
+        count = len(self._addresses)
+        start = index * self._shards // count
+        end = (index + 1) * self._shards // count
+        return list(range(start, end))
+
+    # -- sessions --------------------------------------------------------
+    def _observe_send(self, session, kind, header, body=b"") -> None:
+        if self._frame_observer is not None:
+            self._frame_observer("send", wire.encode_frame(kind, header, body))
+        wire.send_frame(session.sock, kind, header, body)
+
+    def _observe_read(self, session, timeout) -> wire.Frame:
+        frame = wire.read_frame(session.sock, timeout)
+        if self._frame_observer is not None:
+            self._frame_observer(
+                "recv", wire.encode_frame(frame.kind, frame.header, frame.body)
+            )
+        if self._message_observer is not None:
+            self._message_observer(frame)
+        if frame.kind not in wire.NODE_TO_COORDINATOR_KINDS:
+            # A node has no business sending coordinator-direction
+            # kinds; treat the session as compromised, not the query.
+            raise wire.CorruptFrame(
+                f"node sent coordinator-only kind {frame.kind_name!r}"
+            )
+        return frame
+
+    def _connect(self, index: int) -> _NodeSession | None:
+        """Dial node ``index`` and run the version handshake."""
+        address = self._addresses[index]
+        try:
+            sock = socket.create_connection(address, timeout=_DIAL_TIMEOUT)
+        except OSError:
+            return None
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        session = _NodeSession(address, sock)
+        try:
+            self._observe_send(
+                session, wire.HELLO, {"protocol": wire.REMOTE_PROTOCOL_VERSION}
+            )
+            frame = self._observe_read(session, _DIAL_TIMEOUT)
+        except _DEAD_PEER:
+            session.close()
+            return None
+        if frame.kind != wire.WELCOME:
+            session.close()
+            if frame.kind == wire.ERROR and frame.header.get("code") == "version_mismatch":
+                raise wire.VersionMismatch(frame.header.get("protocol", -1))
+            return None
+        return session
+
+    def _session(self, index: int) -> _NodeSession | None:
+        if self._sessions[index] is None:
+            self._sessions[index] = self._connect(index)
+        return self._sessions[index]
+
+    def _drop_session(self, index: int) -> None:
+        session, self._sessions[index] = self._sessions[index], None
+        if session is not None:
+            session.close()
+            self._registry().counter("remote.node_deaths").inc()
+
+    # -- heartbeats ------------------------------------------------------
+    def _heartbeat_loop(self) -> None:
+        while not self._stop_heartbeat.wait(self._heartbeat_interval):
+            # Never race an in-flight query's collect loop: skip the
+            # round if dispatch holds the lock (the query itself is the
+            # liveness probe then).
+            if not self._dispatch_lock.acquire(blocking=False):
+                continue
+            try:
+                if not self._closed:
+                    self.heartbeat_once()
+            finally:
+                self._dispatch_lock.release()
+
+    def heartbeat_once(self) -> list[bool]:
+        """PING every connected node; drop sessions that fail to PONG.
+
+        Returns one aliveness flag per node slot (unconnected slots are
+        reported dead without dialing — the next query re-dials).  The
+        heartbeat payload is public: a token echoed back, nothing else.
+        """
+        registry = self._registry()
+        alive = []
+        for index in range(len(self._addresses)):
+            session = self._sessions[index]
+            if session is None:
+                alive.append(False)
+                continue
+            try:
+                self._observe_send(session, wire.PING, {"token": index})
+                frame = self._observe_read(session, self._node_timeout)
+                ok = frame.kind == wire.PONG
+            except _DEAD_PEER:
+                ok = False
+            if not ok:
+                self._drop_session(index)
+            registry.counter("remote.heartbeats").inc()
+            alive.append(ok)
+        return alive
+
+    # -- dataset residency ----------------------------------------------
+    def invalidate(self, dataset: str) -> int:
+        """Forget every resident version of ``dataset`` (re-registration).
+
+        Nodes evict lazily: versions are monotonic, so a stale segment
+        is never addressed again and ages out of the node-side LRU.
+        """
+        with self._dispatch_lock:
+            stale = [k for k in self._values if k[0] == dataset]
+            for key in stale:
+                del self._values[key]
+            for session in self._sessions:
+                if session is not None:
+                    session.held = {h for h in session.held if h[0] != dataset}
+        return len(stale)
+
+    def _ensure_values(self, dskey, values: np.ndarray) -> np.ndarray:
+        resident = self._values.get(dskey)
+        if resident is not None:
+            self._values.move_to_end(dskey)
+            return resident
+        resident = np.ascontiguousarray(values, dtype=float)
+        self._values[dskey] = resident
+        while len(self._values) > self._resident_datasets:
+            self._values.popitem(last=False)
+        return resident
+
+    def _push_shard(self, session, dskey, values, spec, shard: int) -> None:
+        """Push one shard's row slice to a node (idempotent per session)."""
+        key = (dskey[0], dskey[1], shard)
+        if key in session.held:
+            return
+        offsets = shard_offsets(spec.num_records, spec.shards)
+        rows = values[int(offsets[shard]) : int(offsets[shard + 1])]
+        meta, body = wire.array_to_body(rows)
+        self._observe_send(
+            session,
+            wire.SEGMENT,
+            {
+                "dataset": dskey[0],
+                "version": dskey[1],
+                "shard": shard,
+                "shape": meta["shape"],
+            },
+            body,
+        )
+        session.held.add(key)
+        self._registry().counter("remote.segment_pushes").inc()
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Shut down sessions (and an owned cluster) — exactly once."""
+        self._stop_heartbeat.set()
+        with self._dispatch_lock:
+            if self._closed:
+                return
+            self._closed = True
+            for index, session in enumerate(self._sessions):
+                if session is None:
+                    continue
+                try:
+                    self._observe_send(
+                        session,
+                        wire.SHUTDOWN,
+                        {"halt": self._cluster is not None},
+                    )
+                    self._observe_read(session, 2.0)
+                except _DEAD_PEER:
+                    pass
+                session.close()
+                self._sessions[index] = None
+            self._values.clear()
+            if self._cluster is not None:
+                self._cluster.stop()
+                self._cluster = None
+        if (
+            self._heartbeat_thread is not None
+            and self._heartbeat_thread is not threading.current_thread()
+        ):
+            self._heartbeat_thread.join(timeout=2.0)
+            self._heartbeat_thread = None
+
+    def __enter__(self) -> "RemoteShardBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- dispatch --------------------------------------------------------
+    def run_sharded(
+        self,
+        program_bytes: bytes,
+        values: np.ndarray,
+        spec: ShardQuerySpec,
+    ) -> tuple[ShardPlanSummary, BatchOutputs]:
+        """Execute one query across the node cluster; combine in shard order."""
+        if spec.shards != self._shards:
+            raise ComputationError(
+                f"query spec wants {spec.shards} shards, backend has {self._shards}"
+            )
+        with self._dispatch_lock:
+            if self._closed:
+                raise ComputationError("remote backend is closed")
+            return self._run_locked(program_bytes, values, spec)
+
+    def _run_locked(self, program_bytes, values, spec) -> tuple:
+        registry = self._registry()
+        started = time.perf_counter()
+        dskey = (spec.dataset, spec.version)
+        resident = self._ensure_values(dskey, values)
+
+        counts = shard_block_counts(
+            spec.num_records, spec.block_size, spec.resampling_factor, spec.shards
+        )
+        bases = np.zeros(spec.shards + 1, dtype=np.int64)
+        np.cumsum(counts, out=bases[1:])
+        total_blocks = int(bases[-1])
+        if total_blocks == 0:
+            raise ComputationError(
+                f"block size {spec.block_size} leaves no full block in any of "
+                f"{spec.shards} shards of {spec.num_records} records"
+            )
+        fallback = np.asarray(spec.fallback, dtype=float)
+        outputs = np.empty((total_blocks, spec.output_dimension), dtype=float)
+        succeeded = np.zeros(total_blocks, dtype=bool)
+        filled = np.zeros(spec.shards, dtype=bool)
+
+        qid = next(self._qids)
+        self._last_elapsed = 0.0
+        # pending: node slot -> shards it still owes an answer for.
+        pending: dict[int, set[int]] = {}
+        reassigned: set[int] = set()
+        unassigned: list[int] = []
+        for index in range(len(self._addresses)):
+            owned = self._node_shards(index)
+            if not owned:
+                continue
+            if not self._dispatch(
+                index, qid, spec, dskey, resident, owned, program_bytes
+            ):
+                unassigned.extend(owned)
+            else:
+                pending[index] = set(owned)
+        # Nodes dead before dispatch: adopt their shards immediately
+        # (they have not been tried yet, so adoption is not a retry).
+        for shard in unassigned:
+            self._adopt(
+                shard, qid, spec, dskey, resident, pending, program_bytes, registry
+            )
+
+        deadlines = {
+            index: time.monotonic() + self._node_timeout for index in pending
+        }
+        while pending:
+            self._collect_round(
+                qid, spec, bases, counts, outputs, succeeded, filled,
+                pending, deadlines, dskey, resident, reassigned,
+                program_bytes, registry,
+            )
+
+        degraded = False
+        for shard in range(spec.shards):
+            if not filled[shard] and counts[shard]:
+                outputs[bases[shard] : bases[shard + 1]] = fallback
+                registry.counter("remote.fallback_shards").inc()
+                degraded = True
+        if degraded:
+            registry.counter("remote.degraded_queries").inc()
+
+        registry.counter("remote.queries").inc()
+        registry.gauge("remote.nodes").set(len(self._addresses))
+        registry.gauge("remote.shards").set(self._shards)
+        registry.histogram("remote.dispatch_seconds").observe(
+            time.perf_counter() - started
+        )
+        registry.histogram("remote.partial_rows").observe(total_blocks)
+        summary = ShardPlanSummary(
+            num_records=spec.num_records,
+            block_size=spec.block_size,
+            resampling_factor=spec.resampling_factor,
+            num_blocks=total_blocks,
+            shards=spec.shards,
+        )
+        batch = BatchOutputs(
+            outputs=outputs, succeeded=succeeded, elapsed=self._last_elapsed
+        )
+        return summary, batch
+
+    def _dispatch(
+        self, index, qid, spec, dskey, resident, shard_list, program_bytes
+    ) -> bool:
+        """Push segments + plan + execute to one node; False if it is dead."""
+        session = self._session(index)
+        if session is None:
+            return False
+        try:
+            for shard in shard_list:
+                self._push_shard(session, dskey, resident, spec, shard)
+            header = wire.spec_to_header(spec)
+            header["qid"] = qid
+            self._observe_send(session, wire.PLAN, header)
+            self._observe_send(
+                session,
+                wire.EXECUTE,
+                {"qid": qid, "shards": [int(s) for s in shard_list]},
+                program_bytes,
+            )
+            return True
+        except wire.VersionMismatch:
+            # Not a liveness problem: a mixed-version deployment must
+            # surface loudly, never degrade into silent fallbacks.
+            raise
+        except _DEAD_PEER:
+            self._drop_session(index)
+            return False
+
+    def _collect_round(
+        self, qid, spec, bases, counts, outputs, succeeded, filled,
+        pending, deadlines, dskey, resident, reassigned,
+        program_bytes, registry,
+    ) -> None:
+        """One select round: consume ready frames, expire wedged nodes."""
+        now = time.monotonic()
+        socks = {}
+        for index in pending:
+            session = self._sessions[index]
+            if session is None:
+                self._fail_node(
+                    index, qid, spec, dskey, resident, pending,
+                    deadlines, reassigned, program_bytes, registry, filled,
+                )
+                return
+            socks[session.sock] = index
+        if not socks:
+            return
+        wait = max(0.0, min(deadlines[i] for i in pending) - now)
+        try:
+            ready, _, _ = select.select(list(socks), [], [], min(wait, 0.25))
+        except OSError:
+            ready = []
+        if not ready:
+            for index in list(pending):
+                if time.monotonic() >= deadlines[index]:
+                    # No frame within the liveness deadline: wedged.
+                    self._fail_node(
+                        index, qid, spec, dskey, resident, pending,
+                        deadlines, reassigned, program_bytes, registry, filled,
+                    )
+            return
+        for sock in ready:
+            index = socks[sock]
+            if index not in pending:
+                continue
+            session = self._sessions[index]
+            if session is None:
+                continue
+            try:
+                frame = self._observe_read(session, self._node_timeout)
+            except _DEAD_PEER:
+                self._fail_node(
+                    index, qid, spec, dskey, resident, pending,
+                    deadlines, reassigned, program_bytes, registry, filled,
+                )
+                continue
+            deadlines[index] = time.monotonic() + self._node_timeout
+            self._apply_frame(
+                index, frame, qid, spec, bases, counts,
+                outputs, succeeded, filled, pending,
+            )
+
+    def _apply_frame(
+        self, index, frame, qid, spec, bases, counts,
+        outputs, succeeded, filled, pending,
+    ) -> None:
+        header = frame.header
+        if frame.kind == wire.QUERY_DONE and int(header.get("qid", -1)) == qid:
+            # A node sends one QUERY_DONE per EXECUTE frame; an adopted
+            # shard's EXECUTE may still be queued behind this one, so
+            # the node is finished only when nothing remains owed.
+            if index in pending and not pending[index]:
+                del pending[index]
+            return
+        if frame.kind == wire.PARTIAL_MISSING and int(header.get("qid", -1)) == qid:
+            # The node cannot answer this shard; leave it for fallback.
+            shard = int(header.get("shard", -1))
+            if index in pending:
+                pending[index].discard(shard)
+            return
+        if frame.kind != wire.PARTIAL or int(header.get("qid", -1)) != qid:
+            return  # stale frame from a re-assigned-but-alive node, or chatter
+        shard = int(header["shard"])
+        if shard < 0 or shard >= spec.shards:
+            return
+        expected = int(counts[shard])
+        try:
+            shape = tuple(int(n) for n in header["shape"])
+        except (KeyError, TypeError, ValueError):
+            return
+        if shape != (expected, spec.output_dimension):
+            return  # malformed partial: treated as missing
+        matrix_bytes = expected * spec.output_dimension * 8
+        if len(frame.body) != matrix_bytes + expected:
+            return
+        partial = (
+            np.frombuffer(frame.body[:matrix_bytes], dtype="<f8")
+            .reshape(expected, spec.output_dimension)
+        )
+        mask = np.frombuffer(frame.body[matrix_bytes:], dtype=np.uint8).astype(bool)
+        base = int(bases[shard])
+        outputs[base : base + expected] = partial
+        succeeded[base : base + expected] = mask
+        filled[shard] = True
+        self._last_elapsed += float(header.get("elapsed", 0.0))
+        if index in pending:
+            pending[index].discard(shard)
+
+    def _fail_node(
+        self, index, qid, spec, dskey, resident, pending,
+        deadlines, reassigned, program_bytes, registry, filled,
+    ) -> None:
+        """Declare node ``index`` dead and re-assign its unanswered shards."""
+        self._drop_session(index)
+        orphans = sorted(pending.pop(index, set()))
+        deadlines.pop(index, None)
+        for shard in orphans:
+            if filled[shard]:
+                continue
+            if shard in reassigned:
+                continue  # one adoption per shard; next stop is fallback
+            reassigned.add(shard)
+            if self._adopt(
+                shard, qid, spec, dskey, resident, pending, program_bytes, registry
+            ):
+                registry.counter("remote.reassigned_shards").inc()
+                for adopter in pending:
+                    deadlines[adopter] = time.monotonic() + self._node_timeout
+
+    def _adopt(
+        self, shard, qid, spec, dskey, resident, pending, program_bytes, registry
+    ) -> bool:
+        """Hand one orphaned shard to a surviving (or idle) node."""
+        candidates = [i for i in pending] + [
+            i
+            for i in range(len(self._addresses))
+            if i not in pending and self._sessions[i] is not None
+        ]
+        # Deterministic adopter choice (least-loaded, ties by index) —
+        # irrelevant to released bits, but it keeps frame sequences
+        # reproducible for the fault matrix.
+        candidates.sort(key=lambda i: (len(pending.get(i, ())), i))
+        for index in candidates:
+            if self._dispatch(
+                index, qid, spec, dskey, resident, [shard], program_bytes
+            ):
+                pending.setdefault(index, set()).add(shard)
+                return True
+            # _dispatch dropped the session; its own shards will expire
+            # through the normal fail path if it was mid-query.
+        return False
+
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_NODE_TIMEOUT",
+    "LocalNodeCluster",
+    "RemoteShardBackend",
+    "local_node_cluster",
+    "parse_node_address",
+]

@@ -1,0 +1,309 @@
+"""The shard node: a standalone worker process behind a TCP socket.
+
+A node is the network analogue of the pipe-connected worker in
+:mod:`repro.runtime.shard`: it holds the raw row slices of the logical
+shards assigned to it (pushed once per ``(dataset, version)`` by the
+coordinator), plans each shard locally from ``spawn(plan_seed, S)[s]``,
+executes the analyst program, and returns *only* the clamped
+``(l_s, p)`` block-output partial and success mask.  Because it runs
+:func:`repro.runtime.shard.execute_shard_rows` — the exact kernel the
+in-process shard workers run — a remote release is bit-identical to an
+in-process sharded one at the same logical shard count.
+
+Trust model (the Lin/Wang/Rane curator setting, one step at a time): a
+node sees only its *own* shards' rows, never another node's slice, and
+the return channel is restricted to clamped block summaries — so a
+coordinator (or wire observer) learns nothing about a node's records
+beyond what the differentially private release already reveals, and a
+node learns nothing about the rest of the dataset at all.  The node
+deliberately imports no accounting machinery: budgets, ledgers and
+journals live with the coordinator's dataset manager only
+(``tests/test_shard_privacy.py`` pins this by AST).
+
+Run standalone with ``repro shard-node HOST:PORT`` (port 0 binds an
+ephemeral port; the chosen one is announced on stdout as
+``LISTENING <host> <port>`` for parent processes to scrape).
+
+Failure injection: the node passes the ``remote.node.crash`` /
+``remote.node.hang`` / ``remote.node.slow`` failpoints once per
+received message and once per outgoing partial, so the fault matrix can
+kill, wedge or slow a node at any protocol state deterministically
+(``@N`` counts frames processed, which are strictly ordered on one
+connection).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.core.plan_cache import BlockPlanCache
+from repro.observability import MetricsRegistry
+from repro.runtime.remote import wire
+from repro.runtime.shard import (
+    DEFAULT_RESIDENT_DATASETS,
+    DEFAULT_WORKER_PLAN_ENTRIES,
+    execute_shard_rows,
+)
+from repro.testing import failpoints
+
+#: Sites every message (and every outgoing partial) passes through.
+FAILPOINT_SITES = ("remote.node.crash", "remote.node.hang", "remote.node.slow")
+
+
+def _hit_failpoints() -> None:
+    for site in FAILPOINT_SITES:
+        failpoints.hit(site)
+
+
+class ShardNodeServer:
+    """Listens for one coordinator at a time and serves shard executions.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; port 0 picks an ephemeral port (the bound one is
+        available as :attr:`address` after :meth:`start`).  Ephemeral
+        binding is the anti-flake convention: tests and local clusters
+        never race for a probed port.
+    resident_datasets:
+        LRU bound on ``(dataset, version)`` entries kept in memory.
+    plan_cache_entries:
+        Shard-local plan cache size (plans + stacked materializations).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        resident_datasets: int = DEFAULT_RESIDENT_DATASETS,
+        plan_cache_entries: int = DEFAULT_WORKER_PLAN_ENTRIES,
+    ):
+        self._host = host
+        self._port = port
+        self._resident_datasets = max(1, int(resident_datasets))
+        self._plan_cache = BlockPlanCache(
+            max_entries=plan_cache_entries, metrics=MetricsRegistry()
+        )
+        self._listener: socket.socket | None = None
+        self._thread: threading.Thread | None = None
+        self._halted = threading.Event()
+        # (dataset, version) -> {shard: rows}; insertion-ordered for LRU.
+        self._segments: dict[tuple[str, int], dict[int, object]] = {}
+        # qid -> ShardQuerySpec, from PLAN frames.
+        self._plans: dict[int, object] = {}
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._listener is None:
+            raise RuntimeError("node is not listening (call start/serve_forever)")
+        return self._listener.getsockname()[:2]
+
+    def _bind(self) -> None:
+        if self._listener is not None:
+            return
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(4)
+        self._listener = listener
+
+    def start(self) -> tuple[str, int]:
+        """Bind and serve on a daemon thread (in-process test clusters)."""
+        self._bind()
+        self._thread = threading.Thread(
+            target=self._serve_loop, name="shard-node", daemon=True
+        )
+        self._thread.start()
+        return self.address
+
+    def serve_forever(self, announce=None) -> None:
+        """Bind and serve on the calling thread (the CLI entry point).
+
+        ``announce``, when given, is called with ``(host, port)`` once
+        the listener is bound — the CLI prints the ``LISTENING`` line
+        from it so parents scraping stdout never race the bind.
+        """
+        self._bind()
+        if announce is not None:
+            host, port = self.address
+            announce(host, port)
+        self._serve_loop()
+
+    def stop(self) -> None:
+        """Close the listener and unblock the serve loop; idempotent."""
+        self._halted.set()
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        if self._thread is not None and self._thread is not threading.current_thread():
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    # -- serving ---------------------------------------------------------
+    def _serve_loop(self) -> None:
+        while not self._halted.is_set():
+            listener = self._listener
+            if listener is None:
+                return
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            try:
+                self._serve_connection(conn)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            frame = wire.read_frame(conn)
+        except wire.FrameError:
+            return
+        if frame.kind != wire.HELLO:
+            self._refuse(conn, "expected hello")
+            return
+        theirs = int(frame.header.get("protocol", -1))
+        if theirs != wire.REMOTE_PROTOCOL_VERSION:
+            self._refuse(
+                conn,
+                f"protocol version mismatch: coordinator v{theirs}, "
+                f"node v{wire.REMOTE_PROTOCOL_VERSION}",
+                code="version_mismatch",
+            )
+            return
+        wire.send_frame(
+            conn,
+            wire.WELCOME,
+            {"protocol": wire.REMOTE_PROTOCOL_VERSION, "shards_held": 0},
+        )
+        while not self._halted.is_set():
+            try:
+                frame = wire.read_frame(conn)
+            except wire.FrameError:
+                return  # dead or torn stream: drop the session
+            _hit_failpoints()
+            try:
+                if not self._handle(conn, frame):
+                    return
+            except wire.FrameError as exc:
+                self._refuse(conn, str(exc))
+                return
+            except (OSError, failpoints.FailpointError):
+                return
+
+    def _handle(self, conn: socket.socket, frame: wire.Frame) -> bool:
+        """Process one post-handshake frame; False ends the session."""
+        kind = frame.kind
+        if kind == wire.SEGMENT:
+            self._store_segment(frame)
+            return True
+        if kind == wire.PLAN:
+            self._plans[int(frame.header["qid"])] = wire.header_to_spec(frame.header)
+            return True
+        if kind == wire.EXECUTE:
+            self._execute(conn, frame)
+            return True
+        if kind == wire.PING:
+            wire.send_frame(conn, wire.PONG, {"token": frame.header.get("token", 0)})
+            return True
+        if kind == wire.SHUTDOWN:
+            if frame.header.get("halt"):
+                self._halted.set()
+            try:
+                wire.send_frame(conn, wire.BYE, {})
+            except OSError:
+                pass
+            return False
+        self._refuse(conn, f"unexpected message kind {frame.kind_name!r}")
+        return False
+
+    def _store_segment(self, frame: wire.Frame) -> None:
+        header = frame.header
+        rows = wire.body_to_array(header, frame.body)
+        rows.setflags(write=False)
+        dskey = (str(header["dataset"]), int(header["version"]))
+        shards = self._segments.setdefault(dskey, {})
+        shards[int(header["shard"])] = rows
+        # LRU by dataset: move the touched entry last, evict the oldest.
+        self._segments[dskey] = self._segments.pop(dskey)
+        while len(self._segments) > self._resident_datasets:
+            del self._segments[next(iter(self._segments))]
+
+    def _execute(self, conn: socket.socket, frame: wire.Frame) -> None:
+        qid = int(frame.header["qid"])
+        spec = self._plans.get(qid)
+        program_bytes = frame.body
+        for shard in [int(s) for s in frame.header["shards"]]:
+            if spec is None:
+                wire.send_frame(
+                    conn, wire.PARTIAL_MISSING,
+                    {"qid": qid, "shard": shard, "reason": "no_plan"},
+                )
+                continue
+            rows = self._segments.get((spec.dataset, spec.version), {}).get(shard)
+            if rows is None:
+                wire.send_frame(
+                    conn, wire.PARTIAL_MISSING,
+                    {"qid": qid, "shard": shard, "reason": "no_segment"},
+                )
+                continue
+            outputs, succeeded, elapsed = execute_shard_rows(
+                rows, spec, shard, program_bytes, self._plan_cache
+            )
+            meta, body = wire.array_to_body(outputs)
+            _hit_failpoints()
+            wire.send_frame(
+                conn,
+                wire.PARTIAL,
+                {
+                    "qid": qid,
+                    "shard": shard,
+                    "shape": meta["shape"],
+                    "elapsed": float(elapsed),
+                },
+                body + wire.mask_to_bytes(succeeded),
+            )
+        wire.send_frame(conn, wire.QUERY_DONE, {"qid": qid})
+        # Plans are per-query; drop them once answered so a long-lived
+        # node does not accumulate one spec per qid forever.  Re-executes
+        # after re-assignment ship a fresh PLAN first.
+        self._plans.pop(qid, None)
+
+    def _refuse(self, conn: socket.socket, message: str, code: str = "protocol_error"):
+        try:
+            wire.send_frame(conn, wire.ERROR, {"code": code, "error": message})
+        except OSError:
+            pass
+
+
+def main(argv: list[str]) -> int:
+    """``repro shard-node HOST:PORT`` — run one node until halted."""
+    if len(argv) != 1:
+        print("usage: repro shard-node HOST:PORT", flush=True)
+        return 2
+    host, _, port_text = argv[0].rpartition(":")
+    if not host or not port_text:
+        print("usage: repro shard-node HOST:PORT", flush=True)
+        return 2
+    node = ShardNodeServer(host=host, port=int(port_text))
+    try:
+        node.serve_forever(
+            announce=lambda h, p: print(f"LISTENING {h} {p}", flush=True)
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive use
+        pass
+    finally:
+        node.stop()
+    return 0
+
+
+__all__ = ["FAILPOINT_SITES", "ShardNodeServer", "main"]

@@ -226,6 +226,7 @@ class GuptService:
         workers: int | None = None,
         batch_size: int | None = None,
         shards: int | None = None,
+        nodes: int | list | None = None,
         scheduler_workers: int = 4,
         max_inflight: int = 8,
         queue_depth: int = 64,
@@ -258,6 +259,7 @@ class GuptService:
             workers=workers,
             batch_size=batch_size,
             shards=shards,
+            nodes=nodes,
             plan_cache_size=plan_cache_size,
             answer_cache_size=answer_cache_size,
         )

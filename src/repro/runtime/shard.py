@@ -113,8 +113,8 @@ class ShardQuerySpec:
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
-def _execute_shard(
-    values: np.ndarray,
+def execute_shard_rows(
+    local_values: np.ndarray,
     spec: ShardQuerySpec,
     shard: int,
     program_bytes: bytes,
@@ -122,12 +122,14 @@ def _execute_shard(
 ) -> tuple[np.ndarray, np.ndarray, float]:
     """Plan, materialize and run one logical shard; returns its partial.
 
-    ``values`` is the worker's read-only view of the *full* dataset
-    segment; the shard touches only its contiguous slice.  The returned
-    outputs are already clamped when the spec carries ranges.
+    ``local_values`` is exactly the shard's contiguous row slice (the
+    caller slices from a full segment, or a remote node holds only this
+    slice to begin with).  The shard-local plan is a pure function of
+    ``(plan_seed, shards, shard)``, so every executor of this function —
+    an in-process shard worker, a remote node, a degrade replay —
+    computes the identical partial.  The returned outputs are already
+    clamped when the spec carries ranges.
     """
-    offsets = shard_offsets(spec.num_records, spec.shards)
-    local_values = values[int(offsets[shard]) : int(offsets[shard + 1])]
     num_local = int(local_values.shape[0])
     key = PlanKey(
         dataset=spec.dataset,
@@ -179,6 +181,19 @@ def _execute_shard(
             np.asarray(spec.clamp_hi, dtype=float),
         )
     return outputs, batch.succeeded, batch.elapsed
+
+
+def _execute_shard(
+    values: np.ndarray,
+    spec: ShardQuerySpec,
+    shard: int,
+    program_bytes: bytes,
+    plan_cache: BlockPlanCache,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Slice one shard out of the full segment and execute it."""
+    offsets = shard_offsets(spec.num_records, spec.shards)
+    local_values = values[int(offsets[shard]) : int(offsets[shard + 1])]
+    return execute_shard_rows(local_values, spec, shard, program_bytes, plan_cache)
 
 
 def _shard_worker(conn) -> None:
@@ -626,4 +641,5 @@ __all__ = [
     "ShardQuerySpec",
     "DEFAULT_RESIDENT_DATASETS",
     "DEFAULT_WORKER_PLAN_ENTRIES",
+    "execute_shard_rows",
 ]

@@ -13,6 +13,14 @@ costing one dictionary lookup.  A test arms a site with a *mode*:
 * ``error`` — raise :class:`FailpointError` at the site, exercising the
   in-process error-handling path (journal write failures must fail
   closed, never open).
+* ``hang`` — block at the site for :data:`HANG_SECONDS` (effectively
+  forever at test scale).  This is the "process is alive but wedged"
+  failure shape that distinguishes liveness detection (heartbeats,
+  progress deadlines) from crash detection: a hung shard node keeps its
+  TCP connection open and simply stops answering.
+* ``slow`` — sleep :data:`SLOW_SECONDS` at the site, then continue
+  normally.  Models a degraded-but-correct peer; the distributed suite
+  uses it to prove slowness alone never changes released bits.
 
 Sites are armed through the API (:func:`arm`) or, for subprocess tests,
 through the :data:`ENV_VAR` environment variable::
@@ -36,6 +44,7 @@ from __future__ import annotations
 import os
 import sys
 import threading
+import time
 
 from repro.exceptions import GuptError
 
@@ -47,7 +56,14 @@ ENV_VAR = "REPRO_FAILPOINTS"
 #: signal deaths (negative returncodes under :mod:`subprocess`).
 CRASH_EXIT_CODE = 73
 
-_MODES = ("crash", "error")
+#: ``hang`` sleeps this long — far beyond any test's liveness deadline,
+#: short enough that an orphaned sleeper cannot outlive a CI job.
+HANG_SECONDS = 600.0
+
+#: ``slow`` delays this long, then lets the site proceed normally.
+SLOW_SECONDS = 0.25
+
+_MODES = ("crash", "error", "hang", "slow")
 
 
 class FailpointError(GuptError):
@@ -99,7 +115,7 @@ def _arm_locked(site: str, mode_spec: str) -> None:
     if not site or mode not in _MODES or fire_on_hit < 1:
         raise GuptError(
             f"bad failpoint spec {site!r}={mode_spec!r} "
-            f"(expected site=crash|error[@N], N >= 1)"
+            f"(expected site=crash|error|hang|slow[@N], N >= 1)"
         )
     _armed[site] = _Failpoint(site, mode, _hits.get(site, 0) + fire_on_hit)
 
@@ -159,6 +175,12 @@ def hit(site: str) -> None:
         mode = point.mode
     if mode == "crash":
         _crash(site)
+    if mode == "hang":
+        time.sleep(HANG_SECONDS)
+        return
+    if mode == "slow":
+        time.sleep(SLOW_SECONDS)
+        return
     raise FailpointError(site)
 
 

@@ -243,55 +243,69 @@ class TestServeHttp:
     ]
 
     def _serve_and_query(self, ages_csv, extra):
-        import socket
-        import threading
-        import time
+        """Serve over HTTP in a subprocess on an *ephemeral* port.
+
+        Anti-flake convention (see DESIGN.md): the server binds port 0
+        and announces the kernel-chosen port on stdout after the listener
+        is up; the test blocks on that line instead of probing a
+        pre-picked port (a TOCTOU race) or polling ``healthz`` in a
+        sleep loop.
+        """
+        import os
+        import subprocess
+        import sys
 
         from repro.server import protocol
         from repro.server.client import GuptClient
 
-        probe = socket.socket()
-        probe.bind(("127.0.0.1", 0))
-        port = probe.getsockname()[1]
-        probe.close()
-
-        codes = []
-        thread = threading.Thread(
-            target=lambda: codes.append(main([
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        )
+        env = {
+            **os.environ,
+            "PYTHONPATH": os.pathsep.join(
+                p for p in (src, os.environ.get("PYTHONPATH")) if p
+            ),
+        }
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro",
                 "serve", "--data", str(ages_csv),
-                "--http", f"127.0.0.1:{port}",
+                "--http", "127.0.0.1:0",
                 "--http-seconds", "4", "--admin-token", "matrix-admin",
                 "--budget", "10.0", "--seed", "1", *extra,
-            ])),
-            daemon=True,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
         )
-        thread.start()
-        client = None
-        deadline = time.monotonic() + 15.0
-        while time.monotonic() < deadline:
-            try:
-                candidate = GuptClient("127.0.0.1", port)
-                candidate.healthz()
-                client = candidate
-                break
-            except OSError:
-                time.sleep(0.05)
-        assert client is not None, "front door never came up"
         try:
-            token = client.enroll("analyst", "matrix", "matrix-admin")
-            analyst = GuptClient("127.0.0.1", port, token=token)
+            # Blocks until the server prints its bound address — which
+            # happens strictly after the listener accepts connections.
+            line = process.stdout.readline().strip()
+            assert line.startswith("front door"), f"unexpected announce: {line!r}"
+            port = int(line.rsplit(":", 1)[1])
+            client = GuptClient("127.0.0.1", port)
             try:
-                body = protocol.query_request_to_wire(
-                    "cli", {"name": "mean"}, [(0.0, 150.0)],
-                    epsilon=0.5, seed=7,
-                )
-                response = analyst.result(analyst.submit(body), timeout=15)
+                token = client.enroll("analyst", "matrix", "matrix-admin")
+                analyst = GuptClient("127.0.0.1", port, token=token)
+                try:
+                    body = protocol.query_request_to_wire(
+                        "cli", {"name": "mean"}, [(0.0, 150.0)],
+                        epsilon=0.5, seed=7,
+                    )
+                    response = analyst.result(analyst.submit(body), timeout=15)
+                finally:
+                    analyst.close()
             finally:
-                analyst.close()
+                client.close()
+            code = process.wait(timeout=30)
         finally:
-            client.close()
-        thread.join(timeout=30)
-        assert codes == [0], f"serve --http exited {codes} for {extra}"
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=5.0)
+        assert code == 0, f"serve --http exited {code} for {extra}"
         assert response is not None and response.ok, response
         return tuple(response.value)
 

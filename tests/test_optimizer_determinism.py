@@ -46,7 +46,7 @@ EPSILON = 0.5
 BLOCK_SIZE = 50
 NUM_RECORDS = 1_000
 
-BACKENDS = [None, "thread", "pool", "vectorized", "sharded"]
+BACKENDS = [None, "thread", "pool", "vectorized", "sharded", "remote"]
 
 
 def _values() -> np.ndarray:
@@ -98,7 +98,15 @@ class TestAnswerCacheMatrix:
         assert len(releases) == 1
 
 
+#: Set by ``slow_mean`` on its first block: the event-based signal that
+#: the scheduler's single worker has actually taken the blocker query
+#: (replacing a poll-and-sleep loop on the scheduler state — see the
+#: DESIGN.md testing section).
+BLOCKER_STARTED = threading.Event()
+
+
 def slow_mean(block: np.ndarray) -> float:
+    BLOCKER_STARTED.set()
     time.sleep(0.005)
     return float(np.mean(block))
 
@@ -124,18 +132,18 @@ class TestServiceFusionMatrix:
                 DataTable(_values(), input_ranges=[(0.0, 100.0)]),
                 100.0,
             )
+            BLOCKER_STARTED.clear()
             blocker = service.submit(analyst, QueryRequest(
                 dataset="blocker", program=slow_mean,
                 range_strategy=TightRange((0.0, 100.0)),
                 epsilon=EPSILON, output_dimension=1, block_size=BLOCK_SIZE,
             ))
-            # Let the single worker take the blocker so the seeded
-            # queries below all queue up behind it — adjacent in the
-            # dataset FIFO, which is what fusion coalesces.
-            deadline = time.monotonic() + 5.0
-            while (service.scheduler.state(blocker) == "queued"
-                   and time.monotonic() < deadline):
-                time.sleep(0.002)
+            # Wait until the single worker has actually taken the
+            # blocker (its program signals from inside the first block),
+            # so the seeded queries below all queue up behind it —
+            # adjacent in the dataset FIFO, which is what fusion
+            # coalesces.
+            assert BLOCKER_STARTED.wait(5.0), "blocker never started running"
             handles = [
                 service.submit(analyst, QueryRequest(
                     dataset="data", program=Mean(),

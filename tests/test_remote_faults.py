@@ -1,0 +1,359 @@
+"""Seeded fault-injection matrix for the remote shard backend.
+
+Every test in this file injects a deterministic failure — a node killed,
+wedged, or slowed at an exact protocol state via the ``remote.node.*``
+failpoints, or a coordinator-side send failure via ``remote.send.*`` —
+and then asserts one of exactly two permitted outcomes:
+
+* **bit-identical**: surviving nodes adopted the orphaned shards and
+  replayed ``spawn(plan_seed, S)[s]``, so the released outputs equal a
+  healthy run byte for byte; or
+* **finite degrade**: no node could answer a shard, so its rows are the
+  query's *data-independent* fallback and the query is flagged in
+  telemetry.
+
+A raised exception that could leak raw data is never a permitted
+outcome.
+
+Node-side failpoints count frames processed after the handshake
+(strictly ordered on one connection), so ``@N`` targets an exact
+protocol state.  For the victim node here (2 shards): hit 1-2 are its
+SEGMENT frames, 3 the PLAN, 4 the EXECUTE, 5-6 fire just before each
+outgoing PARTIAL.  Victims run as subprocesses (armed through the
+``REPRO_FAILPOINTS`` environment), so a ``crash`` is a genuinely dead
+peer and never takes the test process with it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.estimators.statistics import Mean
+from repro.observability import MetricsRegistry
+from repro.runtime.remote import RemoteShardBackend
+from repro.runtime.shard import ShardQuerySpec, ShardedExecutionBackend
+from repro.testing import failpoints
+
+SRC_PATH = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+SEED = 424242
+SHARDS = 4
+FALLBACK = -1.0  # outside the data range [0, 100]: fallback rows are unmistakable
+
+SPEC = ShardQuerySpec(
+    dataset="fault-data",
+    version=1,
+    num_records=400,
+    block_size=20,
+    resampling_factor=1,
+    plan_seed=97,
+    shards=SHARDS,
+    output_dimension=1,
+    fallback=(FALLBACK,),
+    clamp_lo=(0.0,),
+    clamp_hi=(100.0,),
+)
+
+PROGRAM = pickle.dumps(Mean())
+
+
+def _values() -> np.ndarray:
+    return np.random.default_rng(SEED).uniform(0.0, 100.0, size=(SPEC.num_records, 1))
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    failpoints.reset()
+    yield
+    failpoints.reset()
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """The healthy release: outputs from the in-process sharded engine.
+
+    Using the *in-process* backend as the golden makes every
+    bit-identical assertion below also a cross-transport determinism
+    check, not just remote-vs-remote.
+    """
+    backend = ShardedExecutionBackend(shards=SHARDS, metrics=MetricsRegistry())
+    try:
+        _, batch = backend.run_sharded(PROGRAM, _values(), SPEC)
+    finally:
+        backend.close()
+    assert batch.succeeded.all(), "baseline must succeed on every block"
+    return batch.outputs.copy()
+
+
+def _spawn_victim(arming: str) -> tuple[subprocess.Popen, str]:
+    """Start one subprocess shard node with ``REPRO_FAILPOINTS`` armed."""
+    env = {
+        **os.environ,
+        "PYTHONPATH": os.pathsep.join(
+            p for p in (SRC_PATH, os.environ.get("PYTHONPATH")) if p
+        ),
+        failpoints.ENV_VAR: arming,
+    }
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "shard-node", "127.0.0.1:0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    line = process.stdout.readline().strip()
+    parts = line.split()
+    assert parts and parts[0] == "LISTENING", f"victim failed to start: {line!r}"
+    return process, f"{parts[1]}:{parts[2]}"
+
+
+def _run_with_victim(arming: str, node_timeout: float) -> tuple[np.ndarray, np.ndarray, MetricsRegistry]:
+    """One query against [armed victim, healthy thread node]."""
+    victim, victim_address = _spawn_victim(arming)
+    metrics = MetricsRegistry()
+    try:
+        from repro.runtime.remote import ShardNodeServer
+
+        healthy = ShardNodeServer()
+        host, port = healthy.start()
+        try:
+            backend = RemoteShardBackend(
+                shards=SHARDS,
+                nodes=[victim_address, f"{host}:{port}"],
+                metrics=metrics,
+                heartbeat_interval=None,
+                node_timeout=node_timeout,
+            )
+            try:
+                _, batch = backend.run_sharded(PROGRAM, _values(), SPEC)
+            finally:
+                backend.close()
+        finally:
+            healthy.stop()
+    finally:
+        victim.kill()
+        victim.wait(timeout=5.0)
+    return batch.outputs, batch.succeeded, metrics
+
+
+#: Protocol states of the victim node (2 shards), by failpoint hit count.
+PROTOCOL_STATES = {
+    "registration-first-segment": 1,
+    "dispatch-plan": 3,
+    "dispatch-execute": 4,
+    "combine-before-first-partial": 5,
+    "combine-between-partials": 6,
+}
+
+
+class TestNodeCrashMatrix:
+    """kill -9 the victim at every protocol state: outputs never change."""
+
+    @pytest.mark.parametrize("state", sorted(PROTOCOL_STATES))
+    def test_crash_is_absorbed_bit_identically(self, state, baseline):
+        hit = PROTOCOL_STATES[state]
+        outputs, succeeded, metrics = _run_with_victim(
+            f"remote.node.crash=crash@{hit}", node_timeout=10.0
+        )
+        np.testing.assert_array_equal(outputs, baseline)
+        assert succeeded.all()
+        assert metrics.counter("remote.node_deaths").value >= 1
+        assert metrics.counter("remote.degraded_queries").value == 0
+        reassigned = metrics.counter("remote.reassigned_shards").value
+        if state == "combine-between-partials":
+            # The victim delivered its first PARTIAL before dying: only
+            # the second shard needs a new home.
+            assert reassigned == 1
+        elif state in ("dispatch-execute", "combine-before-first-partial"):
+            # Dispatch demonstrably completed (the victim processed the
+            # EXECUTE), so both its shards go through re-assignment.
+            assert reassigned == 2
+        else:
+            # Early crashes race TCP buffering: the coordinator may see
+            # the death during dispatch (shards adopted pre-assignment,
+            # not counted as re-assigned) or during collect (counted).
+            assert reassigned in (0, 2)
+
+
+class TestNodeHangMatrix:
+    """A wedged node (alive TCP, no frames) trips the liveness deadline."""
+
+    @pytest.mark.parametrize(
+        "state",
+        ["registration-first-segment", "dispatch-execute", "combine-before-first-partial"],
+    )
+    def test_hang_is_absorbed_bit_identically(self, state, baseline):
+        hit = PROTOCOL_STATES[state]
+        outputs, succeeded, metrics = _run_with_victim(
+            f"remote.node.hang=hang@{hit}", node_timeout=1.0
+        )
+        np.testing.assert_array_equal(outputs, baseline)
+        assert succeeded.all()
+        assert metrics.counter("remote.node_deaths").value >= 1
+        assert metrics.counter("remote.reassigned_shards").value == 2
+        assert metrics.counter("remote.degraded_queries").value == 0
+
+
+class TestNodeSlowMatrix:
+    """Slowness alone must never change bits or trigger re-assignment."""
+
+    @pytest.mark.parametrize("state", ["dispatch-execute", "combine-between-partials"])
+    def test_slow_node_changes_nothing(self, state, baseline):
+        hit = PROTOCOL_STATES[state]
+        outputs, succeeded, metrics = _run_with_victim(
+            f"remote.node.slow=slow@{hit}",
+            node_timeout=max(10.0, failpoints.SLOW_SECONDS * 40),
+        )
+        np.testing.assert_array_equal(outputs, baseline)
+        assert succeeded.all()
+        assert metrics.counter("remote.node_deaths").value == 0
+        assert metrics.counter("remote.reassigned_shards").value == 0
+
+
+class TestCoordinatorSendFaults:
+    """Injected failures on the coordinator's own sends.
+
+    Nodes are subprocesses here so the in-process failpoints hit *only*
+    coordinator writes, keeping ``@N`` deterministic.  The coordinator's
+    send sequence for two nodes is: HELLO(1), SEGMENT(2), SEGMENT(3),
+    PLAN(4), EXECUTE(5) to node 0, then HELLO(6) ... EXECUTE(10) to
+    node 1.
+    """
+
+    @pytest.mark.parametrize("site", ["remote.send.pre", "remote.send.torn", "remote.send.post"])
+    @pytest.mark.parametrize("hit", [2, 4, 5], ids=["segment", "plan", "execute"])
+    def test_send_fault_is_absorbed_bit_identically(self, site, hit, baseline):
+        metrics = MetricsRegistry()
+        backend = RemoteShardBackend(
+            shards=SHARDS,
+            nodes=2,
+            node_spawn="process",
+            metrics=metrics,
+            heartbeat_interval=None,
+            node_timeout=10.0,
+        )
+        try:
+            failpoints.arm(site, "error", fire_on_hit=hit)
+            _, batch = backend.run_sharded(PROGRAM, _values(), SPEC)
+        finally:
+            failpoints.reset()
+            backend.close()
+        np.testing.assert_array_equal(batch.outputs, baseline)
+        assert batch.succeeded.all()
+        assert metrics.counter("remote.degraded_queries").value == 0
+
+
+class TestQuorumDegrade:
+    """No node can answer: finite, data-independent fallback — no raise."""
+
+    def test_unreachable_cluster_degrades_to_fallback(self, baseline):
+        metrics = MetricsRegistry()
+        # Nobody listens on these ports: every dial fails instantly.
+        backend = RemoteShardBackend(
+            shards=SHARDS,
+            nodes=["127.0.0.1:1", "127.0.0.1:2"],
+            metrics=metrics,
+            heartbeat_interval=None,
+            node_timeout=1.0,
+        )
+        try:
+            _, batch = backend.run_sharded(PROGRAM, _values(), SPEC)
+        finally:
+            backend.close()
+        assert not batch.succeeded.any()
+        np.testing.assert_array_equal(
+            batch.outputs, np.full_like(batch.outputs, FALLBACK)
+        )
+        assert metrics.counter("remote.degraded_queries").value == 1
+        assert metrics.counter("remote.fallback_shards").value == SHARDS
+
+    def test_whole_cluster_crash_degrades_to_fallback(self, baseline):
+        # Every node crashes on its first frame: dispatch, adoption and
+        # retry all fail, and every shard resolves to fallback.
+        metrics = MetricsRegistry()
+        victims = [_spawn_victim("remote.node.crash=crash@1") for _ in range(2)]
+        try:
+            backend = RemoteShardBackend(
+                shards=SHARDS,
+                nodes=[address for _, address in victims],
+                metrics=metrics,
+                heartbeat_interval=None,
+                node_timeout=5.0,
+            )
+            try:
+                _, batch = backend.run_sharded(PROGRAM, _values(), SPEC)
+            finally:
+                backend.close()
+        finally:
+            for process, _ in victims:
+                process.kill()
+                process.wait(timeout=5.0)
+        assert not batch.succeeded.any()
+        np.testing.assert_array_equal(
+            batch.outputs, np.full_like(batch.outputs, FALLBACK)
+        )
+        assert metrics.counter("remote.degraded_queries").value == 1
+        assert metrics.counter("remote.fallback_shards").value == SHARDS
+
+
+class TestRecoveryBetweenQueries:
+    """Death between queries: heartbeat detection, re-dial, re-push."""
+
+    def test_heartbeat_detects_dead_node(self):
+        victim, victim_address = _spawn_victim("")  # healthy, no arming
+        metrics = MetricsRegistry()
+        backend = RemoteShardBackend(
+            shards=SHARDS,
+            nodes=[victim_address],
+            metrics=metrics,
+            heartbeat_interval=None,
+            node_timeout=2.0,
+        )
+        try:
+            _, batch = backend.run_sharded(PROGRAM, _values(), SPEC)
+            assert batch.succeeded.all()
+            assert backend.heartbeat_once() == [True]
+            victim.kill()
+            victim.wait(timeout=5.0)
+            assert backend.heartbeat_once() == [False]
+            assert metrics.counter("remote.node_deaths").value == 1
+            # The dropped slot reports dead without re-dialing...
+            assert backend.heartbeat_once() == [False]
+        finally:
+            backend.close()
+            if victim.poll() is None:
+                victim.kill()
+                victim.wait(timeout=5.0)
+
+    def test_query_after_node_death_reconnects_and_repushes(self, baseline):
+        metrics = MetricsRegistry()
+        backend = RemoteShardBackend(
+            shards=SHARDS,
+            nodes=2,
+            node_spawn="process",
+            metrics=metrics,
+            heartbeat_interval=None,
+            node_timeout=10.0,
+        )
+        try:
+            _, first = backend.run_sharded(PROGRAM, _values(), SPEC)
+            assert first.succeeded.all()
+            # Kill node 0 between queries; the next dispatch re-dials,
+            # fails, and hands its shards to the survivor with a fresh
+            # segment push.
+            backend._cluster._processes[0].kill()
+            backend._cluster._processes[0].wait(timeout=5.0)
+            backend._drop_session(0)
+            _, second = backend.run_sharded(PROGRAM, _values(), SPEC)
+        finally:
+            backend.close()
+        np.testing.assert_array_equal(first.outputs, baseline)
+        np.testing.assert_array_equal(second.outputs, baseline)
+        assert second.succeeded.all()
+        assert metrics.counter("remote.degraded_queries").value == 0

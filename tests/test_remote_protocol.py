@@ -1,0 +1,536 @@
+"""Wire-protocol conformance suite for the shard-node transport.
+
+The frames in :data:`GOLDEN_FRAMES` are pinned at the *byte* level: each
+entry records the exact hex a frame serialized to when the protocol was
+frozen at v1.  If any of these tests fail after a change to
+``repro.runtime.remote.wire``, the change is a breaking protocol change
+and requires bumping ``REMOTE_PROTOCOL_VERSION`` — not updating the
+goldens in place.
+
+Alongside the goldens, this suite pins the failure half of the
+contract: version-mismatch rejection, torn/truncated-frame rejection,
+CRC corruption detection, and the handshake behaviour of a live
+in-thread :class:`~repro.runtime.remote.node.ShardNodeServer`.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.runtime.remote import wire
+from repro.runtime.remote.node import ShardNodeServer
+from repro.runtime.shard import ShardQuerySpec
+
+# ----------------------------------------------------------------------
+# Pinned protocol constants
+# ----------------------------------------------------------------------
+
+#: Kind numbers are wire format.  Renumbering is a protocol break.
+PINNED_KINDS = {
+    "hello": 1,
+    "welcome": 2,
+    "segment": 3,
+    "plan": 4,
+    "execute": 5,
+    "partial": 6,
+    "partial-missing": 7,
+    "query-done": 8,
+    "ping": 9,
+    "pong": 10,
+    "shutdown": 11,
+    "bye": 12,
+    "error": 13,
+}
+
+#: ``(kind, header, body, hex)`` — one representative frame per kind,
+#: serialized by v1 of the protocol.  The hex is the full frame
+#: including magic, prefix, canonical-JSON header, body, and CRC.
+GOLDEN_FRAMES = {
+    "hello": (
+        wire.HELLO,
+        {"protocol": 1},
+        b"",
+        "47534e31010001000e00000000000000000000007b2270726f746f636f6c223a"
+        "317d35cf2ff3",
+    ),
+    "welcome": (
+        wire.WELCOME,
+        {"protocol": 1, "shards_held": 0},
+        b"",
+        "47534e31010002001e00000000000000000000007b2270726f746f636f6c223a"
+        "312c227368617264735f68656c64223a307d09b8d243",
+    ),
+    "segment": (
+        wire.SEGMENT,
+        {"dataset": "data", "version": 1, "shard": 0, "shape": [2, 1]},
+        b"\x00\x00\x00\x00\x00\x00\xf8?\x00\x00\x00\x00\x00\x00\x04@",
+        "47534e31010003003600000010000000000000007b2264617461736574223a22"
+        "64617461222c227368617065223a5b322c315d2c227368617264223a302c2276"
+        "657273696f6e223a317d000000000000f83f0000000000000440f0ba5efc",
+    ),
+    "plan": (
+        wire.PLAN,
+        {
+            "dataset": "data",
+            "version": 1,
+            "num_records": 100,
+            "block_size": 10,
+            "resampling_factor": 1,
+            "plan_seed": 424242,
+            "shards": 2,
+            "output_dimension": 1,
+            "fallback": [0.0],
+            "clamp_lo": [0.0],
+            "clamp_hi": [100.0],
+            "qid": 1,
+        },
+        b"",
+        "47534e3101000400c600000000000000000000007b22626c6f636b5f73697a65"
+        "223a31302c22636c616d705f6869223a5b3130302e305d2c22636c616d705f6c"
+        "6f223a5b302e305d2c2264617461736574223a2264617461222c2266616c6c62"
+        "61636b223a5b302e305d2c226e756d5f7265636f726473223a3130302c226f75"
+        "747075745f64696d656e73696f6e223a312c22706c616e5f73656564223a3432"
+        "343234322c22716964223a312c22726573616d706c696e675f666163746f7222"
+        "3a312c22736861726473223a322c2276657273696f6e223a317dce95950e",
+    ),
+    "execute": (
+        wire.EXECUTE,
+        {"qid": 1, "shards": [0, 1]},
+        b"\x80\x04N.",
+        "47534e31010005001800000004000000000000007b22716964223a312c227368"
+        "61726473223a5b302c315d7d80044e2e77ce1ec8",
+    ),
+    "partial": (
+        wire.PARTIAL,
+        {"qid": 1, "shard": 0, "shape": [2, 1], "elapsed": 0.0},
+        b"\x00\x00\x00\x00\x00\x00\x08@\x00\x00\x00\x00\x00\x00\x10@\x01\x01",
+        "47534e31010006002f00000012000000000000007b22656c6170736564223a30"
+        "2e302c22716964223a312c227368617065223a5b322c315d2c22736861726422"
+        "3a307d00000000000008400000000000001040010188586835",
+    ),
+    "partial-missing": (
+        wire.PARTIAL_MISSING,
+        {"qid": 1, "shard": 1, "reason": "no_segment"},
+        b"",
+        "47534e31010007002900000000000000000000007b22716964223a312c227265"
+        "61736f6e223a226e6f5f7365676d656e74222c227368617264223a317db12502"
+        "3c",
+    ),
+    "query-done": (
+        wire.QUERY_DONE,
+        {"qid": 1},
+        b"",
+        "47534e31010008000900000000000000000000007b22716964223a317d2c3608"
+        "fd",
+    ),
+    "ping": (
+        wire.PING,
+        {"token": 7},
+        b"",
+        "47534e31010009000b00000000000000000000007b22746f6b656e223a377d58"
+        "f3fbd3",
+    ),
+    "pong": (
+        wire.PONG,
+        {"token": 7},
+        b"",
+        "47534e3101000a000b00000000000000000000007b22746f6b656e223a377d0b"
+        "4516e6",
+    ),
+    "shutdown": (
+        wire.SHUTDOWN,
+        {"halt": True},
+        b"",
+        "47534e3101000b000d00000000000000000000007b2268616c74223a74727565"
+        "7d1ec793d0",
+    ),
+    "bye": (
+        wire.BYE,
+        {},
+        b"",
+        "47534e3101000c000200000000000000000000007b7d75c37a2c",
+    ),
+    "error": (
+        wire.ERROR,
+        {"code": "protocol_error", "error": "expected hello"},
+        b"",
+        "47534e3101000d003200000000000000000000007b22636f6465223a2270726f"
+        "746f636f6c5f6572726f72222c226572726f72223a2265787065637465642068"
+        "656c6c6f227d9339b6e8",
+    ),
+}
+
+
+def _spec(**overrides) -> ShardQuerySpec:
+    fields = dict(
+        dataset="data",
+        version=1,
+        num_records=100,
+        block_size=10,
+        resampling_factor=1,
+        plan_seed=424242,
+        shards=2,
+        output_dimension=1,
+        fallback=(0.0,),
+        clamp_lo=(0.0,),
+        clamp_hi=(100.0,),
+    )
+    fields.update(overrides)
+    return ShardQuerySpec(**fields)
+
+
+class TestPinnedConstants:
+    def test_kind_numbers_are_pinned(self):
+        for name, number in PINNED_KINDS.items():
+            assert wire.KIND_NAMES[number] == name
+
+    def test_no_unpinned_kinds_exist(self):
+        assert sorted(wire.KIND_NAMES) == sorted(PINNED_KINDS.values())
+
+    def test_magic_and_version(self):
+        assert wire.REMOTE_MAGIC == b"GSN1"
+        assert wire.REMOTE_PROTOCOL_VERSION == 1
+
+    def test_node_to_coordinator_allowlist(self):
+        # The privacy boundary: the untrusted return channel may only
+        # carry these kinds.  Raw rows (SEGMENT) and executable plans
+        # must never be legal node -> coordinator traffic.
+        assert wire.NODE_TO_COORDINATOR_KINDS == frozenset(
+            {
+                wire.WELCOME,
+                wire.PARTIAL,
+                wire.PARTIAL_MISSING,
+                wire.QUERY_DONE,
+                wire.PONG,
+                wire.BYE,
+                wire.ERROR,
+            }
+        )
+        assert wire.SEGMENT not in wire.NODE_TO_COORDINATOR_KINDS
+        assert wire.PLAN not in wire.NODE_TO_COORDINATOR_KINDS
+        assert wire.EXECUTE not in wire.NODE_TO_COORDINATOR_KINDS
+        assert wire.HELLO not in wire.NODE_TO_COORDINATOR_KINDS
+
+
+class TestGoldenFrames:
+    @pytest.mark.parametrize("name", sorted(GOLDEN_FRAMES))
+    def test_encode_matches_golden(self, name):
+        kind, header, body, golden = GOLDEN_FRAMES[name]
+        assert wire.encode_frame(kind, header, body).hex() == golden
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_FRAMES))
+    def test_decode_golden_round_trips(self, name):
+        kind, header, body, golden = GOLDEN_FRAMES[name]
+        frame = wire.decode_frame(bytes.fromhex(golden))
+        assert frame.kind == kind
+        assert dict(frame.header) == header
+        assert frame.body == body
+        assert frame.kind_name == name
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_FRAMES))
+    def test_socket_round_trip(self, name):
+        kind, header, body, golden = GOLDEN_FRAMES[name]
+        left, right = socket.socketpair()
+        try:
+            wire.send_frame(left, kind, header, body)
+            frame = wire.read_frame(right, timeout=5.0)
+        finally:
+            left.close()
+            right.close()
+        assert frame.kind == kind
+        assert dict(frame.header) == header
+        assert frame.body == body
+
+    def test_header_encoding_is_canonical(self):
+        # Key order in the input must not change the bytes — this is
+        # what makes byte-level goldens possible at all.
+        a = wire.encode_frame(wire.PING, {"token": 7, "extra": 1})
+        b = wire.encode_frame(wire.PING, {"extra": 1, "token": 7})
+        assert a == b
+
+    def test_nan_headers_are_rejected_at_encode_time(self):
+        with pytest.raises(ValueError):
+            wire.encode_frame(wire.PARTIAL, {"elapsed": float("nan")})
+
+
+def _tamper_version(data: bytes, version: int) -> bytes:
+    """Rewrite the version field and re-sign the CRC.
+
+    A peer from a different build writes well-formed frames with valid
+    checksums — the version check must fire on its own, not ride on a
+    CRC failure.
+    """
+    prefix_off = len(wire.REMOTE_MAGIC)
+    body = bytearray(data)
+    struct.pack_into("<H", body, prefix_off, version)
+    checked = bytes(body[prefix_off:-4])
+    struct.pack_into("<I", body, len(body) - 4, zlib.crc32(checked))
+    return bytes(body)
+
+
+class TestRejection:
+    GOLDEN = bytes.fromhex(GOLDEN_FRAMES["segment"][3])
+
+    def test_version_mismatch_decode(self):
+        with pytest.raises(wire.VersionMismatch) as excinfo:
+            wire.decode_frame(_tamper_version(self.GOLDEN, 2))
+        assert excinfo.value.theirs == 2
+
+    def test_version_mismatch_socket(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(_tamper_version(self.GOLDEN, 99))
+            with pytest.raises(wire.VersionMismatch) as excinfo:
+                wire.read_frame(right, timeout=5.0)
+        finally:
+            left.close()
+            right.close()
+        assert excinfo.value.theirs == 99
+
+    @pytest.mark.parametrize("cut", [0, 1, 4, 8, 15, 16, 30, -1])
+    def test_truncated_prefixes_decode(self, cut):
+        torn = self.GOLDEN[: cut if cut >= 0 else len(self.GOLDEN) - 1]
+        with pytest.raises(wire.TruncatedFrame):
+            wire.decode_frame(torn)
+
+    @pytest.mark.parametrize("cut", [1, 4, 8, 15, 16, 30, -1])
+    def test_torn_stream_socket(self, cut):
+        # A peer that writes part of a frame and closes the connection
+        # must produce TruncatedFrame, never a partial message.
+        left, right = socket.socketpair()
+        try:
+            left.sendall(self.GOLDEN[: cut if cut >= 0 else len(self.GOLDEN) - 1])
+            left.close()
+            with pytest.raises(wire.TruncatedFrame):
+                wire.read_frame(right, timeout=5.0)
+        finally:
+            right.close()
+
+    def test_stalled_stream_times_out_as_truncated(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(self.GOLDEN[:10])  # then stall, never close
+            with pytest.raises(wire.TruncatedFrame):
+                wire.read_frame(right, timeout=0.1)
+        finally:
+            left.close()
+            right.close()
+
+    def test_crc_corruption_every_byte(self):
+        # Flipping any single byte after the magic must be detected.
+        # (Bytes 4-5 are the version field — those raise
+        # VersionMismatch, which is also a FrameError rejection.)
+        for i in range(4, len(self.GOLDEN)):
+            corrupted = bytearray(self.GOLDEN)
+            corrupted[i] ^= 0xFF
+            with pytest.raises(wire.FrameError):
+                wire.decode_frame(bytes(corrupted))
+
+    def test_bad_magic(self):
+        with pytest.raises(wire.CorruptFrame):
+            wire.decode_frame(b"XXXX" + self.GOLDEN[4:])
+
+    def test_insane_header_length(self):
+        body = bytearray(self.GOLDEN)
+        struct.pack_into("<I", body, 8, wire.MAX_HEADER_BYTES + 1)
+        with pytest.raises(wire.CorruptFrame):
+            wire.decode_frame(bytes(body))
+
+    def test_insane_body_length(self):
+        body = bytearray(self.GOLDEN)
+        struct.pack_into("<Q", body, 12, wire.MAX_BODY_BYTES + 1)
+        with pytest.raises(wire.CorruptFrame):
+            wire.decode_frame(bytes(body))
+
+    def test_non_object_header(self):
+        header_bytes = b"[1,2]"
+        prefix = struct.pack(
+            "<HHIQ", wire.REMOTE_PROTOCOL_VERSION, wire.PING, len(header_bytes), 0
+        )
+        checked = prefix + header_bytes
+        data = wire.REMOTE_MAGIC + checked + struct.pack("<I", zlib.crc32(checked))
+        with pytest.raises(wire.CorruptFrame):
+            wire.decode_frame(data)
+
+    def test_unparseable_header(self):
+        header_bytes = b"{not json"
+        prefix = struct.pack(
+            "<HHIQ", wire.REMOTE_PROTOCOL_VERSION, wire.PING, len(header_bytes), 0
+        )
+        checked = prefix + header_bytes
+        data = wire.REMOTE_MAGIC + checked + struct.pack("<I", zlib.crc32(checked))
+        with pytest.raises(wire.CorruptFrame):
+            wire.decode_frame(data)
+
+
+class TestPayloadHelpers:
+    def test_array_round_trip(self):
+        values = np.arange(12, dtype=np.float64).reshape(3, 4) / 7.0
+        header, body = wire.array_to_body(values)
+        restored = wire.body_to_array(header, body)
+        assert restored.dtype == np.float64
+        np.testing.assert_array_equal(restored, values)
+
+    def test_array_dtype_is_pinned_little_endian(self):
+        _, body = wire.array_to_body(np.array([[1.0]], dtype=">f8"))
+        assert body == struct.pack("<d", 1.0)
+
+    def test_array_body_length_mismatch(self):
+        header, body = wire.array_to_body(np.zeros((2, 2)))
+        with pytest.raises(wire.CorruptFrame):
+            wire.body_to_array(header, body[:-1])
+
+    def test_mask_round_trip(self):
+        mask = np.array([True, False, True, True])
+        raw = wire.mask_to_bytes(mask)
+        assert raw == b"\x01\x00\x01\x01"
+        np.testing.assert_array_equal(wire.bytes_to_mask(raw, 4), mask)
+
+    def test_mask_length_mismatch(self):
+        with pytest.raises(wire.CorruptFrame):
+            wire.bytes_to_mask(b"\x01\x00", 3)
+
+    def test_spec_round_trip(self):
+        spec = _spec()
+        assert wire.header_to_spec(wire.spec_to_header(spec)) == spec
+
+    def test_spec_round_trip_no_clamp(self):
+        spec = _spec(clamp_lo=None, clamp_hi=None)
+        assert wire.header_to_spec(wire.spec_to_header(spec)) == spec
+
+    def test_malformed_spec_is_corrupt_frame(self):
+        header = wire.spec_to_header(_spec())
+        del header["plan_seed"]
+        with pytest.raises(wire.CorruptFrame):
+            wire.header_to_spec(header)
+
+
+# ----------------------------------------------------------------------
+# Live handshake against an in-thread node
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def node():
+    server = ShardNodeServer(host="127.0.0.1", port=0)
+    host, port = server.start()
+    yield host, port
+    server.stop()
+
+
+def _dial(address) -> socket.socket:
+    sock = socket.create_connection(address, timeout=5.0)
+    wire.send_frame(sock, wire.HELLO, {"protocol": wire.REMOTE_PROTOCOL_VERSION})
+    frame = wire.read_frame(sock, timeout=5.0)
+    assert frame.kind == wire.WELCOME
+    return sock
+
+
+class TestLiveHandshake:
+    def test_hello_welcome(self, node):
+        sock = _dial(node)
+        sock.close()
+
+    def test_wrong_version_hello_is_refused(self, node):
+        sock = socket.create_connection(node, timeout=5.0)
+        try:
+            wire.send_frame(sock, wire.HELLO, {"protocol": 999})
+            frame = wire.read_frame(sock, timeout=5.0)
+        finally:
+            sock.close()
+        assert frame.kind == wire.ERROR
+        assert frame.header["code"] == "version_mismatch"
+
+    def test_non_hello_first_frame_is_refused(self, node):
+        sock = socket.create_connection(node, timeout=5.0)
+        try:
+            wire.send_frame(sock, wire.PING, {"token": 1})
+            frame = wire.read_frame(sock, timeout=5.0)
+        finally:
+            sock.close()
+        assert frame.kind == wire.ERROR
+
+    def test_ping_pong_echoes_token(self, node):
+        sock = _dial(node)
+        try:
+            wire.send_frame(sock, wire.PING, {"token": 42})
+            frame = wire.read_frame(sock, timeout=5.0)
+        finally:
+            sock.close()
+        assert frame.kind == wire.PONG
+        assert frame.header["token"] == 42
+
+    def test_shutdown_bye(self, node):
+        sock = _dial(node)
+        try:
+            wire.send_frame(sock, wire.SHUTDOWN, {"halt": False})
+            frame = wire.read_frame(sock, timeout=5.0)
+        finally:
+            sock.close()
+        assert frame.kind == wire.BYE
+
+    def test_execute_without_plan_reports_missing(self, node):
+        sock = _dial(node)
+        try:
+            wire.send_frame(sock, wire.EXECUTE, {"qid": 5, "shards": [0]}, b"")
+            missing = wire.read_frame(sock, timeout=5.0)
+            done = wire.read_frame(sock, timeout=5.0)
+        finally:
+            sock.close()
+        assert missing.kind == wire.PARTIAL_MISSING
+        assert missing.header["reason"] == "no_plan"
+        assert done.kind == wire.QUERY_DONE
+        assert done.header["qid"] == 5
+
+    def test_full_query_cycle(self, node):
+        import pickle
+
+        from repro.estimators.statistics import Mean
+
+        rng = np.random.default_rng(13)
+        values = rng.uniform(0.0, 100.0, size=(100, 1))
+        spec = _spec()
+        from repro.core.blocks import shard_offsets
+
+        bounds = shard_offsets(spec.num_records, spec.shards)
+        sock = _dial(node)
+        try:
+            for shard in range(spec.shards):
+                lo, hi = bounds[shard], bounds[shard + 1]
+                header, body = wire.array_to_body(values[lo:hi])
+                header.update(
+                    {"dataset": spec.dataset, "version": spec.version, "shard": shard}
+                )
+                wire.send_frame(sock, wire.SEGMENT, header, body)
+            plan_header = wire.spec_to_header(spec)
+            plan_header["qid"] = 9
+            wire.send_frame(sock, wire.PLAN, plan_header)
+            wire.send_frame(
+                sock,
+                wire.EXECUTE,
+                {"qid": 9, "shards": list(range(spec.shards))},
+                pickle.dumps(Mean()),
+            )
+            partials = {}
+            while True:
+                frame = wire.read_frame(sock, timeout=10.0)
+                if frame.kind == wire.QUERY_DONE:
+                    break
+                assert frame.kind == wire.PARTIAL
+                matrix_len = (
+                    int(np.prod(frame.header["shape"], dtype=np.int64)) * 8
+                )
+                matrix = wire.body_to_array(frame.header, frame.body[:matrix_len])
+                mask = wire.bytes_to_mask(
+                    frame.body[matrix_len:], frame.header["shape"][0]
+                )
+                partials[frame.header["shard"]] = (matrix, mask)
+        finally:
+            sock.close()
+        assert sorted(partials) == [0, 1]
+        for matrix, mask in partials.values():
+            assert mask.all()
+            assert ((matrix >= 0.0) & (matrix <= 100.0)).all()

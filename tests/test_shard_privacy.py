@@ -160,6 +160,268 @@ class TestBoundarySchema:
         assert tuple(result.value) == tuple(serial.value)
 
 
+def _run_remote_observed(manager, metrics, declared_range):
+    """One seeded remote query, capturing every frame in both directions.
+
+    Returns ``(result, frames, messages)`` where ``frames`` is a list of
+    ``(direction, raw_bytes)`` network captures and ``messages`` the
+    decoded node -> coordinator frames.
+    """
+    from repro.runtime.remote import RemoteShardBackend
+
+    frames = []
+    messages = []
+    backend = RemoteShardBackend(
+        shards=SHARDS, nodes=2, metrics=metrics,
+        message_observer=messages.append,
+        frame_observer=lambda direction, raw: frames.append((direction, raw)),
+        heartbeat_interval=None,
+    )
+    try:
+        computation = ComputationManager(
+            backend="remote", shards=SHARDS, max_workers=2,
+            sharded=backend, metrics=metrics,
+        )
+        runtime = GuptRuntime(
+            manager, computation_manager=computation, rng=7, metrics=metrics
+        )
+        try:
+            result = runtime.run(
+                "census", Mean(), TightRange(declared_range),
+                epsilon=EPSILON, block_size=BLOCK_SIZE, rng=11,
+            )
+            backend.heartbeat_once()  # capture heartbeat frames too
+        finally:
+            runtime.close()
+    finally:
+        backend.close()
+    return result, frames, messages
+
+
+class TestRemoteWireSentinels:
+    """The shard-IPC privacy claims, re-proven over a real TCP socket."""
+
+    def _decoded(self, frames, direction):
+        from repro.runtime.remote import wire
+
+        return [
+            wire.decode_frame(raw) for d, raw in frames if d == direction
+        ]
+
+    def test_return_channel_is_allowlisted_and_clamped(self, sentinel_manager):
+        """Node -> coordinator traffic: allowlisted kinds only, partial
+        matrices clamped below the sentinel band, headers carrying
+        nothing but public geometry."""
+        from repro.runtime.remote import wire
+
+        metrics = MetricsRegistry()
+        _, frames, messages = _run_remote_observed(
+            sentinel_manager, metrics, (0.0, 100.0)
+        )
+        received = self._decoded(frames, "recv")
+        assert received, "observer saw no node -> coordinator frames"
+        partials = 0
+        for frame in received:
+            assert frame.kind in wire.NODE_TO_COORDINATOR_KINDS, frame.kind_name
+            header_leaves = numeric_leaves(dict(frame.header))
+            assert not any(
+                SENTINEL_LO <= v <= SENTINEL_HI for v in header_leaves
+            ), frame.header
+            if frame.kind != wire.PARTIAL:
+                assert frame.body == b"", frame.kind_name
+                continue
+            partials += 1
+            rows = int(frame.header["shape"][0])
+            matrix = np.frombuffer(frame.body[: rows * 8], dtype="<f8")
+            assert (matrix <= 100.0).all()
+            assert not (
+                (matrix >= SENTINEL_LO) & (matrix <= SENTINEL_HI)
+            ).any(), "unclamped sentinel-band value crossed the socket"
+            # Far too small to carry the shard's raw record slice.
+            assert matrix.size < NUM_RECORDS // SHARDS
+        assert partials == SHARDS
+        # The message_observer hook saw the same decoded traffic.
+        assert all(m.kind in wire.NODE_TO_COORDINATOR_KINDS for m in messages)
+
+    def test_each_shard_segment_is_pushed_to_exactly_one_node(
+        self, sentinel_manager
+    ):
+        """A node only ever receives its *own* shards' rows: no shard's
+        segment crosses the wire twice in a healthy query.  (Segments
+        legitimately carry sentinel-band rows — that is the positive
+        control that the capture hook sees real payload bytes.)"""
+        from repro.runtime.remote import wire
+
+        metrics = MetricsRegistry()
+        _, frames, _ = _run_remote_observed(
+            sentinel_manager, metrics, (0.0, 100.0)
+        )
+        segments = [
+            f for f in self._decoded(frames, "send") if f.kind == wire.SEGMENT
+        ]
+        pushed = [int(f.header["shard"]) for f in segments]
+        assert sorted(pushed) == list(range(SHARDS)), pushed
+        rows = np.frombuffer(segments[0].body, dtype="<f8")
+        assert ((rows >= SENTINEL_LO) & (rows <= SENTINEL_HI)).all()
+
+    def test_heartbeats_carry_tokens_only(self, sentinel_manager):
+        from repro.runtime.remote import wire
+
+        metrics = MetricsRegistry()
+        _, frames, _ = _run_remote_observed(
+            sentinel_manager, metrics, (0.0, 100.0)
+        )
+        beats = [
+            f for f in self._decoded(frames, "send") + self._decoded(frames, "recv")
+            if f.kind in (wire.PING, wire.PONG)
+        ]
+        assert beats, "heartbeat_once produced no PING/PONG frames"
+        for frame in beats:
+            assert set(frame.header) == {"token"}
+            assert frame.body == b""
+
+    def test_remote_release_matches_in_process_sharded(self, sentinel_manager):
+        """Observation hooks and transport change nothing: the remote
+        release equals the in-process sharded release bit for bit."""
+        remote, _, _ = _run_remote_observed(
+            sentinel_manager, MetricsRegistry(), (0.0, 100.0)
+        )
+        in_process, _ = _run_observed(
+            sentinel_manager, MetricsRegistry(), (0.0, 100.0)
+        )
+        assert tuple(remote.value) == tuple(in_process.value)
+
+
+class TestRemoteTelemetrySentinels:
+    def test_remote_metrics_never_touch_the_sentinel_band(self, sentinel_manager):
+        """``remote.*`` telemetry is geometry, counts and seconds only."""
+        metrics = MetricsRegistry()
+        _run_remote_observed(sentinel_manager, metrics, (SENTINEL_LO, SENTINEL_HI))
+        snapshot = metrics.snapshot()
+        remote_keys = [
+            k for section in ("counters", "gauges", "histograms")
+            for k in snapshot[section] if k.startswith("remote.")
+        ]
+        assert remote_keys, "remote run produced no remote telemetry"
+        offenders = [
+            v for v in numeric_leaves(snapshot)
+            if SENTINEL_LO <= v <= SENTINEL_HI
+        ]
+        assert not offenders, offenders
+
+
+class TestNodeCodeStaysOutsideTheLedger:
+    """AST pin: shard-node code never imports accounting internals.
+
+    A node holds raw rows, so the blast radius of a compromised node
+    must stop at its own slice: budgets, ledgers and journals are
+    coordinator-side machinery the node process must not even import.
+    """
+
+    NODE_MODULES = ("repro.runtime.remote.node", "repro.runtime.remote.wire")
+    FORBIDDEN_PREFIXES = (
+        "repro.accounting",
+        "repro.datasets",
+        "repro.server",
+    )
+
+    def _imports_of(self, module_name):
+        import ast
+        import importlib
+
+        module = importlib.import_module(module_name)
+        with open(module.__file__, "r", encoding="utf-8") as handle:
+            tree = ast.parse(handle.read())
+        names = []
+        for statement in ast.walk(tree):
+            if isinstance(statement, ast.Import):
+                names.extend(alias.name for alias in statement.names)
+            elif isinstance(statement, ast.ImportFrom):
+                base = statement.module or ""
+                names.append(base)
+                names.extend(f"{base}.{alias.name}" for alias in statement.names)
+        return names
+
+    @pytest.mark.parametrize("module_name", NODE_MODULES)
+    def test_no_accounting_imports(self, module_name):
+        for name in self._imports_of(module_name):
+            for prefix in self.FORBIDDEN_PREFIXES:
+                assert not name.startswith(prefix), (
+                    f"{module_name} imports {name}: node code must never "
+                    f"touch {prefix}"
+                )
+            assert "DatasetManager" not in name, (module_name, name)
+
+    def test_no_accounting_in_the_transitive_import_closure(self):
+        """The pin extends transitively, at the source level.
+
+        Follows every ``repro.*`` import from the node modules through
+        the files it resolves to (``from pkg import module`` follows the
+        module, not the package's re-export ``__init__`` — the root
+        package facade imports everything and is exactly what a slim
+        node deployment would not ship).  Nothing reachable may be
+        accounting, dataset-ledger, or server-tier code.
+        """
+        import ast
+        import os
+
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        )
+
+        def module_file(name):
+            base = os.path.join(src, *name.split("."))
+            if os.path.isfile(base + ".py"):
+                return base + ".py"
+            init = os.path.join(base, "__init__.py")
+            return init if os.path.isfile(init) else None
+
+        def direct_imports(name):
+            path = module_file(name)
+            if path is None:
+                return []
+            with open(path, "r", encoding="utf-8") as handle:
+                tree = ast.parse(handle.read())
+            found = []
+            for statement in ast.walk(tree):
+                if isinstance(statement, ast.Import):
+                    found.extend(
+                        alias.name for alias in statement.names
+                        if alias.name.startswith("repro")
+                    )
+                elif isinstance(statement, ast.ImportFrom):
+                    base = statement.module or ""
+                    if not base.startswith("repro"):
+                        continue
+                    for alias in statement.names:
+                        sub = f"{base}.{alias.name}"
+                        sub_file = module_file(sub)
+                        if sub_file and not sub_file.endswith("__init__.py"):
+                            found.append(sub)  # a submodule: follow it
+                        else:
+                            found.append(base)  # a name: follow its module
+            return found
+
+        closure, stack = set(), list(self.NODE_MODULES)
+        while stack:
+            module = stack.pop()
+            if module in closure:
+                continue
+            closure.add(module)
+            stack.extend(direct_imports(module))
+
+        offenders = sorted(
+            module for module in closure
+            if module.startswith(self.FORBIDDEN_PREFIXES)
+        )
+        assert not offenders, (
+            f"node code transitively reaches forbidden modules: {offenders}"
+        )
+        # The closure is small and self-contained — a regression that
+        # suddenly drags in half the package should be loud.
+        assert len(closure) < 25, sorted(closure)
+
+
 class TestTelemetryStaysReleaseSafe:
     def test_shard_metrics_never_touch_the_sentinel_band(self, sentinel_manager):
         """The observability invariant extends to ``shard.*``: geometry,

@@ -63,6 +63,7 @@ def _release(
     backend: str | None = None,
     workers: int | None = None,
     shards: int | None = None,
+    nodes=None,
     computation: ComputationManager | None = None,
     metrics: MetricsRegistry | None = None,
     program=None,
@@ -81,7 +82,7 @@ def _release(
     else:
         runtime = GuptRuntime(
             manager, rng=SEED, backend=backend, workers=workers,
-            shards=shards, metrics=metrics,
+            shards=shards, nodes=nodes, metrics=metrics,
         )
     try:
         result = runtime.run(
@@ -99,7 +100,7 @@ def _release(
 
 class TestDeterminismMatrix:
     def test_every_backend_agrees_at_fixed_shards(self):
-        """serial/thread/pool/vectorized/sharded(K=1,2,4): same bits at S=4."""
+        """serial/thread/pool/vectorized/sharded/remote: same bits at S=4."""
         releases = {
             "serial": _release(backend="serial", shards=4),
             "thread": _release(backend="thread", workers=2, shards=4),
@@ -108,6 +109,8 @@ class TestDeterminismMatrix:
             "sharded-K1": _release(backend="sharded", workers=1, shards=4),
             "sharded-K2": _release(backend="sharded", workers=2, shards=4),
             "sharded-K4": _release(backend="sharded", workers=4, shards=4),
+            "remote-N1": _release(backend="remote", nodes=1, shards=4),
+            "remote-N2": _release(backend="remote", nodes=2, shards=4),
         }
         assert len(set(releases.values())) == 1, releases
 
@@ -118,6 +121,31 @@ class TestDeterminismMatrix:
             for k in (1, 2, 3, 4, 6)
         }
         assert len(set(releases.values())) == 1, releases
+
+    def test_node_count_never_moves_bits(self):
+        """Remote node count N is deployment geometry, exactly like K."""
+        releases = {
+            n: _release(backend="remote", nodes=n, shards=6)
+            for n in (1, 2, 3, 6)
+        }
+        releases["sharded"] = _release(backend="sharded", workers=2, shards=6)
+        assert len(set(releases.values())) == 1, releases
+
+    def test_remote_subprocess_nodes_agree(self):
+        """Real node processes over TCP release the same bits as serial."""
+        from repro.runtime.remote import RemoteShardBackend
+
+        remote = RemoteShardBackend(
+            shards=4, nodes=2, node_spawn="process", heartbeat_interval=None
+        )
+        try:
+            computation = ComputationManager(
+                backend="remote", max_workers=2, shards=4, sharded=remote
+            )
+            over_tcp = _release(computation=computation)
+        finally:
+            remote.close()
+        assert over_tcp == _release(backend="serial", shards=4)
 
     def test_single_shard_matches_legacy_protocol(self):
         """S=1 is *defined* as the pre-sharding plan protocol."""

@@ -16,6 +16,12 @@ Failure handling, in escalating order:
 
 * **Reconnect.**  A node whose session dropped between queries is
   re-dialed at dispatch time and its segments re-pushed.
+* **Re-push.**  A node that disclaims a shard (``PARTIAL_MISSING`` —
+  its segment LRU evicted a dataset the coordinator believed resident)
+  gets the segment re-pushed and the shard re-executed once before
+  fallback is even considered; coordinator-side eviction from
+  ``_values`` also forgets the matching pushes, keeping both LRUs
+  aligned.
 * **Re-assignment.**  A node that dies or wedges mid-query (EOF, torn
   frame, or no progress within ``node_timeout``) has its unanswered
   shards adopted by surviving nodes, which receive the missing
@@ -32,7 +38,8 @@ Telemetry (all release-safe geometry/counters, never payloads):
 ``remote.nodes``, ``remote.shards``, ``remote.queries``,
 ``remote.segment_pushes``, ``remote.heartbeats``,
 ``remote.node_deaths``, ``remote.reassigned_shards``,
-``remote.degraded_queries``, ``remote.fallback_shards``,
+``remote.repushed_shards``, ``remote.degraded_queries``,
+``remote.fallback_shards``,
 ``remote.dispatch_seconds``, ``remote.partial_rows``.
 """
 
@@ -422,7 +429,16 @@ class RemoteShardBackend:
         resident = np.ascontiguousarray(values, dtype=float)
         self._values[dskey] = resident
         while len(self._values) > self._resident_datasets:
-            self._values.popitem(last=False)
+            evicted, _ = self._values.popitem(last=False)
+            # The nodes' own segment LRUs shed this dataset on the same
+            # schedule (same capacity, touch-on-use order): forget the
+            # matching pushes so a returning query re-pushes instead of
+            # trusting node residency the coordinator can no longer see.
+            for session in self._sessions:
+                if session is not None:
+                    session.held = {
+                        h for h in session.held if (h[0], h[1]) != evicted
+                    }
         return resident
 
     def _push_shard(self, session, dskey, values, spec, shard: int) -> None:
@@ -671,12 +687,14 @@ class RemoteShardBackend:
             deadlines[index] = time.monotonic() + self._node_timeout
             self._apply_frame(
                 index, frame, qid, spec, bases, counts,
-                outputs, succeeded, filled, pending,
+                outputs, succeeded, filled, pending, deadlines,
+                dskey, resident, reassigned, program_bytes, registry,
             )
 
     def _apply_frame(
         self, index, frame, qid, spec, bases, counts,
-        outputs, succeeded, filled, pending,
+        outputs, succeeded, filled, pending, deadlines,
+        dskey, resident, reassigned, program_bytes, registry,
     ) -> None:
         header = frame.header
         if frame.kind == wire.QUERY_DONE and int(header.get("qid", -1)) == qid:
@@ -685,17 +703,30 @@ class RemoteShardBackend:
             # the node is finished only when nothing remains owed.
             if index in pending and not pending[index]:
                 del pending[index]
+                deadlines.pop(index, None)
             return
-        if frame.kind == wire.PARTIAL_MISSING and int(header.get("qid", -1)) == qid:
-            # The node cannot answer this shard; leave it for fallback.
+        if frame.kind not in (wire.PARTIAL, wire.PARTIAL_MISSING):
+            return  # public acks and chatter
+        if int(header.get("qid", -1)) != qid:
+            return  # stale frame from a previous query on this session
+        try:
             shard = int(header.get("shard", -1))
-            if index in pending:
-                pending[index].discard(shard)
+        except (TypeError, ValueError):
             return
-        if frame.kind != wire.PARTIAL or int(header.get("qid", -1)) != qid:
-            return  # stale frame from a re-assigned-but-alive node, or chatter
-        shard = int(header["shard"])
-        if shard < 0 or shard >= spec.shards:
+        if shard not in pending.get(index, ()):
+            # Only the node a shard is assigned to may answer for it: a
+            # buggy or hostile node must never clobber a partial another
+            # node computed, nor fill a shard it was never given.
+            return
+        if frame.kind == wire.PARTIAL_MISSING:
+            pending[index].discard(shard)
+            self._retry_missing(
+                shard, qid, spec, dskey, resident, pending, deadlines,
+                reassigned, filled, program_bytes, registry,
+            )
+            return
+        if filled[shard]:
+            pending[index].discard(shard)
             return
         expected = int(counts[shard])
         try:
@@ -717,8 +748,34 @@ class RemoteShardBackend:
         succeeded[base : base + expected] = mask
         filled[shard] = True
         self._last_elapsed += float(header.get("elapsed", 0.0))
-        if index in pending:
-            pending[index].discard(shard)
+        pending[index].discard(shard)
+
+    def _retry_missing(
+        self, shard, qid, spec, dskey, resident, pending, deadlines,
+        reassigned, filled, program_bytes, registry,
+    ) -> None:
+        """A node disclaimed a shard: re-push its segment and retry once.
+
+        ``PARTIAL_MISSING(no_segment)`` means the node's segment LRU
+        evicted a dataset the coordinator believed resident
+        (``session.held`` is a cache of pushes, not a lease).  Forget
+        the stale pushes, hand the shard to the least-loaded node
+        (possibly the same one) with a fresh segment + plan, and only
+        let fallback happen if that retry also fails — a disclaim is a
+        cue to heal, never a silent degrade.
+        """
+        if filled[shard] or shard in reassigned:
+            return  # one retry per shard; next stop is fallback
+        reassigned.add(shard)
+        for session in self._sessions:
+            if session is not None:
+                session.held.discard((dskey[0], dskey[1], shard))
+        if self._adopt(
+            shard, qid, spec, dskey, resident, pending, program_bytes, registry
+        ):
+            registry.counter("remote.repushed_shards").inc()
+            for adopter in pending:
+                deadlines[adopter] = time.monotonic() + self._node_timeout
 
     def _fail_node(
         self, index, qid, spec, dskey, resident, pending,

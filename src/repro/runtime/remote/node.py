@@ -34,6 +34,7 @@ connection).
 
 from __future__ import annotations
 
+import select
 import socket
 import threading
 
@@ -49,6 +50,19 @@ from repro.testing import failpoints
 
 #: Sites every message (and every outgoing partial) passes through.
 FAILPOINT_SITES = ("remote.node.crash", "remote.node.hang", "remote.node.slow")
+
+#: Seconds a single in-progress frame may take to arrive once its first
+#: byte is readable.  Bounds a peer that trickles bytes forever; one
+#: frame is at most a segment push, so a minute is generous even for
+#: slow links.
+FRAME_READ_TIMEOUT = 60.0
+
+#: Seconds between idle-session polls of the listener.  While waiting
+#: for the next frame the node also watches its own listen socket: a
+#: coordinator that died without FIN (host crash, partition) would
+#: otherwise hold the session open forever and starve reconnecting
+#: coordinators in the accept backlog.
+_IDLE_POLL_SECONDS = 0.5
 
 
 def _hit_failpoints() -> None:
@@ -164,8 +178,9 @@ class ShardNodeServer:
 
     def _serve_connection(self, conn: socket.socket) -> None:
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
         try:
-            frame = wire.read_frame(conn)
+            frame = wire.read_frame(conn, FRAME_READ_TIMEOUT)
         except wire.FrameError:
             return
         if frame.kind != wire.HELLO:
@@ -185,20 +200,49 @@ class ShardNodeServer:
             wire.WELCOME,
             {"protocol": wire.REMOTE_PROTOCOL_VERSION, "shards_held": 0},
         )
-        while not self._halted.is_set():
-            try:
-                frame = wire.read_frame(conn)
-            except wire.FrameError:
-                return  # dead or torn stream: drop the session
-            _hit_failpoints()
-            try:
-                if not self._handle(conn, frame):
+        try:
+            while not self._halted.is_set():
+                if not self._await_frame_or_preempt(conn):
                     return
-            except wire.FrameError as exc:
-                self._refuse(conn, str(exc))
-                return
-            except (OSError, failpoints.FailpointError):
-                return
+                try:
+                    frame = wire.read_frame(conn, FRAME_READ_TIMEOUT)
+                except wire.FrameError:
+                    return  # dead or torn stream: drop the session
+                _hit_failpoints()
+                try:
+                    if not self._handle(conn, frame):
+                        return
+                except wire.FrameError as exc:
+                    self._refuse(conn, str(exc))
+                    return
+                except (OSError, failpoints.FailpointError):
+                    return
+        finally:
+            # Plan specs are session-scoped (a re-assigned shard ships a
+            # fresh PLAN): drop any left by an aborted query so a
+            # long-lived node never accumulates orphaned specs.
+            self._plans.clear()
+
+    def _await_frame_or_preempt(self, conn: socket.socket) -> bool:
+        """Wait for the session's next frame; False drops the session.
+
+        Watches the listener alongside the connection: a new coordinator
+        dialing in while this session is idle preempts it (the old peer
+        is presumed dead — a live one simply re-dials), so a coordinator
+        that crashed without FIN can never wedge the node.
+        """
+        while not self._halted.is_set():
+            listener = self._listener
+            watch = [conn] if listener is None else [conn, listener]
+            try:
+                ready, _, _ = select.select(watch, [], [], _IDLE_POLL_SECONDS)
+            except (OSError, ValueError):
+                return False  # a watched socket was closed under us
+            if conn in ready:
+                return True
+            if ready:
+                return False  # idle session, newcomer waiting: yield
+        return False
 
     def _handle(self, conn: socket.socket, frame: wire.Frame) -> bool:
         """Process one post-handshake frame; False ends the session."""
@@ -242,6 +286,15 @@ class ShardNodeServer:
         qid = int(frame.header["qid"])
         spec = self._plans.get(qid)
         program_bytes = frame.body
+        shards_held: dict[int, object] = {}
+        if spec is not None:
+            dskey = (spec.dataset, spec.version)
+            shards_held = self._segments.get(dskey, {})
+            if shards_held:
+                # Touch the dataset LRU on use, not only on push, so the
+                # node's eviction order tracks the coordinator's (which
+                # touches per query) instead of drifting to push order.
+                self._segments[dskey] = self._segments.pop(dskey)
         for shard in [int(s) for s in frame.header["shards"]]:
             if spec is None:
                 wire.send_frame(
@@ -249,7 +302,7 @@ class ShardNodeServer:
                     {"qid": qid, "shard": shard, "reason": "no_plan"},
                 )
                 continue
-            rows = self._segments.get((spec.dataset, spec.version), {}).get(shard)
+            rows = shards_held.get(shard)
             if rows is None:
                 wire.send_frame(
                     conn, wire.PARTIAL_MISSING,
@@ -306,4 +359,4 @@ def main(argv: list[str]) -> int:
     return 0
 
 
-__all__ = ["FAILPOINT_SITES", "ShardNodeServer", "main"]
+__all__ = ["FAILPOINT_SITES", "FRAME_READ_TIMEOUT", "ShardNodeServer", "main"]

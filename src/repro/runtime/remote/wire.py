@@ -45,6 +45,7 @@ from __future__ import annotations
 import json
 import socket
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Any, Mapping
@@ -216,10 +217,19 @@ def _parse_header(raw: bytes) -> dict[str, Any]:
 # ----------------------------------------------------------------------
 # Socket I/O
 # ----------------------------------------------------------------------
-def _recv_exact(sock: socket.socket, count: int) -> bytes:
+def _recv_exact(
+    sock: socket.socket, count: int, deadline: float | None = None
+) -> bytes:
     chunks: list[bytes] = []
     remaining = count
     while remaining:
+        if deadline is not None:
+            left = deadline - time.monotonic()
+            if left <= 0.0:
+                raise TruncatedFrame(
+                    f"timed out mid-frame ({remaining} bytes short)"
+                )
+            sock.settimeout(left)
         try:
             chunk = sock.recv(min(remaining, 1 << 20))
         except socket.timeout as exc:
@@ -236,19 +246,21 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
 def read_frame(sock: socket.socket, timeout: float | None = None) -> Frame:
     """Read exactly one frame from ``sock``.
 
-    ``timeout`` bounds the whole frame read; expiry raises
-    :class:`TruncatedFrame` (a peer that stalls mid-frame has torn the
-    stream — there is no resynchronization, the connection is dead).
-    Raises :class:`ConnectionError`-shaped :class:`TruncatedFrame` on a
-    clean close before any byte.
+    ``timeout`` bounds the whole frame read against a single monotonic
+    deadline — a peer trickling one byte per interval cannot extend it;
+    expiry raises :class:`TruncatedFrame` (a peer that stalls mid-frame
+    has torn the stream — there is no resynchronization, the connection
+    is dead).  Raises :class:`ConnectionError`-shaped
+    :class:`TruncatedFrame` on a clean close before any byte.
     """
+    deadline = None if timeout is None else time.monotonic() + timeout
     sock.settimeout(timeout)
-    head = _recv_exact(sock, len(REMOTE_MAGIC) + _PREFIX.size)
+    head = _recv_exact(sock, len(REMOTE_MAGIC) + _PREFIX.size, deadline)
     if head[: len(REMOTE_MAGIC)] != REMOTE_MAGIC:
         raise CorruptFrame(f"bad magic {head[:4]!r}")
     version, kind, header_len, body_len = _PREFIX.unpack_from(head, len(REMOTE_MAGIC))
     _check_lengths(version, header_len, body_len)
-    rest = _recv_exact(sock, header_len + body_len + _CRC.size)
+    rest = _recv_exact(sock, header_len + body_len + _CRC.size, deadline)
     (checksum,) = _CRC.unpack_from(rest, header_len + body_len)
     checked = head[len(REMOTE_MAGIC) :] + rest[: header_len + body_len]
     if zlib.crc32(checked) != checksum:

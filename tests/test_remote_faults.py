@@ -357,3 +357,157 @@ class TestRecoveryBetweenQueries:
         np.testing.assert_array_equal(second.outputs, baseline)
         assert second.succeeded.all()
         assert metrics.counter("remote.degraded_queries").value == 0
+
+
+class TestSegmentEviction:
+    """Dataset rotation past an LRU capacity must re-push, not degrade.
+
+    ``session.held`` is a cache of pushes, not a lease: when either side
+    evicts a dataset the coordinator must re-push instead of trusting
+    node residency — silently substituting fallback rows for resident-
+    looking shards would break bit-identity with the in-process engine.
+    """
+
+    def _rotation_specs(self, count: int):
+        from dataclasses import replace
+
+        return [replace(SPEC, dataset=f"rotate-{i}") for i in range(count)]
+
+    def test_coordinator_eviction_forgets_pushes(self, baseline):
+        # Coordinator LRU of 1, node LRU at its default of 4, rotating 5
+        # datasets: both sides evict constantly, and every eviction must
+        # translate into a fresh push on the dataset's return.
+        metrics = MetricsRegistry()
+        backend = RemoteShardBackend(
+            shards=SHARDS,
+            nodes=1,
+            resident_datasets=1,
+            metrics=metrics,
+            heartbeat_interval=None,
+            node_timeout=10.0,
+        )
+        values = _values()
+        try:
+            for _ in range(2):
+                for spec in self._rotation_specs(5):
+                    _, batch = backend.run_sharded(PROGRAM, values, spec)
+                    np.testing.assert_array_equal(batch.outputs, baseline)
+                    assert batch.succeeded.all()
+        finally:
+            backend.close()
+        assert metrics.counter("remote.degraded_queries").value == 0
+        assert metrics.counter("remote.fallback_shards").value == 0
+
+    def test_node_side_eviction_triggers_repush_retry(self, baseline):
+        # The inverse skew: the coordinator retains both datasets but
+        # the node's segment LRU (capacity 1) evicted the first.  The
+        # node's PARTIAL_MISSING(no_segment) must be taken as a cue to
+        # re-push and re-execute, not as a shrug into fallback rows.
+        from repro.runtime.remote import ShardNodeServer
+
+        metrics = MetricsRegistry()
+        node = ShardNodeServer(resident_datasets=1)
+        host, port = node.start()
+        values = _values()
+        spec_a, spec_b = self._rotation_specs(2)
+        try:
+            backend = RemoteShardBackend(
+                shards=SHARDS,
+                nodes=[f"{host}:{port}"],
+                resident_datasets=8,
+                metrics=metrics,
+                heartbeat_interval=None,
+                node_timeout=10.0,
+            )
+            try:
+                for spec in (spec_a, spec_b, spec_a):
+                    _, batch = backend.run_sharded(PROGRAM, values, spec)
+                    np.testing.assert_array_equal(batch.outputs, baseline)
+                    assert batch.succeeded.all()
+            finally:
+                backend.close()
+        finally:
+            node.stop()
+        # Every shard of the returning dataset was disclaimed once and
+        # healed by a re-push — never a death, never a fallback.
+        assert metrics.counter("remote.repushed_shards").value == SHARDS
+        assert metrics.counter("remote.node_deaths").value == 0
+        assert metrics.counter("remote.degraded_queries").value == 0
+
+
+class TestPartialAssignmentGating:
+    """Only the node a shard is assigned to may answer for it."""
+
+    def _harness(self):
+        from repro.core.blocks import shard_block_counts
+        from repro.runtime.remote import wire
+
+        backend = RemoteShardBackend(
+            shards=SHARDS,
+            nodes=["127.0.0.1:1", "127.0.0.1:2"],  # never dialed here
+            metrics=MetricsRegistry(),
+            heartbeat_interval=None,
+        )
+        counts = shard_block_counts(
+            SPEC.num_records, SPEC.block_size, SPEC.resampling_factor, SPEC.shards
+        )
+        bases = np.zeros(SHARDS + 1, dtype=np.int64)
+        np.cumsum(counts, out=bases[1:])
+        total = int(bases[-1])
+        state = {
+            "bases": bases,
+            "counts": counts,
+            "outputs": np.full((total, SPEC.output_dimension), 123.0),
+            "succeeded": np.zeros(total, dtype=bool),
+            "filled": np.zeros(SHARDS, dtype=bool),
+        }
+
+        def partial_frame(shard: int):
+            rows = int(counts[shard])
+            body = (
+                np.zeros((rows, SPEC.output_dimension)).tobytes() + b"\x01" * rows
+            )
+            return wire.Frame(
+                kind=wire.PARTIAL,
+                header={
+                    "qid": 1,
+                    "shard": shard,
+                    "shape": [rows, SPEC.output_dimension],
+                    "elapsed": 0.0,
+                },
+                body=body,
+            )
+
+        def apply(index, frame, pending):
+            backend._apply_frame(
+                index, frame, 1, SPEC, state["bases"], state["counts"],
+                state["outputs"], state["succeeded"], state["filled"],
+                pending, {}, (SPEC.dataset, SPEC.version),
+                np.zeros((SPEC.num_records, 1)), set(), PROGRAM,
+                MetricsRegistry(),
+            )
+
+        return backend, state, partial_frame, apply
+
+    def test_partial_for_unassigned_shard_is_ignored(self):
+        backend, state, partial_frame, apply = self._harness()
+        try:
+            # Node 0 owes shards {0, 1} but claims shard 2 (node 1's):
+            # the claim must not clobber anything.
+            apply(0, partial_frame(2), {0: {0, 1}, 1: {2, 3}})
+            assert not state["filled"].any()
+            assert (state["outputs"] == 123.0).all()
+        finally:
+            backend.close()
+
+    def test_partial_from_non_owner_node_is_ignored(self):
+        backend, state, partial_frame, apply = self._harness()
+        try:
+            # Node 1 owes nothing for shard 0; only node 0's answer lands.
+            apply(1, partial_frame(0), {0: {0, 1}})
+            assert not state["filled"].any()
+            apply(0, partial_frame(0), {0: {0, 1}})
+            assert state["filled"][0]
+            assert (state["outputs"][: int(state["counts"][0])] == 0.0).all()
+        finally:
+            backend.close()

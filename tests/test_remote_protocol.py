@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import socket
 import struct
+import threading
+import time
 import zlib
 
 import numpy as np
@@ -534,3 +536,106 @@ class TestLiveHandshake:
         for matrix, mask in partials.values():
             assert mask.all()
             assert ((matrix >= 0.0) & (matrix <= 100.0)).all()
+
+
+# ----------------------------------------------------------------------
+# Read deadlines and session robustness (review regressions)
+# ----------------------------------------------------------------------
+class TestFrameReadDeadline:
+    def test_trickling_peer_cannot_extend_the_read(self):
+        """The timeout is one frame-level deadline, not a per-recv one.
+
+        A peer sending one byte per 0.1s keeps every individual recv
+        under a 0.4s timeout forever; only a deadline spanning the whole
+        frame read catches it.
+        """
+        reader, writer = socket.socketpair()
+        data = wire.encode_frame(wire.PING, {"token": 1})
+        stop = threading.Event()
+
+        def trickle():
+            for offset in range(len(data)):
+                if stop.is_set():
+                    return
+                try:
+                    writer.sendall(data[offset : offset + 1])
+                except OSError:
+                    return
+                stop.wait(0.1)
+
+        thread = threading.Thread(target=trickle, daemon=True)
+        started = time.monotonic()
+        thread.start()
+        try:
+            with pytest.raises(wire.TruncatedFrame):
+                wire.read_frame(reader, timeout=0.4)
+            assert time.monotonic() - started < 2.0
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+            reader.close()
+            writer.close()
+
+
+class TestNodeSessionRobustness:
+    def test_new_coordinator_preempts_idle_dead_session(self):
+        """A coordinator that died without FIN must not wedge the node.
+
+        The node watches its listener while a session is idle: a
+        reconnecting coordinator preempts the silent one instead of
+        rotting in the accept backlog.
+        """
+        server = ShardNodeServer(host="127.0.0.1", port=0)
+        address = server.start()
+        first = None
+        second = None
+        try:
+            # First coordinator completes the handshake then goes
+            # silent forever (a crashed host never sends FIN).
+            first = socket.create_connection(address, timeout=5.0)
+            wire.send_frame(
+                first, wire.HELLO, {"protocol": wire.REMOTE_PROTOCOL_VERSION}
+            )
+            assert wire.read_frame(first, timeout=5.0).kind == wire.WELCOME
+            # A second coordinator dialing in must still get served.
+            second = socket.create_connection(address, timeout=5.0)
+            wire.send_frame(
+                second, wire.HELLO, {"protocol": wire.REMOTE_PROTOCOL_VERSION}
+            )
+            assert wire.read_frame(second, timeout=10.0).kind == wire.WELCOME
+            wire.send_frame(second, wire.PING, {"token": 7})
+            pong = wire.read_frame(second, timeout=5.0)
+            assert pong.kind == wire.PONG
+            assert pong.header["token"] == 7
+        finally:
+            for sock in (first, second):
+                if sock is not None:
+                    sock.close()
+            server.stop()
+
+    def test_plans_are_dropped_when_a_session_ends(self):
+        """A PLAN with no EXECUTE must not leak when the session dies."""
+        server = ShardNodeServer(host="127.0.0.1", port=0)
+        address = server.start()
+        try:
+            sock = socket.create_connection(address, timeout=5.0)
+            try:
+                wire.send_frame(
+                    sock, wire.HELLO, {"protocol": wire.REMOTE_PROTOCOL_VERSION}
+                )
+                assert wire.read_frame(sock, timeout=5.0).kind == wire.WELCOME
+                header = wire.spec_to_header(_spec())
+                header["qid"] = 77
+                wire.send_frame(sock, wire.PLAN, header)
+                # A PING round-trip proves the PLAN frame was processed.
+                wire.send_frame(sock, wire.PING, {"token": 1})
+                assert wire.read_frame(sock, timeout=5.0).kind == wire.PONG
+                assert 77 in server._plans
+            finally:
+                sock.close()  # session dies between PLAN and EXECUTE
+            deadline = time.monotonic() + 5.0
+            while server._plans and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert not server._plans
+        finally:
+            server.stop()

@@ -414,11 +414,24 @@ class DatasetManager:
           privacy-sensitive.  This mirrors the paper's simplifying model
           where "a constant fraction of the dataset has completely aged
           out" (§3.3) and is what the Figure 7/8 experiments do with 10%.
+
+        A :class:`~repro.datasets.table.FederatedTable` registers here
+        too — budgets, ledgers and journals are coordinator-side by
+        design, whoever holds the rows — but cannot carve an aged slice:
+        aging needs the records, and federated records never enter this
+        process.
         """
         if not name:
             raise DatasetError("dataset name must be non-empty")
         if aged_table is not None and aged_fraction:
             raise DatasetError("pass either aged_table or aged_fraction, not both")
+        if getattr(table, "federated", False) and (
+            aged_fraction or aged_table is not None
+        ):
+            raise DatasetError(
+                f"dataset {name!r} is federated: aged slices need the rows, "
+                "which never enter the coordinator"
+            )
 
         sensitive = table
         aged = aged_table

@@ -102,6 +102,11 @@ def _add_query_arguments(parser: argparse.ArgumentParser) -> None:
              "local node processes in-process",
     )
     parser.add_argument(
+        "--node-secret", default=None, metavar="SECRET",
+        help="with --backend remote: shared secret for the mutual "
+             "handshake authentication shard nodes may require",
+    )
+    parser.add_argument(
         "--shards", type=int, default=None, metavar="S",
         help="logical shard count of the sharded plan protocol — a "
              "public plan parameter the released bits depend on (like "
@@ -212,6 +217,22 @@ def build_parser() -> argparse.ArgumentParser:
         "address", metavar="HOST:PORT",
         help="bind address (use port 0 for an ephemeral port)",
     )
+    shard_node.add_argument(
+        "--data", action="append", default=[], metavar="FILE",
+        help="curator mode: load this CSV/.npy file as node-held rows "
+             "(repeatable; pairs positionally with --dataset)",
+    )
+    shard_node.add_argument(
+        "--dataset", action="append", default=[], metavar="NAME",
+        help="dataset name advertised for the matching --data file "
+             "(repeatable)",
+    )
+    shard_node.add_argument(
+        "--secret", default=None, metavar="SECRET",
+        help="shared secret for mutual handshake authentication "
+             "(default: the REPRO_SHARD_SECRET environment variable); "
+             "unauthenticated coordinators are refused when set",
+    )
 
     fsck = commands.add_parser(
         "fsck",
@@ -302,6 +323,7 @@ def _execute_query(args, metrics: MetricsRegistry | None = None):
         batch_size=args.dispatch_batch,
         shards=args.shards,
         nodes=_resolve_nodes(args.nodes),
+        node_secret=args.node_secret,
     )
 
     kwargs = {}
@@ -403,6 +425,7 @@ def run_serve_http(args) -> int:
         batch_size=args.dispatch_batch,
         shards=args.shards,
         nodes=_resolve_nodes(args.nodes),
+        node_secret=args.node_secret,
         scheduler_workers=args.scheduler_workers,
         max_inflight=args.max_inflight,
         queue_depth=args.queue_depth,
@@ -477,6 +500,7 @@ def run_serve(args) -> int:
         batch_size=args.dispatch_batch,
         shards=args.shards,
         nodes=_resolve_nodes(args.nodes),
+        node_secret=args.node_secret,
         scheduler_workers=args.scheduler_workers,
         max_inflight=args.max_inflight,
         queue_depth=args.queue_depth,
@@ -584,7 +608,14 @@ def main(argv: list[str] | None = None) -> int:
         if args.command == "shard-node":
             from repro.runtime.remote.node import main as shard_node_main
 
-            return shard_node_main([args.address])
+            node_argv = [args.address]
+            for path in args.data:
+                node_argv += ["--data", path]
+            for name in args.dataset:
+                node_argv += ["--dataset", name]
+            if args.secret is not None:
+                node_argv += ["--secret", args.secret]
+            return shard_node_main(node_argv)
         return run_query(args)
     except GuptError as exc:
         print(f"error: {exc}", file=sys.stderr)

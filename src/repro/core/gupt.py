@@ -40,6 +40,7 @@ from repro.core.range_estimation import (
 from repro.core.result import GuptResult
 from repro.core.sample_aggregate import SampleAggregateEngine, SampledBlocks
 from repro.core.user_level import grouped_plan
+from repro.datasets.table import FederatedTable
 from repro.exceptions import GuptError, InvalidPrivacyParameter
 from repro.mechanisms.rng import RandomSource, as_generator, spawn
 from repro.observability import MetricsRegistry, get_registry
@@ -73,6 +74,11 @@ class GuptRuntime:
         addresses, a count to spawn locally, or ``None`` for one per
         worker); mutually exclusive with passing
         ``computation_manager``.
+    node_secret:
+        Shared secret for the remote backend's mutual handshake
+        authentication; curator-run shard nodes refuse coordinators
+        that cannot prove knowledge of it.  Only meaningful with
+        ``backend="remote"``.
     plan_cache:
         A :class:`~repro.core.plan_cache.BlockPlanCache` to memoize
         block plans and stacked materializations across queries, or
@@ -116,6 +122,7 @@ class GuptRuntime:
         batch_size: int | None = None,
         shards: int | None = None,
         nodes: int | list | None = None,
+        node_secret: str | None = None,
         state_dir: str | None = None,
         plan_cache: BlockPlanCache | None = None,
         plan_cache_size: int | None = None,
@@ -128,10 +135,11 @@ class GuptRuntime:
             or batch_size is not None
             or shards is not None
             or nodes is not None
+            or node_secret is not None
         ):
             raise GuptError(
                 "pass either computation_manager or backend/workers/"
-                "batch_size/shards/nodes, not both"
+                "batch_size/shards/nodes/node_secret, not both"
             )
         if computation_manager is None:
             computation_manager = ComputationManager(
@@ -140,6 +148,7 @@ class GuptRuntime:
                 batch_size=batch_size,
                 shards=shards,
                 nodes=nodes,
+                node_secret=node_secret,
                 metrics=metrics,
             )
         if dataset_manager is not None and state_dir is not None:
@@ -260,6 +269,54 @@ class GuptRuntime:
         """
         with self._rng_lock:
             return spawn(self._rng, 1)[0]
+
+    def register_federated(
+        self,
+        name: str,
+        total_budget: float,
+        column_names=None,
+        input_ranges=None,
+    ) -> FederatedTable:
+        """Register a dataset whose rows live on curator shard nodes.
+
+        The remote backend collects each node's handshake manifest for
+        ``name`` (row count, column count, geometry digest) and the
+        runtime registers a :class:`FederatedTable` built from geometry
+        alone — no value ever enters the coordinator.  Budgets, ledgers
+        and (when durable) the journal attach coordinator-side exactly
+        as for a local dataset: the curators hold the rows, the
+        coordinator holds the privacy state.
+
+        ``column_names`` and ``input_ranges`` are owner-declared,
+        non-sensitive metadata, exactly as on :class:`DataTable`.
+        Raises :class:`~repro.exceptions.ComputationError` when the
+        backend is not remote, a node is unreachable, manifests
+        disagree, or curator row counts do not align with whole-shard
+        boundaries.
+        """
+        geometry = self._computation.federate(name)
+        table = FederatedTable(
+            name,
+            geometry["num_records"],
+            geometry["num_dimensions"],
+            geometry["node_rows"],
+            column_names=column_names,
+            input_ranges=input_ranges,
+        )
+        self._datasets.register(name, table, total_budget=total_budget)
+        try:
+            # Registration fired the invalidation hooks, and the remote
+            # backend's hook drops federated geometry along with every
+            # other content-derived cache (the right call on a
+            # re-registration).  Re-install from the sessions' manifests
+            # now that this registration is the current one; on failure
+            # (a curator died in the window) withdraw the registration
+            # rather than leave a dataset no backend can serve.
+            self._computation.federate(name)
+        except BaseException:
+            self._datasets.unregister(name)
+            raise
+        return table
 
     def exact_aggregate(
         self,
@@ -430,7 +487,37 @@ class GuptRuntime:
         query_seed: int | None = None,
     ) -> GuptResult:
         registered = self._datasets.get(dataset)
-        values = registered.table.values
+        table = registered.table
+        if getattr(table, "federated", False):
+            # Curator-held rows: the engine plans against geometry alone
+            # and the remote backend collects clamped block partials.
+            # Anything that would need the values coordinator-side is
+            # refused up front, before any budget moves.
+            if self._computation.backend != "remote":
+                raise GuptError(
+                    f"dataset {dataset!r} is federated and needs the remote "
+                    f"backend (this runtime uses "
+                    f"{self._computation.backend!r})"
+                )
+            if group_by is not None:
+                raise GuptError(
+                    "group_by needs the label column, which a federated "
+                    "dataset never sends to the coordinator"
+                )
+            if canonical_order is not None:
+                raise GuptError(
+                    "canonical_order re-orders raw block outputs, which a "
+                    "federated dataset never sends to the coordinator"
+                )
+            if getattr(range_strategy, "needs_input_values", True):
+                raise GuptError(
+                    "this range strategy reads input values or block "
+                    "outputs; federated datasets support only value-free "
+                    "strategies (GUPT-tight)"
+                )
+            values = table.placeholder()
+        else:
+            values = table.values
 
         # Phase 1: parameter resolution (block size may hill-climb over
         # aged data, epsilon may be derived from an accuracy goal).

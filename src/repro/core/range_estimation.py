@@ -47,6 +47,13 @@ class RangeStrategy(Protocol):
     #: (0 for tight, 1/2 for loose and helper, per Theorem 1).
     budget_fraction: float
 
+    #: Whether :meth:`estimate` reads ``context.input_values`` (or the
+    #: lazily-computed block outputs).  Strategies that do cannot serve
+    #: *federated* datasets, whose values never enter the coordinator;
+    #: absent attributes are treated as True (the conservative default
+    #: for third-party strategies).
+    needs_input_values: bool
+
     def estimate(
         self,
         context: "RangeContext",
@@ -82,6 +89,9 @@ class TightRange:
     """GUPT-tight: analyst-declared ranges, zero privacy cost."""
 
     budget_fraction = 0.0
+    # Declared ranges only — never touches a value, so it is the one
+    # paper strategy usable against federated (curator-held) datasets.
+    needs_input_values = False
 
     def __init__(self, ranges):
         self._ranges = tuple(ranges_from_pairs(ranges))

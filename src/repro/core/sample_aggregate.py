@@ -29,6 +29,7 @@ from repro.core.blocks import (
     draw_sharded_plan,
 )
 from repro.core.plan_cache import BlockPlanCache, PlanKey
+from repro.exceptions import ComputationError
 from repro.mechanisms.rng import RandomSource, as_generator
 from repro.runtime.computation_manager import ComputationManager
 from repro.runtime.sandbox import AnalystProgram
@@ -157,6 +158,13 @@ class SampleAggregateEngine:
         workers before they cross the shard boundary; aggregation clamps
         to the same ranges again, so the release is unchanged.
         """
+        if getattr(values, "federated", False):
+            # Curator-held data: geometry proxy, no values to coerce —
+            # this branch must run before _as_matrix ever sees it.
+            return self._sample_federated(
+                values, program, output_dimension, fallback, block_size,
+                resampling_factor, rng, plan, cache_token, output_ranges,
+            )
         values = self._as_matrix(values)
         stacked: np.ndarray | None = None
         if plan is not None:
@@ -216,6 +224,74 @@ class SampleAggregateEngine:
         failed = int(collected.num_blocks - collected.succeeded.sum())
         outputs = self._apply_canonical_order(collected.outputs, collected.succeeded)
         return SampledBlocks(plan=plan, outputs=outputs, failed_blocks=failed)
+
+    def _sample_federated(
+        self,
+        values,
+        program: AnalystProgram,
+        output_dimension: int,
+        fallback: np.ndarray | Sequence[float],
+        block_size: int | None,
+        resampling_factor: int,
+        rng: RandomSource,
+        plan: BlockPlan | None,
+        cache_token: tuple[str, int] | None,
+        output_ranges: Sequence[OutputRange] | None,
+    ) -> SampledBlocks:
+        """Phase 1 for a federated dataset: curator nodes only.
+
+        Replays the one-draw ``plan_seed`` protocol exactly — the same
+        single generator draw as the in-process sharded path, which is
+        what makes a federated release bit-identical to an in-process
+        sharded one over the same rows.  There is no chamber fallback:
+        the coordinator holds no values to degrade onto, so anything
+        that would degrade raises instead.
+        """
+        if plan is not None:
+            raise ComputationError(
+                "federated datasets cannot use explicit block plans "
+                "(plans are drawn node-locally from the plan seed)"
+            )
+        if cache_token is None:
+            raise ComputationError(
+                "federated datasets require a registered (name, version) "
+                "cache token"
+            )
+        if self._manager.backend != "remote":
+            raise ComputationError(
+                f"federated datasets require the remote backend, "
+                f"not {self._manager.backend!r}"
+            )
+        if self._canonical_order is not None:
+            raise ComputationError(
+                "canonical-order hooks need block outputs in-process and "
+                "cannot serve federated datasets"
+            )
+        if output_ranges is None:
+            raise ComputationError(
+                "federated queries must know their output ranges at sample "
+                "time so curators clamp partials before they cross the wire "
+                "(use an analyst-declared tight range)"
+            )
+        num_records = int(values.shape[0])
+        beta = (
+            int(block_size)
+            if block_size is not None
+            else default_block_size(num_records)
+        )
+        generator = as_generator(rng)
+        plan_seed = int(generator.integers(0, 2**63 - 1))
+        sampled = self._sample_sharded(
+            values, program, output_dimension, fallback, beta,
+            resampling_factor, plan_seed, cache_token, output_ranges,
+        )
+        if sampled is None:
+            raise ComputationError(
+                "federated query degraded from the sharded path (timing "
+                "defense or unpicklable program) — curator-held data has "
+                "no in-process fallback"
+            )
+        return sampled
 
     def _sample_sharded(
         self,

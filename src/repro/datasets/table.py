@@ -186,3 +186,121 @@ class DataTable:
             (float(self.values[:, d].min()), float(self.values[:, d].max()))
             for d in range(self.num_dimensions)
         ]
+
+
+class FederatedValues:
+    """Geometry-only stand-in for a federated dataset's value matrix.
+
+    Carries exactly what the planner needs — ``shape`` — and nothing a
+    value could hide in.  The engine recognizes it by ``federated`` and
+    routes the query to the remote backend, where curator nodes execute
+    against their own rows.
+    """
+
+    federated = True
+    __slots__ = ("shape",)
+
+    def __init__(self, num_records: int, num_dimensions: int):
+        self.shape = (int(num_records), int(num_dimensions))
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FederatedValues(shape={self.shape})"
+
+
+class FederatedTable:
+    """A dataset whose rows live on curator nodes, never here.
+
+    Registered from node manifests only: the coordinator knows the
+    name, the geometry (``n`` records by ``k`` dimensions, and how many
+    rows each curator holds), and the data-owner-declared input ranges
+    — but no value ever enters this process.  Accessing :attr:`values`
+    raises; the engine plans against :meth:`placeholder` geometry and
+    the curator nodes supply the clamped block partials.
+
+    Budgets, ledgers and journals attach to this table exactly as to a
+    :class:`DataTable` — accounting is coordinator-side by design (see
+    DESIGN.md's trust model).
+    """
+
+    federated = True
+
+    def __init__(
+        self,
+        name: str,
+        num_records: int,
+        num_dimensions: int,
+        node_rows: Sequence[int],
+        column_names: Sequence[str] | None = None,
+        input_ranges: Sequence[tuple[float, float] | None] | None = None,
+    ):
+        n, k = int(num_records), int(num_dimensions)
+        if n < 1 or k < 1:
+            raise DatasetError(
+                f"federated dataset needs positive geometry, got {n}x{k}"
+            )
+        rows = tuple(int(r) for r in node_rows)
+        if not rows or any(r < 1 for r in rows) or sum(rows) != n:
+            raise DatasetError(
+                f"federated node rows {rows} do not sum to {n} records"
+            )
+        self.name = str(name)
+        self._num_records = n
+        self._num_dimensions = k
+        self.node_rows = rows
+        if column_names is None:
+            self.column_names = tuple(f"dim{i}" for i in range(k))
+        else:
+            self.column_names = tuple(str(c) for c in column_names)
+            if len(self.column_names) != k:
+                raise DatasetError(
+                    f"expected {k} column names, got {len(self.column_names)}"
+                )
+        if input_ranges is None:
+            self.input_ranges: tuple = (None,) * k
+        else:
+            if len(input_ranges) != k:
+                raise DatasetError(
+                    f"expected {k} input ranges, got {len(input_ranges)}"
+                )
+            checked: list[tuple[float, float] | None] = []
+            for bounds in input_ranges:
+                if bounds is None:
+                    checked.append(None)
+                    continue
+                lo, hi = float(bounds[0]), float(bounds[1])
+                if not (np.isfinite(lo) and np.isfinite(hi)) or lo > hi:
+                    raise InvalidRange(f"invalid input range {bounds}")
+                checked.append((lo, hi))
+            self.input_ranges = tuple(checked)
+
+    @property
+    def num_records(self) -> int:
+        return self._num_records
+
+    @property
+    def num_dimensions(self) -> int:
+        return self._num_dimensions
+
+    def __len__(self) -> int:
+        return self._num_records
+
+    @property
+    def values(self) -> np.ndarray:
+        raise DatasetError(
+            f"dataset {self.name!r} is federated: its rows live on curator "
+            f"nodes and never enter the coordinator"
+        )
+
+    def placeholder(self) -> FederatedValues:
+        """The geometry proxy the engine plans against."""
+        return FederatedValues(self._num_records, self._num_dimensions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FederatedTable({self.name!r}, "
+            f"{self._num_records}x{self._num_dimensions}, "
+            f"node_rows={self.node_rows})"
+        )

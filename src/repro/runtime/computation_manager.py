@@ -159,6 +159,11 @@ class ComputationManager:
         ``(host, port)`` / ``"host:port"`` addresses for an existing
         cluster, an int to spawn that many in-process nodes, or
         ``None`` to spawn one per worker.  Ignored by other backends.
+    node_secret:
+        For ``backend="remote"``: the shared node-authentication secret
+        handed to an auto-constructed :class:`RemoteShardBackend`
+        (ignored when ``sharded`` is pre-built — configure that backend
+        directly).
     """
 
     def __init__(
@@ -173,6 +178,7 @@ class ComputationManager:
         shards: int | None = None,
         sharded: ShardedExecutionBackend | RemoteShardBackend | None = None,
         nodes: int | list | None = None,
+        node_secret: str | None = None,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -219,6 +225,7 @@ class ComputationManager:
                     shards=self._plan_shards,
                     nodes=nodes if nodes is not None else max_workers,
                     metrics=metrics,
+                    secret=node_secret,
                 )
             else:
                 self._sharded = ShardedExecutionBackend(
@@ -260,6 +267,23 @@ class ComputationManager:
         move them.
         """
         return self._plan_shards
+
+    def federate(self, name: str) -> dict:
+        """Register ``name`` as a federated dataset from node manifests.
+
+        Only the remote backend can serve federated datasets — the rows
+        live on curator nodes, so there is nothing for an in-process
+        backend to execute against.  Returns the geometry dict from
+        :meth:`RemoteShardBackend.federate` (``num_records``,
+        ``num_dimensions``, ``node_rows``).
+        """
+        fn = getattr(self._sharded, "federate", None)
+        if self._backend != "remote" or fn is None:
+            raise ComputationError(
+                "federated datasets require the remote backend "
+                f"(this manager runs {self._backend!r})"
+            )
+        return fn(name)
 
     def close(self) -> None:
         """Release backend resources (worker processes); idempotent.

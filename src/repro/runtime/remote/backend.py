@@ -45,7 +45,9 @@ Telemetry (all release-safe geometry/counters, never payloads):
 
 from __future__ import annotations
 
+import itertools
 import os
+import secrets as secrets_module
 import select
 import socket
 import subprocess
@@ -100,12 +102,15 @@ def parse_node_address(text: str) -> tuple[str, int]:
 class _NodeSession:
     """One live coordinator -> node connection and what it holds."""
 
-    __slots__ = ("address", "sock", "held")
+    __slots__ = ("address", "sock", "held", "manifests")
 
     def __init__(self, address: tuple[str, int], sock: socket.socket):
         self.address = address
         self.sock = sock
         self.held: set[tuple[str, int, int]] = set()  # (dataset, version, shard)
+        # Curated-dataset manifests from the node's WELCOME (geometry
+        # and digests only — the only thing a curator ever reveals).
+        self.manifests: list[dict] = []
 
     def close(self) -> None:
         try:
@@ -132,17 +137,32 @@ class LocalNodeCluster:
         count: int,
         spawn: str = "thread",
         env: dict[str, str] | None = None,
+        secret: str | None = None,
+        curated: list[dict] | None = None,
     ):
         if count < 1:
             raise ComputationError("a node cluster needs at least one node")
         if spawn not in ("thread", "process"):
             raise ComputationError(f"unknown node spawn mode {spawn!r}")
+        if curated is not None and len(curated) != count:
+            raise ComputationError(
+                f"curated needs one dataset map per node "
+                f"({len(curated)} maps for {count} nodes)"
+            )
+        if curated is not None and spawn != "thread":
+            raise ComputationError(
+                "curated node data requires spawn='thread' (subprocess "
+                "curators load their own --data files)"
+            )
         self.addresses: list[tuple[str, int]] = []
         self._servers: list[ShardNodeServer] = []
         self._processes: list[subprocess.Popen] = []
         if spawn == "thread":
-            for _ in range(count):
-                server = ShardNodeServer()
+            for index in range(count):
+                server = ShardNodeServer(
+                    secret=secret,
+                    curated=None if curated is None else curated[index],
+                )
                 self.addresses.append(server.start())
                 self._servers.append(server)
             return
@@ -155,13 +175,19 @@ class LocalNodeCluster:
         node_path = os.pathsep.join(
             p for p in (package_root, os.environ.get("PYTHONPATH")) if p
         )
+        secret_env = {} if secret is None else {"REPRO_SHARD_SECRET": secret}
         for _ in range(count):
             process = subprocess.Popen(
                 [sys.executable, "-m", "repro", "shard-node", "127.0.0.1:0"],
                 stdout=subprocess.PIPE,
                 stderr=subprocess.DEVNULL,
                 text=True,
-                env={**os.environ, "PYTHONPATH": node_path, **(env or {})},
+                env={
+                    **os.environ,
+                    "PYTHONPATH": node_path,
+                    **secret_env,
+                    **(env or {}),
+                },
             )
             line = process.stdout.readline().strip()
             parts = line.split()
@@ -196,10 +222,14 @@ class LocalNodeCluster:
 
 
 def local_node_cluster(
-    count: int, spawn: str = "thread", env: dict[str, str] | None = None
+    count: int,
+    spawn: str = "thread",
+    env: dict[str, str] | None = None,
+    secret: str | None = None,
+    curated: list[dict] | None = None,
 ) -> LocalNodeCluster:
     """Start ``count`` local shard nodes; see :class:`LocalNodeCluster`."""
-    return LocalNodeCluster(count, spawn=spawn, env=env)
+    return LocalNodeCluster(count, spawn=spawn, env=env, secret=secret, curated=curated)
 
 
 class RemoteShardBackend:
@@ -229,6 +259,11 @@ class RemoteShardBackend:
         Called with ``(direction, frame_bytes)`` for every frame in
         both directions — the network-capture hook the sentinel tests
         scan for raw data.
+    secret:
+        Shared node-authentication secret.  When set, every dial runs
+        the mutual HMAC challenge-response and refuses nodes that
+        cannot prove possession; when ``None``, dialing a
+        secret-protected node raises :class:`ComputationError`.
     """
 
     def __init__(
@@ -242,6 +277,7 @@ class RemoteShardBackend:
         node_timeout: float = DEFAULT_NODE_TIMEOUT,
         heartbeat_interval: float | None = DEFAULT_HEARTBEAT_INTERVAL,
         node_spawn: str = "thread",
+        secret: str | None = None,
     ):
         if shards < 1:
             raise ComputationError("shards must be >= 1")
@@ -254,10 +290,13 @@ class RemoteShardBackend:
         self._frame_observer = frame_observer
         self._node_timeout = float(node_timeout)
         self._heartbeat_interval = heartbeat_interval
+        self._secret = secret if secret else None
         self._cluster: LocalNodeCluster | None = None
         if nodes is None or isinstance(nodes, int):
             count = min(self._shards, 4) if nodes is None else int(nodes)
-            self._cluster = local_node_cluster(count, spawn=node_spawn)
+            self._cluster = local_node_cluster(
+                count, spawn=node_spawn, secret=self._secret
+            )
             addresses = self._cluster.addresses
         else:
             addresses = [
@@ -271,6 +310,11 @@ class RemoteShardBackend:
         # (dataset, version) -> contiguous float matrix, kept so healed
         # or adopting nodes can be re-pushed their shard slices.
         self._values: OrderedDict[tuple[str, int], np.ndarray] = OrderedDict()
+        # name -> federated geometry from node manifests: per-node row
+        # counts, global row bases, column count, total rows.  Never any
+        # values — that is the whole point of curator mode.
+        self._federated: dict[str, dict] = {}
+        self._heartbeat_tokens = itertools.count(1)
         self._qids = iter(range(1, 2**62))
         self._last_elapsed = 0.0
         self._closed = False
@@ -331,7 +375,17 @@ class RemoteShardBackend:
         return frame
 
     def _connect(self, index: int) -> _NodeSession | None:
-        """Dial node ``index`` and run the version handshake."""
+        """Dial node ``index``: version handshake plus mutual auth.
+
+        The HELLO always carries a fresh nonce.  An open node answers
+        WELCOME directly; an authenticated node answers with a
+        challenge plus its own proof over our nonce — verified *before*
+        we reveal anything (the node authenticates first) — and the
+        exchange completes with our proof and the node's final WELCOME.
+        Auth misconfiguration (secret/no-secret skew, wrong secret)
+        raises :class:`ComputationError` loudly, like version skew:
+        it must never degrade into silent fallbacks.
+        """
         address = self._addresses[index]
         try:
             sock = socket.create_connection(address, timeout=_DIAL_TIMEOUT)
@@ -339,20 +393,98 @@ class RemoteShardBackend:
             return None
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         session = _NodeSession(address, sock)
+        nonce = secrets_module.token_hex(16)
         try:
             self._observe_send(
-                session, wire.HELLO, {"protocol": wire.REMOTE_PROTOCOL_VERSION}
+                session,
+                wire.HELLO,
+                {"protocol": wire.REMOTE_PROTOCOL_VERSION, "nonce": nonce},
             )
             frame = self._observe_read(session, _DIAL_TIMEOUT)
         except _DEAD_PEER:
             session.close()
             return None
+        frame = self._authenticate(session, frame, nonce, address)
+        if frame is None:
+            return None
+        session.manifests = [
+            dict(entry)
+            for entry in frame.header.get("manifests", [])
+            if isinstance(entry, dict)
+        ]
+        return session
+
+    def _authenticate(
+        self, session, frame, nonce: str, address
+    ) -> wire.Frame | None:
+        """Finish the handshake; the final WELCOME frame, or None if dead."""
+        label = f"{address[0]}:{address[1]}"
         if frame.kind != wire.WELCOME:
             session.close()
             if frame.kind == wire.ERROR and frame.header.get("code") == "version_mismatch":
                 raise wire.VersionMismatch(frame.header.get("protocol", -1))
+            if frame.kind == wire.ERROR and frame.header.get("code") == "auth_failed":
+                raise ComputationError(
+                    f"node {label} refused authentication: "
+                    f"{frame.header.get('error', 'auth_failed')}"
+                )
             return None
-        return session
+        challenge = frame.header.get("challenge")
+        if challenge is None:
+            if self._secret is not None:
+                # We were configured for mutual auth; a node that skips
+                # the challenge is either open (misconfigured) or an
+                # impostor that cannot produce a proof.
+                session.close()
+                raise ComputationError(
+                    f"node {label} did not authenticate but a shared "
+                    f"secret is configured"
+                )
+            return frame
+        if self._secret is None:
+            session.close()
+            raise ComputationError(
+                f"node {label} requires a shared secret "
+                f"(pass secret=/--node-secret)"
+            )
+        node_nonce = str(challenge)
+        if not wire.verify_proof(
+            self._secret,
+            wire.AUTH_ROLE_NODE,
+            nonce,
+            node_nonce,
+            frame.header.get("proof"),
+        ):
+            session.close()
+            raise ComputationError(
+                f"node {label} failed authentication (wrong secret?)"
+            )
+        try:
+            self._observe_send(
+                session,
+                wire.HELLO,
+                {
+                    "protocol": wire.REMOTE_PROTOCOL_VERSION,
+                    "proof": wire.auth_proof(
+                        self._secret,
+                        wire.AUTH_ROLE_COORDINATOR,
+                        node_nonce,
+                        nonce,
+                    ),
+                },
+            )
+            final = self._observe_read(session, _DIAL_TIMEOUT)
+        except _DEAD_PEER:
+            session.close()
+            return None
+        if final.kind != wire.WELCOME:
+            session.close()
+            if final.kind == wire.ERROR and final.header.get("code") == "auth_failed":
+                raise ComputationError(
+                    f"node {label} refused our proof (secret mismatch?)"
+                )
+            return None
+        return final
 
     def _session(self, index: int) -> _NodeSession | None:
         if self._sessions[index] is None:
@@ -385,24 +517,34 @@ class RemoteShardBackend:
         Returns one aliveness flag per node slot (unconnected slots are
         reported dead without dialing — the next query re-dials).  The
         heartbeat payload is public: a token echoed back, nothing else.
+        The token changes on every PING and the PONG must echo it
+        exactly — a stale, duplicated, or replayed PONG from a wedged
+        node never vouches for its liveness.  ``remote.heartbeats``
+        counts probe *rounds* (rounds in which at least one PING was
+        sent), not node slots, so the counter tracks probing cadence
+        rather than cluster size.
         """
         registry = self._registry()
         alive = []
+        pinged = False
         for index in range(len(self._addresses)):
             session = self._sessions[index]
             if session is None:
                 alive.append(False)
                 continue
+            token = next(self._heartbeat_tokens)
+            pinged = True
             try:
-                self._observe_send(session, wire.PING, {"token": index})
+                self._observe_send(session, wire.PING, {"token": token})
                 frame = self._observe_read(session, self._node_timeout)
-                ok = frame.kind == wire.PONG
+                ok = frame.kind == wire.PONG and frame.header.get("token") == token
             except _DEAD_PEER:
                 ok = False
             if not ok:
                 self._drop_session(index)
-            registry.counter("remote.heartbeats").inc()
             alive.append(ok)
+        if pinged:
+            registry.counter("remote.heartbeats").inc()
         return alive
 
     # -- dataset residency ----------------------------------------------
@@ -416,10 +558,121 @@ class RemoteShardBackend:
             stale = [k for k in self._values if k[0] == dataset]
             for key in stale:
                 del self._values[key]
+            if self._federated.pop(dataset, None) is not None:
+                stale.append((dataset, 0))
             for session in self._sessions:
                 if session is not None:
                     session.held = {h for h in session.held if h[0] != dataset}
         return len(stale)
+
+    # -- federated (curator-held) datasets -------------------------------
+    def federate(self, name: str) -> dict:
+        """Register node-held dataset ``name`` from curator manifests.
+
+        Dials every node, collects the manifest each advertises for
+        ``name``, and derives the federated geometry: per-node row
+        counts, each node's global row base (nodes concatenate in slot
+        order), the column count, and the total.  Only geometry crosses
+        — no node ever sends a value, and the coordinator refuses the
+        registration unless every node boundary lands exactly on a
+        ``shard_offsets(total, S)`` boundary, so each curator owns
+        whole logical shards and partials compose bit-identically with
+        in-process sharded execution.
+        """
+        with self._dispatch_lock:
+            if self._closed:
+                raise ComputationError("remote backend is closed")
+            per_node: list[tuple[int, int]] = []
+            for index in range(len(self._addresses)):
+                session = self._session(index)
+                label = "{0}:{1}".format(*self._addresses[index])
+                if session is None:
+                    raise ComputationError(
+                        f"cannot federate {name!r}: node {label} is unreachable"
+                    )
+                manifest = next(
+                    (m for m in session.manifests if m.get("dataset") == name),
+                    None,
+                )
+                if manifest is None:
+                    raise ComputationError(
+                        f"cannot federate {name!r}: node {label} does not "
+                        f"curate it (manifests: "
+                        f"{[m.get('dataset') for m in session.manifests]})"
+                    )
+                try:
+                    rows = int(manifest["rows"])
+                    columns = int(manifest["columns"])
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise ComputationError(
+                        f"cannot federate {name!r}: node {label} sent a "
+                        f"malformed manifest"
+                    ) from exc
+                if rows < 1 or columns < 1:
+                    raise ComputationError(
+                        f"cannot federate {name!r}: node {label} reports "
+                        f"empty geometry ({rows}x{columns})"
+                    )
+                if manifest.get("digest") != wire.dataset_digest(name, rows, columns):
+                    raise ComputationError(
+                        f"cannot federate {name!r}: node {label} manifest "
+                        f"digest does not match its geometry"
+                    )
+                per_node.append((rows, columns))
+            column_counts = {c for _, c in per_node}
+            if len(column_counts) != 1:
+                raise ComputationError(
+                    f"cannot federate {name!r}: curators disagree on column "
+                    f"count ({sorted(column_counts)})"
+                )
+            rows_per_node = tuple(r for r, _ in per_node)
+            total = int(sum(rows_per_node))
+            offsets = shard_offsets(total, self._shards)
+            boundaries = {int(o) for o in offsets}
+            bases, base = [], 0
+            for rows in rows_per_node:
+                bases.append(base)
+                base += rows
+            misaligned = [b for b in bases + [total] if b not in boundaries]
+            if misaligned:
+                raise ComputationError(
+                    f"cannot federate {name!r}: node row counts "
+                    f"{rows_per_node} do not align with the {self._shards} "
+                    f"shard boundaries {sorted(boundaries)} "
+                    f"(misaligned bases: {misaligned})"
+                )
+            geometry = {
+                "rows": rows_per_node,
+                "bases": tuple(bases),
+                "columns": column_counts.pop(),
+                "total": total,
+            }
+            self._federated[name] = geometry
+            return {
+                "num_records": total,
+                "num_dimensions": geometry["columns"],
+                "node_rows": rows_per_node,
+            }
+
+    def federated_geometry(self, name: str) -> dict | None:
+        """The registered federated geometry of ``name`` (or None)."""
+        return self._federated.get(name)
+
+    def _federated_owned(self, fed: dict, spec) -> list[list[int]]:
+        """Per-node lists of the logical shards each curator holds."""
+        offsets = shard_offsets(spec.num_records, spec.shards)
+        owned: list[list[int]] = []
+        for index in range(len(self._addresses)):
+            lo = fed["bases"][index]
+            hi = lo + fed["rows"][index]
+            owned.append(
+                [
+                    s
+                    for s in range(spec.shards)
+                    if int(offsets[s]) >= lo and int(offsets[s + 1]) <= hi
+                ]
+            )
+        return owned
 
     def _ensure_values(self, dskey, values: np.ndarray) -> np.ndarray:
         resident = self._values.get(dskey)
@@ -486,6 +739,7 @@ class RemoteShardBackend:
                 session.close()
                 self._sessions[index] = None
             self._values.clear()
+            self._federated.clear()
             if self._cluster is not None:
                 self._cluster.stop()
                 self._cluster = None
@@ -529,7 +783,30 @@ class RemoteShardBackend:
         registry = self._registry()
         started = time.perf_counter()
         dskey = (spec.dataset, spec.version)
-        resident = self._ensure_values(dskey, values)
+        fed = self._federated.get(spec.dataset)
+        if fed is not None:
+            # Curator mode: the rows live on the nodes.  Nothing is
+            # cached coordinator-side and nothing is ever pushed — the
+            # nodes execute against their own slices, addressed by each
+            # node's global row base (``origin``).
+            if spec.num_records != fed["total"]:
+                raise ComputationError(
+                    f"federated dataset {spec.dataset!r} holds "
+                    f"{fed['total']} rows across its curators, query spec "
+                    f"claims {spec.num_records}"
+                )
+            resident = None
+        else:
+            if getattr(values, "federated", False):
+                # A geometry proxy without registered geometry: the
+                # dataset was invalidated (or never federated here).
+                # Failing loudly beats caching the proxy as "values".
+                raise ComputationError(
+                    f"dataset {spec.dataset!r} is federated but this "
+                    f"backend holds no geometry for it; call federate() "
+                    f"after (re-)registration"
+                )
+            resident = self._ensure_values(dskey, values)
 
         counts = shard_block_counts(
             spec.num_records, spec.block_size, spec.resampling_factor, spec.shards
@@ -553,18 +830,29 @@ class RemoteShardBackend:
         pending: dict[int, set[int]] = {}
         reassigned: set[int] = set()
         unassigned: list[int] = []
+        owned_lists = (
+            None if fed is None else self._federated_owned(fed, spec)
+        )
         for index in range(len(self._addresses)):
-            owned = self._node_shards(index)
+            if owned_lists is None:
+                owned = self._node_shards(index)
+                origin = None
+            else:
+                owned = owned_lists[index]
+                origin = int(fed["bases"][index])
             if not owned:
                 continue
             if not self._dispatch(
-                index, qid, spec, dskey, resident, owned, program_bytes
+                index, qid, spec, dskey, resident, owned, program_bytes,
+                origin=origin,
             ):
                 unassigned.extend(owned)
             else:
                 pending[index] = set(owned)
         # Nodes dead before dispatch: adopt their shards immediately
         # (they have not been tried yet, so adoption is not a retry).
+        # Federated shards have exactly one holder — adoption is
+        # impossible and they resolve straight to fallback rows.
         for shard in unassigned:
             self._adopt(
                 shard, qid, spec, dskey, resident, pending, program_bytes, registry
@@ -609,23 +897,30 @@ class RemoteShardBackend:
         return summary, batch
 
     def _dispatch(
-        self, index, qid, spec, dskey, resident, shard_list, program_bytes
+        self, index, qid, spec, dskey, resident, shard_list, program_bytes,
+        origin=None,
     ) -> bool:
-        """Push segments + plan + execute to one node; False if it is dead."""
+        """Push segments + plan + execute to one node; False if it is dead.
+
+        ``resident is None`` means a federated dataset: no segment is
+        ever pushed, and ``origin`` (the node's global row base) tells
+        the curator which window of its own rows each shard maps to.
+        """
         session = self._session(index)
         if session is None:
             return False
         try:
-            for shard in shard_list:
-                self._push_shard(session, dskey, resident, spec, shard)
+            if resident is not None:
+                for shard in shard_list:
+                    self._push_shard(session, dskey, resident, spec, shard)
             header = wire.spec_to_header(spec)
             header["qid"] = qid
             self._observe_send(session, wire.PLAN, header)
+            execute_header = {"qid": qid, "shards": [int(s) for s in shard_list]}
+            if origin is not None:
+                execute_header["origin"] = int(origin)
             self._observe_send(
-                session,
-                wire.EXECUTE,
-                {"qid": qid, "shards": [int(s) for s in shard_list]},
-                program_bytes,
+                session, wire.EXECUTE, execute_header, program_bytes
             )
             return True
         except wire.VersionMismatch:
@@ -802,6 +1097,11 @@ class RemoteShardBackend:
         self, shard, qid, spec, dskey, resident, pending, program_bytes, registry
     ) -> bool:
         """Hand one orphaned shard to a surviving (or idle) node."""
+        if resident is None:
+            # Federated: the dead curator was the shard's only holder —
+            # no other node has (or may ever receive) its rows, so the
+            # shard resolves to the data-independent fallback instead.
+            return False
         candidates = [i for i in pending] + [
             i
             for i in range(len(self._addresses))

@@ -10,15 +10,28 @@ executes the analyst program, and returns *only* the clamped
 in-process shard workers run — a remote release is bit-identical to an
 in-process sharded one at the same logical shard count.
 
-Trust model (the Lin/Wang/Rane curator setting, one step at a time): a
-node sees only its *own* shards' rows, never another node's slice, and
-the return channel is restricted to clamped block summaries — so a
-coordinator (or wire observer) learns nothing about a node's records
-beyond what the differentially private release already reveals, and a
-node learns nothing about the rest of the dataset at all.  The node
-deliberately imports no accounting machinery: budgets, ledgers and
-journals live with the coordinator's dataset manager only
+Trust model (the Lin/Wang/Rane curator setting): a node sees only its
+*own* shards' rows, never another node's slice, and the return channel
+is restricted to clamped block summaries — so a coordinator (or wire
+observer) learns nothing about a node's records beyond what the
+differentially private release already reveals, and a node learns
+nothing about the rest of the dataset at all.  In **curator mode** the
+node goes one step further: started with ``--data FILE --dataset NAME``
+it loads its own rows at startup, advertises only a manifest (name, row
+count, schema digest) in the handshake, and *refuses* ``SEGMENT``
+frames for curated datasets — the coordinator plans against
+node-reported geometry and never sees a value.  The node deliberately
+imports no accounting machinery: budgets, ledgers and journals live
+with the coordinator's dataset manager only
 (``tests/test_shard_privacy.py`` pins this by AST).
+
+A node started with ``--secret`` (or ``REPRO_SHARD_SECRET``) requires
+every coordinator to pass the HMAC challenge-response folded into
+HELLO/WELCOME (see :mod:`repro.runtime.remote.wire`): an
+unauthenticated dialer is refused before any non-handshake frame is
+processed, and an idle session can only be preempted by a newcomer
+that *completes* a valid handshake — a port scan or load-balancer
+probe never evicts the real coordinator.
 
 Run standalone with ``repro shard-node HOST:PORT`` (port 0 binds an
 ephemeral port; the chosen one is announced on stdout as
@@ -34,11 +47,18 @@ connection).
 
 from __future__ import annotations
 
+import argparse
+import os
+import secrets
 import select
 import socket
 import threading
 
+import numpy as np
+
+from repro.core.blocks import shard_offsets
 from repro.core.plan_cache import BlockPlanCache
+from repro.exceptions import GuptError
 from repro.observability import MetricsRegistry
 from repro.runtime.remote import wire
 from repro.runtime.shard import (
@@ -64,6 +84,12 @@ FRAME_READ_TIMEOUT = 60.0
 #: coordinators in the accept backlog.
 _IDLE_POLL_SECONDS = 0.5
 
+#: Seconds a *preempting* newcomer gets to finish its handshake.  Short
+#: on purpose: while the node handshakes a newcomer the live session's
+#: frames wait, so a dialer that connects and stalls must be cut loose
+#: quickly (and the live session kept).
+_PREEMPT_HANDSHAKE_TIMEOUT = 2.0
+
 
 def _hit_failpoints() -> None:
     for site in FAILPOINT_SITES:
@@ -84,6 +110,16 @@ class ShardNodeServer:
         LRU bound on ``(dataset, version)`` entries kept in memory.
     plan_cache_entries:
         Shard-local plan cache size (plans + stacked materializations).
+    secret:
+        Shared authentication secret.  When set, every coordinator must
+        complete the HMAC challenge-response before any non-handshake
+        frame is processed.  ``None`` serves any dialer (the PR 9
+        behaviour, for trusted single-box clusters).
+    curated:
+        ``{dataset name: rows}`` this node holds as a curator.  Rows
+        are a 2-D finite float matrix, pinned read-only; curated
+        datasets are advertised in the WELCOME manifest, never evicted,
+        and any ``SEGMENT`` frame naming one is refused.
     """
 
     def __init__(
@@ -92,6 +128,8 @@ class ShardNodeServer:
         port: int = 0,
         resident_datasets: int = DEFAULT_RESIDENT_DATASETS,
         plan_cache_entries: int = DEFAULT_WORKER_PLAN_ENTRIES,
+        secret: str | None = None,
+        curated: dict[str, np.ndarray] | None = None,
     ):
         self._host = host
         self._port = port
@@ -99,9 +137,25 @@ class ShardNodeServer:
         self._plan_cache = BlockPlanCache(
             max_entries=plan_cache_entries, metrics=MetricsRegistry()
         )
+        self._secret = secret if secret else None
+        self._curated: dict[str, np.ndarray] = {}
+        for name, rows in (curated or {}).items():
+            rows = np.ascontiguousarray(rows, dtype=float)
+            if rows.ndim == 1:
+                rows = rows.reshape(-1, 1)
+            if rows.ndim != 2 or rows.size == 0 or not np.isfinite(rows).all():
+                raise ValueError(
+                    f"curated dataset {name!r} must be a non-empty 2-D "
+                    f"finite float matrix"
+                )
+            rows.setflags(write=False)
+            self._curated[str(name)] = rows
         self._listener: socket.socket | None = None
         self._thread: threading.Thread | None = None
         self._halted = threading.Event()
+        # A newcomer that completed a preempting handshake, waiting for
+        # the serve loop to pick it up as the next session.
+        self._pending_conn: socket.socket | None = None
         # (dataset, version) -> {shard: rows}; insertion-ordered for LRU.
         self._segments: dict[tuple[str, int], dict[int, object]] = {}
         # qid -> ShardQuerySpec, from PLAN frames.
@@ -154,6 +208,12 @@ class ShardNodeServer:
                 listener.close()
             except OSError:
                 pass
+        pending, self._pending_conn = self._pending_conn, None
+        if pending is not None:
+            try:
+                pending.close()
+            except OSError:
+                pass
         if self._thread is not None and self._thread is not threading.current_thread():
             self._thread.join(timeout=2.0)
             self._thread = None
@@ -161,31 +221,64 @@ class ShardNodeServer:
     # -- serving ---------------------------------------------------------
     def _serve_loop(self) -> None:
         while not self._halted.is_set():
-            listener = self._listener
-            if listener is None:
-                return
+            conn, self._pending_conn = self._pending_conn, None
+            if conn is None:
+                # No handshaken newcomer waiting: accept a fresh dial.
+                listener = self._listener
+                if listener is None:
+                    return
+                try:
+                    conn, _ = listener.accept()
+                except OSError:
+                    return  # listener closed by stop()
+                self._prepare_conn(conn)
+                if not self._handshake(conn):
+                    try:
+                        conn.close()
+                    except OSError:
+                        pass
+                    continue
             try:
-                conn, _ = listener.accept()
-            except OSError:
-                return  # listener closed by stop()
-            try:
-                self._serve_connection(conn)
+                self._session_loop(conn)
             finally:
                 try:
                     conn.close()
                 except OSError:
                     pass
 
-    def _serve_connection(self, conn: socket.socket) -> None:
+    @staticmethod
+    def _prepare_conn(conn: socket.socket) -> None:
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         conn.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+
+    def _manifests(self) -> list[dict]:
+        """Curated-dataset manifests advertised in WELCOME (all public)."""
+        return [
+            wire.manifest_entry(name, rows.shape[0], rows.shape[1])
+            for name, rows in sorted(self._curated.items())
+        ]
+
+    def _handshake(
+        self, conn: socket.socket, timeout: float = FRAME_READ_TIMEOUT
+    ) -> bool:
+        """Run the HELLO/WELCOME (+auth) exchange; True accepts the peer.
+
+        Without a secret this is the plain version check plus the
+        manifest-bearing WELCOME.  With a secret the node answers HELLO
+        with a challenge nonce *and its own proof* over the
+        coordinator's nonce (the node authenticates first — a
+        coordinator never reveals a proof to an impostor node), then
+        requires the coordinator's matching proof before the final
+        WELCOME.  Any failure refuses the dialer before a single
+        non-handshake frame is processed.
+        """
         try:
-            frame = wire.read_frame(conn, FRAME_READ_TIMEOUT)
+            frame = wire.read_frame(conn, timeout)
         except wire.FrameError:
-            return
+            return False
         if frame.kind != wire.HELLO:
             self._refuse(conn, "expected hello")
-            return
+            return False
         theirs = int(frame.header.get("protocol", -1))
         if theirs != wire.REMOTE_PROTOCOL_VERSION:
             self._refuse(
@@ -194,12 +287,66 @@ class ShardNodeServer:
                 f"node v{wire.REMOTE_PROTOCOL_VERSION}",
                 code="version_mismatch",
             )
-            return
-        wire.send_frame(
-            conn,
-            wire.WELCOME,
-            {"protocol": wire.REMOTE_PROTOCOL_VERSION, "shards_held": 0},
-        )
+            return False
+        welcome = {
+            "protocol": wire.REMOTE_PROTOCOL_VERSION,
+            "shards_held": 0,
+            "manifests": self._manifests(),
+        }
+        if self._secret is None:
+            welcome["authenticated"] = False
+            try:
+                wire.send_frame(conn, wire.WELCOME, welcome)
+            except OSError:
+                return False
+            return True
+        coordinator_nonce = frame.header.get("nonce")
+        if not isinstance(coordinator_nonce, str) or not coordinator_nonce:
+            self._refuse(
+                conn,
+                "this node requires authentication: hello carried no nonce",
+                code="auth_failed",
+            )
+            return False
+        node_nonce = secrets.token_hex(16)
+        try:
+            wire.send_frame(
+                conn,
+                wire.WELCOME,
+                {
+                    "protocol": wire.REMOTE_PROTOCOL_VERSION,
+                    "challenge": node_nonce,
+                    "proof": wire.auth_proof(
+                        self._secret,
+                        wire.AUTH_ROLE_NODE,
+                        coordinator_nonce,
+                        node_nonce,
+                    ),
+                },
+            )
+            reply = wire.read_frame(conn, timeout)
+        except (OSError, wire.FrameError):
+            return False
+        if reply.kind != wire.HELLO or not wire.verify_proof(
+            self._secret,
+            wire.AUTH_ROLE_COORDINATOR,
+            node_nonce,
+            coordinator_nonce,
+            reply.header.get("proof"),
+        ):
+            self._refuse(
+                conn, "coordinator failed authentication", code="auth_failed"
+            )
+            return False
+        welcome["authenticated"] = True
+        try:
+            wire.send_frame(conn, wire.WELCOME, welcome)
+        except OSError:
+            return False
+        return True
+
+    def _session_loop(self, conn: socket.socket) -> None:
+        """Serve one handshaken coordinator until its session ends."""
         try:
             while not self._halted.is_set():
                 if not self._await_frame_or_preempt(conn):
@@ -226,10 +373,13 @@ class ShardNodeServer:
     def _await_frame_or_preempt(self, conn: socket.socket) -> bool:
         """Wait for the session's next frame; False drops the session.
 
-        Watches the listener alongside the connection: a new coordinator
-        dialing in while this session is idle preempts it (the old peer
-        is presumed dead — a live one simply re-dials), so a coordinator
-        that crashed without FIN can never wedge the node.
+        Watches the listener alongside the connection: a coordinator
+        that crashed without FIN would otherwise hold the session open
+        forever and starve reconnecting coordinators in the accept
+        backlog.  But a bare TCP dial is not a coordinator — only a
+        newcomer that *completes* a valid (authenticated) handshake
+        preempts the live session; a connect-and-close probe, garbage
+        stream, or wrong-secret dialer is refused and the session kept.
         """
         while not self._halted.is_set():
             listener = self._listener
@@ -240,8 +390,26 @@ class ShardNodeServer:
                 return False  # a watched socket was closed under us
             if conn in ready:
                 return True
-            if ready:
-                return False  # idle session, newcomer waiting: yield
+            if listener is not None and listener in ready:
+                try:
+                    newcomer, _ = listener.accept()
+                except OSError:
+                    return False
+                try:
+                    self._prepare_conn(newcomer)
+                    handshaken = self._handshake(
+                        newcomer, timeout=_PREEMPT_HANDSHAKE_TIMEOUT
+                    )
+                except OSError:
+                    handshaken = False
+                if handshaken:
+                    # A real (authenticated) coordinator: yield to it.
+                    self._pending_conn = newcomer
+                    return False
+                try:
+                    newcomer.close()
+                except OSError:
+                    pass
         return False
 
     def _handle(self, conn: socket.socket, frame: wire.Frame) -> bool:
@@ -272,6 +440,14 @@ class ShardNodeServer:
 
     def _store_segment(self, frame: wire.Frame) -> None:
         header = frame.header
+        if str(header.get("dataset")) in self._curated:
+            # A curator's rows are its own: nobody overwrites them, and
+            # accepting the push would silently re-centralize a dataset
+            # the deployment declared node-held.
+            raise wire.FrameError(
+                f"dataset {header.get('dataset')!r} is curated by this node: "
+                f"segment pushes are forbidden"
+            )
         rows = wire.body_to_array(header, frame.body)
         rows.setflags(write=False)
         dskey = (str(header["dataset"]), int(header["version"]))
@@ -282,12 +458,34 @@ class ShardNodeServer:
         while len(self._segments) > self._resident_datasets:
             del self._segments[next(iter(self._segments))]
 
+    def _curated_shard_rows(self, spec, shard: int, origin: int):
+        """The locally-held row slice of logical shard ``shard``.
+
+        ``origin`` is this node's global row base, reported by the
+        coordinator from the manifest geometry; the shard's global
+        ``shard_offsets`` window must fall entirely inside the rows
+        this curator holds, else the shard is not answerable here.
+        """
+        rows = self._curated.get(spec.dataset)
+        if rows is None or not 0 <= shard < spec.shards:
+            return None
+        try:
+            offsets = shard_offsets(spec.num_records, spec.shards)
+        except GuptError:
+            return None  # hostile/confused geometry: disclaim, don't die
+        lo = int(offsets[shard]) - origin
+        hi = int(offsets[shard + 1]) - origin
+        if lo < 0 or hi > rows.shape[0] or lo >= hi:
+            return None
+        return rows[lo:hi]
+
     def _execute(self, conn: socket.socket, frame: wire.Frame) -> None:
         qid = int(frame.header["qid"])
         spec = self._plans.get(qid)
+        origin = int(frame.header.get("origin", 0))
         program_bytes = frame.body
         shards_held: dict[int, object] = {}
-        if spec is not None:
+        if spec is not None and spec.dataset not in self._curated:
             dskey = (spec.dataset, spec.version)
             shards_held = self._segments.get(dskey, {})
             if shards_held:
@@ -302,7 +500,16 @@ class ShardNodeServer:
                     {"qid": qid, "shard": shard, "reason": "no_plan"},
                 )
                 continue
-            rows = shards_held.get(shard)
+            if spec.dataset in self._curated:
+                rows = self._curated_shard_rows(spec, shard, origin)
+                if rows is None:
+                    wire.send_frame(
+                        conn, wire.PARTIAL_MISSING,
+                        {"qid": qid, "shard": shard, "reason": "not_held"},
+                    )
+                    continue
+            else:
+                rows = shards_held.get(shard)
             if rows is None:
                 wire.send_frame(
                     conn, wire.PARTIAL_MISSING,
@@ -338,16 +545,83 @@ class ShardNodeServer:
             pass
 
 
+def load_curated_rows(path: str) -> np.ndarray:
+    """Load a curator's own rows from ``--data PATH``.
+
+    ``.npy`` files load directly; anything else is comma-separated text
+    with an optional single header line (detected by the first line not
+    parsing as floats).  Deliberately numpy-only: a curator deployment
+    ships no ``repro.datasets`` machinery (the AST pin in
+    ``tests/test_shard_privacy.py`` enforces it).
+    """
+    if path.endswith(".npy"):
+        rows = np.load(path)
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            first = handle.readline()
+        skiprows = 0
+        for cell in first.strip().split(","):
+            try:
+                float(cell)
+            except ValueError:
+                skiprows = 1
+                break
+        rows = np.loadtxt(path, delimiter=",", skiprows=skiprows, ndmin=2)
+    rows = np.asarray(rows, dtype=float)
+    if rows.ndim == 1:
+        rows = rows.reshape(-1, 1)
+    if rows.ndim != 2 or rows.size == 0 or not np.isfinite(rows).all():
+        raise ValueError(
+            f"curated data {path!r} must be a non-empty 2-D finite matrix"
+        )
+    return rows
+
+
 def main(argv: list[str]) -> int:
-    """``repro shard-node HOST:PORT`` — run one node until halted."""
-    if len(argv) != 1:
-        print("usage: repro shard-node HOST:PORT", flush=True)
-        return 2
-    host, _, port_text = argv[0].rpartition(":")
+    """``repro shard-node HOST:PORT [--data FILE --dataset NAME]...`` —
+    run one node until halted (curator mode when data files are given)."""
+    parser = argparse.ArgumentParser(
+        prog="repro shard-node",
+        description="Run one shard node until halted.",
+    )
+    parser.add_argument("address", help="HOST:PORT to listen on (port 0 = ephemeral)")
+    parser.add_argument(
+        "--data", action="append", default=[], metavar="FILE",
+        help="rows this node curates (.npy or CSV); repeatable, "
+        "paired positionally with --dataset",
+    )
+    parser.add_argument(
+        "--dataset", action="append", default=[], metavar="NAME",
+        help="dataset name for the matching --data file",
+    )
+    parser.add_argument(
+        "--secret", default=None,
+        help="shared coordinator-authentication secret "
+        "(default: $REPRO_SHARD_SECRET)",
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    host, _, port_text = args.address.rpartition(":")
     if not host or not port_text:
         print("usage: repro shard-node HOST:PORT", flush=True)
         return 2
-    node = ShardNodeServer(host=host, port=int(port_text))
+    if len(args.data) != len(args.dataset):
+        print("error: each --data FILE needs a matching --dataset NAME", flush=True)
+        return 2
+    secret = args.secret or os.environ.get("REPRO_SHARD_SECRET") or None
+    try:
+        curated = {
+            name: load_curated_rows(path)
+            for name, path in zip(args.dataset, args.data)
+        }
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", flush=True)
+        return 2
+    node = ShardNodeServer(
+        host=host, port=int(port_text), secret=secret, curated=curated
+    )
     try:
         node.serve_forever(
             announce=lambda h, p: print(f"LISTENING {h} {p}", flush=True)
@@ -359,4 +633,10 @@ def main(argv: list[str]) -> int:
     return 0
 
 
-__all__ = ["FAILPOINT_SITES", "FRAME_READ_TIMEOUT", "ShardNodeServer", "main"]
+__all__ = [
+    "FAILPOINT_SITES",
+    "FRAME_READ_TIMEOUT",
+    "ShardNodeServer",
+    "load_curated_rows",
+    "main",
+]

@@ -36,12 +36,31 @@ its success mask), public acknowledgements (:data:`QUERY_DONE`,
 :data:`PONG`, :data:`WELCOME`, :data:`BYE`) and error strings.  The
 coordinator -> node direction carries each node's *own* shard rows
 (:data:`SEGMENT`) and public plan parameters — a node never sees
-another node's slice.  ``tests/test_shard_privacy.py`` pins both
+another node's slice.  In *curator mode* even that narrows: a node
+holds its own rows from startup, advertises only a manifest (name, row
+count, schema digest) in WELCOME, and :data:`SEGMENT` frames are
+refused for curated datasets — no raw record ever crosses the wire in
+either direction.  ``tests/test_shard_privacy.py`` pins both
 directions with sentinel-band data.
+
+Authentication (v2)
+-------------------
+A node started with a shared secret refuses coordinators that cannot
+prove possession of it.  The proof is an HMAC-SHA256 challenge-response
+folded into the existing HELLO/WELCOME exchange (see
+:func:`auth_proof`): the coordinator's HELLO carries a fresh nonce, the
+node answers with its own challenge nonce plus a proof over the
+coordinator's nonce (so the *node* authenticates first — a client
+never reveals a proof to a fake node), and the coordinator's second
+HELLO returns the matching proof.  Role strings are bound into the MAC
+so a proof can never be reflected back to its producer.  The secret
+itself never crosses the wire.
 """
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import json
 import socket
 import struct
@@ -57,7 +76,10 @@ from repro.runtime.shard import ShardQuerySpec
 from repro.testing import failpoints
 
 #: Bumped on any breaking change to the frame layout or message schema.
-REMOTE_PROTOCOL_VERSION = 1
+#: v2 folded a shared-secret HMAC challenge-response into HELLO/WELCOME
+#: (plus curated-dataset manifests in WELCOME), so a v1 coordinator and
+#: a v2 node refuse each other loudly through the version-skew path.
+REMOTE_PROTOCOL_VERSION = 2
 
 #: First bytes of every frame ("GUPT Shard Node").
 REMOTE_MAGIC = b"GSN1"
@@ -352,6 +374,62 @@ def spec_to_header(spec: ShardQuerySpec) -> dict[str, Any]:
     }
 
 
+# ----------------------------------------------------------------------
+# Handshake authentication (v2)
+# ----------------------------------------------------------------------
+#: Role strings bound into every HMAC proof, so a node proof can never
+#: be replayed as a coordinator proof (or vice versa).
+AUTH_ROLE_NODE = "node"
+AUTH_ROLE_COORDINATOR = "coordinator"
+
+
+def auth_proof(secret: str, role: str, challenge: str, nonce: str) -> str:
+    """HMAC-SHA256 proof that ``secret``'s holder answered ``challenge``.
+
+    ``challenge`` is the nonce the *peer* sent; ``nonce`` is the nonce
+    the prover itself contributed to the session.  Binding both (plus
+    the prover's role) means a proof is only valid for this exact
+    exchange — an observer replaying it into a new session fails
+    because the new session has fresh nonces.
+    """
+    message = f"{role}|{challenge}|{nonce}".encode("utf-8")
+    return hmac.new(secret.encode("utf-8"), message, hashlib.sha256).hexdigest()
+
+
+def verify_proof(
+    secret: str, role: str, challenge: str, nonce: str, proof: Any
+) -> bool:
+    """Constant-time check of an :func:`auth_proof` value."""
+    if not isinstance(proof, str):
+        return False
+    return hmac.compare_digest(auth_proof(secret, role, challenge, nonce), proof)
+
+
+# ----------------------------------------------------------------------
+# Curated-dataset manifests (v2)
+# ----------------------------------------------------------------------
+def dataset_digest(name: str, rows: int, columns: int) -> str:
+    """Public schema digest a curator advertises for a held dataset.
+
+    Covers name, geometry, and the pinned wire dtype — exactly the
+    facts the coordinator is allowed to learn — so a coordinator can
+    detect curators that disagree about what a federated dataset *is*
+    without ever seeing a value.
+    """
+    text = f"{name}|{int(rows)}|{int(columns)}|<f8"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+def manifest_entry(name: str, rows: int, columns: int) -> dict[str, Any]:
+    """One WELCOME manifest entry for a curated dataset (all public)."""
+    return {
+        "dataset": str(name),
+        "rows": int(rows),
+        "columns": int(columns),
+        "digest": dataset_digest(name, rows, columns),
+    }
+
+
 def header_to_spec(header: Mapping[str, Any]) -> ShardQuerySpec:
     try:
         return ShardQuerySpec(
@@ -380,6 +458,8 @@ def header_to_spec(header: Mapping[str, Any]) -> ShardQuerySpec:
 
 
 __all__ = [
+    "AUTH_ROLE_COORDINATOR",
+    "AUTH_ROLE_NODE",
     "BYE",
     "CorruptFrame",
     "ERROR",
@@ -405,13 +485,17 @@ __all__ = [
     "VersionMismatch",
     "WELCOME",
     "array_to_body",
+    "auth_proof",
     "body_to_array",
     "bytes_to_mask",
+    "dataset_digest",
     "decode_frame",
     "encode_frame",
     "header_to_spec",
+    "manifest_entry",
     "mask_to_bytes",
     "read_frame",
     "send_frame",
     "spec_to_header",
+    "verify_proof",
 ]

@@ -227,6 +227,7 @@ class GuptService:
         batch_size: int | None = None,
         shards: int | None = None,
         nodes: int | list | None = None,
+        node_secret: str | None = None,
         scheduler_workers: int = 4,
         max_inflight: int = 8,
         queue_depth: int = 64,
@@ -260,6 +261,7 @@ class GuptService:
             batch_size=batch_size,
             shards=shards,
             nodes=nodes,
+            node_secret=node_secret,
             plan_cache_size=plan_cache_size,
             answer_cache_size=answer_cache_size,
         )
@@ -377,6 +379,29 @@ class GuptService:
         self._datasets.register(
             name, table, total_budget,
             aged_fraction=aged_fraction, aged_table=aged_table,
+        )
+        return self.describe_dataset(token, name)
+
+    def register_federated_dataset(
+        self,
+        token: str,
+        name: str,
+        total_budget: float,
+        column_names=None,
+        input_ranges=None,
+    ) -> DatasetDescription:
+        """Owner-only: register a dataset held by curator shard nodes.
+
+        The platform learns only each curator's handshake manifest
+        (row count, column count, geometry digest); budgets and ledgers
+        attach here exactly as for :meth:`register_dataset`, but no
+        record value ever enters the service.  Requires the service to
+        run ``backend="remote"`` with the curator nodes reachable.
+        """
+        self._authenticate(token, OWNER)
+        self._runtime.register_federated(
+            name, total_budget,
+            column_names=column_names, input_ranges=input_ranges,
         )
         return self.describe_dataset(token, name)
 

@@ -511,3 +511,165 @@ class TestPartialAssignmentGating:
             assert (state["outputs"][: int(state["counts"][0])] == 0.0).all()
         finally:
             backend.close()
+
+
+class TestHeartbeatIntegrity:
+    """Heartbeat regressions: PONG replay and per-round accounting."""
+
+    def test_replayed_pong_token_is_not_accepted(self):
+        """A node replaying an old PONG must be dropped, not trusted.
+
+        Every PING carries a fresh token and the PONG must echo exactly
+        that token — a wedged node stuck re-sending its last answer (or
+        a middlebox duplicating frames) can no longer vouch for a dead
+        session by replaying a stale PONG.
+        """
+        import socket
+        import threading
+
+        from repro.runtime.remote import wire
+
+        ready = threading.Event()
+        box: dict = {}
+
+        def replaying_node():
+            listener = socket.create_server(("127.0.0.1", 0))
+            box["address"] = listener.getsockname()
+            ready.set()
+            conn, _ = listener.accept()
+            listener.close()
+            try:
+                hello = wire.read_frame(conn, timeout=5.0)
+                assert hello.kind == wire.HELLO
+                wire.send_frame(
+                    conn,
+                    wire.WELCOME,
+                    {
+                        "protocol": wire.REMOTE_PROTOCOL_VERSION,
+                        "shards_held": 0,
+                        "manifests": [],
+                        "authenticated": False,
+                    },
+                )
+                stale = None
+                while True:
+                    frame = wire.read_frame(conn, timeout=5.0)
+                    if frame.kind != wire.PING:
+                        break
+                    if stale is None:
+                        stale = frame.header["token"]
+                    # Honest echo once, then replay the stale token.
+                    wire.send_frame(conn, wire.PONG, {"token": stale})
+            except (OSError, wire.FrameError):
+                pass
+            finally:
+                conn.close()
+
+        thread = threading.Thread(target=replaying_node, daemon=True)
+        thread.start()
+        assert ready.wait(5.0)
+        metrics = MetricsRegistry()
+        backend = RemoteShardBackend(
+            shards=SHARDS,
+            nodes=["{0}:{1}".format(*box["address"])],
+            metrics=metrics,
+            heartbeat_interval=None,
+            node_timeout=2.0,
+        )
+        try:
+            assert backend._session(0) is not None
+            # Round 1: the echoed token matches (it *is* the fresh one).
+            assert backend.heartbeat_once() == [True]
+            # Round 2: the node replays round 1's token -> dropped.
+            assert backend.heartbeat_once() == [False]
+            assert backend._sessions[0] is None
+            assert metrics.counter("remote.node_deaths").value == 1
+        finally:
+            backend.close()
+            thread.join(timeout=5.0)
+
+    def test_heartbeats_count_rounds_not_node_slots(self):
+        """``remote.heartbeats`` tracks probing cadence, not cluster size."""
+        from repro.runtime.remote import ShardNodeServer
+
+        nodes = [ShardNodeServer(), ShardNodeServer()]
+        addresses = ["{0}:{1}".format(*n.start()) for n in nodes]
+        metrics = MetricsRegistry()
+        backend = RemoteShardBackend(
+            shards=SHARDS,
+            nodes=addresses,
+            metrics=metrics,
+            heartbeat_interval=None,
+            node_timeout=5.0,
+        )
+        try:
+            # No session connected yet: the round sends no PING at all
+            # and must not count as a heartbeat.
+            assert backend.heartbeat_once() == [False, False]
+            assert metrics.counter("remote.heartbeats").value == 0
+            for index in range(2):
+                assert backend._session(index) is not None
+            for round_number in range(1, 4):
+                assert backend.heartbeat_once() == [True, True]
+                assert (
+                    metrics.counter("remote.heartbeats").value == round_number
+                ), "one increment per round, not one per node slot"
+        finally:
+            backend.close()
+            for node in nodes:
+                node.stop()
+
+
+class TestCuratorDeath:
+    """A dead curator degrades its shards to fallback — never an exception."""
+
+    def test_curator_death_degrades_to_fallback_rows(self, baseline):
+        from dataclasses import replace
+
+        from repro.datasets.table import FederatedValues
+        from repro.runtime.remote import ShardNodeServer
+
+        values = _values()
+        spec = replace(SPEC, dataset="curated-fault-data")
+        # Two curators holding the halves: bases 0 and 200 both land on
+        # shard_offsets(400, 4) boundaries, so each owns 2 whole shards.
+        curators = [
+            ShardNodeServer(curated={spec.dataset: values[:200]}),
+            ShardNodeServer(curated={spec.dataset: values[200:]}),
+        ]
+        addresses = ["{0}:{1}".format(*c.start()) for c in curators]
+        metrics = MetricsRegistry()
+        backend = RemoteShardBackend(
+            shards=SHARDS,
+            nodes=addresses,
+            metrics=metrics,
+            heartbeat_interval=None,
+            node_timeout=5.0,
+        )
+        proxy = FederatedValues(spec.num_records, 1)
+        try:
+            geometry = backend.federate(spec.dataset)
+            assert geometry["num_records"] == spec.num_records
+            _, healthy = backend.run_sharded(PROGRAM, proxy, spec)
+            assert healthy.succeeded.all()
+            np.testing.assert_array_equal(healthy.outputs, baseline)
+            # Kill the first curator between queries.  Its rows exist
+            # nowhere else: the survivor cannot adopt them, and the
+            # query must degrade those shards to fallback, not raise.
+            curators[0].stop()
+            _, degraded = backend.run_sharded(PROGRAM, proxy, spec)
+        finally:
+            backend.close()
+            for curator in curators[1:]:
+                curator.stop()
+        assert degraded.succeeded.any(), "the survivor's shards still answer"
+        assert not degraded.succeeded.all(), "the dead curator's shards cannot"
+        np.testing.assert_array_equal(
+            degraded.outputs[degraded.succeeded], baseline[degraded.succeeded]
+        )
+        np.testing.assert_array_equal(
+            degraded.outputs[~degraded.succeeded],
+            np.full_like(degraded.outputs[~degraded.succeeded], FALLBACK),
+        )
+        assert metrics.counter("remote.degraded_queries").value == 1
+        assert metrics.counter("remote.fallback_shards").value == 2

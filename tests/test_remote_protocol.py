@@ -2,15 +2,18 @@
 
 The frames in :data:`GOLDEN_FRAMES` are pinned at the *byte* level: each
 entry records the exact hex a frame serialized to when the protocol was
-frozen at v1.  If any of these tests fail after a change to
+frozen at v2 (v1 plus the mutual-authentication handshake and curator
+manifests).  If any of these tests fail after a change to
 ``repro.runtime.remote.wire``, the change is a breaking protocol change
 and requires bumping ``REMOTE_PROTOCOL_VERSION`` — not updating the
 goldens in place.
 
 Alongside the goldens, this suite pins the failure half of the
 contract: version-mismatch rejection, torn/truncated-frame rejection,
-CRC corruption detection, and the handshake behaviour of a live
-in-thread :class:`~repro.runtime.remote.node.ShardNodeServer`.
+CRC corruption detection, the handshake behaviour of a live in-thread
+:class:`~repro.runtime.remote.node.ShardNodeServer`, and the
+authenticated handshake (challenge–response transcripts, bad-secret
+refusal before any non-handshake frame).
 """
 
 from __future__ import annotations
@@ -50,30 +53,31 @@ PINNED_KINDS = {
 }
 
 #: ``(kind, header, body, hex)`` — one representative frame per kind,
-#: serialized by v1 of the protocol.  The hex is the full frame
+#: serialized by v2 of the protocol.  The hex is the full frame
 #: including magic, prefix, canonical-JSON header, body, and CRC.
 GOLDEN_FRAMES = {
     "hello": (
         wire.HELLO,
-        {"protocol": 1},
+        {"protocol": 2},
         b"",
-        "47534e31010001000e00000000000000000000007b2270726f746f636f6c223a"
-        "317d35cf2ff3",
+        "47534e31020001000e00000000000000000000007b2270726f746f636f6c223a"
+        "327deeb9a39c",
     ),
     "welcome": (
         wire.WELCOME,
-        {"protocol": 1, "shards_held": 0},
+        {"protocol": 2, "shards_held": 0, "manifests": [], "authenticated": False},
         b"",
-        "47534e31010002001e00000000000000000000007b2270726f746f636f6c223a"
-        "312c227368617264735f68656c64223a307d09b8d243",
+        "47534e31020002004300000000000000000000007b2261757468656e74696361"
+        "746564223a66616c73652c226d616e696665737473223a5b5d2c2270726f746f"
+        "636f6c223a322c227368617264735f68656c64223a307de0c85ae6",
     ),
     "segment": (
         wire.SEGMENT,
         {"dataset": "data", "version": 1, "shard": 0, "shape": [2, 1]},
         b"\x00\x00\x00\x00\x00\x00\xf8?\x00\x00\x00\x00\x00\x00\x04@",
-        "47534e31010003003600000010000000000000007b2264617461736574223a22"
+        "47534e31020003003600000010000000000000007b2264617461736574223a22"
         "64617461222c227368617065223a5b322c315d2c227368617264223a302c2276"
-        "657273696f6e223a317d000000000000f83f0000000000000440f0ba5efc",
+        "657273696f6e223a317d000000000000f83f00000000000004400feaf388",
     ),
     "plan": (
         wire.PLAN,
@@ -92,78 +96,141 @@ GOLDEN_FRAMES = {
             "qid": 1,
         },
         b"",
-        "47534e3101000400c600000000000000000000007b22626c6f636b5f73697a65"
+        "47534e3102000400c600000000000000000000007b22626c6f636b5f73697a65"
         "223a31302c22636c616d705f6869223a5b3130302e305d2c22636c616d705f6c"
         "6f223a5b302e305d2c2264617461736574223a2264617461222c2266616c6c62"
         "61636b223a5b302e305d2c226e756d5f7265636f726473223a3130302c226f75"
         "747075745f64696d656e73696f6e223a312c22706c616e5f73656564223a3432"
         "343234322c22716964223a312c22726573616d706c696e675f666163746f7222"
-        "3a312c22736861726473223a322c2276657273696f6e223a317dce95950e",
+        "3a312c22736861726473223a322c2276657273696f6e223a317d95414116",
     ),
     "execute": (
         wire.EXECUTE,
-        {"qid": 1, "shards": [0, 1]},
+        {"qid": 1, "shards": [0, 1], "origin": 0},
         b"\x80\x04N.",
-        "47534e31010005001800000004000000000000007b22716964223a312c227368"
-        "61726473223a5b302c315d7d80044e2e77ce1ec8",
+        "47534e31020005002300000004000000000000007b226f726967696e223a302c"
+        "22716964223a312c22736861726473223a5b302c315d7d80044e2e999f4192",
     ),
     "partial": (
         wire.PARTIAL,
         {"qid": 1, "shard": 0, "shape": [2, 1], "elapsed": 0.0},
         b"\x00\x00\x00\x00\x00\x00\x08@\x00\x00\x00\x00\x00\x00\x10@\x01\x01",
-        "47534e31010006002f00000012000000000000007b22656c6170736564223a30"
+        "47534e31020006002f00000012000000000000007b22656c6170736564223a30"
         "2e302c22716964223a312c227368617065223a5b322c315d2c22736861726422"
-        "3a307d00000000000008400000000000001040010188586835",
+        "3a307d0000000000000840000000000000104001011d1d2a83",
     ),
     "partial-missing": (
         wire.PARTIAL_MISSING,
         {"qid": 1, "shard": 1, "reason": "no_segment"},
         b"",
-        "47534e31010007002900000000000000000000007b22716964223a312c227265"
-        "61736f6e223a226e6f5f7365676d656e74222c227368617264223a317db12502"
-        "3c",
+        "47534e31020007002900000000000000000000007b22716964223a312c227265"
+        "61736f6e223a226e6f5f7365676d656e74222c227368617264223a317d1d53fd"
+        "15",
     ),
     "query-done": (
         wire.QUERY_DONE,
         {"qid": 1},
         b"",
-        "47534e31010008000900000000000000000000007b22716964223a317d2c3608"
-        "fd",
+        "47534e31020008000900000000000000000000007b22716964223a317d7f80e5"
+        "c8",
     ),
     "ping": (
         wire.PING,
         {"token": 7},
         b"",
-        "47534e31010009000b00000000000000000000007b22746f6b656e223a377d58"
-        "f3fbd3",
+        "47534e31020009000b00000000000000000000007b22746f6b656e223a377d9b"
+        "de6f60",
     ),
     "pong": (
         wire.PONG,
         {"token": 7},
         b"",
-        "47534e3101000a000b00000000000000000000007b22746f6b656e223a377d0b"
-        "4516e6",
+        "47534e3102000a000b00000000000000000000007b22746f6b656e223a377dc8"
+        "688255",
     ),
     "shutdown": (
         wire.SHUTDOWN,
         {"halt": True},
         b"",
-        "47534e3101000b000d00000000000000000000007b2268616c74223a74727565"
-        "7d1ec793d0",
+        "47534e3102000b000d00000000000000000000007b2268616c74223a74727565"
+        "7d72ac9b75",
     ),
     "bye": (
         wire.BYE,
         {},
         b"",
-        "47534e3101000c000200000000000000000000007b7d75c37a2c",
+        "47534e3102000c000200000000000000000000007b7d171efcc6",
     ),
     "error": (
         wire.ERROR,
         {"code": "protocol_error", "error": "expected hello"},
         b"",
-        "47534e3101000d003200000000000000000000007b22636f6465223a2270726f"
+        "47534e3102000d003200000000000000000000007b22636f6465223a2270726f"
         "746f636f6c5f6572726f72222c226572726f72223a2265787065637465642068"
-        "656c6c6f227d9339b6e8",
+        "656c6c6f227db2ce8c32",
+    ),
+}
+
+#: Fixed handshake inputs for the authentication goldens below: real
+#: runs draw both nonces fresh per connection; pinning them here pins
+#: the proof *algorithm* (HMAC-SHA256 over ``role|challenge|nonce``).
+AUTH_SECRET = "open-sesame"
+COORDINATOR_NONCE = "aa" * 16
+NODE_NONCE = "bb" * 16
+NODE_PROOF = "b1171f1e7c37bd203b49680385435d97c93f7475c8a94d170939eca35f00b6f7"
+COORDINATOR_PROOF = (
+    "93c4b67f74299b274e6ebfdb88c2e4bb87c6a9818b27f3095173fc7193e5c694"
+)
+
+#: The four authenticated-handshake messages, in order, with the fixed
+#: nonces above and one curated manifest: coordinator HELLO with nonce,
+#: node challenge WELCOME (the node proves first), coordinator proof
+#: HELLO, final WELCOME carrying the manifests.
+GOLDEN_AUTH_HANDSHAKE = {
+    "auth-hello": (
+        wire.HELLO,
+        {"protocol": 2, "nonce": COORDINATOR_NONCE},
+        "47534e31020001003900000000000000000000007b226e6f6e6365223a226161"
+        "616161616161616161616161616161616161616161616161616161616161222c"
+        "2270726f746f636f6c223a327d8ceae450",
+    ),
+    "auth-challenge": (
+        wire.WELCOME,
+        {"protocol": 2, "challenge": NODE_NONCE, "proof": NODE_PROOF},
+        "47534e31020002008800000000000000000000007b226368616c6c656e676522"
+        "3a22626262626262626262626262626262626262626262626262626262626262"
+        "6262222c2270726f6f66223a2262313137316631653763333762643230336234"
+        "3936383033383534333564393763393366373437356338613934643137303933"
+        "39656361333566303062366637222c2270726f746f636f6c223a327de3cef9b7",
+    ),
+    "auth-reply": (
+        wire.HELLO,
+        {"protocol": 2, "proof": COORDINATOR_PROOF},
+        "47534e31020001005900000000000000000000007b2270726f6f66223a223933"
+        "6334623637663734323939623237346536656266646238386332653462623837"
+        "633661393831386232376633303935313733666337313933653563363934222c"
+        "2270726f746f636f6c223a327d37fb144c",
+    ),
+    "auth-welcome": (
+        wire.WELCOME,
+        {
+            "protocol": 2,
+            "shards_held": 0,
+            "manifests": [
+                {
+                    "dataset": "data",
+                    "rows": 600,
+                    "columns": 1,
+                    "digest": "e9a03a93a1541a1b",
+                }
+            ],
+            "authenticated": True,
+        },
+        "47534e31020002008700000000000000000000007b2261757468656e74696361"
+        "746564223a747275652c226d616e696665737473223a5b7b22636f6c756d6e73"
+        "223a312c2264617461736574223a2264617461222c22646967657374223a2265"
+        "396130336139336131353431613162222c22726f7773223a3630307d5d2c2270"
+        "726f746f636f6c223a322c227368617264735f68656c64223a307d17e0e393",
     ),
 }
 
@@ -196,7 +263,7 @@ class TestPinnedConstants:
 
     def test_magic_and_version(self):
         assert wire.REMOTE_MAGIC == b"GSN1"
-        assert wire.REMOTE_PROTOCOL_VERSION == 1
+        assert wire.REMOTE_PROTOCOL_VERSION == 2
 
     def test_node_to_coordinator_allowlist(self):
         # The privacy boundary: the untrusted return channel may only
@@ -260,6 +327,70 @@ class TestGoldenFrames:
             wire.encode_frame(wire.PARTIAL, {"elapsed": float("nan")})
 
 
+class TestAuthGoldens:
+    def test_proofs_are_pinned(self):
+        assert (
+            wire.auth_proof(
+                AUTH_SECRET, wire.AUTH_ROLE_NODE, COORDINATOR_NONCE, NODE_NONCE
+            )
+            == NODE_PROOF
+        )
+        assert (
+            wire.auth_proof(
+                AUTH_SECRET, wire.AUTH_ROLE_COORDINATOR, NODE_NONCE, COORDINATOR_NONCE
+            )
+            == COORDINATOR_PROOF
+        )
+
+    def test_roles_are_bound_into_proofs(self):
+        # A captured node proof replayed back as a coordinator proof
+        # must not verify: the role string inside the HMAC input breaks
+        # reflection even when an attacker controls both nonces.
+        assert not wire.verify_proof(
+            AUTH_SECRET,
+            wire.AUTH_ROLE_COORDINATOR,
+            COORDINATOR_NONCE,
+            NODE_NONCE,
+            NODE_PROOF,
+        )
+
+    def test_verify_rejects_wrong_and_non_string_proofs(self):
+        assert wire.verify_proof(
+            AUTH_SECRET, wire.AUTH_ROLE_NODE, COORDINATOR_NONCE, NODE_NONCE, NODE_PROOF
+        )
+        for bogus in (None, 7, b"proof", [NODE_PROOF], NODE_PROOF[:-1] + "0"):
+            assert not wire.verify_proof(
+                AUTH_SECRET,
+                wire.AUTH_ROLE_NODE,
+                COORDINATOR_NONCE,
+                NODE_NONCE,
+                bogus,
+            )
+
+    def test_manifest_digest_is_pinned(self):
+        assert wire.manifest_entry("data", 600, 1) == {
+            "dataset": "data",
+            "rows": 600,
+            "columns": 1,
+            "digest": "e9a03a93a1541a1b",
+        }
+        assert wire.dataset_digest("data", 600, 1) != wire.dataset_digest(
+            "data", 601, 1
+        )
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_AUTH_HANDSHAKE))
+    def test_handshake_frames_encode_to_golden(self, name):
+        kind, header, golden = GOLDEN_AUTH_HANDSHAKE[name]
+        assert wire.encode_frame(kind, header).hex() == golden
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_AUTH_HANDSHAKE))
+    def test_handshake_goldens_round_trip(self, name):
+        kind, header, golden = GOLDEN_AUTH_HANDSHAKE[name]
+        frame = wire.decode_frame(bytes.fromhex(golden))
+        assert frame.kind == kind
+        assert dict(frame.header) == header
+
+
 def _tamper_version(data: bytes, version: int) -> bytes:
     """Rewrite the version field and re-sign the CRC.
 
@@ -280,8 +411,8 @@ class TestRejection:
 
     def test_version_mismatch_decode(self):
         with pytest.raises(wire.VersionMismatch) as excinfo:
-            wire.decode_frame(_tamper_version(self.GOLDEN, 2))
-        assert excinfo.value.theirs == 2
+            wire.decode_frame(_tamper_version(self.GOLDEN, 3))
+        assert excinfo.value.theirs == 3
 
     def test_version_mismatch_socket(self):
         left, right = socket.socketpair()
@@ -637,5 +768,187 @@ class TestNodeSessionRobustness:
             while server._plans and time.monotonic() < deadline:
                 time.sleep(0.05)
             assert not server._plans
+        finally:
+            server.stop()
+
+    def test_connect_and_close_probe_does_not_preempt(self, node):
+        """A connect-and-close port scan must not kill a live session.
+
+        Preemption only happens after the newcomer *completes* a valid
+        handshake; a probe that dials and hangs up (or never speaks)
+        is discarded and the original coordinator keeps its session.
+        """
+        sock = _dial(node)
+        try:
+            for _ in range(3):
+                probe = socket.create_connection(node, timeout=5.0)
+                probe.close()
+            # Give the node time to notice (and wrongly act on) the
+            # probes before we check the session still answers.
+            time.sleep(0.3)
+            wire.send_frame(sock, wire.PING, {"token": 31})
+            pong = wire.read_frame(sock, timeout=5.0)
+            assert pong.kind == wire.PONG
+            assert pong.header["token"] == 31
+        finally:
+            sock.close()
+
+    def test_garbage_dialer_does_not_preempt(self, node):
+        """Bytes that never form a valid HELLO must not evict a session."""
+        sock = _dial(node)
+        garbage = None
+        try:
+            garbage = socket.create_connection(node, timeout=5.0)
+            garbage.sendall(b"\x00" * 64)
+            time.sleep(0.3)
+            wire.send_frame(sock, wire.PING, {"token": 32})
+            pong = wire.read_frame(sock, timeout=5.0)
+            assert pong.kind == wire.PONG
+            assert pong.header["token"] == 32
+        finally:
+            if garbage is not None:
+                garbage.close()
+            sock.close()
+
+
+# ----------------------------------------------------------------------
+# Live authentication battery (curator mode)
+# ----------------------------------------------------------------------
+CURATED_ROWS = np.arange(12, dtype=np.float64).reshape(6, 2)
+
+
+@pytest.fixture()
+def secret_node():
+    server = ShardNodeServer(
+        host="127.0.0.1",
+        port=0,
+        secret=AUTH_SECRET,
+        curated={"data": CURATED_ROWS},
+    )
+    address = server.start()
+    yield address, server
+    server.stop()
+
+
+def _auth_dial(address, secret):
+    """Run the coordinator side of the four-message auth handshake.
+
+    Returns ``(sock, final_frame)`` — the caller owns the socket.  The
+    final frame is the authenticated WELCOME on success or the node's
+    refusal ERROR otherwise.
+    """
+    sock = socket.create_connection(address, timeout=5.0)
+    nonce = COORDINATOR_NONCE
+    wire.send_frame(
+        sock,
+        wire.HELLO,
+        {"protocol": wire.REMOTE_PROTOCOL_VERSION, "nonce": nonce},
+    )
+    challenge = wire.read_frame(sock, timeout=5.0)
+    if challenge.kind != wire.WELCOME:
+        return sock, challenge
+    node_nonce = challenge.header["challenge"]
+    assert wire.verify_proof(
+        AUTH_SECRET,
+        wire.AUTH_ROLE_NODE,
+        nonce,
+        node_nonce,
+        challenge.header["proof"],
+    ), "node proved itself with the wrong secret"
+    wire.send_frame(
+        sock,
+        wire.HELLO,
+        {
+            "protocol": wire.REMOTE_PROTOCOL_VERSION,
+            "proof": wire.auth_proof(
+                secret, wire.AUTH_ROLE_COORDINATOR, node_nonce, nonce
+            ),
+        },
+    )
+    return sock, wire.read_frame(sock, timeout=5.0)
+
+
+class TestLiveAuthentication:
+    def test_correct_secret_completes_and_reports_manifests(self, secret_node):
+        address, _server = secret_node
+        sock, final = _auth_dial(address, AUTH_SECRET)
+        try:
+            assert final.kind == wire.WELCOME
+            assert final.header["authenticated"] is True
+            assert final.header["manifests"] == [wire.manifest_entry("data", 6, 2)]
+            # The session is fully live after the handshake.
+            wire.send_frame(sock, wire.PING, {"token": 3})
+            pong = wire.read_frame(sock, timeout=5.0)
+            assert pong.kind == wire.PONG
+            assert pong.header["token"] == 3
+        finally:
+            sock.close()
+
+    def test_wrong_secret_is_refused_before_any_query_frame(self, secret_node):
+        address, server = secret_node
+        sock, final = _auth_dial(address, "not-the-secret")
+        try:
+            assert final.kind == wire.ERROR
+            assert final.header["code"] == "auth_failed"
+            # The node hung up: nothing after the refusal is served.
+            with pytest.raises(wire.FrameError):
+                wire.send_frame(sock, wire.PING, {"token": 4})
+                wire.read_frame(sock, timeout=2.0)
+        finally:
+            sock.close()
+        assert not server._plans
+
+    def test_hello_without_nonce_is_refused(self, secret_node):
+        address, _server = secret_node
+        sock = socket.create_connection(address, timeout=5.0)
+        try:
+            wire.send_frame(
+                sock, wire.HELLO, {"protocol": wire.REMOTE_PROTOCOL_VERSION}
+            )
+            final = wire.read_frame(sock, timeout=5.0)
+        finally:
+            sock.close()
+        assert final.kind == wire.ERROR
+        assert final.header["code"] == "auth_failed"
+
+    def test_query_instead_of_proof_is_refused(self, secret_node):
+        """A dialer that skips the proof gets auth_failed, not service."""
+        address, _server = secret_node
+        sock = socket.create_connection(address, timeout=5.0)
+        try:
+            wire.send_frame(
+                sock,
+                wire.HELLO,
+                {
+                    "protocol": wire.REMOTE_PROTOCOL_VERSION,
+                    "nonce": COORDINATOR_NONCE,
+                },
+            )
+            challenge = wire.read_frame(sock, timeout=5.0)
+            assert challenge.kind == wire.WELCOME
+            wire.send_frame(sock, wire.PING, {"token": 9})
+            final = wire.read_frame(sock, timeout=5.0)
+        finally:
+            sock.close()
+        assert final.kind == wire.ERROR
+        assert final.header["code"] == "auth_failed"
+
+    def test_segment_push_to_curated_dataset_is_refused(self):
+        """Curated rows are node property: SEGMENT for them is an error."""
+        server = ShardNodeServer(
+            host="127.0.0.1", port=0, curated={"data": CURATED_ROWS}
+        )
+        address = server.start()
+        try:
+            sock = _dial(address)
+            try:
+                header, body = wire.array_to_body(np.zeros((3, 2)))
+                header.update({"dataset": "data", "version": 1, "shard": 0})
+                wire.send_frame(sock, wire.SEGMENT, header, body)
+                final = wire.read_frame(sock, timeout=5.0)
+            finally:
+                sock.close()
+            assert final.kind == wire.ERROR
+            assert "curated" in final.header["error"]
         finally:
             server.stop()

@@ -163,3 +163,110 @@ def test_remote_cluster_soak_with_mid_soak_node_kill():
     assert counters.get("remote.fallback_shards", 0) == 0
     # The heartbeat thread was alive the whole soak.
     assert counters.get("remote.heartbeats", 0) >= 1
+
+
+def _spawn_curator(
+    tmp_path, name: str, rows: np.ndarray, dataset: str, secret: str
+) -> tuple[subprocess.Popen, str]:
+    """One authenticated curator subprocess loading its own ``--data``."""
+    data_path = os.path.join(str(tmp_path), f"{name}.npy")
+    np.save(data_path, rows)
+    env = {
+        **os.environ,
+        "PYTHONPATH": os.pathsep.join(
+            p for p in (SRC_PATH, os.environ.get("PYTHONPATH")) if p
+        ),
+    }
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "shard-node", "127.0.0.1:0",
+            "--data", data_path, "--dataset", dataset, "--secret", secret,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    line = process.stdout.readline().strip()
+    parts = line.split()
+    assert parts and parts[0] == "LISTENING", f"curator failed to start: {line!r}"
+    return process, f"{parts[1]}:{parts[2]}"
+
+
+def test_two_curator_soak_stays_bit_identical_and_pushes_nothing(tmp_path):
+    """Sustained queries against two authenticated curator subprocesses.
+
+    The curators load their own rows from disk (``--data``), authenticate
+    the coordinator (``--secret``), and answer partials for their own
+    halves.  Every release over the soak must equal the in-process
+    engine's answer byte for byte, and — the curator-mode boundary —
+    not a single segment push may cross the wire for the whole soak.
+    """
+    from repro.datasets.table import FederatedValues
+
+    secret = "soak-secret"
+    dataset = "soak-fed"
+    values = _values()
+    baselines = {}
+    golden = ShardedExecutionBackend(shards=SHARDS, metrics=MetricsRegistry())
+    try:
+        for plan_seed in PLAN_SEEDS:
+            spec = _spec(plan_seed)
+            spec = type(spec)(**{**spec.__dict__, "dataset": dataset})
+            _, batch = golden.run_sharded(PROGRAM, values, spec)
+            assert batch.succeeded.all()
+            baselines[plan_seed] = batch.outputs.copy()
+    finally:
+        golden.close()
+
+    curators = [
+        _spawn_curator(tmp_path, "north", values[:300], dataset, secret),
+        _spawn_curator(tmp_path, "south", values[300:], dataset, secret),
+    ]
+    metrics = MetricsRegistry()
+    proxy = FederatedValues(600, 1)
+    queries = 0
+    try:
+        backend = RemoteShardBackend(
+            shards=SHARDS,
+            nodes=[address for _, address in curators],
+            metrics=metrics,
+            heartbeat_interval=0.25,
+            node_timeout=10.0,
+            secret=secret,
+        )
+        try:
+            geometry = backend.federate(dataset)
+            assert geometry["node_rows"] == (300, 300)
+            deadline = time.monotonic() + SOAK_SECONDS
+            while True:
+                time.sleep(0.02)
+                plan_seed = PLAN_SEEDS[queries % len(PLAN_SEEDS)]
+                spec = _spec(plan_seed)
+                spec = type(spec)(**{**spec.__dict__, "dataset": dataset})
+                _, batch = backend.run_sharded(PROGRAM, proxy, spec)
+                queries += 1
+                assert batch.succeeded.all(), f"query {queries} degraded"
+                np.testing.assert_array_equal(
+                    batch.outputs, baselines[plan_seed],
+                    err_msg=f"query {queries} drifted",
+                )
+                if time.monotonic() >= deadline and queries >= 4:
+                    break
+        finally:
+            backend.close()
+    finally:
+        for process, _ in curators:
+            process.kill()
+        for process, _ in curators:
+            process.wait(timeout=10.0)
+
+    counters = metrics.snapshot()["counters"]
+    assert queries >= 4
+    # The curator-mode wire boundary, held for the whole soak: the
+    # coordinator pushed nothing, ever.
+    assert counters.get("remote.segment_pushes", 0) == 0
+    assert counters.get("remote.degraded_queries", 0) == 0
+    assert counters.get("remote.fallback_shards", 0) == 0
+    assert counters.get("remote.node_deaths", 0) == 0
+    assert counters.get("remote.heartbeats", 0) >= 1

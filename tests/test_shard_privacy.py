@@ -292,6 +292,131 @@ class TestRemoteWireSentinels:
         assert tuple(remote.value) == tuple(in_process.value)
 
 
+class TestFederatedWireSentinels:
+    """Curator mode: not even segments cross the wire.
+
+    With node-held (curated) datasets the coordinator learns geometry
+    at registration and clamped partials at query time — nothing else.
+    These sentinels prove the stronger boundary end to end: no SEGMENT
+    frame in either direction, no sentinel-band number in any frame,
+    no raw row bytes on the socket, no values in coordinator memory —
+    while the release stays bit-identical to the in-process engine
+    holding all the rows locally.
+    """
+
+    def _federated_observed(self, values, declared_range):
+        from repro.runtime.remote import RemoteShardBackend, ShardNodeServer
+
+        half = NUM_RECORDS // 2
+        curators = [
+            ShardNodeServer(curated={"census": values[:half]}),
+            ShardNodeServer(curated={"census": values[half:]}),
+        ]
+        addresses = ["{0}:{1}".format(*c.start()) for c in curators]
+        frames = []
+        metrics = MetricsRegistry()
+        try:
+            backend = RemoteShardBackend(
+                shards=SHARDS, nodes=addresses, metrics=metrics,
+                frame_observer=lambda direction, raw: frames.append(
+                    (direction, raw)
+                ),
+                heartbeat_interval=None,
+            )
+            computation = ComputationManager(
+                backend="remote", shards=SHARDS, max_workers=2,
+                sharded=backend, metrics=metrics,
+            )
+            runtime = GuptRuntime(
+                DatasetManager(), computation_manager=computation, rng=7,
+                metrics=metrics,
+            )
+            try:
+                table = runtime.register_federated(
+                    "census", total_budget=20.0, column_names=["v"],
+                    input_ranges=[(SENTINEL_LO, SENTINEL_HI)],
+                )
+                result = runtime.run(
+                    "census", Mean(), TightRange(declared_range),
+                    epsilon=EPSILON, block_size=BLOCK_SIZE, rng=11,
+                )
+            finally:
+                runtime.close()
+        finally:
+            for curator in curators:
+                curator.stop()
+        return result, frames, backend, table
+
+    def test_no_segments_no_sentinels_no_resident_values(self, rng):
+        from repro.datasets.table import DataTable  # noqa: F401 (parity)
+        from repro.exceptions import DatasetError
+        from repro.runtime.remote import wire
+
+        values = rng.uniform(
+            SENTINEL_LO + 50.0, SENTINEL_HI - 50.0, size=(NUM_RECORDS, 1)
+        )
+        result, frames, backend, table = self._federated_observed(
+            values, (0.0, 100.0)
+        )
+        assert frames, "observer saw no traffic"
+        decoded = [
+            (direction, wire.decode_frame(raw)) for direction, raw in frames
+        ]
+        # 1. No SEGMENT frame ever crosses, in either direction.
+        assert not any(
+            frame.kind == wire.SEGMENT for _, frame in decoded
+        ), "a segment crossed the wire for a federated dataset"
+        # 2. No frame header carries a sentinel-band number, and every
+        #    PARTIAL body is clamped below the band.
+        partials = 0
+        for _, frame in decoded:
+            header_leaves = numeric_leaves(dict(frame.header))
+            assert not any(
+                SENTINEL_LO <= v <= SENTINEL_HI for v in header_leaves
+            ), frame.header
+            if frame.kind == wire.PARTIAL:
+                partials += 1
+                rows = int(frame.header["shape"][0])
+                matrix = np.frombuffer(frame.body[: rows * 8], dtype="<f8")
+                assert (matrix <= 100.0).all()
+                assert not (
+                    (matrix >= SENTINEL_LO) & (matrix <= SENTINEL_HI)
+                ).any()
+        assert partials == SHARDS
+        # 3. No raw row's 8-byte pattern appears in any frame, either
+        #    direction (the strongest no-row-bytes check: exact byte
+        #    substring search over every captured frame).
+        row_patterns = [
+            np.asarray(values[i], dtype="<f8").tobytes() for i in (0, 1, -1)
+        ]
+        for _, raw in frames:
+            for pattern in row_patterns:
+                assert pattern not in raw, "raw row bytes crossed the wire"
+        # 4. Nothing landed in coordinator memory either: the backend's
+        #    resident-value cache is empty and the registered table
+        #    refuses to produce values at all.
+        assert not backend._values
+        with pytest.raises(DatasetError, match="federated"):
+            table.values
+        assert np.all(np.isfinite(np.asarray(result.value)))
+
+    def test_federated_release_matches_in_process_sharded(self, rng):
+        values = rng.uniform(
+            SENTINEL_LO + 50.0, SENTINEL_HI - 50.0, size=(NUM_RECORDS, 1)
+        )
+        federated, _, _, _ = self._federated_observed(values, (0.0, 100.0))
+
+        manager = DatasetManager()
+        manager.register(
+            "census",
+            DataTable(values, column_names=["v"],
+                      input_ranges=[(SENTINEL_LO, SENTINEL_HI)]),
+            total_budget=20.0,
+        )
+        in_process, _ = _run_observed(manager, MetricsRegistry(), (0.0, 100.0))
+        assert tuple(federated.value) == tuple(in_process.value)
+
+
 class TestRemoteTelemetrySentinels:
     def test_remote_metrics_never_touch_the_sentinel_band(self, sentinel_manager):
         """``remote.*`` telemetry is geometry, counts and seconds only."""
@@ -323,6 +448,14 @@ class TestNodeCodeStaysOutsideTheLedger:
         "repro.accounting",
         "repro.datasets",
         "repro.server",
+        # Curator mode sharpens the pin: a node now *holds* raw rows,
+        # so a slim node deployment must not even ship the
+        # coordinator tier — the engine, the backend that talks to
+        # other curators, the service, or the CLI query paths.
+        "repro.core.gupt",
+        "repro.runtime.computation_manager",
+        "repro.runtime.remote.backend",
+        "repro.runtime.service",
     )
 
     def _imports_of(self, module_name):

@@ -425,3 +425,79 @@ class TestValidation:
             assert manager.sharded_backend.shards == 3
         finally:
             manager.close()
+
+
+class TestFederatedDeterminism:
+    """Curator-held rows: the node split is deployment geometry too.
+
+    The same 600 rows are handed to 1, 2, 3 or 6 curator nodes (each
+    holding a contiguous slice aligned on shard boundaries); every
+    split — and the in-process engine holding all rows locally — must
+    release bit-identical values at the same logical shard count.
+    """
+
+    SPLITS = {
+        "one-curator": (600,),
+        "two-curators": (300, 300),
+        "three-curators": (200, 200, 200),
+        "six-curators": (100,) * 6,
+    }
+
+    def _federated_release(self, split, secret=None):
+        from repro.runtime.remote import ShardNodeServer
+
+        values = _values(600)
+        servers = []
+        addresses = []
+        base = 0
+        try:
+            for rows in split:
+                server = ShardNodeServer(
+                    curated={"data": values[base : base + rows]}, secret=secret
+                )
+                servers.append(server)
+                addresses.append("{0}:{1}".format(*server.start()))
+                base += rows
+            runtime = GuptRuntime(
+                DatasetManager(), rng=SEED, backend="remote",
+                nodes=addresses, shards=6, node_secret=secret,
+            )
+            try:
+                runtime.register_federated(
+                    "data", total_budget=100.0, input_ranges=[(0.0, 100.0)]
+                )
+                result = runtime.run(
+                    "data", Mean(), TightRange((0.0, 100.0)),
+                    epsilon=EPSILON, block_size=BLOCK_SIZE, rng=QUERY_SEED,
+                )
+            finally:
+                runtime.close()
+            return tuple(float(v) for v in result.value), result.num_blocks
+        finally:
+            for server in servers:
+                server.stop()
+
+    def test_curator_split_never_moves_bits(self):
+        releases = {
+            name: self._federated_release(split)
+            for name, split in self.SPLITS.items()
+        }
+        releases["in-process"] = _release(
+            backend="sharded", workers=2, shards=6, num_records=600
+        )
+        assert len(set(releases.values())) == 1, releases
+
+    def test_authenticated_curators_release_the_same_bits(self):
+        """The auth handshake is transport, not plan: bits don't move."""
+        authenticated = self._federated_release((300, 300), secret="s3cret")
+        in_process = _release(
+            backend="sharded", workers=2, shards=6, num_records=600
+        )
+        assert authenticated == in_process
+
+    def test_misaligned_curator_split_is_refused(self):
+        """A curator boundary off the shard grid can't silently re-shard."""
+        from repro.exceptions import GuptError
+
+        with pytest.raises((ComputationError, GuptError), match="federate|boundar|align|row counts"):
+            self._federated_release((250, 350))
